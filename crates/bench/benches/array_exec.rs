@@ -1,0 +1,102 @@
+//! Criterion: accelerated-system throughput on a loop that executes
+//! almost entirely from the reconfiguration cache — the array replay
+//! fast path (reconfigure + execute + write back).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dim_cgra::ArrayShape;
+use dim_core::{System, SystemConfig};
+use dim_mips::asm::assemble;
+use dim_mips_sim::Machine;
+
+fn bench_array_exec(c: &mut Criterion) {
+    let program = assemble(
+        "
+        main: li $s0, 2000
+        loop: xor  $t0, $v0, $s0
+              sll  $t1, $s0, 3
+              addu $t2, $t0, $t1
+              srl  $t3, $t2, 2
+              addu $v0, $v0, $t3
+              addiu $s0, $s0, -1
+              bnez $s0, loop
+              break 0",
+    )
+    .expect("assembles");
+    let mut g = c.benchmark_group("array_exec");
+    let mut probe = System::new(
+        Machine::load(&program),
+        SystemConfig::new(ArrayShape::config1(), 64, true),
+    );
+    probe.run(10_000_000).expect("runs");
+    g.throughput(Throughput::Elements(probe.total_instructions()));
+    for (label, shape) in [
+        ("config1", ArrayShape::config1()),
+        ("config3", ArrayShape::config3()),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut sys = System::new(
+                    Machine::load(&program),
+                    SystemConfig::new(shape, 64, true),
+                );
+                sys.run(10_000_000).expect("runs");
+                std::hint::black_box(sys.total_cycles())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_dataflow_executor(c: &mut Criterion) {
+    use dim_cgra::{execute_dataflow, EntryContext};
+    use dim_core::{BimodalPredictor, Translator, TranslatorOptions};
+    use dim_mips_sim::Effect;
+
+    // Harvest a real configuration from a hot loop.
+    let program = assemble(
+        "
+        main: li $s0, 10
+        loop: addu $v0, $v0, $s0
+              xor  $t1, $v0, $s0
+              addu $v0, $v0, $t1
+              sll  $t2, $v0, 2
+              addu $v0, $v0, $t2
+              srl  $t3, $v0, 1
+              addu $v0, $v0, $t3
+              addiu $s0, $s0, -1
+              bnez $s0, loop
+              break 0",
+    )
+    .expect("assembles");
+    let mut machine = Machine::load(&program);
+    let mut translator = Translator::new(TranslatorOptions::new(ArrayShape::config2()));
+    let mut predictor = BimodalPredictor::new();
+    let mut config = None;
+    machine
+        .run_with(10_000, |info| {
+            if let Some(taken) = info.taken {
+                predictor.update(info.pc, taken);
+            }
+            let mut info = *info;
+            info.effect = Effect::None;
+            if let Some(done) = translator.observe(&info, &predictor) {
+                config.get_or_insert(done);
+            }
+        })
+        .expect("runs");
+    let config = config.expect("loop produced a configuration");
+
+    let mut g = c.benchmark_group("dataflow_executor");
+    g.throughput(Throughput::Elements(config.instruction_count() as u64));
+    g.bench_function("hot_loop_config", |b| {
+        b.iter(|| {
+            let mut ctx = EntryContext { regs: [7; 32], hi: 0, lo: 0 };
+            let mut mem: std::collections::HashMap<u32, u8> = std::collections::HashMap::new();
+            std::hint::black_box(execute_dataflow(&config, &mut ctx, &mut mem).expect("executes"))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_array_exec, bench_dataflow_executor);
+criterion_main!(benches);

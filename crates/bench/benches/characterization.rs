@@ -1,0 +1,26 @@
+//! Criterion: the Figure 3 profiling pass (basic-block attribution on the
+//! retiring stream).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dim_mips_sim::{Machine, Profiler};
+use dim_workloads::{by_name, Scale};
+
+fn bench_characterization(c: &mut Criterion) {
+    let built = ((by_name("stringsearch").expect("exists")).build)(Scale::Tiny);
+    let mut g = c.benchmark_group("characterization");
+    let mut probe = Machine::load(&built.program);
+    probe.run(built.max_steps).expect("runs");
+    g.throughput(Throughput::Elements(probe.stats.instructions));
+    g.bench_function("profile_stringsearch", |b| {
+        b.iter(|| {
+            let mut m = Machine::load(&built.program);
+            let mut p = Profiler::new();
+            m.run_with(built.max_steps, |i| p.observe(i)).expect("runs");
+            std::hint::black_box(p.finish().block_count())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_characterization);
+criterion_main!(benches);

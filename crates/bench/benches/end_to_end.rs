@@ -1,0 +1,31 @@
+//! Criterion: one representative benchmark per workload class, run
+//! baseline and accelerated — the measurement kernel behind Table 2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dim_bench::{run_accelerated, run_baseline};
+use dim_cgra::ArrayShape;
+use dim_core::SystemConfig;
+use dim_workloads::{by_name, Scale};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    for name in ["rijndael_enc", "jpeg_enc", "rawaudio_dec"] {
+        let built = ((by_name(name).expect("exists")).build)(Scale::Tiny);
+        let mut g = c.benchmark_group(name);
+        g.sample_size(20);
+        g.bench_function("baseline", |b| {
+            b.iter(|| std::hint::black_box(run_baseline(&built).expect("valid").stats.cycles))
+        });
+        g.bench_function("accelerated_c2_spec", |b| {
+            b.iter(|| {
+                let run =
+                    run_accelerated(&built, SystemConfig::new(ArrayShape::config2(), 64, true))
+                        .expect("valid");
+                std::hint::black_box(run.cycles)
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion: raw simulator substrate throughput (assembler + baseline
+//! pipeline execution) — the substrate every experiment stands on.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dim_mips::asm::assemble;
+use dim_mips_sim::Machine;
+use dim_workloads::{by_name, Scale};
+
+fn bench_assembler(c: &mut Criterion) {
+    let spec = by_name("crc32").expect("exists");
+    // Reassembling the generated source exercises the full asm pipeline.
+    let built = (spec.build)(Scale::Tiny);
+    let mut g = c.benchmark_group("assembler");
+    g.throughput(Throughput::Elements(built.program.text.len() as u64));
+    let src = "
+        main: li $t0, 64
+        loop: addu $v0, $v0, $t0
+              sll  $t1, $v0, 2
+              xor  $v0, $v0, $t1
+              addiu $t0, $t0, -1
+              bnez $t0, loop
+              break 0";
+    g.bench_function("small_program", |b| {
+        b.iter(|| assemble(std::hint::black_box(src)).expect("assembles"))
+    });
+    g.finish();
+}
+
+fn bench_baseline_pipeline(c: &mut Criterion) {
+    let built = ((by_name("crc32").expect("exists")).build)(Scale::Tiny);
+    let mut g = c.benchmark_group("baseline_pipeline");
+    let mut probe = Machine::load(&built.program);
+    probe.run(built.max_steps).expect("runs");
+    g.throughput(Throughput::Elements(probe.stats.instructions));
+    g.bench_function("crc32_tiny", |b| {
+        b.iter(|| {
+            let mut m = Machine::load(&built.program);
+            m.run(built.max_steps).expect("runs");
+            std::hint::black_box(m.stats.cycles)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_assembler, bench_baseline_pipeline);
+criterion_main!(benches);

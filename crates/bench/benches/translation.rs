@@ -1,0 +1,59 @@
+//! Criterion: DIM binary-translation throughput — how fast the detection
+//! engine consumes the retiring instruction stream (the paper's claim is
+//! that this is trivial hardware working in parallel; here we check the
+//! model itself is not the simulation bottleneck).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dim_cgra::ArrayShape;
+use dim_core::{BimodalPredictor, Translator, TranslatorOptions};
+use dim_mips::asm::assemble;
+use dim_mips_sim::Machine;
+
+fn bench_translation(c: &mut Criterion) {
+    // Capture a real instruction stream once.
+    let program = assemble(
+        "
+        main: li $s0, 300
+        loop: andi $t0, $s0, 7
+              sll  $t1, $t0, 2
+              addu $t2, $t1, $s0
+              xor  $t3, $t2, $t0
+              addu $v0, $v0, $t3
+              addiu $s0, $s0, -1
+              bnez $s0, loop
+              break 0",
+    )
+    .expect("assembles");
+    let mut machine = Machine::load(&program);
+    let mut stream = Vec::new();
+    machine
+        .run_with(1_000_000, |info| stream.push(*info))
+        .expect("runs");
+
+    let mut g = c.benchmark_group("translation");
+    g.throughput(Throughput::Elements(stream.len() as u64));
+    for (label, spec) in [("nospec", false), ("spec", true)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut opts = TranslatorOptions::new(ArrayShape::config1());
+                opts.speculation = spec;
+                let mut t = Translator::new(opts);
+                let mut p = BimodalPredictor::new();
+                let mut built = 0u32;
+                for info in &stream {
+                    if let Some(taken) = info.taken {
+                        p.update(info.pc, taken);
+                    }
+                    if t.observe(info, &p).is_some() {
+                        built += 1;
+                    }
+                }
+                std::hint::black_box(built)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_translation);
+criterion_main!(benches);

@@ -1,0 +1,235 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. speculation depth (basic blocks merged per configuration);
+//! 2. ALU levels per processor cycle (the array's row-chaining speed);
+//! 3. the misspeculation flush threshold;
+//! 4. perfect vs realistic (4 KiB I/D) caches — the paper assumes hits
+//!    but specifies that a miss stalls the whole array;
+//! 5. DIM's array vs a CCA-like baseline without memory ops or shifts
+//!    (the related work the paper positions against, §2.2);
+//! 6. DIM vs an in-order dual-issue superscalar (the §1 foil);
+//! 7. the speculation gate's predictor: bimodal (paper) vs gshare;
+//! 8. the cache replacement policy (FIFO, per the paper, vs LRU);
+//! 9. power gating of unused rows (the paper's announced future work).
+//!
+//! Usage: `ablations [tiny|small|full]` (default: small — ablations are
+//! exploratory, not headline numbers).
+
+use dim_bench::{ratio, run_accelerated, run_baseline, TextTable};
+use dim_cgra::ArrayShape;
+use dim_core::SystemConfig;
+use dim_energy::{energy_breakdown, energy_breakdown_gated, PowerModel};
+use dim_mips_sim::{CacheConfig, CacheSim};
+use dim_workloads::{by_name, Scale};
+
+fn scale_from_args() -> Scale {
+    match std::env::args().nth(1).as_deref() {
+        Some("tiny") => Scale::Tiny,
+        Some("full") => Scale::Full,
+        _ => Scale::Small,
+    }
+}
+
+const BENCHES: [&str; 4] = ["rijndael_enc", "sha", "stringsearch", "rawaudio_dec"];
+
+fn main() {
+    let scale = scale_from_args();
+
+    // --- 1. speculation depth ---
+    println!("Ablation 1 — speedup vs speculation depth (C#2, 64 slots)");
+    let mut t = TextTable::new(["benchmark", "nospec", "2 blocks", "3 blocks", "4 blocks"]);
+    for name in BENCHES {
+        let built = ((by_name(name).expect("known")).build)(scale);
+        let base = run_baseline(&built).expect("baseline").stats.cycles;
+        let mut cells = vec![name.to_string()];
+        for (spec, blocks) in [(false, 3), (true, 2), (true, 3), (true, 4)] {
+            let mut cfg = SystemConfig::new(ArrayShape::config2(), 64, spec);
+            cfg.max_spec_blocks = blocks;
+            let run = run_accelerated(&built, cfg).expect("valid");
+            cells.push(ratio(base as f64 / run.cycles as f64));
+        }
+        t.row(cells);
+    }
+    println!("{}", t.render());
+
+    // --- 2. ALU rows per cycle ---
+    println!("Ablation 2 — speedup vs ALU levels per cycle (C#2, 64 slots, spec)");
+    let mut t = TextTable::new(["benchmark", "1 row/cycle", "3 rows/cycle"]);
+    for name in BENCHES {
+        let built = ((by_name(name).expect("known")).build)(scale);
+        let base = run_baseline(&built).expect("baseline").stats.cycles;
+        let mut cells = vec![name.to_string()];
+        for levels in [1u64, 3] {
+            let mut cfg = SystemConfig::new(ArrayShape::config2(), 64, true);
+            cfg.timing.alu_rows_per_cycle = levels;
+            let run = run_accelerated(&built, cfg).expect("valid");
+            cells.push(ratio(base as f64 / run.cycles as f64));
+        }
+        t.row(cells);
+    }
+    println!("{}", t.render());
+
+    // --- 3. misspeculation flush threshold ---
+    println!("Ablation 3 — speedup vs misspeculation flush threshold (C#2, 64 slots, spec)");
+    let mut t = TextTable::new(["benchmark", "flush@1", "flush@8", "never"]);
+    for name in BENCHES {
+        let built = ((by_name(name).expect("known")).build)(scale);
+        let base = run_baseline(&built).expect("baseline").stats.cycles;
+        let mut cells = vec![name.to_string()];
+        for threshold in [1u32, 8, u32::MAX] {
+            let mut cfg = SystemConfig::new(ArrayShape::config2(), 64, true);
+            cfg.misspec_flush_threshold = threshold;
+            let run = run_accelerated(&built, cfg).expect("valid");
+            cells.push(ratio(base as f64 / run.cycles as f64));
+        }
+        t.row(cells);
+    }
+    println!("{}", t.render());
+
+    // --- 4. realistic caches ---
+    println!("Ablation 4 — speedup with perfect vs 4KiB I/D caches (C#2, 64 slots, spec)");
+    let mut t = TextTable::new(["benchmark", "perfect", "4KiB caches", "dcache miss rate"]);
+    for name in BENCHES {
+        let built = ((by_name(name).expect("known")).build)(scale);
+        let base = run_baseline(&built).expect("baseline").stats.cycles;
+        let perfect = run_accelerated(&built, SystemConfig::new(ArrayShape::config2(), 64, true))
+            .expect("valid");
+        // Baseline with caches, accelerated with caches: both sides pay.
+        let mut base_m = dim_mips_sim::Machine::load(&built.program);
+        base_m.icache = Some(CacheSim::new(CacheConfig::icache_4k()));
+        base_m.dcache = Some(CacheSim::new(CacheConfig::dcache_4k()));
+        base_m.run(built.max_steps).expect("runs");
+        let mut sys = dim_core::System::new(
+            {
+                let mut m = dim_mips_sim::Machine::load(&built.program);
+                m.icache = Some(CacheSim::new(CacheConfig::icache_4k()));
+                m.dcache = Some(CacheSim::new(CacheConfig::dcache_4k()));
+                m
+            },
+            SystemConfig::new(ArrayShape::config2(), 64, true),
+        );
+        sys.run(built.max_steps).expect("runs");
+        let dstats = sys
+            .machine()
+            .dcache
+            .as_ref()
+            .expect("dcache configured")
+            .stats();
+        t.row([
+            name.to_string(),
+            ratio(base as f64 / perfect.cycles as f64),
+            ratio(base_m.stats.cycles as f64 / sys.total_cycles() as f64),
+            format!("{:.2}%", 100.0 * dstats.miss_rate()),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // --- 5. DIM vs a CCA-like array (paper §2.2's comparison) ---
+    println!("Ablation 5 — DIM array vs CCA-like baseline (no memory ops, no shifts; 64 slots)");
+    let mut t = TextTable::new(["benchmark", "DIM C#1 spec", "CCA-like"]);
+    for name in BENCHES {
+        let built = ((by_name(name).expect("known")).build)(scale);
+        let base = run_baseline(&built).expect("baseline").stats.cycles;
+        let dim = run_accelerated(&built, SystemConfig::new(ArrayShape::config1(), 64, true))
+            .expect("valid");
+        let mut cca = SystemConfig::new(ArrayShape::cca_like(), 64, false);
+        cca.support_shifts = false;
+        let cca = run_accelerated(&built, cca).expect("valid");
+        t.row([
+            name.to_string(),
+            ratio(base as f64 / dim.cycles as f64),
+            ratio(base as f64 / cca.cycles as f64),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // --- DIM vs an in-order dual-issue superscalar (the paper's §1 foil) ---
+    println!("Ablation 6 — DIM (C#1, 64 slots, spec) vs in-order 2-wide superscalar");
+    let mut t = TextTable::new(["benchmark", "superscalar 2w", "DIM C#1", "DIM C#3"]);
+    for name in BENCHES {
+        let built = ((by_name(name).expect("known")).build)(scale);
+        let mut machine = dim_mips_sim::Machine::load(&built.program);
+        let mut ss = dim_mips_sim::SuperscalarModel::new(dim_mips_sim::SuperscalarConfig::default());
+        machine
+            .run_with(built.max_steps, |i| ss.observe(i))
+            .expect("runs");
+        let base = machine.stats.cycles;
+        let ss_cycles = ss.finish();
+        let dim1 = run_accelerated(&built, SystemConfig::new(ArrayShape::config1(), 64, true))
+            .expect("valid");
+        let dim3 = run_accelerated(&built, SystemConfig::new(ArrayShape::config3(), 64, true))
+            .expect("valid");
+        t.row([
+            name.to_string(),
+            ratio(base as f64 / ss_cycles as f64),
+            ratio(base as f64 / dim1.cycles as f64),
+            ratio(base as f64 / dim3.cycles as f64),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // --- 6. branch predictor quality (bimodal vs gshare) ---
+    println!("Ablation 7 — speculation-gate predictor hit rate on real branch traces");
+    let mut t = TextTable::new(["benchmark", "bimodal", "gshare(12,8)"]);
+    for name in BENCHES {
+        let built = ((by_name(name).expect("known")).build)(scale);
+        let mut machine = dim_mips_sim::Machine::load(&built.program);
+        let mut trace: Vec<(u32, bool)> = Vec::new();
+        machine
+            .run_with(built.max_steps, |i| {
+                if let Some(taken) = i.taken {
+                    trace.push((i.pc, taken));
+                }
+            })
+            .expect("runs");
+        let bi = dim_core::measure_hit_rate(&mut dim_core::BimodalPredictor::new(), trace.iter().copied());
+        let gs = dim_core::measure_hit_rate(&mut dim_core::GsharePredictor::new(12, 8), trace.iter().copied());
+        t.row([
+            name.to_string(),
+            format!("{:.1}%", 100.0 * bi),
+            format!("{:.1}%", 100.0 * gs),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // --- cache replacement policy: FIFO (paper) vs LRU ---
+    println!("Ablation 8 — reconfiguration-cache replacement: FIFO (paper) vs LRU (16 slots, spec)");
+    let mut t = TextTable::new(["benchmark", "FIFO", "LRU"]);
+    for name in BENCHES {
+        let built = ((by_name(name).expect("known")).build)(scale);
+        let base = run_baseline(&built).expect("baseline").stats.cycles;
+        let mut cells = vec![name.to_string()];
+        for policy in [dim_core::ReplacementPolicy::Fifo, dim_core::ReplacementPolicy::Lru] {
+            let mut cfg = SystemConfig::new(ArrayShape::config2(), 16, true);
+            cfg.cache_policy = policy;
+            let run = run_accelerated(&built, cfg).expect("valid");
+            cells.push(ratio(base as f64 / run.cycles as f64));
+        }
+        t.row(cells);
+    }
+    println!("{}", t.render());
+
+    // --- 7. power gating ---
+    println!("Ablation 9 — total energy with and without power gating (C#3, 64 slots, spec)");
+    let mut t = TextTable::new(["benchmark", "ungated", "gated", "saving"]);
+    let model = PowerModel::default();
+    for name in BENCHES {
+        let built = ((by_name(name).expect("known")).build)(scale);
+        let shape = ArrayShape::config3();
+        let run = run_accelerated(&built, SystemConfig::new(shape, 64, true)).expect("valid");
+        let plain = energy_breakdown(&run.system.machine().stats, run.system.stats(), &model);
+        let gated = energy_breakdown_gated(
+            &run.system.machine().stats,
+            run.system.stats(),
+            &model,
+            shape.rows,
+        );
+        t.row([
+            name.to_string(),
+            format!("{:.0}", plain.total()),
+            format!("{:.0}", gated.total()),
+            format!("{:.1}%", 100.0 * (1.0 - gated.total() / plain.total())),
+        ]);
+    }
+    println!("{}", t.render());
+}

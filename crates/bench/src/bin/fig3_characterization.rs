@@ -1,0 +1,51 @@
+//! Figure 3 — benchmark characterization.
+//!
+//! (a) how many of the hottest basic blocks are needed to cover
+//!     20/40/60/80/99% of all executed instructions;
+//! (b) average instructions per branch (dynamic basic-block size).
+//!
+//! Usage: `fig3_characterization [tiny|small|full]` (default: full).
+
+use dim_bench::TextTable;
+use dim_mips_sim::{Machine, Profiler};
+use dim_workloads::{suite, Scale};
+
+fn scale_from_args() -> Scale {
+    match std::env::args().nth(1).as_deref() {
+        Some("tiny") => Scale::Tiny,
+        Some("small") => Scale::Small,
+        _ => Scale::Full,
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let fractions = [0.2, 0.4, 0.6, 0.8, 0.99];
+
+    let mut t3a = TextTable::new(["benchmark", "20%", "40%", "60%", "80%", "99%", "total BBs"]);
+    let mut t3b = TextTable::new(["benchmark", "instr/branch"]);
+
+    for spec in suite() {
+        let built = (spec.build)(scale);
+        let mut machine = Machine::load(&built.program);
+        let mut profiler = Profiler::new();
+        machine
+            .run_with(built.max_steps, |i| profiler.observe(i))
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        let profile = profiler.finish();
+        let curve = profile.coverage_curve(&fractions);
+        let mut row = vec![spec.name.to_string()];
+        row.extend(curve.iter().map(|(_, n)| n.to_string()));
+        row.push(profile.block_count().to_string());
+        t3a.row(row);
+        t3b.row([
+            spec.name.to_string(),
+            format!("{:.2}", profile.instructions_per_branch()),
+        ]);
+    }
+
+    println!("Figure 3a — basic blocks needed for a given execution coverage");
+    println!("{}", t3a.render());
+    println!("Figure 3b — average instructions per branch");
+    println!("{}", t3b.render());
+}

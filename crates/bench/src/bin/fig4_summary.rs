@@ -1,0 +1,53 @@
+//! Figure 4 — average speedup surface: one series per array
+//! configuration and speculation mode, across cache sizes (the summary
+//! view of Table 2).
+//!
+//! Usage: `fig4_summary [tiny|small|full]` (default: full).
+
+use dim_bench::{ratio, table2_row, TextTable, CACHE_SLOTS, SHAPES};
+use dim_workloads::{suite, Scale};
+
+fn scale_from_args() -> Scale {
+    match std::env::args().nth(1).as_deref() {
+        Some("tiny") => Scale::Tiny,
+        Some("small") => Scale::Small,
+        _ => Scale::Full,
+    }
+}
+
+#[allow(clippy::needless_range_loop)] // 3-D index math reads clearer here
+fn main() {
+    let scale = scale_from_args();
+    let mut sums = [[[0.0f64; 3]; 2]; 3];
+    let mut count = 0usize;
+    for spec in suite() {
+        let built = (spec.build)(scale);
+        let row = table2_row(&built).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        for si in 0..3 {
+            for pi in 0..2 {
+                for ci in 0..3 {
+                    sums[si][pi][ci] += row.speedups[si][pi][ci];
+                }
+            }
+        }
+        count += 1;
+        eprintln!("  finished {}", spec.name);
+    }
+
+    println!("Figure 4 — average speedup by configuration (rows) and cache slots (columns)");
+    let mut t = TextTable::new(["series", "16 slots", "64 slots", "256 slots"]);
+    for (si, (name, _)) in SHAPES.iter().enumerate() {
+        for (pi, mode) in ["no speculation", "speculation"].iter().enumerate() {
+            let cells: Vec<String> = std::iter::once(format!("C{name} {mode}"))
+                .chain(
+                    CACHE_SLOTS
+                        .iter()
+                        .enumerate()
+                        .map(|(ci, _)| ratio(sums[si][pi][ci] / count as f64)),
+                )
+                .collect();
+            t.row(cells);
+        }
+    }
+    println!("{}", t.render());
+}

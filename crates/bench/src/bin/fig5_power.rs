@@ -1,0 +1,66 @@
+//! Figure 5 — average power per cycle, broken down by subsystem (core,
+//! instruction memory, data memory, array + reconfiguration cache, BT
+//! hardware), for the most dataflow (Rijndael E.), most control
+//! (RawAudio D.) and middle-ground (JPEG E.) benchmarks, on
+//! configurations #1 and #3 with 64 cache slots, with and without
+//! speculation, next to the plain MIPS.
+//!
+//! Usage: `fig5_power [tiny|small|full]` (default: full).
+
+use dim_bench::{run_accelerated, run_baseline, TextTable};
+use dim_cgra::ArrayShape;
+use dim_core::{DimStats, SystemConfig};
+use dim_energy::{energy_breakdown, EnergyBreakdown, PowerModel};
+use dim_workloads::{by_name, Scale};
+
+fn scale_from_args() -> Scale {
+    match std::env::args().nth(1).as_deref() {
+        Some("tiny") => Scale::Tiny,
+        Some("small") => Scale::Small,
+        _ => Scale::Full,
+    }
+}
+
+const BENCHES: [&str; 3] = ["rijndael_enc", "rawaudio_dec", "jpeg_enc"];
+
+fn row_cells(label: String, e: &EnergyBreakdown) -> Vec<String> {
+    vec![
+        label,
+        format!("{:.1}", e.core),
+        format!("{:.1}", e.imem),
+        format!("{:.1}", e.dmem),
+        format!("{:.2}", e.array + e.rcache),
+        format!("{:.2}", e.bt),
+        format!("{:.1}", e.total()),
+    ]
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let model = PowerModel::default();
+
+    println!("Figure 5 — average power per cycle (abstract units), 64 cache slots");
+    let mut t = TextTable::new([
+        "run", "core", "imem", "dmem", "array+cache", "bt", "total",
+    ]);
+
+    for name in BENCHES {
+        let built = ((by_name(name).expect("known benchmark")).build)(scale);
+        let base = run_baseline(&built).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let e = energy_breakdown(&base.stats, &DimStats::default(), &model)
+            .average_power(base.stats.cycles);
+        t.row(row_cells(format!("{name} / MIPS only"), &e));
+
+        for (cfg_name, shape) in [("C#1", ArrayShape::config1()), ("C#3", ArrayShape::config3())] {
+            for spec in [false, true] {
+                let run = run_accelerated(&built, SystemConfig::new(shape, 64, spec))
+                    .unwrap_or_else(|e| panic!("{name}: {e}"));
+                let e = energy_breakdown(&run.system.machine().stats, run.system.stats(), &model)
+                    .average_power(run.cycles);
+                let mode = if spec { "spec" } else { "nospec" };
+                t.row(row_cells(format!("{name} / {cfg_name} {mode}"), &e));
+            }
+        }
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,108 @@
+//! Table 2 — speedup of the reconfigurable array coupled to the MIPS
+//! processor, for array configurations #1/#2/#3 (Table 1), with and
+//! without speculation, with 16/64/256 reconfiguration-cache slots, plus
+//! the ideal (infinite resources) columns.
+//!
+//! Usage: `table2_speedup [tiny|small|full] [--csv]` (default: full).
+//! With `--csv`, the speedup grid is emitted as comma-separated values
+//! (one header row), ready for plotting.
+
+use dim_bench::{ratio, table2_row, TextTable, CACHE_SLOTS, SHAPES};
+use dim_workloads::{suite, Scale};
+
+fn scale_from_args() -> Scale {
+    match std::env::args().nth(1).as_deref() {
+        Some("tiny") => Scale::Tiny,
+        Some("small") => Scale::Small,
+        _ => Scale::Full,
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let csv = std::env::args().any(|a| a == "--csv");
+
+    if !csv {
+        print_table1();
+    }
+    run_table2(scale, csv);
+}
+
+fn print_table1() {
+    println!("Table 1 — array configurations");
+    let mut t1 = TextTable::new(["", "C#1", "C#2", "C#3"]);
+    let shapes: Vec<_> = SHAPES.iter().map(|(_, f)| f()).collect();
+    t1.row(
+        std::iter::once("#rows".to_string())
+            .chain(shapes.iter().map(|s| s.rows.to_string())),
+    );
+    t1.row(
+        std::iter::once("#columns".to_string())
+            .chain(shapes.iter().map(|s| s.columns().to_string())),
+    );
+    t1.row(
+        std::iter::once("#ALU / row".to_string())
+            .chain(shapes.iter().map(|s| s.alus_per_row.to_string())),
+    );
+    t1.row(
+        std::iter::once("#mult / row".to_string())
+            .chain(shapes.iter().map(|s| s.mults_per_row.to_string())),
+    );
+    t1.row(
+        std::iter::once("#ld/st / row".to_string())
+            .chain(shapes.iter().map(|s| s.ldsts_per_row.to_string())),
+    );
+    println!("{}", t1.render());
+}
+
+fn run_table2(scale: Scale, csv: bool) {
+    if !csv {
+        println!("Table 2 — speedup over the standalone MIPS (columns: cache slots)");
+    }
+    let mut header = vec!["benchmark".to_string()];
+    for (name, _) in SHAPES {
+        for spec in ["nospec", "spec"] {
+            for slots in CACHE_SLOTS {
+                header.push(format!("{name}/{spec}/{slots}"));
+            }
+        }
+    }
+    header.push("ideal/nospec".into());
+    header.push("ideal/spec".into());
+    let mut t2 = TextTable::new(header);
+
+    let mut sums = vec![0.0f64; 3 * 2 * 3 + 2];
+    let mut count = 0usize;
+    for spec in suite() {
+        let built = (spec.build)(scale);
+        let row = table2_row(&built).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        let mut cells = vec![row.name.to_string()];
+        let mut flat = Vec::new();
+        for si in 0..3 {
+            for pi in 0..2 {
+                for ci in 0..3 {
+                    flat.push(row.speedups[si][pi][ci]);
+                }
+            }
+        }
+        flat.push(row.ideal_no_spec);
+        flat.push(row.ideal_spec);
+        for (i, v) in flat.iter().enumerate() {
+            sums[i] += v;
+            cells.push(ratio(*v));
+        }
+        count += 1;
+        t2.row(cells);
+        eprintln!("  finished {}", row.name);
+    }
+    let mut avg = vec!["average".to_string()];
+    for s in &sums {
+        avg.push(ratio(s / count as f64));
+    }
+    t2.row(avg);
+    if csv {
+        println!("{}", t2.to_csv());
+    } else {
+        println!("{}", t2.render());
+    }
+}

@@ -1,0 +1,73 @@
+//! Table 3 — area evaluation:
+//! (a) functional units, multiplexers and DIM hardware in gates for
+//!     configuration #1;
+//! (b) bits to store one configuration in the reconfiguration cache;
+//! (c) bytes for caches of 2..256 slots.
+//!
+//! Usage: `table3_area` (no benchmark runs — the model is analytic).
+
+use dim_bench::TextTable;
+use dim_cgra::{cache_bytes, encoding_breakdown, ArrayShape, EncodingParams};
+use dim_energy::{area_report, GateCosts};
+
+fn main() {
+    let shape = ArrayShape::config1();
+    let costs = GateCosts::default();
+    let report = area_report(&shape, &costs);
+
+    println!("Table 3a — area of configuration #1 (gates)");
+    let mut t = TextTable::new(["unit", "#", "gates"]);
+    t.row([
+        "ALU".to_string(),
+        report.units.alus.to_string(),
+        report.alu_gates.to_string(),
+    ]);
+    t.row([
+        "LD/ST".to_string(),
+        report.units.ldsts.to_string(),
+        report.ldst_gates.to_string(),
+    ]);
+    t.row([
+        "Multiplier".to_string(),
+        report.units.mults.to_string(),
+        report.mult_gates.to_string(),
+    ]);
+    t.row([
+        "Input mux".to_string(),
+        report.units.input_muxes.to_string(),
+        report.input_mux_gates.to_string(),
+    ]);
+    t.row([
+        "Output mux".to_string(),
+        report.units.output_muxes.to_string(),
+        report.output_mux_gates.to_string(),
+    ]);
+    t.row(["DIM hardware".to_string(), "1".to_string(), report.dim_gates.to_string()]);
+    t.row(["Total".to_string(), String::new(), report.total_gates().to_string()]);
+    println!("{}", t.render());
+    println!(
+        "≈ {} transistors (paper: ~2.66M, vs 2.4M for a MIPS R10000 core)\n",
+        report.total_transistors(&costs)
+    );
+
+    println!("Table 3b — bits per stored configuration (configuration #1)");
+    let params = EncodingParams::default();
+    let bits = encoding_breakdown(&shape, &params);
+    let mut t = TextTable::new(["table", "#bits"]);
+    t.row(["Write bitmap (detection only)".to_string(), bits.write_bitmap_bits.to_string()]);
+    t.row(["Resource table".to_string(), bits.resource_bits.to_string()]);
+    t.row(["Reads table".to_string(), bits.reads_bits.to_string()]);
+    t.row(["Writes table".to_string(), bits.writes_bits.to_string()]);
+    t.row(["Context start".to_string(), bits.context_start_bits.to_string()]);
+    t.row(["Context current".to_string(), bits.context_current_bits.to_string()]);
+    t.row(["Immediate table".to_string(), bits.immediate_bits.to_string()]);
+    t.row(["Total stored".to_string(), bits.stored_bits().to_string()]);
+    println!("{}", t.render());
+
+    println!("Table 3c — reconfiguration cache size");
+    let mut t = TextTable::new(["#slots", "#bytes"]);
+    for slots in [2usize, 4, 8, 16, 32, 64, 128, 256] {
+        t.row([slots.to_string(), cache_bytes(&shape, &params, slots).to_string()]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,31 @@
+//! # dim-bench
+//!
+//! Experiment harness for the DIM reproduction: shared runners
+//! ([`run_baseline`], [`run_accelerated`], [`table2_row`]) plus the
+//! binaries that regenerate every table and figure of the paper
+//! (`fig3_characterization`, `table2_speedup`, `fig4_summary`,
+//! `fig5_power`, `fig6_energy`, `table3_area`).
+//!
+//! ```
+//! use dim_bench::{run_accelerated, run_baseline, speedup};
+//! use dim_core::SystemConfig;
+//! use dim_cgra::ArrayShape;
+//! use dim_workloads::{by_name, Scale};
+//!
+//! let built = (by_name("crc32").expect("exists").build)(Scale::Tiny);
+//! let base = run_baseline(&built)?;
+//! let accel = run_accelerated(&built, SystemConfig::new(ArrayShape::config1(), 64, true))?;
+//! assert!(speedup(base.stats.cycles, accel.cycles) > 1.0);
+//! # Ok::<(), dim_workloads::WorkloadError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod report;
+mod runner;
+
+pub use report::{percent, ratio, TextTable};
+pub use runner::{
+    run_accelerated, run_baseline, speedup, table2_row, AcceleratedRun, Table2Row, CACHE_SLOTS,
+    SHAPES,
+};

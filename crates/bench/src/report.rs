@@ -1,0 +1,137 @@
+//! Plain-text table/series rendering for the experiment binaries.
+
+/// A simple fixed-width text table builder.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> TextTable {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (padded/truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                // Left-align the first column, right-align the rest.
+                if i == 0 {
+                    line.push_str(&format!("{:<width$}", c, width = widths[i]));
+                } else {
+                    line.push_str(&format!("{:>width$}", c, width = widths[i]));
+                }
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+impl TextTable {
+    /// Renders the table as CSV (quoting cells that contain commas).
+    pub fn to_csv(&self) -> String {
+        let quote = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let mut out = String::new();
+        let mut push_row = |cells: &[String]| {
+            let row: Vec<String> = cells.iter().map(|c| quote(c)).collect();
+            out.push_str(&row.join(","));
+            out.push('\n');
+        };
+        push_row(&self.header);
+        for r in &self.rows {
+            push_row(r);
+        }
+        out
+    }
+}
+
+/// Formats a ratio like the paper's tables (two decimals).
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a percentage.
+pub fn percent(v: f64) -> String {
+    format!("{:.1}%", 100.0 * v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(["name", "x"]);
+        t.row(["abc", "1.00"]);
+        t.row(["d", "10.25"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].ends_with(" 1.00"));
+        assert!(lines[3].ends_with("10.25"));
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.row(["only"]);
+        assert!(t.render().contains("only"));
+    }
+
+    #[test]
+    fn csv_output_quotes_when_needed() {
+        let mut t = TextTable::new(["name", "x"]);
+        t.row(["a,b", "1"]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "name,x\n\"a,b\",1\n");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ratio(2.5), "2.50");
+        assert_eq!(percent(0.123), "12.3%");
+    }
+}

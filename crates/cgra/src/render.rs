@@ -1,0 +1,124 @@
+//! ASCII rendering of a configuration's occupancy on the array — for the
+//! `inspect_translation` example, the `dim accel --dump-configs` CLI flag
+//! and debugging sessions.
+
+use crate::Configuration;
+use dim_mips::FuClass;
+use std::fmt::Write as _;
+
+/// Renders the configuration as a row-by-row occupancy grid.
+///
+/// Each row prints its ALU, multiplier and LD/ST groups; occupied slots
+/// show a class letter (`a`/`m`/`l`, with the speculation depth for
+/// depth > 0), free slots show `·`. Rows are truncated after the last
+/// occupied one.
+///
+/// ```
+/// use dim_cgra::{render_occupancy, ArrayShape, Configuration};
+/// use dim_mips::{AluOp, Instruction, Reg};
+/// let mut c = Configuration::new(0, ArrayShape::config1());
+/// let add = Instruction::Alu { op: AluOp::Addu, rd: Reg::T0, rs: Reg::A0, rt: Reg::A1 };
+/// c.place(0, add, 0, 0)?;
+/// let grid = render_occupancy(&c);
+/// assert!(grid.contains("row  0"));
+/// assert!(grid.contains('a'));
+/// # Ok::<(), dim_cgra::PlaceError>(())
+/// ```
+pub fn render_occupancy(config: &Configuration) -> String {
+    let shape = *config.shape();
+    let rows = config.rows_used();
+    // Cap the per-group width so an "infinite" shape stays printable.
+    let cap = |n: usize| n.min(16);
+    let alus = cap(shape.alus_per_row);
+    let mults = cap(shape.mults_per_row);
+    let ldsts = cap(shape.ldsts_per_row);
+
+    let mut grid: Vec<(Vec<char>, Vec<char>, Vec<char>)> = (0..rows)
+        .map(|_| (vec!['·'; alus], vec!['·'; mults], vec!['·'; ldsts]))
+        .collect();
+    for op in config.ops() {
+        let row = &mut grid[op.row as usize];
+        let (cells, letter) = match op.class {
+            FuClass::Alu => (&mut row.0, 'a'),
+            FuClass::Branch => (&mut row.0, 'b'),
+            FuClass::Multiplier => (&mut row.1, 'm'),
+            FuClass::LoadStore => (&mut row.2, 'l'),
+            FuClass::Unsupported => continue,
+        };
+        let col = op.col as usize;
+        if col < cells.len() {
+            cells[col] = if op.depth == 0 {
+                letter
+            } else {
+                // Show the speculation depth for speculative ops.
+                char::from_digit(op.depth as u32, 10).unwrap_or('?')
+            };
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "configuration @ {:#010x}: {} ops over {} rows ({} live-ins, {} write-backs)",
+        config.entry_pc,
+        config.instruction_count(),
+        rows,
+        config.live_in_count(),
+        config.writeback_count(),
+    );
+    for (r, (a, m, l)) in grid.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  row {r:>2}  alu[{}]  mul[{}]  mem[{}]",
+            a.iter().collect::<String>(),
+            m.iter().collect::<String>(),
+            l.iter().collect::<String>(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ArrayShape;
+    use dim_mips::{AluOp, Instruction, MemWidth, Reg};
+
+    fn add(rd: Reg, rs: Reg) -> Instruction {
+        Instruction::Alu { op: AluOp::Addu, rd, rs, rt: Reg::A1 }
+    }
+
+    #[test]
+    fn renders_mixed_rows_with_depths() {
+        let mut c = Configuration::new(0x400000, ArrayShape::config1());
+        c.place(0x400000, add(Reg::T0, Reg::A0), 0, 0).unwrap();
+        c.place(
+            0x400004,
+            Instruction::Load {
+                width: MemWidth::Word,
+                signed: false,
+                rt: Reg::T1,
+                base: Reg::T0,
+                offset: 0,
+            },
+            0,
+            1,
+        )
+        .unwrap();
+        c.place(0x400008, add(Reg::T2, Reg::T1), 1, 2).unwrap();
+        let s = render_occupancy(&c);
+        assert!(s.contains("row  0  alu[a·······]"));
+        assert!(s.contains("mem[l·]"), "{s}");
+        assert!(s.contains("alu[1·······]"), "depth digit expected: {s}");
+        assert_eq!(s.lines().count(), 4); // header + 3 rows
+    }
+
+    #[test]
+    fn infinite_shape_stays_printable() {
+        let mut c = Configuration::new(0, ArrayShape::infinite());
+        c.place(0, add(Reg::T0, Reg::A0), 0, 0).unwrap();
+        let s = render_occupancy(&c);
+        assert!(s.lines().count() <= 2 + 1);
+        assert!(s.len() < 400);
+    }
+}

@@ -1,0 +1,204 @@
+//! Array geometry: the paper's Table 1 configurations.
+
+use dim_mips::FuClass;
+
+/// Geometry of the coarse-grained reconfigurable array.
+///
+/// A configuration is laid out as `rows` rows ("lines" in the paper);
+/// each row provides `alus_per_row` ALU/shifter units, `mults_per_row`
+/// multipliers and `ldsts_per_row` load/store units (the LD/ST group is
+/// sized by the number of memory ports). Two instructions without data
+/// dependences may occupy the same row and execute in parallel.
+///
+/// ```
+/// use dim_cgra::ArrayShape;
+/// let c1 = ArrayShape::config1();
+/// assert_eq!((c1.rows, c1.columns()), (24, 11));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrayShape {
+    /// Number of rows (levels) in the array.
+    pub rows: usize,
+    /// ALU/shifter units available per row.
+    pub alus_per_row: usize,
+    /// Multipliers available per row.
+    pub mults_per_row: usize,
+    /// Load/store units per row (bounded by memory ports).
+    pub ldsts_per_row: usize,
+    /// Register-file read ports used while fetching the input context.
+    pub rf_read_ports: usize,
+    /// Register-file write ports used for result write-back.
+    pub rf_write_ports: usize,
+}
+
+/// Physical unit counts used for area accounting.
+///
+/// Multipliers and LD/ST units are shared between neighbouring rows in the
+/// physical design (a multiply or memory row takes a full cycle while three
+/// ALU rows fit in one, so one physical unit serves a group of rows); only
+/// the ALUs are fully replicated. This reproduces Table 3a's counts for
+/// configuration #1 (192 ALUs, 6 multipliers, 36 LD/ST units).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UnitCounts {
+    /// ALU units.
+    pub alus: usize,
+    /// Multiplier units.
+    pub mults: usize,
+    /// Load/store units.
+    pub ldsts: usize,
+    /// Input (operand-select) multiplexers.
+    pub input_muxes: usize,
+    /// Output (bus-line) multiplexers.
+    pub output_muxes: usize,
+}
+
+impl ArrayShape {
+    /// Paper configuration #1: 24 rows × (8 ALU + 1 mult + 2 LD/ST).
+    pub fn config1() -> ArrayShape {
+        ArrayShape {
+            rows: 24,
+            alus_per_row: 8,
+            mults_per_row: 1,
+            ldsts_per_row: 2,
+            rf_read_ports: 4,
+            rf_write_ports: 4,
+        }
+    }
+
+    /// Paper configuration #2: 48 rows × (8 ALU + 2 mult + 6 LD/ST).
+    pub fn config2() -> ArrayShape {
+        ArrayShape {
+            rows: 48,
+            alus_per_row: 8,
+            mults_per_row: 2,
+            ldsts_per_row: 6,
+            rf_read_ports: 4,
+            rf_write_ports: 4,
+        }
+    }
+
+    /// Paper configuration #3: 150 rows × (12 ALU + 2 mult + 6 LD/ST).
+    pub fn config3() -> ArrayShape {
+        ArrayShape {
+            rows: 150,
+            alus_per_row: 12,
+            mults_per_row: 2,
+            ldsts_per_row: 6,
+            rf_read_ports: 4,
+            rf_write_ports: 4,
+        }
+    }
+
+    /// A CCA-like array (paper §2.2's comparison point): a small
+    /// ALU-only grid with no multipliers and no memory ports. Combine
+    /// with `support_shifts = false` in the translator options to model
+    /// the full restriction ("the CCA does not support memory operations
+    /// or shifts").
+    pub fn cca_like() -> ArrayShape {
+        ArrayShape {
+            rows: 7,
+            alus_per_row: 6,
+            mults_per_row: 0,
+            ldsts_per_row: 0,
+            rf_read_ports: 4,
+            rf_write_ports: 4,
+        }
+    }
+
+    /// Unbounded array for the paper's "ideal, infinite hardware
+    /// resources" column.
+    pub fn infinite() -> ArrayShape {
+        ArrayShape {
+            rows: usize::MAX / 4,
+            alus_per_row: usize::MAX / 4,
+            mults_per_row: usize::MAX / 4,
+            ldsts_per_row: usize::MAX / 4,
+            rf_read_ports: 4,
+            rf_write_ports: 4,
+        }
+    }
+
+    /// Functional units per row ("columns" in Table 1).
+    pub fn columns(&self) -> usize {
+        self.alus_per_row + self.mults_per_row + self.ldsts_per_row
+    }
+
+    /// Units of `class` available in one row. Branches occupy an ALU
+    /// comparator; unsupported classes have no units.
+    pub fn units_per_row(&self, class: FuClass) -> usize {
+        match class {
+            FuClass::Alu | FuClass::Branch => self.alus_per_row,
+            FuClass::Multiplier => self.mults_per_row,
+            FuClass::LoadStore => self.ldsts_per_row,
+            FuClass::Unsupported => 0,
+        }
+    }
+
+    /// Whether this shape has no practical resource bound.
+    pub fn is_infinite(&self) -> bool {
+        self.rows >= usize::MAX / 8
+    }
+
+    /// Physical unit counts for area accounting (see [`UnitCounts`]).
+    pub fn physical_units(&self) -> UnitCounts {
+        if self.is_infinite() {
+            return UnitCounts::default();
+        }
+        // One multiplier row group per three ALU sub-rows plus the mult row
+        // itself: every fourth row carries the multipliers, the others the
+        // LD/ST ports. Matches Table 3a for configuration #1.
+        let mult_rows = (self.rows / 4).max(1);
+        let ldst_rows = self.rows - mult_rows;
+        let alus = self.rows * self.alus_per_row;
+        let mults = mult_rows * self.mults_per_row;
+        let ldsts = ldst_rows * self.ldsts_per_row;
+        UnitCounts {
+            alus,
+            mults,
+            ldsts,
+            // Two operand muxes per ALU/multiplier, one (address) per LD/ST.
+            input_muxes: 2 * alus + 2 * mults + ldsts,
+            // One output mux per bus line and row, plus a spare per row.
+            output_muxes: self.rows * (crate::EncodingParams::default().bus_lines + 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_columns() {
+        assert_eq!(ArrayShape::config1().columns(), 11);
+        assert_eq!(ArrayShape::config2().columns(), 16);
+        assert_eq!(ArrayShape::config3().columns(), 20);
+    }
+
+    #[test]
+    fn table3a_unit_counts_config1() {
+        let u = ArrayShape::config1().physical_units();
+        assert_eq!(u.alus, 192);
+        assert_eq!(u.mults, 6);
+        assert_eq!(u.ldsts, 36);
+        // Input muxes ≈ 408 in the paper; our structural count is close.
+        assert!((380..=460).contains(&u.input_muxes), "{}", u.input_muxes);
+        assert_eq!(u.output_muxes, 216);
+    }
+
+    #[test]
+    fn units_per_row_by_class() {
+        let s = ArrayShape::config1();
+        assert_eq!(s.units_per_row(FuClass::Alu), 8);
+        assert_eq!(s.units_per_row(FuClass::Branch), 8);
+        assert_eq!(s.units_per_row(FuClass::Multiplier), 1);
+        assert_eq!(s.units_per_row(FuClass::LoadStore), 2);
+        assert_eq!(s.units_per_row(FuClass::Unsupported), 0);
+    }
+
+    #[test]
+    fn infinite_is_detected() {
+        assert!(ArrayShape::infinite().is_infinite());
+        assert!(!ArrayShape::config3().is_infinite());
+    }
+}

@@ -1,0 +1,96 @@
+//! Array timing model.
+//!
+//! Each row of a configuration is one dataflow level. Simple ALU levels
+//! are fast enough that several fit in one processor-equivalent cycle
+//! (paper §4.1: "depending on the delay of each functional unit, more
+//! than one operation can be executed within one processor equivalent
+//! cycle"); multiplies and memory rows take whole cycles.
+
+/// Per-row-kind delays, expressed against the processor clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayTiming {
+    /// How many consecutive ALU-only rows execute per processor cycle.
+    pub alu_rows_per_cycle: u64,
+    /// Processor cycles for a row containing a multiply.
+    pub mult_cycles: u64,
+    /// Processor cycles for a row containing memory accesses (cache hit).
+    pub ldst_cycles: u64,
+    /// Cycles to read the configuration bits out of the reconfiguration
+    /// cache (overlapped with operand fetch).
+    pub config_read_cycles: u64,
+    /// Pipeline stages available to hide reconfiguration (paper §4.3:
+    /// the array starts executing in the fourth stage, so three cycles
+    /// of reconfiguration are free).
+    pub hidden_reconfig_cycles: u64,
+    /// Flush penalty charged when a speculative configuration exits early
+    /// because a branch went the other way.
+    pub misspeculation_penalty: u64,
+}
+
+impl Default for ArrayTiming {
+    fn default() -> Self {
+        ArrayTiming {
+            alu_rows_per_cycle: 3,
+            mult_cycles: 2,
+            ldst_cycles: 1,
+            config_read_cycles: 1,
+            hidden_reconfig_cycles: 3,
+            misspeculation_penalty: 2,
+        }
+    }
+}
+
+/// The dominating unit kind of one row, for delay purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RowKind {
+    /// Row holds only ALU/shift/compare operations.
+    Alu,
+    /// Row holds at least one multiply (and no memory op).
+    Mult,
+    /// Row holds at least one memory access.
+    LoadStore,
+}
+
+impl ArrayTiming {
+    /// Delay of one row in thirds of a cycle (integer arithmetic; an ALU
+    /// row contributes `3 / alu_rows_per_cycle` thirds).
+    pub fn row_thirds(&self, kind: RowKind) -> u64 {
+        match kind {
+            RowKind::Alu => (3 / self.alu_rows_per_cycle).max(1),
+            RowKind::Mult => 3 * self.mult_cycles,
+            RowKind::LoadStore => 3 * self.ldst_cycles,
+        }
+    }
+
+    /// Converts accumulated thirds into whole cycles (rounding up).
+    pub fn thirds_to_cycles(&self, thirds: u64) -> u64 {
+        thirds.div_ceil(3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_alu_rows_per_cycle() {
+        let t = ArrayTiming::default();
+        let thirds: u64 = (0..6).map(|_| t.row_thirds(RowKind::Alu)).sum();
+        assert_eq!(t.thirds_to_cycles(thirds), 2);
+        // Rounds up.
+        assert_eq!(t.thirds_to_cycles(t.row_thirds(RowKind::Alu)), 1);
+    }
+
+    #[test]
+    fn mult_and_mem_rows_full_cycles() {
+        let t = ArrayTiming::default();
+        assert_eq!(t.thirds_to_cycles(t.row_thirds(RowKind::Mult)), 2);
+        assert_eq!(t.thirds_to_cycles(t.row_thirds(RowKind::LoadStore)), 1);
+    }
+
+    #[test]
+    fn slower_alu_setting() {
+        let t = ArrayTiming { alu_rows_per_cycle: 1, ..ArrayTiming::default() };
+        assert_eq!(t.row_thirds(RowKind::Alu), 3);
+    }
+}

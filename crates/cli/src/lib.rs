@@ -1,0 +1,498 @@
+//! # dim-cli
+//!
+//! Library backing the `dim` command-line tool: assemble, disassemble,
+//! run and transparently accelerate MIPS programs from the shell.
+//!
+//! ```
+//! let mut out = Vec::new();
+//! dim_cli::dispatch(&["help".into()], &mut out)?;
+//! assert!(String::from_utf8(out)?.contains("usage"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod debugger;
+
+pub use debugger::debug_session;
+
+use dim_cgra::ArrayShape;
+use dim_core::{System, SystemConfig};
+use dim_mips::asm::{assemble, Program};
+use dim_mips::{disassemble_labeled, image};
+use dim_mips_sim::{HaltReason, Machine, Profiler};
+use std::fmt;
+use std::io::Write;
+use std::path::Path;
+
+/// CLI failure: carries the message shown to the user.
+#[derive(Debug)]
+pub struct CliError(String);
+
+impl CliError {
+    fn new(msg: impl Into<String>) -> CliError {
+        CliError(msg.into())
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+const USAGE: &str = "\
+usage: dim <command> [options]
+
+commands:
+  asm    <in.s> [-o <out.dimg>]      assemble to a program image
+  disasm <file>                      disassemble an image or source file
+  run    <file> [--max-steps N] [--profile] [--caches]
+                                     run on the plain MIPS simulator
+  accel  <file> [--config 1|2|3|ideal] [--slots N] [--no-spec] [--compare]
+                [--dump-configs] [--trace]
+                                     run with the DIM accelerator attached
+  compare <file>                     cycles on scalar / 2-wide superscalar /
+                                     DIM configs #1..#3 side by side
+  suite  [--scale tiny|small|full]   run + validate the MiBench-like suite
+  debug  <file> [--script <cmds>]    scriptable debugger (stdin by default)
+  help                               show this text
+
+<file> may be assembly source (.s) or a `dim asm` image (.dimg).
+";
+
+/// Loads a program from either assembly source or an image file,
+/// deciding by content (image magic) rather than extension.
+fn load_program(path: &str) -> Result<Program, CliError> {
+    let bytes = std::fs::read(Path::new(path))
+        .map_err(|e| CliError::new(format!("{path}: {e}")))?;
+    if bytes.starts_with(b"DIM1") {
+        return image::load(&bytes).map_err(|e| CliError::new(format!("{path}: {e}")));
+    }
+    let src = String::from_utf8(bytes)
+        .map_err(|_| CliError::new(format!("{path}: not UTF-8 assembly source")))?;
+    assemble(&src).map_err(|e| CliError::new(format!("{path}:{e}")))
+}
+
+fn parse_flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, CliError> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .map(|s| s.as_str())
+            .map(Some)
+            .ok_or_else(|| CliError::new(format!("{flag} requires a value"))),
+    }
+}
+
+fn attach_caches(machine: &mut Machine) {
+    use dim_mips_sim::{CacheConfig, CacheSim};
+    machine.icache = Some(CacheSim::new(CacheConfig::icache_4k()));
+    machine.dcache = Some(CacheSim::new(CacheConfig::dcache_4k()));
+}
+
+fn report_halt(out: &mut impl Write, halt: HaltReason) -> Result<(), CliError> {
+    match halt {
+        HaltReason::Exit(code) => writeln!(out, "program exited (code {code})")?,
+        HaltReason::StepLimit => writeln!(out, "step limit reached before the program halted")?,
+    }
+    Ok(())
+}
+
+fn cmd_asm(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    let input = args.first().ok_or_else(|| CliError::new("asm: missing input file"))?;
+    let program = load_program(input)?;
+    let default_out = format!(
+        "{}.dimg",
+        input.strip_suffix(".s").unwrap_or(input.as_str())
+    );
+    let output = parse_flag_value(args, "-o")?.unwrap_or(&default_out);
+    std::fs::write(output, image::save(&program))?;
+    writeln!(
+        out,
+        "{}: {} instructions, {} data bytes -> {}",
+        input,
+        program.text.len(),
+        program.data.len(),
+        output
+    )?;
+    Ok(())
+}
+
+fn cmd_disasm(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    let input = args.first().ok_or_else(|| CliError::new("disasm: missing input file"))?;
+    let program = load_program(input)?;
+    write!(out, "{}", disassemble_labeled(program.text_base, &program.text))?;
+    Ok(())
+}
+
+fn cmd_run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    let input = args.first().ok_or_else(|| CliError::new("run: missing input file"))?;
+    let program = load_program(input)?;
+    let max_steps: u64 = parse_flag_value(args, "--max-steps")?
+        .map(|v| v.parse().map_err(|_| CliError::new("--max-steps: not a number")))
+        .transpose()?
+        .unwrap_or(100_000_000);
+    let mut machine = Machine::load(&program);
+    if args.iter().any(|a| a == "--caches") {
+        attach_caches(&mut machine);
+    }
+    let halt = if args.iter().any(|a| a == "--profile") {
+        let mut profiler = Profiler::new();
+        let halt = machine
+            .run_with(max_steps, |i| profiler.observe(i))
+            .map_err(|e| CliError::new(e.to_string()))?;
+        let profile = profiler.finish();
+        writeln!(out, "basic blocks: {}", profile.block_count())?;
+        writeln!(out, "instructions/branch: {:.2}", profile.instructions_per_branch())?;
+        for (frac, n) in profile.coverage_curve(&[0.5, 0.9, 0.99]) {
+            writeln!(out, "blocks for {:.0}% coverage: {n}", frac * 100.0)?;
+        }
+        halt
+    } else {
+        machine.run(max_steps).map_err(|e| CliError::new(e.to_string()))?
+    };
+    if !machine.output.is_empty() {
+        writeln!(out, "--- program output ---")?;
+        out.write_all(&machine.output)?;
+        writeln!(out, "\n----------------------")?;
+    }
+    writeln!(
+        out,
+        "{} instructions, {} cycles (IPC {:.2})",
+        machine.stats.instructions,
+        machine.stats.cycles,
+        machine.stats.ipc()
+    )?;
+    if let Some(d) = &machine.dcache {
+        writeln!(out, "dcache miss rate: {:.2}%", 100.0 * d.stats().miss_rate())?;
+    }
+    report_halt(out, halt)
+}
+
+fn cmd_accel(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    let input = args.first().ok_or_else(|| CliError::new("accel: missing input file"))?;
+    let program = load_program(input)?;
+    let shape = match parse_flag_value(args, "--config")?.unwrap_or("1") {
+        "1" => ArrayShape::config1(),
+        "2" => ArrayShape::config2(),
+        "3" => ArrayShape::config3(),
+        "ideal" => ArrayShape::infinite(),
+        other => return Err(CliError::new(format!("--config: unknown `{other}`"))),
+    };
+    let slots: usize = parse_flag_value(args, "--slots")?
+        .map(|v| v.parse().map_err(|_| CliError::new("--slots: not a number")))
+        .transpose()?
+        .unwrap_or(64);
+    let speculation = !args.iter().any(|a| a == "--no-spec");
+    let max_steps: u64 = parse_flag_value(args, "--max-steps")?
+        .map(|v| v.parse().map_err(|_| CliError::new("--max-steps: not a number")))
+        .transpose()?
+        .unwrap_or(100_000_000);
+
+    let mut system = System::new(
+        Machine::load(&program),
+        SystemConfig::new(shape, slots, speculation),
+    );
+    if args.iter().any(|a| a == "--trace") {
+        system.enable_trace(64);
+    }
+    let halt = system.run(max_steps).map_err(|e| CliError::new(e.to_string()))?;
+    if !system.machine().output.is_empty() {
+        writeln!(out, "--- program output ---")?;
+        out.write_all(&system.machine().output)?;
+        writeln!(out, "\n----------------------")?;
+    }
+    writeln!(out, "{}", system.report())?;
+    if let Some(trace) = system.trace() {
+        writeln!(out, "--- last array invocations ---")?;
+        write!(out, "{trace}")?;
+    }
+    if args.iter().any(|a| a == "--dump-configs") {
+        for config in system.cache().iter() {
+            write!(out, "{}", dim_cgra::render_occupancy(config))?;
+        }
+    }
+    if args.iter().any(|a| a == "--compare") {
+        let mut baseline = Machine::load(&program);
+        baseline.run(max_steps).map_err(|e| CliError::new(e.to_string()))?;
+        writeln!(
+            out,
+            "baseline {} cycles -> speedup {:.2}x",
+            baseline.stats.cycles,
+            baseline.stats.cycles as f64 / system.total_cycles().max(1) as f64
+        )?;
+    }
+    report_halt(out, halt)
+}
+
+fn cmd_suite(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    use dim_workloads::{run_baseline, suite, Scale};
+    let scale = match parse_flag_value(args, "--scale")?.unwrap_or("small") {
+        "tiny" => Scale::Tiny,
+        "small" => Scale::Small,
+        "full" => Scale::Full,
+        other => return Err(CliError::new(format!("--scale: unknown `{other}`"))),
+    };
+    for spec in suite() {
+        let built = (spec.build)(scale);
+        let machine =
+            run_baseline(&built).map_err(|e| CliError::new(format!("{}: {e}", spec.name)))?;
+        let mut sys = System::new(
+            Machine::load(&built.program),
+            SystemConfig::new(ArrayShape::config2(), 64, true),
+        );
+        sys.run(built.max_steps).map_err(|e| CliError::new(e.to_string()))?;
+        dim_workloads::validate(sys.machine(), &built)
+            .map_err(|e| CliError::new(format!("{} (accelerated): {e}", spec.name)))?;
+        writeln!(
+            out,
+            "{:16} [{}] ok: {:>9} cycles baseline, {:>9} accelerated ({:.2}x)",
+            spec.name,
+            spec.category,
+            machine.stats.cycles,
+            sys.total_cycles(),
+            machine.stats.cycles as f64 / sys.total_cycles().max(1) as f64,
+        )?;
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    use dim_mips_sim::{SuperscalarConfig, SuperscalarModel};
+    let input = args.first().ok_or_else(|| CliError::new("compare: missing input file"))?;
+    let program = load_program(input)?;
+    let max_steps: u64 = parse_flag_value(args, "--max-steps")?
+        .map(|v| v.parse().map_err(|_| CliError::new("--max-steps: not a number")))
+        .transpose()?
+        .unwrap_or(100_000_000);
+
+    let mut machine = Machine::load(&program);
+    let mut ss = SuperscalarModel::new(SuperscalarConfig::default());
+    machine
+        .run_with(max_steps, |i| ss.observe(i))
+        .map_err(|e| CliError::new(e.to_string()))?;
+    let scalar = machine.stats.cycles;
+    let superscalar = ss.finish();
+    writeln!(out, "{:<24} {:>12} {:>9}", "organization", "cycles", "speedup")?;
+    writeln!(out, "{:<24} {:>12} {:>9}", "scalar MIPS", scalar, "1.00")?;
+    writeln!(
+        out,
+        "{:<24} {:>12} {:>9.2}",
+        "2-wide superscalar",
+        superscalar,
+        scalar as f64 / superscalar.max(1) as f64
+    )?;
+    for (name, shape) in [
+        ("DIM config #1", ArrayShape::config1()),
+        ("DIM config #2", ArrayShape::config2()),
+        ("DIM config #3", ArrayShape::config3()),
+    ] {
+        let mut sys = System::new(
+            Machine::load(&program),
+            SystemConfig::new(shape, 64, true),
+        );
+        sys.run(max_steps).map_err(|e| CliError::new(e.to_string()))?;
+        writeln!(
+            out,
+            "{:<24} {:>12} {:>9.2}",
+            name,
+            sys.total_cycles(),
+            scalar as f64 / sys.total_cycles().max(1) as f64
+        )?;
+    }
+    Ok(())
+}
+
+fn cmd_debug(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    let input = args.first().ok_or_else(|| CliError::new("debug: missing input file"))?;
+    let program = load_program(input)?;
+    match parse_flag_value(args, "--script")? {
+        Some(path) => {
+            let file = std::fs::File::open(path)
+                .map_err(|e| CliError::new(format!("{path}: {e}")))?;
+            debugger::debug_session(&program, std::io::BufReader::new(file), out)
+        }
+        None => {
+            let stdin = std::io::stdin();
+            debugger::debug_session(&program, stdin.lock(), out)
+        }
+    }
+}
+
+/// Runs one CLI invocation. `args` excludes the binary name.
+///
+/// # Errors
+///
+/// [`CliError`] with the user-facing message.
+pub fn dispatch(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    match args.first().map(String::as_str) {
+        Some("asm") => cmd_asm(&args[1..], out),
+        Some("disasm") => cmd_disasm(&args[1..], out),
+        Some("run") => cmd_run(&args[1..], out),
+        Some("accel") => cmd_accel(&args[1..], out),
+        Some("suite") => cmd_suite(&args[1..], out),
+        Some("debug") => cmd_debug(&args[1..], out),
+        Some("compare") => cmd_compare(&args[1..], out),
+        Some("help") | None => {
+            write!(out, "{USAGE}")?;
+            Ok(())
+        }
+        Some(other) => Err(CliError::new(format!("unknown command `{other}`\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_file(name: &str, contents: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("dim-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    const PROGRAM: &str = "
+        main: li $s0, 40
+              li $v0, 0
+        loop: addu $v0, $v0, $s0
+              xor  $t0, $v0, $s0
+              addu $v0, $v0, $t0
+              addiu $s0, $s0, -1
+              bnez $s0, loop
+              li  $a0, 1
+              li  $v0, 11
+              syscall
+              break 0";
+
+    fn run_cli(args: &[&str]) -> Result<String, CliError> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        dispatch(&args, &mut out)?;
+        Ok(String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run_cli(&["help"]).unwrap().contains("usage"));
+        assert!(run_cli(&[]).unwrap().contains("usage"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run_cli(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn asm_then_disasm_then_run_image() {
+        let src = tmp_file("t1.s", PROGRAM);
+        let img = std::env::temp_dir().join("dim-cli-tests/t1.dimg");
+        let out = run_cli(&["asm", src.to_str().unwrap(), "-o", img.to_str().unwrap()]).unwrap();
+        assert!(out.contains("instructions"));
+
+        let listing = run_cli(&["disasm", img.to_str().unwrap()]).unwrap();
+        assert!(listing.contains("addu $v0, $v0, $s0"));
+
+        let report = run_cli(&["run", img.to_str().unwrap()]).unwrap();
+        assert!(report.contains("cycles"));
+        assert!(report.contains("exited"));
+    }
+
+    #[test]
+    fn run_with_profile_and_caches() {
+        let src = tmp_file("t2.s", PROGRAM);
+        let report =
+            run_cli(&["run", src.to_str().unwrap(), "--profile", "--caches"]).unwrap();
+        assert!(report.contains("instructions/branch"));
+        assert!(report.contains("dcache miss rate"));
+    }
+
+    #[test]
+    fn accel_compare_reports_speedup() {
+        let src = tmp_file("t3.s", PROGRAM);
+        let report = run_cli(&[
+            "accel",
+            src.to_str().unwrap(),
+            "--config",
+            "2",
+            "--slots",
+            "16",
+            "--compare",
+        ])
+        .unwrap();
+        assert!(report.contains("speedup"));
+        assert!(report.contains("configurations:"));
+    }
+
+    #[test]
+    fn accel_dump_configs_prints_grids() {
+        let src = tmp_file("t5.s", PROGRAM);
+        let report = run_cli(&["accel", src.to_str().unwrap(), "--dump-configs"]).unwrap();
+        assert!(report.contains("row  0"), "{report}");
+    }
+
+    #[test]
+    fn accel_trace_prints_invocations() {
+        let src = tmp_file("t7.s", PROGRAM);
+        let report = run_cli(&["accel", src.to_str().unwrap(), "--trace"]).unwrap();
+        assert!(report.contains("last array invocations"), "{report}");
+        assert!(report.contains("array @ 0x"), "{report}");
+    }
+
+    #[test]
+    fn accel_rejects_bad_config() {
+        let src = tmp_file("t4.s", PROGRAM);
+        assert!(run_cli(&["accel", src.to_str().unwrap(), "--config", "9"]).is_err());
+    }
+
+    #[test]
+    fn debug_with_script_file() {
+        let src = tmp_file("t6.s", PROGRAM);
+        let script = tmp_file("t6.dbg", "step 3
+regs
+quit
+");
+        let report = run_cli(&[
+            "debug",
+            src.to_str().unwrap(),
+            "--script",
+            script.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(report.contains("debugging:"), "{report}");
+        assert!(report.contains("$zero"), "{report}");
+    }
+
+    #[test]
+    fn compare_lists_all_organizations() {
+        let src = tmp_file("t8.s", PROGRAM);
+        let report = run_cli(&["compare", src.to_str().unwrap()]).unwrap();
+        assert!(report.contains("scalar MIPS"), "{report}");
+        assert!(report.contains("2-wide superscalar"), "{report}");
+        assert!(report.contains("DIM config #3"), "{report}");
+    }
+
+    #[test]
+    fn suite_tiny_validates_everything() {
+        let report = run_cli(&["suite", "--scale", "tiny"]).unwrap();
+        assert_eq!(report.lines().count(), 18);
+        assert!(report.contains("crc32"));
+        assert!(report.contains("rijndael_enc"));
+    }
+
+    #[test]
+    fn missing_file_reported() {
+        let err = run_cli(&["run", "/nonexistent/x.s"]).unwrap_err();
+        assert!(err.to_string().contains("/nonexistent/x.s"));
+    }
+}

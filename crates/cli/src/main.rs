@@ -1,0 +1,11 @@
+//! The `dim` command-line tool. See `dim help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if let Err(e) = dim_cli::dispatch(&args, &mut out) {
+        eprintln!("dim: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,100 @@
+//! End-to-end tests driving the actual compiled `dim` binary through a
+//! shell-equivalent interface (argument parsing, exit codes, stdout).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn dim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dim"))
+}
+
+fn tmp(name: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("dim-bin-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, contents).expect("write temp file");
+    path
+}
+
+const PROGRAM: &str = "
+    main: li $s0, 25
+          li $v0, 0
+    loop: addu $v0, $v0, $s0
+          xor  $t0, $v0, $s0
+          addu $v0, $v0, $t0
+          addiu $s0, $s0, -1
+          bnez $s0, loop
+          break 0";
+
+#[test]
+fn help_exits_zero() {
+    let out = dim().arg("help").output().expect("spawns");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage"));
+}
+
+#[test]
+fn unknown_command_exits_nonzero_with_stderr() {
+    let out = dim().arg("explode").output().expect("spawns");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn asm_run_accel_pipeline() {
+    let src = tmp("p1.s", PROGRAM);
+    let img = std::env::temp_dir().join("dim-bin-tests/p1.dimg");
+
+    let out = dim()
+        .args(["asm", src.to_str().unwrap(), "-o", img.to_str().unwrap()])
+        .output()
+        .expect("spawns");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(img.exists());
+
+    let out = dim().args(["run", img.to_str().unwrap()]).output().expect("spawns");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("cycles"), "{text}");
+
+    let out = dim()
+        .args(["accel", img.to_str().unwrap(), "--config", "2", "--compare"])
+        .output()
+        .expect("spawns");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("speedup"), "{text}");
+}
+
+#[test]
+fn assembly_error_is_reported_with_line() {
+    let src = tmp("bad.s", "main: nop\n frobnicate $t0\n");
+    let out = dim().args(["run", src.to_str().unwrap()]).output().expect("spawns");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("line 2"), "{err}");
+    assert!(err.contains("unknown mnemonic"), "{err}");
+}
+
+#[test]
+fn debug_reads_stdin() {
+    use std::io::Write as _;
+    use std::process::Stdio;
+    let src = tmp("p2.s", PROGRAM);
+    let mut child = dim()
+        .args(["debug", src.to_str().unwrap()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(b"step 2\nregs\nquit\n")
+        .expect("writes script");
+    let out = child.wait_with_output().expect("waits");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("$s0"), "{text}");
+}

@@ -1,0 +1,47 @@
+//! # dim-core
+//!
+//! Dynamic Instruction Merging (DIM): a hardware binary-translation
+//! engine that transparently maps sequences of MIPS instructions onto a
+//! coarse-grained reconfigurable array at run time — the primary
+//! contribution of *Beck et al., "Transparent Reconfigurable Acceleration
+//! for Heterogeneous Embedded Applications", DATE 2008*.
+//!
+//! The crate provides the paper's §4 machinery:
+//!
+//! * [`DependenceTable`] — the per-row RAW-dependence bitmaps driving
+//!   operation allocation;
+//! * [`Translator`] — the detection/translation state machine that turns
+//!   the retiring instruction stream into array
+//!   [`Configuration`](dim_cgra::Configuration)s;
+//! * [`BimodalPredictor`] — 2-bit counters gating speculation across
+//!   basic blocks (a [`GsharePredictor`] is provided for ablations);
+//! * [`ReconfCache`] — the PC-indexed FIFO reconfiguration cache;
+//! * [`System`] — the coupled MIPS + DIM + array simulator with full
+//!   cycle and event accounting.
+//!
+//! The cardinal invariant, enforced by differential and property tests:
+//! for any program and any accelerator setting, the final architectural
+//! state equals a plain processor run — acceleration only changes cycle
+//! counts.
+
+#![warn(missing_docs)]
+
+mod gshare;
+mod predictor;
+mod rcache;
+mod report;
+mod stats;
+mod system;
+mod tables;
+mod trace;
+mod translator;
+
+pub use gshare::{measure_hit_rate, GsharePredictor, SpeculationPredictor};
+pub use predictor::{BimodalPredictor, Counter};
+pub use rcache::{ReconfCache, ReplacementPolicy};
+pub use report::RunReport;
+pub use stats::DimStats;
+pub use system::{System, SystemConfig};
+pub use tables::{live_in_sources, DependenceTable};
+pub use trace::{Trace, TraceEvent};
+pub use translator::{Translator, TranslatorOptions};

@@ -1,0 +1,131 @@
+//! Bimodal branch prediction driving the speculation policy.
+//!
+//! The paper's speculative policy "is based on bimodal branch
+//! prediction": a 2-bit saturating counter per branch. A basic block is
+//! only speculated over once its branch counter saturates; a
+//! configuration is flushed when the counter reaches the opposite
+//! saturation point.
+
+use std::collections::HashMap;
+
+/// A 2-bit saturating counter state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Counter {
+    /// 0 — saturated not-taken.
+    StrongNotTaken,
+    /// 1.
+    WeakNotTaken,
+    /// 2.
+    WeakTaken,
+    /// 3 — saturated taken.
+    StrongTaken,
+}
+
+impl Counter {
+    fn update(self, taken: bool) -> Counter {
+        use Counter::*;
+        match (self, taken) {
+            (StrongNotTaken, true) => WeakNotTaken,
+            (WeakNotTaken, true) => WeakTaken,
+            (WeakTaken, true) => StrongTaken,
+            (StrongTaken, true) => StrongTaken,
+            (StrongNotTaken, false) => StrongNotTaken,
+            (WeakNotTaken, false) => StrongNotTaken,
+            (WeakTaken, false) => WeakNotTaken,
+            (StrongTaken, false) => WeakTaken,
+        }
+    }
+
+    /// `Some(direction)` when the counter is saturated.
+    pub fn saturated(self) -> Option<bool> {
+        match self {
+            Counter::StrongTaken => Some(true),
+            Counter::StrongNotTaken => Some(false),
+            _ => None,
+        }
+    }
+}
+
+/// Table of per-branch 2-bit counters, keyed by branch PC.
+///
+/// Counters start at [`Counter::WeakNotTaken`], so a branch must go the
+/// same way at least twice before the translator speculates across it.
+#[derive(Debug, Clone, Default)]
+pub struct BimodalPredictor {
+    counters: HashMap<u32, Counter>,
+}
+
+impl BimodalPredictor {
+    /// Creates an empty predictor.
+    pub fn new() -> BimodalPredictor {
+        BimodalPredictor::default()
+    }
+
+    /// Current counter for a branch.
+    pub fn counter(&self, pc: u32) -> Counter {
+        self.counters
+            .get(&pc)
+            .copied()
+            .unwrap_or(Counter::WeakNotTaken)
+    }
+
+    /// Records one executed outcome.
+    pub fn update(&mut self, pc: u32, taken: bool) {
+        let c = self.counter(pc).update(taken);
+        self.counters.insert(pc, c);
+    }
+
+    /// `Some(direction)` when the branch is saturated and safe to
+    /// speculate over.
+    pub fn saturated_direction(&self, pc: u32) -> Option<bool> {
+        self.counter(pc).saturated()
+    }
+
+    /// Number of branches tracked.
+    pub fn tracked_branches(&self) -> usize {
+        self.counters.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturates_after_two_takens() {
+        let mut p = BimodalPredictor::new();
+        assert_eq!(p.saturated_direction(8), None);
+        p.update(8, true);
+        assert_eq!(p.saturated_direction(8), None);
+        p.update(8, true);
+        assert_eq!(p.saturated_direction(8), Some(true));
+        // Stays saturated.
+        p.update(8, true);
+        assert_eq!(p.counter(8), Counter::StrongTaken);
+    }
+
+    #[test]
+    fn opposite_saturation_takes_hysteresis() {
+        let mut p = BimodalPredictor::new();
+        for _ in 0..5 {
+            p.update(8, true);
+        }
+        p.update(8, false);
+        assert_eq!(p.saturated_direction(8), None); // WeakTaken
+        p.update(8, false);
+        assert_eq!(p.saturated_direction(8), None); // WeakNotTaken
+        p.update(8, false);
+        assert_eq!(p.saturated_direction(8), Some(false));
+    }
+
+    #[test]
+    fn branches_are_independent() {
+        let mut p = BimodalPredictor::new();
+        p.update(8, true);
+        p.update(8, true);
+        p.update(12, false);
+        assert_eq!(p.saturated_direction(8), Some(true));
+        assert_eq!(p.saturated_direction(12), Some(false));
+        assert_eq!(p.tracked_branches(), 2);
+    }
+}

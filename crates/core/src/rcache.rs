@@ -1,0 +1,248 @@
+//! The reconfiguration cache: PC-indexed FIFO store of translated
+//! configurations (paper §3: "this configuration is saved in a special
+//! cache, and indexed by the program counter").
+
+use dim_cgra::Configuration;
+use std::collections::{HashMap, VecDeque};
+
+/// Replacement policy of the reconfiguration cache. The paper's cache is
+/// FIFO ("a new entry in the cache (based on FIFO) is created"); LRU is
+/// provided for the ablation study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplacementPolicy {
+    /// Evict the oldest-inserted entry (the paper's policy).
+    #[default]
+    Fifo,
+    /// Evict the least-recently *executed* entry.
+    Lru,
+}
+
+/// The configuration cache (FIFO by default, per the paper).
+///
+/// The slot count is the headline capacity parameter swept in Table 2
+/// (16 / 64 / 256 slots).
+#[derive(Debug, Clone)]
+pub struct ReconfCache {
+    slots: usize,
+    policy: ReplacementPolicy,
+    entries: HashMap<u32, Configuration>,
+    order: VecDeque<u32>,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+    flushes: u64,
+}
+
+impl ReconfCache {
+    /// Creates a FIFO cache with `slots` entries (0 disables caching
+    /// entirely).
+    pub fn new(slots: usize) -> ReconfCache {
+        ReconfCache::with_policy(slots, ReplacementPolicy::Fifo)
+    }
+
+    /// Creates a cache with an explicit replacement policy.
+    pub fn with_policy(slots: usize, policy: ReplacementPolicy) -> ReconfCache {
+        ReconfCache {
+            slots,
+            policy,
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+            insertions: 0,
+            evictions: 0,
+            flushes: 0,
+        }
+    }
+
+    /// Capacity in slots.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Current number of stored configurations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no configurations.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up the configuration for `pc`, counting a hit or miss.
+    /// Under LRU, a hit refreshes the entry's recency.
+    pub fn lookup(&mut self, pc: u32) -> Option<&Configuration> {
+        match self.entries.get(&pc) {
+            Some(c) => {
+                self.hits += 1;
+                if self.policy == ReplacementPolicy::Lru {
+                    self.order.retain(|&p| p != pc);
+                    self.order.push_back(pc);
+                }
+                Some(c)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peeks without touching the statistics.
+    pub fn peek(&self, pc: u32) -> Option<&Configuration> {
+        self.entries.get(&pc)
+    }
+
+    /// Inserts a configuration (keyed by its entry PC), evicting the
+    /// oldest entry when full. Re-inserting an existing PC replaces the
+    /// configuration without changing its FIFO position.
+    pub fn insert(&mut self, config: Configuration) {
+        if self.slots == 0 {
+            return;
+        }
+        let pc = config.entry_pc;
+        self.insertions += 1;
+        if self.entries.insert(pc, config).is_some() {
+            return;
+        }
+        self.order.push_back(pc);
+        while self.entries.len() > self.slots {
+            // Skip stale order entries left by flushes.
+            if let Some(old) = self.order.pop_front() {
+                if self.entries.remove(&old).is_some() {
+                    self.evictions += 1;
+                }
+            }
+        }
+    }
+
+    /// Removes the configuration for `pc` (misspeculation flush).
+    pub fn flush(&mut self, pc: u32) {
+        if self.entries.remove(&pc).is_some() {
+            self.flushes += 1;
+            self.order.retain(|&p| p != pc);
+        }
+    }
+
+    /// `(hits, misses)` lookup counters.
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Configurations inserted over the run.
+    pub fn insertions(&self) -> u64 {
+        self.insertions
+    }
+
+    /// Capacity evictions over the run.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Misspeculation flushes over the run.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Iterates over the stored configurations in FIFO (insertion) order.
+    pub fn iter(&self) -> impl Iterator<Item = &Configuration> + '_ {
+        self.order.iter().filter_map(|pc| self.entries.get(pc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dim_cgra::ArrayShape;
+    use dim_mips::{AluOp, Instruction, Reg};
+
+    fn config_at(pc: u32) -> Configuration {
+        let mut c = Configuration::new(pc, ArrayShape::config1());
+        let add = Instruction::Alu { op: AluOp::Addu, rd: Reg::T0, rs: Reg::A0, rt: Reg::A1 };
+        c.place(pc, add, 0, 0).unwrap();
+        c
+    }
+
+    #[test]
+    fn fifo_eviction_order() {
+        let mut cache = ReconfCache::new(2);
+        cache.insert(config_at(0x100));
+        cache.insert(config_at(0x200));
+        cache.insert(config_at(0x300)); // evicts 0x100
+        assert!(cache.peek(0x100).is_none());
+        assert!(cache.peek(0x200).is_some());
+        assert!(cache.peek(0x300).is_some());
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_keeps_position() {
+        let mut cache = ReconfCache::new(2);
+        cache.insert(config_at(0x100));
+        cache.insert(config_at(0x200));
+        cache.insert(config_at(0x100)); // replace, no eviction
+        assert_eq!(cache.len(), 2);
+        cache.insert(config_at(0x300)); // still evicts 0x100 (oldest)
+        assert!(cache.peek(0x100).is_none());
+    }
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let mut cache = ReconfCache::new(4);
+        cache.insert(config_at(0x100));
+        assert!(cache.lookup(0x100).is_some());
+        assert!(cache.lookup(0x999).is_none());
+        assert_eq!(cache.hit_miss(), (1, 1));
+    }
+
+    #[test]
+    fn flush_removes_and_counts() {
+        let mut cache = ReconfCache::new(4);
+        cache.insert(config_at(0x100));
+        cache.flush(0x100);
+        assert!(cache.peek(0x100).is_none());
+        assert_eq!(cache.flushes(), 1);
+        // Flushing an absent entry is a no-op.
+        cache.flush(0x100);
+        assert_eq!(cache.flushes(), 1);
+    }
+
+    #[test]
+    fn zero_slots_disables_caching() {
+        let mut cache = ReconfCache::new(0);
+        cache.insert(config_at(0x100));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn lru_refreshes_on_hit_fifo_does_not() {
+        // Insert A, B; touch A; insert C. LRU evicts B, FIFO evicts A.
+        let mut lru = ReconfCache::with_policy(2, ReplacementPolicy::Lru);
+        lru.insert(config_at(0x100));
+        lru.insert(config_at(0x200));
+        assert!(lru.lookup(0x100).is_some());
+        lru.insert(config_at(0x300));
+        assert!(lru.peek(0x100).is_some());
+        assert!(lru.peek(0x200).is_none());
+
+        let mut fifo = ReconfCache::new(2);
+        fifo.insert(config_at(0x100));
+        fifo.insert(config_at(0x200));
+        assert!(fifo.lookup(0x100).is_some());
+        fifo.insert(config_at(0x300));
+        assert!(fifo.peek(0x100).is_none());
+        assert!(fifo.peek(0x200).is_some());
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut cache = ReconfCache::new(3);
+        for i in 0..50 {
+            cache.insert(config_at(0x100 + 4 * i));
+            assert!(cache.len() <= 3);
+        }
+    }
+}

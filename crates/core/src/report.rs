@@ -1,0 +1,135 @@
+//! Human-readable run reports: a compact summary of what the accelerator
+//! did, shared by the CLI and the examples.
+
+use crate::System;
+use std::fmt;
+
+/// A formatted summary of one accelerated run. Obtained from
+/// [`System::report`]; render with `Display`.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    total_instructions: u64,
+    total_cycles: u64,
+    proc_instructions: u64,
+    proc_cycles: u64,
+    array_instructions: u64,
+    array_cycles: u64,
+    array_invocations: u64,
+    configs_built: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    evictions: u64,
+    misspeculations: u64,
+    flushes: u64,
+    mean_rows: f64,
+    coverage: f64,
+}
+
+impl System {
+    /// Summarizes the run so far.
+    pub fn report(&self) -> RunReport {
+        let stats = self.stats();
+        let (hits, misses) = self.cache().hit_miss();
+        let total_instructions = self.total_instructions();
+        RunReport {
+            total_instructions,
+            total_cycles: self.total_cycles(),
+            proc_instructions: self.machine().stats.instructions,
+            proc_cycles: self.machine().stats.cycles,
+            array_instructions: stats.array_instructions,
+            array_cycles: stats.total_array_cycles(),
+            array_invocations: stats.array_invocations,
+            configs_built: stats.configs_built,
+            cache_hits: hits,
+            cache_misses: misses,
+            evictions: self.cache().evictions(),
+            misspeculations: stats.misspeculations,
+            flushes: stats.config_flushes,
+            mean_rows: stats.mean_occupied_rows(),
+            coverage: if total_instructions == 0 {
+                0.0
+            } else {
+                stats.array_instructions as f64 / total_instructions as f64
+            },
+        }
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "retired {} instructions in {} cycles (IPC {:.2})",
+            self.total_instructions,
+            self.total_cycles,
+            self.total_instructions as f64 / self.total_cycles.max(1) as f64,
+        )?;
+        writeln!(
+            f,
+            "  pipeline: {:>10} instructions, {:>10} cycles",
+            self.proc_instructions, self.proc_cycles
+        )?;
+        writeln!(
+            f,
+            "  array:    {:>10} instructions, {:>10} cycles ({:.1}% coverage)",
+            self.array_instructions,
+            self.array_cycles,
+            100.0 * self.coverage
+        )?;
+        writeln!(
+            f,
+            "  configurations: {} built, {} invocations ({} hits / {} misses, {} evictions), {:.1} rows avg",
+            self.configs_built,
+            self.array_invocations,
+            self.cache_hits,
+            self.cache_misses,
+            self.evictions,
+            self.mean_rows,
+        )?;
+        write!(
+            f,
+            "  speculation: {} misspeculations, {} configuration flushes",
+            self.misspeculations, self.flushes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SystemConfig;
+    use dim_cgra::ArrayShape;
+    use dim_mips::asm::assemble;
+    use dim_mips_sim::Machine;
+
+    #[test]
+    fn report_renders_consistent_numbers() {
+        let program = assemble(
+            "main: li $t0, 100
+             loop: addu $v0, $v0, $t0
+                   xor  $t1, $v0, $t0
+                   addu $v0, $v0, $t1
+                   addiu $t0, $t0, -1
+                   bnez $t0, loop
+                   break 0",
+        )
+        .unwrap();
+        let mut sys = System::new(
+            Machine::load(&program),
+            SystemConfig::new(ArrayShape::config1(), 16, true),
+        );
+        sys.run(1_000_000).unwrap();
+        let report = sys.report();
+        let text = report.to_string();
+        assert!(text.contains("retired"), "{text}");
+        assert!(text.contains("coverage"), "{text}");
+        assert!(text.contains("configurations:"), "{text}");
+        // Consistency: parts sum to the whole.
+        assert_eq!(
+            report.total_instructions,
+            report.proc_instructions + report.array_instructions
+        );
+        assert_eq!(report.total_cycles, report.proc_cycles + report.array_cycles);
+        assert!(report.coverage > 0.5, "hot loop should mostly run on the array");
+    }
+}

@@ -1,0 +1,89 @@
+//! Accelerator-side event counters.
+
+/// Events attributed to the DIM engine, the reconfiguration cache and the
+/// array, accumulated by [`System`](crate::System). Together with the
+/// processor-side [`RunStats`](dim_mips_sim::RunStats) these drive the
+/// speedup (Table 2) and energy (Figures 5-6) results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DimStats {
+    /// Times a cached configuration was executed on the array.
+    pub array_invocations: u64,
+    /// Instructions retired through array execution instead of the
+    /// pipeline.
+    pub array_instructions: u64,
+    /// Array execution cycles (row traversal).
+    pub array_exec_cycles: u64,
+    /// Reconfiguration stall cycles visible to the processor.
+    pub reconfig_stall_cycles: u64,
+    /// Write-back cycles not overlapped with execution.
+    pub writeback_tail_cycles: u64,
+    /// Data-memory loads issued by array LD/ST units.
+    pub array_loads: u64,
+    /// Data-memory stores issued by array LD/ST units.
+    pub array_stores: u64,
+    /// Array invocations whose every speculated branch was correct.
+    pub full_hits: u64,
+    /// Speculated branches that went the wrong way during array execution.
+    pub misspeculations: u64,
+    /// Configurations flushed from the cache after repeated
+    /// misspeculation.
+    pub config_flushes: u64,
+    /// Configurations built and inserted into the cache.
+    pub configs_built: u64,
+    /// Instructions examined by the detection hardware.
+    pub translated_instructions: u64,
+    /// Bits read from the reconfiguration cache (energy account).
+    pub cache_bits_read: u64,
+    /// Bits written to the reconfiguration cache (energy account).
+    pub cache_bits_written: u64,
+    /// Sum over invocations of the rows each executed configuration
+    /// occupied — drives the power-gating model (unused rows switched
+    /// off, the paper's announced future work).
+    pub array_occupied_rows: u64,
+}
+
+impl DimStats {
+    /// Zeroed counters.
+    pub fn new() -> DimStats {
+        DimStats::default()
+    }
+
+    /// All cycles attributable to array execution (stalls + rows +
+    /// write-back tails).
+    pub fn total_array_cycles(&self) -> u64 {
+        self.array_exec_cycles + self.reconfig_stall_cycles + self.writeback_tail_cycles
+    }
+
+    /// Array data-memory accesses.
+    pub fn array_mem_accesses(&self) -> u64 {
+        self.array_loads + self.array_stores
+    }
+
+    /// Average rows occupied per invocation (0 when the array never ran).
+    pub fn mean_occupied_rows(&self) -> f64 {
+        if self.array_invocations == 0 {
+            0.0
+        } else {
+            self.array_occupied_rows as f64 / self.array_invocations as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_compose() {
+        let s = DimStats {
+            array_exec_cycles: 10,
+            reconfig_stall_cycles: 2,
+            writeback_tail_cycles: 1,
+            array_loads: 3,
+            array_stores: 4,
+            ..DimStats::new()
+        };
+        assert_eq!(s.total_array_cycles(), 13);
+        assert_eq!(s.array_mem_accesses(), 7);
+    }
+}

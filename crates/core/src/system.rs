@@ -1,0 +1,607 @@
+//! The coupled system: MIPS core + DIM detection + reconfigurable array.
+//!
+//! The run loop mirrors Figure 1 of the paper. Before each fetch the PC
+//! probes the reconfiguration cache. On a hit, the stored configuration
+//! is loaded (stalling only if operand fetch exceeds the three hidden
+//! pipeline stages), executed on the array — including speculative
+//! segments gated by their branches — and the PC moved past the covered
+//! region. On a miss, the instruction executes normally on the pipeline
+//! while the DIM hardware translates it in parallel.
+
+use crate::{
+    BimodalPredictor, DimStats, ReconfCache, ReplacementPolicy, Trace, TraceEvent, Translator,
+    TranslatorOptions,
+};
+use dim_cgra::{ArrayShape, ArrayTiming, Configuration, EncodingParams};
+use dim_mips::Instruction;
+use dim_mips_sim::{HaltReason, Machine, SimError};
+use std::collections::HashMap;
+
+/// All accelerator parameters for one experiment point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemConfig {
+    /// Array geometry (Table 1).
+    pub shape: ArrayShape,
+    /// Array timing model.
+    pub timing: ArrayTiming,
+    /// Reconfiguration cache capacity in slots (Table 2 sweeps 16/64/256).
+    pub cache_slots: usize,
+    /// Cache replacement policy (FIFO per the paper; LRU for ablations).
+    pub cache_policy: ReplacementPolicy,
+    /// Whether branches may be speculated over.
+    pub speculation: bool,
+    /// Maximum basic blocks merged per configuration.
+    pub max_spec_blocks: u8,
+    /// A configuration accumulating this many misspeculations (without an
+    /// intervening fully-correct run) is flushed even if the branch
+    /// counter never saturates the other way — bounding the damage of
+    /// periodically alternating branches.
+    pub misspec_flush_threshold: u32,
+    /// Whether the array's ALUs include shifters (false models the
+    /// CCA-like baseline of paper §2.2).
+    pub support_shifts: bool,
+    /// Debug mode: additionally execute every invoked configuration
+    /// *from its placement* (`dim_cgra::execute_dataflow`) on a copy of
+    /// the architectural state and panic on any divergence from the
+    /// replay result. Slow; for tests and bring-up.
+    pub cross_check: bool,
+    /// Encoding constants (cache bit accounting).
+    pub encoding: EncodingParams,
+}
+
+impl SystemConfig {
+    /// A full-featured setup for the given shape and cache size.
+    pub fn new(shape: ArrayShape, cache_slots: usize, speculation: bool) -> SystemConfig {
+        SystemConfig {
+            shape,
+            timing: ArrayTiming::default(),
+            cache_slots,
+            cache_policy: ReplacementPolicy::Fifo,
+            speculation,
+            max_spec_blocks: 3,
+            misspec_flush_threshold: 8,
+            support_shifts: true,
+            cross_check: false,
+            encoding: EncodingParams::default(),
+        }
+    }
+}
+
+/// The MIPS+DIM+array system simulator.
+///
+/// ```
+/// use dim_core::{System, SystemConfig};
+/// use dim_cgra::ArrayShape;
+/// use dim_mips::asm::assemble;
+/// use dim_mips_sim::Machine;
+///
+/// let program = assemble("
+///     main: li $t0, 200
+///           li $v0, 0
+///     loop: addu $v0, $v0, $t0
+///           xor  $t1, $v0, $t0
+///           addu $v0, $v0, $t1
+///           addiu $t0, $t0, -1
+///           bnez $t0, loop
+///           break 0
+/// ")?;
+/// let config = SystemConfig::new(ArrayShape::config1(), 64, true);
+/// let mut accelerated = System::new(Machine::load(&program), config);
+/// accelerated.run(1_000_000)?;
+///
+/// let mut baseline = Machine::load(&program);
+/// baseline.run(1_000_000)?;
+/// // Same architectural result, fewer cycles.
+/// assert_eq!(accelerated.machine().cpu.reg(dim_mips::Reg::V0),
+///            baseline.cpu.reg(dim_mips::Reg::V0));
+/// assert!(accelerated.total_cycles() < baseline.stats.cycles);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct System {
+    machine: Machine,
+    config: SystemConfig,
+    cache: ReconfCache,
+    translator: Translator,
+    predictor: BimodalPredictor,
+    stats: DimStats,
+    stored_bits_per_config: u64,
+    misspec_counts: HashMap<u32, u32>,
+    trace: Option<Trace>,
+}
+
+impl System {
+    /// Couples a loaded machine with a DIM accelerator.
+    pub fn new(machine: Machine, config: SystemConfig) -> System {
+        let opts = TranslatorOptions {
+            shape: config.shape,
+            speculation: config.speculation,
+            max_spec_blocks: config.max_spec_blocks,
+            support_shifts: config.support_shifts,
+        };
+        let stored_bits = if config.shape.is_infinite() {
+            0
+        } else {
+            dim_cgra::encoding_breakdown(&config.shape, &config.encoding).stored_bits() as u64
+        };
+        System {
+            machine,
+            config,
+            cache: ReconfCache::with_policy(config.cache_slots, config.cache_policy),
+            translator: Translator::new(opts),
+            predictor: BimodalPredictor::new(),
+            stats: DimStats::new(),
+            stored_bits_per_config: stored_bits,
+            misspec_counts: HashMap::new(),
+            trace: None,
+        }
+    }
+
+    /// Enables invocation tracing, retaining the last `capacity` array
+    /// invocations (see [`Trace`]).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// The underlying machine (CPU, memory, processor-side statistics).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable access to the underlying machine.
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Accelerator-side statistics.
+    pub fn stats(&self) -> &DimStats {
+        &self.stats
+    }
+
+    /// The reconfiguration cache.
+    pub fn cache(&self) -> &ReconfCache {
+        &self.cache
+    }
+
+    /// The experiment parameters.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Total cycles: processor cycles plus all array-attributed cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.machine.stats.cycles + self.stats.total_array_cycles()
+    }
+
+    /// Total retired instructions (pipeline + array).
+    pub fn total_instructions(&self) -> u64 {
+        self.machine.stats.instructions + self.stats.array_instructions
+    }
+
+    /// Runs until the program halts or `max_instructions` have retired.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`] from either the pipeline or the
+    /// array's memory accesses.
+    pub fn run(&mut self, max_instructions: u64) -> Result<HaltReason, SimError> {
+        let mut retired: u64 = 0;
+        while retired < max_instructions {
+            if let Some(reason) = self.machine.halted() {
+                return Ok(reason);
+            }
+            let pc = self.machine.cpu.pc;
+            let hit = self.cache.lookup(pc).cloned();
+            if let Some(config) = hit {
+                // A cache hit interrupts any in-flight detection region.
+                // (The inserted partial may even evict the entry we are
+                // about to execute, which is why it was cloned first.)
+                if let Some(partial) = self.translator.take_partial(pc) {
+                    self.insert_config(partial);
+                }
+                retired += config.instruction_count() as u64;
+                self.execute_config(&config)?;
+            } else {
+                let info = self.machine.step()?;
+                retired += 1;
+                if let Some(taken) = info.taken {
+                    self.predictor.update(info.pc, taken);
+                }
+                if let Some(done) = self.translator.observe(&info, &self.predictor) {
+                    self.insert_config(done);
+                }
+            }
+        }
+        Ok(self.machine.halted().unwrap_or(HaltReason::StepLimit))
+    }
+
+    fn insert_config(&mut self, config: Configuration) {
+        self.stats.configs_built += 1;
+        self.stats.cache_bits_written += self.stored_bits_per_config;
+        self.cache.insert(config);
+    }
+
+    /// Snapshots the state the dataflow cross-check needs.
+    fn entry_context(&self) -> dim_cgra::EntryContext {
+        let mut regs = [0u32; 32];
+        for r in dim_mips::Reg::all() {
+            regs[r.index()] = self.machine.cpu.reg(r);
+        }
+        dim_cgra::EntryContext {
+            regs,
+            hi: self.machine.cpu.hi,
+            lo: self.machine.cpu.lo,
+        }
+    }
+
+    /// Debug cross-check: dataflow-executes `config` from the captured
+    /// entry state and compares against the replayed (now current)
+    /// architectural state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any divergence — that is the point.
+    fn cross_check(&self, config: &Configuration, mut entry: dim_cgra::EntryContext) {
+        struct Bus<'m> {
+            mem: &'m dim_mips_sim::Memory,
+            writes: std::collections::HashMap<u32, u8>,
+        }
+        impl dim_cgra::ExecMemory for Bus<'_> {
+            fn read_u8(&self, addr: u32) -> u8 {
+                *self.writes.get(&addr).unwrap_or(&self.mem.read_u8(addr))
+            }
+            fn write_u8(&mut self, addr: u32, value: u8) {
+                self.writes.insert(addr, value);
+            }
+        }
+        // Replay already ran, so memory holds post-state; the dataflow
+        // pass reads the same bytes it would have seen only where the
+        // config itself wrote them first — which the store buffer handles
+        // — so feeding post-state memory is only sound for configs whose
+        // loads never alias their own stores' pre-state. Restrict the
+        // check accordingly: skip configs that both load and store.
+        if config.load_count() > 0 && config.store_count() > 0 {
+            return;
+        }
+        let mut bus = Bus { mem: &self.machine.mem, writes: std::collections::HashMap::new() };
+        let outcome = dim_cgra::execute_dataflow(config, &mut entry, &mut bus)
+            .expect("replayed configuration must dataflow-execute");
+        assert_eq!(
+            outcome.exit_pc, self.machine.cpu.pc,
+            "cross-check: exit PC diverged for config @ {:#x}",
+            config.entry_pc
+        );
+        for r in dim_mips::Reg::all() {
+            assert_eq!(
+                entry.regs[r.index()],
+                self.machine.cpu.reg(r),
+                "cross-check: {r} diverged for config @ {:#x}",
+                config.entry_pc
+            );
+        }
+        assert_eq!(entry.hi, self.machine.cpu.hi, "cross-check: HI diverged");
+        assert_eq!(entry.lo, self.machine.cpu.lo, "cross-check: LO diverged");
+        // Committed stores must match the bytes the replay wrote.
+        for (addr, byte) in bus.writes {
+            assert_eq!(
+                self.machine.mem.read_u8(addr),
+                byte,
+                "cross-check: memory byte {addr:#x} diverged for config @ {:#x}",
+                config.entry_pc
+            );
+        }
+    }
+
+    /// Executes one cached configuration on the array.
+    fn execute_config(&mut self, config: &Configuration) -> Result<(), SimError> {
+        self.stats.array_invocations += 1;
+        self.stats.array_occupied_rows += config.rows_used() as u64;
+        self.stats.cache_bits_read += self.stored_bits_per_config;
+
+        let entry_snapshot = self.config.cross_check.then(|| self.entry_context());
+
+        let timing = &self.config.timing;
+        let mut executed_depth: u8 = 0;
+        let mut misspec_branch: Option<(u32, bool)> = None;
+
+        'segments: for segment in config.segments() {
+            for op in config.segment_ops(segment) {
+                // Replay preserves exact architectural semantics; rows and
+                // columns only affect the cycle accounting below.
+                self.machine.cpu.pc = op.pc;
+                let info = self.machine.cpu.execute(op.inst, &mut self.machine.mem)?;
+                self.stats.array_instructions += 1;
+                match op.inst {
+                    Instruction::Load { .. } => self.stats.array_loads += 1,
+                    Instruction::Store { .. } => self.stats.array_stores += 1,
+                    _ => {}
+                }
+                // Data-cache misses stall the whole array until resolved
+                // (paper §4.3); loads were *allocated* assuming hits.
+                if let (Some(dc), Some(addr)) = (&mut self.machine.dcache, info.mem_addr) {
+                    self.stats.array_exec_cycles += dc.access(addr);
+                }
+                if let (Some(branch), Some(taken)) = (segment.branch, info.taken) {
+                    if op.pc == branch.pc {
+                        self.predictor.update(branch.pc, taken);
+                        if taken != branch.predicted_taken {
+                            // The branch resolved against the speculated
+                            // direction: deeper segments are squashed (their
+                            // gated writes never trigger) and execution
+                            // resumes at the actual target, already set by
+                            // the replayed branch.
+                            executed_depth = segment.depth;
+                            misspec_branch = Some((branch.pc, branch.predicted_taken));
+                            break 'segments;
+                        }
+                    }
+                }
+            }
+            executed_depth = segment.depth;
+            if segment.branch.is_none() {
+                self.machine.cpu.pc = segment.exit_pc;
+            }
+        }
+
+        let stall = config.reconfig_stall_cycles(timing);
+        let exec = config.exec_cycles(timing, executed_depth);
+        let tail = config.writeback_tail_cycles(timing, executed_depth);
+        self.stats.reconfig_stall_cycles += stall;
+        self.stats.array_exec_cycles += exec;
+        self.stats.writeback_tail_cycles += tail;
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent {
+                entry_pc: config.entry_pc,
+                covered: config.instruction_count() as u32,
+                executed_depth,
+                misspeculated: misspec_branch.is_some(),
+                cycles: stall + exec + tail,
+                exit_pc: self.machine.cpu.pc,
+            });
+        }
+
+        match misspec_branch {
+            Some((branch_pc, predicted)) => {
+                self.stats.misspeculations += 1;
+                self.stats.array_exec_cycles += timing.misspeculation_penalty;
+                // Flush the whole configuration once the counter saturates
+                // the other way (paper §4.2), or once this configuration
+                // has misspeculated a bounded number of times in a row.
+                let strikes = self.misspec_counts.entry(config.entry_pc).or_insert(0);
+                *strikes += 1;
+                if self.predictor.saturated_direction(branch_pc) == Some(!predicted)
+                    || *strikes >= self.config.misspec_flush_threshold
+                {
+                    self.cache.flush(config.entry_pc);
+                    self.stats.config_flushes += 1;
+                    self.misspec_counts.remove(&config.entry_pc);
+                }
+            }
+            None => {
+                self.stats.full_hits += 1;
+                self.misspec_counts.remove(&config.entry_pc);
+            }
+        }
+
+        if let Some(entry) = entry_snapshot {
+            self.cross_check(config, entry);
+        }
+
+        // The pipeline is drained while the array runs.
+        self.machine.reset_hazard_window();
+        self.translator.note_boundary();
+        self.stats.translated_instructions = self.translator.observed_instructions();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dim_mips::asm::assemble;
+    use dim_mips::Reg;
+
+    fn build(src: &str, shape: ArrayShape, slots: usize, spec: bool) -> (System, Machine) {
+        let p = assemble(src).expect("assembles");
+        let sys = System::new(Machine::load(&p), SystemConfig::new(shape, slots, spec));
+        let baseline = Machine::load(&p);
+        (sys, baseline)
+    }
+
+    fn check_equivalent(src: &str, shape: ArrayShape, slots: usize, spec: bool) -> (u64, u64) {
+        let (mut sys, mut base) = build(src, shape, slots, spec);
+        let r1 = sys.run(10_000_000).unwrap();
+        let r2 = base.run(10_000_000).unwrap();
+        assert_eq!(r1, r2, "halt reasons differ");
+        for r in Reg::all() {
+            assert_eq!(
+                sys.machine().cpu.reg(r),
+                base.cpu.reg(r),
+                "register {r} differs"
+            );
+        }
+        assert_eq!(sys.machine().output, base.output);
+        (base.stats.cycles, sys.total_cycles())
+    }
+
+    const SUM_LOOP: &str = "
+        main: li $t0, 500
+              li $v0, 0
+        loop: addu $v0, $v0, $t0
+              xor  $t1, $v0, $t0
+              addu $v0, $v0, $t1
+              sll  $t2, $v0, 2
+              addu $v0, $v0, $t2
+              addiu $t0, $t0, -1
+              bnez $t0, loop
+              break 0";
+
+    #[test]
+    fn accelerated_matches_baseline_and_speeds_up() {
+        let (base, accel) = check_equivalent(SUM_LOOP, ArrayShape::config1(), 64, false);
+        assert!(accel < base, "accel {accel} >= base {base}");
+    }
+
+    #[test]
+    fn speculation_matches_baseline_and_speeds_up_more() {
+        let (base, spec) = check_equivalent(SUM_LOOP, ArrayShape::config1(), 64, true);
+        let (_, nospec) = check_equivalent(SUM_LOOP, ArrayShape::config1(), 64, false);
+        assert!(spec < base);
+        // Speculation folds the loop branch into the configuration.
+        assert!(spec <= nospec, "spec {spec} > nospec {nospec}");
+    }
+
+    #[test]
+    fn zero_slot_cache_never_accelerates() {
+        let (mut sys, mut base) = build(SUM_LOOP, ArrayShape::config1(), 0, true);
+        sys.run(10_000_000).unwrap();
+        base.run(10_000_000).unwrap();
+        assert_eq!(sys.stats().array_invocations, 0);
+        assert_eq!(sys.total_cycles(), base.stats.cycles);
+    }
+
+    #[test]
+    fn data_dependent_branch_speculation_stays_correct() {
+        // Branch alternates: taken, not-taken, ... — bimodal never fully
+        // stabilizes, misspeculations must not corrupt state.
+        let src = "
+            main: li $s0, 400
+                  li $v0, 0
+            loop: andi $t1, $s0, 1
+                  beqz $t1, even
+                  addiu $v0, $v0, 3
+                  addiu $v0, $v0, 5
+                  addiu $v0, $v0, 7
+            even: addiu $v0, $v0, 1
+                  xor   $t2, $v0, $s0
+                  addu  $v0, $v0, $t2
+                  addiu $s0, $s0, -1
+                  bnez  $s0, loop
+                  break 0";
+        check_equivalent(src, ArrayShape::config2(), 64, true);
+        check_equivalent(src, ArrayShape::config2(), 64, false);
+    }
+
+    #[test]
+    fn memory_traffic_stays_correct_under_acceleration() {
+        let src = "
+            .data
+            buf: .space 256
+            .text
+            main: li $s0, 64
+                  la $s1, buf
+            loop: sll $t0, $s0, 2
+                  addu $t1, $s1, $t0
+                  addiu $t2, $s0, 100
+                  sw  $t2, -4($t1)
+                  lw  $t3, -4($t1)
+                  addu $s2, $s2, $t3
+                  addiu $s0, $s0, -1
+                  bnez $s0, loop
+                  break 0";
+        check_equivalent(src, ArrayShape::config1(), 64, true);
+    }
+
+    #[test]
+    fn stats_account_array_activity() {
+        let (mut sys, _) = build(SUM_LOOP, ArrayShape::config1(), 64, false);
+        sys.run(10_000_000).unwrap();
+        let s = sys.stats();
+        assert!(s.array_invocations > 100, "{s:?}");
+        assert!(s.array_instructions > 1000);
+        assert!(s.configs_built >= 1);
+        assert_eq!(s.misspeculations, 0);
+        assert_eq!(s.full_hits, s.array_invocations);
+        let (hits, _miss) = sys.cache().hit_miss();
+        assert_eq!(hits, s.array_invocations);
+    }
+
+    #[test]
+    fn total_instructions_conserved() {
+        let (mut sys, mut base) = build(SUM_LOOP, ArrayShape::config3(), 256, true);
+        sys.run(10_000_000).unwrap();
+        base.run(10_000_000).unwrap();
+        assert_eq!(sys.total_instructions(), base.stats.instructions);
+    }
+
+    #[test]
+    fn tiny_array_still_correct() {
+        let mut shape = ArrayShape::config1();
+        shape.rows = 2;
+        shape.alus_per_row = 2;
+        shape.ldsts_per_row = 1;
+        shape.mults_per_row = 1;
+        check_equivalent(SUM_LOOP, shape, 16, true);
+    }
+
+    #[test]
+    fn infinite_shape_correct_and_fast() {
+        let (base, inf) = check_equivalent(SUM_LOOP, ArrayShape::infinite(), 1 << 20, true);
+        assert!(inf < base);
+    }
+}
+
+#[cfg(test)]
+mod cross_check_tests {
+    use super::*;
+    use dim_mips::asm::assemble;
+
+    /// The cross-check mode must pass silently on representative loops
+    /// (pure ALU, store-only, load-only) — it panics on divergence.
+    #[test]
+    fn cross_check_passes_on_representative_loops() {
+        let programs = [
+            // ALU + speculation.
+            "main: li $s0, 300
+             loop: addu $v0, $v0, $s0
+                   xor  $t1, $v0, $s0
+                   addu $v0, $v0, $t1
+                   sll  $t2, $v0, 2
+                   addu $v0, $v0, $t2
+                   addiu $s0, $s0, -1
+                   bnez $s0, loop
+                   break 0",
+            // Store-only bodies.
+            ".data
+             buf: .space 1024
+             .text
+             main: li $s0, 200
+                   la $s1, buf
+             loop: andi $t0, $s0, 0xff
+                   sll  $t1, $t0, 2
+                   addu $t2, $s1, $t1
+                   sw   $s0, 0($t2)
+                   addiu $s0, $s0, -1
+                   bnez $s0, loop
+                   break 0",
+            // Load-only bodies with a multiplier.
+            ".data
+             tab: .word 3, 1, 4, 1, 5, 9, 2, 6
+             .text
+             main: li $s0, 200
+                   la $s1, tab
+             loop: andi $t0, $s0, 7
+                   sll  $t1, $t0, 2
+                   addu $t2, $s1, $t1
+                   lw   $t3, 0($t2)
+                   mul  $t4, $t3, $s0
+                   addu $v0, $v0, $t4
+                   addiu $s0, $s0, -1
+                   bnez $s0, loop
+                   break 0",
+        ];
+        for src in programs {
+            let program = assemble(src).expect("assembles");
+            let mut config = SystemConfig::new(ArrayShape::config2(), 64, true);
+            config.cross_check = true;
+            let mut sys = System::new(Machine::load(&program), config);
+            sys.run(1_000_000).expect("runs");
+            assert!(sys.stats().array_invocations > 0, "nothing was cross-checked");
+        }
+    }
+}

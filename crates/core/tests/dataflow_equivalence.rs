@@ -1,0 +1,227 @@
+//! Placement-correctness property: for random instruction sequences,
+//! translating them with the DIM engine and then executing the resulting
+//! configuration *from its placement* (row by row, renamed operands,
+//! gated stores — `dim_cgra::execute_dataflow`) must produce exactly the
+//! state sequential execution produces. This is the test that would
+//! catch a dependence-table or placement bug even though the coupled
+//! system's replay path wouldn't care.
+
+use dim_cgra::{execute_dataflow, ArrayShape, EntryContext, ExecMemory};
+use dim_core::{BimodalPredictor, Translator, TranslatorOptions};
+use dim_mips::{AluImmOp, AluOp, DataLoc, Instruction, MemWidth, MulDivOp, Reg, ShiftOp};
+use dim_mips_sim::{Effect, StepInfo};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Scratch memory base; generated addresses stay inside one page.
+const MEM_BASE: u32 = 0x1000_0000;
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(|i| Reg::new(i).unwrap())
+}
+
+/// Destination registers exclude `$k0`, which the harness pins to the
+/// scratch page base so memory ops stay aligned and in range.
+fn dst_reg() -> impl Strategy<Value = Reg> {
+    (0u8..31).prop_map(|i| Reg::new(if i >= 26 { i + 1 } else { i }).unwrap())
+}
+
+fn any_inst() -> impl Strategy<Value = Instruction> {
+    let alu = prop_oneof![
+        Just(AluOp::Addu),
+        Just(AluOp::Subu),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Nor),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu)
+    ];
+    let alui = prop_oneof![
+        Just(AluImmOp::Addiu),
+        Just(AluImmOp::Andi),
+        Just(AluImmOp::Ori),
+        Just(AluImmOp::Xori),
+        Just(AluImmOp::Slti)
+    ];
+    let shift = prop_oneof![Just(ShiftOp::Sll), Just(ShiftOp::Srl), Just(ShiftOp::Sra)];
+    prop_oneof![
+        (alu, dst_reg(), any_reg(), any_reg())
+            .prop_map(|(op, rd, rs, rt)| Instruction::Alu { op, rd, rs, rt }),
+        (alui, dst_reg(), any_reg(), any::<u16>())
+            .prop_map(|(op, rt, rs, imm)| Instruction::AluImm { op, rt, rs, imm }),
+        (shift, dst_reg(), any_reg(), 0u8..32)
+            .prop_map(|(op, rd, rt, shamt)| Instruction::Shift { op, rd, rt, shamt }),
+        (dst_reg(), any::<u16>()).prop_map(|(rt, imm)| Instruction::Lui { rt, imm }),
+        (
+            prop_oneof![Just(MulDivOp::Mult), Just(MulDivOp::Multu)],
+            any_reg(),
+            any_reg()
+        )
+            .prop_map(|(op, rs, rt)| Instruction::MulDiv { op, rs, rt }),
+        dst_reg().prop_map(|rd| Instruction::Mflo { rd }),
+        dst_reg().prop_map(|rd| Instruction::Mfhi { rd }),
+        // Memory ops against a fixed page: base is overwritten to a safe
+        // register ($gp-like $k0) by the test harness below.
+        (0u32..64, dst_reg()).prop_map(|(slot, rt)| Instruction::Load {
+            width: MemWidth::Word,
+            signed: false,
+            rt,
+            base: Reg::K0,
+            offset: (slot * 4) as i16,
+        }),
+        (0u32..64, any_reg()).prop_map(|(slot, rt)| Instruction::Store {
+            width: MemWidth::Word,
+            rt,
+            base: Reg::K0,
+            offset: (slot * 4) as i16,
+        }),
+        (0u32..64, dst_reg()).prop_map(|(slot, rt)| Instruction::Load {
+            width: MemWidth::Byte,
+            signed: true,
+            rt,
+            base: Reg::K0,
+            offset: (slot * 4) as i16,
+        }),
+    ]
+}
+
+/// Sequential reference: execute in program order over a context + map
+/// memory (same semantics as the CPU, restricted to the generated ops).
+fn sequential(
+    insts: &[Instruction],
+    ctx: &EntryContext,
+    mem: &HashMap<u32, u8>,
+) -> (EntryContext, HashMap<u32, u8>) {
+    let mut c = ctx.clone();
+    let mut m = mem.clone();
+    // Keep $k0 pinned: the harness sets it to MEM_BASE and generated ops
+    // may overwrite it, matching both executions.
+    for inst in insts {
+        use Instruction::*;
+        match *inst {
+            Alu { op, rd, rs, rt } => {
+                let v = op.eval(c.read(DataLoc::Gpr(rs)), c.read(DataLoc::Gpr(rt)));
+                c.write(DataLoc::Gpr(rd), v);
+            }
+            AluImm { op, rt, rs, imm } => {
+                let v = op.eval(c.read(DataLoc::Gpr(rs)), imm);
+                c.write(DataLoc::Gpr(rt), v);
+            }
+            Shift { op, rd, rt, shamt } => {
+                let v = op.eval(c.read(DataLoc::Gpr(rt)), shamt as u32);
+                c.write(DataLoc::Gpr(rd), v);
+            }
+            Lui { rt, imm } => c.write(DataLoc::Gpr(rt), (imm as u32) << 16),
+            MulDiv { op, rs, rt } => {
+                let (hi, lo) = op.eval(c.read(DataLoc::Gpr(rs)), c.read(DataLoc::Gpr(rt)));
+                c.write(DataLoc::Hi, hi);
+                c.write(DataLoc::Lo, lo);
+            }
+            Mfhi { rd } => {
+                let value = c.read(DataLoc::Hi);
+                c.write(DataLoc::Gpr(rd), value);
+            }
+            Mflo { rd } => {
+                let value = c.read(DataLoc::Lo);
+                c.write(DataLoc::Gpr(rd), value);
+            }
+            Load { width, signed, rt, base, offset } => {
+                let addr = c.read(DataLoc::Gpr(base)).wrapping_add(offset as i32 as u32);
+                let v = match (width, signed) {
+                    (MemWidth::Byte, true) => m.read_u8(addr) as i8 as i32 as u32,
+                    (MemWidth::Byte, false) => m.read_u8(addr) as u32,
+                    (MemWidth::Word, _) => u32::from_le_bytes([
+                        m.read_u8(addr),
+                        m.read_u8(addr + 1),
+                        m.read_u8(addr + 2),
+                        m.read_u8(addr + 3),
+                    ]),
+                    _ => unreachable!("generator emits bytes and words only"),
+                };
+                c.write(DataLoc::Gpr(rt), v);
+            }
+            Store { width, rt, base, offset } => {
+                let addr = c.read(DataLoc::Gpr(base)).wrapping_add(offset as i32 as u32);
+                let v = c.read(DataLoc::Gpr(rt));
+                let n = width.bytes() as usize;
+                for (i, byte) in v.to_le_bytes().iter().take(n).enumerate() {
+                    m.write_u8(addr + i as u32, *byte);
+                }
+            }
+            _ => unreachable!("generator emits supported ops only"),
+        }
+    }
+    (c, m)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn placement_execution_equals_sequential(
+        seeds in prop::collection::vec(any::<u32>(), 34),
+        insts in prop::collection::vec(any_inst(), 1..48),
+    ) {
+        // Build the configuration exactly the way the DIM engine does.
+        let mut translator = Translator::new(TranslatorOptions::new(ArrayShape::config3()));
+        let predictor = BimodalPredictor::new();
+        for (k, &inst) in insts.iter().enumerate() {
+            let info = StepInfo {
+                pc: 0x400000 + 4 * k as u32,
+                inst,
+                next_pc: 0x400000 + 4 * (k as u32 + 1),
+                taken: None,
+                mem_addr: None,
+                effect: Effect::None,
+            };
+            prop_assert!(translator.observe(&info, &predictor).is_none());
+        }
+        let exit_pc = 0x400000 + 4 * insts.len() as u32;
+        let Some(config) = translator.take_partial(exit_pc) else {
+            // Fewer than the caching threshold: nothing to check.
+            return Ok(());
+        };
+        prop_assert_eq!(config.instruction_count(), insts.len());
+        config.validate().expect("translator output is structurally sound");
+
+        // Shared random entry state.
+        let mut ctx = EntryContext { regs: [0; 32], hi: seeds[32], lo: seeds[33] };
+        for (i, &v) in seeds.iter().take(32).enumerate() {
+            ctx.regs[i] = v;
+        }
+        ctx.regs[0] = 0;
+        ctx.regs[Reg::K0.index()] = MEM_BASE; // memory page base
+        let mut mem: HashMap<u32, u8> = HashMap::new();
+        for slot in 0..64u32 {
+            for b in 0..4 {
+                mem.write_u8(MEM_BASE + 4 * slot + b, (slot * 7 + b) as u8);
+            }
+        }
+
+        // Reference vs dataflow-from-placement.
+        let (ref_ctx, ref_mem) = sequential(&insts, &ctx, &mem);
+        let outcome = execute_dataflow(&config, &mut ctx, &mut mem)
+            .expect("generated ops are always executable");
+        prop_assert_eq!(outcome.exit_pc, exit_pc);
+        prop_assert!(!outcome.misspeculated);
+
+        // Registers named in the write-back set must match; untouched
+        // registers keep their entry values in both.
+        for r in Reg::all() {
+            prop_assert_eq!(
+                ctx.regs[r.index()],
+                ref_ctx.regs[r.index()],
+                "register {} differs", r
+            );
+        }
+        prop_assert_eq!(ctx.hi, ref_ctx.hi, "HI differs");
+        prop_assert_eq!(ctx.lo, ref_ctx.lo, "LO differs");
+        for slot in 0..64u32 {
+            for b in 0..4 {
+                let addr = MEM_BASE + 4 * slot + b;
+                prop_assert_eq!(mem.read_u8(addr), ref_mem.read_u8(addr), "byte {:#x}", addr);
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests for the DIM engine internals: dependence-driven
+//! allocation preserves RAW order, the predictor behaves like a 2-bit
+//! counter, and the reconfiguration cache is a bounded FIFO.
+
+use dim_core::{BimodalPredictor, DependenceTable, ReconfCache};
+use dim_mips::{AluOp, DataLoc, Instruction, MemWidth, Reg};
+use proptest::prelude::*;
+
+fn any_inst() -> impl Strategy<Value = Instruction> {
+    let reg = (1u8..32).prop_map(|i| Reg::new(i).unwrap());
+    prop_oneof![
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(rd, rs, rt)| Instruction::Alu {
+            op: AluOp::Xor,
+            rd,
+            rs,
+            rt
+        }),
+        (reg.clone(), reg.clone()).prop_map(|(rt, base)| Instruction::Load {
+            width: MemWidth::Word,
+            signed: false,
+            rt,
+            base,
+            offset: 0
+        }),
+        (reg.clone(), reg).prop_map(|(rt, base)| Instruction::Store {
+            width: MemWidth::Word,
+            rt,
+            base,
+            offset: 4
+        }),
+    ]
+}
+
+proptest! {
+    /// Greedy allocation at `min_row` must never place a reader at or
+    /// above its producer's row, and memory ops must be row-ordered.
+    #[test]
+    fn raw_and_memory_order_preserved(insts in prop::collection::vec(any_inst(), 1..64)) {
+        let mut table = DependenceTable::new();
+        let mut rows = Vec::new();
+        for inst in &insts {
+            let row = table.min_row(inst);
+            table.record(inst, row);
+            rows.push(row);
+        }
+        // Check RAW pairs against the recorded placement.
+        let mut last_writer: [Option<usize>; DataLoc::COUNT] = [None; DataLoc::COUNT];
+        let mut last_mem_row: Option<u32> = None;
+        for (j, inst) in insts.iter().enumerate() {
+            for src in inst.reads().iter() {
+                if let Some(i) = last_writer[src.dense_index()] {
+                    prop_assert!(
+                        rows[i] < rows[j],
+                        "op {j} reads {src} produced by op {i} in the same or later row"
+                    );
+                }
+            }
+            if inst.is_mem() {
+                if let Some(m) = last_mem_row {
+                    prop_assert!(rows[j] >= m, "memory op {j} placed above an earlier one");
+                }
+                last_mem_row = Some(last_mem_row.map_or(rows[j], |m| m.max(rows[j])));
+            }
+            for dst in inst.writes().iter() {
+                last_writer[dst.dense_index()] = Some(j);
+            }
+        }
+    }
+
+    /// The predictor saturates after any three identical outcomes and
+    /// never claims saturation against the last two outcomes.
+    #[test]
+    fn predictor_counter_properties(outcomes in prop::collection::vec(any::<bool>(), 1..64)) {
+        let mut p = BimodalPredictor::new();
+        for w in outcomes.windows(3) {
+            p.update(0x100, w[0]);
+            if w[0] == w[1] && w[1] == w[2] {
+                p.update(0x100, w[1]);
+                p.update(0x100, w[2]);
+                prop_assert_eq!(p.saturated_direction(0x100), Some(w[0]));
+                // Rewind is impossible; just continue feeding.
+            } else {
+                p.update(0x100, w[1]);
+                p.update(0x100, w[2]);
+            }
+            // Saturation, if claimed, must match the most recent outcome
+            // at least half the time semantics: a strongly-taken counter
+            // cannot exist right after two not-takens.
+            if w[1] == w[2] {
+                if let Some(dir) = p.saturated_direction(0x100) {
+                    prop_assert_eq!(dir, w[2]);
+                }
+            }
+        }
+    }
+
+    /// The cache never exceeds capacity and evicts strictly in insertion
+    /// order.
+    #[test]
+    fn cache_capacity_and_fifo(
+        slots in 1usize..8,
+        pcs in prop::collection::vec(0u32..16, 1..64),
+    ) {
+        use dim_cgra::{ArrayShape, Configuration};
+        let mut cache = ReconfCache::new(slots);
+        let mut model: Vec<u32> = Vec::new(); // insertion order of live pcs
+        for &pc4 in &pcs {
+            let pc = pc4 * 4;
+            let mut c = Configuration::new(pc, ArrayShape::config1());
+            let add = Instruction::Alu { op: AluOp::Addu, rd: Reg::T0, rs: Reg::A0, rt: Reg::A1 };
+            c.place(pc, add, 0, 0).unwrap();
+            let existed = model.contains(&pc);
+            cache.insert(c);
+            if !existed {
+                model.push(pc);
+                if model.len() > slots {
+                    model.remove(0);
+                }
+            }
+            prop_assert!(cache.len() <= slots);
+            // Model agreement: exactly the modelled pcs are present.
+            for &p in &model {
+                prop_assert!(cache.peek(p).is_some(), "pc {p:#x} missing");
+            }
+            prop_assert_eq!(cache.len(), model.len());
+        }
+    }
+}

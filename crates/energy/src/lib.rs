@@ -1,0 +1,25 @@
+//! # dim-energy
+//!
+//! Area, power and energy models for the DIM reproduction:
+//!
+//! * [`area_report`] — Table 3a gate counts from per-unit costs
+//!   calibrated against the paper's TSMC 0.18µ synthesis results;
+//! * [`energy_breakdown`] — the event-based energy model behind
+//!   Figures 5 (average power per cycle) and 6 (total energy);
+//! * re-exported [`cache_bytes`](dim_cgra::cache_bytes) sizes the
+//!   reconfiguration cache (Table 3c).
+//!
+//! ```
+//! use dim_cgra::ArrayShape;
+//! use dim_energy::{area_report, GateCosts};
+//! let gates = area_report(&ArrayShape::config1(), &GateCosts::default()).total_gates();
+//! assert!(gates > 600_000);
+//! ```
+
+#![warn(missing_docs)]
+
+mod area;
+mod power;
+
+pub use area::{area_report, AreaReport, GateCosts};
+pub use power::{energy_breakdown, energy_breakdown_gated, EnergyBreakdown, PowerModel};

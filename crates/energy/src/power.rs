@@ -1,0 +1,234 @@
+//! Event-based power/energy model — the paper's Figures 5 and 6.
+//!
+//! Every event counted by the simulators carries an energy cost in
+//! abstract 0.18µ-era units (think pJ at a nominal clock). Average power
+//! per cycle (Figure 5) divides the accumulated energy by total cycles;
+//! total energy (Figure 6) is the accumulation itself. The constants are
+//! calibrated so the headline shapes hold: MIPS+array draws comparable
+//! power per cycle (more in the core/array, less in instruction memory)
+//! but finishes in fewer cycles, netting the ~1.7× energy saving the
+//! paper reports for configuration #2 with 64 slots.
+
+use dim_core::DimStats;
+use dim_mips_sim::RunStats;
+
+/// Per-event energies and per-cycle powers (abstract units).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Core power per pipeline-active cycle.
+    pub core_active_power: f64,
+    /// Core power per cycle spent waiting on the array.
+    pub core_stall_power: f64,
+    /// Instruction-memory energy per fetch.
+    pub imem_fetch_energy: f64,
+    /// Data-memory energy per access (either side).
+    pub dmem_access_energy: f64,
+    /// Array energy per executed operation.
+    pub array_op_energy: f64,
+    /// Array static/clock power per array-active cycle.
+    pub array_idle_power: f64,
+    /// Reconfiguration-cache energy per bit read or written.
+    pub rcache_bit_energy: f64,
+    /// Detection-hardware energy per examined instruction.
+    pub bt_observe_energy: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel {
+            core_active_power: 30.0,
+            core_stall_power: 10.0,
+            imem_fetch_energy: 22.0,
+            dmem_access_energy: 28.0,
+            array_op_energy: 8.5,
+            array_idle_power: 26.0,
+            rcache_bit_energy: 0.004,
+            bt_observe_energy: 1.5,
+        }
+    }
+}
+
+/// Energy per subsystem (the bar segments of Figures 5/6).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Processor core (pipeline + register file + stall clocking).
+    pub core: f64,
+    /// Instruction memory.
+    pub imem: f64,
+    /// Data memory.
+    pub dmem: f64,
+    /// Reconfigurable array (ops + static).
+    pub array: f64,
+    /// Reconfiguration cache.
+    pub rcache: f64,
+    /// DIM binary-translation hardware.
+    pub bt: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy across subsystems.
+    pub fn total(&self) -> f64 {
+        self.core + self.imem + self.dmem + self.array + self.rcache + self.bt
+    }
+
+    /// Scales every component by `1/cycles`, yielding average power per
+    /// cycle (Figure 5).
+    pub fn average_power(&self, cycles: u64) -> EnergyBreakdown {
+        let c = (cycles.max(1)) as f64;
+        EnergyBreakdown {
+            core: self.core / c,
+            imem: self.imem / c,
+            dmem: self.dmem / c,
+            array: self.array / c,
+            rcache: self.rcache / c,
+            bt: self.bt / c,
+        }
+    }
+}
+
+/// Computes the energy breakdown of a run from processor-side and
+/// accelerator-side statistics. Pass `DimStats::default()` for a plain
+/// MIPS run.
+///
+/// ```
+/// use dim_core::DimStats;
+/// use dim_energy::{energy_breakdown, PowerModel};
+/// use dim_mips_sim::RunStats;
+///
+/// let mut proc = RunStats::new();
+/// proc.cycles = 1000;
+/// proc.fetches = 900;
+/// let e = energy_breakdown(&proc, &DimStats::default(), &PowerModel::default());
+/// assert!(e.core > 0.0 && e.imem > 0.0 && e.array == 0.0);
+/// ```
+pub fn energy_breakdown(proc: &RunStats, dim: &DimStats, model: &PowerModel) -> EnergyBreakdown {
+    breakdown_with_gating(proc, dim, model, 1.0)
+}
+
+/// Like [`energy_breakdown`], but with *power gating* of unused rows —
+/// the paper's announced future work ("techniques to switch off
+/// functional units when they are not being used"). The array's static
+/// power is scaled by the fraction of rows actually occupied by the
+/// executed configurations.
+///
+/// `total_rows` is the array height (e.g. `shape.rows`); occupancy comes
+/// from [`DimStats::mean_occupied_rows`].
+pub fn energy_breakdown_gated(
+    proc: &RunStats,
+    dim: &DimStats,
+    model: &PowerModel,
+    total_rows: usize,
+) -> EnergyBreakdown {
+    let occupancy = if total_rows == 0 {
+        1.0
+    } else {
+        (dim.mean_occupied_rows() / total_rows as f64).clamp(0.0, 1.0)
+    };
+    breakdown_with_gating(proc, dim, model, occupancy)
+}
+
+fn breakdown_with_gating(
+    proc: &RunStats,
+    dim: &DimStats,
+    model: &PowerModel,
+    idle_fraction: f64,
+) -> EnergyBreakdown {
+    let array_cycles = dim.total_array_cycles();
+    EnergyBreakdown {
+        core: model.core_active_power * proc.cycles as f64
+            + model.core_stall_power * array_cycles as f64,
+        // Array-executed instructions never touch instruction memory —
+        // they replay out of the reconfiguration cache (paper §5.3).
+        imem: model.imem_fetch_energy * proc.fetches as f64,
+        dmem: model.dmem_access_energy * (proc.mem_accesses() + dim.array_mem_accesses()) as f64,
+        array: model.array_op_energy * dim.array_instructions as f64
+            + model.array_idle_power * array_cycles as f64 * idle_fraction,
+        rcache: model.rcache_bit_energy * (dim.cache_bits_read + dim.cache_bits_written) as f64,
+        bt: model.bt_observe_energy * dim.translated_instructions as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dim_cgra::ArrayShape;
+    use dim_core::{System, SystemConfig};
+    use dim_mips::asm::assemble;
+    use dim_mips_sim::Machine;
+
+    const LOOP: &str = "
+        main: li $t0, 2000
+              li $v0, 0
+        loop: addu $v0, $v0, $t0
+              xor  $t1, $v0, $t0
+              addu $v0, $v0, $t1
+              sll  $t2, $v0, 2
+              addu $v0, $v0, $t2
+              srl  $t3, $v0, 1
+              xor  $v0, $v0, $t3
+              addiu $t0, $t0, -1
+              bnez $t0, loop
+              break 0";
+
+    #[test]
+    fn acceleration_saves_energy_at_similar_power() {
+        let program = assemble(LOOP).unwrap();
+        let mut base = Machine::load(&program);
+        base.run(1_000_000).unwrap();
+        let mut sys = System::new(
+            Machine::load(&program),
+            SystemConfig::new(ArrayShape::config2(), 64, true),
+        );
+        sys.run(1_000_000).unwrap();
+
+        let model = PowerModel::default();
+        let e_base = energy_breakdown(&base.stats, &DimStats::default(), &model);
+        let e_accel = energy_breakdown(&sys.machine().stats, sys.stats(), &model);
+
+        // Fewer cycles and less total energy...
+        assert!(sys.total_cycles() < base.stats.cycles);
+        assert!(e_accel.total() < e_base.total(), "{e_accel:?} vs {e_base:?}");
+        // ...at broadly comparable average power per cycle.
+        let p_base = e_base.average_power(base.stats.cycles).total();
+        let p_accel = e_accel.average_power(sys.total_cycles()).total();
+        let ratio = p_accel / p_base;
+        assert!((0.4..=1.6).contains(&ratio), "power ratio {ratio}");
+        // The instruction-memory share shrinks under acceleration.
+        assert!(e_accel.imem < e_base.imem);
+    }
+
+    #[test]
+    fn power_gating_only_reduces_array_static_energy() {
+        let program = assemble(LOOP).unwrap();
+        let mut sys = System::new(
+            Machine::load(&program),
+            SystemConfig::new(ArrayShape::config3(), 64, true),
+        );
+        sys.run(1_000_000).unwrap();
+        let model = PowerModel::default();
+        let plain = energy_breakdown(&sys.machine().stats, sys.stats(), &model);
+        let gated =
+            energy_breakdown_gated(&sys.machine().stats, sys.stats(), &model, 150);
+        assert!(gated.array < plain.array, "{} !< {}", gated.array, plain.array);
+        assert_eq!(gated.core, plain.core);
+        assert_eq!(gated.imem, plain.imem);
+        assert_eq!(gated.dmem, plain.dmem);
+    }
+
+    #[test]
+    fn breakdown_components_nonnegative_and_total_consistent() {
+        let mut proc = RunStats::new();
+        proc.cycles = 100;
+        proc.fetches = 90;
+        proc.loads = 10;
+        let mut dim = DimStats::new();
+        dim.array_instructions = 50;
+        dim.array_exec_cycles = 20;
+        dim.cache_bits_read = 3000;
+        dim.translated_instructions = 90;
+        let e = energy_breakdown(&proc, &dim, &PowerModel::default());
+        let sum = e.core + e.imem + e.dmem + e.array + e.rcache + e.bt;
+        assert!((e.total() - sum).abs() < 1e-9);
+        assert!(e.rcache > 0.0 && e.bt > 0.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the energy model: totals compose, every component
+//! responds monotonically to its driving counter, and power gating never
+//! increases any component.
+
+use dim_core::DimStats;
+use dim_energy::{energy_breakdown, energy_breakdown_gated, PowerModel};
+use dim_mips_sim::RunStats;
+use proptest::prelude::*;
+
+fn any_run_stats() -> impl Strategy<Value = RunStats> {
+    (0u64..1_000_000, 0u64..1_000_000, 0u64..100_000, 0u64..100_000).prop_map(
+        |(cycles, fetches, loads, stores)| {
+            let mut s = RunStats::new();
+            s.cycles = cycles;
+            s.fetches = fetches;
+            s.loads = loads;
+            s.stores = stores;
+            s.instructions = fetches;
+            s
+        },
+    )
+}
+
+fn any_dim_stats() -> impl Strategy<Value = DimStats> {
+    (
+        0u64..1_000_000,
+        0u64..1_000_000,
+        0u64..100_000,
+        0u64..100_000,
+        0u64..10_000_000,
+        0u64..1_000_000,
+    )
+        .prop_map(|(instr, exec, loads, stores, bits, observed)| {
+            let mut d = DimStats::new();
+            d.array_instructions = instr;
+            d.array_exec_cycles = exec;
+            d.array_loads = loads;
+            d.array_stores = stores;
+            d.cache_bits_read = bits;
+            d.translated_instructions = observed;
+            d.array_invocations = (instr / 8).max(1);
+            d.array_occupied_rows = instr / 2;
+            d
+        })
+}
+
+proptest! {
+    #[test]
+    fn total_is_sum_of_components(proc in any_run_stats(), dim in any_dim_stats()) {
+        let e = energy_breakdown(&proc, &dim, &PowerModel::default());
+        let sum = e.core + e.imem + e.dmem + e.array + e.rcache + e.bt;
+        prop_assert!((e.total() - sum).abs() < 1e-6);
+        for v in [e.core, e.imem, e.dmem, e.array, e.rcache, e.bt] {
+            prop_assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn components_monotone_in_their_counters(
+        proc in any_run_stats(),
+        dim in any_dim_stats(),
+        bump in 1u64..10_000,
+    ) {
+        let m = PowerModel::default();
+        let base = energy_breakdown(&proc, &dim, &m);
+
+        let mut p2 = proc;
+        p2.fetches += bump;
+        prop_assert!(energy_breakdown(&p2, &dim, &m).imem > base.imem);
+
+        let mut d2 = dim;
+        d2.array_instructions += bump;
+        prop_assert!(energy_breakdown(&proc, &d2, &m).array > base.array);
+
+        let mut d3 = dim;
+        d3.cache_bits_read += bump;
+        prop_assert!(energy_breakdown(&proc, &d3, &m).rcache > base.rcache);
+
+        let mut p3 = proc;
+        p3.loads += bump;
+        prop_assert!(energy_breakdown(&p3, &dim, &m).dmem > base.dmem);
+    }
+
+    #[test]
+    fn gating_never_increases_energy(
+        proc in any_run_stats(),
+        dim in any_dim_stats(),
+        rows in 1usize..256,
+    ) {
+        let m = PowerModel::default();
+        let plain = energy_breakdown(&proc, &dim, &m);
+        let gated = energy_breakdown_gated(&proc, &dim, &m, rows);
+        prop_assert!(gated.total() <= plain.total() + 1e-6);
+        prop_assert!(gated.array <= plain.array + 1e-6);
+        prop_assert!((gated.core - plain.core).abs() < 1e-6);
+        prop_assert!((gated.imem - plain.imem).abs() < 1e-6);
+    }
+
+    #[test]
+    fn average_power_scales_inverse_with_cycles(
+        proc in any_run_stats(),
+        dim in any_dim_stats(),
+    ) {
+        let e = energy_breakdown(&proc, &dim, &PowerModel::default());
+        let p1 = e.average_power(1000).total();
+        let p2 = e.average_power(2000).total();
+        prop_assert!((p1 - 2.0 * p2).abs() < 1e-6 * p1.max(1.0));
+    }
+}

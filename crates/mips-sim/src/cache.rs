@@ -1,0 +1,218 @@
+//! Set-associative cache timing models.
+//!
+//! The paper evaluates with perfect caches ("the operations that depend
+//! on the result of a load are allocated considering a cache hit as the
+//! total load delay") but specifies the miss behaviour: "if a miss
+//! occurs, the whole array operation stops until the miss is resolved"
+//! (§4.3). These models supply that miss behaviour when enabled; by
+//! default the simulator keeps the paper's perfect-cache assumption.
+
+/// Geometry and timing of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: usize,
+    /// Extra cycles charged on a miss (the hit cost is already part of
+    /// the pipeline model).
+    pub miss_penalty: u64,
+}
+
+impl CacheConfig {
+    /// A small embedded instruction cache: 4 KiB, 2-way, 16-byte lines.
+    pub fn icache_4k() -> CacheConfig {
+        CacheConfig {
+            sets: 128,
+            ways: 2,
+            line_bytes: 16,
+            miss_penalty: 8,
+        }
+    }
+
+    /// A small embedded data cache: 4 KiB, 2-way, 16-byte lines.
+    pub fn dcache_4k() -> CacheConfig {
+        CacheConfig {
+            sets: 128,
+            ways: 2,
+            line_bytes: 16,
+            miss_penalty: 10,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways * self.line_bytes
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Misses.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Miss rate in `0..=1`.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A set-associative cache with true-LRU replacement (timing only — data
+/// always comes from [`Memory`](crate::Memory); the cache decides how
+/// many cycles the access costs).
+#[derive(Debug, Clone)]
+pub struct CacheSim {
+    config: CacheConfig,
+    /// `tags[set]` holds (tag, lru_tick) pairs, one per filled way.
+    tags: Vec<Vec<(u32, u64)>>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl CacheSim {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `line_bytes` is not a power of two, or if
+    /// `ways` is zero.
+    pub fn new(config: CacheConfig) -> CacheSim {
+        assert!(config.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(config.ways > 0, "associativity must be at least 1");
+        CacheSim {
+            config,
+            tags: vec![Vec::new(); config.sets],
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Touches `addr`, returning the extra cycles (0 on hit,
+    /// `miss_penalty` on miss). The line is filled on miss.
+    pub fn access(&mut self, addr: u32) -> u64 {
+        self.tick += 1;
+        self.stats.accesses += 1;
+        let line = addr as usize / self.config.line_bytes;
+        let set = line & (self.config.sets - 1);
+        let tag = (line / self.config.sets) as u32;
+        let ways = &mut self.tags[set];
+        if let Some(entry) = ways.iter_mut().find(|(t, _)| *t == tag) {
+            entry.1 = self.tick;
+            return 0;
+        }
+        self.stats.misses += 1;
+        if ways.len() < self.config.ways {
+            ways.push((tag, self.tick));
+        } else {
+            let victim = ways
+                .iter_mut()
+                .min_by_key(|(_, lru)| *lru)
+                .expect("ways is non-empty");
+            *victim = (tag, self.tick);
+        }
+        self.config.miss_penalty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheSim {
+        // 2 sets × 2 ways × 16-byte lines = 64 bytes.
+        CacheSim::new(CacheConfig {
+            sets: 2,
+            ways: 2,
+            line_bytes: 16,
+            miss_penalty: 10,
+        })
+    }
+
+    #[test]
+    fn first_touch_misses_second_hits() {
+        let mut c = tiny();
+        assert_eq!(c.access(0x100), 10);
+        assert_eq!(c.access(0x104), 0); // same line
+        assert_eq!(c.access(0x10f), 0);
+        assert_eq!(c.access(0x110), 10); // next line, other set
+        assert_eq!(c.stats().misses, 2);
+        assert_eq!(c.stats().accesses, 4);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_way() {
+        let mut c = tiny();
+        // Three lines mapping to set 0 (line numbers even).
+        c.access(0x000); // set 0, tag 0
+        c.access(0x040); // set 0, tag 1
+        c.access(0x080); // set 0, tag 2 -> evicts tag 0
+        assert_eq!(c.access(0x040), 0, "tag 1 must still be resident");
+        assert_eq!(c.access(0x000), 10, "tag 0 was evicted");
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = tiny();
+        c.access(0x000); // set 0
+        c.access(0x010); // set 1
+        c.access(0x020); // set 0, tag 1
+        c.access(0x030); // set 1, tag 1
+        // All four lines resident (2 per set).
+        assert_eq!(c.access(0x000), 0);
+        assert_eq!(c.access(0x010), 0);
+        assert_eq!(c.access(0x020), 0);
+        assert_eq!(c.access(0x030), 0);
+    }
+
+    #[test]
+    fn miss_rate_math() {
+        let mut c = tiny();
+        c.access(0);
+        c.access(0);
+        c.access(0);
+        c.access(0);
+        assert!((c.stats().miss_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn presets_have_expected_capacity() {
+        assert_eq!(CacheConfig::icache_4k().capacity(), 4096);
+        assert_eq!(CacheConfig::dcache_4k().capacity(), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_rejected() {
+        let _ = CacheSim::new(CacheConfig {
+            sets: 3,
+            ways: 1,
+            line_bytes: 16,
+            miss_penalty: 1,
+        });
+    }
+}

@@ -1,0 +1,72 @@
+//! Simulator error type.
+
+use std::fmt;
+
+/// Errors raised while simulating a program.
+///
+/// These correspond to conditions a real R3000 would trap on (unaligned
+/// access, reserved instruction) or to the program leaving the loaded
+/// text image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// An unaligned halfword/word access.
+    Misaligned {
+        /// Faulting address.
+        addr: u32,
+        /// Required alignment in bytes.
+        width: u32,
+    },
+    /// The PC left the loaded text segment.
+    PcOutOfRange {
+        /// The faulting PC value.
+        pc: u32,
+    },
+    /// A word in the text segment failed to decode.
+    ReservedInstruction {
+        /// Address of the word.
+        pc: u32,
+        /// The raw word.
+        word: u32,
+    },
+    /// An unknown syscall service number.
+    UnknownSyscall {
+        /// The `$v0` service code.
+        service: u32,
+        /// PC of the `syscall` instruction.
+        pc: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Misaligned { addr, width } => {
+                write!(f, "unaligned {width}-byte access at {addr:#010x}")
+            }
+            SimError::PcOutOfRange { pc } => {
+                write!(f, "program counter {pc:#010x} outside the text segment")
+            }
+            SimError::ReservedInstruction { pc, word } => {
+                write!(f, "reserved instruction {word:#010x} at {pc:#010x}")
+            }
+            SimError::UnknownSyscall { service, pc } => {
+                write!(f, "unknown syscall service {service} at {pc:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::Misaligned { addr: 0x1001, width: 4 };
+        assert!(e.to_string().contains("0x00001001"));
+        let e = SimError::PcOutOfRange { pc: 4 };
+        assert!(e.to_string().contains("text segment"));
+    }
+}

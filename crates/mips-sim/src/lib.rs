@@ -1,0 +1,52 @@
+//! # dim-mips-sim
+//!
+//! Execution substrate for the DIM reproduction: a functional + cycle-
+//! timing simulator of a Minimips-class (R3000) scalar processor.
+//!
+//! The crate provides:
+//!
+//! * [`Memory`] — sparse paged little-endian memory;
+//! * [`Cpu`] — architectural state and the functional interpreter;
+//! * [`PipelineCosts`] — the five-stage pipeline cycle model;
+//! * [`Machine`] — loaded program + CPU + memory + syscall runtime,
+//!   with an observer hook exposing the retiring instruction stream;
+//! * [`Profiler`] — dynamic basic-block profiling (paper Figure 3);
+//! * [`CacheSim`] — optional I/D cache timing models.
+//!
+//! ```
+//! use dim_mips::asm::assemble;
+//! use dim_mips_sim::Machine;
+//!
+//! let program = assemble("
+//!     main: li   $a0, 6
+//!           li   $a1, 7
+//!           mul  $v0, $a0, $a1
+//!           break 0
+//! ")?;
+//! let mut machine = Machine::load(&program);
+//! machine.run(1000)?;
+//! assert_eq!(machine.cpu.reg(dim_mips::Reg::V0), 42);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod cache;
+mod costs;
+mod cpu;
+mod error;
+mod machine;
+mod mem;
+mod profile;
+mod superscalar;
+mod stats;
+
+pub use cache::{CacheConfig, CacheSim, CacheStats};
+pub use costs::PipelineCosts;
+pub use cpu::{Cpu, Effect, StepInfo};
+pub use error::SimError;
+pub use machine::{HaltReason, Machine, STACK_TOP};
+pub use mem::Memory;
+pub use profile::{BlockStats, Profile, Profiler};
+pub use stats::RunStats;
+pub use superscalar::{SuperscalarConfig, SuperscalarModel};

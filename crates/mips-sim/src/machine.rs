@@ -1,0 +1,388 @@
+//! The simulated machine: predecoded text, CPU, memory, timing, syscalls.
+
+use crate::{CacheSim, Cpu, Effect, Memory, PipelineCosts, RunStats, SimError, StepInfo};
+use dim_mips::asm::Program;
+use dim_mips::{Instruction, Reg};
+
+/// Why a run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HaltReason {
+    /// `syscall` exit service (10/17) or `break`.
+    Exit(u32),
+    /// The step budget was exhausted before the program finished.
+    StepLimit,
+}
+
+/// Initial stack pointer (grows downwards).
+pub const STACK_TOP: u32 = 0x7fff_fffc;
+
+/// A loaded MIPS machine: CPU + memory + predecoded text + cycle model.
+///
+/// The text segment is predecoded at load time (self-modifying code is not
+/// supported) so the simulator's hot loop is an array index and a `match`.
+///
+/// ```
+/// use dim_mips::asm::assemble;
+/// use dim_mips_sim::Machine;
+///
+/// let program = assemble("
+///     main: li   $t0, 10
+///           li   $v0, 0
+///     loop: addu $v0, $v0, $t0
+///           addiu $t0, $t0, -1
+///           bnez $t0, loop
+///           break 0
+/// ")?;
+/// let mut machine = Machine::load(&program);
+/// machine.run(100_000)?;
+/// assert_eq!(machine.cpu.reg(dim_mips::Reg::V0), 55);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// Architectural CPU state.
+    pub cpu: Cpu,
+    /// Data memory (also holds a copy of the text bytes).
+    pub mem: Memory,
+    /// Cycle-cost model applied to processor-executed instructions.
+    pub costs: PipelineCosts,
+    /// Event counters.
+    pub stats: RunStats,
+    /// Bytes emitted by the print syscalls.
+    pub output: Vec<u8>,
+    /// Optional instruction-cache timing model (`None` = perfect, the
+    /// paper's assumption).
+    pub icache: Option<CacheSim>,
+    /// Optional data-cache timing model (`None` = perfect).
+    pub dcache: Option<CacheSim>,
+    text_base: u32,
+    code: Vec<Instruction>,
+    halted: Option<HaltReason>,
+    last_load_dest: Option<Reg>,
+}
+
+impl Machine {
+    /// Loads an assembled program: text is predecoded, data copied, the PC
+    /// set to the entry point and `$sp` to [`STACK_TOP`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program text contains a word that does not decode —
+    /// impossible for the output of [`dim_mips::asm::assemble`].
+    pub fn load(program: &Program) -> Machine {
+        let code = program.decoded();
+        let mut mem = Memory::new();
+        // Keep a byte image of text too, so programs may read their own
+        // code (jump tables in .text are not used, but this is cheap).
+        for (k, &w) in program.text.iter().enumerate() {
+            mem.write_u32(program.text_base + 4 * k as u32, w)
+                .expect("text base is aligned");
+        }
+        mem.write_bytes(program.data_base, &program.data);
+        let mut cpu = Cpu::new();
+        cpu.pc = program.entry;
+        cpu.set_reg(Reg::SP, STACK_TOP);
+        cpu.set_reg(Reg::GP, program.data_base.wrapping_add(0x8000));
+        Machine {
+            cpu,
+            mem,
+            costs: PipelineCosts::default(),
+            stats: RunStats::new(),
+            output: Vec::new(),
+            icache: None,
+            dcache: None,
+            text_base: program.text_base,
+            code,
+            halted: None,
+            last_load_dest: None,
+        }
+    }
+
+    /// The decoded instruction at `pc`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::PcOutOfRange`] when `pc` is outside the text segment.
+    pub fn fetch(&self, pc: u32) -> Result<Instruction, SimError> {
+        if pc < self.text_base || !pc.is_multiple_of(4) {
+            return Err(SimError::PcOutOfRange { pc });
+        }
+        let idx = ((pc - self.text_base) / 4) as usize;
+        self.code.get(idx).copied().ok_or(SimError::PcOutOfRange { pc })
+    }
+
+    /// Whether (and why) the machine has halted.
+    pub fn halted(&self) -> Option<HaltReason> {
+        self.halted
+    }
+
+    /// Base address of the text segment.
+    pub fn text_base(&self) -> u32 {
+        self.text_base
+    }
+
+    /// Number of instructions in the text segment.
+    pub fn text_len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Resets the pipeline's load-use tracking (the coupled system calls
+    /// this after the array executes, since the pipeline is drained).
+    pub fn reset_hazard_window(&mut self) {
+        self.last_load_dest = None;
+    }
+
+    /// Executes one instruction with full timing/stat accounting.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`]; the machine also refuses to step after halting
+    /// (returns [`SimError::PcOutOfRange`] with the halt PC — stepping a
+    /// halted machine is a caller bug surfaced loudly in tests).
+    pub fn step(&mut self) -> Result<StepInfo, SimError> {
+        if self.halted.is_some() {
+            return Err(SimError::PcOutOfRange { pc: self.cpu.pc });
+        }
+        let inst = self.fetch(self.cpu.pc)?;
+        let load_use = self
+            .last_load_dest
+            .map(|dest| inst.reads().contains(dim_mips::DataLoc::Gpr(dest)))
+            .unwrap_or(false);
+        let info = self.cpu.execute(inst, &mut self.mem)?;
+        self.stats.record(&inst, info.taken, load_use);
+        self.stats.cycles += self.costs.cycles(&inst, info.taken, load_use);
+        if let Some(ic) = &mut self.icache {
+            self.stats.cycles += ic.access(info.pc);
+        }
+        if let (Some(dc), Some(addr)) = (&mut self.dcache, info.mem_addr) {
+            self.stats.cycles += dc.access(addr);
+        }
+        self.last_load_dest = match inst {
+            Instruction::Load { rt, .. } => Some(rt),
+            _ => None,
+        };
+        match info.effect {
+            Effect::None => {}
+            Effect::Break(code) => self.halted = Some(HaltReason::Exit(code)),
+            Effect::Syscall => self.service_syscall(info.pc)?,
+        }
+        Ok(info)
+    }
+
+    /// SPIM-style syscall services: 1 print_int, 4 print_string,
+    /// 10 exit, 11 print_char, 17 exit2.
+    fn service_syscall(&mut self, pc: u32) -> Result<(), SimError> {
+        let service = self.cpu.reg(Reg::V0);
+        let a0 = self.cpu.reg(Reg::A0);
+        match service {
+            1 => {
+                self.output
+                    .extend_from_slice((a0 as i32).to_string().as_bytes());
+            }
+            4 => {
+                let s = self.mem.read_cstr(a0, 1 << 20);
+                self.output.extend_from_slice(s.as_bytes());
+            }
+            10 => self.halted = Some(HaltReason::Exit(0)),
+            11 => self.output.push(a0 as u8),
+            17 => self.halted = Some(HaltReason::Exit(a0)),
+            other => return Err(SimError::UnknownSyscall { service: other, pc }),
+        }
+        Ok(())
+    }
+
+    /// Runs until halt or until `max_steps` instructions executed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`].
+    pub fn run(&mut self, max_steps: u64) -> Result<HaltReason, SimError> {
+        self.run_with(max_steps, |_| {})
+    }
+
+    /// Runs like [`run`](Machine::run), invoking `observer` with every
+    /// retired instruction — the hook the DIM detection hardware and the
+    /// basic-block profiler attach to.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`].
+    pub fn run_with(
+        &mut self,
+        max_steps: u64,
+        mut observer: impl FnMut(&StepInfo),
+    ) -> Result<HaltReason, SimError> {
+        for _ in 0..max_steps {
+            if let Some(reason) = self.halted {
+                return Ok(reason);
+            }
+            let info = self.step()?;
+            observer(&info);
+        }
+        Ok(self.halted.unwrap_or(HaltReason::StepLimit))
+    }
+
+    /// The collected print-syscall output as UTF-8 (lossy).
+    pub fn output_string(&self) -> String {
+        String::from_utf8_lossy(&self.output).into_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dim_mips::asm::assemble;
+
+    fn run_src(src: &str) -> Machine {
+        let p = assemble(src).expect("assembles");
+        let mut m = Machine::load(&p);
+        let r = m.run(1_000_000).expect("runs");
+        assert_ne!(r, HaltReason::StepLimit, "program did not finish");
+        m
+    }
+
+    #[test]
+    fn sum_loop_executes_and_counts() {
+        let m = run_src(
+            "main: li $t0, 10
+                   li $v0, 0
+             loop: addu $v0, $v0, $t0
+                   addiu $t0, $t0, -1
+                   bnez $t0, loop
+                   break 0",
+        );
+        assert_eq!(m.cpu.reg(Reg::V0), 55);
+        assert_eq!(m.stats.branches, 10);
+        assert_eq!(m.stats.taken_branches, 9);
+        // 2 setup + 3*10 loop + 1 break
+        assert_eq!(m.stats.instructions, 33);
+        // cycles: 33 base + 9 taken penalties
+        assert_eq!(m.stats.cycles, 42);
+    }
+
+    #[test]
+    fn load_use_stall_accounted() {
+        let m = run_src(
+            ".data
+             v: .word 7
+             .text
+             main: la $t0, v
+                   lw $t1, 0($t0)
+                   addu $t2, $t1, $t1   # load-use on $t1
+                   break 0",
+        );
+        assert_eq!(m.cpu.reg(Reg::T2), 14);
+        assert_eq!(m.stats.load_use_stalls, 1);
+    }
+
+    #[test]
+    fn syscalls_print_and_exit() {
+        let m = run_src(
+            ".data
+             msg: .asciiz \"n=\"
+             .text
+             main: li $v0, 4
+                   la $a0, msg
+                   syscall
+                   li $v0, 1
+                   li $a0, -42
+                   syscall
+                   li $v0, 11
+                   li $a0, '\\n'
+                   syscall
+                   li $v0, 10
+                   syscall",
+        );
+        assert_eq!(m.output_string(), "n=-42\n");
+    }
+
+    #[test]
+    fn exit2_reports_code() {
+        let p = assemble("main: li $v0, 17\n li $a0, 3\n syscall").unwrap();
+        let mut m = Machine::load(&p);
+        assert_eq!(m.run(100).unwrap(), HaltReason::Exit(3));
+    }
+
+    #[test]
+    fn step_limit_reported() {
+        let p = assemble("main: b main").unwrap();
+        let mut m = Machine::load(&p);
+        assert_eq!(m.run(100).unwrap(), HaltReason::StepLimit);
+    }
+
+    #[test]
+    fn unknown_syscall_is_error() {
+        let p = assemble("main: li $v0, 99\n syscall").unwrap();
+        let mut m = Machine::load(&p);
+        assert!(matches!(m.run(100), Err(SimError::UnknownSyscall { service: 99, .. })));
+    }
+
+    #[test]
+    fn pc_escape_is_error() {
+        let p = assemble("main: jr $zero").unwrap();
+        let mut m = Machine::load(&p);
+        assert!(matches!(m.run(100), Err(SimError::PcOutOfRange { pc: 0 })));
+    }
+
+    #[test]
+    fn function_call_and_return() {
+        let m = run_src(
+            "main:  li   $a0, 21
+                    jal  double
+                    move $s0, $v0
+                    break 0
+             double: addu $v0, $a0, $a0
+                    jr   $ra",
+        );
+        assert_eq!(m.cpu.reg(Reg::S0), 42);
+        assert_eq!(m.stats.jumps, 2);
+    }
+
+    #[test]
+    fn caches_add_cycles_but_not_semantics() {
+        let src = "
+            .data
+            buf: .space 4096
+            .text
+            main: li $s0, 256
+                  la $s1, buf
+            loop: sll $t0, $s0, 2
+                  addu $t1, $s1, $t0
+                  sw  $s0, -4($t1)
+                  lw  $t2, -4($t1)
+                  addu $v0, $v0, $t2
+                  addiu $s0, $s0, -1
+                  bnez $s0, loop
+                  break 0";
+        let p = assemble(src).unwrap();
+        let mut perfect = Machine::load(&p);
+        perfect.run(1_000_000).unwrap();
+
+        let mut cached = Machine::load(&p);
+        cached.icache = Some(crate::CacheSim::new(crate::CacheConfig::icache_4k()));
+        cached.dcache = Some(crate::CacheSim::new(crate::CacheConfig::dcache_4k()));
+        cached.run(1_000_000).unwrap();
+
+        assert_eq!(cached.cpu.reg(Reg::V0), perfect.cpu.reg(Reg::V0));
+        assert!(cached.stats.cycles > perfect.stats.cycles);
+        let d = cached.dcache.as_ref().unwrap().stats();
+        assert!(d.misses > 0, "a 1KiB stream must miss a 4KiB cache lines");
+        // The tiny loop fits the I-cache: almost all fetches hit.
+        let i = cached.icache.as_ref().unwrap().stats();
+        assert!(i.miss_rate() < 0.01, "{}", i.miss_rate());
+    }
+
+    #[test]
+    fn stack_usable() {
+        let m = run_src(
+            "main: addiu $sp, $sp, -8
+                   li $t0, 123
+                   sw $t0, 4($sp)
+                   lw $t1, 4($sp)
+                   addiu $sp, $sp, 8
+                   break 0",
+        );
+        assert_eq!(m.cpu.reg(Reg::T1), 123);
+        assert_eq!(m.cpu.reg(Reg::SP), STACK_TOP);
+    }
+}

@@ -1,0 +1,195 @@
+//! Sparse paged byte-addressable memory.
+
+use crate::SimError;
+use std::collections::HashMap;
+
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+const OFFSET_MASK: u32 = (PAGE_SIZE as u32) - 1;
+
+/// A sparse 32-bit little-endian memory.
+///
+/// Pages are allocated on first touch; reads of untouched memory return
+/// zero, mirroring an initialized SRAM image. Word and halfword accesses
+/// must be naturally aligned (the R3000 traps on unaligned accesses).
+///
+/// ```
+/// use dim_mips_sim::Memory;
+/// let mut mem = Memory::new();
+/// mem.write_u32(0x1000_0000, 0xdead_beef)?;
+/// assert_eq!(mem.read_u32(0x1000_0000)?, 0xdead_beef);
+/// assert_eq!(mem.read_u8(0x1000_0000), 0xef); // little-endian
+/// # Ok::<(), dim_mips_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    fn page(&self, addr: u32) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages.get(&(addr >> PAGE_BITS)).map(|b| &**b)
+    }
+
+    fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .entry(addr >> PAGE_BITS)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE]))
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        self.page(addr)
+            .map_or(0, |p| p[(addr & OFFSET_MASK) as usize])
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u32, value: u8) {
+        self.page_mut(addr)[(addr & OFFSET_MASK) as usize] = value;
+    }
+
+    /// Reads a halfword.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Misaligned`] if `addr` is not 2-byte aligned.
+    pub fn read_u16(&self, addr: u32) -> Result<u16, SimError> {
+        self.check_align(addr, 2)?;
+        Ok(u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr + 1)]))
+    }
+
+    /// Writes a halfword.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Misaligned`] if `addr` is not 2-byte aligned.
+    pub fn write_u16(&mut self, addr: u32, value: u16) -> Result<(), SimError> {
+        self.check_align(addr, 2)?;
+        let b = value.to_le_bytes();
+        self.write_u8(addr, b[0]);
+        self.write_u8(addr + 1, b[1]);
+        Ok(())
+    }
+
+    /// Reads a word.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Misaligned`] if `addr` is not 4-byte aligned.
+    pub fn read_u32(&self, addr: u32) -> Result<u32, SimError> {
+        self.check_align(addr, 4)?;
+        // Aligned words never straddle a page.
+        let off = (addr & OFFSET_MASK) as usize;
+        match self.page(addr) {
+            Some(p) => Ok(u32::from_le_bytes([p[off], p[off + 1], p[off + 2], p[off + 3]])),
+            None => Ok(0),
+        }
+    }
+
+    /// Writes a word.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Misaligned`] if `addr` is not 4-byte aligned.
+    pub fn write_u32(&mut self, addr: u32, value: u32) -> Result<(), SimError> {
+        self.check_align(addr, 4)?;
+        let off = (addr & OFFSET_MASK) as usize;
+        let p = self.page_mut(addr);
+        p[off..off + 4].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    fn check_align(&self, addr: u32, width: u32) -> Result<(), SimError> {
+        if !addr.is_multiple_of(width) {
+            Err(SimError::Misaligned { addr, width })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Copies a byte slice into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u32, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| self.read_u8(addr.wrapping_add(i as u32)))
+            .collect()
+    }
+
+    /// Reads a NUL-terminated string starting at `addr` (at most `max`
+    /// bytes; lossy UTF-8).
+    pub fn read_cstr(&self, addr: u32, max: usize) -> String {
+        let mut out = Vec::new();
+        for i in 0..max {
+            let b = self.read_u8(addr.wrapping_add(i as u32));
+            if b == 0 {
+                break;
+            }
+            out.push(b);
+        }
+        String::from_utf8_lossy(&out).into_owned()
+    }
+
+    /// Number of resident pages (for footprint diagnostics).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialized() {
+        let mem = Memory::new();
+        assert_eq!(mem.read_u8(0x1234), 0);
+        assert_eq!(mem.read_u32(0x1000).unwrap(), 0);
+    }
+
+    #[test]
+    fn little_endian_word() {
+        let mut mem = Memory::new();
+        mem.write_u32(0x100, 0x0102_0304).unwrap();
+        assert_eq!(mem.read_u8(0x100), 0x04);
+        assert_eq!(mem.read_u8(0x103), 0x01);
+        assert_eq!(mem.read_u16(0x100).unwrap(), 0x0304);
+        assert_eq!(mem.read_u16(0x102).unwrap(), 0x0102);
+    }
+
+    #[test]
+    fn misaligned_rejected() {
+        let mut mem = Memory::new();
+        assert!(matches!(mem.read_u32(0x101), Err(SimError::Misaligned { .. })));
+        assert!(matches!(mem.read_u16(0x101), Err(SimError::Misaligned { .. })));
+        assert!(matches!(mem.write_u32(0x102, 0), Err(SimError::Misaligned { .. })));
+        assert!(mem.write_u16(0x102, 0).is_ok());
+    }
+
+    #[test]
+    fn cross_page_bytes() {
+        let mut mem = Memory::new();
+        let boundary = 0x2000 - 2;
+        mem.write_bytes(boundary, &[1, 2, 3, 4]);
+        assert_eq!(mem.read_bytes(boundary, 4), vec![1, 2, 3, 4]);
+        assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn cstr_reading() {
+        let mut mem = Memory::new();
+        mem.write_bytes(0x500, b"hello\0world");
+        assert_eq!(mem.read_cstr(0x500, 64), "hello");
+        assert_eq!(mem.read_cstr(0x500, 3), "hel");
+    }
+}

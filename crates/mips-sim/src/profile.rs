@@ -1,0 +1,205 @@
+//! Dynamic basic-block profiling (the paper's Figure 3 characterization).
+
+use crate::StepInfo;
+use std::collections::HashMap;
+
+/// Per-basic-block dynamic counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BlockStats {
+    /// Times the block was entered.
+    pub entries: u64,
+    /// Total dynamic instructions attributed to the block.
+    pub instructions: u64,
+}
+
+/// Observes the retiring instruction stream and attributes instructions to
+/// dynamic basic blocks (maximal straight-line runs between control
+/// transfers), keyed by the block's leader PC.
+///
+/// ```
+/// use dim_mips::asm::assemble;
+/// use dim_mips_sim::{Machine, Profiler};
+///
+/// let program = assemble("
+///     main: li $t0, 4
+///     loop: addiu $t0, $t0, -1
+///           bnez $t0, loop
+///           break 0
+/// ")?;
+/// let mut machine = Machine::load(&program);
+/// let mut profiler = Profiler::new();
+/// machine.run_with(10_000, |info| profiler.observe(info))?;
+/// let profile = profiler.finish();
+/// assert_eq!(profile.total_instructions, machine.stats.instructions);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    blocks: HashMap<u32, BlockStats>,
+    current_leader: Option<u32>,
+    current_len: u64,
+    total_instructions: u64,
+    control_transfers: u64,
+}
+
+impl Profiler {
+    /// Creates an idle profiler.
+    pub fn new() -> Profiler {
+        Profiler::default()
+    }
+
+    /// Feeds one retired instruction.
+    pub fn observe(&mut self, info: &StepInfo) {
+        if self.current_leader.is_none() {
+            self.current_leader = Some(info.pc);
+        }
+        self.current_len += 1;
+        self.total_instructions += 1;
+        let sequential = info.pc.wrapping_add(4);
+        let block_ends = info.inst.is_control()
+            || info.next_pc != sequential
+            || !matches!(info.effect, crate::Effect::None);
+        if info.inst.is_control() {
+            self.control_transfers += 1;
+        }
+        if block_ends {
+            self.close_block();
+        }
+    }
+
+    fn close_block(&mut self) {
+        if let Some(leader) = self.current_leader.take() {
+            let entry = self.blocks.entry(leader).or_default();
+            entry.entries += 1;
+            entry.instructions += self.current_len;
+        }
+        self.current_len = 0;
+    }
+
+    /// Finalizes and returns the profile.
+    pub fn finish(mut self) -> Profile {
+        self.close_block();
+        let mut blocks: Vec<(u32, BlockStats)> = self.blocks.into_iter().collect();
+        // Hottest first (by attributed instructions, PC as tiebreaker for
+        // determinism).
+        blocks.sort_by(|a, b| b.1.instructions.cmp(&a.1.instructions).then(a.0.cmp(&b.0)));
+        Profile {
+            blocks,
+            total_instructions: self.total_instructions,
+            control_transfers: self.control_transfers,
+        }
+    }
+}
+
+/// A finished basic-block profile, hottest block first.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// `(leader PC, stats)` sorted by attributed instructions, descending.
+    pub blocks: Vec<(u32, BlockStats)>,
+    /// Total dynamic instructions observed.
+    pub total_instructions: u64,
+    /// Total control transfers observed.
+    pub control_transfers: u64,
+}
+
+impl Profile {
+    /// Number of distinct dynamic basic blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Average dynamic basic-block size — the paper's "instructions per
+    /// branch" (Figure 3b).
+    pub fn instructions_per_branch(&self) -> f64 {
+        if self.control_transfers == 0 {
+            self.total_instructions as f64
+        } else {
+            self.total_instructions as f64 / self.control_transfers as f64
+        }
+    }
+
+    /// How many of the hottest blocks are needed to cover `fraction`
+    /// (0..=1) of all executed instructions — one point of the paper's
+    /// Figure 3a curve.
+    pub fn blocks_for_coverage(&self, fraction: f64) -> usize {
+        let target = (self.total_instructions as f64) * fraction.clamp(0.0, 1.0);
+        let mut acc = 0.0;
+        for (i, (_, b)) in self.blocks.iter().enumerate() {
+            acc += b.instructions as f64;
+            if acc + 1e-9 >= target {
+                return i + 1;
+            }
+        }
+        self.blocks.len()
+    }
+
+    /// The full coverage curve at the given fractions.
+    pub fn coverage_curve(&self, fractions: &[f64]) -> Vec<(f64, usize)> {
+        fractions
+            .iter()
+            .map(|&f| (f, self.blocks_for_coverage(f)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Machine;
+    use dim_mips::asm::assemble;
+
+    fn profile_of(src: &str) -> Profile {
+        let p = assemble(src).unwrap();
+        let mut m = Machine::load(&p);
+        let mut prof = Profiler::new();
+        m.run_with(1_000_000, |i| prof.observe(i)).unwrap();
+        prof.finish()
+    }
+
+    #[test]
+    fn loop_dominates_profile() {
+        let prof = profile_of(
+            "main: li $t0, 100
+                   li $t1, 0
+             loop: addu $t1, $t1, $t0
+                   addiu $t0, $t0, -1
+                   bnez $t0, loop
+                   break 0",
+        );
+        // The entry falls through into the loop, so the first iteration is
+        // attributed to the entry block: entry (2+3 instrs, once), loop
+        // body (3 instrs, 99 times), exit (1 instr, once).
+        assert_eq!(prof.block_count(), 3);
+        let (_, hottest) = prof.blocks[0];
+        assert_eq!(hottest.entries, 99);
+        assert_eq!(hottest.instructions, 297);
+        assert_eq!(prof.blocks_for_coverage(0.9), 1);
+        assert_eq!(prof.blocks_for_coverage(1.0), 3);
+        assert!((prof.instructions_per_branch() - 303.0 / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn straightline_is_one_block() {
+        let prof = profile_of("main: li $t0, 1\n li $t1, 2\n addu $t2,$t0,$t1\n break 0");
+        assert_eq!(prof.block_count(), 1);
+        assert_eq!(prof.total_instructions, 4);
+        assert_eq!(prof.control_transfers, 0);
+    }
+
+    #[test]
+    fn coverage_curve_is_monotonic() {
+        let prof = profile_of(
+            "main: li $t0, 8
+             a:    addiu $t0, $t0, -1
+                   andi $t1, $t0, 1
+                   beqz $t1, even
+                   addiu $t2, $t2, 1
+             even: bnez $t0, a
+                   break 0",
+        );
+        let curve = prof.coverage_curve(&[0.2, 0.4, 0.6, 0.8, 1.0]);
+        for w in curve.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+}

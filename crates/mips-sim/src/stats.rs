@@ -1,0 +1,138 @@
+//! Event counters accumulated while simulating.
+
+use dim_mips::Instruction;
+
+/// Dynamic event counts for one run. These drive both the performance
+/// numbers (Table 2) and the energy model (Figures 5-6): every counter
+/// corresponds to a class of events with an energy cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Instructions executed on the processor pipeline.
+    pub instructions: u64,
+    /// Cycles spent executing on the processor pipeline.
+    pub cycles: u64,
+    /// Instruction fetches from instruction memory.
+    pub fetches: u64,
+    /// Data-memory loads.
+    pub loads: u64,
+    /// Data-memory stores.
+    pub stores: u64,
+    /// Conditional branches executed.
+    pub branches: u64,
+    /// Conditional branches taken.
+    pub taken_branches: u64,
+    /// Unconditional jumps executed.
+    pub jumps: u64,
+    /// Multiplies executed.
+    pub mults: u64,
+    /// Divides executed.
+    pub divs: u64,
+    /// Syscalls serviced.
+    pub syscalls: u64,
+    /// Load-use interlock stalls.
+    pub load_use_stalls: u64,
+}
+
+impl RunStats {
+    /// Creates zeroed counters.
+    pub fn new() -> RunStats {
+        RunStats::default()
+    }
+
+    /// Records one executed instruction (cycle cost added separately).
+    pub fn record(&mut self, inst: &Instruction, taken: Option<bool>, load_use_hazard: bool) {
+        self.instructions += 1;
+        self.fetches += 1;
+        if load_use_hazard {
+            self.load_use_stalls += 1;
+        }
+        match inst {
+            Instruction::Load { .. } => self.loads += 1,
+            Instruction::Store { .. } => self.stores += 1,
+            Instruction::Branch { .. } => {
+                self.branches += 1;
+                if taken == Some(true) {
+                    self.taken_branches += 1;
+                }
+            }
+            Instruction::J { .. }
+            | Instruction::Jal { .. }
+            | Instruction::Jr { .. }
+            | Instruction::Jalr { .. } => self.jumps += 1,
+            Instruction::MulDiv { op, .. } => {
+                if op.is_div() {
+                    self.divs += 1;
+                } else {
+                    self.mults += 1;
+                }
+            }
+            Instruction::Syscall => self.syscalls += 1,
+            _ => {}
+        }
+    }
+
+    /// Data-memory accesses (loads + stores).
+    pub fn mem_accesses(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Control transfers (conditional branches + jumps).
+    pub fn control_transfers(&self) -> u64 {
+        self.branches + self.jumps
+    }
+
+    /// Average dynamic instructions per control transfer — the paper's
+    /// "instructions per branch" (Figure 3b).
+    pub fn instructions_per_branch(&self) -> f64 {
+        if self.control_transfers() == 0 {
+            self.instructions as f64
+        } else {
+            self.instructions as f64 / self.control_transfers() as f64
+        }
+    }
+
+    /// Instructions per cycle on the baseline pipeline.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dim_mips::{BranchCond, Reg};
+
+    #[test]
+    fn counters_classify_instructions() {
+        let mut s = RunStats::new();
+        s.record(&Instruction::NOP, None, false);
+        s.record(
+            &Instruction::Branch { cond: BranchCond::Eq, rs: Reg::T0, rt: Reg::T1, offset: 0 },
+            Some(true),
+            false,
+        );
+        s.record(
+            &Instruction::Load {
+                width: dim_mips::MemWidth::Word,
+                signed: false,
+                rt: Reg::T0,
+                base: Reg::SP,
+                offset: 0,
+            },
+            None,
+            false,
+        );
+        s.record(&Instruction::NOP, None, true);
+        assert_eq!(s.instructions, 4);
+        assert_eq!(s.branches, 1);
+        assert_eq!(s.taken_branches, 1);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.load_use_stalls, 1);
+        assert_eq!(s.mem_accesses(), 1);
+        assert!((s.instructions_per_branch() - 4.0).abs() < 1e-9);
+    }
+}

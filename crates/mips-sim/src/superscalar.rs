@@ -1,0 +1,225 @@
+//! An in-order dual-issue superscalar cycle model — the alternative the
+//! paper's introduction argues against ("the limited and time-varying
+//! instruction level parallelism available in applications ... preclude
+//! the employment of these processors as an effective organization to be
+//! used in low-energy devices").
+//!
+//! The model retimes a retiring instruction stream: up to `width`
+//! instructions issue per cycle, subject to in-order issue, no RAW
+//! dependence inside an issue group, one memory port, and control
+//! transfers ending the group (plus the usual flush/multi-cycle
+//! penalties). Feeding it the observer stream of a [`Machine`] run gives
+//! the cycle count the same program would take on the wider core.
+
+use crate::{PipelineCosts, StepInfo};
+use dim_mips::{DataLoc, Instruction};
+
+/// Issue constraints of the modelled superscalar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuperscalarConfig {
+    /// Maximum instructions issued per cycle.
+    pub width: usize,
+    /// Memory operations per cycle (data-cache ports).
+    pub mem_ports: usize,
+    /// Per-event penalties shared with the scalar model.
+    pub costs: PipelineCosts,
+}
+
+impl Default for SuperscalarConfig {
+    fn default() -> Self {
+        SuperscalarConfig {
+            width: 2,
+            mem_ports: 1,
+            costs: PipelineCosts::default(),
+        }
+    }
+}
+
+/// Retimes an instruction stream under superscalar issue rules.
+#[derive(Debug, Clone)]
+pub struct SuperscalarModel {
+    config: SuperscalarConfig,
+    cycles: u64,
+    group_len: usize,
+    group_mem: usize,
+    group_writes: Vec<DataLoc>,
+    instructions: u64,
+}
+
+impl SuperscalarModel {
+    /// Creates an idle model.
+    pub fn new(config: SuperscalarConfig) -> SuperscalarModel {
+        SuperscalarModel {
+            config,
+            cycles: 0,
+            group_len: 0,
+            group_mem: 0,
+            group_writes: Vec::new(),
+            instructions: 0,
+        }
+    }
+
+    /// Total cycles accumulated so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Instructions retimed so far.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    fn close_group(&mut self) {
+        if self.group_len > 0 {
+            self.cycles += 1;
+            self.group_len = 0;
+            self.group_mem = 0;
+            self.group_writes.clear();
+        }
+    }
+
+    /// Feeds one retired instruction (use as a [`Machine::run_with`]
+    /// observer).
+    ///
+    /// [`Machine::run_with`]: crate::Machine::run_with
+    pub fn observe(&mut self, info: &StepInfo) {
+        let inst = &info.inst;
+        self.instructions += 1;
+
+        // RAW against the current group forces a new cycle.
+        let raw = inst
+            .reads()
+            .iter()
+            .any(|src| self.group_writes.contains(&src));
+        let mem_full = inst.is_mem() && self.group_mem >= self.config.mem_ports;
+        if raw || mem_full || self.group_len >= self.config.width {
+            self.close_group();
+        }
+
+        self.group_len += 1;
+        if inst.is_mem() {
+            self.group_mem += 1;
+        }
+        for dst in inst.writes().iter() {
+            self.group_writes.push(dst);
+        }
+
+        // Multi-cycle / flush events drain the machine like the scalar
+        // model (charged on top of the issue cycle).
+        let extra = match inst {
+            Instruction::MulDiv { op, .. } => {
+                if op.is_div() {
+                    self.config.costs.div_extra
+                } else {
+                    self.config.costs.mult_extra
+                }
+            }
+            Instruction::Branch { .. } if info.taken == Some(true) => {
+                self.config.costs.taken_branch_penalty
+            }
+            Instruction::J { .. }
+            | Instruction::Jal { .. }
+            | Instruction::Jr { .. }
+            | Instruction::Jalr { .. } => self.config.costs.jump_penalty,
+            _ => 0,
+        };
+        if extra > 0 {
+            self.close_group();
+            self.cycles += extra;
+        } else if inst.is_control() {
+            // Control transfers end the issue group even when not taken.
+            self.close_group();
+        }
+    }
+
+    /// Closes the trailing issue group and returns the final cycle count.
+    pub fn finish(mut self) -> u64 {
+        self.close_group();
+        self.cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Machine;
+    use dim_mips::asm::assemble;
+
+    fn retime(src: &str, config: SuperscalarConfig) -> (u64, u64) {
+        let p = assemble(src).unwrap();
+        let mut m = Machine::load(&p);
+        let mut model = SuperscalarModel::new(config);
+        m.run_with(1_000_000, |i| model.observe(i)).unwrap();
+        (m.stats.cycles, model.finish())
+    }
+
+    #[test]
+    fn independent_pairs_dual_issue() {
+        // Four independent adds + break: 2 cycles for the adds.
+        let (scalar, ss) = retime(
+            "main: addu $t0, $a0, $a1
+                   addu $t1, $a2, $a3
+                   addu $t2, $a0, $a3
+                   addu $t3, $a1, $a2
+                   break 0",
+            SuperscalarConfig::default(),
+        );
+        assert_eq!(scalar, 5);
+        assert_eq!(ss, 3); // 2 add-pairs + break
+    }
+
+    #[test]
+    fn raw_chain_defeats_width() {
+        let (scalar, ss) = retime(
+            "main: addu $t0, $a0, $a1
+                   addu $t0, $t0, $a1
+                   addu $t0, $t0, $a1
+                   addu $t0, $t0, $a1
+                   break 0",
+            SuperscalarConfig::default(),
+        );
+        assert_eq!(scalar, 5);
+        // The adds serialize (4 cycles); `break` dual-issues with the last.
+        assert_eq!(ss, 4);
+    }
+
+    #[test]
+    fn one_memory_port_serializes_loads() {
+        let (_, ss) = retime(
+            "main: lw $t0, 0($gp)
+                   lw $t1, 4($gp)
+                   lw $t2, 8($gp)
+                   lw $t3, 12($gp)
+                   break 0",
+            SuperscalarConfig::default(),
+        );
+        assert_eq!(ss, 4); // 4 load cycles, break pairs with the last
+        let wide = SuperscalarConfig { mem_ports: 2, ..SuperscalarConfig::default() };
+        let (_, ss2) = retime(
+            "main: lw $t0, 0($gp)
+                   lw $t1, 4($gp)
+                   lw $t2, 8($gp)
+                   lw $t3, 12($gp)
+                   break 0",
+            wide,
+        );
+        assert_eq!(ss2, 3);
+    }
+
+    #[test]
+    fn superscalar_never_slower_than_scalar() {
+        let src = "
+            main: li $s0, 50
+            loop: xor $t0, $v0, $s0
+                  sll $t1, $s0, 2
+                  addu $v0, $t0, $t1
+                  lw  $t2, 0($gp)
+                  addu $v0, $v0, $t2
+                  addiu $s0, $s0, -1
+                  bnez $s0, loop
+                  break 0";
+        let (scalar, ss) = retime(src, SuperscalarConfig::default());
+        assert!(ss <= scalar, "{ss} > {scalar}");
+        assert!(ss > scalar / 2, "dual issue cannot more than double");
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the simulator substrate: profiler accounting,
+//! superscalar retiming bounds, cache-model sanity, and memory behaviour.
+
+use dim_mips::asm::assemble;
+use dim_mips_sim::{
+    CacheConfig, CacheSim, Machine, Memory, Profiler, SuperscalarConfig, SuperscalarModel,
+};
+use proptest::prelude::*;
+
+/// A random but always-terminating counted loop with a data-dependent
+/// diamond inside.
+fn program(iters: u32, body_adds: usize) -> String {
+    let mut src = format!("main: li $s0, {iters}\n");
+    src.push_str("loop:\n");
+    for i in 0..body_adds {
+        src.push_str(&format!(" addu $t{}, $t{}, $s0\n", i % 8, (i + 1) % 8));
+    }
+    src.push_str(
+        " andi $t8, $s0, 1\n beqz $t8, even\n addiu $v0, $v0, 7\n\
+         even: addiu $s0, $s0, -1\n bnez $s0, loop\n break 0\n",
+    );
+    src
+}
+
+proptest! {
+    /// The profiler attributes every retired instruction to exactly one
+    /// block, and block entries sum to the control-transfer structure.
+    #[test]
+    fn profiler_conserves_instructions(iters in 1u32..60, body in 1usize..10) {
+        let p = assemble(&program(iters, body)).unwrap();
+        let mut m = Machine::load(&p);
+        let mut prof = Profiler::new();
+        m.run_with(1_000_000, |i| prof.observe(i)).unwrap();
+        let profile = prof.finish();
+        prop_assert_eq!(profile.total_instructions, m.stats.instructions);
+        let attributed: u64 = profile.blocks.iter().map(|(_, b)| b.instructions).sum();
+        prop_assert_eq!(attributed, m.stats.instructions);
+        prop_assert_eq!(profile.control_transfers, m.stats.control_transfers());
+        // Coverage curve is monotone and ends at the block count.
+        let c50 = profile.blocks_for_coverage(0.5);
+        let c100 = profile.blocks_for_coverage(1.0);
+        prop_assert!(c50 <= c100);
+        prop_assert!(c100 <= profile.block_count());
+    }
+
+    /// Dual-issue retiming is bounded: never slower than scalar, never
+    /// better than 2x on issue-limited code.
+    #[test]
+    fn superscalar_bounded_by_width(iters in 1u32..60, body in 1usize..10) {
+        let p = assemble(&program(iters, body)).unwrap();
+        let mut m = Machine::load(&p);
+        let mut model = SuperscalarModel::new(SuperscalarConfig::default());
+        m.run_with(1_000_000, |i| model.observe(i)).unwrap();
+        prop_assert_eq!(model.instructions(), m.stats.instructions);
+        let ss = model.finish();
+        prop_assert!(ss <= m.stats.cycles);
+        // Issue groups are at most 2 wide, so at least half the
+        // instruction count in cycles.
+        prop_assert!(2 * ss >= m.stats.instructions);
+    }
+
+    /// Cache miss counts are bounded by accesses and by the footprint.
+    #[test]
+    fn cache_misses_bounded(addrs in prop::collection::vec(0u32..0x4000, 1..400)) {
+        let mut c = CacheSim::new(CacheConfig::dcache_4k());
+        for &a in &addrs {
+            c.access(a);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.accesses, addrs.len() as u64);
+        prop_assert!(s.misses <= s.accesses);
+        // Every line in a 16KiB address space: at most footprint/line
+        // compulsory misses plus conflict misses bounded by accesses —
+        // but with a 0x4000 footprint over a 0x1000 cache, misses can't
+        // exceed the number of distinct lines touched plus re-fetches;
+        // sanity: a single repeated address misses exactly once.
+        let mut c2 = CacheSim::new(CacheConfig::dcache_4k());
+        for _ in 0..10 {
+            c2.access(addrs[0]);
+        }
+        prop_assert_eq!(c2.stats().misses, 1);
+    }
+
+    /// Memory reads always return the last written value.
+    #[test]
+    fn memory_read_your_writes(
+        writes in prop::collection::vec((0u32..0x10000, any::<u32>()), 1..100),
+    ) {
+        let mut mem = Memory::new();
+        let mut model = std::collections::HashMap::new();
+        for &(addr, value) in &writes {
+            let addr = addr & !3;
+            mem.write_u32(addr, value).unwrap();
+            model.insert(addr, value);
+        }
+        for (&addr, &value) in &model {
+            prop_assert_eq!(mem.read_u32(addr).unwrap(), value);
+        }
+    }
+}

@@ -1,0 +1,626 @@
+//! Instruction selection: maps mnemonics + operands (including
+//! pseudo-instructions) to one or more [`Instruction`]s.
+
+use crate::asm::item::Operand;
+use crate::asm::AsmError;
+use crate::inst::{AluImmOp, AluOp, BranchCond, Instruction, MemWidth, MulDivOp, ShiftOp};
+use crate::Reg;
+
+type Resolver<'a> = dyn FnMut(&str, i64) -> Result<u32, AsmError> + 'a;
+
+fn err(line: usize, msg: impl Into<String>) -> AsmError {
+    AsmError::new(line, msg)
+}
+
+fn expect_len(m: &str, ops: &[Operand], n: usize, line: usize) -> Result<(), AsmError> {
+    if ops.len() == n {
+        Ok(())
+    } else {
+        Err(err(line, format!("`{m}` expects {n} operand(s), got {}", ops.len())))
+    }
+}
+
+fn reg(m: &str, ops: &[Operand], i: usize, line: usize) -> Result<Reg, AsmError> {
+    match ops.get(i) {
+        Some(Operand::Reg(r)) => Ok(*r),
+        _ => Err(err(line, format!("`{m}` operand {} must be a register", i + 1))),
+    }
+}
+
+fn imm(m: &str, ops: &[Operand], i: usize, line: usize) -> Result<i64, AsmError> {
+    match ops.get(i) {
+        Some(Operand::Imm(v)) => Ok(*v),
+        _ => Err(err(line, format!("`{m}` operand {} must be an immediate", i + 1))),
+    }
+}
+
+fn check_i16(v: i64, line: usize) -> Result<u16, AsmError> {
+    if (-32768..=32767).contains(&v) {
+        Ok(v as i16 as u16)
+    } else {
+        Err(err(line, format!("immediate {v} does not fit in 16 signed bits")))
+    }
+}
+
+fn check_u16(v: i64, line: usize) -> Result<u16, AsmError> {
+    if (0..=0xffff).contains(&v) {
+        Ok(v as u16)
+    } else {
+        Err(err(line, format!("immediate {v} does not fit in 16 unsigned bits")))
+    }
+}
+
+/// Branch target: a label resolves to a word offset relative to
+/// `branch_addr + 4`; a bare immediate is the encoded offset itself.
+fn branch_offset(
+    m: &str,
+    ops: &[Operand],
+    i: usize,
+    branch_addr: u32,
+    line: usize,
+    resolve: &mut Resolver<'_>,
+) -> Result<i16, AsmError> {
+    match ops.get(i) {
+        Some(Operand::Imm(v)) => Ok(check_i16(*v, line)? as i16),
+        Some(Operand::Sym { name, addend }) => {
+            let target = resolve(name, *addend)?;
+            let delta = target.wrapping_sub(branch_addr.wrapping_add(4)) as i32;
+            if delta % 4 != 0 {
+                return Err(err(line, format!("branch target {target:#x} not word aligned")));
+            }
+            let words = delta >> 2;
+            if !(-32768..=32767).contains(&words) {
+                return Err(err(line, format!("branch to `{name}` out of range ({words} words)")));
+            }
+            Ok(words as i16)
+        }
+        _ => Err(err(line, format!("`{m}` needs a label or offset operand"))),
+    }
+}
+
+fn jump_target(
+    m: &str,
+    ops: &[Operand],
+    addr: u32,
+    line: usize,
+    resolve: &mut Resolver<'_>,
+) -> Result<u32, AsmError> {
+    let abs = match ops.first() {
+        Some(Operand::Imm(v)) => *v as u32,
+        Some(Operand::Sym { name, addend }) => resolve(name, *addend)?,
+        _ => return Err(err(line, format!("`{m}` needs a target"))),
+    };
+    if abs % 4 != 0 {
+        return Err(err(line, format!("jump target {abs:#x} not word aligned")));
+    }
+    if (abs & 0xf000_0000) != (addr.wrapping_add(4) & 0xf000_0000) {
+        return Err(err(line, format!("jump target {abs:#x} outside the current 256MB region")));
+    }
+    Ok((abs >> 2) & 0x03ff_ffff)
+}
+
+/// Loads/stores accept `offset(base)` or a bare symbol (expanded through
+/// `$at`).
+enum MemForm {
+    Direct { base: Reg, offset: i16 },
+    ViaAt { hi: u16, lo: u16 },
+}
+
+fn mem_operand(
+    m: &str,
+    ops: &[Operand],
+    i: usize,
+    line: usize,
+    resolve: &mut Resolver<'_>,
+) -> Result<MemForm, AsmError> {
+    match ops.get(i) {
+        Some(Operand::Mem { sym, offset, base }) => {
+            let total = match sym {
+                Some(name) => resolve(name, *offset)? as i64,
+                None => *offset,
+            };
+            Ok(MemForm::Direct {
+                base: *base,
+                offset: check_i16(total, line)? as i16,
+            })
+        }
+        Some(Operand::Sym { name, addend }) => {
+            let addr = resolve(name, *addend)?;
+            let (hi, lo) = hi_lo(addr);
+            Ok(MemForm::ViaAt { hi, lo })
+        }
+        _ => Err(err(line, format!("`{m}` operand {} must be a memory operand", i + 1))),
+    }
+}
+
+/// Splits an address for `lui`/`ori` materialization.
+fn hi_lo(addr: u32) -> (u16, u16) {
+    ((addr >> 16) as u16, (addr & 0xffff) as u16)
+}
+
+/// Encodes one mnemonic into its instruction sequence.
+///
+/// `addr` is the address of the first emitted word; `resolve` maps symbol
+/// names to addresses. The number of emitted instructions never depends on
+/// resolved values, which is what makes two-pass assembly sound.
+pub(crate) fn encode_op(
+    mnemonic: &str,
+    ops: &[Operand],
+    addr: u32,
+    line: usize,
+    resolve: &mut Resolver<'_>,
+) -> Result<Vec<Instruction>, AsmError> {
+    use Instruction as I;
+    let m = mnemonic;
+
+    let alu3 = |op: AluOp, ops: &[Operand]| -> Result<Vec<I>, AsmError> {
+        expect_len(m, ops, 3, line)?;
+        Ok(vec![I::Alu {
+            op,
+            rd: reg(m, ops, 0, line)?,
+            rs: reg(m, ops, 1, line)?,
+            rt: reg(m, ops, 2, line)?,
+        }])
+    };
+    let alu_imm = |op: AluImmOp, ops: &[Operand], unsigned: bool| -> Result<Vec<I>, AsmError> {
+        expect_len(m, ops, 3, line)?;
+        let v = imm(m, ops, 2, line)?;
+        let raw = if unsigned { check_u16(v, line)? } else { check_i16(v, line)? };
+        Ok(vec![I::AluImm {
+            op,
+            rt: reg(m, ops, 0, line)?,
+            rs: reg(m, ops, 1, line)?,
+            imm: raw,
+        }])
+    };
+    let shift = |op: ShiftOp, ops: &[Operand]| -> Result<Vec<I>, AsmError> {
+        expect_len(m, ops, 3, line)?;
+        let amount = imm(m, ops, 2, line)?;
+        if !(0..=31).contains(&amount) {
+            return Err(err(line, format!("shift amount {amount} out of range")));
+        }
+        Ok(vec![I::Shift {
+            op,
+            rd: reg(m, ops, 0, line)?,
+            rt: reg(m, ops, 1, line)?,
+            shamt: amount as u8,
+        }])
+    };
+    let shift_var = |op: ShiftOp, ops: &[Operand]| -> Result<Vec<I>, AsmError> {
+        expect_len(m, ops, 3, line)?;
+        Ok(vec![I::ShiftVar {
+            op,
+            rd: reg(m, ops, 0, line)?,
+            rt: reg(m, ops, 1, line)?,
+            rs: reg(m, ops, 2, line)?,
+        }])
+    };
+
+    let load = |width: MemWidth,
+                signed: bool,
+                ops: &[Operand],
+                resolve: &mut Resolver<'_>|
+     -> Result<Vec<I>, AsmError> {
+        expect_len(m, ops, 2, line)?;
+        let rt = reg(m, ops, 0, line)?;
+        Ok(match mem_operand(m, ops, 1, line, resolve)? {
+            MemForm::Direct { base, offset } => vec![I::Load { width, signed, rt, base, offset }],
+            MemForm::ViaAt { hi, lo } => vec![
+                I::Lui { rt: Reg::AT, imm: hi },
+                I::Load { width, signed, rt, base: Reg::AT, offset: lo as i16 },
+            ],
+        })
+    };
+    let store = |width: MemWidth,
+                 ops: &[Operand],
+                 resolve: &mut Resolver<'_>|
+     -> Result<Vec<I>, AsmError> {
+        expect_len(m, ops, 2, line)?;
+        let rt = reg(m, ops, 0, line)?;
+        Ok(match mem_operand(m, ops, 1, line, resolve)? {
+            MemForm::Direct { base, offset } => vec![I::Store { width, rt, base, offset }],
+            MemForm::ViaAt { hi, lo } => vec![
+                I::Lui { rt: Reg::AT, imm: hi },
+                I::Store { width, rt, base: Reg::AT, offset: lo as i16 },
+            ],
+        })
+    };
+
+    let branch2 = |cond: BranchCond,
+                   ops: &[Operand],
+                   resolve: &mut Resolver<'_>|
+     -> Result<Vec<I>, AsmError> {
+        expect_len(m, ops, 3, line)?;
+        Ok(vec![I::Branch {
+            cond,
+            rs: reg(m, ops, 0, line)?,
+            rt: reg(m, ops, 1, line)?,
+            offset: branch_offset(m, ops, 2, addr, line, resolve)?,
+        }])
+    };
+    let branch1 = |cond: BranchCond,
+                   ops: &[Operand],
+                   resolve: &mut Resolver<'_>|
+     -> Result<Vec<I>, AsmError> {
+        expect_len(m, ops, 2, line)?;
+        Ok(vec![I::Branch {
+            cond,
+            rs: reg(m, ops, 0, line)?,
+            rt: Reg::ZERO,
+            offset: branch_offset(m, ops, 1, addr, line, resolve)?,
+        }])
+    };
+    // Pseudo compare-and-branch: `slt $at, a, b` + conditional branch on $at.
+    // The branch is the second emitted word, at addr + 4.
+    let cmp_branch = |swap: bool,
+                      unsigned: bool,
+                      taken_if_set: bool,
+                      ops: &[Operand],
+                      resolve: &mut Resolver<'_>|
+     -> Result<Vec<I>, AsmError> {
+        expect_len(m, ops, 3, line)?;
+        let a = reg(m, ops, 0, line)?;
+        let b = reg(m, ops, 1, line)?;
+        let (x, y) = if swap { (b, a) } else { (a, b) };
+        let branch_addr = addr + 4;
+        let offset = match ops.get(2) {
+            Some(Operand::Imm(v)) => check_i16(*v, line)? as i16,
+            Some(Operand::Sym { name, addend }) => {
+                let target = resolve(name, *addend)?;
+                let delta = target.wrapping_sub(branch_addr.wrapping_add(4)) as i32;
+                if delta % 4 != 0 {
+                    return Err(err(line, "branch target not word aligned"));
+                }
+                (delta >> 2) as i16
+            }
+            _ => return Err(err(line, format!("`{m}` needs a label"))),
+        };
+        Ok(vec![
+            I::Alu {
+                op: if unsigned { AluOp::Sltu } else { AluOp::Slt },
+                rd: Reg::AT,
+                rs: x,
+                rt: y,
+            },
+            I::Branch {
+                cond: if taken_if_set { BranchCond::Ne } else { BranchCond::Eq },
+                rs: Reg::AT,
+                rt: Reg::ZERO,
+                offset,
+            },
+        ])
+    };
+
+    match m {
+        // --- native ALU ---
+        "add" => alu3(AluOp::Add, ops),
+        "addu" => alu3(AluOp::Addu, ops),
+        "sub" => alu3(AluOp::Sub, ops),
+        "subu" => alu3(AluOp::Subu, ops),
+        "and" => alu3(AluOp::And, ops),
+        "or" => alu3(AluOp::Or, ops),
+        "xor" => alu3(AluOp::Xor, ops),
+        "nor" => alu3(AluOp::Nor, ops),
+        "slt" => alu3(AluOp::Slt, ops),
+        "sltu" => alu3(AluOp::Sltu, ops),
+        "addi" => alu_imm(AluImmOp::Addi, ops, false),
+        "addiu" => alu_imm(AluImmOp::Addiu, ops, false),
+        "slti" => alu_imm(AluImmOp::Slti, ops, false),
+        "sltiu" => alu_imm(AluImmOp::Sltiu, ops, false),
+        "andi" => alu_imm(AluImmOp::Andi, ops, true),
+        "ori" => alu_imm(AluImmOp::Ori, ops, true),
+        "xori" => alu_imm(AluImmOp::Xori, ops, true),
+        "sll" => shift(ShiftOp::Sll, ops),
+        "srl" => shift(ShiftOp::Srl, ops),
+        "sra" => shift(ShiftOp::Sra, ops),
+        "sllv" => shift_var(ShiftOp::Sll, ops),
+        "srlv" => shift_var(ShiftOp::Srl, ops),
+        "srav" => shift_var(ShiftOp::Sra, ops),
+        "lui" => {
+            expect_len(m, ops, 2, line)?;
+            let v = imm(m, ops, 1, line)?;
+            Ok(vec![I::Lui { rt: reg(m, ops, 0, line)?, imm: check_u16(v, line)? }])
+        }
+        // --- multiply / divide ---
+        "mult" | "multu" | "divu" if ops.len() == 2 => {
+            let op = match m {
+                "mult" => MulDivOp::Mult,
+                "multu" => MulDivOp::Multu,
+                _ => MulDivOp::Divu,
+            };
+            Ok(vec![I::MulDiv { op, rs: reg(m, ops, 0, line)?, rt: reg(m, ops, 1, line)? }])
+        }
+        "div" if ops.len() == 2 => Ok(vec![I::MulDiv {
+            op: MulDivOp::Div,
+            rs: reg(m, ops, 0, line)?,
+            rt: reg(m, ops, 1, line)?,
+        }]),
+        // 3-operand pseudo forms.
+        "mul" | "div" | "divu" | "rem" | "remu" => {
+            expect_len(m, ops, 3, line)?;
+            let rd = reg(m, ops, 0, line)?;
+            let rs = reg(m, ops, 1, line)?;
+            let rt = reg(m, ops, 2, line)?;
+            let (op, take_lo) = match m {
+                "mul" => (MulDivOp::Mult, true),
+                "div" => (MulDivOp::Div, true),
+                "divu" => (MulDivOp::Divu, true),
+                "rem" => (MulDivOp::Div, false),
+                _ => (MulDivOp::Divu, false),
+            };
+            let mv = if take_lo { I::Mflo { rd } } else { I::Mfhi { rd } };
+            Ok(vec![I::MulDiv { op, rs, rt }, mv])
+        }
+        "mfhi" => {
+            expect_len(m, ops, 1, line)?;
+            Ok(vec![I::Mfhi { rd: reg(m, ops, 0, line)? }])
+        }
+        "mflo" => {
+            expect_len(m, ops, 1, line)?;
+            Ok(vec![I::Mflo { rd: reg(m, ops, 0, line)? }])
+        }
+        "mthi" => {
+            expect_len(m, ops, 1, line)?;
+            Ok(vec![I::Mthi { rs: reg(m, ops, 0, line)? }])
+        }
+        "mtlo" => {
+            expect_len(m, ops, 1, line)?;
+            Ok(vec![I::Mtlo { rs: reg(m, ops, 0, line)? }])
+        }
+        // --- memory ---
+        "lb" => load(MemWidth::Byte, true, ops, resolve),
+        "lbu" => load(MemWidth::Byte, false, ops, resolve),
+        "lh" => load(MemWidth::Half, true, ops, resolve),
+        "lhu" => load(MemWidth::Half, false, ops, resolve),
+        "lw" => load(MemWidth::Word, false, ops, resolve),
+        "sb" => store(MemWidth::Byte, ops, resolve),
+        "lwl" | "lwr" | "swl" | "swr" => {
+            expect_len(m, ops, 2, line)?;
+            let rt = reg(m, ops, 0, line)?;
+            let MemForm::Direct { base, offset } = mem_operand(m, ops, 1, line, resolve)? else {
+                return Err(err(line, format!("`{m}` requires an offset(base) operand")));
+            };
+            let left = m.ends_with('l');
+            Ok(vec![if m.starts_with('l') {
+                I::LoadUnaligned { left, rt, base, offset }
+            } else {
+                I::StoreUnaligned { left, rt, base, offset }
+            }])
+        }
+        "sh" => store(MemWidth::Half, ops, resolve),
+        "sw" => store(MemWidth::Word, ops, resolve),
+        // --- branches ---
+        "beq" => branch2(BranchCond::Eq, ops, resolve),
+        "bne" => branch2(BranchCond::Ne, ops, resolve),
+        "blez" => branch1(BranchCond::Lez, ops, resolve),
+        "bgtz" => branch1(BranchCond::Gtz, ops, resolve),
+        "bltz" => branch1(BranchCond::Ltz, ops, resolve),
+        "bgez" => branch1(BranchCond::Gez, ops, resolve),
+        "beqz" => {
+            expect_len(m, ops, 2, line)?;
+            Ok(vec![I::Branch {
+                cond: BranchCond::Eq,
+                rs: reg(m, ops, 0, line)?,
+                rt: Reg::ZERO,
+                offset: branch_offset(m, ops, 1, addr, line, resolve)?,
+            }])
+        }
+        "bnez" => {
+            expect_len(m, ops, 2, line)?;
+            Ok(vec![I::Branch {
+                cond: BranchCond::Ne,
+                rs: reg(m, ops, 0, line)?,
+                rt: Reg::ZERO,
+                offset: branch_offset(m, ops, 1, addr, line, resolve)?,
+            }])
+        }
+        "b" => {
+            expect_len(m, ops, 1, line)?;
+            Ok(vec![I::Branch {
+                cond: BranchCond::Eq,
+                rs: Reg::ZERO,
+                rt: Reg::ZERO,
+                offset: branch_offset(m, ops, 0, addr, line, resolve)?,
+            }])
+        }
+        "blt" => cmp_branch(false, false, true, ops, resolve),
+        "bge" => cmp_branch(false, false, false, ops, resolve),
+        "bgt" => cmp_branch(true, false, true, ops, resolve),
+        "ble" => cmp_branch(true, false, false, ops, resolve),
+        "bltu" => cmp_branch(false, true, true, ops, resolve),
+        "bgeu" => cmp_branch(false, true, false, ops, resolve),
+        "bgtu" => cmp_branch(true, true, true, ops, resolve),
+        "bleu" => cmp_branch(true, true, false, ops, resolve),
+        // --- jumps ---
+        "j" => Ok(vec![I::J { target: jump_target(m, ops, addr, line, resolve)? }]),
+        "jal" => Ok(vec![I::Jal { target: jump_target(m, ops, addr, line, resolve)? }]),
+        "jr" => {
+            expect_len(m, ops, 1, line)?;
+            Ok(vec![I::Jr { rs: reg(m, ops, 0, line)? }])
+        }
+        "jalr" => match ops.len() {
+            1 => Ok(vec![I::Jalr { rd: Reg::RA, rs: reg(m, ops, 0, line)? }]),
+            2 => Ok(vec![I::Jalr { rd: reg(m, ops, 0, line)?, rs: reg(m, ops, 1, line)? }]),
+            n => Err(err(line, format!("`jalr` expects 1 or 2 operands, got {n}"))),
+        },
+        // --- system ---
+        "syscall" => Ok(vec![I::Syscall]),
+        "break" => {
+            let code = match ops.first() {
+                None => 0,
+                Some(Operand::Imm(v)) if (0..1 << 20).contains(v) => *v as u32,
+                Some(_) => return Err(err(line, "`break` code out of range")),
+            };
+            Ok(vec![I::Break { code }])
+        }
+        "nop" => Ok(vec![I::NOP]),
+        // --- register pseudo-ops ---
+        "move" => {
+            expect_len(m, ops, 2, line)?;
+            Ok(vec![I::Alu {
+                op: AluOp::Addu,
+                rd: reg(m, ops, 0, line)?,
+                rs: reg(m, ops, 1, line)?,
+                rt: Reg::ZERO,
+            }])
+        }
+        "neg" | "negu" => {
+            expect_len(m, ops, 2, line)?;
+            Ok(vec![I::Alu {
+                op: if m == "neg" { AluOp::Sub } else { AluOp::Subu },
+                rd: reg(m, ops, 0, line)?,
+                rs: Reg::ZERO,
+                rt: reg(m, ops, 1, line)?,
+            }])
+        }
+        "not" => {
+            expect_len(m, ops, 2, line)?;
+            Ok(vec![I::Alu {
+                op: AluOp::Nor,
+                rd: reg(m, ops, 0, line)?,
+                rs: reg(m, ops, 1, line)?,
+                rt: Reg::ZERO,
+            }])
+        }
+        "li" => {
+            expect_len(m, ops, 2, line)?;
+            let rt = reg(m, ops, 0, line)?;
+            let v = imm(m, ops, 1, line)?;
+            if !(-(1 << 31)..(1 << 32)).contains(&v) {
+                return Err(err(line, format!("`li` value {v} does not fit in 32 bits")));
+            }
+            let v32 = v as u32;
+            if (-32768..=32767).contains(&v) {
+                Ok(vec![I::AluImm { op: AluImmOp::Addiu, rt, rs: Reg::ZERO, imm: v as i16 as u16 }])
+            } else if (0..=0xffff).contains(&v) {
+                Ok(vec![I::AluImm { op: AluImmOp::Ori, rt, rs: Reg::ZERO, imm: v as u16 }])
+            } else {
+                let (hi, lo) = hi_lo(v32);
+                let mut out = vec![I::Lui { rt, imm: hi }];
+                if lo != 0 {
+                    out.push(I::AluImm { op: AluImmOp::Ori, rt, rs: rt, imm: lo });
+                }
+                Ok(out)
+            }
+        }
+        "la" => {
+            expect_len(m, ops, 2, line)?;
+            let rt = reg(m, ops, 0, line)?;
+            let Some(Operand::Sym { name, addend }) = ops.get(1) else {
+                return Err(err(line, "`la` operand 2 must be a symbol"));
+            };
+            let target = resolve(name, *addend)?;
+            let (hi, lo) = hi_lo(target);
+            Ok(vec![
+                I::Lui { rt, imm: hi },
+                I::AluImm { op: AluImmOp::Ori, rt, rs: rt, imm: lo },
+            ])
+        }
+        other => Err(err(line, format!("unknown mnemonic `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::asm::assemble;
+
+    #[test]
+    fn li_selects_minimal_encoding() {
+        let p = assemble("main: li $t0, 5\n li $t1, -3\n li $t2, 0xffff\n li $t3, 0x12345678\n li $t4, 0x10000").unwrap();
+        // 1 + 1 + 1 + 2 + 1(lui only) = 6 words
+        assert_eq!(p.text.len(), 6);
+        let d = p.decoded();
+        assert_eq!(d[0].to_string(), "addiu $t0, $zero, 5");
+        assert_eq!(d[1].to_string(), "addiu $t1, $zero, -3");
+        assert_eq!(d[2].to_string(), "ori $t2, $zero, 0xffff");
+        assert_eq!(d[3].to_string(), "lui $t3, 0x1234");
+        assert_eq!(d[4].to_string(), "ori $t3, $t3, 0x5678");
+        assert_eq!(d[5].to_string(), "lui $t4, 0x1");
+    }
+
+    #[test]
+    fn la_always_two_words() {
+        let p = assemble(".data\nv: .word 0\n.text\nmain: la $t0, v\nla $t1, v+4").unwrap();
+        assert_eq!(p.text.len(), 4);
+    }
+
+    #[test]
+    fn cmp_branch_expands_with_at() {
+        let p = assemble("main: blt $t0, $t1, main").unwrap();
+        let d = p.decoded();
+        assert_eq!(d[0].to_string(), "slt $at, $t0, $t1");
+        // Branch at addr+4 targeting main (= addr): offset = -2 words.
+        assert_eq!(d[1].to_string(), "bne $at, $zero, -2");
+    }
+
+    #[test]
+    fn bgt_swaps_operands() {
+        let p = assemble("main: bgt $a0, $a1, main").unwrap();
+        assert_eq!(p.decoded()[0].to_string(), "slt $at, $a1, $a0");
+    }
+
+    #[test]
+    fn branch_range_enforced() {
+        // Build a program where the branch target is ~40000 words away.
+        let mut src = String::from("main: beq $t0, $t1, far\n");
+        for _ in 0..40000 {
+            src.push_str("nop\n");
+        }
+        src.push_str("far: nop\n");
+        let errv = assemble(&src).unwrap_err();
+        assert!(errv.message().contains("out of range"));
+    }
+
+    #[test]
+    fn load_from_bare_symbol_goes_via_at() {
+        let p = assemble(".data\nv: .word 7\n.text\nmain: lw $t0, v").unwrap();
+        let d = p.decoded();
+        assert_eq!(d[0].to_string(), "lui $at, 0x1001");
+        assert!(d[1].to_string().starts_with("lw $t0, 0($at)"));
+    }
+
+    #[test]
+    fn pseudo_mul_div_rem() {
+        let p = assemble("main: mul $t0,$t1,$t2\n div $t3,$t4,$t5\n rem $t6,$t7,$t8").unwrap();
+        let d = p.decoded();
+        assert_eq!(d[0].to_string(), "mult $t1, $t2");
+        assert_eq!(d[1].to_string(), "mflo $t0");
+        assert_eq!(d[2].to_string(), "div $t4, $t5");
+        assert_eq!(d[3].to_string(), "mflo $t3");
+        assert_eq!(d[4].to_string(), "div $t7, $t8");
+        assert_eq!(d[5].to_string(), "mfhi $t6");
+    }
+
+    #[test]
+    fn immediate_overflow_rejected() {
+        assert!(assemble("main: addiu $t0, $zero, 40000").is_err());
+        assert!(assemble("main: andi $t0, $t0, -1").is_err());
+        assert!(assemble("main: sll $t0, $t0, 32").is_err());
+    }
+
+    #[test]
+    fn unknown_mnemonic_rejected() {
+        let e = assemble("main: frobnicate $t0").unwrap_err();
+        assert!(e.message().contains("unknown mnemonic"));
+    }
+
+    #[test]
+    fn unaligned_access_mnemonics() {
+        let p = assemble(
+            "main: lwr $t0, 0($a0)\n lwl $t0, 3($a0)\n swr $t0, 4($a1)\n swl $t0, 7($a1)",
+        )
+        .unwrap();
+        let d = p.decoded();
+        assert_eq!(d[0].to_string(), "lwr $t0, 0($a0)");
+        assert_eq!(d[1].to_string(), "lwl $t0, 3($a0)");
+        assert_eq!(d[2].to_string(), "swr $t0, 4($a1)");
+        assert_eq!(d[3].to_string(), "swl $t0, 7($a1)");
+    }
+
+    #[test]
+    fn jump_region_check() {
+        let e = assemble("main: j 0x90000000").unwrap_err();
+        assert!(e.message().contains("region"));
+    }
+}

@@ -1,0 +1,382 @@
+//! Line-level parsing of assembly source into statements.
+
+use crate::asm::AsmError;
+use crate::Reg;
+
+/// An operand as written in the source, before symbol resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Operand {
+    /// A register.
+    Reg(Reg),
+    /// A numeric literal (decimal, hex `0x`, binary `0b`, or char `'c'`).
+    Imm(i64),
+    /// A symbol reference with an optional additive constant,
+    /// e.g. `table` or `table+8`.
+    Sym { name: String, addend: i64 },
+    /// A memory operand `offset(base)`; the offset may be numeric or
+    /// symbolic.
+    Mem {
+        sym: Option<String>,
+        offset: i64,
+        base: Reg,
+    },
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Stmt {
+    /// `name:`
+    Label { name: String, line: usize },
+    /// An instruction or pseudo-instruction.
+    Op {
+        mnemonic: String,
+        operands: Vec<Operand>,
+        line: usize,
+    },
+    /// A `.directive arg, arg, ...`
+    Directive {
+        name: String,
+        args: Vec<DirArg>,
+        line: usize,
+    },
+}
+
+/// A directive argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum DirArg {
+    /// Numeric value.
+    Num(i64),
+    /// String literal (escapes already processed).
+    Str(String),
+    /// Symbol reference with addend (e.g. `.word handler+4`).
+    Sym(String, i64),
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == '.'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$'
+}
+
+/// Strips a comment (`#` or `;` to end of line), respecting string and
+/// char literals.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut in_char = false;
+    let mut prev_escape = false;
+    for (i, c) in line.char_indices() {
+        if prev_escape {
+            prev_escape = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str || in_char => prev_escape = true,
+            '"' if !in_char => in_str = !in_str,
+            '\'' if !in_str => in_char = !in_char,
+            '#' | ';' if !in_str && !in_char => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses one numeric literal: decimal (optionally negative), `0x`, `0b`,
+/// or a character literal.
+pub(crate) fn parse_number(tok: &str, line: usize) -> Result<i64, AsmError> {
+    let t = tok.trim();
+    let err = || AsmError::new(line, format!("invalid numeric literal `{t}`"));
+    if let Some(body) = t.strip_prefix('\'') {
+        let body = body.strip_suffix('\'').ok_or_else(err)?;
+        let mut chars = body.chars();
+        let c = match chars.next().ok_or_else(err)? {
+            '\\' => match chars.next().ok_or_else(err)? {
+                'n' => '\n',
+                't' => '\t',
+                'r' => '\r',
+                '0' => '\0',
+                '\\' => '\\',
+                '\'' => '\'',
+                '"' => '"',
+                _ => return Err(err()),
+            },
+            c => c,
+        };
+        if chars.next().is_some() {
+            return Err(err());
+        }
+        return Ok(c as i64);
+    }
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let mag = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).map_err(|_| err())?
+    } else if let Some(bin) = t.strip_prefix("0b").or_else(|| t.strip_prefix("0B")) {
+        i64::from_str_radix(bin, 2).map_err(|_| err())?
+    } else {
+        t.parse::<i64>().map_err(|_| err())?
+    };
+    Ok(if neg { -mag } else { mag })
+}
+
+/// Splits `sym`, `sym+4`, `sym-4` into name and addend.
+fn parse_sym_expr(tok: &str, line: usize) -> Result<(String, i64), AsmError> {
+    // Skip the first character so a leading sign stays with the number;
+    // scan by char indices (the token may contain multi-byte text).
+    let split_at = tok
+        .char_indices()
+        .skip(1)
+        .find(|&(_, c)| c == '+' || c == '-')
+        .map(|(i, _)| i);
+    match split_at {
+        Some(i) => {
+            let name = tok[..i].trim().to_owned();
+            let addend = parse_number(tok[i..].trim_start_matches('+'), line)?;
+            Ok((name, addend))
+        }
+        None => Ok((tok.trim().to_owned(), 0)),
+    }
+}
+
+fn parse_operand(tok: &str, line: usize) -> Result<Operand, AsmError> {
+    let t = tok.trim();
+    if t.is_empty() {
+        return Err(AsmError::new(line, "empty operand"));
+    }
+    // Memory operand: [offset](reg)
+    if let Some(open) = t.find('(') {
+        let close = t
+            .rfind(')')
+            .filter(|&c| c > open)
+            .ok_or_else(|| AsmError::new(line, format!("unterminated memory operand `{t}`")))?;
+        let base: Reg = t[open + 1..close]
+            .trim()
+            .parse()
+            .map_err(|e| AsmError::new(line, format!("{e}")))?;
+        let off = t[..open].trim();
+        if off.is_empty() {
+            return Ok(Operand::Mem { sym: None, offset: 0, base });
+        }
+        if off.starts_with(is_ident_start) && !off.starts_with("0x") && !off.starts_with("0b") {
+            let (name, addend) = parse_sym_expr(off, line)?;
+            return Ok(Operand::Mem { sym: Some(name), offset: addend, base });
+        }
+        return Ok(Operand::Mem { sym: None, offset: parse_number(off, line)?, base });
+    }
+    if t.starts_with('$') {
+        return t
+            .parse::<Reg>()
+            .map(Operand::Reg)
+            .map_err(|e| AsmError::new(line, format!("{e}")));
+    }
+    if t.starts_with(|c: char| c.is_ascii_digit()) || t.starts_with('-') || t.starts_with('\'') {
+        return Ok(Operand::Imm(parse_number(t, line)?));
+    }
+    if t.starts_with(is_ident_start) {
+        let (name, addend) = parse_sym_expr(t, line)?;
+        return Ok(Operand::Sym { name, addend });
+    }
+    Err(AsmError::new(line, format!("cannot parse operand `{t}`")))
+}
+
+fn parse_string_literal(tok: &str, line: usize) -> Result<String, AsmError> {
+    let err = || AsmError::new(line, format!("invalid string literal `{tok}`"));
+    let body = tok
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(err)?;
+    let mut out = String::with_capacity(body.len());
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            out.push(match chars.next().ok_or_else(err)? {
+                'n' => '\n',
+                't' => '\t',
+                'r' => '\r',
+                '0' => '\0',
+                '\\' => '\\',
+                '"' => '"',
+                _ => return Err(err()),
+            });
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+/// Splits a comma-separated argument list, keeping string literals intact.
+fn split_args(rest: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth_str = false;
+    let mut escape = false;
+    let mut start = 0;
+    for (i, c) in rest.char_indices() {
+        if escape {
+            escape = false;
+            continue;
+        }
+        match c {
+            '\\' if depth_str => escape = true,
+            '"' => depth_str = !depth_str,
+            ',' if !depth_str => {
+                out.push(rest[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let last = rest[start..].trim();
+    if !last.is_empty() || !out.is_empty() {
+        out.push(last);
+    }
+    out.retain(|s| !s.is_empty());
+    out
+}
+
+/// Parses a full source file into statements.
+pub(crate) fn parse_source(src: &str) -> Result<Vec<Stmt>, AsmError> {
+    let mut stmts = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut line = strip_comment(raw).trim();
+        // Possibly several labels on one line: `a: b: op ...`
+        while let Some(colon) = line.find(':') {
+            let candidate = line[..colon].trim();
+            if !candidate.is_empty()
+                && candidate.starts_with(is_ident_start)
+                && candidate.chars().all(is_ident_char)
+            {
+                stmts.push(Stmt::Label {
+                    name: candidate.to_owned(),
+                    line: line_no,
+                });
+                line = line[colon + 1..].trim();
+            } else {
+                break;
+            }
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let (head, rest) = match line.find(char::is_whitespace) {
+            Some(i) => (&line[..i], line[i..].trim()),
+            None => (line, ""),
+        };
+        if let Some(dname) = head.strip_prefix('.') {
+            let mut args = Vec::new();
+            for tok in split_args(rest) {
+                if tok.starts_with('"') {
+                    args.push(DirArg::Str(parse_string_literal(tok, line_no)?));
+                } else if tok.starts_with(|c: char| c.is_ascii_digit())
+                    || tok.starts_with('-')
+                    || tok.starts_with('\'')
+                {
+                    args.push(DirArg::Num(parse_number(tok, line_no)?));
+                } else {
+                    let (name, addend) = parse_sym_expr(tok, line_no)?;
+                    args.push(DirArg::Sym(name, addend));
+                }
+            }
+            stmts.push(Stmt::Directive {
+                name: dname.to_ascii_lowercase(),
+                args,
+                line: line_no,
+            });
+        } else {
+            let operands = split_args(rest)
+                .into_iter()
+                .map(|t| parse_operand(t, line_no))
+                .collect::<Result<Vec<_>, _>>()?;
+            stmts.push(Stmt::Op {
+                mnemonic: head.to_ascii_lowercase(),
+                operands,
+                line: line_no,
+            });
+        }
+    }
+    Ok(stmts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_labels_ops_directives() {
+        let src = "
+            .data
+        buf: .space 16   # scratch
+            .text
+        main:  addiu $sp, $sp, -8
+               lw $t0, 4($sp)
+               beq $t0, $zero, main
+        ";
+        let stmts = parse_source(src).unwrap();
+        assert!(matches!(&stmts[0], Stmt::Directive { name, .. } if name == "data"));
+        assert!(matches!(&stmts[1], Stmt::Label { name, .. } if name == "buf"));
+        assert!(matches!(&stmts[2], Stmt::Directive { name, args, .. }
+            if name == "space" && args == &[DirArg::Num(16)]));
+        let Stmt::Op { mnemonic, operands, .. } = &stmts[5] else {
+            panic!()
+        };
+        assert_eq!(mnemonic, "addiu");
+        assert_eq!(operands[2], Operand::Imm(-8));
+        let Stmt::Op { operands, .. } = &stmts[6] else { panic!() };
+        assert_eq!(
+            operands[1],
+            Operand::Mem { sym: None, offset: 4, base: Reg::SP }
+        );
+        let Stmt::Op { operands, .. } = &stmts[7] else { panic!() };
+        assert_eq!(operands[2], Operand::Sym { name: "main".into(), addend: 0 });
+    }
+
+    #[test]
+    fn numbers_hex_bin_char_negative() {
+        assert_eq!(parse_number("0x10", 1).unwrap(), 16);
+        assert_eq!(parse_number("-0x10", 1).unwrap(), -16);
+        assert_eq!(parse_number("0b101", 1).unwrap(), 5);
+        assert_eq!(parse_number("'A'", 1).unwrap(), 65);
+        assert_eq!(parse_number("'\\n'", 1).unwrap(), 10);
+        assert_eq!(parse_number("'\\0'", 1).unwrap(), 0);
+        assert!(parse_number("zz", 1).is_err());
+    }
+
+    #[test]
+    fn string_escapes_and_commas() {
+        let src = r#" .asciiz "a,b\n" "#;
+        let stmts = parse_source(src).unwrap();
+        let Stmt::Directive { args, .. } = &stmts[0] else { panic!() };
+        assert_eq!(args, &[DirArg::Str("a,b\n".into())]);
+    }
+
+    #[test]
+    fn comment_hash_inside_string_kept() {
+        let src = r##" .asciiz "a#b"  # real comment "##;
+        let stmts = parse_source(src).unwrap();
+        let Stmt::Directive { args, .. } = &stmts[0] else { panic!() };
+        assert_eq!(args, &[DirArg::Str("a#b".into())]);
+    }
+
+    #[test]
+    fn symbol_plus_offset() {
+        let src = "lw $t0, table+8($t1)\n la $t2, arr+4";
+        let stmts = parse_source(src).unwrap();
+        let Stmt::Op { operands, .. } = &stmts[0] else { panic!() };
+        assert_eq!(
+            operands[1],
+            Operand::Mem { sym: Some("table".into()), offset: 8, base: Reg::T1 }
+        );
+        let Stmt::Op { operands, .. } = &stmts[1] else { panic!() };
+        assert_eq!(operands[1], Operand::Sym { name: "arr".into(), addend: 4 });
+    }
+
+    #[test]
+    fn bad_register_reports_line() {
+        let err = parse_source("\n\n add $t0, $banana, $t1").unwrap_err();
+        assert_eq!(err.line(), 3);
+    }
+}

@@ -1,0 +1,571 @@
+//! Two-pass macro assembler for the MIPS-I subset.
+//!
+//! Supports labels, the usual data directives (`.text`, `.data`, `.word`,
+//! `.half`, `.byte`, `.ascii`, `.asciiz`, `.space`, `.align`, `.globl`),
+//! numeric literals in decimal/hex/binary/char form, and the common
+//! pseudo-instructions (`li`, `la`, `move`, `b`, `beqz`, `bnez`,
+//! `blt`/`bge`/`bgt`/`ble` and unsigned variants, `neg`, `not`, `mul`,
+//! `div rd,rs,rt`, `rem`, `nop`).
+//!
+//! ```
+//! use dim_mips::asm::assemble;
+//! let program = assemble("
+//!     .text
+//! main:
+//!     li   $t0, 10
+//!     li   $t1, 0
+//! loop:
+//!     addu $t1, $t1, $t0
+//!     addiu $t0, $t0, -1
+//!     bnez $t0, loop
+//!     break 0
+//! ")?;
+//! assert!(program.text.len() >= 6);
+//! # Ok::<(), dim_mips::asm::AsmError>(())
+//! ```
+
+mod expand;
+mod item;
+
+use crate::Instruction;
+use item::{DirArg, Stmt};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Default base address of the text segment.
+pub const DEFAULT_TEXT_BASE: u32 = 0x0040_0000;
+/// Default base address of the data segment.
+pub const DEFAULT_DATA_BASE: u32 = 0x1001_0000;
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    line: usize,
+    message: String,
+}
+
+impl AsmError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> AsmError {
+        AsmError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based source line of the error (0 when not attributable).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Human-readable description without the line number.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Assembler options (segment base addresses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AsmOptions {
+    /// Base address for `.text`.
+    pub text_base: u32,
+    /// Base address for `.data`.
+    pub data_base: u32,
+}
+
+impl Default for AsmOptions {
+    fn default() -> Self {
+        AsmOptions {
+            text_base: DEFAULT_TEXT_BASE,
+            data_base: DEFAULT_DATA_BASE,
+        }
+    }
+}
+
+/// An assembled program image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Base address of the text segment.
+    pub text_base: u32,
+    /// Encoded instruction words.
+    pub text: Vec<u32>,
+    /// Base address of the data segment.
+    pub data_base: u32,
+    /// Initialized data bytes.
+    pub data: Vec<u8>,
+    /// Entry point (the `main` label if present, else `text_base`).
+    pub entry: u32,
+    /// All label addresses.
+    pub symbols: HashMap<String, u32>,
+}
+
+impl Program {
+    /// Looks up a label address.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Decodes the text segment back into instructions (for inspection).
+    pub fn decoded(&self) -> Vec<Instruction> {
+        self.text
+            .iter()
+            .map(|&w| crate::decode(w).expect("assembled words always decode"))
+            .collect()
+    }
+}
+
+/// Collects `.equ NAME, value` definitions and folds every use of the
+/// constant (operands, memory offsets, data arguments) into plain
+/// numbers, so the rest of the assembler never sees them as symbols.
+/// Definitions may appear anywhere in the file; redefinition is an error.
+fn substitute_constants(stmts: &mut [Stmt]) -> Result<(), AsmError> {
+    let mut consts: HashMap<String, i64> = HashMap::new();
+    for stmt in stmts.iter() {
+        if let Stmt::Directive { name, args, line } = stmt {
+            if name == "equ" {
+                let (DirArg::Sym(cname, 0), Some(DirArg::Num(v))) =
+                    (args.first().cloned().unwrap_or(DirArg::Num(0)), args.get(1))
+                else {
+                    return Err(AsmError::new(*line, ".equ expects `name, numeric-value`"));
+                };
+                if consts.insert(cname.clone(), *v).is_some() {
+                    return Err(AsmError::new(*line, format!("constant `{cname}` redefined")));
+                }
+            }
+        }
+    }
+    if consts.is_empty() {
+        return Ok(());
+    }
+    for stmt in stmts.iter_mut() {
+        match stmt {
+            Stmt::Op { operands, .. } => {
+                for op in operands.iter_mut() {
+                    match op {
+                        item::Operand::Sym { name, addend } => {
+                            if let Some(&v) = consts.get(name.as_str()) {
+                                *op = item::Operand::Imm(v + *addend);
+                            }
+                        }
+                        item::Operand::Mem { sym: Some(name), offset, base } => {
+                            if let Some(&v) = consts.get(name.as_str()) {
+                                *op = item::Operand::Mem {
+                                    sym: None,
+                                    offset: v + *offset,
+                                    base: *base,
+                                };
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            Stmt::Directive { args, .. } => {
+                for a in args.iter_mut() {
+                    if let DirArg::Sym(name, add) = a {
+                        if let Some(&v) = consts.get(name.as_str()) {
+                            *a = DirArg::Num(v + *add);
+                        }
+                    }
+                }
+            }
+            Stmt::Label { name, line } => {
+                if consts.contains_key(name.as_str()) {
+                    return Err(AsmError::new(
+                        *line,
+                        format!("`{name}` is both a label and a constant"),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Segment {
+    Text,
+    Data,
+}
+
+/// Assembles `src` with default segment bases.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] pinpointing the first offending source line
+/// (unknown mnemonic, malformed operand, undefined or duplicate label,
+/// out-of-range immediate or branch, data directive in `.text`, ...).
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    assemble_with(src, AsmOptions::default())
+}
+
+/// Assembles `src` with explicit options. See [`assemble`].
+pub fn assemble_with(src: &str, opts: AsmOptions) -> Result<Program, AsmError> {
+    let mut stmts = item::parse_source(src)?;
+    substitute_constants(&mut stmts)?;
+
+    // Pass 1: assign addresses to labels.
+    let mut symbols: HashMap<String, u32> = HashMap::new();
+    {
+        let mut seg = Segment::Text;
+        let mut text_pc = opts.text_base;
+        let mut data_pc = opts.data_base;
+        for stmt in &stmts {
+            match stmt {
+                Stmt::Label { name, line } => {
+                    let addr = match seg {
+                        Segment::Text => text_pc,
+                        Segment::Data => data_pc,
+                    };
+                    if symbols.insert(name.clone(), addr).is_some() {
+                        return Err(AsmError::new(*line, format!("duplicate label `{name}`")));
+                    }
+                }
+                Stmt::Op {
+                    mnemonic,
+                    operands,
+                    line,
+                } => {
+                    if seg != Segment::Text {
+                        return Err(AsmError::new(*line, "instruction outside .text segment"));
+                    }
+                    // Length is resolver-independent; resolve every symbol to
+                    // the instruction's own address so offsets stay encodable.
+                    let insts = expand::encode_op(mnemonic, operands, text_pc, *line, &mut |_, _| {
+                        Ok(text_pc)
+                    })?;
+                    text_pc += 4 * insts.len() as u32;
+                }
+                Stmt::Directive { name, args, line } => {
+                    apply_directive(
+                        name,
+                        args,
+                        *line,
+                        &mut seg,
+                        &mut text_pc,
+                        &mut data_pc,
+                        opts,
+                        None,
+                    )?;
+                }
+            }
+        }
+    }
+
+    // Pass 2: emit.
+    let mut text: Vec<u32> = Vec::new();
+    let mut data: Vec<u8> = Vec::new();
+    {
+        let mut seg = Segment::Text;
+        let mut text_pc = opts.text_base;
+        let mut data_pc = opts.data_base;
+        for stmt in &stmts {
+            match stmt {
+                Stmt::Label { .. } => {}
+                Stmt::Op {
+                    mnemonic,
+                    operands,
+                    line,
+                } => {
+                    let insts =
+                        expand::encode_op(mnemonic, operands, text_pc, *line, &mut |name, add| {
+                            let base = symbols.get(name).copied().ok_or_else(|| {
+                                AsmError::new(*line, format!("undefined symbol `{name}`"))
+                            })?;
+                            Ok(base.wrapping_add(add as u32))
+                        })?;
+                    for inst in &insts {
+                        text.push(crate::encode(inst));
+                    }
+                    text_pc += 4 * insts.len() as u32;
+                }
+                Stmt::Directive { name, args, line } => {
+                    apply_directive(
+                        name,
+                        args,
+                        *line,
+                        &mut seg,
+                        &mut text_pc,
+                        &mut data_pc,
+                        opts,
+                        Some((&mut data, &symbols)),
+                    )?;
+                }
+            }
+        }
+    }
+
+    let entry = symbols
+        .get("main")
+        .or_else(|| symbols.get("_start"))
+        .copied()
+        .unwrap_or(opts.text_base);
+
+    Ok(Program {
+        text_base: opts.text_base,
+        text,
+        data_base: opts.data_base,
+        data,
+        entry,
+        symbols,
+    })
+}
+
+/// Applies one directive, updating segment state. When `sink` is provided
+/// (pass 2) data bytes are materialized; otherwise only counters move.
+#[allow(clippy::too_many_arguments)]
+fn apply_directive(
+    name: &str,
+    args: &[DirArg],
+    line: usize,
+    seg: &mut Segment,
+    text_pc: &mut u32,
+    data_pc: &mut u32,
+    opts: AsmOptions,
+    mut sink: Option<(&mut Vec<u8>, &HashMap<String, u32>)>,
+) -> Result<(), AsmError> {
+    let numeric = |a: &DirArg,
+                   sink: &Option<(&mut Vec<u8>, &HashMap<String, u32>)>|
+     -> Result<i64, AsmError> {
+        match a {
+            DirArg::Num(n) => Ok(*n),
+            DirArg::Sym(s, add) => match sink {
+                Some((_, symbols)) => symbols
+                    .get(s)
+                    .map(|&v| v as i64 + add)
+                    .ok_or_else(|| AsmError::new(line, format!("undefined symbol `{s}`"))),
+                // Pass 1: value irrelevant, only the size matters.
+                None => Ok(0),
+            },
+            DirArg::Str(_) => Err(AsmError::new(line, "unexpected string argument")),
+        }
+    };
+    let emit = |bytes: &[u8], data_pc: &mut u32, sink: &mut Option<(&mut Vec<u8>, &HashMap<String, u32>)>| {
+        if let Some((data, _)) = sink {
+            data.extend_from_slice(bytes);
+        }
+        *data_pc += bytes.len() as u32;
+    };
+    match name {
+        "text" => {
+            *seg = Segment::Text;
+            if let Some(a) = args.first() {
+                let addr = numeric(a, &sink)? as u32;
+                if sink.is_none() && addr != opts.text_base {
+                    return Err(AsmError::new(line, "relocating .text is not supported"));
+                }
+                let _ = text_pc;
+            }
+        }
+        "data" => {
+            *seg = Segment::Data;
+            if let Some(a) = args.first() {
+                let addr = numeric(a, &sink)? as u32;
+                if sink.is_none() && addr != opts.data_base {
+                    return Err(AsmError::new(line, "relocating .data is not supported"));
+                }
+            }
+        }
+        "globl" | "global" | "ent" | "end" | "set" | "equ" => {}
+        "word" | "half" | "byte" => {
+            if *seg != Segment::Data {
+                return Err(AsmError::new(line, format!(".{name} outside .data segment")));
+            }
+            let width = match name {
+                "word" => 4,
+                "half" => 2,
+                _ => 1,
+            };
+            // Labels bind before their directive, so silently padding here
+            // would leave them pointing at the padding. Require explicit
+            // `.align` instead.
+            if !(*data_pc).is_multiple_of(width) {
+                return Err(AsmError::new(
+                    line,
+                    format!(".{name} at unaligned address {data_pc:#x}; insert `.align` first"),
+                ));
+            }
+            for a in args {
+                let v = numeric(a, &sink)?;
+                let bytes = (v as u64).to_le_bytes();
+                emit(&bytes[..width as usize], data_pc, &mut sink);
+            }
+        }
+        "ascii" | "asciiz" => {
+            if *seg != Segment::Data {
+                return Err(AsmError::new(line, format!(".{name} outside .data segment")));
+            }
+            for a in args {
+                let DirArg::Str(s) = a else {
+                    return Err(AsmError::new(line, format!(".{name} expects string literals")));
+                };
+                emit(s.as_bytes(), data_pc, &mut sink);
+                if name == "asciiz" {
+                    emit(&[0], data_pc, &mut sink);
+                }
+            }
+        }
+        "space" | "skip" => {
+            if *seg != Segment::Data {
+                return Err(AsmError::new(line, format!(".{name} outside .data segment")));
+            }
+            let n = numeric(
+                args.first()
+                    .ok_or_else(|| AsmError::new(line, ".space requires a size"))?,
+                &sink,
+            )?;
+            if !(0..=(1 << 24)).contains(&n) {
+                return Err(AsmError::new(line, format!(".space size {n} out of range")));
+            }
+            for _ in 0..n {
+                emit(&[0], data_pc, &mut sink);
+            }
+        }
+        "align" => {
+            if *seg != Segment::Data {
+                return Err(AsmError::new(line, ".align outside .data segment"));
+            }
+            let n = numeric(
+                args.first()
+                    .ok_or_else(|| AsmError::new(line, ".align requires an exponent"))?,
+                &sink,
+            )?;
+            if !(0..=12).contains(&n) {
+                return Err(AsmError::new(line, format!(".align exponent {n} out of range")));
+            }
+            let align = 1u32 << n;
+            while !(*data_pc).is_multiple_of(align) {
+                emit(&[0], data_pc, &mut sink);
+            }
+        }
+        other => {
+            return Err(AsmError::new(line, format!("unknown directive `.{other}`")));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{AluImmOp, Instruction as I};
+    use crate::Reg;
+
+    #[test]
+    fn minimal_program_assembles() {
+        let p = assemble("main: addiu $t0, $zero, 5\n break 0").unwrap();
+        assert_eq!(p.entry, DEFAULT_TEXT_BASE);
+        assert_eq!(p.text.len(), 2);
+        assert_eq!(
+            p.decoded()[0],
+            I::AluImm { op: AluImmOp::Addiu, rt: Reg::T0, rs: Reg::ZERO, imm: 5 }
+        );
+    }
+
+    #[test]
+    fn labels_resolve_across_segments() {
+        let p = assemble(
+            "
+            .data
+            v:  .word 1, 2, 3
+            s:  .asciiz \"hi\"
+            .align 2
+            w:  .word v
+            .text
+            main: la $t0, v
+                  lw $t1, 0($t0)
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.symbol("v"), Some(DEFAULT_DATA_BASE));
+        assert_eq!(p.symbol("s"), Some(DEFAULT_DATA_BASE + 12));
+        assert_eq!(p.symbol("w"), Some(DEFAULT_DATA_BASE + 16));
+        // .word v stored the address of v.
+        let w = &p.data[16..20];
+        assert_eq!(u32::from_le_bytes(w.try_into().unwrap()), DEFAULT_DATA_BASE);
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let err = assemble("a: nop\na: nop").unwrap_err();
+        assert!(err.message().contains("duplicate"));
+    }
+
+    #[test]
+    fn undefined_symbol_rejected() {
+        let err = assemble("main: j nowhere").unwrap_err();
+        assert!(err.message().contains("undefined"));
+    }
+
+    #[test]
+    fn data_directive_in_text_rejected() {
+        let err = assemble(".text\n .word 4").unwrap_err();
+        assert!(err.message().contains("outside .data"));
+    }
+
+    #[test]
+    fn unaligned_word_is_an_error() {
+        let err = assemble(".data\nc: .byte 1\nw: .word 0x11223344").unwrap_err();
+        assert!(err.message().contains("unaligned"));
+        // With explicit alignment the label lands on the word itself.
+        let p = assemble(".data\nc: .byte 1\n.align 2\nw: .word 0x11223344").unwrap();
+        assert_eq!(p.symbol("w"), Some(DEFAULT_DATA_BASE + 4));
+        assert_eq!(&p.data[4..8], &[0x44, 0x33, 0x22, 0x11]);
+    }
+
+    #[test]
+    fn entry_prefers_main() {
+        let p = assemble("pre: nop\nmain: nop").unwrap();
+        assert_eq!(p.entry, DEFAULT_TEXT_BASE + 4);
+    }
+
+    #[test]
+    fn equ_constants_fold_everywhere() {
+        let p = assemble(
+            "
+            .equ SIZE, 24
+            .equ OFF, 8
+            .data
+            buf: .space SIZE
+            tab: .word SIZE, OFF
+            .text
+            main: li $t0, SIZE
+                  lw $t1, OFF($sp)
+                  addiu $t2, $zero, SIZE
+                  break 0
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.symbol("tab"), Some(DEFAULT_DATA_BASE + 24));
+        assert_eq!(&p.data[24..28], &24u32.to_le_bytes());
+        let d = p.decoded();
+        assert_eq!(d[0].to_string(), "addiu $t0, $zero, 24");
+        assert_eq!(d[1].to_string(), "lw $t1, 8($sp)");
+    }
+
+    #[test]
+    fn equ_errors() {
+        assert!(assemble(".equ A, 1
+.equ A, 2
+main: nop").is_err());
+        assert!(assemble(".equ A, 1
+A: nop").is_err());
+        assert!(assemble(".equ A
+main: nop").is_err());
+    }
+
+    #[test]
+    fn half_and_byte_directives() {
+        let p = assemble(".data\nh: .half 0x1234, -1\nb: .byte 255, 'A'").unwrap();
+        assert_eq!(&p.data[0..2], &[0x34, 0x12]);
+        assert_eq!(&p.data[2..4], &[0xff, 0xff]);
+        assert_eq!(&p.data[4..6], &[0xff, 65]);
+    }
+}

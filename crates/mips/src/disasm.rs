@@ -1,0 +1,239 @@
+//! Textual disassembly of decoded instructions.
+//!
+//! The output uses the same syntax the [assembler](crate::asm) accepts, so
+//! `assemble(disassemble(i)) == i` round-trips (branch/jump targets are
+//! printed numerically).
+
+use crate::inst::Instruction;
+use std::fmt;
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instruction::*;
+        match *self {
+            Alu { op, rd, rs, rt } => write!(f, "{} {rd}, {rs}, {rt}", op.mnemonic()),
+            AluImm { op, rt, rs, imm } => {
+                // Logical immediates are zero-extended: print unsigned.
+                // Arithmetic/compare immediates are sign-extended: print signed.
+                use crate::inst::AluImmOp::*;
+                match op {
+                    Andi | Ori | Xori => write!(f, "{} {rt}, {rs}, {imm:#x}", op.mnemonic()),
+                    _ => write!(f, "{} {rt}, {rs}, {}", op.mnemonic(), imm as i16),
+                }
+            }
+            Shift { op, rd, rt, shamt } => write!(f, "{} {rd}, {rt}, {shamt}", op.mnemonic()),
+            ShiftVar { op, rd, rt, rs } => {
+                write!(f, "{} {rd}, {rt}, {rs}", op.variable_mnemonic())
+            }
+            Lui { rt, imm } => write!(f, "lui {rt}, {imm:#x}"),
+            MulDiv { op, rs, rt } => write!(f, "{} {rs}, {rt}", op.mnemonic()),
+            Mfhi { rd } => write!(f, "mfhi {rd}"),
+            Mflo { rd } => write!(f, "mflo {rd}"),
+            Mthi { rs } => write!(f, "mthi {rs}"),
+            Mtlo { rs } => write!(f, "mtlo {rs}"),
+            Load {
+                width,
+                signed,
+                rt,
+                base,
+                offset,
+            } => {
+                use crate::inst::MemWidth::*;
+                let m = match (width, signed) {
+                    (Byte, true) => "lb",
+                    (Byte, false) => "lbu",
+                    (Half, true) => "lh",
+                    (Half, false) => "lhu",
+                    (Word, _) => "lw",
+                };
+                write!(f, "{m} {rt}, {offset}({base})")
+            }
+            LoadUnaligned { left, rt, base, offset } => {
+                let m = if left { "lwl" } else { "lwr" };
+                write!(f, "{m} {rt}, {offset}({base})")
+            }
+            StoreUnaligned { left, rt, base, offset } => {
+                let m = if left { "swl" } else { "swr" };
+                write!(f, "{m} {rt}, {offset}({base})")
+            }
+            Store {
+                width, rt, base, offset, ..
+            } => {
+                use crate::inst::MemWidth::*;
+                let m = match width {
+                    Byte => "sb",
+                    Half => "sh",
+                    Word => "sw",
+                };
+                write!(f, "{m} {rt}, {offset}({base})")
+            }
+            Branch {
+                cond,
+                rs,
+                rt,
+                offset,
+            } => {
+                if cond.uses_rt() {
+                    write!(f, "{} {rs}, {rt}, {offset}", cond.mnemonic())
+                } else {
+                    write!(f, "{} {rs}, {offset}", cond.mnemonic())
+                }
+            }
+            J { target } => write!(f, "j {:#x}", target << 2),
+            Jal { target } => write!(f, "jal {:#x}", target << 2),
+            Jr { rs } => write!(f, "jr {rs}"),
+            Jalr { rd, rs } => {
+                if rd == crate::Reg::RA {
+                    write!(f, "jalr {rs}")
+                } else {
+                    write!(f, "jalr {rd}, {rs}")
+                }
+            }
+            Syscall => write!(f, "syscall"),
+            Break { code } => write!(f, "break {code}"),
+        }
+    }
+}
+
+/// Disassembles a machine word, falling back to a `.word` directive for
+/// undecodable values.
+///
+/// ```
+/// use dim_mips::disassemble_word;
+/// assert_eq!(disassemble_word(0x012a_4021), "addu $t0, $t1, $t2");
+/// assert_eq!(disassemble_word(0xffff_ffff), ".word 0xffffffff");
+/// ```
+pub fn disassemble_word(word: u32) -> String {
+    match crate::decode(word) {
+        Ok(i) => i.to_string(),
+        Err(_) => format!(".word {word:#010x}"),
+    }
+}
+
+/// Disassembles a slice of machine words with addresses, one instruction
+/// per line — useful for debugging generated programs.
+pub fn disassemble_listing(base: u32, words: &[u32]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (k, &w) in words.iter().enumerate() {
+        let addr = base + 4 * k as u32;
+        let _ = writeln!(out, "{addr:#010x}: {}", disassemble_word(w));
+    }
+    out
+}
+
+/// Disassembles with synthesized labels: every branch/jump target inside
+/// the listing gets an `L<n>:` label, and control transfers print the
+/// label instead of a raw offset — far easier to read than
+/// [`disassemble_listing`] for nontrivial programs.
+pub fn disassemble_labeled(base: u32, words: &[u32]) -> String {
+    use crate::inst::Instruction as I;
+    use std::collections::BTreeMap;
+    use std::fmt::Write as _;
+
+    let decoded: Vec<Option<I>> = words.iter().map(|&w| crate::decode(w).ok()).collect();
+    let end = base + 4 * words.len() as u32;
+    let mut targets: BTreeMap<u32, usize> = BTreeMap::new();
+    for (k, inst) in decoded.iter().enumerate() {
+        let pc = base + 4 * k as u32;
+        let target = match inst {
+            Some(i @ I::Branch { .. }) => i.branch_target(pc),
+            Some(i @ (I::J { .. } | I::Jal { .. })) => i.jump_target(pc),
+            _ => None,
+        };
+        if let Some(t) = target {
+            if (base..end).contains(&t) {
+                let next = targets.len();
+                targets.entry(t).or_insert(next);
+            }
+        }
+    }
+    // Renumber in address order.
+    for (n, (_, v)) in targets.iter_mut().enumerate() {
+        *v = n;
+    }
+
+    let mut out = String::new();
+    for (k, inst) in decoded.iter().enumerate() {
+        let pc = base + 4 * k as u32;
+        if let Some(&n) = targets.get(&pc) {
+            let _ = writeln!(out, "L{n}:");
+        }
+        let text = match inst {
+            Some(i @ I::Branch { .. }) => {
+                let t = i.branch_target(pc).expect("branch has target");
+                match targets.get(&t) {
+                    Some(&n) => {
+                        let printed = i.to_string();
+                        let head = printed.rsplit_once(' ').map(|(h, _)| h).unwrap_or("");
+                        format!("{head} L{n}")
+                    }
+                    None => i.to_string(),
+                }
+            }
+            Some(i @ (I::J { .. } | I::Jal { .. })) => {
+                let t = i.jump_target(pc).expect("jump has target");
+                let m = if matches!(i, I::Jal { .. }) { "jal" } else { "j" };
+                match targets.get(&t) {
+                    Some(&n) => format!("{m} L{n}"),
+                    None => i.to_string(),
+                }
+            }
+            Some(i) => i.to_string(),
+            None => format!(".word {:#010x}", words[k]),
+        };
+        let _ = writeln!(out, "{pc:#010x}:   {text}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{BranchCond as BC, Instruction as I, MemWidth, ShiftOp};
+    use crate::Reg;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            I::Branch { cond: BC::Lez, rs: Reg::T0, rt: Reg::ZERO, offset: -3 }.to_string(),
+            "blez $t0, -3"
+        );
+        assert_eq!(
+            I::Load { width: MemWidth::Byte, signed: false, rt: Reg::T0, base: Reg::SP, offset: -8 }
+                .to_string(),
+            "lbu $t0, -8($sp)"
+        );
+        assert_eq!(
+            I::Shift { op: ShiftOp::Sll, rd: Reg::T1, rt: Reg::T2, shamt: 4 }.to_string(),
+            "sll $t1, $t2, 4"
+        );
+        assert_eq!(I::Jalr { rd: Reg::RA, rs: Reg::T9 }.to_string(), "jalr $t9");
+        assert_eq!(I::Jalr { rd: Reg::V0, rs: Reg::T9 }.to_string(), "jalr $v0, $t9");
+    }
+
+    #[test]
+    fn labeled_listing_names_targets() {
+        use crate::asm::assemble;
+        let p = assemble(
+            "main: li $t0, 3
+             loop: addiu $t0, $t0, -1
+                   bnez $t0, loop
+                   j    main
+             ",
+        )
+        .unwrap();
+        let s = disassemble_labeled(p.text_base, &p.text);
+        assert!(s.contains("L0:"), "{s}");
+        assert!(s.contains("L1:"), "{s}");
+        assert!(s.contains("bne $t0, $zero, L1"), "{s}");
+        assert!(s.contains("j L0"), "{s}");
+    }
+
+    #[test]
+    fn listing_includes_addresses() {
+        let l = disassemble_listing(0x400000, &[0, 0x012a_4021]);
+        assert!(l.contains("0x00400000:"));
+        assert!(l.contains("addu $t0, $t1, $t2"));
+    }
+}

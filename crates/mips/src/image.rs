@@ -1,0 +1,190 @@
+//! A simple binary container for assembled [`Program`]s, so programs can
+//! be assembled once and shipped/loaded without the source — the
+//! `dim` CLI's object format.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   4 bytes  "DIM1"
+//! text_base u32, data_base u32, entry u32
+//! text_words u32, data_bytes u32, symbol_count u32
+//! text      text_words × u32
+//! data      data_bytes × u8
+//! symbols   symbol_count × { name_len u32, name bytes, addr u32 }
+//! ```
+
+use crate::asm::Program;
+use std::collections::HashMap;
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"DIM1";
+
+/// Error deserializing a program image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    /// The magic bytes are wrong (not a DIM image).
+    BadMagic,
+    /// The image is shorter than its headers promise.
+    Truncated,
+    /// A symbol name is not valid UTF-8.
+    BadSymbolName,
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::BadMagic => write!(f, "not a DIM program image (bad magic)"),
+            ImageError::Truncated => write!(f, "truncated program image"),
+            ImageError::BadSymbolName => write!(f, "symbol name is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+/// Serializes a program into the image format.
+///
+/// ```
+/// use dim_mips::asm::assemble;
+/// use dim_mips::image;
+/// let p = assemble("main: nop\n break 0")?;
+/// let bytes = image::save(&p);
+/// assert_eq!(image::load(&bytes)?, p);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn save(program: &Program) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    for v in [
+        program.text_base,
+        program.data_base,
+        program.entry,
+        program.text.len() as u32,
+        program.data.len() as u32,
+        program.symbols.len() as u32,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    for &w in &program.text {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out.extend_from_slice(&program.data);
+    // Deterministic symbol order.
+    let mut symbols: Vec<(&String, &u32)> = program.symbols.iter().collect();
+    symbols.sort();
+    for (name, &addr) in symbols {
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(&addr.to_le_bytes());
+    }
+    out
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ImageError> {
+        let end = self.pos.checked_add(n).ok_or(ImageError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(ImageError::Truncated);
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, ImageError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+}
+
+/// Deserializes a program image.
+///
+/// # Errors
+///
+/// [`ImageError`] if the bytes are not a valid image.
+pub fn load(bytes: &[u8]) -> Result<Program, ImageError> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(ImageError::BadMagic);
+    }
+    let text_base = r.u32()?;
+    let data_base = r.u32()?;
+    let entry = r.u32()?;
+    let text_words = r.u32()? as usize;
+    let data_bytes = r.u32()? as usize;
+    let symbol_count = r.u32()? as usize;
+    let mut text = Vec::with_capacity(text_words.min(1 << 22));
+    for _ in 0..text_words {
+        text.push(r.u32()?);
+    }
+    let data = r.take(data_bytes)?.to_vec();
+    let mut symbols = HashMap::with_capacity(symbol_count.min(1 << 20));
+    for _ in 0..symbol_count {
+        let len = r.u32()? as usize;
+        let name = std::str::from_utf8(r.take(len)?)
+            .map_err(|_| ImageError::BadSymbolName)?
+            .to_owned();
+        let addr = r.u32()?;
+        symbols.insert(name, addr);
+    }
+    Ok(Program {
+        text_base,
+        text,
+        data_base,
+        data,
+        entry,
+        symbols,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn roundtrip_program_with_data_and_symbols() {
+        let p = assemble(
+            ".data
+             v: .word 1, 2, 3
+             s: .asciiz \"hey\"
+             .text
+             main: la $t0, v
+                   lw $t1, 0($t0)
+             loop: addiu $t1, $t1, -1
+                   bnez $t1, loop
+                   break 0",
+        )
+        .unwrap();
+        let bytes = save(&p);
+        assert_eq!(load(&bytes).unwrap(), p);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(load(b"NOPE....").unwrap_err(), ImageError::BadMagic);
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let p = assemble("main: nop\n break 0").unwrap();
+        let bytes = save(&p);
+        for cut in 0..bytes.len() {
+            assert!(
+                load(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let p = assemble("a: nop\nb: nop\nmain: break 0").unwrap();
+        assert_eq!(save(&p), save(&p));
+    }
+}

@@ -1,0 +1,43 @@
+//! # dim-mips
+//!
+//! MIPS-I integer instruction-set model for the DIM (Dynamic Instruction
+//! Merging) reproduction: decoded [`Instruction`]s with dataflow
+//! classification, binary [`encode`]/[`decode`], a two-pass
+//! [assembler](asm) with pseudo-instruction support, and a
+//! [disassembler](disassemble_word).
+//!
+//! This crate is deliberately independent of any simulator so it can be
+//! reused by the execution substrate (`dim-mips-sim`), the
+//! binary-translation engine (`dim-core`) and the benchmark suite
+//! (`dim-workloads`).
+//!
+//! ```
+//! use dim_mips::{asm::assemble, decode, Instruction};
+//!
+//! let program = assemble("
+//!     main: li   $a0, 3
+//!           li   $a1, 4
+//!           addu $v0, $a0, $a1
+//!           break 0
+//! ")?;
+//! let first = decode(program.text[0])?;
+//! assert_eq!(first.to_string(), "addiu $a0, $zero, 3");
+//! assert!(matches!(decode(*program.text.last().unwrap())?, Instruction::Break { .. }));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod asm;
+mod code;
+pub mod image;
+mod disasm;
+mod inst;
+mod reg;
+
+pub use code::{decode, encode, DecodeError};
+pub use disasm::{disassemble_labeled, disassemble_listing, disassemble_word};
+pub use inst::{
+    AluImmOp, AluOp, BranchCond, DataLoc, FuClass, Instruction, Locs, MemWidth, MulDivOp, ShiftOp,
+};
+pub use reg::{ParseRegError, Reg, ABI_NAMES};

@@ -1,0 +1,222 @@
+//! General-purpose register names for the MIPS-I integer register file.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the 32 MIPS general-purpose registers.
+///
+/// Register 0 (`$zero`) reads as zero and ignores writes, which the
+/// simulator enforces. The type guarantees the index is in `0..32`.
+///
+/// ```
+/// use dim_mips::Reg;
+/// let sp = Reg::SP;
+/// assert_eq!(sp.index(), 29);
+/// assert_eq!(sp.to_string(), "$sp");
+/// assert_eq!("$t0".parse::<Reg>()?, Reg::T0);
+/// # Ok::<(), dim_mips::ParseRegError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+/// Canonical ABI names indexed by register number.
+pub const ABI_NAMES: [&str; 32] = [
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5", "t6",
+    "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1", "gp", "sp",
+    "fp", "ra",
+];
+
+impl Reg {
+    /// The hard-wired zero register `$zero`.
+    pub const ZERO: Reg = Reg(0);
+    /// Assembler temporary `$at` (used by pseudo-instruction expansion).
+    pub const AT: Reg = Reg(1);
+    /// Result register `$v0`.
+    pub const V0: Reg = Reg(2);
+    /// Result register `$v1`.
+    pub const V1: Reg = Reg(3);
+    /// Argument register `$a0`.
+    pub const A0: Reg = Reg(4);
+    /// Argument register `$a1`.
+    pub const A1: Reg = Reg(5);
+    /// Argument register `$a2`.
+    pub const A2: Reg = Reg(6);
+    /// Argument register `$a3`.
+    pub const A3: Reg = Reg(7);
+    /// Temporary `$t0`.
+    pub const T0: Reg = Reg(8);
+    /// Temporary `$t1`.
+    pub const T1: Reg = Reg(9);
+    /// Temporary `$t2`.
+    pub const T2: Reg = Reg(10);
+    /// Temporary `$t3`.
+    pub const T3: Reg = Reg(11);
+    /// Temporary `$t4`.
+    pub const T4: Reg = Reg(12);
+    /// Temporary `$t5`.
+    pub const T5: Reg = Reg(13);
+    /// Temporary `$t6`.
+    pub const T6: Reg = Reg(14);
+    /// Temporary `$t7`.
+    pub const T7: Reg = Reg(15);
+    /// Saved register `$s0`.
+    pub const S0: Reg = Reg(16);
+    /// Saved register `$s1`.
+    pub const S1: Reg = Reg(17);
+    /// Saved register `$s2`.
+    pub const S2: Reg = Reg(18);
+    /// Saved register `$s3`.
+    pub const S3: Reg = Reg(19);
+    /// Saved register `$s4`.
+    pub const S4: Reg = Reg(20);
+    /// Saved register `$s5`.
+    pub const S5: Reg = Reg(21);
+    /// Saved register `$s6`.
+    pub const S6: Reg = Reg(22);
+    /// Saved register `$s7`.
+    pub const S7: Reg = Reg(23);
+    /// Temporary `$t8`.
+    pub const T8: Reg = Reg(24);
+    /// Temporary `$t9`.
+    pub const T9: Reg = Reg(25);
+    /// Kernel register `$k0`.
+    pub const K0: Reg = Reg(26);
+    /// Kernel register `$k1`.
+    pub const K1: Reg = Reg(27);
+    /// Global pointer `$gp`.
+    pub const GP: Reg = Reg(28);
+    /// Stack pointer `$sp`.
+    pub const SP: Reg = Reg(29);
+    /// Frame pointer `$fp`.
+    pub const FP: Reg = Reg(30);
+    /// Return address `$ra`.
+    pub const RA: Reg = Reg(31);
+
+    /// Creates a register from its index.
+    ///
+    /// Returns `None` if `index` is not in `0..32`.
+    pub fn new(index: u8) -> Option<Reg> {
+        (index < 32).then_some(Reg(index))
+    }
+
+    /// Creates a register from the low five bits of a machine-code field.
+    pub fn from_field(bits: u32) -> Reg {
+        Reg((bits & 0x1f) as u8)
+    }
+
+    /// The register index in `0..32`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The ABI name without the leading `$`.
+    pub fn abi_name(self) -> &'static str {
+        ABI_NAMES[self.index()]
+    }
+
+    /// Iterates over all 32 registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..32).map(Reg)
+    }
+
+    /// Whether this is the hard-wired zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.abi_name())
+    }
+}
+
+/// Error returned when parsing a register name fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegError {
+    text: String,
+}
+
+impl ParseRegError {
+    /// The text that failed to parse.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+}
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown register name `{}`", self.text)
+    }
+}
+
+impl std::error::Error for ParseRegError {}
+
+impl FromStr for Reg {
+    type Err = ParseRegError;
+
+    /// Parses `$t0` / `t0` / `$8` / `8` forms.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let name = s.strip_prefix('$').unwrap_or(s);
+        if let Ok(n) = name.parse::<u8>() {
+            return Reg::new(n).ok_or_else(|| ParseRegError { text: s.to_owned() });
+        }
+        // `$s8` is an accepted alias for `$fp`.
+        if name == "s8" {
+            return Ok(Reg::FP);
+        }
+        ABI_NAMES
+            .iter()
+            .position(|&abi| abi == name)
+            .map(|i| Reg(i as u8))
+            .ok_or_else(|| ParseRegError { text: s.to_owned() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_out_of_range() {
+        assert_eq!(Reg::new(32), None);
+        assert_eq!(Reg::new(31), Some(Reg::RA));
+        assert_eq!(Reg::new(0), Some(Reg::ZERO));
+    }
+
+    #[test]
+    fn from_field_masks_to_five_bits() {
+        assert_eq!(Reg::from_field(0xffff_ffe9), Reg::new(9).unwrap());
+    }
+
+    #[test]
+    fn display_uses_abi_names() {
+        assert_eq!(Reg::ZERO.to_string(), "$zero");
+        assert_eq!(Reg::T9.to_string(), "$t9");
+        assert_eq!(Reg::FP.to_string(), "$fp");
+    }
+
+    #[test]
+    fn parse_accepts_numeric_and_abi_forms() {
+        assert_eq!("$4".parse::<Reg>().unwrap(), Reg::A0);
+        assert_eq!("29".parse::<Reg>().unwrap(), Reg::SP);
+        assert_eq!("$ra".parse::<Reg>().unwrap(), Reg::RA);
+        assert_eq!("zero".parse::<Reg>().unwrap(), Reg::ZERO);
+        assert_eq!("$s8".parse::<Reg>().unwrap(), Reg::FP);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("$t10".parse::<Reg>().is_err());
+        assert!("$32".parse::<Reg>().is_err());
+        assert!("".parse::<Reg>().is_err());
+    }
+
+    #[test]
+    fn roundtrip_all_registers() {
+        for r in Reg::all() {
+            let printed = r.to_string();
+            assert_eq!(printed.parse::<Reg>().unwrap(), r);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Golden machine-code encodings: one hand-verified word per instruction
+//! form, cross-checked against the MIPS ISA manual encodings. Locks the
+//! bit-level ABI of the assembler/encoder.
+
+use dim_mips::asm::assemble;
+
+/// (source line, expected machine word)
+const GOLDEN: &[(&str, u32)] = &[
+    // R-type ALU: op=0, rs, rt, rd, shamt=0, funct
+    ("add $t0, $t1, $t2", 0x012a_4020),
+    ("addu $t0, $t1, $t2", 0x012a_4021),
+    ("sub $s0, $s1, $s2", 0x0232_8022),
+    ("subu $s0, $s1, $s2", 0x0232_8023),
+    ("and $v0, $a0, $a1", 0x0085_1024),
+    ("or $v0, $a0, $a1", 0x0085_1025),
+    ("xor $v0, $a0, $a1", 0x0085_1026),
+    ("nor $v0, $a0, $a1", 0x0085_1027),
+    ("slt $t5, $t6, $t7", 0x01cf_682a),
+    ("sltu $t5, $t6, $t7", 0x01cf_682b),
+    // shifts
+    ("sll $t0, $t1, 4", 0x0009_4100),
+    ("srl $t0, $t1, 4", 0x0009_4102),
+    ("sra $t0, $t1, 31", 0x0009_47c3),
+    ("sllv $t0, $t1, $t2", 0x0149_4004),
+    ("srlv $t0, $t1, $t2", 0x0149_4006),
+    ("srav $t0, $t1, $t2", 0x0149_4007),
+    // mult/div unit
+    ("mult $a0, $a1", 0x0085_0018),
+    ("multu $a0, $a1", 0x0085_0019),
+    ("div $a0, $a1", 0x0085_001a),
+    ("divu $a0, $a1", 0x0085_001b),
+    ("mfhi $t0", 0x0000_4010),
+    ("mflo $t0", 0x0000_4012),
+    ("mthi $t0", 0x0100_0011),
+    ("mtlo $t0", 0x0100_0013),
+    // I-type ALU
+    ("addi $t0, $t1, -1", 0x2128_ffff),
+    ("addiu $t0, $t1, 100", 0x2528_0064),
+    ("slti $t0, $t1, 5", 0x2928_0005),
+    ("sltiu $t0, $t1, 5", 0x2d28_0005),
+    ("andi $t0, $t1, 0xff", 0x3128_00ff),
+    ("ori $t0, $t1, 0xff", 0x3528_00ff),
+    ("xori $t0, $t1, 0xff", 0x3928_00ff),
+    ("lui $t0, 0x1001", 0x3c08_1001),
+    // memory
+    ("lb $t0, 4($sp)", 0x83a8_0004),
+    ("lbu $t0, 4($sp)", 0x93a8_0004),
+    ("lh $t0, 4($sp)", 0x87a8_0004),
+    ("lhu $t0, 4($sp)", 0x97a8_0004),
+    ("lw $t0, 4($sp)", 0x8fa8_0004),
+    ("sb $t0, 4($sp)", 0xa3a8_0004),
+    ("sh $t0, 4($sp)", 0xa7a8_0004),
+    ("sw $t0, 4($sp)", 0xafa8_0004),
+    ("lwl $t0, 3($a0)", 0x8888_0003),
+    ("lwr $t0, 0($a0)", 0x9888_0000),
+    ("swl $t0, 3($a0)", 0xa888_0003),
+    ("swr $t0, 0($a0)", 0xb888_0000),
+    // branches (numeric word offsets)
+    ("beq $t0, $t1, -1", 0x1109_ffff),
+    ("bne $t0, $t1, 3", 0x1509_0003),
+    ("blez $t0, 2", 0x1900_0002),
+    ("bgtz $t0, 2", 0x1d00_0002),
+    ("bltz $t0, 2", 0x0500_0002),
+    ("bgez $t0, 2", 0x0501_0002),
+    // jumps (absolute targets)
+    ("j 0x00400000", 0x0810_0000),
+    ("jal 0x00400000", 0x0c10_0000),
+    ("jr $ra", 0x03e0_0008),
+    ("jalr $t9", 0x0320_f809),
+    // system
+    ("syscall", 0x0000_000c),
+    ("break 7", 0x0000_01cd),
+    ("nop", 0x0000_0000),
+];
+
+#[test]
+fn golden_words_match_the_isa_manual() {
+    for &(src, word) in GOLDEN {
+        let program = assemble(&format!("main: {src}"))
+            .unwrap_or_else(|e| panic!("`{src}`: {e}"));
+        assert_eq!(
+            program.text.len(),
+            1,
+            "`{src}` must encode to exactly one word"
+        );
+        assert_eq!(
+            program.text[0], word,
+            "`{src}`: got {:#010x}, want {word:#010x}",
+            program.text[0]
+        );
+    }
+}
+
+#[test]
+fn golden_words_decode_back_to_same_text() {
+    for &(src, word) in GOLDEN {
+        let printed = dim_mips::disassemble_word(word);
+        // Reassembling the disassembly gives the same word (the text may
+        // differ, e.g. `nop` prints as `sll $zero, $zero, 0`).
+        let again = assemble(&format!("main: {printed}"))
+            .unwrap_or_else(|e| panic!("`{printed}` (from `{src}`): {e}"));
+        assert_eq!(again.text[0], word, "`{src}` -> `{printed}`");
+    }
+}

@@ -1,0 +1,389 @@
+//! RawAudio (MiBench telecomm `adpcm`): IMA/DVI ADPCM encode and decode.
+//!
+//! The per-sample quantizer is a chain of data-dependent branches with
+//! almost no straight-line code, which is why RawAudio decode is the most
+//! control-flow-oriented workload in the paper's Figure 3b. One 4-bit
+//! code is stored per byte (the original packs two per byte; the packing
+//! does not affect the computation being measured).
+
+use crate::framework::{
+    bytes_directive, must_assemble, words_directive, BenchmarkSpec, BuiltBenchmark, Category,
+    ExpectedRegion, Scale, XorShift32,
+};
+
+/// IMA step-size table (89 entries).
+const STEP_TABLE: [u32; 89] = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66,
+    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408,
+    449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630,
+    9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,
+    32767,
+];
+
+/// IMA index-adjust table (by 4-bit code).
+const INDEX_TABLE: [i32; 16] = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8];
+
+/// Reference IMA ADPCM encoder: one code byte per sample.
+pub fn adpcm_encode_reference(samples: &[i16]) -> Vec<u8> {
+    let mut valpred: i32 = 0;
+    let mut index: i32 = 0;
+    let mut out = Vec::with_capacity(samples.len());
+    for &s in samples {
+        let step = STEP_TABLE[index as usize] as i32;
+        let mut diff = s as i32 - valpred;
+        let sign = if diff < 0 { 8 } else { 0 };
+        if sign != 0 {
+            diff = -diff;
+        }
+        let mut delta = 0;
+        let mut vpdiff = step >> 3;
+        let mut st = step;
+        if diff >= st {
+            delta = 4;
+            diff -= st;
+            vpdiff += st;
+        }
+        st >>= 1;
+        if diff >= st {
+            delta |= 2;
+            diff -= st;
+            vpdiff += st;
+        }
+        st >>= 1;
+        if diff >= st {
+            delta |= 1;
+            vpdiff += st;
+        }
+        if sign != 0 {
+            valpred -= vpdiff;
+        } else {
+            valpred += vpdiff;
+        }
+        valpred = valpred.clamp(-32768, 32767);
+        delta |= sign;
+        index += INDEX_TABLE[delta as usize];
+        index = index.clamp(0, 88);
+        out.push(delta as u8);
+    }
+    out
+}
+
+/// Reference IMA ADPCM decoder.
+pub fn adpcm_decode_reference(codes: &[u8]) -> Vec<i16> {
+    let mut valpred: i32 = 0;
+    let mut index: i32 = 0;
+    let mut out = Vec::with_capacity(codes.len());
+    for &c in codes {
+        let delta = (c & 0xf) as i32;
+        let step = STEP_TABLE[index as usize] as i32;
+        index += INDEX_TABLE[delta as usize];
+        index = index.clamp(0, 88);
+        let sign = delta & 8;
+        let dmag = delta & 7;
+        // vpdiff = (delta + 0.5) * step / 4 computed in integer form.
+        let mut vpdiff = step >> 3;
+        if dmag & 4 != 0 {
+            vpdiff += step;
+        }
+        if dmag & 2 != 0 {
+            vpdiff += step >> 1;
+        }
+        if dmag & 1 != 0 {
+            vpdiff += step >> 2;
+        }
+        if sign != 0 {
+            valpred -= vpdiff;
+        } else {
+            valpred += vpdiff;
+        }
+        valpred = valpred.clamp(-32768, 32767);
+        out.push(valpred as i16);
+    }
+    out
+}
+
+/// Deterministic test signal: a rough sine with noise, like speech-ish
+/// audio.
+fn gen_samples(n: usize, rng: &mut XorShift32) -> Vec<i16> {
+    // Integer triangle oscillator plus noise — no floats needed.
+    let mut phase: i32 = 0;
+    let mut dir: i32 = 500;
+    (0..n)
+        .map(|_| {
+            phase += dir;
+            if !(-14_000..=14_000).contains(&phase) {
+                dir = -dir;
+            }
+            let noise = (rng.below(2001) as i32) - 1000;
+            (phase + noise).clamp(-32768, 32767) as i16
+        })
+        .collect()
+}
+
+/// Shared `.data` tables.
+fn tables() -> String {
+    let idx_bytes: Vec<u32> = INDEX_TABLE.iter().map(|&v| v as u32).collect();
+    format!(
+        "step_table:\n{}\nindex_table:\n{}\n",
+        words_directive(&STEP_TABLE),
+        words_directive(&idx_bytes)
+    )
+}
+
+fn build_enc(scale: Scale) -> BuiltBenchmark {
+    let n = scale.pick(128, 1024, 4096);
+    let mut rng = XorShift32(0xadbc_0001);
+    let samples = gen_samples(n, &mut rng);
+    let expected = adpcm_encode_reference(&samples);
+    let sample_words: Vec<u32> = samples.iter().map(|&s| s as i32 as u32).collect();
+
+    // Samples stored as sign-extended words to keep the kernel focused on
+    // the quantizer rather than lh alignment.
+    let src = format!(
+        "
+        .data
+{tables}
+        samples:
+{samples}
+        codes: .space {n}
+        .text
+        main:
+            la   $s0, samples
+            la   $s1, codes
+            li   $s2, {n}
+            li   $s3, 0              # valpred
+            li   $s4, 0              # index
+            la   $s5, step_table
+            la   $s6, index_table
+        sample_loop:
+            sll  $t0, $s4, 2
+            addu $t0, $s5, $t0
+            lw   $s7, 0($t0)         # step
+            lw   $t1, 0($s0)         # sample
+            subu $t2, $t1, $s3       # diff
+            li   $t3, 0              # sign
+            bgez $t2, diff_pos
+            li   $t3, 8
+            subu $t2, $zero, $t2
+        diff_pos:
+            li   $t4, 0              # delta
+            sra  $t5, $s7, 3         # vpdiff = step >> 3
+            move $t6, $s7            # st = step
+            slt  $t7, $t2, $t6
+            bnez $t7, enc_b2
+            li   $t4, 4
+            subu $t2, $t2, $t6
+            addu $t5, $t5, $t6
+        enc_b2:
+            sra  $t6, $t6, 1
+            slt  $t7, $t2, $t6
+            bnez $t7, enc_b1
+            ori  $t4, $t4, 2
+            subu $t2, $t2, $t6
+            addu $t5, $t5, $t6
+        enc_b1:
+            sra  $t6, $t6, 1
+            slt  $t7, $t2, $t6
+            bnez $t7, enc_apply
+            ori  $t4, $t4, 1
+            addu $t5, $t5, $t6
+        enc_apply:
+            beqz $t3, enc_add
+            subu $s3, $s3, $t5
+            b    enc_clamp
+        enc_add:
+            addu $s3, $s3, $t5
+        enc_clamp:
+            li   $t8, 32767
+            slt  $t7, $t8, $s3
+            beqz $t7, enc_clamp_lo
+            move $s3, $t8
+        enc_clamp_lo:
+            li   $t8, -32768
+            slt  $t7, $s3, $t8
+            beqz $t7, enc_index
+            move $s3, $t8
+        enc_index:
+            or   $t4, $t4, $t3       # delta |= sign
+            sll  $t9, $t4, 2
+            addu $t9, $s6, $t9
+            lw   $t9, 0($t9)
+            addu $s4, $s4, $t9
+            bgez $s4, enc_idx_hi
+            li   $s4, 0
+        enc_idx_hi:
+            li   $t8, 88
+            slt  $t7, $t8, $s4
+            beqz $t7, enc_store
+            move $s4, $t8
+        enc_store:
+            sb   $t4, 0($s1)
+            addiu $s0, $s0, 4
+            addiu $s1, $s1, 1
+            addiu $s2, $s2, -1
+            bnez $s2, sample_loop
+            break 0
+        ",
+        tables = tables(),
+        samples = words_directive(&sample_words),
+        n = n,
+    );
+
+    BuiltBenchmark {
+        name: "rawaudio_enc",
+        category: Category::ControlFlow,
+        program: must_assemble("rawaudio_enc", &src),
+        expected: vec![ExpectedRegion { label: "codes".into(), bytes: expected }],
+        max_steps: 100 * n as u64 + 10_000,
+    }
+}
+
+fn build_dec(scale: Scale) -> BuiltBenchmark {
+    let n = scale.pick(128, 1024, 4096);
+    let mut rng = XorShift32(0xadbc_0002);
+    let samples = gen_samples(n, &mut rng);
+    let codes = adpcm_encode_reference(&samples);
+    let decoded = adpcm_decode_reference(&codes);
+    let expected: Vec<u8> = decoded
+        .iter()
+        .flat_map(|&s| (s as i32 as u32).to_le_bytes())
+        .collect();
+
+    let src = format!(
+        "
+        .data
+{tables}
+        codes:
+{codes}
+        .align 2
+        pcm: .space {pcm_bytes}
+        .text
+        main:
+            la   $s0, codes
+            la   $s1, pcm
+            li   $s2, {n}
+            li   $s3, 0              # valpred
+            li   $s4, 0              # index
+            la   $s5, step_table
+            la   $s6, index_table
+        code_loop:
+            lbu  $t0, 0($s0)
+            andi $t0, $t0, 0xf       # delta
+            sll  $t1, $s4, 2
+            addu $t1, $s5, $t1
+            lw   $s7, 0($t1)         # step
+            sll  $t2, $t0, 2
+            addu $t2, $s6, $t2
+            lw   $t2, 0($t2)
+            addu $s4, $s4, $t2       # index += index_table[delta]
+            bgez $s4, dec_idx_hi
+            li   $s4, 0
+        dec_idx_hi:
+            li   $t8, 88
+            slt  $t7, $t8, $s4
+            beqz $t7, dec_vpdiff
+            move $s4, $t8
+        dec_vpdiff:
+            sra  $t3, $s7, 3         # vpdiff = step >> 3
+            andi $t4, $t0, 4
+            beqz $t4, dec_b2
+            addu $t3, $t3, $s7
+        dec_b2:
+            andi $t4, $t0, 2
+            beqz $t4, dec_b1
+            sra  $t5, $s7, 1
+            addu $t3, $t3, $t5
+        dec_b1:
+            andi $t4, $t0, 1
+            beqz $t4, dec_sign
+            sra  $t5, $s7, 2
+            addu $t3, $t3, $t5
+        dec_sign:
+            andi $t4, $t0, 8
+            beqz $t4, dec_add
+            subu $s3, $s3, $t3
+            b    dec_clamp
+        dec_add:
+            addu $s3, $s3, $t3
+        dec_clamp:
+            li   $t8, 32767
+            slt  $t7, $t8, $s3
+            beqz $t7, dec_clamp_lo
+            move $s3, $t8
+        dec_clamp_lo:
+            li   $t8, -32768
+            slt  $t7, $s3, $t8
+            beqz $t7, dec_store
+            move $s3, $t8
+        dec_store:
+            sw   $s3, 0($s1)
+            addiu $s0, $s0, 1
+            addiu $s1, $s1, 4
+            addiu $s2, $s2, -1
+            bnez $s2, code_loop
+            break 0
+        ",
+        tables = tables(),
+        codes = bytes_directive(&codes),
+        pcm_bytes = 4 * n,
+        n = n,
+    );
+
+    BuiltBenchmark {
+        name: "rawaudio_dec",
+        category: Category::ControlFlow,
+        program: must_assemble("rawaudio_dec", &src),
+        expected: vec![ExpectedRegion { label: "pcm".into(), bytes: expected }],
+        max_steps: 100 * n as u64 + 10_000,
+    }
+}
+
+/// The RawAudio encoder benchmark definition.
+pub fn enc_spec() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "rawaudio_enc",
+        category: Category::ControlFlow,
+        build: build_enc,
+    }
+}
+
+/// The RawAudio decoder benchmark definition.
+pub fn dec_spec() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "rawaudio_dec",
+        category: Category::ControlFlow,
+        build: build_dec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::run_baseline;
+
+    #[test]
+    fn encode_decode_roundtrip_tracks_signal() {
+        let mut rng = XorShift32(7);
+        let samples = gen_samples(256, &mut rng);
+        let codes = adpcm_encode_reference(&samples);
+        let decoded = adpcm_decode_reference(&codes);
+        // ADPCM is lossy but must track the signal within a few steps.
+        let mut err_sum: i64 = 0;
+        for (s, d) in samples.iter().zip(&decoded) {
+            err_sum += ((*s as i64) - (*d as i64)).abs();
+        }
+        let avg_err = err_sum / samples.len() as i64;
+        assert!(avg_err < 2500, "average error {avg_err}");
+    }
+
+    #[test]
+    fn encoder_kernel_matches_reference() {
+        run_baseline(&build_enc(Scale::Tiny)).expect("rawaudio_enc validates");
+    }
+
+    #[test]
+    fn decoder_kernel_matches_reference() {
+        run_baseline(&build_dec(Scale::Tiny)).expect("rawaudio_dec validates");
+    }
+}

@@ -1,0 +1,136 @@
+//! Bitcount (MiBench automotive): counts set bits with three different
+//! methods — Kernighan's loop (data-dependent branch), a nibble lookup
+//! table, and a plain shift-and-add sweep. Control oriented with tiny
+//! basic blocks, like the original.
+
+use crate::framework::{
+    bytes_directive, must_assemble, words_directive, BenchmarkSpec, BuiltBenchmark, Category,
+    ExpectedRegion, Scale, XorShift32,
+};
+
+/// Reference: sum of popcounts (all three methods agree by construction).
+pub fn popcount_sum(values: &[u32]) -> u32 {
+    values.iter().map(|v| v.count_ones()).sum()
+}
+
+fn nibble_table() -> [u8; 16] {
+    let mut t = [0u8; 16];
+    for (i, e) in t.iter_mut().enumerate() {
+        *e = (i as u32).count_ones() as u8;
+    }
+    t
+}
+
+fn build(scale: Scale) -> BuiltBenchmark {
+    let n = scale.pick(32, 256, 1024);
+    let mut rng = XorShift32(0xb17c_0047);
+    let values: Vec<u32> = (0..n).map(|_| rng.next_u32()).collect();
+    let sum = popcount_sum(&values);
+    let expected: Vec<u8> = [sum, sum, sum].iter().flat_map(|w| w.to_le_bytes()).collect();
+
+    let src = format!(
+        "
+        .data
+        vals:
+{vals}
+        nib:
+{nib}
+        .align 2
+        out: .word 0, 0, 0
+        .text
+        main:
+            la   $s0, vals
+            li   $s1, {n}
+            li   $s4, 0            # kernighan sum
+            li   $s5, 0            # nibble-table sum
+            li   $s6, 0            # shift-add sum
+            la   $s7, nib
+        outer:
+            lw   $t0, 0($s0)
+
+            # --- method 1: Kernighan ---
+            move $t1, $t0
+            li   $t2, 0
+        k_loop:
+            beqz $t1, k_done
+            addiu $t3, $t1, -1
+            and  $t1, $t1, $t3
+            addiu $t2, $t2, 1
+            b    k_loop
+        k_done:
+            addu $s4, $s4, $t2
+
+            # --- method 2: nibble table ---
+            li   $t2, 0
+            move $t1, $t0
+            li   $t5, 8
+        n_loop:
+            andi $t3, $t1, 0xf
+            addu $t4, $s7, $t3
+            lbu  $t3, 0($t4)
+            addu $t2, $t2, $t3
+            srl  $t1, $t1, 4
+            addiu $t5, $t5, -1
+            bnez $t5, n_loop
+            addu $s5, $s5, $t2
+
+            # --- method 3: shift and add ---
+            li   $t2, 0
+            move $t1, $t0
+            li   $t5, 32
+        s_loop:
+            andi $t3, $t1, 1
+            addu $t2, $t2, $t3
+            srl  $t1, $t1, 1
+            addiu $t5, $t5, -1
+            bnez $t5, s_loop
+            addu $s6, $s6, $t2
+
+            addiu $s0, $s0, 4
+            addiu $s1, $s1, -1
+            bnez $s1, outer
+
+            la   $t0, out
+            sw   $s4, 0($t0)
+            sw   $s5, 4($t0)
+            sw   $s6, 8($t0)
+            break 0
+        ",
+        vals = words_directive(&values),
+        nib = bytes_directive(&nibble_table()),
+        n = n,
+    );
+
+    BuiltBenchmark {
+        name: "bitcount",
+        category: Category::ControlFlow,
+        program: must_assemble("bitcount", &src),
+        expected: vec![ExpectedRegion { label: "out".into(), bytes: expected }],
+        max_steps: 400 * n as u64 + 10_000,
+    }
+}
+
+/// The bitcount benchmark definition.
+pub fn spec() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "bitcount",
+        category: Category::ControlFlow,
+        build,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::run_baseline;
+
+    #[test]
+    fn reference_sanity() {
+        assert_eq!(popcount_sum(&[0xff, 0x0f]), 12);
+    }
+
+    #[test]
+    fn kernel_matches_reference() {
+        run_baseline(&build(Scale::Tiny)).expect("bitcount validates");
+    }
+}

@@ -1,0 +1,200 @@
+//! Dijkstra (MiBench network): single-source shortest paths over an
+//! adjacency matrix, O(V²) selection. Mixed loads, compares and
+//! branches; moderate basic blocks.
+
+use crate::framework::{
+    must_assemble, words_directive, BenchmarkSpec, BuiltBenchmark, Category, ExpectedRegion,
+    Scale, XorShift32,
+};
+
+/// "No edge" weight. Small enough that `dist + INF` never wraps.
+pub const INF: u32 = 0x0fff_ffff;
+
+/// Generates the random weight matrix (row-major, `v*v` entries).
+fn gen_matrix(v: usize, rng: &mut XorShift32) -> Vec<u32> {
+    let mut adj = vec![INF; v * v];
+    for i in 0..v {
+        for j in 0..v {
+            if i == j {
+                adj[i * v + j] = 0;
+            } else if rng.below(10) < 4 {
+                adj[i * v + j] = 1 + rng.below(99);
+            }
+        }
+    }
+    adj
+}
+
+/// Reference shortest-path distances from node 0, mirroring the kernel's
+/// exact selection and relaxation order (including selecting unreachable
+/// nodes with distance [`INF`]).
+pub fn dijkstra_reference(adj: &[u32], v: usize) -> Vec<u32> {
+    let mut dist = vec![INF; v];
+    let mut visited = vec![false; v];
+    dist[0] = 0;
+    for _ in 0..v {
+        let mut u = usize::MAX;
+        let mut best = INF + 1;
+        for i in 0..v {
+            if !visited[i] && dist[i] < best {
+                best = dist[i];
+                u = i;
+            }
+        }
+        if u == usize::MAX {
+            break;
+        }
+        visited[u] = true;
+        for j in 0..v {
+            if !visited[j] {
+                let cand = best + adj[u * v + j];
+                if cand < dist[j] {
+                    dist[j] = cand;
+                }
+            }
+        }
+    }
+    dist
+}
+
+fn build(scale: Scale) -> BuiltBenchmark {
+    let v = scale.pick(12, 24, 40);
+    let mut rng = XorShift32(0xd17b_57a1);
+    let adj = gen_matrix(v, &mut rng);
+    let expected: Vec<u8> = dijkstra_reference(&adj, v)
+        .iter()
+        .flat_map(|w| w.to_le_bytes())
+        .collect();
+
+    let src = format!(
+        "
+        .data
+        adj:
+{adj}
+        dist: .space {dist_bytes}
+        visited: .space {v}
+        .text
+        main:
+            la   $s0, adj
+            la   $s1, dist
+            la   $s2, visited
+            li   $s3, {v}
+
+            # dist[i] = INF, visited[i] = 0
+            li   $t0, 0
+        init:
+            sll  $t1, $t0, 2
+            addu $t1, $s1, $t1
+            li   $t2, {inf}
+            sw   $t2, 0($t1)
+            addu $t3, $s2, $t0
+            sb   $zero, 0($t3)
+            addiu $t0, $t0, 1
+            slt  $t4, $t0, $s3
+            bnez $t4, init
+            sw   $zero, 0($s1)   # dist[0] = 0
+
+            li   $s4, 0          # outer iteration
+        outer:
+            # select unvisited u with minimum dist
+            li   $s5, -1
+            li   $s6, {inf_plus_1}
+            li   $t0, 0
+        find:
+            addu $t1, $s2, $t0
+            lbu  $t2, 0($t1)
+            bnez $t2, find_next
+            sll  $t3, $t0, 2
+            addu $t3, $s1, $t3
+            lw   $t4, 0($t3)
+            sltu $t5, $t4, $s6
+            beqz $t5, find_next
+            move $s6, $t4
+            move $s5, $t0
+        find_next:
+            addiu $t0, $t0, 1
+            slt  $t6, $t0, $s3
+            bnez $t6, find
+            bltz $s5, done
+
+            addu $t1, $s2, $s5   # visited[u] = 1
+            li   $t2, 1
+            sb   $t2, 0($t1)
+
+            mul  $t3, $s5, $s3   # row base = adj + 4*V*u
+            sll  $t3, $t3, 2
+            addu $t3, $s0, $t3
+            li   $t0, 0
+        relax:
+            addu $t4, $s2, $t0
+            lbu  $t5, 0($t4)
+            bnez $t5, relax_next
+            sll  $t6, $t0, 2
+            addu $t7, $t3, $t6
+            lw   $t8, 0($t7)     # w(u, j)
+            addu $v0, $s6, $t8   # cand = dist[u] + w
+            addu $v1, $s1, $t6
+            lw   $a0, 0($v1)
+            sltu $a1, $v0, $a0
+            beqz $a1, relax_next
+            sw   $v0, 0($v1)
+        relax_next:
+            addiu $t0, $t0, 1
+            slt  $a2, $t0, $s3
+            bnez $a2, relax
+
+            addiu $s4, $s4, 1
+            slt  $a3, $s4, $s3
+            bnez $a3, outer
+        done:
+            break 0
+        ",
+        adj = words_directive(&adj),
+        dist_bytes = 4 * v,
+        v = v,
+        inf = INF,
+        inf_plus_1 = INF + 1,
+    );
+
+    BuiltBenchmark {
+        name: "dijkstra",
+        category: Category::ControlFlow,
+        program: must_assemble("dijkstra", &src),
+        expected: vec![ExpectedRegion { label: "dist".into(), bytes: expected }],
+        max_steps: 200 * (v as u64) * (v as u64) + 100_000,
+    }
+}
+
+/// The dijkstra benchmark definition.
+pub fn spec() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "dijkstra",
+        category: Category::ControlFlow,
+        build,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::run_baseline;
+
+    #[test]
+    fn reference_simple_graph() {
+        // 0 -> 1 (2), 1 -> 2 (3), 0 -> 2 (10): best 0->2 is 5.
+        let v = 3;
+        let mut adj = vec![INF; 9];
+        adj[0] = 0;
+        adj[4] = 0;
+        adj[8] = 0;
+        adj[1] = 2;
+        adj[5] = 3;
+        adj[2] = 10;
+        assert_eq!(dijkstra_reference(&adj, v), vec![0, 2, 5]);
+    }
+
+    #[test]
+    fn kernel_matches_reference() {
+        run_baseline(&build(Scale::Tiny)).expect("dijkstra validates");
+    }
+}

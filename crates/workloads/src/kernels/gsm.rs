@@ -1,0 +1,460 @@
+//! GSM full-rate (MiBench telecomm): the fixed-point short-term filters.
+//!
+//! * `gsm_enc` — preemphasis, a 9-lag autocorrelation per 160-sample
+//!   frame, and the long-term-predictor (LTP) lag search over the
+//!   preceding samples (the multiply-heavy front of the GSM encoder).
+//! * `gsm_dec` — an 8-tap fixed-point synthesis (IIR) filter, the core of
+//!   the GSM decoder's short-term synthesis.
+//!
+//! All arithmetic is Q15-style integer math, mirrored exactly by the
+//! Rust references.
+
+use crate::framework::{
+    must_assemble, words_directive, BenchmarkSpec, BuiltBenchmark, Category, ExpectedRegion,
+    Scale, XorShift32,
+};
+
+const FRAME: usize = 160;
+const LAGS: usize = 9;
+/// Preemphasis coefficient (Q15), as in GSM 06.10.
+const PREEMPH: i32 = 28180;
+/// Synthesis filter taps (Q15), chosen stable (sum << 32768).
+const TAPS: [i32; 8] = [9830, -4915, 2458, -1229, 614, -307, 154, -77];
+/// LTP subframe length.
+const SUB: usize = 40;
+/// LTP subframes searched per frame.
+const SUBS_PER_FRAME: usize = 2;
+/// LTP lag search range (inclusive start, exclusive end).
+const LAG_MIN: usize = 40;
+const LAG_MAX: usize = 72;
+
+fn gen_samples(n: usize, rng: &mut XorShift32) -> Vec<i32> {
+    let mut phase: i32 = 0;
+    let mut dir: i32 = 37;
+    (0..n)
+        .map(|_| {
+            phase += dir;
+            if !(-900..=900).contains(&phase) {
+                dir = -dir;
+            }
+            phase + (rng.below(201) as i32) - 100
+        })
+        .collect()
+}
+
+/// Reference for the encoder front end: the preemphasized signal, the
+/// per-frame autocorrelations, and the LTP `(lag, correlation)` pairs.
+pub struct GsmEncReference {
+    /// Preemphasized samples (whole signal).
+    pub work: Vec<i32>,
+    /// `LAGS` autocorrelation words per frame.
+    pub acf: Vec<i32>,
+    /// `(best_lag, best_corr)` per searched subframe (frames 1.. only).
+    pub ltp: Vec<(i32, i32)>,
+}
+
+/// Reference: preemphasis, per-frame autocorrelation, LTP lag search.
+pub fn gsm_enc_reference(samples: &[i32]) -> GsmEncReference {
+    assert_eq!(samples.len() % FRAME, 0);
+    let frames = samples.len() / FRAME;
+    let mut work = vec![0i32; samples.len()];
+    let mut acf = Vec::new();
+    for (f, frame) in samples.chunks(FRAME).enumerate() {
+        // s[n] = x[n] - (PREEMPH * s[n-1]) >> 15, prev reset per frame.
+        let mut prev = 0i32;
+        for (i, &x) in frame.iter().enumerate() {
+            let v = x - ((PREEMPH.wrapping_mul(prev)) >> 15);
+            work[f * FRAME + i] = v;
+            prev = v;
+        }
+        // Fixed summation window (n = 8..FRAME) so every lag runs the
+        // same unrolled loop; `n - k` stays in range for k <= 8.
+        let s = &work[f * FRAME..(f + 1) * FRAME];
+        for k in 0..LAGS {
+            let mut a = 0i32;
+            for n in 8..FRAME {
+                a = a.wrapping_add(s[n].wrapping_mul(s[n - k]));
+            }
+            acf.push(a);
+        }
+    }
+    // LTP: for frames 1.., per subframe, find the lag maximizing the
+    // cross-correlation with the history (ties keep the smaller lag).
+    let mut ltp = Vec::new();
+    for f in 1..frames {
+        for sub in 0..SUBS_PER_FRAME {
+            let base = f * FRAME + sub * SUB;
+            let mut best_lag = LAG_MIN as i32;
+            let mut best_corr = i32::MIN;
+            for lag in LAG_MIN..LAG_MAX {
+                let mut corr = 0i32;
+                for n in 0..SUB {
+                    corr = corr.wrapping_add(work[base + n].wrapping_mul(work[base + n - lag]));
+                }
+                if corr > best_corr {
+                    best_corr = corr;
+                    best_lag = lag as i32;
+                }
+            }
+            ltp.push((best_lag, best_corr));
+        }
+    }
+    GsmEncReference { work, acf, ltp }
+}
+
+/// Reference: 8-tap synthesis filter over the whole signal.
+pub fn gsm_dec_reference(residual: &[i32]) -> Vec<i32> {
+    let mut y = vec![0i32; residual.len()];
+    for n in 0..residual.len() {
+        let mut acc = residual[n];
+        for (k, &c) in TAPS.iter().enumerate() {
+            if n > k {
+                acc = acc.wrapping_add((c.wrapping_mul(y[n - k - 1])) >> 15);
+            }
+        }
+        y[n] = acc.clamp(-32768, 32767);
+    }
+    y
+}
+
+fn build_enc(scale: Scale) -> BuiltBenchmark {
+    let frames = scale.pick(2, 4, 8);
+    let n = frames * FRAME;
+    let mut rng = XorShift32(0x65a0_e0c1);
+    let samples = gen_samples(n, &mut rng);
+    let reference = gsm_enc_reference(&samples);
+    let expected_acf: Vec<u8> = reference
+        .acf
+        .iter()
+        .flat_map(|&v| (v as u32).to_le_bytes())
+        .collect();
+    let expected_ltp: Vec<u8> = reference
+        .ltp
+        .iter()
+        .flat_map(|&(lag, corr)| {
+            let mut b = (lag as u32).to_le_bytes().to_vec();
+            b.extend_from_slice(&(corr as u32).to_le_bytes());
+            b
+        })
+        .collect();
+
+    let corr_unrolled: String = (0..8)
+        .map(|u| {
+            format!(
+                "            lw   $t8, {o}($t4)
+            lw   $t9, {o}($t6)
+            mul  $a1, $t8, $t9
+            addu $v0, $v0, $a1\n",
+                o = 4 * u,
+            )
+        })
+        .collect();
+
+    let src = format!(
+        "
+        .data
+        pcm:
+{pcm}
+        work: .space {work_bytes}
+        acf: .space {acf_bytes}
+        ltp: .space {ltp_bytes}
+        .text
+        main:
+            la   $s0, pcm
+            la   $s1, work
+            la   $s2, acf
+            li   $s3, {frames}
+        frame_loop:
+            # --- preemphasis into work[] (prev resets per frame) ---
+            li   $t0, {frame}
+            li   $t1, 0              # prev
+            move $t2, $s0
+            move $t3, $s1
+        pre_loop:
+            lw   $t4, 0($t2)
+            li   $t5, {preemph}
+            mul  $t6, $t5, $t1
+            sra  $t6, $t6, 15
+            subu $t4, $t4, $t6
+            sw   $t4, 0($t3)
+            move $t1, $t4
+            addiu $t2, $t2, 4
+            addiu $t3, $t3, 4
+            addiu $t0, $t0, -1
+            bnez $t0, pre_loop
+
+            # --- autocorrelation: acf[k] = sum(n=8..) s[n]*s[n-k],
+            #     inner product unrolled 8x (19 iterations) ---
+            li   $s4, 0              # k
+        lag_loop:
+            li   $s5, 0              # acc
+            li   $t0, 8              # n
+            addiu $a0, $s1, 32       # &s[n]
+            sll  $a1, $s4, 2
+            subu $a1, $a0, $a1       # &s[n-k]
+        acc_loop:
+{unrolled}
+            addiu $a0, $a0, 32
+            addiu $a1, $a1, 32
+            addiu $t0, $t0, 8
+            slti $t6, $t0, {frame}
+            bnez $t6, acc_loop
+            sw   $s5, 0($s2)
+            addiu $s2, $s2, 4
+            addiu $s4, $s4, 1
+            slti $t7, $s4, {lags}
+            bnez $t7, lag_loop
+
+            addiu $s0, $s0, {frame_bytes}
+            addiu $s1, $s1, {frame_bytes}
+            addiu $s3, $s3, -1
+            bnez $s3, frame_loop
+
+            # --- LTP lag search (frames 1..): per subframe, pick the lag
+            #     in [LAG_MIN, LAG_MAX) maximizing the cross-correlation
+            #     with the history ---
+            la   $s0, work
+            la   $s2, ltp
+            li   $s3, 1              # f
+        ltp_frame:
+            li   $s4, 0              # subframe
+        ltp_sub:
+            li   $t0, {frame}
+            mul  $t1, $s3, $t0
+            li   $t3, {sub}
+            mul  $t2, $s4, $t3
+            addu $t1, $t1, $t2
+            sll  $t1, $t1, 2
+            addu $s5, $s0, $t1       # &work[base]
+            li   $s6, {lag_min}      # lag
+            li   $s7, -2147483648    # best_corr
+            li   $a3, {lag_min}      # best_lag
+        ltp_lag:
+            li   $v0, 0              # corr
+            move $t4, $s5
+            sll  $t5, $s6, 2
+            subu $t6, $s5, $t5       # &work[base - lag]
+            li   $t7, {corr_iters}
+        ltp_corr:
+{corr_unrolled}
+            addiu $t4, $t4, 32
+            addiu $t6, $t6, 32
+            addiu $t7, $t7, -1
+            bnez $t7, ltp_corr
+            slt  $t8, $s7, $v0       # corr > best?
+            beqz $t8, ltp_next
+            move $s7, $v0
+            move $a3, $s6
+        ltp_next:
+            addiu $s6, $s6, 1
+            slti $t9, $s6, {lag_max}
+            bnez $t9, ltp_lag
+            sw   $a3, 0($s2)
+            sw   $s7, 4($s2)
+            addiu $s2, $s2, 8
+            addiu $s4, $s4, 1
+            slti $t0, $s4, {subs}
+            bnez $t0, ltp_sub
+            addiu $s3, $s3, 1
+            slti $t0, $s3, {frames}
+            bnez $t0, ltp_frame
+            break 0
+        ",
+        pcm = words_directive(&samples.iter().map(|&v| v as u32).collect::<Vec<_>>()),
+        unrolled = (0..8)
+            .map(|u| {
+                format!(
+                    "            lw   $t2, {o}($a0)
+            lw   $t4, {o}($a1)
+            mul  $t5, $t2, $t4
+            addu $s5, $s5, $t5\n",
+                    o = 4 * u,
+                )
+            })
+            .collect::<String>(),
+        corr_unrolled = corr_unrolled,
+        work_bytes = 4 * n,
+        acf_bytes = 4 * LAGS * frames,
+        ltp_bytes = 8 * SUBS_PER_FRAME * (frames - 1),
+        frames = frames,
+        frame = FRAME,
+        frame_bytes = 4 * FRAME,
+        preemph = PREEMPH,
+        lags = LAGS,
+        sub = SUB,
+        subs = SUBS_PER_FRAME,
+        lag_min = LAG_MIN,
+        lag_max = LAG_MAX,
+        corr_iters = SUB / 8,
+    );
+
+    BuiltBenchmark {
+        name: "gsm_enc",
+        category: Category::DataFlow,
+        program: must_assemble("gsm_enc", &src),
+        expected: vec![
+            ExpectedRegion { label: "acf".into(), bytes: expected_acf },
+            ExpectedRegion { label: "ltp".into(), bytes: expected_ltp },
+        ],
+        max_steps: 120_000 * frames as u64 + 10_000,
+    }
+}
+
+fn build_dec(scale: Scale) -> BuiltBenchmark {
+    let frames = scale.pick(1, 4, 10);
+    let n = frames * FRAME;
+    let mut rng = XorShift32(0x65a0_d0d2);
+    let residual = gen_samples(n, &mut rng);
+    let expected: Vec<u8> = gsm_dec_reference(&residual)
+        .iter()
+        .flat_map(|&v| (v as u32).to_le_bytes())
+        .collect();
+
+    // The synthesis loop reads back the last 8 outputs; taps with n <= k
+    // are skipped via the inner bound, matching the reference.
+    let src = format!(
+        "
+        .data
+        taps:
+{taps}
+        res:
+{res}
+        outp: .space {out_bytes}
+        .text
+        main:
+            la   $s0, res
+            la   $s1, outp
+            la   $s2, taps
+            li   $s3, {n}
+            li   $s4, 0              # n
+        sample_loop:
+            sll  $t0, $s4, 2
+            addu $t1, $s0, $t0
+            lw   $s5, 0($t1)         # acc = residual[n]
+            li   $s6, 0              # k
+        tap_loop:
+            # if n <= k skip this tap
+            slt  $t2, $s6, $s4
+            beqz $t2, tap_next
+            sll  $t3, $s6, 2
+            addu $t4, $s2, $t3
+            lw   $t5, 0($t4)         # c[k]
+            subu $t6, $s4, $s6
+            addiu $t6, $t6, -1
+            sll  $t6, $t6, 2
+            addu $t6, $s1, $t6
+            lw   $t7, 0($t6)         # y[n-k-1]
+            mul  $t8, $t5, $t7
+            sra  $t8, $t8, 15
+            addu $s5, $s5, $t8
+        tap_next:
+            addiu $s6, $s6, 1
+            slti $t9, $s6, 8
+            bnez $t9, tap_loop
+            # clamp to 16 bits
+            li   $t2, 32767
+            slt  $t3, $t2, $s5
+            beqz $t3, clamp_lo
+            move $s5, $t2
+        clamp_lo:
+            li   $t2, -32768
+            slt  $t3, $s5, $t2
+            beqz $t3, store
+            move $s5, $t2
+        store:
+            sll  $t0, $s4, 2
+            addu $t1, $s1, $t0
+            sw   $s5, 0($t1)
+            addiu $s4, $s4, 1
+            slt  $t4, $s4, $s3
+            bnez $t4, sample_loop
+            break 0
+        ",
+        taps = words_directive(&TAPS.map(|v| v as u32)),
+        res = words_directive(&residual.iter().map(|&v| v as u32).collect::<Vec<_>>()),
+        out_bytes = 4 * n,
+        n = n,
+    );
+
+    BuiltBenchmark {
+        name: "gsm_dec",
+        category: Category::Mixed,
+        program: must_assemble("gsm_dec", &src),
+        expected: vec![ExpectedRegion { label: "outp".into(), bytes: expected }],
+        max_steps: 200 * n as u64 + 10_000,
+    }
+}
+
+/// The GSM encoder benchmark definition.
+pub fn enc_spec() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "gsm_enc",
+        category: Category::DataFlow,
+        build: build_enc,
+    }
+}
+
+/// The GSM decoder benchmark definition.
+pub fn dec_spec() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "gsm_dec",
+        category: Category::Mixed,
+        build: build_dec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::run_baseline;
+
+    #[test]
+    fn enc_reference_shapes() {
+        let mut rng = XorShift32(5);
+        let s = gen_samples(2 * FRAME, &mut rng);
+        let r = gsm_enc_reference(&s);
+        assert_eq!(r.acf.len(), 2 * LAGS);
+        // acf[0] is the energy: strictly positive for a non-zero signal,
+        // and at least as large as any other lag in magnitude.
+        assert!(r.acf[0] > 0);
+        for &v in &r.acf[1..LAGS] {
+            assert!(v.abs() <= r.acf[0]);
+        }
+        // LTP: one (lag, corr) pair per subframe of frame 1, with the lag
+        // inside the search window.
+        assert_eq!(r.ltp.len(), SUBS_PER_FRAME);
+        for &(lag, _) in &r.ltp {
+            assert!((LAG_MIN as i32..LAG_MAX as i32).contains(&lag));
+        }
+        // The reported correlation must be the true maximum over the
+        // window for its subframe.
+        let base = FRAME; // frame 1, subframe 0
+        let max_corr = (LAG_MIN..LAG_MAX)
+            .map(|lag| {
+                (0..SUB).fold(0i32, |acc, n| {
+                    acc.wrapping_add(r.work[base + n].wrapping_mul(r.work[base + n - lag]))
+                })
+            })
+            .max()
+            .expect("non-empty window");
+        assert_eq!(r.ltp[0].1, max_corr);
+    }
+
+    #[test]
+    fn dec_reference_is_stable() {
+        let mut rng = XorShift32(6);
+        let r = gen_samples(FRAME, &mut rng);
+        let y = gsm_dec_reference(&r);
+        assert!(y.iter().all(|&v| (-32768..=32767).contains(&v)));
+    }
+
+    #[test]
+    fn enc_kernel_matches_reference() {
+        run_baseline(&build_enc(Scale::Tiny)).expect("gsm_enc validates");
+    }
+
+    #[test]
+    fn dec_kernel_matches_reference() {
+        run_baseline(&build_dec(Scale::Tiny)).expect("gsm_dec validates");
+    }
+}

@@ -1,0 +1,568 @@
+//! JPEG (MiBench consumer): 8×8 forward DCT + quantization (encode) and
+//! dequantization + inverse DCT (decode), in 8.8 fixed point.
+//!
+//! Like the real JPEG codec, the generated program has *many* distinct
+//! code regions (the per-block transform code is specialized per block,
+//! as a compiler would do for the different component planes and
+//! unrolled passes), so no small set of basic blocks dominates — the
+//! paper's Figure 3a shows JPEG needing ~20 blocks for 50% coverage, and
+//! Table 2 shows it gaining the most from larger reconfiguration caches.
+//! The inner product over `k` is fully unrolled: eight multiplies and
+//! sixteen loads of straight-line code per output coefficient, which is
+//! where bigger arrays (more multipliers and memory ports per row) pull
+//! ahead. The encoder's quantization divides — divisions cannot map onto
+//! the array, exactly as in the paper.
+
+use crate::framework::{
+    must_assemble, words_directive, BenchmarkSpec, BuiltBenchmark, Category, ExpectedRegion,
+    Scale, XorShift32,
+};
+
+/// Standard JPEG luminance quantization table.
+const QTABLE: [i32; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69,
+    56, 14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81,
+    104, 113, 92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// DCT basis matrix in 8.8 fixed point:
+/// `C[u][x] = round(a(u) * cos((2x+1)uπ/16) * 256)`.
+fn cmat() -> [i32; 64] {
+    let mut c = [0i32; 64];
+    for u in 0..8 {
+        let alpha = if u == 0 {
+            (1.0f64 / 8.0).sqrt()
+        } else {
+            (2.0f64 / 8.0).sqrt()
+        };
+        for x in 0..8 {
+            let v = alpha
+                * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0).cos();
+            c[u * 8 + x] = (v * 256.0).round() as i32;
+        }
+    }
+    c
+}
+
+/// Reference forward DCT + quantization of one 8×8 block of 0..255
+/// pixels, mirroring the kernel's fixed-point math exactly.
+pub fn fdct_quant_reference(pixels: &[i32; 64]) -> [i32; 64] {
+    let c = cmat();
+    let mut tmp = [0i32; 64];
+    for u in 0..8 {
+        for x in 0..8 {
+            let mut acc = 0i32;
+            for k in 0..8 {
+                acc = acc.wrapping_add(c[u * 8 + k].wrapping_mul(pixels[k * 8 + x] - 128));
+            }
+            tmp[u * 8 + x] = acc;
+        }
+    }
+    let mut out = [0i32; 64];
+    for u in 0..8 {
+        for v in 0..8 {
+            let mut acc = 0i32;
+            for k in 0..8 {
+                acc = acc.wrapping_add(tmp[u * 8 + k].wrapping_mul(c[v * 8 + k]));
+            }
+            let t = (acc.wrapping_add(32768)) >> 16;
+            out[u * 8 + v] = t / QTABLE[u * 8 + v];
+        }
+    }
+    out
+}
+
+/// Reference dequantization + inverse DCT (clamped 0..255 pixels).
+pub fn idct_dequant_reference(coef: &[i32; 64]) -> [i32; 64] {
+    let c = cmat();
+    let mut d = [0i32; 64];
+    for i in 0..64 {
+        d[i] = coef[i].wrapping_mul(QTABLE[i]);
+    }
+    let mut tmp = [0i32; 64];
+    for x in 0..8 {
+        for v in 0..8 {
+            let mut acc = 0i32;
+            for u in 0..8 {
+                acc = acc.wrapping_add(c[u * 8 + x].wrapping_mul(d[u * 8 + v]));
+            }
+            tmp[x * 8 + v] = acc;
+        }
+    }
+    let mut out = [0i32; 64];
+    for x in 0..8 {
+        for y in 0..8 {
+            let mut acc = 0i32;
+            for v in 0..8 {
+                acc = acc.wrapping_add(tmp[x * 8 + v].wrapping_mul(c[v * 8 + y]));
+            }
+            let p = ((acc.wrapping_add(32768)) >> 16) + 128;
+            out[x * 8 + y] = p.clamp(0, 255);
+        }
+    }
+    out
+}
+
+/// The standard JPEG zigzag scan order.
+const ZIGZAG: [u8; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Bytes reserved per block for the run-length stream: DC word + up to
+/// 63 (run, value) pairs + the (0,0) end-of-block marker.
+pub const RLE_BYTES_PER_BLOCK: usize = 4 + 63 * 8 + 8;
+
+/// Reference zigzag + run-length coding of one quantized block: the DC
+/// word, then `(zero_run, value)` pairs for the AC coefficients, a
+/// `(0, 0)` end marker, zero-padded to [`RLE_BYTES_PER_BLOCK`].
+pub fn rle_reference(coef: &[i32; 64]) -> Vec<u8> {
+    let mut zz = [0i32; 64];
+    for (i, &src) in ZIGZAG.iter().enumerate() {
+        zz[i] = coef[src as usize];
+    }
+    let mut out: Vec<u8> = Vec::with_capacity(RLE_BYTES_PER_BLOCK);
+    out.extend_from_slice(&(zz[0] as u32).to_le_bytes());
+    let mut run = 0u32;
+    for &v in &zz[1..] {
+        if v == 0 {
+            run += 1;
+        } else {
+            out.extend_from_slice(&run.to_le_bytes());
+            out.extend_from_slice(&(v as u32).to_le_bytes());
+            run = 0;
+        }
+    }
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out.resize(RLE_BYTES_PER_BLOCK, 0);
+    out
+}
+
+fn gen_pixels(blocks: usize, rng: &mut XorShift32) -> Vec<i32> {
+    // Smooth gradient + noise, like natural image content.
+    (0..blocks * 64)
+        .map(|i| {
+            let x = (i % 8) as i32;
+            let y = ((i / 8) % 8) as i32;
+            let base = 128 + 10 * (x - 4) + 6 * (y - 4);
+            (base + (rng.below(41) as i32 - 20)).clamp(0, 255)
+        })
+        .collect()
+}
+
+/// A fully-unrolled 8-term inner product nest over `(i, j)`:
+/// * `prologue` computes the row/column cursors `$t2`/`$t3` (and
+///   optionally `$t4`) from the loop registers `$s3` (i) and `$s4` (j),
+/// * `term(k)` emits the straight-line code for one product into `$t7`,
+/// * `post` consumes the accumulator `$s6`.
+fn ip_nest(label: &str, prologue: &str, term: impl Fn(usize) -> String, post: &str) -> String {
+    let mut body = String::new();
+    for k in 0..8 {
+        body.push_str(&term(k));
+        body.push_str("            addu $s6, $s6, $t7\n");
+    }
+    format!(
+        "
+            li   $s3, 0              # i
+        {label}_i:
+            li   $s4, 0              # j
+        {label}_j:
+            {prologue}
+            li   $s6, 0
+{body}
+            {post}
+            addiu $s4, $s4, 1
+            slti $t0, $s4, 8
+            bnez $t0, {label}_j
+            addiu $s3, $s3, 1
+            slti $t0, $s3, 8
+            bnez $t0, {label}_i
+        "
+    )
+}
+
+/// `addr = base + 4 * (8*i + j)` into `$t6`.
+fn addr(base_reg: &str, row_reg: &str, col_reg: &str) -> String {
+    format!(
+        "sll  $t6, {row_reg}, 3
+            addu $t6, $t6, {col_reg}
+            sll  $t6, $t6, 2
+            addu $t6, {base_reg}, $t6"
+    )
+}
+
+/// Per-block encoder code: two unrolled-inner-product matmuls with
+/// block-specialized labels and base addresses.
+fn enc_block_code(b: usize) -> String {
+    let stage1 = ip_nest(
+        &format!("mm1_{b}"),
+        // $t2 = &C[i*8], $t3 = &pix[j]
+        "sll  $t2, $s3, 5
+            addu $t2, $s0, $t2
+            sll  $t3, $s4, 2
+            addu $t3, $s1, $t3",
+        |k| {
+            format!(
+                "            lw   $t8, {co}($t2)
+            lw   $t9, {po}($t3)
+            addiu $t9, $t9, -128
+            mul  $t7, $t8, $t9\n",
+                co = 4 * k,
+                po = 32 * k,
+            )
+        },
+        // tmpm[i*8+j] = acc
+        &format!("{}\n            sw   $s6, 0($t6)", addr("$s2", "$s3", "$s4")),
+    );
+    let stage2 = ip_nest(
+        &format!("mm2_{b}"),
+        // $t2 = &tmpm[i*8], $t3 = &C[j*8]
+        "sll  $t2, $s3, 5
+            addu $t2, $s2, $t2
+            sll  $t3, $s4, 5
+            addu $t3, $s0, $t3",
+        |k| {
+            format!(
+                "            lw   $t8, {o}($t2)
+            lw   $t9, {o}($t3)
+            mul  $t7, $t8, $t9\n",
+                o = 4 * k,
+            )
+        },
+        // coef = ((acc + 32768) >> 16) / Q[i*8+j]
+        &format!(
+            "li   $t1, 32768
+            addu $s6, $s6, $t1
+            sra  $s6, $s6, 16
+            {qaddr}
+            lw   $t2, 0($t6)
+            div  $s6, $s6, $t2
+            {oaddr}
+            sw   $s6, 0($t6)",
+            qaddr = addr("$s7", "$s3", "$s4"),
+            oaddr = addr("$a3", "$s3", "$s4"),
+        ),
+    );
+    let entropy = format!(
+        "
+            # --- zigzag reorder into zzbuf ---
+            la   $t0, zzord
+            la   $t1, coef+{off}
+            la   $t2, zzbuf
+            li   $t3, 64
+        zz_{b}:
+            lbu  $t4, 0($t0)
+            sll  $t4, $t4, 2
+            addu $t4, $t1, $t4
+            lw   $t5, 0($t4)
+            sw   $t5, 0($t2)
+            addiu $t0, $t0, 1
+            addiu $t2, $t2, 4
+            addiu $t3, $t3, -1
+            bnez $t3, zz_{b}
+
+            # --- run-length code the AC coefficients ---
+            la   $t0, zzbuf
+            la   $t1, rle+{rle_off}
+            lw   $t2, 0($t0)
+            sw   $t2, 0($t1)         # DC
+            addiu $t0, $t0, 4
+            addiu $t1, $t1, 4
+            li   $t3, 63
+            li   $t4, 0              # zero run
+        rle_{b}:
+            lw   $t5, 0($t0)
+            bnez $t5, emit_{b}
+            addiu $t4, $t4, 1
+            b    next_{b}
+        emit_{b}:
+            sw   $t4, 0($t1)
+            sw   $t5, 4($t1)
+            addiu $t1, $t1, 8
+            li   $t4, 0
+        next_{b}:
+            addiu $t0, $t0, 4
+            addiu $t3, $t3, -1
+            bnez $t3, rle_{b}
+            sw   $zero, 0($t1)       # end-of-block marker
+            sw   $zero, 4($t1)
+        ",
+        b = b,
+        off = 256 * b,
+        rle_off = RLE_BYTES_PER_BLOCK * b,
+    );
+    format!(
+        "
+            la   $s1, pix+{off}
+            la   $a3, coef+{off}
+{stage1}
+{stage2}
+{entropy}
+        ",
+        off = 256 * b,
+    )
+}
+
+/// Per-block decoder code.
+fn dec_block_code(b: usize) -> String {
+    let stage1 = ip_nest(
+        &format!("im1_{b}"),
+        // $t2 = &C[i] (column i, stride 32), $t3 = &coef[j], $t4 = &Q[j]
+        "sll  $t2, $s3, 2
+            addu $t2, $s0, $t2
+            sll  $t3, $s4, 2
+            addu $t4, $s7, $t3
+            addu $t3, $s1, $t3",
+        |k| {
+            format!(
+                "            lw   $t8, {o}($t2)
+            lw   $t9, {o}($t3)
+            lw   $t5, {o}($t4)
+            mul  $t9, $t9, $t5
+            mul  $t7, $t8, $t9\n",
+                o = 32 * k,
+            )
+        },
+        &format!("{}\n            sw   $s6, 0($t6)", addr("$s2", "$s3", "$s4")),
+    );
+    let stage2 = ip_nest(
+        &format!("im2_{b}"),
+        // $t2 = &tmpm[i*8] (offset 4k), $t3 = &C[j] (offset 32k)
+        "sll  $t2, $s3, 5
+            addu $t2, $s2, $t2
+            sll  $t3, $s4, 2
+            addu $t3, $s0, $t3",
+        |k| {
+            format!(
+                "            lw   $t8, {a}($t2)
+            lw   $t9, {c}($t3)
+            mul  $t7, $t8, $t9\n",
+                a = 4 * k,
+                c = 32 * k,
+            )
+        },
+        &format!(
+            "li   $t1, 32768
+            addu $s6, $s6, $t1
+            sra  $s6, $s6, 16
+            addiu $s6, $s6, 128
+            bgez $s6, clamp_hi_{b}
+            li   $s6, 0
+        clamp_hi_{b}:
+            slti $t1, $s6, 256
+            bnez $t1, clamp_ok_{b}
+            li   $s6, 255
+        clamp_ok_{b}:
+            {oaddr}
+            sw   $s6, 0($t6)",
+            oaddr = addr("$a3", "$s3", "$s4"),
+        ),
+    );
+    format!(
+        "
+            la   $s1, coefs+{off}
+            la   $a3, outp+{off}
+{stage1}
+{stage2}
+        ",
+        off = 256 * b,
+    )
+}
+
+fn build_enc(scale: Scale) -> BuiltBenchmark {
+    let blocks = scale.pick(1, 6, 20);
+    let passes = scale.pick(2, 3, 3);
+    let mut rng = XorShift32(0x09e6_0e0c);
+    let pixels = gen_pixels(blocks, &mut rng);
+    let mut expected = Vec::new();
+    let mut expected_rle = Vec::new();
+    for b in 0..blocks {
+        let block: [i32; 64] = pixels[b * 64..(b + 1) * 64].try_into().expect("64 px");
+        let coef = fdct_quant_reference(&block);
+        for v in coef {
+            expected.extend_from_slice(&(v as u32).to_le_bytes());
+        }
+        expected_rle.extend_from_slice(&rle_reference(&coef));
+    }
+    let pix_words: Vec<u32> = pixels.iter().map(|&p| p as u32).collect();
+    let blocks_code: String = (0..blocks).map(enc_block_code).collect();
+
+    let src = format!(
+        "
+        .data
+        cmat:
+{cmat}
+        qtab:
+{qtab}
+        pix:
+{pix}
+        zzord:
+{zzord}
+        .align 2
+        tmpm: .space 256
+        zzbuf: .space 256
+        coef: .space {coef_bytes}
+        rle: .space {rle_bytes}
+        .text
+        main:
+            la   $s0, cmat
+            la   $s2, tmpm
+            la   $s7, qtab
+            li   $a2, {passes}
+        pass_loop:
+{blocks_code}
+            addiu $a2, $a2, -1
+            bnez $a2, pass_loop
+            break 0
+        ",
+        cmat = words_directive(&cmat().map(|v| v as u32)),
+        qtab = words_directive(&QTABLE.map(|v| v as u32)),
+        pix = words_directive(&pix_words),
+        zzord = crate::framework::bytes_directive_pub(&ZIGZAG),
+        coef_bytes = blocks * 256,
+        rle_bytes = blocks * RLE_BYTES_PER_BLOCK,
+        passes = passes,
+        blocks_code = blocks_code,
+    );
+
+    BuiltBenchmark {
+        name: "jpeg_enc",
+        category: Category::Mixed,
+        program: must_assemble("jpeg_enc", &src),
+        expected: vec![
+            ExpectedRegion { label: "coef".into(), bytes: expected },
+            ExpectedRegion { label: "rle".into(), bytes: expected_rle },
+        ],
+        max_steps: 40_000 * (blocks * passes) as u64 + 10_000,
+    }
+}
+
+fn build_dec(scale: Scale) -> BuiltBenchmark {
+    let blocks = scale.pick(1, 6, 20);
+    let passes = scale.pick(2, 3, 3);
+    let mut rng = XorShift32(0x09e6_0d0d);
+    let pixels = gen_pixels(blocks, &mut rng);
+    let mut coefs = Vec::new();
+    let mut expected = Vec::new();
+    for b in 0..blocks {
+        let block: [i32; 64] = pixels[b * 64..(b + 1) * 64].try_into().expect("64 px");
+        let coef = fdct_quant_reference(&block);
+        coefs.extend_from_slice(&coef);
+        for v in idct_dequant_reference(&coef) {
+            expected.extend_from_slice(&(v as u32).to_le_bytes());
+        }
+    }
+    let blocks_code: String = (0..blocks).map(dec_block_code).collect();
+
+    let src = format!(
+        "
+        .data
+        cmat:
+{cmat}
+        qtab:
+{qtab}
+        coefs:
+{coefs}
+        tmpm: .space 256
+        outp: .space {out_bytes}
+        .text
+        main:
+            la   $s0, cmat
+            la   $s2, tmpm
+            la   $s7, qtab
+            li   $a2, {passes}
+        pass_loop:
+{blocks_code}
+            addiu $a2, $a2, -1
+            bnez $a2, pass_loop
+            break 0
+        ",
+        cmat = words_directive(&cmat().map(|v| v as u32)),
+        qtab = words_directive(&QTABLE.map(|v| v as u32)),
+        coefs = words_directive(&coefs.iter().map(|&v| v as u32).collect::<Vec<_>>()),
+        out_bytes = blocks * 256,
+        passes = passes,
+        blocks_code = blocks_code,
+    );
+
+    BuiltBenchmark {
+        name: "jpeg_dec",
+        category: Category::Mixed,
+        program: must_assemble("jpeg_dec", &src),
+        expected: vec![ExpectedRegion { label: "outp".into(), bytes: expected }],
+        max_steps: 40_000 * (blocks * passes) as u64 + 10_000,
+    }
+}
+
+/// The JPEG encode benchmark definition.
+pub fn enc_spec() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "jpeg_enc",
+        category: Category::Mixed,
+        build: build_enc,
+    }
+}
+
+/// The JPEG decode benchmark definition.
+pub fn dec_spec() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "jpeg_dec",
+        category: Category::Mixed,
+        build: build_dec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::run_baseline;
+
+    #[test]
+    fn dct_roundtrip_approximates_input() {
+        let mut rng = XorShift32(3);
+        let px = gen_pixels(1, &mut rng);
+        let block: [i32; 64] = px[0..64].try_into().unwrap();
+        let coef = fdct_quant_reference(&block);
+        let back = idct_dequant_reference(&coef);
+        let max_err = block
+            .iter()
+            .zip(&back)
+            .map(|(a, b)| (a - b).abs())
+            .max()
+            .unwrap();
+        assert!(max_err < 40, "max pixel error {max_err}");
+    }
+
+    #[test]
+    fn dc_coefficient_sign_follows_brightness() {
+        let bright = [200i32; 64];
+        let dark = [40i32; 64];
+        assert!(fdct_quant_reference(&bright)[0] > 0);
+        assert!(fdct_quant_reference(&dark)[0] < 0);
+    }
+
+    #[test]
+    fn rle_reference_structure() {
+        let mut coef = [0i32; 64];
+        coef[0] = 11; // DC
+        coef[8] = -3; // zigzag position 2 (one zero at position 1 first)
+        let bytes = rle_reference(&coef);
+        assert_eq!(bytes.len(), RLE_BYTES_PER_BLOCK);
+        assert_eq!(&bytes[0..4], &11u32.to_le_bytes());
+        assert_eq!(&bytes[4..8], &1u32.to_le_bytes()); // run of 1 zero
+        assert_eq!(&bytes[8..12], &(-3i32 as u32).to_le_bytes());
+        assert_eq!(&bytes[12..20], &[0u8; 8]); // end marker
+    }
+
+    #[test]
+    fn enc_kernel_matches_reference() {
+        run_baseline(&build_enc(Scale::Tiny)).expect("jpeg_enc validates");
+    }
+
+    #[test]
+    fn dec_kernel_matches_reference() {
+        run_baseline(&build_dec(Scale::Tiny)).expect("jpeg_dec validates");
+    }
+}

@@ -1,0 +1,14 @@
+//! One module per MiBench-like kernel.
+
+pub mod adpcm;
+pub mod bitcount;
+pub mod crc32;
+pub mod dijkstra;
+pub mod gsm;
+pub mod jpeg;
+pub mod patricia;
+pub mod quicksort;
+pub mod rijndael;
+pub mod sha;
+pub mod stringsearch;
+pub mod susan;

@@ -1,0 +1,184 @@
+//! Patricia (MiBench network): digital search trie over 32-bit keys
+//! (IPv4-address-like), bump-allocated nodes, insert-then-lookup —
+//! pointer chasing with a branch every couple of instructions.
+//!
+//! The kernel is the uncompressed digital trie at the heart of Patricia
+//! (path compression elided); its dynamic behaviour — bit tests, two-way
+//! branches, dependent loads — is the same.
+
+use crate::framework::{
+    must_assemble, words_directive, BenchmarkSpec, BuiltBenchmark, Category, ExpectedRegion,
+    Scale, XorShift32,
+};
+use std::collections::HashSet;
+
+/// Reference result: `(hits, wrapping checksum of matched keys)`.
+pub fn lookup_reference(inserted: &[u32], queries: &[u32]) -> (u32, u32) {
+    let set: HashSet<u32> = inserted.iter().copied().collect();
+    let mut hits = 0u32;
+    let mut sum = 0u32;
+    for &q in queries {
+        if set.contains(&q) {
+            hits += 1;
+            sum = sum.wrapping_add(q);
+        }
+    }
+    (hits, sum)
+}
+
+fn build(scale: Scale) -> BuiltBenchmark {
+    let k = scale.pick(64, 256, 768);
+    let mut rng = XorShift32(0x9a72_1c1a);
+    // Clustered keys (shared high bits) make deeper tries, like real
+    // routing tables.
+    let keys: Vec<u32> = (0..k)
+        .map(|_| {
+            let prefix = (rng.below(8)) << 29;
+            prefix | rng.below(1 << 16)
+        })
+        .collect();
+    let queries: Vec<u32> = (0..2 * k)
+        .map(|i| {
+            if i % 2 == 0 {
+                keys[rng.below(k as u32) as usize]
+            } else {
+                (rng.below(8) << 29) | rng.below(1 << 16)
+            }
+        })
+        .collect();
+    let (hits, sum) = lookup_reference(&keys, &queries);
+    let mut expected = hits.to_le_bytes().to_vec();
+    expected.extend_from_slice(&sum.to_le_bytes());
+
+    // Node layout: [key, left, right] — 12 bytes, bump-allocated from
+    // `pool` (pre-zeroed). A null pointer is 0.
+    let src = format!(
+        "
+        .data
+        keys:
+{keys}
+        queries:
+{queries}
+        out: .word 0, 0
+        pool: .space {pool_bytes}
+        .text
+        main:
+            la   $s0, keys
+            li   $s1, {k}
+            la   $s2, pool
+            move $s3, $s2            # bump pointer
+            li   $s4, 0              # root (null)
+
+        # ---- insert all keys ----
+        ins_loop:
+            beqz $s1, inserts_done
+            lw   $a0, 0($s0)         # key
+            bnez $s4, ins_walk
+            # empty trie: root = alloc(key)
+            sw   $a0, 0($s3)
+            move $s4, $s3
+            addiu $s3, $s3, 12
+            b    ins_next
+        ins_walk:
+            move $t0, $s4            # cur
+            li   $t1, 0              # depth
+        ins_step:
+            lw   $t2, 0($t0)         # cur.key
+            beq  $t2, $a0, ins_next  # duplicate
+            srlv $t3, $a0, $t1       # bit = (key >> depth) & 1
+            andi $t3, $t3, 1
+            sll  $t3, $t3, 2
+            addiu $t3, $t3, 4        # child offset: 4 (left) or 8 (right)
+            addu $t4, $t0, $t3
+            lw   $t5, 0($t4)
+            beqz $t5, ins_attach
+            move $t0, $t5
+            addiu $t1, $t1, 1
+            b    ins_step
+        ins_attach:
+            sw   $a0, 0($s3)         # node.key = key (children zeroed)
+            sw   $s3, 0($t4)         # parent child ptr = node
+            addiu $s3, $s3, 12
+        ins_next:
+            addiu $s0, $s0, 4
+            addiu $s1, $s1, -1
+            b    ins_loop
+        inserts_done:
+
+        # ---- lookups ----
+            la   $s0, queries
+            li   $s1, {q}
+            li   $s5, 0              # hits
+            li   $s6, 0              # checksum
+        look_loop:
+            beqz $s1, looks_done
+            lw   $a0, 0($s0)
+            move $t0, $s4
+            li   $t1, 0
+        look_step:
+            beqz $t0, look_miss
+            lw   $t2, 0($t0)
+            beq  $t2, $a0, look_hit
+            srlv $t3, $a0, $t1
+            andi $t3, $t3, 1
+            sll  $t3, $t3, 2
+            addiu $t3, $t3, 4
+            addu $t4, $t0, $t3
+            lw   $t0, 0($t4)
+            addiu $t1, $t1, 1
+            b    look_step
+        look_hit:
+            addiu $s5, $s5, 1
+            addu $s6, $s6, $a0
+        look_miss:
+            addiu $s0, $s0, 4
+            addiu $s1, $s1, -1
+            b    look_loop
+        looks_done:
+            la   $t0, out
+            sw   $s5, 0($t0)
+            sw   $s6, 4($t0)
+            break 0
+        ",
+        keys = words_directive(&keys),
+        queries = words_directive(&queries),
+        pool_bytes = 12 * (k + 1),
+        k = k,
+        q = 2 * k,
+    );
+
+    BuiltBenchmark {
+        name: "patricia",
+        category: Category::ControlFlow,
+        program: must_assemble("patricia", &src),
+        expected: vec![ExpectedRegion { label: "out".into(), bytes: expected }],
+        max_steps: 3000 * k as u64 + 100_000,
+    }
+}
+
+/// The patricia benchmark definition.
+pub fn spec() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "patricia",
+        category: Category::ControlFlow,
+        build,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::run_baseline;
+
+    #[test]
+    fn reference_counts_hits() {
+        let inserted = [1, 2, 3];
+        let queries = [1, 4, 3, 3];
+        assert_eq!(lookup_reference(&inserted, &queries), (3, 1 + 3 + 3));
+    }
+
+    #[test]
+    fn kernel_matches_reference() {
+        run_baseline(&build(Scale::Tiny)).expect("patricia validates");
+    }
+}

@@ -1,0 +1,138 @@
+//! Quicksort (MiBench automotive `qsort`): iterative quicksort with an
+//! explicit work stack, Lomuto partitioning, signed comparisons.
+//! Heavily control-flow oriented.
+
+use crate::framework::{
+    must_assemble, words_directive, BenchmarkSpec, BuiltBenchmark, Category, ExpectedRegion,
+    Scale, XorShift32,
+};
+
+/// Reference: sorted copy (signed order).
+pub fn sorted_reference(values: &[u32]) -> Vec<u32> {
+    let mut v: Vec<i32> = values.iter().map(|&x| x as i32).collect();
+    v.sort_unstable();
+    v.into_iter().map(|x| x as u32).collect()
+}
+
+fn build(scale: Scale) -> BuiltBenchmark {
+    let n = scale.pick(64, 256, 1024);
+    let mut rng = XorShift32(0x5017_ab1e);
+    let values: Vec<u32> = (0..n).map(|_| rng.next_u32()).collect();
+    let expected: Vec<u8> = sorted_reference(&values)
+        .iter()
+        .flat_map(|w| w.to_le_bytes())
+        .collect();
+
+    let src = format!(
+        "
+        .data
+        arr:
+{arr}
+        stack: .space {stack_bytes}
+        .text
+        main:
+            la   $s0, arr
+            la   $s1, stack
+            li   $s2, 0              # stack pointer (bytes)
+            li   $t0, 0              # lo
+            li   $t1, {hi0}          # hi = n-1
+            addu $t2, $s1, $s2
+            sw   $t0, 0($t2)
+            sw   $t1, 4($t2)
+            addiu $s2, $s2, 8
+        qs_loop:
+            beqz $s2, done
+            addiu $s2, $s2, -8
+            addu $t2, $s1, $s2
+            lw   $s3, 0($t2)         # lo
+            lw   $s4, 4($t2)         # hi
+            slt  $t3, $s3, $s4
+            beqz $t3, qs_loop
+
+            # Lomuto partition with pivot = a[hi]
+            sll  $t4, $s4, 2
+            addu $t4, $s0, $t4
+            lw   $s5, 0($t4)         # pivot
+            addiu $s6, $s3, -1       # i = lo - 1
+            move $s7, $s3            # j = lo
+        part_loop:
+            slt  $t3, $s7, $s4
+            beqz $t3, part_done
+            sll  $t5, $s7, 2
+            addu $t5, $s0, $t5
+            lw   $t6, 0($t5)         # a[j]
+            slt  $t3, $s5, $t6       # pivot < a[j] ?
+            bnez $t3, part_next
+            addiu $s6, $s6, 1
+            sll  $t7, $s6, 2
+            addu $t7, $s0, $t7
+            lw   $t8, 0($t7)
+            sw   $t6, 0($t7)         # a[i] = a[j]
+            sw   $t8, 0($t5)         # a[j] = old a[i]
+        part_next:
+            addiu $s7, $s7, 1
+            b    part_loop
+        part_done:
+            addiu $s6, $s6, 1
+            sll  $t7, $s6, 2
+            addu $t7, $s0, $t7
+            lw   $t8, 0($t7)
+            sll  $t4, $s4, 2
+            addu $t4, $s0, $t4
+            lw   $t9, 0($t4)
+            sw   $t9, 0($t7)         # swap a[i] <-> a[hi]
+            sw   $t8, 0($t4)
+
+            addu $t2, $s1, $s2       # push (lo, i-1)
+            addiu $t3, $s6, -1
+            sw   $s3, 0($t2)
+            sw   $t3, 4($t2)
+            addiu $s2, $s2, 8
+            addu $t2, $s1, $s2       # push (i+1, hi)
+            addiu $t3, $s6, 1
+            sw   $t3, 0($t2)
+            sw   $s4, 4($t2)
+            addiu $s2, $s2, 8
+            b    qs_loop
+        done:
+            break 0
+        ",
+        arr = words_directive(&values),
+        stack_bytes = 16 * n,
+        hi0 = n - 1,
+    );
+
+    BuiltBenchmark {
+        name: "quicksort",
+        category: Category::ControlFlow,
+        program: must_assemble("quicksort", &src),
+        expected: vec![ExpectedRegion { label: "arr".into(), bytes: expected }],
+        max_steps: 3000 * n as u64 + 100_000,
+    }
+}
+
+/// The quicksort benchmark definition.
+pub fn spec() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "quicksort",
+        category: Category::ControlFlow,
+        build,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::run_baseline;
+
+    #[test]
+    fn reference_sorts_signed() {
+        let v = sorted_reference(&[5, 0xffff_ffff, 3]); // -1 sorts first
+        assert_eq!(v, vec![0xffff_ffff, 3, 5]);
+    }
+
+    #[test]
+    fn kernel_matches_reference() {
+        run_baseline(&build(Scale::Tiny)).expect("quicksort validates");
+    }
+}

@@ -1,0 +1,594 @@
+//! Rijndael (MiBench security): AES-128 ECB encryption and decryption.
+//!
+//! The most dataflow-oriented workloads in the paper — branchless xtime
+//! chains and table lookups give huge basic blocks, so Rijndael profits
+//! most from large array configurations (Table 2's top rows).
+
+use crate::framework::{
+    bytes_directive, must_assemble, BenchmarkSpec, BuiltBenchmark, Category, ExpectedRegion,
+    Scale, XorShift32,
+};
+
+fn xtime(x: u8) -> u8 {
+    (x << 1) ^ (if x & 0x80 != 0 { 0x1b } else { 0 })
+}
+
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    p
+}
+
+/// The AES S-box, computed from the GF(2^8) inverse + affine transform.
+fn sbox() -> [u8; 256] {
+    // Build the inverse table by brute force (fine at test scale).
+    let mut inv = [0u8; 256];
+    for a in 1u16..256 {
+        for b in 1u16..256 {
+            if gf_mul(a as u8, b as u8) == 1 {
+                inv[a as usize] = b as u8;
+                break;
+            }
+        }
+    }
+    let mut s = [0u8; 256];
+    for (i, e) in s.iter_mut().enumerate() {
+        let x = inv[i];
+        *e = x
+            ^ x.rotate_left(1)
+            ^ x.rotate_left(2)
+            ^ x.rotate_left(3)
+            ^ x.rotate_left(4)
+            ^ 0x63;
+    }
+    s
+}
+
+fn inv_sbox(sb: &[u8; 256]) -> [u8; 256] {
+    let mut inv = [0u8; 256];
+    for (i, &v) in sb.iter().enumerate() {
+        inv[v as usize] = i as u8;
+    }
+    inv
+}
+
+/// ShiftRows permutation on the flat (input-order) state:
+/// `new[i] = old[map[i]]`.
+fn shift_map() -> [u8; 16] {
+    let mut m = [0u8; 16];
+    for c in 0..4u8 {
+        for r in 0..4u8 {
+            m[(4 * c + r) as usize] = 4 * ((c + r) % 4) + r;
+        }
+    }
+    m
+}
+
+fn inv_shift_map() -> [u8; 16] {
+    let mut m = [0u8; 16];
+    for c in 0..4u8 {
+        for r in 0..4u8 {
+            m[(4 * c + r) as usize] = 4 * ((c + 4 - r) % 4) + r;
+        }
+    }
+    m
+}
+
+/// AES-128 key expansion to 176 round-key bytes (flat, ARK order).
+fn expand_key(key: &[u8; 16]) -> [u8; 176] {
+    const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+    let sb = sbox();
+    let mut w = [[0u8; 4]; 44];
+    for i in 0..4 {
+        w[i].copy_from_slice(&key[4 * i..4 * i + 4]);
+    }
+    for i in 4..44 {
+        let mut t = w[i - 1];
+        if i % 4 == 0 {
+            t.rotate_left(1);
+            for b in &mut t {
+                *b = sb[*b as usize];
+            }
+            t[0] ^= RCON[i / 4 - 1];
+        }
+        for j in 0..4 {
+            w[i][j] = w[i - 4][j] ^ t[j];
+        }
+    }
+    let mut flat = [0u8; 176];
+    for (i, word) in w.iter().enumerate() {
+        flat[4 * i..4 * i + 4].copy_from_slice(word);
+    }
+    flat
+}
+
+fn add_round_key(state: &mut [u8; 16], rk: &[u8]) {
+    for (s, k) in state.iter_mut().zip(rk) {
+        *s ^= k;
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let a: [u8; 4] = state[4 * c..4 * c + 4].try_into().expect("4 bytes");
+        state[4 * c] = xtime(a[0]) ^ xtime(a[1]) ^ a[1] ^ a[2] ^ a[3];
+        state[4 * c + 1] = a[0] ^ xtime(a[1]) ^ xtime(a[2]) ^ a[2] ^ a[3];
+        state[4 * c + 2] = a[0] ^ a[1] ^ xtime(a[2]) ^ xtime(a[3]) ^ a[3];
+        state[4 * c + 3] = xtime(a[0]) ^ a[0] ^ a[1] ^ a[2] ^ xtime(a[3]);
+    }
+}
+
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let a: [u8; 4] = state[4 * c..4 * c + 4].try_into().expect("4 bytes");
+        state[4 * c] = gf_mul(a[0], 14) ^ gf_mul(a[1], 11) ^ gf_mul(a[2], 13) ^ gf_mul(a[3], 9);
+        state[4 * c + 1] =
+            gf_mul(a[0], 9) ^ gf_mul(a[1], 14) ^ gf_mul(a[2], 11) ^ gf_mul(a[3], 13);
+        state[4 * c + 2] =
+            gf_mul(a[0], 13) ^ gf_mul(a[1], 9) ^ gf_mul(a[2], 14) ^ gf_mul(a[3], 11);
+        state[4 * c + 3] =
+            gf_mul(a[0], 11) ^ gf_mul(a[1], 13) ^ gf_mul(a[2], 9) ^ gf_mul(a[3], 14);
+    }
+}
+
+/// Reference AES-128 single-block encryption.
+pub fn aes_encrypt_block(block: &[u8; 16], rk: &[u8; 176]) -> [u8; 16] {
+    let sb = sbox();
+    let map = shift_map();
+    let mut s = *block;
+    add_round_key(&mut s, &rk[0..16]);
+    for round in 1..=9 {
+        let mut t = [0u8; 16];
+        for i in 0..16 {
+            t[i] = sb[s[map[i] as usize] as usize];
+        }
+        s = t;
+        mix_columns(&mut s);
+        add_round_key(&mut s, &rk[16 * round..16 * round + 16]);
+    }
+    let mut t = [0u8; 16];
+    for i in 0..16 {
+        t[i] = sb[s[map[i] as usize] as usize];
+    }
+    s = t;
+    add_round_key(&mut s, &rk[160..176]);
+    s
+}
+
+/// Reference AES-128 single-block decryption.
+pub fn aes_decrypt_block(block: &[u8; 16], rk: &[u8; 176]) -> [u8; 16] {
+    let isb = inv_sbox(&sbox());
+    let imap = inv_shift_map();
+    let mut s = *block;
+    add_round_key(&mut s, &rk[160..176]);
+    for round in (1..=9).rev() {
+        let mut t = [0u8; 16];
+        for i in 0..16 {
+            t[i] = isb[s[imap[i] as usize] as usize];
+        }
+        s = t;
+        add_round_key(&mut s, &rk[16 * round..16 * round + 16]);
+        inv_mix_columns(&mut s);
+    }
+    let mut t = [0u8; 16];
+    for i in 0..16 {
+        t[i] = isb[s[imap[i] as usize] as usize];
+    }
+    s = t;
+    add_round_key(&mut s, &rk[0..16]);
+    s
+}
+
+/// Branchless xtime in MIPS assembly: `dst = xtime(srcreg)` (clobbers
+/// `$v0`/`$v1`).
+fn xt(dst: &str, src: &str) -> String {
+    format!(
+        "sll  {dst}, {src}, 1
+            srl  $v0, {src}, 7
+            subu $v1, $zero, $v0
+            andi $v1, $v1, 0x1b
+            xor  {dst}, {dst}, $v1
+            andi {dst}, {dst}, 0xff
+            "
+    )
+}
+
+/// Unrolled AddRoundKey: `state[i] ^= key[i]` for 16 bytes, straight-line.
+fn ark_unrolled(state: &str, key: &str) -> String {
+    (0..16)
+        .map(|i| {
+            format!(
+                "            lbu  $t1, {i}({state})
+            lbu  $t9, {i}({key})
+            xor  $t1, $t1, $t9
+            sb   $t1, {i}({state})\n"
+            )
+        })
+        .collect()
+}
+
+/// Unrolled SubBytes+ShiftRows: `tmp[i] = sbox[state[map[i]]]` with the
+/// permutation baked into the offsets. `$t2` = sbox base, `$t3` = tmp
+/// base.
+fn subshift_unrolled(map: &[u8; 16]) -> String {
+    (0..16)
+        .map(|i| {
+            format!(
+                "            lbu  $t5, {src}($s0)
+            addu $t5, $t2, $t5
+            lbu  $t5, 0($t5)
+            sb   $t5, {i}($t3)\n",
+                src = map[i],
+            )
+        })
+        .collect()
+}
+
+/// Unrolled final AddRoundKey from tmp back into the state.
+fn final_ark_unrolled() -> String {
+    (0..16)
+        .map(|i| {
+            format!(
+                "            lbu  $t1, {i}($t3)
+            lbu  $t9, {i}($s2)
+            xor  $t1, $t1, $t9
+            sb   $t1, {i}($s0)\n"
+            )
+        })
+        .collect()
+}
+
+/// The shared encrypt kernel text. `blocks` 16-byte blocks at `buf` are
+/// encrypted in place. SubBytes/ShiftRows/AddRoundKey are fully unrolled
+/// (as real AES implementations are), producing the huge basic blocks
+/// that make Rijndael the paper's prime beneficiary of large arrays.
+fn enc_asm(blocks: usize) -> String {
+    format!(
+        "
+        .text
+        main:
+            la   $s0, buf
+            li   $s1, {blocks}
+        block_loop:
+            # --- AddRoundKey(0): state ^= rk[0..16], in place ---
+            la   $s2, rk
+{ark0}
+            addiu $s2, $s2, 16
+
+            li   $s3, 9              # middle rounds
+        round_loop:
+            # --- tmp[i] = sbox[state[shiftmap[i]]], unrolled ---
+            la   $t2, sboxt
+            la   $t3, tmp
+{subshift}
+
+            # --- MixColumns: state = mix(tmp), column at a time ---
+            la   $t0, tmp
+            li   $t1, 4              # column counter
+            move $t2, $s0            # output cursor
+        mixcol:
+            lbu  $a0, 0($t0)
+            lbu  $a1, 1($t0)
+            lbu  $a2, 2($t0)
+            lbu  $a3, 3($t0)
+            {xt_a0}
+            {xt_a1}
+            {xt_a2}
+            {xt_a3}
+            # out0 = xt0 ^ xt1 ^ a1 ^ a2 ^ a3
+            xor  $t9, $t3, $t4
+            xor  $t9, $t9, $a1
+            xor  $t9, $t9, $a2
+            xor  $t9, $t9, $a3
+            sb   $t9, 0($t2)
+            # out1 = a0 ^ xt1 ^ xt2 ^ a2 ^ a3
+            xor  $t9, $a0, $t4
+            xor  $t9, $t9, $t5
+            xor  $t9, $t9, $a2
+            xor  $t9, $t9, $a3
+            sb   $t9, 1($t2)
+            # out2 = a0 ^ a1 ^ xt2 ^ xt3 ^ a3
+            xor  $t9, $a0, $a1
+            xor  $t9, $t9, $t5
+            xor  $t9, $t9, $t6
+            xor  $t9, $t9, $a3
+            sb   $t9, 2($t2)
+            # out3 = xt0 ^ a0 ^ a1 ^ a2 ^ xt3
+            xor  $t9, $t3, $a0
+            xor  $t9, $t9, $a1
+            xor  $t9, $t9, $a2
+            xor  $t9, $t9, $t6
+            sb   $t9, 3($t2)
+            addiu $t0, $t0, 4
+            addiu $t2, $t2, 4
+            addiu $t1, $t1, -1
+            bnez $t1, mixcol
+
+            # --- AddRoundKey(r): rk cursor $s2 continues, unrolled ---
+{arkr}
+            addiu $s2, $s2, 16
+
+            addiu $s3, $s3, -1
+            bnez $s3, round_loop
+
+            # --- final round: subshift + ARK(10), unrolled ---
+            la   $t2, sboxt
+            la   $t3, tmp
+{finshift}
+{finark}
+            addiu $s0, $s0, 16
+            addiu $s1, $s1, -1
+            bnez $s1, block_loop
+            break 0
+        ",
+        blocks = blocks,
+        ark0 = ark_unrolled("$s0", "$s2"),
+        subshift = subshift_unrolled(&shift_map()),
+        arkr = ark_unrolled("$s0", "$s2"),
+        finshift = subshift_unrolled(&shift_map()),
+        finark = final_ark_unrolled(),
+        xt_a0 = xt("$t3", "$a0"),
+        xt_a1 = xt("$t4", "$a1"),
+        xt_a2 = xt("$t5", "$a2"),
+        xt_a3 = xt("$t6", "$a3"),
+    )
+}
+
+/// The decrypt kernel: InvShiftRows+InvSubBytes, ARK, InvMixColumns.
+fn dec_asm(blocks: usize) -> String {
+    // mul9/11/13/14 of $aN into $tM via x2/x4/x8 chain; clobbers $v0/$v1,
+    // $t7, $t8, $t9 as scratch within each byte step.
+    fn muls(src: &str, x2: &str, x4: &str, x8: &str) -> String {
+        format!(
+            "{xt2}{xt4}{xt8}",
+            xt2 = xt(x2, src),
+            xt4 = xt(x4, x2),
+            xt8 = xt(x8, x4),
+        )
+    }
+    format!(
+        "
+        .text
+        main:
+            la   $s0, buf
+            li   $s1, {blocks}
+        block_loop:
+            # --- ARK(10): rk bytes 160..176, unrolled ---
+            la   $s2, rk+160
+{ark10}
+
+            li   $s3, 9              # rounds 9..1
+            la   $s2, rk+144         # rk cursor walks backwards by 16
+        round_loop:
+            # --- tmp[i] = invsbox[state[invshiftmap[i]]], unrolled ---
+            la   $t2, invsboxt
+            la   $t3, tmp
+{subshift}
+
+            # --- tmp ^= rk[16r..16r+16], unrolled ---
+{arkr}
+            addiu $s2, $s2, -16
+
+            # --- state = InvMixColumns(tmp) ---
+            la   $t0, tmp
+            li   $t1, 4
+            move $t2, $s0
+        mixcol:
+            # Column bytes a0..a3; per byte compute x2/x4/x8 and combine:
+            # 9=x8^x, 11=x8^x2^x, 13=x8^x4^x, 14=x8^x4^x2.
+            lbu  $a0, 0($t0)
+            {m0}
+            xor  $s4, $t5, $t3       # 14(a0) = x8 ^ x2 ^ x4
+            xor  $s4, $s4, $t4
+            xor  $s5, $t5, $a0       # 9(a0) = x8 ^ a0
+            xor  $s6, $s5, $t4       # 13(a0) = 9 ^ x4
+            xor  $s7, $s5, $t3       # 11(a0) = 9 ^ x2
+            lbu  $a1, 1($t0)
+            {m1}
+            # out0 += 11(a1), out1 += 14(a1), out2 += 9(a1), out3 += 13(a1)
+            xor  $t9, $t5, $a1       # 9(a1)
+            xor  $a2, $t9, $t3       # 11(a1)
+            xor  $a3, $t9, $t4       # 13(a1)
+            xor  $t8, $t5, $t3       # 14(a1)
+            xor  $t8, $t8, $t4
+            xor  $s4, $s4, $a2
+            xor  $s5, $s5, $t8
+            xor  $s6, $s6, $t9
+            xor  $s7, $s7, $a3
+            lbu  $a1, 2($t0)
+            {m2}
+            xor  $t9, $t5, $a1       # 9(a2)
+            xor  $a2, $t9, $t3       # 11
+            xor  $a3, $t9, $t4       # 13
+            xor  $t8, $t5, $t3
+            xor  $t8, $t8, $t4       # 14
+            xor  $s4, $s4, $a3       # out0 += 13(a2)
+            xor  $s5, $s5, $a2       # out1 += 11(a2)
+            xor  $s6, $s6, $t8       # out2 += 14(a2)
+            xor  $s7, $s7, $t9       # out3 += 9(a2)
+            lbu  $a1, 3($t0)
+            {m3}
+            xor  $t9, $t5, $a1       # 9(a3)
+            xor  $a2, $t9, $t3       # 11
+            xor  $a3, $t9, $t4       # 13
+            xor  $t8, $t5, $t3
+            xor  $t8, $t8, $t4       # 14
+            xor  $s4, $s4, $t9       # out0 += 9(a3)
+            xor  $s5, $s5, $a3       # out1 += 13(a3)
+            xor  $s6, $s6, $a2       # out2 += 11(a3)
+            xor  $s7, $s7, $t8       # out3 += 14(a3)
+            sb   $s4, 0($t2)
+            sb   $s5, 1($t2)
+            sb   $s6, 2($t2)
+            sb   $s7, 3($t2)
+            addiu $t0, $t0, 4
+            addiu $t2, $t2, 4
+            addiu $t1, $t1, -1
+            bnez $t1, mixcol
+
+            addiu $s3, $s3, -1
+            bnez $s3, round_loop
+
+            # --- final: invsubshift + ARK(0), unrolled ---
+            la   $t2, invsboxt
+            la   $t3, tmp
+{finshift}
+            la   $s2, rk
+{finark}
+            addiu $s0, $s0, 16
+            addiu $s1, $s1, -1
+            bnez $s1, block_loop
+            break 0
+        ",
+        blocks = blocks,
+        ark10 = ark_unrolled("$s0", "$s2"),
+        subshift = subshift_unrolled(&inv_shift_map()),
+        arkr = ark_unrolled("$t3", "$s2"),
+        finshift = subshift_unrolled(&inv_shift_map()),
+        finark = final_ark_unrolled(),
+        m0 = muls("$a0", "$t3", "$t4", "$t5"),
+        m1 = muls("$a1", "$t3", "$t4", "$t5"),
+        m2 = muls("$a1", "$t3", "$t4", "$t5"),
+        m3 = muls("$a1", "$t3", "$t4", "$t5"),
+    )
+}
+
+const KEY: [u8; 16] = [
+    0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
+    0x3c,
+];
+
+fn data_section(buf: &[u8]) -> String {
+    let sb = sbox();
+    format!
+        (
+        "
+        .data
+        sboxt:
+{sbox}
+        invsboxt:
+{invsbox}
+        shiftmap:
+{smap}
+        invshiftmap:
+{ismap}
+        rk:
+{rk}
+        tmp: .space 16
+        buf:
+{buf}
+",
+        sbox = bytes_directive(&sb),
+        invsbox = bytes_directive(&inv_sbox(&sb)),
+        smap = bytes_directive(&shift_map()),
+        ismap = bytes_directive(&inv_shift_map()),
+        rk = bytes_directive(&expand_key(&KEY)),
+        buf = bytes_directive(buf),
+    )
+}
+
+fn build_enc(scale: Scale) -> BuiltBenchmark {
+    let blocks = scale.pick(2, 8, 32);
+    let mut rng = XorShift32(ae51_enc_seed());
+    let plain: Vec<u8> = (0..blocks * 16).map(|_| rng.next_u32() as u8).collect();
+    let rk = expand_key(&KEY);
+    let expected: Vec<u8> = plain
+        .chunks(16)
+        .flat_map(|b| aes_encrypt_block(b.try_into().expect("16-byte block"), &rk))
+        .collect();
+
+    let src = format!("{}{}", data_section(&plain), enc_asm(blocks));
+    BuiltBenchmark {
+        name: "rijndael_enc",
+        category: Category::DataFlow,
+        program: must_assemble("rijndael_enc", &src),
+        expected: vec![ExpectedRegion { label: "buf".into(), bytes: expected }],
+        max_steps: 20_000 * blocks as u64 + 10_000,
+    }
+}
+
+fn build_dec(scale: Scale) -> BuiltBenchmark {
+    let blocks = scale.pick(2, 8, 32);
+    let mut rng = XorShift32(ae51_dec_seed());
+    let plain: Vec<u8> = (0..blocks * 16).map(|_| rng.next_u32() as u8).collect();
+    let rk = expand_key(&KEY);
+    let cipher: Vec<u8> = plain
+        .chunks(16)
+        .flat_map(|b| aes_encrypt_block(b.try_into().expect("16-byte block"), &rk))
+        .collect();
+
+    let src = format!("{}{}", data_section(&cipher), dec_asm(blocks));
+    BuiltBenchmark {
+        name: "rijndael_dec",
+        category: Category::DataFlow,
+        program: must_assemble("rijndael_dec", &src),
+        expected: vec![ExpectedRegion { label: "buf".into(), bytes: plain }],
+        max_steps: 30_000 * blocks as u64 + 10_000,
+    }
+}
+
+fn ae51_enc_seed() -> u32 {
+    0xae51_0e0c
+}
+fn ae51_dec_seed() -> u32 {
+    0xae51_0d0d
+}
+
+/// The Rijndael encrypt benchmark definition.
+pub fn enc_spec() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "rijndael_enc",
+        category: Category::DataFlow,
+        build: build_enc,
+    }
+}
+
+/// The Rijndael decrypt benchmark definition.
+pub fn dec_spec() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "rijndael_dec",
+        category: Category::DataFlow,
+        build: build_dec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::run_baseline;
+
+    #[test]
+    fn fips197_vector() {
+        let key: [u8; 16] = [
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+            0x0e, 0x0f,
+        ];
+        let pt: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        let ct: [u8; 16] = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        let rk = expand_key(&key);
+        assert_eq!(aes_encrypt_block(&pt, &rk), ct);
+        assert_eq!(aes_decrypt_block(&ct, &rk), pt);
+    }
+
+    #[test]
+    fn enc_kernel_matches_reference() {
+        run_baseline(&build_enc(Scale::Tiny)).expect("rijndael_enc validates");
+    }
+
+    #[test]
+    fn dec_kernel_matches_reference() {
+        run_baseline(&build_dec(Scale::Tiny)).expect("rijndael_dec validates");
+    }
+}

@@ -1,0 +1,212 @@
+//! Stringsearch (MiBench office): Boyer–Moore–Horspool search of many
+//! 8-byte patterns over a segmented text buffer.
+//!
+//! Mirroring the MiBench harness — which calls the search routine for
+//! every (string, pattern) pair — the kernel scans the text segment by
+//! segment, running every pattern's *specialized* search code on each
+//! segment before moving on. Visits to any one code region are short and
+//! widely separated by other regions, so the working set of array
+//! configurations far exceeds a small reconfiguration cache: Table 2
+//! shows stringsearch among the most slot-sensitive benchmarks.
+
+use crate::framework::{
+    bytes_directive, must_assemble, BenchmarkSpec, BuiltBenchmark, Category, ExpectedRegion,
+    Scale, XorShift32,
+};
+
+const M: usize = 8;
+/// Segment length: short enough that one visit is only a handful of
+/// Horspool iterations.
+const SEG: usize = 64;
+
+/// Reference mirroring the kernel's segmented scan: the first match that
+/// lies entirely inside a segment, in segment order; -1 if none.
+pub fn search_reference(text: &[u8], patterns: &[[u8; M]]) -> Vec<i32> {
+    let segs = text.len() / SEG;
+    patterns
+        .iter()
+        .map(|p| {
+            for s in 0..segs {
+                let seg = &text[s * SEG..(s + 1) * SEG];
+                if let Some(pos) = seg.windows(M).position(|w| w == p) {
+                    return (s * SEG + pos) as i32;
+                }
+            }
+            -1
+        })
+        .collect()
+}
+
+/// Horspool skip table for one pattern.
+fn skip_table(p: &[u8; M]) -> [u8; 256] {
+    let mut t = [M as u8; 256];
+    for (i, &b) in p.iter().take(M - 1).enumerate() {
+        t[b as usize] = (M - 1 - i) as u8;
+    }
+    t
+}
+
+/// Specialized per-pattern search over the current segment
+/// (`$s0` = segment base, `$a1` = segment start offset in the text).
+fn pattern_code(p: usize) -> String {
+    format!(
+        "
+            la   $t8, outp+{out_off}
+            lw   $t9, 0($t8)
+            bgez $t9, done_{p}       # already found in an earlier segment
+            la   $a0, pats+{pat_off}
+            la   $a3, skips+{skip_off}
+            li   $s6, 0              # pos within segment
+        search_{p}:
+            li   $t0, {last}
+            slt  $t1, $t0, $s6
+            bnez $t1, done_{p}
+            li   $t2, 0
+        cmp_{p}:
+            addu $t3, $s6, $t2
+            addu $t3, $s0, $t3
+            lbu  $t4, 0($t3)
+            addu $t5, $a0, $t2
+            lbu  $t6, 0($t5)
+            bne  $t4, $t6, fail_{p}
+            addiu $t2, $t2, 1
+            slti $t7, $t2, {m}
+            bnez $t7, cmp_{p}
+            addu $t9, $a1, $s6       # global match position
+            sw   $t9, 0($t8)
+            b    done_{p}
+        fail_{p}:
+            addiu $t3, $s6, {m1}
+            addu $t3, $s0, $t3
+            lbu  $t4, 0($t3)
+            addu $t5, $a3, $t4
+            lbu  $t6, 0($t5)
+            addu $s6, $s6, $t6
+            b    search_{p}
+        done_{p}:
+        ",
+        p = p,
+        pat_off = M * p,
+        skip_off = 256 * p,
+        out_off = 4 * p,
+        last = SEG - M,
+        m = M,
+        m1 = M - 1,
+    )
+}
+
+fn build(scale: Scale) -> BuiltBenchmark {
+    let segs = scale.pick(4, 12, 24);
+    let k = scale.pick(4, 12, 24);
+    let n = segs * SEG;
+    let mut rng = XorShift32(0x5ea2_c41f);
+    let text: Vec<u8> = (0..n).map(|_| b'a' + (rng.below(26)) as u8).collect();
+    let mut patterns: Vec<[u8; M]> = Vec::with_capacity(k);
+    for i in 0..k {
+        if i % 3 == 2 {
+            // Every third pattern is random (likely absent).
+            let mut p = [0u8; M];
+            for b in &mut p {
+                *b = b'a' + rng.below(26) as u8;
+            }
+            patterns.push(p);
+        } else {
+            // Sampled from inside a segment (guaranteed findable).
+            let seg = rng.below(segs as u32) as usize;
+            let off = rng.below((SEG - M) as u32) as usize;
+            let at = seg * SEG + off;
+            patterns.push(text[at..at + M].try_into().expect("window is M bytes"));
+        }
+    }
+    let results = search_reference(&text, &patterns);
+    let expected: Vec<u8> = results.iter().flat_map(|w| w.to_le_bytes()).collect();
+    let pat_bytes: Vec<u8> = patterns.iter().flatten().copied().collect();
+    let skip_bytes: Vec<u8> = patterns.iter().flat_map(skip_table).collect();
+    let searches: String = (0..k).map(pattern_code).collect();
+    // Results start at -1.
+    let minus_ones: Vec<u8> = std::iter::repeat_n([0xffu8; 4], k).flatten().collect();
+
+    let src = format!(
+        "
+        .data
+        text:
+{text}
+        pats:
+{pats}
+        skips:
+{skips}
+        .align 2
+        outp:
+{init}
+        .text
+        main:
+            la   $s0, text
+            li   $a1, 0              # segment start offset
+        seg_loop:
+{searches}
+            addiu $s0, $s0, {seg}
+            addiu $a1, $a1, {seg}
+            li   $t0, {n}
+            slt  $t1, $a1, $t0
+            bnez $t1, seg_loop
+            break 0
+        ",
+        text = bytes_directive(&text),
+        pats = bytes_directive(&pat_bytes),
+        skips = bytes_directive(&skip_bytes),
+        init = bytes_directive(&minus_ones),
+        seg = SEG,
+        n = n,
+        searches = searches,
+    );
+
+    BuiltBenchmark {
+        name: "stringsearch",
+        category: Category::ControlFlow,
+        program: must_assemble("stringsearch", &src),
+        expected: vec![ExpectedRegion { label: "outp".into(), bytes: expected }],
+        max_steps: 200 * (n as u64) * (k as u64) + 100_000,
+    }
+}
+
+/// The stringsearch benchmark definition.
+pub fn spec() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "stringsearch",
+        category: Category::ControlFlow,
+        build,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::run_baseline;
+
+    #[test]
+    fn reference_respects_segment_boundaries() {
+        // Pattern placed across a segment boundary must not be found.
+        let mut text = vec![b'a'; 2 * SEG];
+        let pat: [u8; M] = *b"bcdefghi";
+        text[SEG - 4..SEG + 4].copy_from_slice(&pat);
+        assert_eq!(search_reference(&text, &[pat]), vec![-1]);
+        // Fully inside a segment it is found at the right global offset.
+        text[SEG + 10..SEG + 10 + M].copy_from_slice(&pat);
+        assert_eq!(search_reference(&text, &[pat]), vec![(SEG + 10) as i32]);
+    }
+
+    #[test]
+    fn skip_table_semantics() {
+        let pat: [u8; M] = *b"abcdefgh";
+        let t = skip_table(&pat);
+        assert_eq!(t[b'a' as usize], 7);
+        assert_eq!(t[b'g' as usize], 1);
+        assert_eq!(t[b'h' as usize], 8); // last char keeps the default
+        assert_eq!(t[b'z' as usize], 8);
+    }
+
+    #[test]
+    fn kernel_matches_reference() {
+        run_baseline(&build(Scale::Tiny)).expect("stringsearch validates");
+    }
+}

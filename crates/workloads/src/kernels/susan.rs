@@ -1,0 +1,474 @@
+//! Susan (MiBench automotive): the three SUSAN image kernels —
+//! brightness-weighted smoothing, corner response, edge response — over a
+//! small grayscale image. Smoothing is dataflow-ish; corners/edges are
+//! threshold-compare loops with no distinct hot kernel, exactly the
+//! "many basic blocks" case of the paper's Figure 3a.
+
+use crate::framework::{
+    bytes_directive, must_assemble, BenchmarkSpec, BuiltBenchmark, Category, ExpectedRegion,
+    Scale, XorShift32,
+};
+
+/// Brightness-similarity LUT: weight = 100 * exp(-(d/27)^2), integerized.
+fn brightness_lut() -> [u8; 256] {
+    let mut lut = [0u8; 256];
+    for (d, e) in lut.iter_mut().enumerate() {
+        let x = d as f64 / 27.0;
+        *e = (100.0 * (-x * x).exp()).round() as u8;
+    }
+    lut
+}
+
+fn gen_image(n: usize, rng: &mut XorShift32) -> Vec<u8> {
+    // Blobs + noise: enough structure for corners/edges to fire.
+    let mut img = vec![0u8; n * n];
+    for y in 0..n {
+        for x in 0..n {
+            let mut v = 60 + ((x * 5 + y * 3) % 90) as i32;
+            // A bright square in the middle creates edges and corners.
+            if (n / 4..3 * n / 4).contains(&x) && (n / 4..3 * n / 4).contains(&y) {
+                v += 90;
+            }
+            v += rng.below(21) as i32 - 10;
+            img[y * n + x] = v.clamp(0, 255) as u8;
+        }
+    }
+    img
+}
+
+/// Reference smoothing: 3×3 brightness-weighted mean (center excluded),
+/// borders copied through.
+pub fn smoothing_reference(img: &[u8], n: usize) -> Vec<u8> {
+    let lut = brightness_lut();
+    let mut out = img.to_vec();
+    for y in 1..n - 1 {
+        for x in 1..n - 1 {
+            let c = img[y * n + x] as i32;
+            let mut num: i32 = 0;
+            let mut den: i32 = 0;
+            for dy in -1i32..=1 {
+                for dx in -1i32..=1 {
+                    if dx == 0 && dy == 0 {
+                        continue;
+                    }
+                    let p = img[((y as i32 + dy) as usize) * n + (x as i32 + dx) as usize] as i32;
+                    let w = lut[(p - c).unsigned_abs() as usize & 0xff] as i32;
+                    num += w * p;
+                    den += w;
+                }
+            }
+            out[y * n + x] = if den > 0 { (num / den) as u8 } else { c as u8 };
+        }
+    }
+    out
+}
+
+/// Reference corner response: USAN area over a 5×5 mask (center
+/// excluded), response = max(0, g - count) with g = 14.
+pub fn corners_reference(img: &[u8], n: usize) -> Vec<u8> {
+    const T: i32 = 20;
+    const G: i32 = 14;
+    let mut out = vec![0u8; n * n];
+    for y in 2..n - 2 {
+        for x in 2..n - 2 {
+            let c = img[y * n + x] as i32;
+            let mut count = 0i32;
+            for dy in -2i32..=2 {
+                for dx in -2i32..=2 {
+                    if dx == 0 && dy == 0 {
+                        continue;
+                    }
+                    let p = img[((y as i32 + dy) as usize) * n + (x as i32 + dx) as usize] as i32;
+                    if (p - c).abs() < T {
+                        count += 1;
+                    }
+                }
+            }
+            out[y * n + x] = if count < G { (G - count) as u8 } else { 0 };
+        }
+    }
+    out
+}
+
+/// Reference edge response: USAN over a 3×3 mask, response =
+/// max(0, g - count) with g = 6.
+pub fn edges_reference(img: &[u8], n: usize) -> Vec<u8> {
+    const T: i32 = 15;
+    const G: i32 = 6;
+    let mut out = vec![0u8; n * n];
+    for y in 1..n - 1 {
+        for x in 1..n - 1 {
+            let c = img[y * n + x] as i32;
+            let mut count = 0i32;
+            for dy in -1i32..=1 {
+                for dx in -1i32..=1 {
+                    if dx == 0 && dy == 0 {
+                        continue;
+                    }
+                    let p = img[((y as i32 + dy) as usize) * n + (x as i32 + dx) as usize] as i32;
+                    if (p - c).abs() < T {
+                        count += 1;
+                    }
+                }
+            }
+            out[y * n + x] = if count < G { (G - count) as u8 } else { 0 };
+        }
+    }
+    out
+}
+
+/// One horizontal band of the USAN-count kernel: scans a `(2R+1)²` mask
+/// for rows `y0..y1`, counting neighbours whose absolute difference from
+/// the center is below `t`, then stores `max(0, g - count)`.
+///
+/// The image is processed in bands with per-band code, mirroring the way
+/// the compiled SUSAN binary spreads its work over many distinct
+/// routines — this is what makes corners/edges "no distinct kernel"
+/// workloads in the paper's Figure 3a.
+fn usan_band_asm(b: usize, n: usize, r: usize, t: i32, g: i32, y0: usize, y1: usize) -> String {
+    format!(
+        "
+            li   $s2, {y0}           # y
+        y_loop_{b}:
+            li   $s3, {r}            # x
+        x_loop_{b}:
+            # center = img[y*n + x]
+            li   $t0, {n}
+            mul  $t1, $s2, $t0
+            addu $t1, $t1, $s3
+            addu $t2, $s0, $t1
+            lbu  $s4, 0($t2)
+            li   $s5, 0              # count
+{dy_rows}
+            # response = max(0, g - count)
+            li   $t1, {g}
+            subu $t1, $t1, $s5
+            bgez $t1, resp_ok_{b}
+            li   $t1, 0
+        resp_ok_{b}:
+            li   $t0, {n}
+            mul  $t2, $s2, $t0
+            addu $t2, $t2, $s3
+            addu $t3, $s1, $t2
+            sb   $t1, 0($t3)
+            addiu $s3, $s3, 1
+            slti $t4, $s3, {xmax}
+            bnez $t4, x_loop_{b}
+            addiu $s2, $s2, 1
+            slti $t4, $s2, {ymax}
+            bnez $t4, y_loop_{b}
+        ",
+        b = b,
+        n = n,
+        r = r,
+        g = g,
+        xmax = n - r,
+        ymax = y1,
+        dy_rows = dy_rows_asm(b, n, r, t),
+    )
+}
+
+/// The mask rows, one region of code per `dy` — real SUSAN's per-pixel
+/// work likewise spreads over many small basic blocks, which is what
+/// keeps the hot configuration working set large.
+fn dy_rows_asm(b: usize, n: usize, r: usize, t: i32) -> String {
+    let mut out = String::new();
+    for (dyi, dy) in (-(r as i32)..=r as i32).enumerate() {
+        out.push_str(&format!(
+            "
+            li   $s6, {dy}
+            li   $s7, -{r}
+        dx_loop_{b}_{dyi}:
+            or   $t3, $s6, $s7
+            beqz $t3, dx_next_{b}_{dyi}    # skip center
+            addu $t4, $s2, $s6
+            li   $t0, {n}
+            mul  $t4, $t4, $t0
+            addu $t5, $s3, $s7
+            addu $t4, $t4, $t5
+            addu $t5, $s0, $t4
+            lbu  $t6, 0($t5)
+            subu $t7, $t6, $s4
+            bgez $t7, abs_done_{b}_{dyi}
+            subu $t7, $zero, $t7
+        abs_done_{b}_{dyi}:
+            slti $t8, $t7, {t}
+            addu $s5, $s5, $t8
+        dx_next_{b}_{dyi}:
+            addiu $s7, $s7, 1
+            li   $t9, {r}
+            slt  $t0, $t9, $s7
+            beqz $t0, dx_loop_{b}_{dyi}
+            "
+        ));
+    }
+    out
+}
+
+/// Full USAN program: per-band specialized code inside a pass loop.
+fn usan_asm(n: usize, r: usize, t: i32, g: i32, bands: usize, passes: usize) -> String {
+    let rows = n - 2 * r;
+    let bands = bands.min(rows).max(1);
+    let mut body = String::new();
+    for b in 0..bands {
+        let y0 = r + rows * b / bands;
+        let y1 = r + rows * (b + 1) / bands;
+        if y0 < y1 {
+            body.push_str(&usan_band_asm(b, n, r, t, g, y0, y1));
+        }
+    }
+    format!(
+        "
+        .text
+        main:
+            la   $s0, img
+            la   $s1, outp
+            li   $a2, {passes}
+        pass_loop:
+{body}
+            addiu $a2, $a2, -1
+            bnez $a2, pass_loop
+            break 0
+        "
+    )
+}
+
+fn image_data(img: &[u8], n: usize, with_lut: bool) -> String {
+    let lut = if with_lut {
+        format!("lut:\n{}", bytes_directive(&brightness_lut()))
+    } else {
+        String::new()
+    };
+    format!(
+        "
+        .data
+{lut}
+        img:
+{img}
+        outp: .space {sz}
+",
+        img = bytes_directive(img),
+        sz = n * n,
+    )
+}
+
+fn build_smoothing(scale: Scale) -> BuiltBenchmark {
+    let n = scale.pick(12, 24, 32);
+    let mut rng = XorShift32(0x505a_0001);
+    let img = gen_image(n, &mut rng);
+    let expected = smoothing_reference(&img, n);
+
+    // Smoothing: weighted 3×3 mean; note the division per pixel — like
+    // real SUSAN, the normalization cannot map onto the array.
+    let asm = format!(
+        "
+        .text
+        main:
+            la   $s0, img
+            la   $s1, outp
+            la   $a1, lut
+
+            # copy borders through: copy whole image first
+            li   $t0, {total}
+            move $t1, $s0
+            move $t2, $s1
+        copy_loop:
+            lbu  $t3, 0($t1)
+            sb   $t3, 0($t2)
+            addiu $t1, $t1, 1
+            addiu $t2, $t2, 1
+            addiu $t0, $t0, -1
+            bnez $t0, copy_loop
+
+            li   $s2, 1              # y
+        y_loop:
+            li   $s3, 1              # x
+        x_loop:
+            li   $t0, {n}
+            mul  $t1, $s2, $t0
+            addu $t1, $t1, $s3
+            addu $t2, $s0, $t1
+            lbu  $s4, 0($t2)         # center
+            li   $s5, 0              # num
+            li   $s6, 0              # den
+            li   $s7, -1             # dy
+        dy_loop:
+            li   $a0, -1             # dx
+        dx_loop:
+            or   $t3, $s7, $a0
+            beqz $t3, dx_next
+            addu $t4, $s2, $s7
+            li   $t0, {n}
+            mul  $t4, $t4, $t0
+            addu $t5, $s3, $a0
+            addu $t4, $t4, $t5
+            addu $t5, $s0, $t4
+            lbu  $t6, 0($t5)         # p
+            subu $t7, $t6, $s4
+            bgez $t7, abs_done
+            subu $t7, $zero, $t7
+        abs_done:
+            andi $t7, $t7, 0xff
+            addu $t8, $a1, $t7
+            lbu  $t8, 0($t8)         # w
+            mul  $t9, $t8, $t6
+            addu $s5, $s5, $t9       # num += w*p
+            addu $s6, $s6, $t8       # den += w
+        dx_next:
+            addiu $a0, $a0, 1
+            slti $t0, $a0, 2
+            bnez $t0, dx_loop
+            addiu $s7, $s7, 1
+            slti $t0, $s7, 2
+            bnez $t0, dy_loop
+            beqz $s6, store_center
+            div  $t1, $s5, $s6
+            b    store
+        store_center:
+            move $t1, $s4
+        store:
+            li   $t0, {n}
+            mul  $t2, $s2, $t0
+            addu $t2, $t2, $s3
+            addu $t3, $s1, $t2
+            sb   $t1, 0($t3)
+            addiu $s3, $s3, 1
+            slti $t4, $s3, {max}
+            bnez $t4, x_loop
+            addiu $s2, $s2, 1
+            slti $t4, $s2, {max}
+            bnez $t4, y_loop
+            break 0
+        ",
+        n = n,
+        max = n - 1,
+        total = n * n,
+    );
+
+    let src = format!("{}{}", image_data(&img, n, true), asm);
+    BuiltBenchmark {
+        name: "susan_smoothing",
+        category: Category::DataFlow,
+        program: must_assemble("susan_smoothing", &src),
+        expected: vec![ExpectedRegion { label: "outp".into(), bytes: expected }],
+        max_steps: 400 * (n * n) as u64 + 50_000,
+    }
+}
+
+fn build_corners(scale: Scale) -> BuiltBenchmark {
+    let n = scale.pick(12, 24, 32);
+    let mut rng = XorShift32(0x505a_0002);
+    let img = gen_image(n, &mut rng);
+    let expected = corners_reference(&img, n);
+    let bands = scale.pick(2, 5, 8);
+    let src = format!(
+        "{}{}",
+        image_data(&img, n, false),
+        usan_asm(n, 2, 20, 14, bands, 2),
+    );
+    BuiltBenchmark {
+        name: "susan_corners",
+        category: Category::Mixed,
+        program: must_assemble("susan_corners", &src),
+        expected: vec![ExpectedRegion { label: "outp".into(), bytes: expected }],
+        max_steps: 1400 * (n * n) as u64 + 50_000,
+    }
+}
+
+fn build_edges(scale: Scale) -> BuiltBenchmark {
+    let n = scale.pick(12, 24, 32);
+    let mut rng = XorShift32(0x505a_0003);
+    let img = gen_image(n, &mut rng);
+    let expected = edges_reference(&img, n);
+    let bands = scale.pick(2, 5, 8);
+    let src = format!(
+        "{}{}",
+        image_data(&img, n, false),
+        usan_asm(n, 1, 15, 6, bands, 2),
+    );
+    BuiltBenchmark {
+        name: "susan_edges",
+        category: Category::Mixed,
+        program: must_assemble("susan_edges", &src),
+        expected: vec![ExpectedRegion { label: "outp".into(), bytes: expected }],
+        max_steps: 400 * (n * n) as u64 + 50_000,
+    }
+}
+
+/// The Susan smoothing benchmark definition.
+pub fn smoothing_spec() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "susan_smoothing",
+        category: Category::DataFlow,
+        build: build_smoothing,
+    }
+}
+
+/// The Susan corners benchmark definition.
+pub fn corners_spec() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "susan_corners",
+        category: Category::Mixed,
+        build: build_corners,
+    }
+}
+
+/// The Susan edges benchmark definition.
+pub fn edges_spec() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "susan_edges",
+        category: Category::Mixed,
+        build: build_edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::run_baseline;
+
+    #[test]
+    fn corners_fire_inside_not_on_flat_regions() {
+        let n = 16;
+        let mut rng = XorShift32(9);
+        let img = gen_image(n, &mut rng);
+        let resp = corners_reference(&img, n);
+        // Some corner response exists, and borders stay zero.
+        assert!(resp.iter().any(|&r| r > 0));
+        assert!(resp[..2 * n].iter().all(|&r| r == 0));
+    }
+
+    #[test]
+    fn smoothing_reduces_noise_energy() {
+        let n = 16;
+        let mut rng = XorShift32(10);
+        let img = gen_image(n, &mut rng);
+        let sm = smoothing_reference(&img, n);
+        let rough = |v: &[u8]| -> i64 {
+            let mut acc = 0i64;
+            for y in 1..n - 1 {
+                for x in 1..n - 2 {
+                    let d = v[y * n + x] as i64 - v[y * n + x + 1] as i64;
+                    acc += d * d;
+                }
+            }
+            acc
+        };
+        assert!(rough(&sm) < rough(&img));
+    }
+
+    #[test]
+    fn smoothing_kernel_matches_reference() {
+        run_baseline(&build_smoothing(Scale::Tiny)).expect("susan_smoothing validates");
+    }
+
+    #[test]
+    fn corners_kernel_matches_reference() {
+        run_baseline(&build_corners(Scale::Tiny)).expect("susan_corners validates");
+    }
+
+    #[test]
+    fn edges_kernel_matches_reference() {
+        run_baseline(&build_edges(Scale::Tiny)).expect("susan_edges validates");
+    }
+}

@@ -1,0 +1,79 @@
+//! # dim-workloads
+//!
+//! MiBench-like benchmark kernels for the DIM reproduction. Each of the
+//! 18 workloads from the paper's Table 2 is hand-written in MIPS
+//! assembly (assembled by `dim-mips`), paired with a Rust reference
+//! implementation and deterministic input generator; [`run_baseline`]
+//! executes a kernel on the plain simulator and checks its output region
+//! against the reference byte-for-byte.
+//!
+//! ```
+//! use dim_workloads::{suite, Scale, run_baseline};
+//! let crc = suite().into_iter().find(|s| s.name == "crc32").unwrap();
+//! let built = (crc.build)(Scale::Tiny);
+//! let machine = run_baseline(&built)?;
+//! assert!(machine.stats.instructions > 0);
+//! # Ok::<(), dim_workloads::WorkloadError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod framework;
+/// The individual benchmark kernels.
+pub mod kernels;
+
+pub use framework::{
+    run_baseline, validate, BenchmarkSpec, BuiltBenchmark, Category, ExpectedRegion, Scale,
+    WorkloadError,
+};
+
+/// The full benchmark suite in the paper's Table 2 order (most dataflow
+/// oriented first, most control-flow oriented last).
+pub fn suite() -> Vec<BenchmarkSpec> {
+    vec![
+        kernels::rijndael::enc_spec(),
+        kernels::rijndael::dec_spec(),
+        kernels::gsm::enc_spec(),
+        kernels::jpeg::enc_spec(),
+        kernels::sha::spec(),
+        kernels::susan::smoothing_spec(),
+        kernels::crc32::spec(),
+        kernels::jpeg::dec_spec(),
+        kernels::patricia::spec(),
+        kernels::susan::corners_spec(),
+        kernels::susan::edges_spec(),
+        kernels::dijkstra::spec(),
+        kernels::gsm::dec_spec(),
+        kernels::bitcount::spec(),
+        kernels::stringsearch::spec(),
+        kernels::quicksort::spec(),
+        kernels::adpcm::enc_spec(),
+        kernels::adpcm::dec_spec(),
+    ]
+}
+
+/// Looks a benchmark up by name.
+pub fn by_name(name: &str) -> Option<BenchmarkSpec> {
+    suite().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_18_unique_names() {
+        let s = suite();
+        assert_eq!(s.len(), 18);
+        let mut names: Vec<_> = s.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 18);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("crc32").is_some());
+        assert!(by_name("nope").is_none());
+    }
+}

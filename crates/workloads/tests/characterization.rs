@@ -1,0 +1,62 @@
+//! The suite must reproduce the paper's Figure 3 characterization
+//! *structure*: dataflow benchmarks have large dynamic basic blocks,
+//! control benchmarks small ones, and kernel concentration varies from
+//! "one hot loop" (CRC32) to "no distinct kernel" (Susan corners).
+
+use dim_mips_sim::{Machine, Profiler};
+use dim_workloads::{by_name, suite, Category, Scale};
+
+fn profile(name: &str) -> dim_mips_sim::Profile {
+    let built = (by_name(name).expect("exists").build)(Scale::Small);
+    let mut machine = Machine::load(&built.program);
+    let mut profiler = Profiler::new();
+    machine
+        .run_with(built.max_steps, |i| profiler.observe(i))
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    profiler.finish()
+}
+
+#[test]
+fn dataflow_blocks_dwarf_control_blocks() {
+    // Paper Fig 3b: Rijndael at the top (~22 i/br), RawAudio D at the
+    // bottom (~3.8 i/br). Our kernels must preserve the ordering with a
+    // wide margin.
+    let rijndael = profile("rijndael_enc").instructions_per_branch();
+    let adpcm = profile("rawaudio_dec").instructions_per_branch();
+    assert!(
+        rijndael > 5.0 * adpcm,
+        "rijndael {rijndael:.1} vs rawaudio_dec {adpcm:.1}"
+    );
+    assert!((3.0..6.0).contains(&adpcm), "paper: 3.79 i/br, got {adpcm:.2}");
+}
+
+#[test]
+fn category_average_block_sizes_are_ordered() {
+    let mut sums = std::collections::HashMap::new();
+    for spec in suite() {
+        let p = profile(spec.name);
+        let e = sums.entry(spec.category).or_insert((0.0f64, 0usize));
+        e.0 += p.instructions_per_branch();
+        e.1 += 1;
+    }
+    let avg = |c: Category| {
+        let (s, n) = sums[&c];
+        s / n as f64
+    };
+    let d = avg(Category::DataFlow);
+    let m = avg(Category::Mixed);
+    let c = avg(Category::ControlFlow);
+    assert!(d > m && m > c, "dataflow {d:.1} > mixed {m:.1} > control {c:.1} violated");
+}
+
+#[test]
+fn crc32_is_one_hot_loop_susan_corners_is_not() {
+    let crc = profile("crc32");
+    assert!(crc.blocks_for_coverage(0.95) <= 3, "paper: ~3 BBs cover CRC32");
+    let corners = profile("susan_corners");
+    assert!(
+        corners.blocks_for_coverage(0.5) >= 10,
+        "susan corners must have no distinct kernel, needed {}",
+        corners.blocks_for_coverage(0.5)
+    );
+}

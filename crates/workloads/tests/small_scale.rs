@@ -1,0 +1,68 @@
+//! Runs every benchmark at `Small` scale against its reference model —
+//! broader input coverage than the `Tiny` unit tests, still fast enough
+//! for CI.
+
+use dim_workloads::{run_baseline, suite, Scale};
+
+#[test]
+fn all_benchmarks_validate_at_small_scale() {
+    for spec in suite() {
+        let built = (spec.build)(Scale::Small);
+        let machine = run_baseline(&built)
+            .unwrap_or_else(|e| panic!("{} failed at Small scale: {e}", spec.name));
+        assert!(
+            machine.stats.instructions > 5_000,
+            "{}: Small scale should run a meaningful amount of work ({} instructions)",
+            spec.name,
+            machine.stats.instructions
+        );
+    }
+}
+
+#[test]
+fn scales_are_ordered_by_work() {
+    for spec in suite() {
+        let tiny = run_baseline(&(spec.build)(Scale::Tiny))
+            .unwrap_or_else(|e| panic!("{} tiny: {e}", spec.name))
+            .stats
+            .instructions;
+        let small = run_baseline(&(spec.build)(Scale::Small))
+            .unwrap_or_else(|e| panic!("{} small: {e}", spec.name))
+            .stats
+            .instructions;
+        assert!(
+            tiny < small,
+            "{}: Tiny ({tiny}) must be less work than Small ({small})",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn builds_are_deterministic() {
+    for spec in suite() {
+        let a = (spec.build)(Scale::Tiny);
+        let b = (spec.build)(Scale::Tiny);
+        assert_eq!(a.program.text, b.program.text, "{}: text differs", spec.name);
+        assert_eq!(a.program.data, b.program.data, "{}: data differs", spec.name);
+        assert_eq!(
+            a.expected.len(),
+            b.expected.len(),
+            "{}: oracle differs",
+            spec.name
+        );
+        for (ra, rb) in a.expected.iter().zip(&b.expected) {
+            assert_eq!(ra, rb, "{}: expected region differs", spec.name);
+        }
+    }
+}
+
+#[test]
+fn categories_cover_the_spectrum() {
+    use dim_workloads::Category;
+    let s = suite();
+    let count = |c: Category| s.iter().filter(|b| b.category == c).count();
+    assert!(count(Category::DataFlow) >= 4);
+    assert!(count(Category::Mixed) >= 4);
+    assert!(count(Category::ControlFlow) >= 6);
+}

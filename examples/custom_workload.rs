@@ -1,0 +1,91 @@
+//! Bring your own benchmark: define a workload with the `dim-workloads`
+//! framework types (program + expected-output oracle), validate it on the
+//! plain simulator, then measure it accelerated — the workflow a
+//! downstream user follows to evaluate their own kernel on DIM.
+//!
+//! ```sh
+//! cargo run --release --example custom_workload
+//! ```
+
+use dim_accel::prelude::*;
+use dim_accel::workloads::{validate, BuiltBenchmark, Category, ExpectedRegion};
+
+/// Reference model: 32-bit Fibonacci with wrapping arithmetic.
+fn fib_reference(n: usize) -> Vec<u32> {
+    let mut out = vec![0u32; n];
+    for i in 0..n {
+        out[i] = match i {
+            0 => 0,
+            1 => 1,
+            _ => out[i - 1].wrapping_add(out[i - 2]),
+        };
+    }
+    out
+}
+
+fn build_fib(n: usize) -> Result<BuiltBenchmark, Box<dyn std::error::Error>> {
+    let expected: Vec<u8> = fib_reference(n)
+        .iter()
+        .flat_map(|w| w.to_le_bytes())
+        .collect();
+    let src = format!(
+        "
+        .equ N, {n}
+        .data
+        fib: .space {bytes}
+        .text
+        main:
+            la   $s0, fib
+            sw   $zero, 0($s0)       # fib[0] = 0
+            li   $t0, 1
+            sw   $t0, 4($s0)         # fib[1] = 1
+            li   $s1, 2              # i
+        loop:
+            sll  $t1, $s1, 2
+            addu $t1, $s0, $t1
+            lw   $t2, -4($t1)
+            lw   $t3, -8($t1)
+            addu $t4, $t2, $t3
+            sw   $t4, 0($t1)
+            addiu $s1, $s1, 1
+            slti $t5, $s1, N
+            bnez $t5, loop
+            break 0
+        ",
+        n = n,
+        bytes = 4 * n,
+    );
+    Ok(BuiltBenchmark {
+        name: "fibonacci",
+        category: Category::Mixed,
+        program: assemble(&src)?,
+        expected: vec![ExpectedRegion { label: "fib".into(), bytes: expected }],
+        max_steps: 100 * n as u64 + 1_000,
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let built = build_fib(4000)?;
+
+    // 1. Validate against the reference on the plain simulator.
+    let baseline = run_baseline(&built)?;
+    println!(
+        "fibonacci validated: {} instructions, {} cycles on the plain MIPS",
+        baseline.stats.instructions, baseline.stats.cycles
+    );
+
+    // 2. Accelerate, re-validate, report.
+    let mut sys = System::new(
+        Machine::load(&built.program),
+        SystemConfig::new(ArrayShape::config1(), 16, true),
+    );
+    sys.run(built.max_steps)?;
+    validate(sys.machine(), &built)?;
+    println!("\naccelerated run (config #1, 16 slots, speculation):");
+    println!("{}", sys.report());
+    println!(
+        "\nspeedup: {:.2}x",
+        baseline.stats.cycles as f64 / sys.total_cycles() as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Design-space exploration: sweep custom array shapes on one workload
+//! and report speedup against silicon area — the trade-off the paper's
+//! conclusion says the authors were exploring next ("finding the ideal
+//! shape for the reconfigurable array").
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use dim_accel::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = by_name("rijndael_enc").expect("benchmark exists");
+    let built = (spec.build)(Scale::Small);
+
+    let mut baseline = Machine::load(&built.program);
+    baseline.run(built.max_steps)?;
+    let base_cycles = baseline.stats.cycles;
+    println!("rijndael_enc baseline: {base_cycles} cycles\n");
+    println!(
+        "{:<28} {:>9} {:>9} {:>12}",
+        "shape", "speedup", "kGates", "speedup/Mgate"
+    );
+
+    for rows in [8, 16, 24, 48, 96] {
+        for (alus, mults, ldsts) in [(4, 1, 2), (8, 1, 2), (8, 2, 4), (12, 2, 6)] {
+            let shape = ArrayShape {
+                rows,
+                alus_per_row: alus,
+                mults_per_row: mults,
+                ldsts_per_row: ldsts,
+                rf_read_ports: 4,
+                rf_write_ports: 4,
+            };
+            let mut sys = System::new(
+                Machine::load(&built.program),
+                SystemConfig::new(shape, 64, true),
+            );
+            sys.run(built.max_steps)?;
+            let speedup = base_cycles as f64 / sys.total_cycles() as f64;
+            let gates = area_report(&shape, &GateCosts::default()).total_gates();
+            println!(
+                "{:<28} {:>8.2}x {:>9} {:>12.2}",
+                format!("{rows} rows x ({alus}A+{mults}M+{ldsts}L)"),
+                speedup,
+                gates / 1000,
+                speedup / (gates as f64 / 1e6),
+            );
+        }
+    }
+    Ok(())
+}

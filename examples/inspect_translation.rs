@@ -1,0 +1,90 @@
+//! Peek inside the DIM engine: run a kernel, then dump the contents of
+//! the reconfiguration cache — per configuration, its placement on the
+//! array (rows × columns), live-ins, write-backs and speculation
+//! segments.
+//!
+//! ```sh
+//! cargo run --release --example inspect_translation
+//! ```
+
+use dim_accel::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = assemble(
+        "
+        main:   li   $s0, 300
+                li   $v0, 0
+                la   $s1, table
+        loop:   andi $t0, $s0, 15
+                sll  $t1, $t0, 2
+                addu $t2, $s1, $t1
+                lw   $t3, 0($t2)       # table lookup
+                xor  $t4, $t3, $s0
+                mul  $t5, $t4, $t0     # keep a multiplier busy
+                addu $v0, $v0, $t5
+                addiu $s0, $s0, -1
+                bnez $s0, loop
+                break 0
+        .data
+        table:  .word 3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3
+        ",
+    )?;
+
+    let mut sys = System::new(
+        Machine::load(&program),
+        SystemConfig::new(ArrayShape::config1(), 16, true),
+    );
+    sys.run(1_000_000)?;
+
+    println!(
+        "run finished: {} cycles, {} array invocations\n",
+        sys.total_cycles(),
+        sys.stats().array_invocations
+    );
+
+    for config in sys.cache().iter() {
+        println!(
+            "configuration @ {:#010x}: {} instructions, {} rows, {} live-ins, {} write-backs",
+            config.entry_pc,
+            config.instruction_count(),
+            config.rows_used(),
+            config.live_in_count(),
+            config.writeback_count(),
+        );
+        for segment in config.segments() {
+            let kind = match segment.branch {
+                Some(b) => format!(
+                    "ends in branch @ {:#x} predicted {}",
+                    b.pc,
+                    if b.predicted_taken { "taken" } else { "not taken" }
+                ),
+                None => format!("sequential exit to {:#x}", segment.exit_pc),
+            };
+            println!("  segment depth {}: {} ops, {}", segment.depth, segment.len, kind);
+        }
+        for op in config.ops() {
+            println!(
+                "    row {:>2} col {:>2} [{:?}] {:#010x}: {}",
+                op.row, op.col, op.class, op.pc, op.inst
+            );
+        }
+        println!("{}", dim_accel::cgra::render_occupancy(config));
+        println!(
+            "  live-ins: {}",
+            config
+                .live_ins()
+                .map(|l| l.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        println!(
+            "  write-backs: {}\n",
+            config
+                .writebacks()
+                .map(|(l, d)| format!("{l}@depth{d}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+    Ok(())
+}

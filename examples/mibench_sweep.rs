@@ -1,0 +1,52 @@
+//! Run real benchmark kernels (AES and CRC32 from the MiBench-like
+//! suite) across the paper's three array configurations and compare —
+//! a miniature of Table 2.
+//!
+//! ```sh
+//! cargo run --release --example mibench_sweep
+//! ```
+
+use dim_accel::prelude::*;
+use dim_accel::workloads::validate;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let shapes = [
+        ("config #1", ArrayShape::config1()),
+        ("config #2", ArrayShape::config2()),
+        ("config #3", ArrayShape::config3()),
+    ];
+
+    for name in ["rijndael_enc", "crc32", "rawaudio_dec"] {
+        let spec = by_name(name).expect("benchmark exists");
+        let built = (spec.build)(Scale::Small);
+
+        let mut baseline = Machine::load(&built.program);
+        baseline.run(built.max_steps)?;
+        validate(&baseline, &built)?;
+        println!(
+            "\n{name}: baseline {} cycles ({} instructions)",
+            baseline.stats.cycles, baseline.stats.instructions
+        );
+
+        for (shape_name, shape) in shapes {
+            for speculation in [false, true] {
+                let mut sys = System::new(
+                    Machine::load(&built.program),
+                    SystemConfig::new(shape, 64, speculation),
+                );
+                sys.run(built.max_steps)?;
+                // Accelerated output is still byte-identical to the
+                // reference model.
+                validate(sys.machine(), &built)?;
+                println!(
+                    "  {shape_name} {}: {:>9} cycles  ({:.2}x, {} misspeculations)",
+                    if speculation { "spec  " } else { "nospec" },
+                    sys.total_cycles(),
+                    baseline.stats.cycles as f64 / sys.total_cycles() as f64,
+                    sys.stats().misspeculations,
+                );
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Quickstart: run the same binary on the plain MIPS pipeline and on the
+//! MIPS+DIM+array system, and watch the transparent speedup.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dim_accel::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An ordinary MIPS program — no annotations, no special tooling.
+    let program = assemble(
+        "
+        main:   li   $s0, 5000        # outer iterations
+                li   $v0, 0
+        loop:   # a mildly parallel dataflow body
+                xor  $t0, $v0, $s0
+                sll  $t1, $s0, 3
+                addu $t2, $t0, $t1
+                srl  $t3, $t2, 2
+                addu $v0, $v0, $t3
+                andi $t4, $t2, 0xff
+                addu $v0, $v0, $t4
+                addiu $s0, $s0, -1
+                bnez $s0, loop
+                break 0
+        ",
+    )?;
+
+    // Plain processor.
+    let mut baseline = Machine::load(&program);
+    baseline.run(10_000_000)?;
+    println!(
+        "baseline : {:>9} instructions, {:>9} cycles (IPC {:.2})",
+        baseline.stats.instructions,
+        baseline.stats.cycles,
+        baseline.stats.ipc()
+    );
+
+    // Same binary, with the DIM accelerator attached (config #1, 64
+    // cache slots, speculation enabled).
+    let mut accelerated = System::new(
+        Machine::load(&program),
+        SystemConfig::new(ArrayShape::config1(), 64, true),
+    );
+    accelerated.run(10_000_000)?;
+    let stats = accelerated.stats();
+    println!(
+        "dim+array: {:>9} instructions, {:>9} cycles",
+        accelerated.total_instructions(),
+        accelerated.total_cycles(),
+    );
+    println!(
+        "           {} configs built, {} array invocations, {} instructions on the array",
+        stats.configs_built, stats.array_invocations, stats.array_instructions
+    );
+
+    // Transparency check: identical architectural result.
+    assert_eq!(
+        accelerated.machine().cpu.reg(Reg::V0),
+        baseline.cpu.reg(Reg::V0),
+        "acceleration must not change results"
+    );
+    println!(
+        "\nresult $v0 = {:#x} (identical), speedup = {:.2}x",
+        baseline.cpu.reg(Reg::V0),
+        baseline.stats.cycles as f64 / accelerated.total_cycles() as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! # dim-accel
+//!
+//! Umbrella crate for the reproduction of *Beck, Rutzig, Gaydadjiev,
+//! Carro — "Transparent Reconfigurable Acceleration for Heterogeneous
+//! Embedded Applications" (DATE 2008)*.
+//!
+//! Dynamic Instruction Merging (DIM) is a hardware binary-translation
+//! engine running next to a MIPS R3000-class core. It detects sequences
+//! of instructions at run time, maps them onto a coarse-grained
+//! reconfigurable array, caches the mapping in a PC-indexed
+//! reconfiguration cache, and replays it — speculatively across up to
+//! three basic blocks — instead of re-executing the original
+//! instructions, with zero changes to the program binary.
+//!
+//! The workspace crates are re-exported here:
+//!
+//! * [`mips`] — ISA model, assembler, disassembler;
+//! * [`sim`] — functional + cycle-timing MIPS simulator;
+//! * [`cgra`] — the reconfigurable array model;
+//! * [`dim`] — the DIM engine and the coupled [`dim::System`];
+//! * [`energy`] — area/power/energy models;
+//! * [`workloads`] — the 18 MiBench-like validated benchmarks.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dim_accel::prelude::*;
+//!
+//! // Assemble a program, run it plain and accelerated, compare.
+//! let program = assemble("
+//!     main: li $t0, 100
+//!           li $v0, 0
+//!     loop: addu $v0, $v0, $t0
+//!           xor  $t1, $v0, $t0
+//!           addu $v0, $v0, $t1
+//!           addiu $t0, $t0, -1
+//!           bnez $t0, loop
+//!           break 0
+//! ")?;
+//!
+//! let mut baseline = Machine::load(&program);
+//! baseline.run(1_000_000)?;
+//!
+//! let mut accelerated = System::new(
+//!     Machine::load(&program),
+//!     SystemConfig::new(ArrayShape::config1(), 64, true),
+//! );
+//! accelerated.run(1_000_000)?;
+//!
+//! assert_eq!(accelerated.machine().cpu.reg(Reg::V0), baseline.cpu.reg(Reg::V0));
+//! assert!(accelerated.total_cycles() < baseline.stats.cycles);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use dim_cgra as cgra;
+pub use dim_core as dim;
+pub use dim_energy as energy;
+pub use dim_mips as mips;
+pub use dim_mips_sim as sim;
+pub use dim_workloads as workloads;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use dim_cgra::{ArrayShape, ArrayTiming, Configuration};
+    pub use dim_core::{System, SystemConfig};
+    pub use dim_energy::{area_report, energy_breakdown, GateCosts, PowerModel};
+    pub use dim_mips::asm::assemble;
+    pub use dim_mips::{Instruction, Reg};
+    pub use dim_mips_sim::{HaltReason, Machine, PipelineCosts, Profiler};
+    pub use dim_workloads::{by_name, run_baseline, suite, Scale};
+}

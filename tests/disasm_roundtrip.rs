@@ -1,0 +1,55 @@
+//! Program-scale assembler/disassembler round trip: disassembling every
+//! benchmark's text segment and reassembling the listing must reproduce
+//! the exact machine words.
+
+use dim_accel::mips::asm::{assemble_with, AsmOptions};
+use dim_accel::mips::disassemble_listing;
+use dim_accel::prelude::*;
+
+#[test]
+fn every_benchmark_listing_reassembles_identically() {
+    for spec in suite() {
+        let built = (spec.build)(Scale::Tiny);
+        let program = &built.program;
+        let listing = disassemble_listing(program.text_base, &program.text);
+        // Strip the `0x........: ` prefixes; branch offsets are numeric
+        // and jumps absolute, so the listing is valid standalone source.
+        let src: String = listing
+            .lines()
+            .map(|l| l.split_once(": ").map(|(_, i)| i).unwrap_or(l))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let reassembled = assemble_with(
+            &src,
+            AsmOptions {
+                text_base: program.text_base,
+                data_base: program.data_base,
+            },
+        )
+        .unwrap_or_else(|e| panic!("{}: listing does not reassemble: {e}", spec.name));
+        assert_eq!(
+            reassembled.text, program.text,
+            "{}: reassembled text differs",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn labeled_listing_covers_all_words() {
+    use dim_accel::mips::disassemble_labeled;
+    for spec in suite() {
+        let built = (spec.build)(Scale::Tiny);
+        let labeled = disassemble_labeled(built.program.text_base, &built.program.text);
+        let instruction_lines = labeled
+            .lines()
+            .filter(|l| l.contains(":   "))
+            .count();
+        assert_eq!(
+            instruction_lines,
+            built.program.text.len(),
+            "{}: labeled listing line count",
+            spec.name
+        );
+    }
+}
