@@ -35,10 +35,8 @@ fn bench_array_exec(c: &mut Criterion) {
     ] {
         g.bench_function(label, |b| {
             b.iter(|| {
-                let mut sys = System::new(
-                    Machine::load(&program),
-                    SystemConfig::new(shape, 64, true),
-                );
+                let mut sys =
+                    System::new(Machine::load(&program), SystemConfig::new(shape, 64, true));
                 sys.run(10_000_000).expect("runs");
                 std::hint::black_box(sys.total_cycles())
             })
@@ -90,7 +88,11 @@ fn bench_dataflow_executor(c: &mut Criterion) {
     g.throughput(Throughput::Elements(config.instruction_count() as u64));
     g.bench_function("hot_loop_config", |b| {
         b.iter(|| {
-            let mut ctx = EntryContext { regs: [7; 32], hi: 0, lo: 0 };
+            let mut ctx = EntryContext {
+                regs: [7; 32],
+                hi: 0,
+                lo: 0,
+            };
             let mut mem: std::collections::HashMap<u32, u8> = std::collections::HashMap::new();
             std::hint::black_box(execute_dataflow(&config, &mut ctx, &mut mem).expect("executes"))
         })

@@ -1,0 +1,60 @@
+//! Criterion: cost of the instrumentation layer.
+//!
+//! `run()` is `run_probed(NullProbe)` — the probe is monomorphized in
+//! and every emit site compiles away, so the `null_probe` group must
+//! sit within measurement noise (<2%) of `uninstrumented`. The
+//! `recording`/`profiler` groups document what observation actually
+//! costs when it is switched on.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dim_bench::run_baseline;
+use dim_cgra::ArrayShape;
+use dim_core::{System, SystemConfig};
+use dim_mips_sim::Machine;
+use dim_obs::{CycleProfiler, NullProbe, RecordingProbe};
+use dim_workloads::{by_name, Scale};
+
+fn bench_probe_overhead(c: &mut Criterion) {
+    let built = ((by_name("crc32").expect("exists")).build)(Scale::Tiny);
+    let base = run_baseline(&built).expect("baseline runs");
+    let config = SystemConfig::new(ArrayShape::config2(), 64, true);
+
+    let mut g = c.benchmark_group("probe_overhead");
+    g.throughput(Throughput::Elements(base.stats.instructions));
+    g.bench_function("uninstrumented", |b| {
+        b.iter(|| {
+            let mut sys = System::new(Machine::load(&built.program), config);
+            sys.run(built.max_steps).expect("runs");
+            std::hint::black_box(sys.total_cycles())
+        })
+    });
+    g.bench_function("null_probe", |b| {
+        b.iter(|| {
+            let mut sys = System::new(Machine::load(&built.program), config);
+            sys.run_probed(built.max_steps, &mut NullProbe)
+                .expect("runs");
+            std::hint::black_box(sys.total_cycles())
+        })
+    });
+    g.bench_function("recording", |b| {
+        b.iter(|| {
+            let mut sys = System::new(Machine::load(&built.program), config);
+            let mut probe = RecordingProbe::new();
+            sys.run_probed(built.max_steps, &mut probe).expect("runs");
+            std::hint::black_box((sys.total_cycles(), probe.events.len()))
+        })
+    });
+    g.bench_function("profiler", |b| {
+        b.iter(|| {
+            let mut sys = System::new(Machine::load(&built.program), config);
+            let mut profiler = CycleProfiler::new();
+            sys.run_probed(built.max_steps, &mut profiler)
+                .expect("runs");
+            std::hint::black_box(profiler.into_profile().total_cycles())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_probe_overhead);
+criterion_main!(benches);

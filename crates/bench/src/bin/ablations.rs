@@ -149,7 +149,8 @@ fn main() {
     for name in BENCHES {
         let built = ((by_name(name).expect("known")).build)(scale);
         let mut machine = dim_mips_sim::Machine::load(&built.program);
-        let mut ss = dim_mips_sim::SuperscalarModel::new(dim_mips_sim::SuperscalarConfig::default());
+        let mut ss =
+            dim_mips_sim::SuperscalarModel::new(dim_mips_sim::SuperscalarConfig::default());
         machine
             .run_with(built.max_steps, |i| ss.observe(i))
             .expect("runs");
@@ -182,8 +183,14 @@ fn main() {
                 }
             })
             .expect("runs");
-        let bi = dim_core::measure_hit_rate(&mut dim_core::BimodalPredictor::new(), trace.iter().copied());
-        let gs = dim_core::measure_hit_rate(&mut dim_core::GsharePredictor::new(12, 8), trace.iter().copied());
+        let bi = dim_core::measure_hit_rate(
+            &mut dim_core::BimodalPredictor::new(),
+            trace.iter().copied(),
+        );
+        let gs = dim_core::measure_hit_rate(
+            &mut dim_core::GsharePredictor::new(12, 8),
+            trace.iter().copied(),
+        );
         t.row([
             name.to_string(),
             format!("{:.1}%", 100.0 * bi),
@@ -193,13 +200,18 @@ fn main() {
     println!("{}", t.render());
 
     // --- cache replacement policy: FIFO (paper) vs LRU ---
-    println!("Ablation 8 — reconfiguration-cache replacement: FIFO (paper) vs LRU (16 slots, spec)");
+    println!(
+        "Ablation 8 — reconfiguration-cache replacement: FIFO (paper) vs LRU (16 slots, spec)"
+    );
     let mut t = TextTable::new(["benchmark", "FIFO", "LRU"]);
     for name in BENCHES {
         let built = ((by_name(name).expect("known")).build)(scale);
         let base = run_baseline(&built).expect("baseline").stats.cycles;
         let mut cells = vec![name.to_string()];
-        for policy in [dim_core::ReplacementPolicy::Fifo, dim_core::ReplacementPolicy::Lru] {
+        for policy in [
+            dim_core::ReplacementPolicy::Fifo,
+            dim_core::ReplacementPolicy::Lru,
+        ] {
             let mut cfg = SystemConfig::new(ArrayShape::config2(), 16, true);
             cfg.cache_policy = policy;
             let run = run_accelerated(&built, cfg).expect("valid");

@@ -40,9 +40,7 @@ fn main() {
     let model = PowerModel::default();
 
     println!("Figure 5 — average power per cycle (abstract units), 64 cache slots");
-    let mut t = TextTable::new([
-        "run", "core", "imem", "dmem", "array+cache", "bt", "total",
-    ]);
+    let mut t = TextTable::new(["run", "core", "imem", "dmem", "array+cache", "bt", "total"]);
 
     for name in BENCHES {
         let built = ((by_name(name).expect("known benchmark")).build)(scale);
@@ -51,7 +49,10 @@ fn main() {
             .average_power(base.stats.cycles);
         t.row(row_cells(format!("{name} / MIPS only"), &e));
 
-        for (cfg_name, shape) in [("C#1", ArrayShape::config1()), ("C#3", ArrayShape::config3())] {
+        for (cfg_name, shape) in [
+            ("C#1", ArrayShape::config1()),
+            ("C#3", ArrayShape::config3()),
+        ] {
             for spec in [false, true] {
                 let run = run_accelerated(&built, SystemConfig::new(shape, 64, spec))
                     .unwrap_or_else(|e| panic!("{name}: {e}"));

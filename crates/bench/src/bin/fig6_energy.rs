@@ -26,7 +26,14 @@ fn main() {
 
     println!("Figure 6 — total energy (abstract units), 64 cache slots");
     let mut t = TextTable::new([
-        "run", "core", "imem", "dmem", "array+cache", "bt", "total", "vs MIPS",
+        "run",
+        "core",
+        "imem",
+        "dmem",
+        "array+cache",
+        "bt",
+        "total",
+        "vs MIPS",
     ]);
     for name in BENCHES {
         let built = ((by_name(name).expect("known benchmark")).build)(scale);
@@ -42,7 +49,10 @@ fn main() {
             format!("{:.0}", e_base.total()),
             "1.00".into(),
         ]);
-        for (cfg_name, shape) in [("C#1", ArrayShape::config1()), ("C#3", ArrayShape::config3())] {
+        for (cfg_name, shape) in [
+            ("C#1", ArrayShape::config1()),
+            ("C#3", ArrayShape::config3()),
+        ] {
             for spec in [false, true] {
                 let run = run_accelerated(&built, SystemConfig::new(shape, 64, spec))
                     .unwrap_or_else(|e| panic!("{name}: {e}"));

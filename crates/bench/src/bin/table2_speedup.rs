@@ -32,10 +32,7 @@ fn print_table1() {
     println!("Table 1 — array configurations");
     let mut t1 = TextTable::new(["", "C#1", "C#2", "C#3"]);
     let shapes: Vec<_> = SHAPES.iter().map(|(_, f)| f()).collect();
-    t1.row(
-        std::iter::once("#rows".to_string())
-            .chain(shapes.iter().map(|s| s.rows.to_string())),
-    );
+    t1.row(std::iter::once("#rows".to_string()).chain(shapes.iter().map(|s| s.rows.to_string())));
     t1.row(
         std::iter::once("#columns".to_string())
             .chain(shapes.iter().map(|s| s.columns().to_string())),

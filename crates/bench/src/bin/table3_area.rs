@@ -42,8 +42,16 @@ fn main() {
         report.units.output_muxes.to_string(),
         report.output_mux_gates.to_string(),
     ]);
-    t.row(["DIM hardware".to_string(), "1".to_string(), report.dim_gates.to_string()]);
-    t.row(["Total".to_string(), String::new(), report.total_gates().to_string()]);
+    t.row([
+        "DIM hardware".to_string(),
+        "1".to_string(),
+        report.dim_gates.to_string(),
+    ]);
+    t.row([
+        "Total".to_string(),
+        String::new(),
+        report.total_gates().to_string(),
+    ]);
     println!("{}", t.render());
     println!(
         "≈ {} transistors (paper: ~2.66M, vs 2.4M for a MIPS R10000 core)\n",
@@ -54,20 +62,35 @@ fn main() {
     let params = EncodingParams::default();
     let bits = encoding_breakdown(&shape, &params);
     let mut t = TextTable::new(["table", "#bits"]);
-    t.row(["Write bitmap (detection only)".to_string(), bits.write_bitmap_bits.to_string()]);
+    t.row([
+        "Write bitmap (detection only)".to_string(),
+        bits.write_bitmap_bits.to_string(),
+    ]);
     t.row(["Resource table".to_string(), bits.resource_bits.to_string()]);
     t.row(["Reads table".to_string(), bits.reads_bits.to_string()]);
     t.row(["Writes table".to_string(), bits.writes_bits.to_string()]);
-    t.row(["Context start".to_string(), bits.context_start_bits.to_string()]);
-    t.row(["Context current".to_string(), bits.context_current_bits.to_string()]);
-    t.row(["Immediate table".to_string(), bits.immediate_bits.to_string()]);
+    t.row([
+        "Context start".to_string(),
+        bits.context_start_bits.to_string(),
+    ]);
+    t.row([
+        "Context current".to_string(),
+        bits.context_current_bits.to_string(),
+    ]);
+    t.row([
+        "Immediate table".to_string(),
+        bits.immediate_bits.to_string(),
+    ]);
     t.row(["Total stored".to_string(), bits.stored_bits().to_string()]);
     println!("{}", t.render());
 
     println!("Table 3c — reconfiguration cache size");
     let mut t = TextTable::new(["#slots", "#bytes"]);
     for slots in [2usize, 4, 8, 16, 32, 64, 128, 256] {
-        t.row([slots.to_string(), cache_bytes(&shape, &params, slots).to_string()]);
+        t.row([
+            slots.to_string(),
+            cache_bytes(&shape, &params, slots).to_string(),
+        ]);
     }
     println!("{}", t.render());
 }

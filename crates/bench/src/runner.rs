@@ -4,6 +4,7 @@
 use dim_cgra::ArrayShape;
 use dim_core::{System, SystemConfig};
 use dim_mips_sim::{HaltReason, Machine};
+use dim_obs::{CycleProfile, CycleProfiler, ObjectWriter};
 use dim_workloads::{validate, BuiltBenchmark, WorkloadError};
 
 /// The three array configurations of Table 1, by name.
@@ -49,13 +50,74 @@ pub fn run_accelerated(
     let mut system = System::new(Machine::load(&built.program), config);
     match system.run(built.max_steps)? {
         HaltReason::StepLimit => {
-            return Err(WorkloadError::Timeout { max_steps: built.max_steps })
+            return Err(WorkloadError::Timeout {
+                max_steps: built.max_steps,
+            })
         }
         HaltReason::Exit(_) => {}
     }
     validate(system.machine(), built)?;
     let cycles = system.total_cycles();
     Ok(AcceleratedRun { system, cycles })
+}
+
+/// A validated accelerated run plus its per-block cycle attribution.
+#[derive(Debug)]
+pub struct ProfiledRun {
+    /// The run itself.
+    pub run: AcceleratedRun,
+    /// Per-block cycle attribution; its column sums equal
+    /// [`AcceleratedRun::cycles`] exactly.
+    pub profile: CycleProfile,
+}
+
+impl ProfiledRun {
+    /// Serializes the run (workload name, cycle total, full attribution
+    /// profile) as one machine-readable JSON object for harness export.
+    pub fn to_json(&self, name: &str) -> String {
+        let mut o = ObjectWriter::new();
+        o.field_str("workload", name);
+        o.field_u64("total_cycles", self.run.cycles);
+        o.field_u64("pipeline_cycles", self.run.system.machine().stats.cycles);
+        o.field_u64("array_cycles", self.run.system.stats().total_array_cycles());
+        o.field_raw("profile", &self.profile.to_json());
+        o.finish()
+    }
+}
+
+/// Like [`run_accelerated`], but also attributes every cycle of the run
+/// to its static basic block via [`CycleProfiler`].
+///
+/// # Errors
+///
+/// Propagates simulation/validation failures, and reports a corrupted
+/// run if the attribution does not sum to the cycle total.
+pub fn run_profiled(
+    built: &BuiltBenchmark,
+    config: SystemConfig,
+) -> Result<ProfiledRun, WorkloadError> {
+    let mut system = System::new(Machine::load(&built.program), config);
+    let mut profiler = CycleProfiler::new();
+    match system.run_probed(built.max_steps, &mut profiler)? {
+        HaltReason::StepLimit => {
+            return Err(WorkloadError::Timeout {
+                max_steps: built.max_steps,
+            })
+        }
+        HaltReason::Exit(_) => {}
+    }
+    validate(system.machine(), built)?;
+    let cycles = system.total_cycles();
+    let profile = profiler.into_profile();
+    assert_eq!(
+        profile.total_cycles(),
+        cycles,
+        "cycle attribution must account for every cycle"
+    );
+    Ok(ProfiledRun {
+        run: AcceleratedRun { system, cycles },
+        profile,
+    })
 }
 
 /// Computes the speedup of a configuration over the baseline cycle count.
@@ -127,6 +189,26 @@ mod tests {
             run_accelerated(&built, SystemConfig::new(ArrayShape::config1(), 64, true)).unwrap();
         assert!(run.cycles < base.stats.cycles);
         assert!(run.system.stats().array_invocations > 0);
+    }
+
+    #[test]
+    fn profiled_run_exports_exact_json() {
+        let built = (by_name("crc32").unwrap().build)(Scale::Tiny);
+        let profiled =
+            run_profiled(&built, SystemConfig::new(ArrayShape::config2(), 64, true)).unwrap();
+        assert_eq!(profiled.profile.total_cycles(), profiled.run.cycles);
+        let json = profiled.to_json("crc32");
+        let parsed = dim_obs::parse_json(&json).unwrap();
+        assert_eq!(parsed.get("workload").unwrap().as_str(), Some("crc32"));
+        assert_eq!(
+            parsed.get("total_cycles").unwrap().as_u64(),
+            Some(profiled.run.cycles)
+        );
+        let profile = parsed.get("profile").unwrap();
+        assert_eq!(
+            profile.get("total_cycles").unwrap().as_u64(),
+            Some(profiled.run.cycles)
+        );
     }
 
     #[test]

@@ -75,6 +75,26 @@ pub struct Segment {
     pub exit_pc: u32,
 }
 
+/// The three cycle spans charged for one array invocation: the
+/// reconfiguration stall visible to the processor, row execution, and
+/// the non-overlapped write-back tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InvocationCycles {
+    /// Reconfiguration stall cycles.
+    pub stall: u64,
+    /// Row-execution cycles.
+    pub exec: u64,
+    /// Write-back cycles not overlapped with execution.
+    pub tail: u64,
+}
+
+impl InvocationCycles {
+    /// All cycles across the three spans.
+    pub fn total(&self) -> u64 {
+        self.stall + self.exec + self.tail
+    }
+}
+
 /// Why an operation could not be placed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlaceError {
@@ -378,12 +398,22 @@ impl Configuration {
         wb_cycles.saturating_sub(exec)
     }
 
+    /// The full span decomposition of one invocation executed to
+    /// `upto_depth` — the single source the coupled system, the stats,
+    /// and the observability events all draw from, so the three numbers
+    /// can never drift apart between consumers.
+    pub fn invocation_cycles(&self, timing: &ArrayTiming, upto_depth: u8) -> InvocationCycles {
+        InvocationCycles {
+            stall: self.reconfig_stall_cycles(timing),
+            exec: self.exec_cycles(timing, upto_depth),
+            tail: self.writeback_tail_cycles(timing, upto_depth),
+        }
+    }
+
     /// Total array cycles for a run that confirms every speculation up to
     /// `upto_depth`: stall + execution + write-back tail.
     pub fn total_cycles(&self, timing: &ArrayTiming, upto_depth: u8) -> u64 {
-        self.reconfig_stall_cycles(timing)
-            + self.exec_cycles(timing, upto_depth)
-            + self.writeback_tail_cycles(timing, upto_depth)
+        self.invocation_cycles(timing, upto_depth).total()
     }
 
     /// Checks the structural invariants the executors rely on, returning
@@ -397,7 +427,10 @@ impl Configuration {
         let mut last_depth = 0u8;
         for (k, seg) in self.segments.iter().enumerate() {
             if seg.start != covered {
-                return Err(format!("segment {k} starts at {} instead of {covered}", seg.start));
+                return Err(format!(
+                    "segment {k} starts at {} instead of {covered}",
+                    seg.start
+                ));
             }
             covered += seg.len;
             if k > 0 && seg.depth < last_depth {
@@ -466,18 +499,33 @@ mod tests {
     use dim_mips::{AluOp, MemWidth, MulDivOp, Reg};
 
     fn alu(rd: Reg, rs: Reg, rt: Reg) -> Instruction {
-        Instruction::Alu { op: AluOp::Addu, rd, rs, rt }
+        Instruction::Alu {
+            op: AluOp::Addu,
+            rd,
+            rs,
+            rt,
+        }
     }
 
     fn load(rt: Reg, base: Reg) -> Instruction {
-        Instruction::Load { width: MemWidth::Word, signed: false, rt, base, offset: 0 }
+        Instruction::Load {
+            width: MemWidth::Word,
+            signed: false,
+            rt,
+            base,
+            offset: 0,
+        }
     }
 
     #[test]
     fn independent_ops_share_a_row() {
         let mut c = Configuration::new(0x400000, ArrayShape::config1());
-        let (r0, c0) = c.place(0x400000, alu(Reg::T0, Reg::A0, Reg::A1), 0, 0).unwrap();
-        let (r1, c1) = c.place(0x400004, alu(Reg::T1, Reg::A2, Reg::A3), 0, 0).unwrap();
+        let (r0, c0) = c
+            .place(0x400000, alu(Reg::T0, Reg::A0, Reg::A1), 0, 0)
+            .unwrap();
+        let (r1, c1) = c
+            .place(0x400004, alu(Reg::T1, Reg::A2, Reg::A3), 0, 0)
+            .unwrap();
         assert_eq!((r0, r1), (0, 0));
         assert_ne!(c0, c1);
         assert_eq!(c.rows_used(), 1);
@@ -487,7 +535,8 @@ mod tests {
     fn row_overflow_moves_down() {
         let mut c = Configuration::new(0, ArrayShape::config1());
         for i in 0..9 {
-            c.place(4 * i, alu(Reg::T0, Reg::A0, Reg::A1), 0, 0).unwrap();
+            c.place(4 * i, alu(Reg::T0, Reg::A0, Reg::A1), 0, 0)
+                .unwrap();
         }
         // 8 ALUs per row: the 9th op lands in row 1.
         assert_eq!(c.ops()[8].row, 1);
@@ -514,7 +563,11 @@ mod tests {
         assert_eq!(
             c.place(
                 8,
-                Instruction::MulDiv { op: MulDivOp::Div, rs: Reg::A0, rt: Reg::A1 },
+                Instruction::MulDiv {
+                    op: MulDivOp::Div,
+                    rs: Reg::A0,
+                    rt: Reg::A1
+                },
                 0,
                 0
             ),
@@ -528,14 +581,19 @@ mod tests {
         let mut c = Configuration::new(0, ArrayShape::config3());
         // Three dependent ALU rows -> 1 cycle.
         for i in 0..3 {
-            c.place(4 * i, alu(Reg::T0, Reg::T0, Reg::A1), 0, i as usize).unwrap();
+            c.place(4 * i, alu(Reg::T0, Reg::T0, Reg::A1), 0, i as usize)
+                .unwrap();
         }
         assert_eq!(c.exec_cycles(&t, 0), 1);
         // Add a load row -> +1 cycle; a mult row -> +2 cycles.
         c.place(100, load(Reg::T1, Reg::T0), 0, 3).unwrap();
         c.place(
             104,
-            Instruction::MulDiv { op: MulDivOp::Mult, rs: Reg::T1, rt: Reg::T0 },
+            Instruction::MulDiv {
+                op: MulDivOp::Mult,
+                rs: Reg::T1,
+                rt: Reg::T0,
+            },
             0,
             4,
         )
@@ -559,12 +617,30 @@ mod tests {
     fn reconfig_stall_hidden_until_ports_saturate() {
         let t = ArrayTiming::default();
         let mut c = Configuration::new(0, ArrayShape::config1());
-        for r in [Reg::A0, Reg::A1, Reg::A2, Reg::A3, Reg::T0, Reg::T1, Reg::T2, Reg::T3] {
+        for r in [
+            Reg::A0,
+            Reg::A1,
+            Reg::A2,
+            Reg::A3,
+            Reg::T0,
+            Reg::T1,
+            Reg::T2,
+            Reg::T3,
+        ] {
             c.note_live_in(DataLoc::Gpr(r));
         }
         // 8 live-ins / 4 ports = 2 cycles + 1 config read = 3 == hidden.
         assert_eq!(c.reconfig_stall_cycles(&t), 0);
-        for r in [Reg::S0, Reg::S1, Reg::S2, Reg::S3, Reg::S4, Reg::S5, Reg::S6, Reg::S7] {
+        for r in [
+            Reg::S0,
+            Reg::S1,
+            Reg::S2,
+            Reg::S3,
+            Reg::S4,
+            Reg::S5,
+            Reg::S6,
+            Reg::S7,
+        ] {
             c.note_live_in(DataLoc::Gpr(r));
         }
         // 16/4 + 1 = 5 -> stall 2.
@@ -603,7 +679,8 @@ mod tests {
     fn worth_caching_threshold() {
         let mut c = Configuration::new(0, ArrayShape::config1());
         for i in 0..3 {
-            c.place(4 * i, alu(Reg::T0, Reg::A0, Reg::A1), 0, 0).unwrap();
+            c.place(4 * i, alu(Reg::T0, Reg::A0, Reg::A1), 0, 0)
+                .unwrap();
         }
         assert!(!c.worth_caching());
         c.place(12, alu(Reg::T1, Reg::A0, Reg::A1), 0, 0).unwrap();

@@ -103,7 +103,8 @@ pub fn encoding_breakdown(shape: &ArrayShape, params: &EncodingParams) -> Encodi
 /// Bytes needed for a reconfiguration cache of `slots` entries
 /// (Table 3c): stored bits per slot plus tag/valid overhead.
 pub fn cache_bytes(shape: &ArrayShape, params: &EncodingParams, slots: usize) -> usize {
-    let per_slot = encoding_breakdown(shape, params).stored_bits().div_ceil(8) + params.slot_tag_bytes;
+    let per_slot =
+        encoding_breakdown(shape, params).stored_bits().div_ceil(8) + params.slot_tag_bytes;
     slots * per_slot
 }
 

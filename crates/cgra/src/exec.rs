@@ -196,7 +196,10 @@ pub fn execute_dataflow(
     // after a speculated branch opened the next block); its end-of-depth
     // context equals the previous depth's.
     while final_version_at_depth.len() <= config.max_depth() as usize {
-        let last = final_version_at_depth.last().expect("at least one snapshot").clone();
+        let last = final_version_at_depth
+            .last()
+            .expect("at least one snapshot")
+            .clone();
         final_version_at_depth.push(last);
     }
 
@@ -236,7 +239,12 @@ pub fn execute_dataflow(
                 out1 = Some(lo);
             }
             Mfhi { .. } | Mflo { .. } | Mthi { .. } | Mtlo { .. } => out0 = Some(src(0)),
-            Load { width, signed, offset, .. } => {
+            Load {
+                width,
+                signed,
+                offset,
+                ..
+            } => {
                 let addr = src(0).wrapping_add(offset as i32 as u32);
                 out0 = Some(load_value(mem, &store_shadow, addr, width, signed)?);
             }
@@ -334,7 +342,10 @@ fn check_align(addr: u32, width: u32) -> Result<(), ExecError> {
 }
 
 fn shadow_read(mem: &dyn ExecMemory, shadow: &HashMap<u32, (u8, u8)>, addr: u32) -> u8 {
-    shadow.get(&addr).map(|&(b, _)| b).unwrap_or_else(|| mem.read_u8(addr))
+    shadow
+        .get(&addr)
+        .map(|&(b, _)| b)
+        .unwrap_or_else(|| mem.read_u8(addr))
 }
 
 fn load_value(
@@ -366,7 +377,12 @@ fn store_value(
     depth: u8,
 ) -> Result<(), ExecError> {
     check_align(addr, width.bytes())?;
-    for (i, byte) in value.to_le_bytes().iter().take(width.bytes() as usize).enumerate() {
+    for (i, byte) in value
+        .to_le_bytes()
+        .iter()
+        .take(width.bytes() as usize)
+        .enumerate()
+    {
         shadow.insert(addr + i as u32, (*byte, depth));
     }
     Ok(())
@@ -379,7 +395,11 @@ mod tests {
     use dim_mips::{AluOp, Reg};
 
     fn ctx() -> EntryContext {
-        let mut c = EntryContext { regs: [0; 32], hi: 0, lo: 0 };
+        let mut c = EntryContext {
+            regs: [0; 32],
+            hi: 0,
+            lo: 0,
+        };
         c.regs[Reg::A0.index()] = 10;
         c.regs[Reg::A1.index()] = 3;
         c
@@ -397,7 +417,12 @@ mod tests {
         config
             .place(
                 0x100,
-                Instruction::Alu { op: AluOp::Addu, rd: Reg::T0, rs: Reg::A0, rt: Reg::A1 },
+                Instruction::Alu {
+                    op: AluOp::Addu,
+                    rd: Reg::T0,
+                    rs: Reg::A0,
+                    rt: Reg::A1,
+                },
                 0,
                 1,
             )
@@ -405,7 +430,12 @@ mod tests {
         config
             .place(
                 0x104,
-                Instruction::Alu { op: AluOp::Addu, rd: Reg::A0, rs: Reg::A1, rt: Reg::A1 },
+                Instruction::Alu {
+                    op: AluOp::Addu,
+                    rd: Reg::A0,
+                    rs: Reg::A1,
+                    rt: Reg::A1,
+                },
                 0,
                 0,
             )
@@ -461,7 +491,11 @@ mod tests {
         c.regs[Reg::A1.index()] = 4;
         let mut mem: HashMap<u32, u8> = HashMap::new();
         execute_dataflow(&config, &mut c, &mut mem).unwrap();
-        assert_eq!(c.regs[Reg::T1.index()], 10, "load must see the in-config store");
+        assert_eq!(
+            c.regs[Reg::T1.index()],
+            10,
+            "load must see the in-config store"
+        );
         assert_eq!(mem.read_u8(4), 10, "committed store visible in memory");
 
         // Misaligned store errors.
@@ -484,7 +518,12 @@ mod tests {
         config
             .place(
                 0x300,
-                Instruction::Alu { op: AluOp::Addu, rd: Reg::T0, rs: Reg::A0, rt: Reg::A1 },
+                Instruction::Alu {
+                    op: AluOp::Addu,
+                    rd: Reg::T0,
+                    rs: Reg::A0,
+                    rt: Reg::A1,
+                },
                 0,
                 0,
             )
@@ -521,7 +560,12 @@ mod tests {
         config
             .place(
                 0x34c,
-                Instruction::Alu { op: AluOp::Addu, rd: Reg::S0, rs: Reg::A0, rt: Reg::A0 },
+                Instruction::Alu {
+                    op: AluOp::Addu,
+                    rd: Reg::S0,
+                    rs: Reg::A0,
+                    rt: Reg::A0,
+                },
                 1,
                 2,
             )

@@ -36,7 +36,7 @@ mod render;
 mod shape;
 mod timing;
 
-pub use config::{Configuration, PlaceError, PlacedOp, Segment, SegmentBranch};
+pub use config::{Configuration, InvocationCycles, PlaceError, PlacedOp, Segment, SegmentBranch};
 pub use encoding::{cache_bytes, encoding_breakdown, EncodingBreakdown, EncodingParams};
 pub use exec::{execute_dataflow, DataflowOutcome, EntryContext, ExecError, ExecMemory};
 pub use render::render_occupancy;

@@ -85,7 +85,12 @@ mod tests {
     use dim_mips::{AluOp, Instruction, MemWidth, Reg};
 
     fn add(rd: Reg, rs: Reg) -> Instruction {
-        Instruction::Alu { op: AluOp::Addu, rd, rs, rt: Reg::A1 }
+        Instruction::Alu {
+            op: AluOp::Addu,
+            rd,
+            rs,
+            rt: Reg::A1,
+        }
     }
 
     #[test]

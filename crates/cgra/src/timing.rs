@@ -90,7 +90,10 @@ mod tests {
 
     #[test]
     fn slower_alu_setting() {
-        let t = ArrayTiming { alu_rows_per_cycle: 1, ..ArrayTiming::default() };
+        let t = ArrayTiming {
+            alu_rows_per_cycle: 1,
+            ..ArrayTiming::default()
+        };
         assert_eq!(t.row_thirds(RowKind::Alu), 3);
     }
 }

@@ -65,7 +65,9 @@ impl Debugger<'_> {
                 return Ok(());
             }
             self.print_location(out)?;
-            self.machine.step().map_err(|e| CliError::new(e.to_string()))?;
+            self.machine
+                .step()
+                .map_err(|e| CliError::new(e.to_string()))?;
         }
         Ok(())
     }
@@ -86,7 +88,9 @@ impl Debugger<'_> {
                 writeln!(out, "giving up after {steps} instructions")?;
                 return Ok(());
             }
-            self.machine.step().map_err(|e| CliError::new(e.to_string()))?;
+            self.machine
+                .step()
+                .map_err(|e| CliError::new(e.to_string()))?;
             steps += 1;
         }
     }
@@ -114,9 +118,21 @@ impl Debugger<'_> {
             let hex: Vec<String> = chunk.iter().map(|b| format!("{b:02x}")).collect();
             let ascii: String = chunk
                 .iter()
-                .map(|&b| if (0x20..0x7f).contains(&b) { b as char } else { '.' })
+                .map(|&b| {
+                    if (0x20..0x7f).contains(&b) {
+                        b as char
+                    } else {
+                        '.'
+                    }
+                })
                 .collect();
-            writeln!(out, "{:#010x}  {:<47}  |{}|", addr as usize + 16 * row, hex.join(" "), ascii)?;
+            writeln!(
+                out,
+                "{:#010x}  {:<47}  |{}|",
+                addr as usize + 16 * row,
+                hex.join(" "),
+                ascii
+            )?;
         }
         Ok(())
     }
@@ -158,7 +174,12 @@ pub fn debug_session(
         breakpoints: BTreeSet::new(),
         checkpoint: None,
     };
-    writeln!(out, "debugging: entry {:#010x}, {} instructions", program.entry, program.text.len())?;
+    writeln!(
+        out,
+        "debugging: entry {:#010x}, {} instructions",
+        program.entry,
+        program.text.len()
+    )?;
     for line in commands.lines() {
         let line = line?;
         let mut words = line.split_whitespace();
@@ -297,14 +318,16 @@ mod tests {
 
     #[test]
     fn checkpoint_and_restore_rewind_state() {
-        let out = session("step 1
+        let out = session(
+            "step 1
 checkpoint
 step 4
 regs
 restore
 regs
 quit
-");
+",
+        );
         assert!(out.contains("checkpoint saved"), "{out}");
         assert!(out.contains("restored to"), "{out}");
         // After restore, $t0 is back to its just-initialized value 3.
@@ -314,9 +337,11 @@ quit
 
     #[test]
     fn restore_without_checkpoint_is_an_error() {
-        let out = session("restore
+        let out = session(
+            "restore
 quit
-");
+",
+        );
         assert!(out.contains("no checkpoint saved"), "{out}");
     }
 

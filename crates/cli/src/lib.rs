@@ -21,8 +21,9 @@ use dim_core::{System, SystemConfig};
 use dim_mips::asm::{assemble, Program};
 use dim_mips::{disassemble_labeled, image};
 use dim_mips_sim::{HaltReason, Machine, Profiler};
+use dim_obs::{CycleProfiler, JsonlSink, MetricsRegistry, Probe};
 use std::fmt;
-use std::io::Write;
+use std::io::{BufWriter, Write};
 use std::path::Path;
 
 /// CLI failure: carries the message shown to the user.
@@ -55,11 +56,15 @@ usage: dim <command> [options]
 commands:
   asm    <in.s> [-o <out.dimg>]      assemble to a program image
   disasm <file>                      disassemble an image or source file
-  run    <file> [--max-steps N] [--profile] [--caches]
+  run    <file> [--max-steps N] [--profile] [--caches] [--trace-out <t.jsonl>]
                                      run on the plain MIPS simulator
   accel  <file> [--config 1|2|3|ideal] [--slots N] [--no-spec] [--compare]
-                [--dump-configs] [--trace]
+                [--dump-configs] [--trace] [--trace-out <t.jsonl>] [--metrics]
                                      run with the DIM accelerator attached
+  profile <file> [--config 1|2|3|ideal] [--slots N] [--no-spec] [--caches]
+                 [--top N] [--json]  per-block cycle attribution of an
+                                     accelerated run
+  trace  <t.jsonl>                   validate a trace and print its summary
   compare <file>                     cycles on scalar / 2-wide superscalar /
                                      DIM configs #1..#3 side by side
   suite  [--scale tiny|small|full]   run + validate the MiBench-like suite
@@ -72,8 +77,8 @@ commands:
 /// Loads a program from either assembly source or an image file,
 /// deciding by content (image magic) rather than extension.
 fn load_program(path: &str) -> Result<Program, CliError> {
-    let bytes = std::fs::read(Path::new(path))
-        .map_err(|e| CliError::new(format!("{path}: {e}")))?;
+    let bytes =
+        std::fs::read(Path::new(path)).map_err(|e| CliError::new(format!("{path}: {e}")))?;
     if bytes.starts_with(b"DIM1") {
         return image::load(&bytes).map_err(|e| CliError::new(format!("{path}: {e}")));
     }
@@ -93,6 +98,29 @@ fn parse_flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str
     }
 }
 
+type FileSink = JsonlSink<BufWriter<std::fs::File>>;
+
+fn open_trace_sink(path: &str, workload: &str, bits_per_config: u64) -> Result<FileSink, CliError> {
+    let file = std::fs::File::create(path)
+        .map_err(|e| CliError::new(format!("--trace-out {path}: {e}")))?;
+    Ok(JsonlSink::new(
+        BufWriter::new(file),
+        workload,
+        bits_per_config,
+    ))
+}
+
+fn close_trace_sink(mut sink: FileSink, path: &str, out: &mut impl Write) -> Result<(), CliError> {
+    sink.finish();
+    let events = sink.events();
+    let (_, io_err) = sink.into_inner();
+    if let Some(e) = io_err {
+        return Err(CliError::new(format!("--trace-out {path}: {e}")));
+    }
+    writeln!(out, "trace: {events} events -> {path}")?;
+    Ok(())
+}
+
 fn attach_caches(machine: &mut Machine) {
     use dim_mips_sim::{CacheConfig, CacheSim};
     machine.icache = Some(CacheSim::new(CacheConfig::icache_4k()));
@@ -108,7 +136,9 @@ fn report_halt(out: &mut impl Write, halt: HaltReason) -> Result<(), CliError> {
 }
 
 fn cmd_asm(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
-    let input = args.first().ok_or_else(|| CliError::new("asm: missing input file"))?;
+    let input = args
+        .first()
+        .ok_or_else(|| CliError::new("asm: missing input file"))?;
     let program = load_program(input)?;
     let default_out = format!(
         "{}.dimg",
@@ -128,37 +158,69 @@ fn cmd_asm(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
 }
 
 fn cmd_disasm(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
-    let input = args.first().ok_or_else(|| CliError::new("disasm: missing input file"))?;
+    let input = args
+        .first()
+        .ok_or_else(|| CliError::new("disasm: missing input file"))?;
     let program = load_program(input)?;
-    write!(out, "{}", disassemble_labeled(program.text_base, &program.text))?;
+    write!(
+        out,
+        "{}",
+        disassemble_labeled(program.text_base, &program.text)
+    )?;
     Ok(())
 }
 
 fn cmd_run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
-    let input = args.first().ok_or_else(|| CliError::new("run: missing input file"))?;
+    let input = args
+        .first()
+        .ok_or_else(|| CliError::new("run: missing input file"))?;
     let program = load_program(input)?;
     let max_steps: u64 = parse_flag_value(args, "--max-steps")?
-        .map(|v| v.parse().map_err(|_| CliError::new("--max-steps: not a number")))
+        .map(|v| {
+            v.parse()
+                .map_err(|_| CliError::new("--max-steps: not a number"))
+        })
         .transpose()?
         .unwrap_or(100_000_000);
     let mut machine = Machine::load(&program);
     if args.iter().any(|a| a == "--caches") {
         attach_caches(&mut machine);
     }
-    let halt = if args.iter().any(|a| a == "--profile") {
+    let trace_out = parse_flag_value(args, "--trace-out")?;
+    let halt = if let Some(path) = trace_out {
+        if args.iter().any(|a| a == "--profile") {
+            return Err(CliError::new(
+                "run: --profile and --trace-out are mutually exclusive",
+            ));
+        }
+        // A plain pipeline run has no reconfiguration cache, so the
+        // header records 0 bits per configuration.
+        let mut sink = open_trace_sink(path, input, 0)?;
+        let halt = machine
+            .run_probed(max_steps, &mut sink)
+            .map_err(|e| CliError::new(e.to_string()))?;
+        close_trace_sink(sink, path, out)?;
+        halt
+    } else if args.iter().any(|a| a == "--profile") {
         let mut profiler = Profiler::new();
         let halt = machine
             .run_with(max_steps, |i| profiler.observe(i))
             .map_err(|e| CliError::new(e.to_string()))?;
         let profile = profiler.finish();
         writeln!(out, "basic blocks: {}", profile.block_count())?;
-        writeln!(out, "instructions/branch: {:.2}", profile.instructions_per_branch())?;
+        writeln!(
+            out,
+            "instructions/branch: {:.2}",
+            profile.instructions_per_branch()
+        )?;
         for (frac, n) in profile.coverage_curve(&[0.5, 0.9, 0.99]) {
             writeln!(out, "blocks for {:.0}% coverage: {n}", frac * 100.0)?;
         }
         halt
     } else {
-        machine.run(max_steps).map_err(|e| CliError::new(e.to_string()))?
+        machine
+            .run(max_steps)
+            .map_err(|e| CliError::new(e.to_string()))?
     };
     if !machine.output.is_empty() {
         writeln!(out, "--- program output ---")?;
@@ -173,13 +235,19 @@ fn cmd_run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         machine.stats.ipc()
     )?;
     if let Some(d) = &machine.dcache {
-        writeln!(out, "dcache miss rate: {:.2}%", 100.0 * d.stats().miss_rate())?;
+        writeln!(
+            out,
+            "dcache miss rate: {:.2}%",
+            100.0 * d.stats().miss_rate()
+        )?;
     }
     report_halt(out, halt)
 }
 
 fn cmd_accel(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
-    let input = args.first().ok_or_else(|| CliError::new("accel: missing input file"))?;
+    let input = args
+        .first()
+        .ok_or_else(|| CliError::new("accel: missing input file"))?;
     let program = load_program(input)?;
     let shape = match parse_flag_value(args, "--config")?.unwrap_or("1") {
         "1" => ArrayShape::config1(),
@@ -189,12 +257,18 @@ fn cmd_accel(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         other => return Err(CliError::new(format!("--config: unknown `{other}`"))),
     };
     let slots: usize = parse_flag_value(args, "--slots")?
-        .map(|v| v.parse().map_err(|_| CliError::new("--slots: not a number")))
+        .map(|v| {
+            v.parse()
+                .map_err(|_| CliError::new("--slots: not a number"))
+        })
         .transpose()?
         .unwrap_or(64);
     let speculation = !args.iter().any(|a| a == "--no-spec");
     let max_steps: u64 = parse_flag_value(args, "--max-steps")?
-        .map(|v| v.parse().map_err(|_| CliError::new("--max-steps: not a number")))
+        .map(|v| {
+            v.parse()
+                .map_err(|_| CliError::new("--max-steps: not a number"))
+        })
         .transpose()?
         .unwrap_or(100_000_000);
 
@@ -205,13 +279,42 @@ fn cmd_accel(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     if args.iter().any(|a| a == "--trace") {
         system.enable_trace(64);
     }
-    let halt = system.run(max_steps).map_err(|e| CliError::new(e.to_string()))?;
+    let trace_out = parse_flag_value(args, "--trace-out")?;
+    let want_metrics = args.iter().any(|a| a == "--metrics");
+    let mut metrics = MetricsRegistry::with_interval(100_000);
+    let halt = match trace_out {
+        Some(path) => {
+            let mut sink = open_trace_sink(path, input, system.stored_bits_per_config())?;
+            let halt = if want_metrics {
+                let mut pair = (&mut sink, &mut metrics);
+                system.run_probed(max_steps, &mut pair)
+            } else {
+                system.run_probed(max_steps, &mut sink)
+            }
+            .map_err(|e| CliError::new(e.to_string()))?;
+            close_trace_sink(sink, path, out)?;
+            halt
+        }
+        None if want_metrics => system
+            .run_probed(max_steps, &mut metrics)
+            .map_err(|e| CliError::new(e.to_string()))?,
+        None => system
+            .run(max_steps)
+            .map_err(|e| CliError::new(e.to_string()))?,
+    };
+    if want_metrics {
+        metrics.finish();
+    }
     if !system.machine().output.is_empty() {
         writeln!(out, "--- program output ---")?;
         out.write_all(&system.machine().output)?;
         writeln!(out, "\n----------------------")?;
     }
     writeln!(out, "{}", system.report())?;
+    if want_metrics {
+        writeln!(out, "--- metrics ---")?;
+        write!(out, "{}", metrics.render())?;
+    }
     if let Some(trace) = system.trace() {
         writeln!(out, "--- last array invocations ---")?;
         write!(out, "{trace}")?;
@@ -223,7 +326,9 @@ fn cmd_accel(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     }
     if args.iter().any(|a| a == "--compare") {
         let mut baseline = Machine::load(&program);
-        baseline.run(max_steps).map_err(|e| CliError::new(e.to_string()))?;
+        baseline
+            .run(max_steps)
+            .map_err(|e| CliError::new(e.to_string()))?;
         writeln!(
             out,
             "baseline {} cycles -> speedup {:.2}x",
@@ -232,6 +337,104 @@ fn cmd_accel(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         )?;
     }
     report_halt(out, halt)
+}
+
+fn cmd_profile(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    let input = args
+        .first()
+        .ok_or_else(|| CliError::new("profile: missing input file"))?;
+    let program = load_program(input)?;
+    let shape = match parse_flag_value(args, "--config")?.unwrap_or("1") {
+        "1" => ArrayShape::config1(),
+        "2" => ArrayShape::config2(),
+        "3" => ArrayShape::config3(),
+        "ideal" => ArrayShape::infinite(),
+        other => return Err(CliError::new(format!("--config: unknown `{other}`"))),
+    };
+    let slots: usize = parse_flag_value(args, "--slots")?
+        .map(|v| {
+            v.parse()
+                .map_err(|_| CliError::new("--slots: not a number"))
+        })
+        .transpose()?
+        .unwrap_or(64);
+    let speculation = !args.iter().any(|a| a == "--no-spec");
+    let max_steps: u64 = parse_flag_value(args, "--max-steps")?
+        .map(|v| {
+            v.parse()
+                .map_err(|_| CliError::new("--max-steps: not a number"))
+        })
+        .transpose()?
+        .unwrap_or(100_000_000);
+    let top: usize = parse_flag_value(args, "--top")?
+        .map(|v| v.parse().map_err(|_| CliError::new("--top: not a number")))
+        .transpose()?
+        .unwrap_or(20);
+
+    let mut system = System::new(
+        Machine::load(&program),
+        SystemConfig::new(shape, slots, speculation),
+    );
+    if args.iter().any(|a| a == "--caches") {
+        attach_caches(system.machine_mut());
+    }
+    let mut profiler = CycleProfiler::new();
+    let halt = system
+        .run_probed(max_steps, &mut profiler)
+        .map_err(|e| CliError::new(e.to_string()))?;
+    let profile = profiler.into_profile();
+    if profile.total_cycles() != system.total_cycles() {
+        return Err(CliError::new(format!(
+            "cycle attribution mismatch: profile accounts for {} cycles, run took {} — \
+             this is a simulator bug",
+            profile.total_cycles(),
+            system.total_cycles()
+        )));
+    }
+    if args.iter().any(|a| a == "--json") {
+        writeln!(out, "{}", profile.to_json())?;
+        return Ok(());
+    }
+    write!(out, "{}", profile.render(top))?;
+    report_halt(out, halt)
+}
+
+fn cmd_trace(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    let input = args
+        .first()
+        .ok_or_else(|| CliError::new("trace: missing trace file"))?;
+    let text = std::fs::read_to_string(Path::new(input))
+        .map_err(|e| CliError::new(format!("{input}: {e}")))?;
+    let trace =
+        dim_obs::replay::read_trace(&text).map_err(|e| CliError::new(format!("{input}: {e}")))?;
+    let s = &trace.summary;
+    writeln!(
+        out,
+        "valid trace: workload `{}`, schema v{}, {} records",
+        trace.header.workload,
+        trace.header.schema_version,
+        trace.records.len()
+    )?;
+    writeln!(
+        out,
+        "  pipeline: {} retired, {} cycles",
+        s.retired, s.pipeline_cycles
+    )?;
+    writeln!(
+        out,
+        "  array:    {} invocations, {} instructions, {} cycles, {} misspeculations",
+        s.array_invocations,
+        s.array_instructions,
+        s.array_exec_cycles + s.reconfig_stall_cycles + s.writeback_tail_cycles,
+        s.misspeculations
+    )?;
+    writeln!(
+        out,
+        "  rcache:   {} hits, {} misses, {} built, {} flushed",
+        s.rcache_hits, s.rcache_misses, s.configs_built, s.config_flushes
+    )?;
+    writeln!(out, "  total:    {} cycles", s.total_cycles())?;
+    Ok(())
 }
 
 fn cmd_suite(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
@@ -250,7 +453,8 @@ fn cmd_suite(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
             Machine::load(&built.program),
             SystemConfig::new(ArrayShape::config2(), 64, true),
         );
-        sys.run(built.max_steps).map_err(|e| CliError::new(e.to_string()))?;
+        sys.run(built.max_steps)
+            .map_err(|e| CliError::new(e.to_string()))?;
         dim_workloads::validate(sys.machine(), &built)
             .map_err(|e| CliError::new(format!("{} (accelerated): {e}", spec.name)))?;
         writeln!(
@@ -268,10 +472,15 @@ fn cmd_suite(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
 
 fn cmd_compare(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     use dim_mips_sim::{SuperscalarConfig, SuperscalarModel};
-    let input = args.first().ok_or_else(|| CliError::new("compare: missing input file"))?;
+    let input = args
+        .first()
+        .ok_or_else(|| CliError::new("compare: missing input file"))?;
     let program = load_program(input)?;
     let max_steps: u64 = parse_flag_value(args, "--max-steps")?
-        .map(|v| v.parse().map_err(|_| CliError::new("--max-steps: not a number")))
+        .map(|v| {
+            v.parse()
+                .map_err(|_| CliError::new("--max-steps: not a number"))
+        })
         .transpose()?
         .unwrap_or(100_000_000);
 
@@ -282,7 +491,11 @@ fn cmd_compare(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         .map_err(|e| CliError::new(e.to_string()))?;
     let scalar = machine.stats.cycles;
     let superscalar = ss.finish();
-    writeln!(out, "{:<24} {:>12} {:>9}", "organization", "cycles", "speedup")?;
+    writeln!(
+        out,
+        "{:<24} {:>12} {:>9}",
+        "organization", "cycles", "speedup"
+    )?;
     writeln!(out, "{:<24} {:>12} {:>9}", "scalar MIPS", scalar, "1.00")?;
     writeln!(
         out,
@@ -296,11 +509,9 @@ fn cmd_compare(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         ("DIM config #2", ArrayShape::config2()),
         ("DIM config #3", ArrayShape::config3()),
     ] {
-        let mut sys = System::new(
-            Machine::load(&program),
-            SystemConfig::new(shape, 64, true),
-        );
-        sys.run(max_steps).map_err(|e| CliError::new(e.to_string()))?;
+        let mut sys = System::new(Machine::load(&program), SystemConfig::new(shape, 64, true));
+        sys.run(max_steps)
+            .map_err(|e| CliError::new(e.to_string()))?;
         writeln!(
             out,
             "{:<24} {:>12} {:>9.2}",
@@ -313,12 +524,14 @@ fn cmd_compare(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
 }
 
 fn cmd_debug(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
-    let input = args.first().ok_or_else(|| CliError::new("debug: missing input file"))?;
+    let input = args
+        .first()
+        .ok_or_else(|| CliError::new("debug: missing input file"))?;
     let program = load_program(input)?;
     match parse_flag_value(args, "--script")? {
         Some(path) => {
-            let file = std::fs::File::open(path)
-                .map_err(|e| CliError::new(format!("{path}: {e}")))?;
+            let file =
+                std::fs::File::open(path).map_err(|e| CliError::new(format!("{path}: {e}")))?;
             debugger::debug_session(&program, std::io::BufReader::new(file), out)
         }
         None => {
@@ -339,6 +552,8 @@ pub fn dispatch(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         Some("disasm") => cmd_disasm(&args[1..], out),
         Some("run") => cmd_run(&args[1..], out),
         Some("accel") => cmd_accel(&args[1..], out),
+        Some("profile") => cmd_profile(&args[1..], out),
+        Some("trace") => cmd_trace(&args[1..], out),
         Some("suite") => cmd_suite(&args[1..], out),
         Some("debug") => cmd_debug(&args[1..], out),
         Some("compare") => cmd_compare(&args[1..], out),
@@ -411,8 +626,7 @@ mod tests {
     #[test]
     fn run_with_profile_and_caches() {
         let src = tmp_file("t2.s", PROGRAM);
-        let report =
-            run_cli(&["run", src.to_str().unwrap(), "--profile", "--caches"]).unwrap();
+        let report = run_cli(&["run", src.to_str().unwrap(), "--profile", "--caches"]).unwrap();
         assert!(report.contains("instructions/branch"));
         assert!(report.contains("dcache miss rate"));
     }
@@ -450,6 +664,66 @@ mod tests {
     }
 
     #[test]
+    fn run_trace_out_writes_valid_jsonl() {
+        let src = tmp_file("t9.s", PROGRAM);
+        let trace = std::env::temp_dir().join("dim-cli-tests/t9.jsonl");
+        let report = run_cli(&[
+            "run",
+            src.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(report.contains("trace:"), "{report}");
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let replayed = dim_obs::replay::read_trace(&text).unwrap();
+        assert_eq!(replayed.summary.array_invocations, 0);
+        assert!(replayed.summary.retired > 0);
+
+        let summary = run_cli(&["trace", trace.to_str().unwrap()]).unwrap();
+        assert!(summary.contains("valid trace"), "{summary}");
+    }
+
+    #[test]
+    fn accel_trace_out_replays_to_reported_cycles() {
+        let src = tmp_file("t10.s", PROGRAM);
+        let trace = std::env::temp_dir().join("dim-cli-tests/t10.jsonl");
+        let report = run_cli(&[
+            "accel",
+            src.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--metrics",
+        ])
+        .unwrap();
+        assert!(report.contains("trace:"), "{report}");
+        assert!(report.contains("--- metrics ---"), "{report}");
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let replayed = dim_obs::replay::read_trace(&text).unwrap();
+        assert!(replayed.summary.array_invocations > 0);
+
+        let summary = run_cli(&["trace", trace.to_str().unwrap()]).unwrap();
+        assert!(summary.contains("valid trace"), "{summary}");
+    }
+
+    #[test]
+    fn profile_prints_exact_attribution_table() {
+        let src = tmp_file("t11.s", PROGRAM);
+        let report = run_cli(&["profile", src.to_str().unwrap(), "--caches"]).unwrap();
+        assert!(report.contains("block"), "{report}");
+        assert!(report.contains("total"), "{report}");
+
+        let json = run_cli(&["profile", src.to_str().unwrap(), "--json"]).unwrap();
+        assert!(json.trim_start().starts_with('{'), "{json}");
+    }
+
+    #[test]
+    fn trace_rejects_garbage() {
+        let bad = tmp_file("t12.jsonl", "not json\n");
+        assert!(run_cli(&["trace", bad.to_str().unwrap()]).is_err());
+    }
+
+    #[test]
     fn accel_rejects_bad_config() {
         let src = tmp_file("t4.s", PROGRAM);
         assert!(run_cli(&["accel", src.to_str().unwrap(), "--config", "9"]).is_err());
@@ -458,10 +732,13 @@ mod tests {
     #[test]
     fn debug_with_script_file() {
         let src = tmp_file("t6.s", PROGRAM);
-        let script = tmp_file("t6.dbg", "step 3
+        let script = tmp_file(
+            "t6.dbg",
+            "step 3
 regs
 quit
-");
+",
+        );
         let report = run_cli(&[
             "debug",
             src.to_str().unwrap(),

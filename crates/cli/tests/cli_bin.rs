@@ -49,10 +49,17 @@ fn asm_run_accel_pipeline() {
         .args(["asm", src.to_str().unwrap(), "-o", img.to_str().unwrap()])
         .output()
         .expect("spawns");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(img.exists());
 
-    let out = dim().args(["run", img.to_str().unwrap()]).output().expect("spawns");
+    let out = dim()
+        .args(["run", img.to_str().unwrap()])
+        .output()
+        .expect("spawns");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout).into_owned();
     assert!(text.contains("cycles"), "{text}");
@@ -69,7 +76,10 @@ fn asm_run_accel_pipeline() {
 #[test]
 fn assembly_error_is_reported_with_line() {
     let src = tmp("bad.s", "main: nop\n frobnicate $t0\n");
-    let out = dim().args(["run", src.to_str().unwrap()]).output().expect("spawns");
+    let out = dim()
+        .args(["run", src.to_str().unwrap()])
+        .output()
+        .expect("spawns");
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr).into_owned();
     assert!(err.contains("line 2"), "{err}");

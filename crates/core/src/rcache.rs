@@ -97,25 +97,29 @@ impl ReconfCache {
 
     /// Inserts a configuration (keyed by its entry PC), evicting the
     /// oldest entry when full. Re-inserting an existing PC replaces the
-    /// configuration without changing its FIFO position.
-    pub fn insert(&mut self, config: Configuration) {
+    /// configuration without changing its FIFO position. Returns the
+    /// entry PC of the configuration this insert displaced, if any.
+    pub fn insert(&mut self, config: Configuration) -> Option<u32> {
         if self.slots == 0 {
-            return;
+            return None;
         }
         let pc = config.entry_pc;
         self.insertions += 1;
         if self.entries.insert(pc, config).is_some() {
-            return;
+            return None;
         }
         self.order.push_back(pc);
+        let mut evicted = None;
         while self.entries.len() > self.slots {
             // Skip stale order entries left by flushes.
             if let Some(old) = self.order.pop_front() {
                 if self.entries.remove(&old).is_some() {
                     self.evictions += 1;
+                    evicted = Some(old);
                 }
             }
         }
+        evicted
     }
 
     /// Removes the configuration for `pc` (misspeculation flush).
@@ -160,7 +164,12 @@ mod tests {
 
     fn config_at(pc: u32) -> Configuration {
         let mut c = Configuration::new(pc, ArrayShape::config1());
-        let add = Instruction::Alu { op: AluOp::Addu, rd: Reg::T0, rs: Reg::A0, rt: Reg::A1 };
+        let add = Instruction::Alu {
+            op: AluOp::Addu,
+            rd: Reg::T0,
+            rs: Reg::A0,
+            rt: Reg::A1,
+        };
         c.place(pc, add, 0, 0).unwrap();
         c
     }
@@ -168,9 +177,9 @@ mod tests {
     #[test]
     fn fifo_eviction_order() {
         let mut cache = ReconfCache::new(2);
-        cache.insert(config_at(0x100));
-        cache.insert(config_at(0x200));
-        cache.insert(config_at(0x300)); // evicts 0x100
+        assert_eq!(cache.insert(config_at(0x100)), None);
+        assert_eq!(cache.insert(config_at(0x200)), None);
+        assert_eq!(cache.insert(config_at(0x300)), Some(0x100));
         assert!(cache.peek(0x100).is_none());
         assert!(cache.peek(0x200).is_some());
         assert!(cache.peek(0x300).is_some());

@@ -129,7 +129,13 @@ mod tests {
             report.total_instructions,
             report.proc_instructions + report.array_instructions
         );
-        assert_eq!(report.total_cycles, report.proc_cycles + report.array_cycles);
-        assert!(report.coverage > 0.5, "hot loop should mostly run on the array");
+        assert_eq!(
+            report.total_cycles,
+            report.proc_cycles + report.array_cycles
+        );
+        assert!(
+            report.coverage > 0.5,
+            "hot loop should mostly run on the array"
+        );
     }
 }

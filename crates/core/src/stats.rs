@@ -48,6 +48,39 @@ impl DimStats {
         DimStats::default()
     }
 
+    /// Accumulates another run's counters into this one.
+    ///
+    /// Addition saturates so aggregating a whole suite of runs into one
+    /// report can never wrap and silently corrupt a total; in debug
+    /// builds an actual overflow is treated as a logic error and asserts.
+    pub fn merge(&mut self, other: &DimStats) {
+        fn acc(total: &mut u64, add: u64) {
+            debug_assert!(
+                total.checked_add(add).is_some(),
+                "DimStats counter overflow: {total} + {add}"
+            );
+            *total = total.saturating_add(add);
+        }
+        acc(&mut self.array_invocations, other.array_invocations);
+        acc(&mut self.array_instructions, other.array_instructions);
+        acc(&mut self.array_exec_cycles, other.array_exec_cycles);
+        acc(&mut self.reconfig_stall_cycles, other.reconfig_stall_cycles);
+        acc(&mut self.writeback_tail_cycles, other.writeback_tail_cycles);
+        acc(&mut self.array_loads, other.array_loads);
+        acc(&mut self.array_stores, other.array_stores);
+        acc(&mut self.full_hits, other.full_hits);
+        acc(&mut self.misspeculations, other.misspeculations);
+        acc(&mut self.config_flushes, other.config_flushes);
+        acc(&mut self.configs_built, other.configs_built);
+        acc(
+            &mut self.translated_instructions,
+            other.translated_instructions,
+        );
+        acc(&mut self.cache_bits_read, other.cache_bits_read);
+        acc(&mut self.cache_bits_written, other.cache_bits_written);
+        acc(&mut self.array_occupied_rows, other.array_occupied_rows);
+    }
+
     /// All cycles attributable to array execution (stalls + rows +
     /// write-back tails).
     pub fn total_array_cycles(&self) -> u64 {
@@ -85,5 +118,39 @@ mod tests {
         };
         assert_eq!(s.total_array_cycles(), 13);
         assert_eq!(s.array_mem_accesses(), 7);
+    }
+
+    #[test]
+    fn merge_adds_and_saturates() {
+        let mut a = DimStats {
+            array_invocations: 2,
+            array_exec_cycles: 9,
+            ..DimStats::new()
+        };
+        let b = DimStats {
+            array_invocations: 3,
+            misspeculations: 1,
+            ..DimStats::new()
+        };
+        a.merge(&b);
+        assert_eq!(a.array_invocations, 5);
+        assert_eq!(a.array_exec_cycles, 9);
+        assert_eq!(a.misspeculations, 1);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "overflow"))]
+    fn merge_overflow_is_loud_in_debug() {
+        let mut a = DimStats {
+            array_exec_cycles: u64::MAX,
+            ..DimStats::new()
+        };
+        let b = DimStats {
+            array_exec_cycles: 1,
+            ..DimStats::new()
+        };
+        a.merge(&b);
+        // Release builds saturate instead of wrapping.
+        assert_eq!(a.array_exec_cycles, u64::MAX);
     }
 }

@@ -9,12 +9,13 @@
 //! while the DIM hardware translates it in parallel.
 
 use crate::{
-    BimodalPredictor, DimStats, ReconfCache, ReplacementPolicy, Trace, TraceEvent, Translator,
+    BimodalPredictor, DimStats, ReconfCache, ReplacementPolicy, Trace, Translator,
     TranslatorOptions,
 };
 use dim_cgra::{ArrayShape, ArrayTiming, Configuration, EncodingParams};
 use dim_mips::Instruction;
 use dim_mips_sim::{HaltReason, Machine, SimError};
+use dim_obs::{ArrayInvoke, NullProbe, Probe, ProbeEvent};
 use std::collections::HashMap;
 
 /// All accelerator parameters for one experiment point.
@@ -173,6 +174,13 @@ impl System {
         &self.config
     }
 
+    /// Bits one stored configuration occupies in the reconfiguration
+    /// cache (0 for the idealized infinite array). Trace sinks record
+    /// this so replay can reconstruct the cache-bit energy counters.
+    pub fn stored_bits_per_config(&self) -> u64 {
+        self.stored_bits_per_config
+    }
+
     /// Total cycles: processor cycles plus all array-attributed cycles.
     pub fn total_cycles(&self) -> u64 {
         self.machine.stats.cycles + self.stats.total_array_cycles()
@@ -190,40 +198,78 @@ impl System {
     /// Propagates the first [`SimError`] from either the pipeline or the
     /// array's memory accesses.
     pub fn run(&mut self, max_instructions: u64) -> Result<HaltReason, SimError> {
+        self.run_probed(max_instructions, &mut NullProbe)
+    }
+
+    /// Runs like [`run`](System::run), emitting the full structured
+    /// event stream — retires, translation begin/commit, cache
+    /// hit/miss/insert/flush, array invocations — into `probe`. The
+    /// probe is monomorphized in; with [`NullProbe`] this *is* `run`.
+    /// The caller keeps ownership of the probe and is responsible for
+    /// calling [`Probe::finish`] when the whole run is over.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`] from either the pipeline or the
+    /// array's memory accesses.
+    pub fn run_probed<P: Probe>(
+        &mut self,
+        max_instructions: u64,
+        probe: &mut P,
+    ) -> Result<HaltReason, SimError> {
         let mut retired: u64 = 0;
-        while retired < max_instructions {
+        let result = loop {
+            if retired >= max_instructions {
+                break self.machine.halted().unwrap_or(HaltReason::StepLimit);
+            }
             if let Some(reason) = self.machine.halted() {
-                return Ok(reason);
+                break reason;
             }
             let pc = self.machine.cpu.pc;
             let hit = self.cache.lookup(pc).cloned();
             if let Some(config) = hit {
+                if P::ENABLED {
+                    probe.emit(ProbeEvent::RcacheHit { pc });
+                }
                 // A cache hit interrupts any in-flight detection region.
                 // (The inserted partial may even evict the entry we are
                 // about to execute, which is why it was cloned first.)
-                if let Some(partial) = self.translator.take_partial(pc) {
-                    self.insert_config(partial);
+                if let Some(partial) = self.translator.take_partial_probed(pc, probe) {
+                    self.insert_config(partial, probe);
                 }
                 retired += config.instruction_count() as u64;
-                self.execute_config(&config)?;
+                self.execute_config(&config, probe)?;
             } else {
-                let info = self.machine.step()?;
+                if P::ENABLED {
+                    probe.emit(ProbeEvent::RcacheMiss { pc });
+                }
+                let info = self.machine.step_probed(probe)?;
                 retired += 1;
                 if let Some(taken) = info.taken {
                     self.predictor.update(info.pc, taken);
                 }
-                if let Some(done) = self.translator.observe(&info, &self.predictor) {
-                    self.insert_config(done);
+                if let Some(done) = self
+                    .translator
+                    .observe_probed(&info, &self.predictor, probe)
+                {
+                    self.insert_config(done, probe);
                 }
             }
-        }
-        Ok(self.machine.halted().unwrap_or(HaltReason::StepLimit))
+        };
+        // Refresh the detection-energy account so it is exact even when
+        // the run ends between array invocations.
+        self.stats.translated_instructions = self.translator.observed_instructions();
+        Ok(result)
     }
 
-    fn insert_config(&mut self, config: Configuration) {
+    fn insert_config<P: Probe>(&mut self, config: Configuration, probe: &mut P) {
         self.stats.configs_built += 1;
         self.stats.cache_bits_written += self.stored_bits_per_config;
-        self.cache.insert(config);
+        let pc = config.entry_pc;
+        let evicted = self.cache.insert(config);
+        if P::ENABLED {
+            probe.emit(ProbeEvent::RcacheInsert { pc, evicted });
+        }
     }
 
     /// Snapshots the state the dataflow cross-check needs.
@@ -268,7 +314,10 @@ impl System {
         if config.load_count() > 0 && config.store_count() > 0 {
             return;
         }
-        let mut bus = Bus { mem: &self.machine.mem, writes: std::collections::HashMap::new() };
+        let mut bus = Bus {
+            mem: &self.machine.mem,
+            writes: std::collections::HashMap::new(),
+        };
         let outcome = dim_cgra::execute_dataflow(config, &mut entry, &mut bus)
             .expect("replayed configuration must dataflow-execute");
         assert_eq!(
@@ -298,7 +347,11 @@ impl System {
     }
 
     /// Executes one cached configuration on the array.
-    fn execute_config(&mut self, config: &Configuration) -> Result<(), SimError> {
+    fn execute_config<P: Probe>(
+        &mut self,
+        config: &Configuration,
+        probe: &mut P,
+    ) -> Result<(), SimError> {
         self.stats.array_invocations += 1;
         self.stats.array_occupied_rows += config.rows_used() as u64;
         self.stats.cache_bits_read += self.stored_bits_per_config;
@@ -308,6 +361,10 @@ impl System {
         let timing = &self.config.timing;
         let mut executed_depth: u8 = 0;
         let mut misspec_branch: Option<(u32, bool)> = None;
+        let mut executed: u32 = 0;
+        let mut loads: u32 = 0;
+        let mut stores: u32 = 0;
+        let mut mem_stall_cycles: u64 = 0;
 
         'segments: for segment in config.segments() {
             for op in config.segment_ops(segment) {
@@ -315,16 +372,16 @@ impl System {
                 // columns only affect the cycle accounting below.
                 self.machine.cpu.pc = op.pc;
                 let info = self.machine.cpu.execute(op.inst, &mut self.machine.mem)?;
-                self.stats.array_instructions += 1;
+                executed += 1;
                 match op.inst {
-                    Instruction::Load { .. } => self.stats.array_loads += 1,
-                    Instruction::Store { .. } => self.stats.array_stores += 1,
+                    Instruction::Load { .. } => loads += 1,
+                    Instruction::Store { .. } => stores += 1,
                     _ => {}
                 }
                 // Data-cache misses stall the whole array until resolved
                 // (paper §4.3); loads were *allocated* assuming hits.
                 if let (Some(dc), Some(addr)) = (&mut self.machine.dcache, info.mem_addr) {
-                    self.stats.array_exec_cycles += dc.access(addr);
+                    mem_stall_cycles += dc.access(addr);
                 }
                 if let (Some(branch), Some(taken)) = (segment.branch, info.taken) {
                     if op.pc == branch.pc {
@@ -348,27 +405,17 @@ impl System {
             }
         }
 
-        let stall = config.reconfig_stall_cycles(timing);
-        let exec = config.exec_cycles(timing, executed_depth);
-        let tail = config.writeback_tail_cycles(timing, executed_depth);
-        self.stats.reconfig_stall_cycles += stall;
-        self.stats.array_exec_cycles += exec;
-        self.stats.writeback_tail_cycles += tail;
-        if let Some(trace) = &mut self.trace {
-            trace.push(TraceEvent {
-                entry_pc: config.entry_pc,
-                covered: config.instruction_count() as u32,
-                executed_depth,
-                misspeculated: misspec_branch.is_some(),
-                cycles: stall + exec + tail,
-                exit_pc: self.machine.cpu.pc,
-            });
-        }
+        self.stats.array_instructions += executed as u64;
+        self.stats.array_loads += loads as u64;
+        self.stats.array_stores += stores as u64;
 
+        let spans = config.invocation_cycles(timing, executed_depth);
+        let mut flushed = false;
+        let mut misspec_penalty: u64 = 0;
         match misspec_branch {
             Some((branch_pc, predicted)) => {
                 self.stats.misspeculations += 1;
-                self.stats.array_exec_cycles += timing.misspeculation_penalty;
+                misspec_penalty = timing.misspeculation_penalty;
                 // Flush the whole configuration once the counter saturates
                 // the other way (paper §4.2), or once this configuration
                 // has misspeculated a bounded number of times in a row.
@@ -380,11 +427,49 @@ impl System {
                     self.cache.flush(config.entry_pc);
                     self.stats.config_flushes += 1;
                     self.misspec_counts.remove(&config.entry_pc);
+                    flushed = true;
                 }
             }
             None => {
                 self.stats.full_hits += 1;
                 self.misspec_counts.remove(&config.entry_pc);
+            }
+        }
+
+        // The array stalls on data-cache misses and pays the flush
+        // penalty inside its execution window, so both belong to the
+        // exec span — stats, trace, and probe events all see one number.
+        let exec_span = spans.exec + mem_stall_cycles + misspec_penalty;
+        self.stats.reconfig_stall_cycles += spans.stall;
+        self.stats.array_exec_cycles += exec_span;
+        self.stats.writeback_tail_cycles += spans.tail;
+
+        if P::ENABLED || self.trace.is_some() {
+            let event = ProbeEvent::ArrayInvoke(ArrayInvoke {
+                entry_pc: config.entry_pc,
+                exit_pc: self.machine.cpu.pc,
+                covered: config.instruction_count() as u32,
+                executed,
+                loads,
+                stores,
+                rows: config.rows_used() as u32,
+                spec_depth: executed_depth,
+                misspeculated: misspec_branch.is_some(),
+                flushed,
+                stall_cycles: spans.stall as u32,
+                exec_cycles: exec_span as u32,
+                tail_cycles: spans.tail as u32,
+            });
+            if P::ENABLED {
+                if flushed {
+                    probe.emit(ProbeEvent::RcacheFlush {
+                        pc: config.entry_pc,
+                    });
+                }
+                probe.emit(event);
+            }
+            if let Some(trace) = &mut self.trace {
+                trace.emit(event);
             }
         }
 
@@ -601,7 +686,10 @@ mod cross_check_tests {
             config.cross_check = true;
             let mut sys = System::new(Machine::load(&program), config);
             sys.run(1_000_000).expect("runs");
-            assert!(sys.stats().array_invocations > 0, "nothing was cross-checked");
+            assert!(
+                sys.stats().array_invocations > 0,
+                "nothing was cross-checked"
+            );
         }
     }
 }

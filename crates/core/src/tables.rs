@@ -76,7 +76,6 @@ impl DependenceTable {
             self.last_mem_row = Some(self.last_mem_row.map_or(row, |m| m.max(row)));
         }
     }
-
 }
 
 /// Iterates the sources of `inst` that are live-ins w.r.t. `table`.
@@ -97,15 +96,31 @@ mod tests {
     use dim_mips::{AluOp, MemWidth, Reg};
 
     fn add(rd: Reg, rs: Reg, rt: Reg) -> Instruction {
-        Instruction::Alu { op: AluOp::Addu, rd, rs, rt }
+        Instruction::Alu {
+            op: AluOp::Addu,
+            rd,
+            rs,
+            rt,
+        }
     }
 
     fn lw(rt: Reg, base: Reg) -> Instruction {
-        Instruction::Load { width: MemWidth::Word, signed: false, rt, base, offset: 0 }
+        Instruction::Load {
+            width: MemWidth::Word,
+            signed: false,
+            rt,
+            base,
+            offset: 0,
+        }
     }
 
     fn sw(rt: Reg, base: Reg) -> Instruction {
-        Instruction::Store { width: MemWidth::Word, rt, base, offset: 0 }
+        Instruction::Store {
+            width: MemWidth::Word,
+            rt,
+            base,
+            offset: 0,
+        }
     }
 
     #[test]
@@ -143,7 +158,7 @@ mod tests {
         t.record(&s1, 3); // placed further down by a RAW elsewhere
         let l3 = lw(Reg::T3, Reg::A3);
         assert_eq!(t.min_row(&l3), 3); // never above an earlier memory op
-        // RAW on the loaded value still forces the next row.
+                                       // RAW on the loaded value still forces the next row.
         t.record(&l3, 3);
         let use_load = add(Reg::T5, Reg::T3, Reg::A0);
         assert_eq!(t.min_row(&use_load), 4);

@@ -1,6 +1,7 @@
 //! Execution tracing: a bounded record of array invocations, for
 //! debugging translated code and for the CLI's `accel --trace`.
 
+use dim_obs::{ArrayInvoke, Probe, ProbeEvent};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -22,6 +23,19 @@ pub struct TraceEvent {
     pub exit_pc: u32,
 }
 
+impl From<ArrayInvoke> for TraceEvent {
+    fn from(inv: ArrayInvoke) -> TraceEvent {
+        TraceEvent {
+            entry_pc: inv.entry_pc,
+            covered: inv.covered,
+            executed_depth: inv.spec_depth,
+            misspeculated: inv.misspeculated,
+            cycles: inv.total_cycles(),
+            exit_pc: inv.exit_pc,
+        }
+    }
+}
+
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -32,7 +46,11 @@ impl fmt::Display for TraceEvent {
             self.executed_depth,
             self.cycles,
             self.exit_pc,
-            if self.misspeculated { "  [misspeculated]" } else { "" },
+            if self.misspeculated {
+                "  [misspeculated]"
+            } else {
+                ""
+            },
         )
     }
 }
@@ -82,6 +100,18 @@ impl Trace {
     /// Events evicted because the buffer was full.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+}
+
+/// `Trace` is itself a probe: it consumes the same
+/// [`ProbeEvent::ArrayInvoke`] events every other sink does, so the
+/// system has exactly one invocation-event path. All other event kinds
+/// are ignored.
+impl Probe for Trace {
+    fn emit(&mut self, event: ProbeEvent) {
+        if let ProbeEvent::ArrayInvoke(inv) = event {
+            self.push(TraceEvent::from(inv));
+        }
     }
 }
 

@@ -14,6 +14,18 @@ use crate::tables::{live_in_sources, DependenceTable};
 use dim_cgra::{ArrayShape, Configuration, PlaceError, SegmentBranch};
 use dim_mips::FuClass;
 use dim_mips_sim::{Effect, StepInfo};
+use dim_obs::{NullProbe, Probe, ProbeEvent};
+
+/// The commit event for a finished configuration.
+fn commit_event(config: &Configuration, partial: bool) -> ProbeEvent {
+    ProbeEvent::TransCommit {
+        entry_pc: config.entry_pc,
+        instructions: config.instruction_count() as u32,
+        rows: config.rows_used() as u32,
+        spec_blocks: config.segments().len().min(u8::MAX as usize) as u8,
+        partial,
+    }
+}
 
 /// Translation policy knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,11 +128,28 @@ impl Translator {
     /// configuration splinters hot regions into overhead-dominated
     /// slivers (each invocation pays reconfiguration and write-back).
     pub fn take_partial(&mut self, exit_pc: u32) -> Option<Configuration> {
+        self.take_partial_probed(exit_pc, &mut NullProbe)
+    }
+
+    /// Like [`take_partial`](Translator::take_partial), additionally
+    /// emitting a partial [`ProbeEvent::TransCommit`] when the prefix is
+    /// kept.
+    pub fn take_partial_probed<P: Probe>(
+        &mut self,
+        exit_pc: u32,
+        probe: &mut P,
+    ) -> Option<Configuration> {
         let cand = self.candidate.take()?;
         if cand.config.instruction_count() < 8 {
             return None;
         }
-        Self::finalize(cand, exit_pc)
+        let result = Self::finalize(cand, exit_pc);
+        if P::ENABLED {
+            if let Some(config) = &result {
+                probe.emit(commit_event(config, true));
+            }
+        }
+        result
     }
 
     fn finalize(mut cand: Candidate, exit_pc: u32) -> Option<Configuration> {
@@ -135,6 +164,40 @@ impl Translator {
     /// when this instruction closed a region that merged more than three
     /// instructions.
     pub fn observe(
+        &mut self,
+        info: &StepInfo,
+        predictor: &BimodalPredictor,
+    ) -> Option<Configuration> {
+        self.observe_probed(info, predictor, &mut NullProbe)
+    }
+
+    /// Like [`observe`](Translator::observe), additionally emitting
+    /// [`ProbeEvent::TransBegin`] when a detection region opens and
+    /// [`ProbeEvent::TransCommit`] when one closes worth caching.
+    pub fn observe_probed<P: Probe>(
+        &mut self,
+        info: &StepInfo,
+        predictor: &BimodalPredictor,
+        probe: &mut P,
+    ) -> Option<Configuration> {
+        let had_candidate = self.candidate.is_some();
+        let result = self.observe_impl(info, predictor);
+        if P::ENABLED {
+            if !had_candidate {
+                if let Some(cand) = &self.candidate {
+                    probe.emit(ProbeEvent::TransBegin {
+                        pc: cand.config.entry_pc,
+                    });
+                }
+            }
+            if let Some(config) = &result {
+                probe.emit(commit_event(config, false));
+            }
+        }
+        result
+    }
+
+    fn observe_impl(
         &mut self,
         info: &StepInfo,
         predictor: &BimodalPredictor,
@@ -238,11 +301,21 @@ mod tests {
     }
 
     fn add(rd: Reg, rs: Reg, rt: Reg) -> Instruction {
-        Instruction::Alu { op: AluOp::Addu, rd, rs, rt }
+        Instruction::Alu {
+            op: AluOp::Addu,
+            rd,
+            rs,
+            rt,
+        }
     }
 
     fn branch(offset: i16) -> Instruction {
-        Instruction::Branch { cond: BranchCond::Ne, rs: Reg::T0, rt: Reg::ZERO, offset }
+        Instruction::Branch {
+            cond: BranchCond::Ne,
+            rs: Reg::T0,
+            rt: Reg::ZERO,
+            offset,
+        }
     }
 
     fn no_spec() -> Translator {
@@ -257,7 +330,10 @@ mod tests {
         let p = BimodalPredictor::new();
         for i in 0..5u32 {
             assert!(t
-                .observe(&step(0x100 + 4 * i, add(Reg::T0, Reg::T0, Reg::A0), None), &p)
+                .observe(
+                    &step(0x100 + 4 * i, add(Reg::T0, Reg::T0, Reg::A0), None),
+                    &p
+                )
                 .is_none());
         }
         let cfg = t.observe(&step(0x114, branch(-6), Some(true)), &p).unwrap();
@@ -265,7 +341,7 @@ mod tests {
         assert_eq!(cfg.instruction_count(), 5);
         assert_eq!(cfg.segments().len(), 1);
         assert_eq!(cfg.segments()[0].exit_pc, 0x114); // branch runs on the CPU
-        // Dependent adds serialize into distinct rows.
+                                                      // Dependent adds serialize into distinct rows.
         assert_eq!(cfg.rows_used(), 5);
     }
 
@@ -274,9 +350,14 @@ mod tests {
         let mut t = no_spec();
         let p = BimodalPredictor::new();
         for i in 0..3u32 {
-            t.observe(&step(0x100 + 4 * i, add(Reg::T0, Reg::T0, Reg::A0), None), &p);
+            t.observe(
+                &step(0x100 + 4 * i, add(Reg::T0, Reg::T0, Reg::A0), None),
+                &p,
+            );
         }
-        assert!(t.observe(&step(0x10c, branch(-4), Some(true)), &p).is_none());
+        assert!(t
+            .observe(&step(0x10c, branch(-4), Some(true)), &p)
+            .is_none());
     }
 
     #[test]
@@ -286,9 +367,14 @@ mod tests {
         t.observe(&step(0x100, branch(4), Some(true)), &p);
         // Next instruction is a region start.
         for i in 0..4u32 {
-            t.observe(&step(0x200 + 4 * i, add(Reg::T1, Reg::T1, Reg::A1), None), &p);
+            t.observe(
+                &step(0x200 + 4 * i, add(Reg::T1, Reg::T1, Reg::A1), None),
+                &p,
+            );
         }
-        let cfg = t.observe(&step(0x210, branch(-5), Some(false)), &p).unwrap();
+        let cfg = t
+            .observe(&step(0x210, branch(-5), Some(false)), &p)
+            .unwrap();
         assert_eq!(cfg.entry_pc, 0x200);
         assert_eq!(cfg.instruction_count(), 4);
     }
@@ -312,7 +398,10 @@ mod tests {
         let mut t = no_spec();
         let p = BimodalPredictor::new();
         for i in 0..4u32 {
-            t.observe(&step(0x100 + 4 * i, add(Reg::T2, Reg::T2, Reg::A2), None), &p);
+            t.observe(
+                &step(0x100 + 4 * i, add(Reg::T2, Reg::T2, Reg::A2), None),
+                &p,
+            );
         }
         let cfg = t
             .observe(&step(0x110, Instruction::Jr { rs: Reg::RA }, None), &p)
@@ -328,14 +417,22 @@ mod tests {
         p.update(0x110, true);
         p.update(0x110, true); // saturate taken
         for i in 0..4u32 {
-            t.observe(&step(0x100 + 4 * i, add(Reg::T0, Reg::T0, Reg::A0), None), &p);
+            t.observe(
+                &step(0x100 + 4 * i, add(Reg::T0, Reg::T0, Reg::A0), None),
+                &p,
+            );
         }
         // Branch taken, counter saturated-taken: speculate across.
-        assert!(t.observe(&step(0x110, branch(10), Some(true)), &p).is_none());
+        assert!(t
+            .observe(&step(0x110, branch(10), Some(true)), &p)
+            .is_none());
         // Continue collecting in the next block (at the taken target).
         let target = 0x110 + 4 + 40;
         for i in 0..3u32 {
-            t.observe(&step(target + 4 * i, add(Reg::T1, Reg::T1, Reg::A1), None), &p);
+            t.observe(
+                &step(target + 4 * i, add(Reg::T1, Reg::T1, Reg::A1), None),
+                &p,
+            );
         }
         let cfg = t
             .observe(&step(target + 12, Instruction::Syscall, None), &p)
@@ -358,11 +455,17 @@ mod tests {
             p.update(pc, true);
         }
         for i in 0..4u32 {
-            t.observe(&step(0x100 + 4 * i, add(Reg::T0, Reg::T0, Reg::A0), None), &p);
+            t.observe(
+                &step(0x100 + 4 * i, add(Reg::T0, Reg::T0, Reg::A0), None),
+                &p,
+            );
         }
         assert!(t.observe(&step(0x110, branch(1), Some(true)), &p).is_none());
         for i in 0..3u32 {
-            t.observe(&step(0x118 + 4 * i, add(Reg::T1, Reg::T1, Reg::A1), None), &p);
+            t.observe(
+                &step(0x118 + 4 * i, add(Reg::T1, Reg::T1, Reg::A1), None),
+                &p,
+            );
         }
         // Second branch: depth limit (2 blocks) reached → region closes.
         let cfg = t.observe(&step(0x130, branch(1), Some(true)), &p).unwrap();
@@ -375,7 +478,10 @@ mod tests {
         let mut t = Translator::new(TranslatorOptions::new(ArrayShape::config1()));
         let p = BimodalPredictor::new();
         for i in 0..4u32 {
-            t.observe(&step(0x100 + 4 * i, add(Reg::T0, Reg::T0, Reg::A0), None), &p);
+            t.observe(
+                &step(0x100 + 4 * i, add(Reg::T0, Reg::T0, Reg::A0), None),
+                &p,
+            );
         }
         let cfg = t.observe(&step(0x110, branch(1), Some(true)), &p).unwrap();
         assert_eq!(cfg.segments().len(), 1);
@@ -403,13 +509,19 @@ mod tests {
         let mut t = no_spec();
         let p = BimodalPredictor::new();
         for i in 0..5u32 {
-            t.observe(&step(0x100 + 4 * i, add(Reg::T0, Reg::T0, Reg::A0), None), &p);
+            t.observe(
+                &step(0x100 + 4 * i, add(Reg::T0, Reg::T0, Reg::A0), None),
+                &p,
+            );
         }
         // 5 < 8: not worth splintering the region.
         assert!(t.take_partial(0x114).is_none());
         t.note_boundary();
         for i in 0..9u32 {
-            t.observe(&step(0x300 + 4 * i, add(Reg::T0, Reg::T0, Reg::A0), None), &p);
+            t.observe(
+                &step(0x300 + 4 * i, add(Reg::T0, Reg::T0, Reg::A0), None),
+                &p,
+            );
         }
         let cfg = t.take_partial(0x324).unwrap();
         assert_eq!(cfg.instruction_count(), 9);
@@ -423,7 +535,10 @@ mod tests {
         let mut t = Translator::new(opts);
         let p = BimodalPredictor::new();
         for i in 0..4u32 {
-            t.observe(&step(0x100 + 4 * i, add(Reg::T0, Reg::T0, Reg::A0), None), &p);
+            t.observe(
+                &step(0x100 + 4 * i, add(Reg::T0, Reg::T0, Reg::A0), None),
+                &p,
+            );
         }
         // A shift ends the region just like an unsupported instruction.
         let shift = Instruction::Shift {
@@ -444,12 +559,18 @@ mod tests {
         p.update(0x110, true);
         p.update(0x110, true);
         for i in 0..4u32 {
-            t.observe(&step(0x100 + 4 * i, add(Reg::T0, Reg::T0, Reg::A0), None), &p);
+            t.observe(
+                &step(0x100 + 4 * i, add(Reg::T0, Reg::T0, Reg::A0), None),
+                &p,
+            );
         }
         t.observe(&step(0x110, branch(10), Some(true)), &p);
         let target = 0x110 + 4 + 40;
         for i in 0..3u32 {
-            t.observe(&step(target + 4 * i, add(Reg::T1, Reg::T1, Reg::A1), None), &p);
+            t.observe(
+                &step(target + 4 * i, add(Reg::T1, Reg::T1, Reg::A1), None),
+                &p,
+            );
         }
         let cfg = t.take_partial(target + 12).unwrap();
         cfg.validate().expect("structurally sound");
@@ -460,7 +581,10 @@ mod tests {
         let mut t = no_spec();
         let p = BimodalPredictor::new();
         for i in 0..7u32 {
-            t.observe(&step(0x100 + 4 * i, add(Reg::T0, Reg::T0, Reg::A0), None), &p);
+            t.observe(
+                &step(0x100 + 4 * i, add(Reg::T0, Reg::T0, Reg::A0), None),
+                &p,
+            );
         }
         assert_eq!(t.observed_instructions(), 7);
     }

@@ -46,12 +46,20 @@ fn any_inst() -> impl Strategy<Value = Instruction> {
     ];
     let shift = prop_oneof![Just(ShiftOp::Sll), Just(ShiftOp::Srl), Just(ShiftOp::Sra)];
     prop_oneof![
-        (alu, dst_reg(), any_reg(), any_reg())
-            .prop_map(|(op, rd, rs, rt)| Instruction::Alu { op, rd, rs, rt }),
+        (alu, dst_reg(), any_reg(), any_reg()).prop_map(|(op, rd, rs, rt)| Instruction::Alu {
+            op,
+            rd,
+            rs,
+            rt
+        }),
         (alui, dst_reg(), any_reg(), any::<u16>())
             .prop_map(|(op, rt, rs, imm)| Instruction::AluImm { op, rt, rs, imm }),
-        (shift, dst_reg(), any_reg(), 0u8..32)
-            .prop_map(|(op, rd, rt, shamt)| Instruction::Shift { op, rd, rt, shamt }),
+        (shift, dst_reg(), any_reg(), 0u8..32).prop_map(|(op, rd, rt, shamt)| Instruction::Shift {
+            op,
+            rd,
+            rt,
+            shamt
+        }),
         (dst_reg(), any::<u16>()).prop_map(|(rt, imm)| Instruction::Lui { rt, imm }),
         (
             prop_oneof![Just(MulDivOp::Mult), Just(MulDivOp::Multu)],
@@ -126,8 +134,16 @@ fn sequential(
                 let value = c.read(DataLoc::Lo);
                 c.write(DataLoc::Gpr(rd), value);
             }
-            Load { width, signed, rt, base, offset } => {
-                let addr = c.read(DataLoc::Gpr(base)).wrapping_add(offset as i32 as u32);
+            Load {
+                width,
+                signed,
+                rt,
+                base,
+                offset,
+            } => {
+                let addr = c
+                    .read(DataLoc::Gpr(base))
+                    .wrapping_add(offset as i32 as u32);
                 let v = match (width, signed) {
                     (MemWidth::Byte, true) => m.read_u8(addr) as i8 as i32 as u32,
                     (MemWidth::Byte, false) => m.read_u8(addr) as u32,
@@ -141,8 +157,15 @@ fn sequential(
                 };
                 c.write(DataLoc::Gpr(rt), v);
             }
-            Store { width, rt, base, offset } => {
-                let addr = c.read(DataLoc::Gpr(base)).wrapping_add(offset as i32 as u32);
+            Store {
+                width,
+                rt,
+                base,
+                offset,
+            } => {
+                let addr = c
+                    .read(DataLoc::Gpr(base))
+                    .wrapping_add(offset as i32 as u32);
                 let v = c.read(DataLoc::Gpr(rt));
                 let n = width.bytes() as usize;
                 for (i, byte) in v.to_le_bytes().iter().take(n).enumerate() {

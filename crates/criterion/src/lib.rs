@@ -1,0 +1,154 @@
+//! Offline, dependency-free drop-in for the subset of the `criterion`
+//! benchmarking API this workspace uses.
+//!
+//! The real `criterion` crate cannot be vendored in this build
+//! environment (no registry access). This shim times each benchmark with
+//! `std::time::Instant` over a fixed warm-up plus measurement phase and
+//! prints a one-line summary (median iteration time and derived
+//! throughput). It keeps `cargo bench` runnable and comparable across
+//! builds; it does not attempt criterion's statistical machinery.
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-iteration timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting `sample_size` samples after warm-up.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until ~50ms elapsed (at least once).
+        let warm_start = Instant::now();
+        let mut iters_per_sample: u32 = 0;
+        loop {
+            black_box(routine());
+            iters_per_sample += 1;
+            if warm_start.elapsed() > Duration::from_millis(50) || iters_per_sample >= 1000 {
+                break;
+            }
+        }
+        let iters_per_sample = iters_per_sample.max(1);
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / iters_per_sample);
+        }
+    }
+
+    fn median(&self) -> Duration {
+        let mut s = self.samples.clone();
+        s.sort();
+        s.get(s.len() / 2).copied().unwrap_or_default()
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the work-per-iteration used to derive throughput lines.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Sets the number of measurement samples.
+    pub fn sample_size(&mut self, n: usize) {
+        self.sample_size = n.max(1);
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let median = bencher.median();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if median.as_nanos() > 0 => {
+                format!(
+                    "  ({:.1} Melem/s)",
+                    n as f64 / median.as_nanos() as f64 * 1e3
+                )
+            }
+            Some(Throughput::Bytes(n)) if median.as_nanos() > 0 => {
+                format!(
+                    "  ({:.1} MiB/s)",
+                    n as f64 / median.as_nanos() as f64 * 1e9 / (1 << 20) as f64
+                )
+            }
+            _ => String::new(),
+        };
+        println!("{}/{:<32} median {:>12.3?}{}", self.name, id, median, rate);
+        self
+    }
+
+    /// Ends the group (output is already printed; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares the benchmark functions of one bench target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; ignore them.
+            $($group();)+
+        }
+    };
+}

@@ -187,7 +187,10 @@ mod tests {
 
         // Fewer cycles and less total energy...
         assert!(sys.total_cycles() < base.stats.cycles);
-        assert!(e_accel.total() < e_base.total(), "{e_accel:?} vs {e_base:?}");
+        assert!(
+            e_accel.total() < e_base.total(),
+            "{e_accel:?} vs {e_base:?}"
+        );
         // ...at broadly comparable average power per cycle.
         let p_base = e_base.average_power(base.stats.cycles).total();
         let p_accel = e_accel.average_power(sys.total_cycles()).total();
@@ -207,9 +210,13 @@ mod tests {
         sys.run(1_000_000).unwrap();
         let model = PowerModel::default();
         let plain = energy_breakdown(&sys.machine().stats, sys.stats(), &model);
-        let gated =
-            energy_breakdown_gated(&sys.machine().stats, sys.stats(), &model, 150);
-        assert!(gated.array < plain.array, "{} !< {}", gated.array, plain.array);
+        let gated = energy_breakdown_gated(&sys.machine().stats, sys.stats(), &model, 150);
+        assert!(
+            gated.array < plain.array,
+            "{} !< {}",
+            gated.array,
+            plain.array
+        );
         assert_eq!(gated.core, plain.core);
         assert_eq!(gated.imem, plain.imem);
         assert_eq!(gated.dmem, plain.dmem);

@@ -8,8 +8,13 @@ use dim_mips_sim::RunStats;
 use proptest::prelude::*;
 
 fn any_run_stats() -> impl Strategy<Value = RunStats> {
-    (0u64..1_000_000, 0u64..1_000_000, 0u64..100_000, 0u64..100_000).prop_map(
-        |(cycles, fetches, loads, stores)| {
+    (
+        0u64..1_000_000,
+        0u64..1_000_000,
+        0u64..100_000,
+        0u64..100_000,
+    )
+        .prop_map(|(cycles, fetches, loads, stores)| {
             let mut s = RunStats::new();
             s.cycles = cycles;
             s.fetches = fetches;
@@ -17,8 +22,7 @@ fn any_run_stats() -> impl Strategy<Value = RunStats> {
             s.stores = stores;
             s.instructions = fetches;
             s
-        },
-    )
+        })
 }
 
 fn any_dim_stats() -> impl Strategy<Value = DimStats> {

@@ -182,7 +182,7 @@ mod tests {
         c.access(0x010); // set 1
         c.access(0x020); // set 0, tag 1
         c.access(0x030); // set 1, tag 1
-        // All four lines resident (2 per set).
+                         // All four lines resident (2 per set).
         assert_eq!(c.access(0x000), 0);
         assert_eq!(c.access(0x010), 0);
         assert_eq!(c.access(0x020), 0);

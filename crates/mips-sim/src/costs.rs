@@ -54,12 +54,15 @@ impl PipelineCosts {
         }
         match inst {
             Instruction::MulDiv { op, .. } => {
-                c += if op.is_div() { self.div_extra } else { self.mult_extra };
+                c += if op.is_div() {
+                    self.div_extra
+                } else {
+                    self.mult_extra
+                };
             }
-            Instruction::Branch { .. }
-                if taken == Some(true) => {
-                    c += self.taken_branch_penalty;
-                }
+            Instruction::Branch { .. } if taken == Some(true) => {
+                c += self.taken_branch_penalty;
+            }
             Instruction::J { .. }
             | Instruction::Jal { .. }
             | Instruction::Jr { .. }
@@ -78,7 +81,6 @@ impl PipelineCosts {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,17 +89,35 @@ mod tests {
     #[test]
     fn default_costs_match_r3000_expectations() {
         let c = PipelineCosts::default();
-        let add = Instruction::Alu { op: AluOp::Addu, rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 };
+        let add = Instruction::Alu {
+            op: AluOp::Addu,
+            rd: Reg::T0,
+            rs: Reg::T1,
+            rt: Reg::T2,
+        };
         assert_eq!(c.cycles(&add, None, false), 1);
         assert_eq!(c.cycles(&add, None, true), 2);
 
-        let br = Instruction::Branch { cond: BranchCond::Eq, rs: Reg::T0, rt: Reg::T1, offset: 1 };
+        let br = Instruction::Branch {
+            cond: BranchCond::Eq,
+            rs: Reg::T0,
+            rt: Reg::T1,
+            offset: 1,
+        };
         assert_eq!(c.cycles(&br, Some(false), false), 1);
         assert_eq!(c.cycles(&br, Some(true), false), 2);
 
-        let mult = Instruction::MulDiv { op: dim_mips::MulDivOp::Mult, rs: Reg::T0, rt: Reg::T1 };
+        let mult = Instruction::MulDiv {
+            op: dim_mips::MulDivOp::Mult,
+            rs: Reg::T0,
+            rt: Reg::T1,
+        };
         assert_eq!(c.cycles(&mult, None, false), 4);
-        let div = Instruction::MulDiv { op: dim_mips::MulDivOp::Div, rs: Reg::T0, rt: Reg::T1 };
+        let div = Instruction::MulDiv {
+            op: dim_mips::MulDivOp::Div,
+            rs: Reg::T0,
+            rt: Reg::T1,
+        };
         assert_eq!(c.cycles(&div, None, false), 16);
 
         let jr = Instruction::Jr { rs: Reg::RA };

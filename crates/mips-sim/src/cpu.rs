@@ -211,9 +211,7 @@ impl Cpu {
                 let t = cond.eval(self.reg(rs), self.reg(rt));
                 taken = Some(t);
                 if t {
-                    next_pc = inst
-                        .branch_target(pc)
-                        .expect("Branch always has a target");
+                    next_pc = inst.branch_target(pc).expect("Branch always has a target");
                 }
             }
             J { .. } => next_pc = inst.jump_target(pc).expect("J has target"),
@@ -258,7 +256,12 @@ mod tests {
     fn zero_register_is_hardwired() {
         let (mut c, mut m) = cpu_at(0);
         c.execute(
-            Instruction::AluImm { op: AluImmOp::Addiu, rt: Reg::ZERO, rs: Reg::ZERO, imm: 42 },
+            Instruction::AluImm {
+                op: AluImmOp::Addiu,
+                rt: Reg::ZERO,
+                rs: Reg::ZERO,
+                imm: 42,
+            },
             &mut m,
         )
         .unwrap();
@@ -272,7 +275,12 @@ mod tests {
         c.set_reg(Reg::T1, 5);
         let info = c
             .execute(
-                Instruction::Alu { op: AluOp::Sub, rd: Reg::T2, rs: Reg::T0, rt: Reg::T1 },
+                Instruction::Alu {
+                    op: AluOp::Sub,
+                    rd: Reg::T2,
+                    rs: Reg::T0,
+                    rt: Reg::T1,
+                },
                 &mut m,
             )
             .unwrap();
@@ -283,7 +291,12 @@ mod tests {
 
     #[test]
     fn branch_taken_and_not_taken() {
-        let b = Instruction::Branch { cond: BranchCond::Eq, rs: Reg::T0, rt: Reg::T1, offset: 3 };
+        let b = Instruction::Branch {
+            cond: BranchCond::Eq,
+            rs: Reg::T0,
+            rt: Reg::T1,
+            offset: 3,
+        };
         let (mut c, mut m) = cpu_at(0x1000);
         let info = c.execute(b, &mut m).unwrap();
         assert_eq!(info.taken, Some(true)); // both zero
@@ -299,7 +312,13 @@ mod tests {
     #[test]
     fn jal_links_and_jumps() {
         let (mut c, mut m) = cpu_at(0x0040_0100);
-        c.execute(Instruction::Jal { target: 0x0040_0200 >> 2 }, &mut m).unwrap();
+        c.execute(
+            Instruction::Jal {
+                target: 0x0040_0200 >> 2,
+            },
+            &mut m,
+        )
+        .unwrap();
         assert_eq!(c.reg(Reg::RA), 0x0040_0104);
         assert_eq!(c.pc, 0x0040_0200);
     }
@@ -308,7 +327,14 @@ mod tests {
     fn jalr_same_register_uses_old_value() {
         let (mut c, mut m) = cpu_at(0x100);
         c.set_reg(Reg::T0, 0x2000);
-        c.execute(Instruction::Jalr { rd: Reg::T0, rs: Reg::T0 }, &mut m).unwrap();
+        c.execute(
+            Instruction::Jalr {
+                rd: Reg::T0,
+                rs: Reg::T0,
+            },
+            &mut m,
+        )
+        .unwrap();
         assert_eq!(c.pc, 0x2000);
         assert_eq!(c.reg(Reg::T0), 0x104);
     }
@@ -319,7 +345,12 @@ mod tests {
         c.set_reg(Reg::T0, 0x1000_0000);
         c.set_reg(Reg::T1, 0xfedc_ba98);
         c.execute(
-            Instruction::Store { width: MemWidth::Word, rt: Reg::T1, base: Reg::T0, offset: 0 },
+            Instruction::Store {
+                width: MemWidth::Word,
+                rt: Reg::T1,
+                base: Reg::T0,
+                offset: 0,
+            },
             &mut m,
         )
         .unwrap();
@@ -355,12 +386,17 @@ mod tests {
         c.set_reg(Reg::A0, 6);
         c.set_reg(Reg::A1, 7);
         c.execute(
-            Instruction::MulDiv { op: MulDivOp::Mult, rs: Reg::A0, rt: Reg::A1 },
+            Instruction::MulDiv {
+                op: MulDivOp::Mult,
+                rs: Reg::A0,
+                rt: Reg::A1,
+            },
             &mut m,
         )
         .unwrap();
         assert_eq!((c.hi, c.lo), (0, 42));
-        c.execute(Instruction::Mflo { rd: Reg::V0 }, &mut m).unwrap();
+        c.execute(Instruction::Mflo { rd: Reg::V0 }, &mut m)
+            .unwrap();
         assert_eq!(c.reg(Reg::V0), 42);
     }
 
@@ -373,12 +409,22 @@ mod tests {
             m.write_bytes(0x1000, &[0x10, 0x32, 0x54, 0x76, 0x98, 0xba, 0xdc, 0xfe]);
             c.set_reg(Reg::A0, 0x1000 + off);
             c.execute(
-                Instruction::LoadUnaligned { left: false, rt: Reg::T0, base: Reg::A0, offset: 0 },
+                Instruction::LoadUnaligned {
+                    left: false,
+                    rt: Reg::T0,
+                    base: Reg::A0,
+                    offset: 0,
+                },
                 &mut m,
             )
             .unwrap();
             c.execute(
-                Instruction::LoadUnaligned { left: true, rt: Reg::T0, base: Reg::A0, offset: 3 },
+                Instruction::LoadUnaligned {
+                    left: true,
+                    rt: Reg::T0,
+                    base: Reg::A0,
+                    offset: 3,
+                },
                 &mut m,
             )
             .unwrap();
@@ -401,12 +447,22 @@ mod tests {
             c.set_reg(Reg::A0, 0x1000 + off);
             c.set_reg(Reg::T0, 0x7654_3210);
             c.execute(
-                Instruction::StoreUnaligned { left: false, rt: Reg::T0, base: Reg::A0, offset: 0 },
+                Instruction::StoreUnaligned {
+                    left: false,
+                    rt: Reg::T0,
+                    base: Reg::A0,
+                    offset: 0,
+                },
                 &mut m,
             )
             .unwrap();
             c.execute(
-                Instruction::StoreUnaligned { left: true, rt: Reg::T0, base: Reg::A0, offset: 3 },
+                Instruction::StoreUnaligned {
+                    left: true,
+                    rt: Reg::T0,
+                    base: Reg::A0,
+                    offset: 3,
+                },
                 &mut m,
             )
             .unwrap();
@@ -430,14 +486,24 @@ mod tests {
         c.set_reg(Reg::A0, 0x2000);
         // lwl at addr+3 (n=3) alone loads the whole word.
         c.execute(
-            Instruction::LoadUnaligned { left: true, rt: Reg::T1, base: Reg::A0, offset: 3 },
+            Instruction::LoadUnaligned {
+                left: true,
+                rt: Reg::T1,
+                base: Reg::A0,
+                offset: 3,
+            },
             &mut m,
         )
         .unwrap();
         assert_eq!(c.reg(Reg::T1), 0xdead_beef);
         // lwr at addr (n=0) alone loads the whole word.
         c.execute(
-            Instruction::LoadUnaligned { left: false, rt: Reg::T2, base: Reg::A0, offset: 0 },
+            Instruction::LoadUnaligned {
+                left: false,
+                rt: Reg::T2,
+                base: Reg::A0,
+                offset: 0,
+            },
             &mut m,
         )
         .unwrap();

@@ -64,7 +64,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = SimError::Misaligned { addr: 0x1001, width: 4 };
+        let e = SimError::Misaligned {
+            addr: 0x1001,
+            width: 4,
+        };
         assert!(e.to_string().contains("0x00001001"));
         let e = SimError::PcOutOfRange { pc: 4 };
         assert!(e.to_string().contains("text segment"));

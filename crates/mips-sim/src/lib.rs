@@ -38,8 +38,8 @@ mod error;
 mod machine;
 mod mem;
 mod profile;
-mod superscalar;
 mod stats;
+mod superscalar;
 
 pub use cache::{CacheConfig, CacheSim, CacheStats};
 pub use costs::PipelineCosts;

@@ -3,6 +3,23 @@
 use crate::{CacheSim, Cpu, Effect, Memory, PipelineCosts, RunStats, SimError, StepInfo};
 use dim_mips::asm::Program;
 use dim_mips::{Instruction, Reg};
+use dim_obs::{NullProbe, Probe, ProbeEvent, RetireKind};
+
+/// The observability classification of an instruction.
+fn retire_kind(inst: &Instruction) -> RetireKind {
+    match inst {
+        Instruction::Load { .. } | Instruction::LoadUnaligned { .. } => RetireKind::Load,
+        Instruction::Store { .. } | Instruction::StoreUnaligned { .. } => RetireKind::Store,
+        Instruction::Branch { .. } => RetireKind::Branch,
+        Instruction::J { .. }
+        | Instruction::Jal { .. }
+        | Instruction::Jr { .. }
+        | Instruction::Jalr { .. } => RetireKind::Jump,
+        Instruction::MulDiv { .. } => RetireKind::MulDiv,
+        Instruction::Syscall | Instruction::Break { .. } => RetireKind::System,
+        _ => RetireKind::Alu,
+    }
+}
 
 /// Why a run stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,7 +125,10 @@ impl Machine {
             return Err(SimError::PcOutOfRange { pc });
         }
         let idx = ((pc - self.text_base) / 4) as usize;
-        self.code.get(idx).copied().ok_or(SimError::PcOutOfRange { pc })
+        self.code
+            .get(idx)
+            .copied()
+            .ok_or(SimError::PcOutOfRange { pc })
     }
 
     /// Whether (and why) the machine has halted.
@@ -140,6 +160,18 @@ impl Machine {
     /// (returns [`SimError::PcOutOfRange`] with the halt PC — stepping a
     /// halted machine is a caller bug surfaced loudly in tests).
     pub fn step(&mut self) -> Result<StepInfo, SimError> {
+        self.step_probed(&mut NullProbe)
+    }
+
+    /// Like [`step`](Machine::step), additionally emitting a
+    /// [`ProbeEvent::Retire`] with the instruction's exact cycle
+    /// decomposition (base + i-stall + d-stall) into `probe`. The probe
+    /// is monomorphized in; with [`NullProbe`] this *is* `step`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`step`](Machine::step).
+    pub fn step_probed<P: Probe>(&mut self, probe: &mut P) -> Result<StepInfo, SimError> {
         if self.halted.is_some() {
             return Err(SimError::PcOutOfRange { pc: self.cpu.pc });
         }
@@ -150,12 +182,17 @@ impl Machine {
             .unwrap_or(false);
         let info = self.cpu.execute(inst, &mut self.mem)?;
         self.stats.record(&inst, info.taken, load_use);
-        self.stats.cycles += self.costs.cycles(&inst, info.taken, load_use);
+        let base_cycles = self.costs.cycles(&inst, info.taken, load_use);
+        self.stats.cycles += base_cycles;
+        let mut i_stall = 0;
         if let Some(ic) = &mut self.icache {
-            self.stats.cycles += ic.access(info.pc);
+            i_stall = ic.access(info.pc);
+            self.stats.cycles += i_stall;
         }
+        let mut d_stall = 0;
         if let (Some(dc), Some(addr)) = (&mut self.dcache, info.mem_addr) {
-            self.stats.cycles += dc.access(addr);
+            d_stall = dc.access(addr);
+            self.stats.cycles += d_stall;
         }
         self.last_load_dest = match inst {
             Instruction::Load { rt, .. } => Some(rt),
@@ -165,6 +202,16 @@ impl Machine {
             Effect::None => {}
             Effect::Break(code) => self.halted = Some(HaltReason::Exit(code)),
             Effect::Syscall => self.service_syscall(info.pc)?,
+        }
+        if P::ENABLED {
+            probe.emit(ProbeEvent::Retire {
+                pc: info.pc,
+                kind: retire_kind(&inst),
+                base_cycles: base_cycles as u32,
+                i_stall: i_stall as u32,
+                d_stall: d_stall as u32,
+                ends_block: inst.is_control() || !matches!(info.effect, Effect::None),
+            });
         }
         Ok(info)
     }
@@ -218,6 +265,26 @@ impl Machine {
             }
             let info = self.step()?;
             observer(&info);
+        }
+        Ok(self.halted.unwrap_or(HaltReason::StepLimit))
+    }
+
+    /// Runs like [`run`](Machine::run), emitting a retire event per
+    /// instruction into `probe`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`].
+    pub fn run_probed<P: Probe>(
+        &mut self,
+        max_steps: u64,
+        probe: &mut P,
+    ) -> Result<HaltReason, SimError> {
+        for _ in 0..max_steps {
+            if let Some(reason) = self.halted {
+                return Ok(reason);
+            }
+            self.step_probed(probe)?;
         }
         Ok(self.halted.unwrap_or(HaltReason::StepLimit))
     }
@@ -314,7 +381,10 @@ mod tests {
     fn unknown_syscall_is_error() {
         let p = assemble("main: li $v0, 99\n syscall").unwrap();
         let mut m = Machine::load(&p);
-        assert!(matches!(m.run(100), Err(SimError::UnknownSyscall { service: 99, .. })));
+        assert!(matches!(
+            m.run(100),
+            Err(SimError::UnknownSyscall { service: 99, .. })
+        ));
     }
 
     #[test]

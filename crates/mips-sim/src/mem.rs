@@ -60,7 +60,10 @@ impl Memory {
     /// [`SimError::Misaligned`] if `addr` is not 2-byte aligned.
     pub fn read_u16(&self, addr: u32) -> Result<u16, SimError> {
         self.check_align(addr, 2)?;
-        Ok(u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr + 1)]))
+        Ok(u16::from_le_bytes([
+            self.read_u8(addr),
+            self.read_u8(addr + 1),
+        ]))
     }
 
     /// Writes a halfword.
@@ -86,7 +89,12 @@ impl Memory {
         // Aligned words never straddle a page.
         let off = (addr & OFFSET_MASK) as usize;
         match self.page(addr) {
-            Some(p) => Ok(u32::from_le_bytes([p[off], p[off + 1], p[off + 2], p[off + 3]])),
+            Some(p) => Ok(u32::from_le_bytes([
+                p[off],
+                p[off + 1],
+                p[off + 2],
+                p[off + 3],
+            ])),
             None => Ok(0),
         }
     }
@@ -170,9 +178,18 @@ mod tests {
     #[test]
     fn misaligned_rejected() {
         let mut mem = Memory::new();
-        assert!(matches!(mem.read_u32(0x101), Err(SimError::Misaligned { .. })));
-        assert!(matches!(mem.read_u16(0x101), Err(SimError::Misaligned { .. })));
-        assert!(matches!(mem.write_u32(0x102, 0), Err(SimError::Misaligned { .. })));
+        assert!(matches!(
+            mem.read_u32(0x101),
+            Err(SimError::Misaligned { .. })
+        ));
+        assert!(matches!(
+            mem.read_u16(0x101),
+            Err(SimError::Misaligned { .. })
+        ));
+        assert!(matches!(
+            mem.write_u32(0x102, 0),
+            Err(SimError::Misaligned { .. })
+        ));
         assert!(mem.write_u16(0x102, 0).is_ok());
     }
 

@@ -71,6 +71,33 @@ impl RunStats {
         }
     }
 
+    /// Accumulates another run's counters into this one.
+    ///
+    /// Addition saturates so aggregating many runs into one report can
+    /// never wrap and silently corrupt a total; in debug builds an
+    /// actual overflow is treated as a logic error and asserts.
+    pub fn merge(&mut self, other: &RunStats) {
+        fn acc(total: &mut u64, add: u64) {
+            debug_assert!(
+                total.checked_add(add).is_some(),
+                "RunStats counter overflow: {total} + {add}"
+            );
+            *total = total.saturating_add(add);
+        }
+        acc(&mut self.instructions, other.instructions);
+        acc(&mut self.cycles, other.cycles);
+        acc(&mut self.fetches, other.fetches);
+        acc(&mut self.loads, other.loads);
+        acc(&mut self.stores, other.stores);
+        acc(&mut self.branches, other.branches);
+        acc(&mut self.taken_branches, other.taken_branches);
+        acc(&mut self.jumps, other.jumps);
+        acc(&mut self.mults, other.mults);
+        acc(&mut self.divs, other.divs);
+        acc(&mut self.syscalls, other.syscalls);
+        acc(&mut self.load_use_stalls, other.load_use_stalls);
+    }
+
     /// Data-memory accesses (loads + stores).
     pub fn mem_accesses(&self) -> u64 {
         self.loads + self.stores
@@ -111,7 +138,12 @@ mod tests {
         let mut s = RunStats::new();
         s.record(&Instruction::NOP, None, false);
         s.record(
-            &Instruction::Branch { cond: BranchCond::Eq, rs: Reg::T0, rt: Reg::T1, offset: 0 },
+            &Instruction::Branch {
+                cond: BranchCond::Eq,
+                rs: Reg::T0,
+                rt: Reg::T1,
+                offset: 0,
+            },
             Some(true),
             false,
         );
@@ -134,5 +166,40 @@ mod tests {
         assert_eq!(s.load_use_stalls, 1);
         assert_eq!(s.mem_accesses(), 1);
         assert!((s.instructions_per_branch() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_and_saturates() {
+        let mut a = RunStats {
+            instructions: 3,
+            cycles: 5,
+            ..RunStats::new()
+        };
+        let b = RunStats {
+            instructions: 4,
+            cycles: 7,
+            loads: 2,
+            ..RunStats::new()
+        };
+        a.merge(&b);
+        assert_eq!(a.instructions, 7);
+        assert_eq!(a.cycles, 12);
+        assert_eq!(a.loads, 2);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "overflow"))]
+    fn merge_overflow_is_loud_in_debug() {
+        let mut a = RunStats {
+            cycles: u64::MAX,
+            ..RunStats::new()
+        };
+        let b = RunStats {
+            cycles: 1,
+            ..RunStats::new()
+        };
+        a.merge(&b);
+        // Release builds saturate instead of wrapping.
+        assert_eq!(a.cycles, u64::MAX);
     }
 }

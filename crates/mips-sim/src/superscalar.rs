@@ -194,7 +194,10 @@ mod tests {
             SuperscalarConfig::default(),
         );
         assert_eq!(ss, 4); // 4 load cycles, break pairs with the last
-        let wide = SuperscalarConfig { mem_ports: 2, ..SuperscalarConfig::default() };
+        let wide = SuperscalarConfig {
+            mem_ports: 2,
+            ..SuperscalarConfig::default()
+        };
         let (_, ss2) = retime(
             "main: lw $t0, 0($gp)
                    lw $t1, 4($gp)

@@ -16,21 +16,30 @@ fn expect_len(m: &str, ops: &[Operand], n: usize, line: usize) -> Result<(), Asm
     if ops.len() == n {
         Ok(())
     } else {
-        Err(err(line, format!("`{m}` expects {n} operand(s), got {}", ops.len())))
+        Err(err(
+            line,
+            format!("`{m}` expects {n} operand(s), got {}", ops.len()),
+        ))
     }
 }
 
 fn reg(m: &str, ops: &[Operand], i: usize, line: usize) -> Result<Reg, AsmError> {
     match ops.get(i) {
         Some(Operand::Reg(r)) => Ok(*r),
-        _ => Err(err(line, format!("`{m}` operand {} must be a register", i + 1))),
+        _ => Err(err(
+            line,
+            format!("`{m}` operand {} must be a register", i + 1),
+        )),
     }
 }
 
 fn imm(m: &str, ops: &[Operand], i: usize, line: usize) -> Result<i64, AsmError> {
     match ops.get(i) {
         Some(Operand::Imm(v)) => Ok(*v),
-        _ => Err(err(line, format!("`{m}` operand {} must be an immediate", i + 1))),
+        _ => Err(err(
+            line,
+            format!("`{m}` operand {} must be an immediate", i + 1),
+        )),
     }
 }
 
@@ -38,7 +47,10 @@ fn check_i16(v: i64, line: usize) -> Result<u16, AsmError> {
     if (-32768..=32767).contains(&v) {
         Ok(v as i16 as u16)
     } else {
-        Err(err(line, format!("immediate {v} does not fit in 16 signed bits")))
+        Err(err(
+            line,
+            format!("immediate {v} does not fit in 16 signed bits"),
+        ))
     }
 }
 
@@ -46,7 +58,10 @@ fn check_u16(v: i64, line: usize) -> Result<u16, AsmError> {
     if (0..=0xffff).contains(&v) {
         Ok(v as u16)
     } else {
-        Err(err(line, format!("immediate {v} does not fit in 16 unsigned bits")))
+        Err(err(
+            line,
+            format!("immediate {v} does not fit in 16 unsigned bits"),
+        ))
     }
 }
 
@@ -66,11 +81,17 @@ fn branch_offset(
             let target = resolve(name, *addend)?;
             let delta = target.wrapping_sub(branch_addr.wrapping_add(4)) as i32;
             if delta % 4 != 0 {
-                return Err(err(line, format!("branch target {target:#x} not word aligned")));
+                return Err(err(
+                    line,
+                    format!("branch target {target:#x} not word aligned"),
+                ));
             }
             let words = delta >> 2;
             if !(-32768..=32767).contains(&words) {
-                return Err(err(line, format!("branch to `{name}` out of range ({words} words)")));
+                return Err(err(
+                    line,
+                    format!("branch to `{name}` out of range ({words} words)"),
+                ));
             }
             Ok(words as i16)
         }
@@ -94,7 +115,10 @@ fn jump_target(
         return Err(err(line, format!("jump target {abs:#x} not word aligned")));
     }
     if (abs & 0xf000_0000) != (addr.wrapping_add(4) & 0xf000_0000) {
-        return Err(err(line, format!("jump target {abs:#x} outside the current 256MB region")));
+        return Err(err(
+            line,
+            format!("jump target {abs:#x} outside the current 256MB region"),
+        ));
     }
     Ok((abs >> 2) & 0x03ff_ffff)
 }
@@ -129,7 +153,10 @@ fn mem_operand(
             let (hi, lo) = hi_lo(addr);
             Ok(MemForm::ViaAt { hi, lo })
         }
-        _ => Err(err(line, format!("`{m}` operand {} must be a memory operand", i + 1))),
+        _ => Err(err(
+            line,
+            format!("`{m}` operand {} must be a memory operand", i + 1),
+        )),
     }
 }
 
@@ -165,7 +192,11 @@ pub(crate) fn encode_op(
     let alu_imm = |op: AluImmOp, ops: &[Operand], unsigned: bool| -> Result<Vec<I>, AsmError> {
         expect_len(m, ops, 3, line)?;
         let v = imm(m, ops, 2, line)?;
-        let raw = if unsigned { check_u16(v, line)? } else { check_i16(v, line)? };
+        let raw = if unsigned {
+            check_u16(v, line)?
+        } else {
+            check_i16(v, line)?
+        };
         Ok(vec![I::AluImm {
             op,
             rt: reg(m, ops, 0, line)?,
@@ -204,10 +235,25 @@ pub(crate) fn encode_op(
         expect_len(m, ops, 2, line)?;
         let rt = reg(m, ops, 0, line)?;
         Ok(match mem_operand(m, ops, 1, line, resolve)? {
-            MemForm::Direct { base, offset } => vec![I::Load { width, signed, rt, base, offset }],
+            MemForm::Direct { base, offset } => vec![I::Load {
+                width,
+                signed,
+                rt,
+                base,
+                offset,
+            }],
             MemForm::ViaAt { hi, lo } => vec![
-                I::Lui { rt: Reg::AT, imm: hi },
-                I::Load { width, signed, rt, base: Reg::AT, offset: lo as i16 },
+                I::Lui {
+                    rt: Reg::AT,
+                    imm: hi,
+                },
+                I::Load {
+                    width,
+                    signed,
+                    rt,
+                    base: Reg::AT,
+                    offset: lo as i16,
+                },
             ],
         })
     };
@@ -218,10 +264,23 @@ pub(crate) fn encode_op(
         expect_len(m, ops, 2, line)?;
         let rt = reg(m, ops, 0, line)?;
         Ok(match mem_operand(m, ops, 1, line, resolve)? {
-            MemForm::Direct { base, offset } => vec![I::Store { width, rt, base, offset }],
+            MemForm::Direct { base, offset } => vec![I::Store {
+                width,
+                rt,
+                base,
+                offset,
+            }],
             MemForm::ViaAt { hi, lo } => vec![
-                I::Lui { rt: Reg::AT, imm: hi },
-                I::Store { width, rt, base: Reg::AT, offset: lo as i16 },
+                I::Lui {
+                    rt: Reg::AT,
+                    imm: hi,
+                },
+                I::Store {
+                    width,
+                    rt,
+                    base: Reg::AT,
+                    offset: lo as i16,
+                },
             ],
         })
     };
@@ -283,7 +342,11 @@ pub(crate) fn encode_op(
                 rt: y,
             },
             I::Branch {
-                cond: if taken_if_set { BranchCond::Ne } else { BranchCond::Eq },
+                cond: if taken_if_set {
+                    BranchCond::Ne
+                } else {
+                    BranchCond::Eq
+                },
                 rs: Reg::AT,
                 rt: Reg::ZERO,
                 offset,
@@ -319,7 +382,10 @@ pub(crate) fn encode_op(
         "lui" => {
             expect_len(m, ops, 2, line)?;
             let v = imm(m, ops, 1, line)?;
-            Ok(vec![I::Lui { rt: reg(m, ops, 0, line)?, imm: check_u16(v, line)? }])
+            Ok(vec![I::Lui {
+                rt: reg(m, ops, 0, line)?,
+                imm: check_u16(v, line)?,
+            }])
         }
         // --- multiply / divide ---
         "mult" | "multu" | "divu" if ops.len() == 2 => {
@@ -328,7 +394,11 @@ pub(crate) fn encode_op(
                 "multu" => MulDivOp::Multu,
                 _ => MulDivOp::Divu,
             };
-            Ok(vec![I::MulDiv { op, rs: reg(m, ops, 0, line)?, rt: reg(m, ops, 1, line)? }])
+            Ok(vec![I::MulDiv {
+                op,
+                rs: reg(m, ops, 0, line)?,
+                rt: reg(m, ops, 1, line)?,
+            }])
         }
         "div" if ops.len() == 2 => Ok(vec![I::MulDiv {
             op: MulDivOp::Div,
@@ -348,24 +418,36 @@ pub(crate) fn encode_op(
                 "rem" => (MulDivOp::Div, false),
                 _ => (MulDivOp::Divu, false),
             };
-            let mv = if take_lo { I::Mflo { rd } } else { I::Mfhi { rd } };
+            let mv = if take_lo {
+                I::Mflo { rd }
+            } else {
+                I::Mfhi { rd }
+            };
             Ok(vec![I::MulDiv { op, rs, rt }, mv])
         }
         "mfhi" => {
             expect_len(m, ops, 1, line)?;
-            Ok(vec![I::Mfhi { rd: reg(m, ops, 0, line)? }])
+            Ok(vec![I::Mfhi {
+                rd: reg(m, ops, 0, line)?,
+            }])
         }
         "mflo" => {
             expect_len(m, ops, 1, line)?;
-            Ok(vec![I::Mflo { rd: reg(m, ops, 0, line)? }])
+            Ok(vec![I::Mflo {
+                rd: reg(m, ops, 0, line)?,
+            }])
         }
         "mthi" => {
             expect_len(m, ops, 1, line)?;
-            Ok(vec![I::Mthi { rs: reg(m, ops, 0, line)? }])
+            Ok(vec![I::Mthi {
+                rs: reg(m, ops, 0, line)?,
+            }])
         }
         "mtlo" => {
             expect_len(m, ops, 1, line)?;
-            Ok(vec![I::Mtlo { rs: reg(m, ops, 0, line)? }])
+            Ok(vec![I::Mtlo {
+                rs: reg(m, ops, 0, line)?,
+            }])
         }
         // --- memory ---
         "lb" => load(MemWidth::Byte, true, ops, resolve),
@@ -382,9 +464,19 @@ pub(crate) fn encode_op(
             };
             let left = m.ends_with('l');
             Ok(vec![if m.starts_with('l') {
-                I::LoadUnaligned { left, rt, base, offset }
+                I::LoadUnaligned {
+                    left,
+                    rt,
+                    base,
+                    offset,
+                }
             } else {
-                I::StoreUnaligned { left, rt, base, offset }
+                I::StoreUnaligned {
+                    left,
+                    rt,
+                    base,
+                    offset,
+                }
             }])
         }
         "sh" => store(MemWidth::Half, ops, resolve),
@@ -432,16 +524,31 @@ pub(crate) fn encode_op(
         "bgtu" => cmp_branch(true, true, true, ops, resolve),
         "bleu" => cmp_branch(true, true, false, ops, resolve),
         // --- jumps ---
-        "j" => Ok(vec![I::J { target: jump_target(m, ops, addr, line, resolve)? }]),
-        "jal" => Ok(vec![I::Jal { target: jump_target(m, ops, addr, line, resolve)? }]),
+        "j" => Ok(vec![I::J {
+            target: jump_target(m, ops, addr, line, resolve)?,
+        }]),
+        "jal" => Ok(vec![I::Jal {
+            target: jump_target(m, ops, addr, line, resolve)?,
+        }]),
         "jr" => {
             expect_len(m, ops, 1, line)?;
-            Ok(vec![I::Jr { rs: reg(m, ops, 0, line)? }])
+            Ok(vec![I::Jr {
+                rs: reg(m, ops, 0, line)?,
+            }])
         }
         "jalr" => match ops.len() {
-            1 => Ok(vec![I::Jalr { rd: Reg::RA, rs: reg(m, ops, 0, line)? }]),
-            2 => Ok(vec![I::Jalr { rd: reg(m, ops, 0, line)?, rs: reg(m, ops, 1, line)? }]),
-            n => Err(err(line, format!("`jalr` expects 1 or 2 operands, got {n}"))),
+            1 => Ok(vec![I::Jalr {
+                rd: Reg::RA,
+                rs: reg(m, ops, 0, line)?,
+            }]),
+            2 => Ok(vec![I::Jalr {
+                rd: reg(m, ops, 0, line)?,
+                rs: reg(m, ops, 1, line)?,
+            }]),
+            n => Err(err(
+                line,
+                format!("`jalr` expects 1 or 2 operands, got {n}"),
+            )),
         },
         // --- system ---
         "syscall" => Ok(vec![I::Syscall]),
@@ -491,14 +598,29 @@ pub(crate) fn encode_op(
             }
             let v32 = v as u32;
             if (-32768..=32767).contains(&v) {
-                Ok(vec![I::AluImm { op: AluImmOp::Addiu, rt, rs: Reg::ZERO, imm: v as i16 as u16 }])
+                Ok(vec![I::AluImm {
+                    op: AluImmOp::Addiu,
+                    rt,
+                    rs: Reg::ZERO,
+                    imm: v as i16 as u16,
+                }])
             } else if (0..=0xffff).contains(&v) {
-                Ok(vec![I::AluImm { op: AluImmOp::Ori, rt, rs: Reg::ZERO, imm: v as u16 }])
+                Ok(vec![I::AluImm {
+                    op: AluImmOp::Ori,
+                    rt,
+                    rs: Reg::ZERO,
+                    imm: v as u16,
+                }])
             } else {
                 let (hi, lo) = hi_lo(v32);
                 let mut out = vec![I::Lui { rt, imm: hi }];
                 if lo != 0 {
-                    out.push(I::AluImm { op: AluImmOp::Ori, rt, rs: rt, imm: lo });
+                    out.push(I::AluImm {
+                        op: AluImmOp::Ori,
+                        rt,
+                        rs: rt,
+                        imm: lo,
+                    });
                 }
                 Ok(out)
             }
@@ -513,7 +635,12 @@ pub(crate) fn encode_op(
             let (hi, lo) = hi_lo(target);
             Ok(vec![
                 I::Lui { rt, imm: hi },
-                I::AluImm { op: AluImmOp::Ori, rt, rs: rt, imm: lo },
+                I::AluImm {
+                    op: AluImmOp::Ori,
+                    rt,
+                    rs: rt,
+                    imm: lo,
+                },
             ])
         }
         other => Err(err(line, format!("unknown mnemonic `{other}`"))),
@@ -522,12 +649,15 @@ pub(crate) fn encode_op(
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::asm::assemble;
 
     #[test]
     fn li_selects_minimal_encoding() {
-        let p = assemble("main: li $t0, 5\n li $t1, -3\n li $t2, 0xffff\n li $t3, 0x12345678\n li $t4, 0x10000").unwrap();
+        let p = assemble(
+            "main: li $t0, 5\n li $t1, -3\n li $t2, 0xffff\n li $t3, 0x12345678\n li $t4, 0x10000",
+        )
+        .unwrap();
         // 1 + 1 + 1 + 2 + 1(lui only) = 6 words
         assert_eq!(p.text.len(), 6);
         let d = p.decoded();
@@ -607,10 +737,9 @@ mod tests {
 
     #[test]
     fn unaligned_access_mnemonics() {
-        let p = assemble(
-            "main: lwr $t0, 0($a0)\n lwl $t0, 3($a0)\n swr $t0, 4($a1)\n swl $t0, 7($a1)",
-        )
-        .unwrap();
+        let p =
+            assemble("main: lwr $t0, 0($a0)\n lwl $t0, 3($a0)\n swr $t0, 4($a1)\n swl $t0, 7($a1)")
+                .unwrap();
         let d = p.decoded();
         assert_eq!(d[0].to_string(), "lwr $t0, 0($a0)");
         assert_eq!(d[1].to_string(), "lwl $t0, 3($a0)");

@@ -158,13 +158,25 @@ fn parse_operand(tok: &str, line: usize) -> Result<Operand, AsmError> {
             .map_err(|e| AsmError::new(line, format!("{e}")))?;
         let off = t[..open].trim();
         if off.is_empty() {
-            return Ok(Operand::Mem { sym: None, offset: 0, base });
+            return Ok(Operand::Mem {
+                sym: None,
+                offset: 0,
+                base,
+            });
         }
         if off.starts_with(is_ident_start) && !off.starts_with("0x") && !off.starts_with("0b") {
             let (name, addend) = parse_sym_expr(off, line)?;
-            return Ok(Operand::Mem { sym: Some(name), offset: addend, base });
+            return Ok(Operand::Mem {
+                sym: Some(name),
+                offset: addend,
+                base,
+            });
         }
-        return Ok(Operand::Mem { sym: None, offset: parse_number(off, line)?, base });
+        return Ok(Operand::Mem {
+            sym: None,
+            offset: parse_number(off, line)?,
+            base,
+        });
     }
     if t.starts_with('$') {
         return t
@@ -320,18 +332,35 @@ mod tests {
         assert!(matches!(&stmts[1], Stmt::Label { name, .. } if name == "buf"));
         assert!(matches!(&stmts[2], Stmt::Directive { name, args, .. }
             if name == "space" && args == &[DirArg::Num(16)]));
-        let Stmt::Op { mnemonic, operands, .. } = &stmts[5] else {
+        let Stmt::Op {
+            mnemonic, operands, ..
+        } = &stmts[5]
+        else {
             panic!()
         };
         assert_eq!(mnemonic, "addiu");
         assert_eq!(operands[2], Operand::Imm(-8));
-        let Stmt::Op { operands, .. } = &stmts[6] else { panic!() };
+        let Stmt::Op { operands, .. } = &stmts[6] else {
+            panic!()
+        };
         assert_eq!(
             operands[1],
-            Operand::Mem { sym: None, offset: 4, base: Reg::SP }
+            Operand::Mem {
+                sym: None,
+                offset: 4,
+                base: Reg::SP
+            }
         );
-        let Stmt::Op { operands, .. } = &stmts[7] else { panic!() };
-        assert_eq!(operands[2], Operand::Sym { name: "main".into(), addend: 0 });
+        let Stmt::Op { operands, .. } = &stmts[7] else {
+            panic!()
+        };
+        assert_eq!(
+            operands[2],
+            Operand::Sym {
+                name: "main".into(),
+                addend: 0
+            }
+        );
     }
 
     #[test]
@@ -349,7 +378,9 @@ mod tests {
     fn string_escapes_and_commas() {
         let src = r#" .asciiz "a,b\n" "#;
         let stmts = parse_source(src).unwrap();
-        let Stmt::Directive { args, .. } = &stmts[0] else { panic!() };
+        let Stmt::Directive { args, .. } = &stmts[0] else {
+            panic!()
+        };
         assert_eq!(args, &[DirArg::Str("a,b\n".into())]);
     }
 
@@ -357,7 +388,9 @@ mod tests {
     fn comment_hash_inside_string_kept() {
         let src = r##" .asciiz "a#b"  # real comment "##;
         let stmts = parse_source(src).unwrap();
-        let Stmt::Directive { args, .. } = &stmts[0] else { panic!() };
+        let Stmt::Directive { args, .. } = &stmts[0] else {
+            panic!()
+        };
         assert_eq!(args, &[DirArg::Str("a#b".into())]);
     }
 
@@ -365,13 +398,27 @@ mod tests {
     fn symbol_plus_offset() {
         let src = "lw $t0, table+8($t1)\n la $t2, arr+4";
         let stmts = parse_source(src).unwrap();
-        let Stmt::Op { operands, .. } = &stmts[0] else { panic!() };
+        let Stmt::Op { operands, .. } = &stmts[0] else {
+            panic!()
+        };
         assert_eq!(
             operands[1],
-            Operand::Mem { sym: Some("table".into()), offset: 8, base: Reg::T1 }
+            Operand::Mem {
+                sym: Some("table".into()),
+                offset: 8,
+                base: Reg::T1
+            }
         );
-        let Stmt::Op { operands, .. } = &stmts[1] else { panic!() };
-        assert_eq!(operands[1], Operand::Sym { name: "arr".into(), addend: 4 });
+        let Stmt::Op { operands, .. } = &stmts[1] else {
+            panic!()
+        };
+        assert_eq!(
+            operands[1],
+            Operand::Sym {
+                name: "arr".into(),
+                addend: 4
+            }
+        );
     }
 
     #[test]

@@ -136,7 +136,10 @@ fn substitute_constants(stmts: &mut [Stmt]) -> Result<(), AsmError> {
                     return Err(AsmError::new(*line, ".equ expects `name, numeric-value`"));
                 };
                 if consts.insert(cname.clone(), *v).is_some() {
-                    return Err(AsmError::new(*line, format!("constant `{cname}` redefined")));
+                    return Err(AsmError::new(
+                        *line,
+                        format!("constant `{cname}` redefined"),
+                    ));
                 }
             }
         }
@@ -154,7 +157,11 @@ fn substitute_constants(stmts: &mut [Stmt]) -> Result<(), AsmError> {
                                 *op = item::Operand::Imm(v + *addend);
                             }
                         }
-                        item::Operand::Mem { sym: Some(name), offset, base } => {
+                        item::Operand::Mem {
+                            sym: Some(name),
+                            offset,
+                            base,
+                        } => {
                             if let Some(&v) = consts.get(name.as_str()) {
                                 *op = item::Operand::Mem {
                                     sym: None,
@@ -238,9 +245,10 @@ pub fn assemble_with(src: &str, opts: AsmOptions) -> Result<Program, AsmError> {
                     }
                     // Length is resolver-independent; resolve every symbol to
                     // the instruction's own address so offsets stay encodable.
-                    let insts = expand::encode_op(mnemonic, operands, text_pc, *line, &mut |_, _| {
-                        Ok(text_pc)
-                    })?;
+                    let insts =
+                        expand::encode_op(mnemonic, operands, text_pc, *line, &mut |_, _| {
+                            Ok(text_pc)
+                        })?;
                     text_pc += 4 * insts.len() as u32;
                 }
                 Stmt::Directive { name, args, line } => {
@@ -347,7 +355,9 @@ fn apply_directive(
             DirArg::Str(_) => Err(AsmError::new(line, "unexpected string argument")),
         }
     };
-    let emit = |bytes: &[u8], data_pc: &mut u32, sink: &mut Option<(&mut Vec<u8>, &HashMap<String, u32>)>| {
+    let emit = |bytes: &[u8],
+                data_pc: &mut u32,
+                sink: &mut Option<(&mut Vec<u8>, &HashMap<String, u32>)>| {
         if let Some((data, _)) = sink {
             data.extend_from_slice(bytes);
         }
@@ -376,7 +386,10 @@ fn apply_directive(
         "globl" | "global" | "ent" | "end" | "set" | "equ" => {}
         "word" | "half" | "byte" => {
             if *seg != Segment::Data {
-                return Err(AsmError::new(line, format!(".{name} outside .data segment")));
+                return Err(AsmError::new(
+                    line,
+                    format!(".{name} outside .data segment"),
+                ));
             }
             let width = match name {
                 "word" => 4,
@@ -400,11 +413,17 @@ fn apply_directive(
         }
         "ascii" | "asciiz" => {
             if *seg != Segment::Data {
-                return Err(AsmError::new(line, format!(".{name} outside .data segment")));
+                return Err(AsmError::new(
+                    line,
+                    format!(".{name} outside .data segment"),
+                ));
             }
             for a in args {
                 let DirArg::Str(s) = a else {
-                    return Err(AsmError::new(line, format!(".{name} expects string literals")));
+                    return Err(AsmError::new(
+                        line,
+                        format!(".{name} expects string literals"),
+                    ));
                 };
                 emit(s.as_bytes(), data_pc, &mut sink);
                 if name == "asciiz" {
@@ -414,7 +433,10 @@ fn apply_directive(
         }
         "space" | "skip" => {
             if *seg != Segment::Data {
-                return Err(AsmError::new(line, format!(".{name} outside .data segment")));
+                return Err(AsmError::new(
+                    line,
+                    format!(".{name} outside .data segment"),
+                ));
             }
             let n = numeric(
                 args.first()
@@ -438,7 +460,10 @@ fn apply_directive(
                 &sink,
             )?;
             if !(0..=12).contains(&n) {
-                return Err(AsmError::new(line, format!(".align exponent {n} out of range")));
+                return Err(AsmError::new(
+                    line,
+                    format!(".align exponent {n} out of range"),
+                ));
             }
             let align = 1u32 << n;
             while !(*data_pc).is_multiple_of(align) {
@@ -465,7 +490,12 @@ mod tests {
         assert_eq!(p.text.len(), 2);
         assert_eq!(
             p.decoded()[0],
-            I::AluImm { op: AluImmOp::Addiu, rt: Reg::T0, rs: Reg::ZERO, imm: 5 }
+            I::AluImm {
+                op: AluImmOp::Addiu,
+                rt: Reg::T0,
+                rs: Reg::ZERO,
+                imm: 5
+            }
         );
     }
 
@@ -552,13 +582,22 @@ mod tests {
 
     #[test]
     fn equ_errors() {
-        assert!(assemble(".equ A, 1
+        assert!(assemble(
+            ".equ A, 1
 .equ A, 2
-main: nop").is_err());
-        assert!(assemble(".equ A, 1
-A: nop").is_err());
-        assert!(assemble(".equ A
-main: nop").is_err());
+main: nop"
+        )
+        .is_err());
+        assert!(assemble(
+            ".equ A, 1
+A: nop"
+        )
+        .is_err());
+        assert!(assemble(
+            ".equ A
+main: nop"
+        )
+        .is_err());
     }
 
     #[test]

@@ -390,12 +390,18 @@ pub fn encode(inst: &Instruction) -> u32 {
             };
             i_type(opc, base, rt, offset as u16)
         }
-        LoadUnaligned { left, rt, base, offset } => {
-            i_type(if left { 0x22 } else { 0x26 }, base, rt, offset as u16)
-        }
-        StoreUnaligned { left, rt, base, offset } => {
-            i_type(if left { 0x2a } else { 0x2e }, base, rt, offset as u16)
-        }
+        LoadUnaligned {
+            left,
+            rt,
+            base,
+            offset,
+        } => i_type(if left { 0x22 } else { 0x26 }, base, rt, offset as u16),
+        StoreUnaligned {
+            left,
+            rt,
+            base,
+            offset,
+        } => i_type(if left { 0x2a } else { 0x2e }, base, rt, offset as u16),
         Branch {
             cond,
             rs,
@@ -408,7 +414,10 @@ pub fn encode(inst: &Instruction) -> u32 {
             BranchCond::Gtz => i_type(0x07, rs, Reg::ZERO, offset as u16),
             BranchCond::Ltz => i_type(OP_REGIMM, rs, Reg::ZERO, offset as u16),
             BranchCond::Gez => {
-                (OP_REGIMM << 26) | ((rs.index() as u32) << 21) | (0x01 << 16) | (offset as u16) as u32
+                (OP_REGIMM << 26)
+                    | ((rs.index() as u32) << 21)
+                    | (0x01 << 16)
+                    | (offset as u16) as u32
             }
         },
         J { target } => (0x02 << 26) | (target & 0x03ff_ffff),
@@ -432,32 +441,129 @@ mod tests {
     fn roundtrip_representative_sample() {
         use Instruction::*;
         let cases = [
-            Alu { op: AluOp::Addu, rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 },
-            Alu { op: AluOp::Sltu, rd: Reg::V0, rs: Reg::A0, rt: Reg::A1 },
-            AluImm { op: AluImmOp::Addiu, rt: Reg::SP, rs: Reg::SP, imm: 0xfff8 },
-            AluImm { op: AluImmOp::Xori, rt: Reg::T3, rs: Reg::T4, imm: 0x1234 },
-            Shift { op: ShiftOp::Sra, rd: Reg::T5, rt: Reg::T6, shamt: 31 },
-            ShiftVar { op: ShiftOp::Sll, rd: Reg::T7, rt: Reg::T8, rs: Reg::T9 },
-            Lui { rt: Reg::GP, imm: 0x1001 },
-            MulDiv { op: MulDivOp::Divu, rs: Reg::S0, rt: Reg::S1 },
+            Alu {
+                op: AluOp::Addu,
+                rd: Reg::T0,
+                rs: Reg::T1,
+                rt: Reg::T2,
+            },
+            Alu {
+                op: AluOp::Sltu,
+                rd: Reg::V0,
+                rs: Reg::A0,
+                rt: Reg::A1,
+            },
+            AluImm {
+                op: AluImmOp::Addiu,
+                rt: Reg::SP,
+                rs: Reg::SP,
+                imm: 0xfff8,
+            },
+            AluImm {
+                op: AluImmOp::Xori,
+                rt: Reg::T3,
+                rs: Reg::T4,
+                imm: 0x1234,
+            },
+            Shift {
+                op: ShiftOp::Sra,
+                rd: Reg::T5,
+                rt: Reg::T6,
+                shamt: 31,
+            },
+            ShiftVar {
+                op: ShiftOp::Sll,
+                rd: Reg::T7,
+                rt: Reg::T8,
+                rs: Reg::T9,
+            },
+            Lui {
+                rt: Reg::GP,
+                imm: 0x1001,
+            },
+            MulDiv {
+                op: MulDivOp::Divu,
+                rs: Reg::S0,
+                rt: Reg::S1,
+            },
             Mfhi { rd: Reg::S2 },
             Mflo { rd: Reg::S3 },
             Mthi { rs: Reg::S4 },
             Mtlo { rs: Reg::S5 },
-            Load { width: MemWidth::Byte, signed: true, rt: Reg::T0, base: Reg::SP, offset: -4 },
-            Load { width: MemWidth::Half, signed: false, rt: Reg::T1, base: Reg::GP, offset: 100 },
-            Load { width: MemWidth::Word, signed: false, rt: Reg::T2, base: Reg::FP, offset: 0 },
-            Store { width: MemWidth::Word, rt: Reg::RA, base: Reg::SP, offset: 28 },
-            Store { width: MemWidth::Byte, rt: Reg::V1, base: Reg::A3, offset: -1 },
-            Branch { cond: BranchCond::Eq, rs: Reg::T0, rt: Reg::T1, offset: -5 },
-            Branch { cond: BranchCond::Ltz, rs: Reg::A2, rt: Reg::ZERO, offset: 12 },
-            Branch { cond: BranchCond::Gez, rs: Reg::A2, rt: Reg::ZERO, offset: -12 },
-            Branch { cond: BranchCond::Lez, rs: Reg::K0, rt: Reg::ZERO, offset: 3 },
-            Branch { cond: BranchCond::Gtz, rs: Reg::K1, rt: Reg::ZERO, offset: 3 },
-            J { target: 0x0010_0000 },
-            Jal { target: 0x03ff_ffff },
+            Load {
+                width: MemWidth::Byte,
+                signed: true,
+                rt: Reg::T0,
+                base: Reg::SP,
+                offset: -4,
+            },
+            Load {
+                width: MemWidth::Half,
+                signed: false,
+                rt: Reg::T1,
+                base: Reg::GP,
+                offset: 100,
+            },
+            Load {
+                width: MemWidth::Word,
+                signed: false,
+                rt: Reg::T2,
+                base: Reg::FP,
+                offset: 0,
+            },
+            Store {
+                width: MemWidth::Word,
+                rt: Reg::RA,
+                base: Reg::SP,
+                offset: 28,
+            },
+            Store {
+                width: MemWidth::Byte,
+                rt: Reg::V1,
+                base: Reg::A3,
+                offset: -1,
+            },
+            Branch {
+                cond: BranchCond::Eq,
+                rs: Reg::T0,
+                rt: Reg::T1,
+                offset: -5,
+            },
+            Branch {
+                cond: BranchCond::Ltz,
+                rs: Reg::A2,
+                rt: Reg::ZERO,
+                offset: 12,
+            },
+            Branch {
+                cond: BranchCond::Gez,
+                rs: Reg::A2,
+                rt: Reg::ZERO,
+                offset: -12,
+            },
+            Branch {
+                cond: BranchCond::Lez,
+                rs: Reg::K0,
+                rt: Reg::ZERO,
+                offset: 3,
+            },
+            Branch {
+                cond: BranchCond::Gtz,
+                rs: Reg::K1,
+                rt: Reg::ZERO,
+                offset: 3,
+            },
+            J {
+                target: 0x0010_0000,
+            },
+            Jal {
+                target: 0x03ff_ffff,
+            },
             Jr { rs: Reg::RA },
-            Jalr { rd: Reg::RA, rs: Reg::T9 },
+            Jalr {
+                rd: Reg::RA,
+                rs: Reg::T9,
+            },
             Syscall,
             Break { code: 0x7 },
             Instruction::NOP,
@@ -473,7 +579,12 @@ mod tests {
         // addu $t0,$t1,$t2 = 000000 01001 01010 01000 00000 100001
         assert_eq!(
             decode(0x012a_4021).unwrap(),
-            Instruction::Alu { op: AluOp::Addu, rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 }
+            Instruction::Alu {
+                op: AluOp::Addu,
+                rd: Reg::T0,
+                rs: Reg::T1,
+                rt: Reg::T2
+            }
         );
         // lw $t0, 4($sp)
         assert_eq!(

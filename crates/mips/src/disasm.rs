@@ -48,16 +48,30 @@ impl fmt::Display for Instruction {
                 };
                 write!(f, "{m} {rt}, {offset}({base})")
             }
-            LoadUnaligned { left, rt, base, offset } => {
+            LoadUnaligned {
+                left,
+                rt,
+                base,
+                offset,
+            } => {
                 let m = if left { "lwl" } else { "lwr" };
                 write!(f, "{m} {rt}, {offset}({base})")
             }
-            StoreUnaligned { left, rt, base, offset } => {
+            StoreUnaligned {
+                left,
+                rt,
+                base,
+                offset,
+            } => {
                 let m = if left { "swl" } else { "swr" };
                 write!(f, "{m} {rt}, {offset}({base})")
             }
             Store {
-                width, rt, base, offset, ..
+                width,
+                rt,
+                base,
+                offset,
+                ..
             } => {
                 use crate::inst::MemWidth::*;
                 let m = match width {
@@ -173,7 +187,11 @@ pub fn disassemble_labeled(base: u32, words: &[u32]) -> String {
             }
             Some(i @ (I::J { .. } | I::Jal { .. })) => {
                 let t = i.jump_target(pc).expect("jump has target");
-                let m = if matches!(i, I::Jal { .. }) { "jal" } else { "j" };
+                let m = if matches!(i, I::Jal { .. }) {
+                    "jal"
+                } else {
+                    "j"
+                };
                 match targets.get(&t) {
                     Some(&n) => format!("{m} L{n}"),
                     None => i.to_string(),
@@ -196,20 +214,52 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(
-            I::Branch { cond: BC::Lez, rs: Reg::T0, rt: Reg::ZERO, offset: -3 }.to_string(),
+            I::Branch {
+                cond: BC::Lez,
+                rs: Reg::T0,
+                rt: Reg::ZERO,
+                offset: -3
+            }
+            .to_string(),
             "blez $t0, -3"
         );
         assert_eq!(
-            I::Load { width: MemWidth::Byte, signed: false, rt: Reg::T0, base: Reg::SP, offset: -8 }
-                .to_string(),
+            I::Load {
+                width: MemWidth::Byte,
+                signed: false,
+                rt: Reg::T0,
+                base: Reg::SP,
+                offset: -8
+            }
+            .to_string(),
             "lbu $t0, -8($sp)"
         );
         assert_eq!(
-            I::Shift { op: ShiftOp::Sll, rd: Reg::T1, rt: Reg::T2, shamt: 4 }.to_string(),
+            I::Shift {
+                op: ShiftOp::Sll,
+                rd: Reg::T1,
+                rt: Reg::T2,
+                shamt: 4
+            }
+            .to_string(),
             "sll $t1, $t2, 4"
         );
-        assert_eq!(I::Jalr { rd: Reg::RA, rs: Reg::T9 }.to_string(), "jalr $t9");
-        assert_eq!(I::Jalr { rd: Reg::V0, rs: Reg::T9 }.to_string(), "jalr $v0, $t9");
+        assert_eq!(
+            I::Jalr {
+                rd: Reg::RA,
+                rs: Reg::T9
+            }
+            .to_string(),
+            "jalr $t9"
+        );
+        assert_eq!(
+            I::Jalr {
+                rd: Reg::V0,
+                rs: Reg::T9
+            }
+            .to_string(),
+            "jalr $v0, $t9"
+        );
     }
 
     #[test]

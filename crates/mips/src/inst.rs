@@ -104,10 +104,7 @@ impl<'a> IntoIterator for &'a Locs {
     >;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.buf
-            .iter()
-            .take(self.len as usize)
-            .map(|l| l.unwrap())
+        self.buf.iter().take(self.len as usize).map(|l| l.unwrap())
     }
 }
 
@@ -651,8 +648,13 @@ impl Instruction {
             Mthi { .. } => Locs::of(&[DataLoc::Hi]),
             Mtlo { .. } => Locs::of(&[DataLoc::Lo]),
             Jal { .. } => Locs::of(&[DataLoc::Gpr(Reg::RA)]),
-            Store { .. } | StoreUnaligned { .. } | Branch { .. } | J { .. } | Jr { .. }
-            | Syscall | Break { .. } => Locs::empty(),
+            Store { .. }
+            | StoreUnaligned { .. }
+            | Branch { .. }
+            | J { .. }
+            | Jr { .. }
+            | Syscall
+            | Break { .. } => Locs::empty(),
         }
     }
 
@@ -686,8 +688,15 @@ impl Instruction {
     pub fn fu_class(&self) -> FuClass {
         use Instruction::*;
         match self {
-            Alu { .. } | AluImm { .. } | Shift { .. } | ShiftVar { .. } | Lui { .. }
-            | Mfhi { .. } | Mflo { .. } | Mthi { .. } | Mtlo { .. } => FuClass::Alu,
+            Alu { .. }
+            | AluImm { .. }
+            | Shift { .. }
+            | ShiftVar { .. }
+            | Lui { .. }
+            | Mfhi { .. }
+            | Mflo { .. }
+            | Mthi { .. }
+            | Mtlo { .. } => FuClass::Alu,
             MulDiv { op, .. } => {
                 if op.is_div() {
                     // The array has no divider (paper §4.1: ALUs, shifters,
@@ -712,9 +721,10 @@ impl Instruction {
     /// address. Returns `None` for non-branches.
     pub fn branch_target(&self, pc: u32) -> Option<u32> {
         match self {
-            Instruction::Branch { offset, .. } => {
-                Some(pc.wrapping_add(4).wrapping_add(((*offset as i32) << 2) as u32))
-            }
+            Instruction::Branch { offset, .. } => Some(
+                pc.wrapping_add(4)
+                    .wrapping_add(((*offset as i32) << 2) as u32),
+            ),
             _ => None,
         }
     }
@@ -799,7 +809,10 @@ mod tests {
         assert_eq!(MulDivOp::Divu.eval(7, 0), (7, u32::MAX));
         assert_eq!(MulDivOp::Div.eval(0x8000_0000, u32::MAX), (0, 0x8000_0000));
         assert_eq!(MulDivOp::Div.eval(7, 2), (1, 3));
-        assert_eq!(MulDivOp::Div.eval((-7i32) as u32, 2), ((-1i32) as u32, (-3i32) as u32));
+        assert_eq!(
+            MulDivOp::Div.eval((-7i32) as u32, 2),
+            ((-1i32) as u32, (-3i32) as u32)
+        );
     }
 
     #[test]

@@ -30,8 +30,8 @@
 
 pub mod asm;
 mod code;
-pub mod image;
 mod disasm;
+pub mod image;
 mod inst;
 mod reg;
 

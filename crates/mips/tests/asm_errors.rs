@@ -47,9 +47,18 @@ fn operand_kind_mismatches() {
 
 #[test]
 fn immediate_ranges() {
-    assert_asm_error("main: addiu $t0, $zero, 70000", "does not fit in 16 signed bits");
-    assert_asm_error("main: ori $t0, $zero, 70000", "does not fit in 16 unsigned bits");
-    assert_asm_error("main: andi $t0, $t0, -5", "does not fit in 16 unsigned bits");
+    assert_asm_error(
+        "main: addiu $t0, $zero, 70000",
+        "does not fit in 16 signed bits",
+    );
+    assert_asm_error(
+        "main: ori $t0, $zero, 70000",
+        "does not fit in 16 unsigned bits",
+    );
+    assert_asm_error(
+        "main: andi $t0, $t0, -5",
+        "does not fit in 16 unsigned bits",
+    );
     assert_asm_error("main: sll $t0, $t0, 99", "shift amount 99 out of range");
     assert_asm_error("main: li $t0, 5000000000", "does not fit in 32 bits");
     assert_asm_error("main: lw $t0, 40000($t1)", "does not fit in 16 signed bits");

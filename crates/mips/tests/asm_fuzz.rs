@@ -6,16 +6,61 @@ use proptest::prelude::*;
 
 /// Fragments that stress the tokenizer when recombined.
 const FRAGMENTS: &[&str] = &[
-    "main:", "loop:", ".data", ".text", ".word", ".byte", ".asciiz", ".align", ".space", ".equ",
-    "addu", "addiu", "lw", "sw", "beq", "bnez", "li", "la", "jal", "jr", "mult", "mflo", "$t0",
-    "$t1", "$sp", "$zero", "$99", "$banana", "0x10", "-5", "0b11", "'a'", "'\\n'", "\"str\"",
-    "\"unterminated", "4($t1)", "sym+4", "sym-", "(", ")", ",", "#comment", ";comment", ":",
-    "label:", "+", "-", "0x", "''", "\\", "big_number_999999999999999999",
+    "main:",
+    "loop:",
+    ".data",
+    ".text",
+    ".word",
+    ".byte",
+    ".asciiz",
+    ".align",
+    ".space",
+    ".equ",
+    "addu",
+    "addiu",
+    "lw",
+    "sw",
+    "beq",
+    "bnez",
+    "li",
+    "la",
+    "jal",
+    "jr",
+    "mult",
+    "mflo",
+    "$t0",
+    "$t1",
+    "$sp",
+    "$zero",
+    "$99",
+    "$banana",
+    "0x10",
+    "-5",
+    "0b11",
+    "'a'",
+    "'\\n'",
+    "\"str\"",
+    "\"unterminated",
+    "4($t1)",
+    "sym+4",
+    "sym-",
+    "(",
+    ")",
+    ",",
+    "#comment",
+    ";comment",
+    ":",
+    "label:",
+    "+",
+    "-",
+    "0x",
+    "''",
+    "\\",
+    "big_number_999999999999999999",
 ];
 
 fn arbitrary_line() -> impl Strategy<Value = String> {
-    prop::collection::vec(prop::sample::select(FRAGMENTS), 0..6)
-        .prop_map(|toks| toks.join(" "))
+    prop::collection::vec(prop::sample::select(FRAGMENTS), 0..6).prop_map(|toks| toks.join(" "))
 }
 
 proptest! {

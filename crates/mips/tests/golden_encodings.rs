@@ -76,8 +76,7 @@ const GOLDEN: &[(&str, u32)] = &[
 #[test]
 fn golden_words_match_the_isa_manual() {
     for &(src, word) in GOLDEN {
-        let program = assemble(&format!("main: {src}"))
-            .unwrap_or_else(|e| panic!("`{src}`: {e}"));
+        let program = assemble(&format!("main: {src}")).unwrap_or_else(|e| panic!("`{src}`: {e}"));
         assert_eq!(
             program.text.len(),
             1,

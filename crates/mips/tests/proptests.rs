@@ -63,7 +63,11 @@ fn any_branch_cond() -> impl Strategy<Value = BranchCond> {
 }
 
 fn any_mem_width() -> impl Strategy<Value = MemWidth> {
-    prop_oneof![Just(MemWidth::Byte), Just(MemWidth::Half), Just(MemWidth::Word)]
+    prop_oneof![
+        Just(MemWidth::Byte),
+        Just(MemWidth::Half),
+        Just(MemWidth::Word)
+    ]
 }
 
 /// Every representable instruction.
@@ -78,37 +82,53 @@ fn any_instruction() -> impl Strategy<Value = Instruction> {
         (any_shift_op(), any_reg(), any_reg(), any_reg())
             .prop_map(|(op, rd, rt, rs)| Instruction::ShiftVar { op, rd, rt, rs }),
         (any_reg(), any::<u16>()).prop_map(|(rt, imm)| Instruction::Lui { rt, imm }),
-        (any_muldiv_op(), any_reg(), any_reg())
-            .prop_map(|(op, rs, rt)| Instruction::MulDiv { op, rs, rt }),
+        (any_muldiv_op(), any_reg(), any_reg()).prop_map(|(op, rs, rt)| Instruction::MulDiv {
+            op,
+            rs,
+            rt
+        }),
         any_reg().prop_map(|rd| Instruction::Mfhi { rd }),
         any_reg().prop_map(|rd| Instruction::Mflo { rd }),
         any_reg().prop_map(|rs| Instruction::Mthi { rs }),
         any_reg().prop_map(|rs| Instruction::Mtlo { rs }),
-        (any_mem_width(), any::<bool>(), any_reg(), any_reg(), any::<i16>()).prop_map(
-            |(width, signed, rt, base, offset)| Instruction::Load {
+        (
+            any_mem_width(),
+            any::<bool>(),
+            any_reg(),
+            any_reg(),
+            any::<i16>()
+        )
+            .prop_map(|(width, signed, rt, base, offset)| Instruction::Load {
                 width,
                 signed: signed || width == MemWidth::Word,
                 rt,
                 base,
                 offset
+            }),
+        (any_mem_width(), any_reg(), any_reg(), any::<i16>()).prop_map(
+            |(width, rt, base, offset)| Instruction::Store {
+                width,
+                rt,
+                base,
+                offset
             }
         ),
-        (any_mem_width(), any_reg(), any_reg(), any::<i16>())
-            .prop_map(|(width, rt, base, offset)| Instruction::Store { width, rt, base, offset }),
-        (any::<bool>(), any_reg(), any_reg(), any::<i16>())
-            .prop_map(|(left, rt, base, offset)| Instruction::LoadUnaligned {
+        (any::<bool>(), any_reg(), any_reg(), any::<i16>()).prop_map(|(left, rt, base, offset)| {
+            Instruction::LoadUnaligned {
                 left,
                 rt,
                 base,
-                offset
-            }),
-        (any::<bool>(), any_reg(), any_reg(), any::<i16>())
-            .prop_map(|(left, rt, base, offset)| Instruction::StoreUnaligned {
+                offset,
+            }
+        }),
+        (any::<bool>(), any_reg(), any_reg(), any::<i16>()).prop_map(|(left, rt, base, offset)| {
+            Instruction::StoreUnaligned {
                 left,
                 rt,
                 base,
-                offset
-            }),
+                offset,
+            }
+        }),
         (any_branch_cond(), any_reg(), any_reg(), any::<i16>()).prop_map(
             |(cond, rs, rt, offset)| Instruction::Branch {
                 cond,

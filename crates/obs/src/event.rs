@@ -1,0 +1,207 @@
+//! The structured event vocabulary every instrumented component speaks.
+
+/// Version of the event schema emitted by [`JsonlSink`](crate::JsonlSink)
+/// and understood by [`replay`](crate::replay).
+///
+/// Compatibility policy: consumers must reject a trace whose header
+/// carries a *greater* major version than they understand; fields may be
+/// *added* to events within a version, so consumers must ignore unknown
+/// fields.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Coarse classification of a retired pipeline instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RetireKind {
+    /// ALU / shift / compare / move.
+    Alu,
+    /// Data-memory load.
+    Load,
+    /// Data-memory store.
+    Store,
+    /// Conditional branch.
+    Branch,
+    /// Unconditional jump (j/jal/jr/jalr).
+    Jump,
+    /// Multiply or divide.
+    MulDiv,
+    /// Syscall or break.
+    System,
+}
+
+impl RetireKind {
+    /// Stable wire name of the kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            RetireKind::Alu => "alu",
+            RetireKind::Load => "load",
+            RetireKind::Store => "store",
+            RetireKind::Branch => "branch",
+            RetireKind::Jump => "jump",
+            RetireKind::MulDiv => "muldiv",
+            RetireKind::System => "system",
+        }
+    }
+
+    /// Parses a wire name back into a kind.
+    pub fn from_name(name: &str) -> Option<RetireKind> {
+        Some(match name {
+            "alu" => RetireKind::Alu,
+            "load" => RetireKind::Load,
+            "store" => RetireKind::Store,
+            "branch" => RetireKind::Branch,
+            "jump" => RetireKind::Jump,
+            "muldiv" => RetireKind::MulDiv,
+            "system" => RetireKind::System,
+            _ => return None,
+        })
+    }
+}
+
+/// One array invocation, with its full cycle and speculation accounting.
+///
+/// The three cycle spans mirror the paper's overhead decomposition:
+/// reconfiguration stall (§4.3), row execution (including data-cache
+/// stalls and any misspeculation penalty), and the non-overlapped
+/// write-back tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayInvoke {
+    /// Entry PC of the executed configuration.
+    pub entry_pc: u32,
+    /// PC execution continued at afterwards.
+    pub exit_pc: u32,
+    /// Static instructions the configuration covers.
+    pub covered: u32,
+    /// Instructions actually executed (squashed segments excluded).
+    pub executed: u32,
+    /// Loads issued by array LD/ST units.
+    pub loads: u32,
+    /// Stores issued by array LD/ST units.
+    pub stores: u32,
+    /// Rows the configuration occupies.
+    pub rows: u32,
+    /// Deepest speculation segment actually executed.
+    pub spec_depth: u8,
+    /// Whether a speculated branch resolved against its prediction.
+    pub misspeculated: bool,
+    /// Whether the configuration was flushed after this invocation.
+    pub flushed: bool,
+    /// Reconfiguration stall cycles visible to the processor.
+    pub stall_cycles: u32,
+    /// Execution cycles (rows + d-cache stalls + misspeculation penalty).
+    pub exec_cycles: u32,
+    /// Write-back cycles not overlapped with execution.
+    pub tail_cycles: u32,
+}
+
+impl ArrayInvoke {
+    /// All cycles charged for this invocation.
+    pub fn total_cycles(&self) -> u64 {
+        self.stall_cycles as u64 + self.exec_cycles as u64 + self.tail_cycles as u64
+    }
+}
+
+/// A structured event emitted by an instrumented component.
+///
+/// Events are small `Copy` payloads so emitting one into a recording
+/// probe is cheap, and constructing one is skipped entirely (guarded by
+/// [`Probe::ENABLED`](crate::Probe::ENABLED)) when probing is disabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeEvent {
+    /// One instruction retired on the processor pipeline, with its cycle
+    /// breakdown: `base_cycles` covers issue plus structural penalties
+    /// (taken branch, load-use, mult/div), `i_stall`/`d_stall` are
+    /// instruction- and data-cache miss cycles.
+    Retire {
+        /// Address of the retired instruction.
+        pc: u32,
+        /// Coarse instruction class.
+        kind: RetireKind,
+        /// Pipeline cycles including structural penalties.
+        base_cycles: u32,
+        /// Instruction-cache stall cycles.
+        i_stall: u32,
+        /// Data-cache stall cycles.
+        d_stall: u32,
+        /// Whether this instruction ends its basic block (control
+        /// transfer, discontinuous next PC, or system effect).
+        ends_block: bool,
+    },
+    /// The translator opened a detection region at `pc`.
+    TransBegin {
+        /// First PC of the region.
+        pc: u32,
+    },
+    /// The translator closed a region and produced a configuration
+    /// worth caching.
+    TransCommit {
+        /// Entry PC of the finished configuration.
+        entry_pc: u32,
+        /// Instructions the configuration covers.
+        instructions: u32,
+        /// Array rows it occupies.
+        rows: u32,
+        /// Basic blocks merged (1 + speculated branches).
+        spec_blocks: u8,
+        /// Whether this was an interrupted prefix
+        /// ([`Translator::take_partial`](https://docs.rs)-style) rather
+        /// than a naturally closed region.
+        partial: bool,
+    },
+    /// Reconfiguration-cache lookup hit.
+    RcacheHit {
+        /// Looked-up PC.
+        pc: u32,
+    },
+    /// Reconfiguration-cache lookup miss.
+    RcacheMiss {
+        /// Looked-up PC.
+        pc: u32,
+    },
+    /// A configuration was inserted into the reconfiguration cache,
+    /// possibly evicting another entry.
+    RcacheInsert {
+        /// Entry PC of the inserted configuration.
+        pc: u32,
+        /// Entry PC of the evicted configuration, if the insert
+        /// displaced one.
+        evicted: Option<u32>,
+    },
+    /// A configuration was flushed after repeated misspeculation.
+    RcacheFlush {
+        /// Entry PC of the flushed configuration.
+        pc: u32,
+    },
+    /// A cached configuration executed on the array.
+    ArrayInvoke(ArrayInvoke),
+}
+
+impl ProbeEvent {
+    /// Stable wire name of the event type.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            ProbeEvent::Retire { .. } => "retire",
+            ProbeEvent::TransBegin { .. } => "trans_begin",
+            ProbeEvent::TransCommit { .. } => "trans_commit",
+            ProbeEvent::RcacheHit { .. } => "rcache_hit",
+            ProbeEvent::RcacheMiss { .. } => "rcache_miss",
+            ProbeEvent::RcacheInsert { .. } => "rcache_insert",
+            ProbeEvent::RcacheFlush { .. } => "rcache_flush",
+            ProbeEvent::ArrayInvoke(_) => "array_invoke",
+        }
+    }
+
+    /// Simulated cycles this event accounts for (0 for bookkeeping
+    /// events like cache lookups).
+    pub fn cycles(&self) -> u64 {
+        match self {
+            ProbeEvent::Retire {
+                base_cycles,
+                i_stall,
+                d_stall,
+                ..
+            } => *base_cycles as u64 + *i_stall as u64 + *d_stall as u64,
+            ProbeEvent::ArrayInvoke(inv) => inv.total_cycles(),
+            _ => 0,
+        }
+    }
+}

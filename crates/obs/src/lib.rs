@@ -1,0 +1,42 @@
+//! # dim-obs
+//!
+//! The unified instrumentation layer of the DIM reproduction: every
+//! component of the simulated system — the MIPS pipeline, the binary
+//! translator, the reconfiguration cache, the reconfigurable array —
+//! emits structured [`ProbeEvent`]s into a [`Probe`]. Probes are
+//! monomorphized into the simulation loops, and the default
+//! [`NullProbe`] advertises `ENABLED = false`, so an uninstrumented run
+//! pays nothing: every emit site is guarded by `if P::ENABLED` and
+//! compiles away.
+//!
+//! Three sinks are built on the probe:
+//!
+//! * [`JsonlSink`] — a versioned, machine-readable JSONL event trace
+//!   (`dim run --trace-out t.jsonl`), replayable via [`replay`];
+//! * [`MetricsRegistry`] — counters and log-scaled [`LogHistogram`]s
+//!   with periodic interval snapshots, so time-series behavior (cache
+//!   warm-up, phase changes) is visible, not just end-of-run totals;
+//! * [`CycleProfiler`] — rolls every simulated cycle into one of
+//!   {pipeline, i-stall, d-stall, reconfig-stall, array-exec,
+//!   write-back-tail} per static basic block (`dim profile`).
+//!
+//! The event schema is versioned ([`SCHEMA_VERSION`]); see
+//! `docs/observability.md` for the compatibility policy and a worked
+//! example of diffing two runs.
+
+#![warn(missing_docs)]
+
+mod event;
+mod json;
+mod jsonl;
+mod metrics;
+mod probe;
+mod profile;
+pub mod replay;
+
+pub use event::{ArrayInvoke, ProbeEvent, RetireKind, SCHEMA_VERSION};
+pub use json::{parse as parse_json, JsonValue, ObjectWriter};
+pub use jsonl::JsonlSink;
+pub use metrics::{IntervalSnapshot, LogHistogram, MetricsRegistry};
+pub use probe::{NullProbe, Probe, RecordingProbe};
+pub use profile::{AttributionKind, BlockCycles, CycleProfile, CycleProfiler};

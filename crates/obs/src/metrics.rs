@@ -1,0 +1,591 @@
+//! Counters, log-scaled histograms, and interval snapshots.
+
+use crate::event::ProbeEvent;
+use crate::json::ObjectWriter;
+use crate::probe::Probe;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Number of buckets in a [`LogHistogram`]: one for zero plus one per
+/// power of two up to `u64::MAX`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A power-of-two histogram of `u64` samples.
+///
+/// Bucket 0 counts zero-valued samples; bucket `i >= 1` counts samples
+/// in `[2^(i-1), 2^i)`. Alongside the buckets it tracks count, sum,
+/// min and max so means stay exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> LogHistogram {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index for a value: 0 for 0, `ilog2(v) + 1` otherwise.
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            value.ilog2() as usize + 1
+        }
+    }
+
+    /// Lower bound (inclusive) of bucket `i`.
+    pub fn bucket_low(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            1 => 1,
+            i => 1u64 << (i - 1),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The raw bucket counts.
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// `(bucket_low, count)` for every non-empty bucket, low to high.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (Self::bucket_low(i), n))
+    }
+
+    /// Serializes the histogram as a JSON object fragment.
+    pub fn to_json(&self) -> String {
+        let mut buckets = String::from("[");
+        for (i, (low, n)) in self.nonzero_buckets().enumerate() {
+            if i > 0 {
+                buckets.push(',');
+            }
+            buckets.push_str(&format!("[{low},{n}]"));
+        }
+        buckets.push(']');
+        let mut o = ObjectWriter::new();
+        o.field_u64("count", self.count());
+        o.field_u64("sum", self.sum());
+        o.field_u64("min", self.min());
+        o.field_u64("max", self.max());
+        o.field_f64("mean", self.mean());
+        o.field_raw("buckets", &buckets);
+        o.finish()
+    }
+}
+
+impl fmt::Display for LogHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            return write!(f, "(empty)");
+        }
+        writeln!(
+            f,
+            "n={} min={} mean={:.1} max={}",
+            self.count,
+            self.min(),
+            self.mean(),
+            self.max
+        )?;
+        let widest = self.buckets.iter().copied().max().unwrap_or(1).max(1);
+        for (low, n) in self.nonzero_buckets() {
+            let bar = "#".repeat(((n * 40).div_ceil(widest)) as usize);
+            writeln!(f, "  {low:>12} | {n:>10} {bar}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Aggregated counters for one cycle interval (or for the whole run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntervalSnapshot {
+    /// Zero-based interval index.
+    pub index: u64,
+    /// First cycle of the interval (inclusive).
+    pub start_cycle: u64,
+    /// Cycle boundary the interval ended on (exclusive).
+    pub end_cycle: u64,
+    /// Instructions retired on the pipeline during the interval.
+    pub retired: u64,
+    /// Array invocations during the interval.
+    pub invocations: u64,
+    /// Reconfiguration-cache hits during the interval.
+    pub rcache_hits: u64,
+    /// Reconfiguration-cache misses during the interval.
+    pub rcache_misses: u64,
+    /// Misspeculated invocations during the interval.
+    pub misspeculations: u64,
+}
+
+impl IntervalSnapshot {
+    /// Serializes the snapshot as a JSON object fragment.
+    pub fn to_json(&self) -> String {
+        let mut o = ObjectWriter::new();
+        o.field_u64("index", self.index);
+        o.field_u64("start_cycle", self.start_cycle);
+        o.field_u64("end_cycle", self.end_cycle);
+        o.field_u64("retired", self.retired);
+        o.field_u64("invocations", self.invocations);
+        o.field_u64("rcache_hits", self.rcache_hits);
+        o.field_u64("rcache_misses", self.rcache_misses);
+        o.field_u64("misspeculations", self.misspeculations);
+        o.finish()
+    }
+}
+
+/// A [`Probe`] that aggregates events into counters and histograms.
+///
+/// With a non-zero snapshot interval it additionally cuts an
+/// [`IntervalSnapshot`] every `interval` simulated cycles, so warm-up
+/// and phase behavior stay visible after the run.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    /// Pipeline instructions retired.
+    pub retired: u64,
+    /// Pipeline base cycles (issue + structural penalties).
+    pub pipeline_base_cycles: u64,
+    /// Instruction-cache stall cycles.
+    pub i_stall_cycles: u64,
+    /// Data-cache stall cycles on the pipeline side.
+    pub d_stall_cycles: u64,
+    /// Translator regions opened.
+    pub trans_begins: u64,
+    /// Configurations committed by the translator.
+    pub trans_commits: u64,
+    /// Committed configurations that were interrupted prefixes.
+    pub trans_partials: u64,
+    /// Reconfiguration-cache hits.
+    pub rcache_hits: u64,
+    /// Reconfiguration-cache misses.
+    pub rcache_misses: u64,
+    /// Reconfiguration-cache insertions.
+    pub rcache_inserts: u64,
+    /// Insertions that evicted an entry.
+    pub rcache_evictions: u64,
+    /// Configurations flushed after misspeculation.
+    pub rcache_flushes: u64,
+    /// Array invocations.
+    pub invocations: u64,
+    /// Misspeculated invocations.
+    pub misspeculations: u64,
+    /// Cycles attributed to the array (stall + exec + tail).
+    pub array_cycles: u64,
+
+    /// Instructions covered per committed configuration.
+    pub config_coverage: LogHistogram,
+    /// Speculation depth actually executed per invocation.
+    pub spec_depth: LogHistogram,
+    /// Lookups between consecutive hits on the same configuration.
+    pub rcache_reuse_distance: LogHistogram,
+    /// Total cycles per invocation.
+    pub invocation_cycles: LogHistogram,
+
+    /// Completed interval snapshots (empty when snapshots are disabled).
+    pub snapshots: Vec<IntervalSnapshot>,
+
+    interval: u64,
+    cycles_seen: u64,
+    current: IntervalSnapshot,
+    /// Lookup serial per configuration PC, for reuse distance.
+    last_lookup: HashMap<u32, u64>,
+    lookup_serial: u64,
+}
+
+impl MetricsRegistry {
+    /// A registry with interval snapshots disabled.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// A registry that cuts a snapshot every `interval_cycles` simulated
+    /// cycles (0 disables snapshots).
+    pub fn with_interval(interval_cycles: u64) -> MetricsRegistry {
+        MetricsRegistry {
+            interval: interval_cycles,
+            ..MetricsRegistry::default()
+        }
+    }
+
+    /// Total simulated cycles observed.
+    pub fn cycles_seen(&self) -> u64 {
+        self.cycles_seen
+    }
+
+    /// The in-progress interval (counters since the last boundary).
+    pub fn current_interval(&self) -> &IntervalSnapshot {
+        &self.current
+    }
+
+    fn advance_cycles(&mut self, cycles: u64) {
+        self.cycles_seen += cycles;
+        if self.interval == 0 {
+            return;
+        }
+        // An event may straddle several boundaries; its counters land in
+        // the interval it started in, matching how a trace reader would
+        // bucket whole events.
+        while self.cycles_seen >= (self.current.index + 1) * self.interval {
+            let boundary = (self.current.index + 1) * self.interval;
+            let mut done = std::mem::take(&mut self.current);
+            done.end_cycle = boundary;
+            self.current.index = done.index + 1;
+            self.current.start_cycle = boundary;
+            self.snapshots.push(done);
+        }
+    }
+
+    /// Renders a human-readable summary of every metric.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "pipeline: {} retired, {} base + {} i-stall + {} d-stall cycles\n",
+            self.retired, self.pipeline_base_cycles, self.i_stall_cycles, self.d_stall_cycles
+        ));
+        s.push_str(&format!(
+            "translator: {} regions, {} commits ({} partial)\n",
+            self.trans_begins, self.trans_commits, self.trans_partials
+        ));
+        s.push_str(&format!(
+            "rcache: {} hits / {} misses, {} inserts ({} evictions), {} flushes\n",
+            self.rcache_hits,
+            self.rcache_misses,
+            self.rcache_inserts,
+            self.rcache_evictions,
+            self.rcache_flushes
+        ));
+        s.push_str(&format!(
+            "array: {} invocations ({} misspeculated), {} cycles\n",
+            self.invocations, self.misspeculations, self.array_cycles
+        ));
+        for (name, h) in [
+            ("config coverage (instructions)", &self.config_coverage),
+            ("speculation depth", &self.spec_depth),
+            (
+                "rcache reuse distance (lookups)",
+                &self.rcache_reuse_distance,
+            ),
+            ("invocation cycles", &self.invocation_cycles),
+        ] {
+            s.push_str(&format!("{name}: {h}"));
+        }
+        if !self.snapshots.is_empty() {
+            s.push_str(&format!(
+                "{} interval snapshots of {} cycles each\n",
+                self.snapshots.len(),
+                self.interval
+            ));
+        }
+        s
+    }
+
+    /// Serializes all metrics as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = ObjectWriter::new();
+        o.field_u64("retired", self.retired);
+        o.field_u64("pipeline_base_cycles", self.pipeline_base_cycles);
+        o.field_u64("i_stall_cycles", self.i_stall_cycles);
+        o.field_u64("d_stall_cycles", self.d_stall_cycles);
+        o.field_u64("trans_begins", self.trans_begins);
+        o.field_u64("trans_commits", self.trans_commits);
+        o.field_u64("trans_partials", self.trans_partials);
+        o.field_u64("rcache_hits", self.rcache_hits);
+        o.field_u64("rcache_misses", self.rcache_misses);
+        o.field_u64("rcache_inserts", self.rcache_inserts);
+        o.field_u64("rcache_evictions", self.rcache_evictions);
+        o.field_u64("rcache_flushes", self.rcache_flushes);
+        o.field_u64("invocations", self.invocations);
+        o.field_u64("misspeculations", self.misspeculations);
+        o.field_u64("array_cycles", self.array_cycles);
+        o.field_raw("config_coverage", &self.config_coverage.to_json());
+        o.field_raw("spec_depth", &self.spec_depth.to_json());
+        o.field_raw(
+            "rcache_reuse_distance",
+            &self.rcache_reuse_distance.to_json(),
+        );
+        o.field_raw("invocation_cycles", &self.invocation_cycles.to_json());
+        let mut snaps = String::from("[");
+        for (i, snap) in self.snapshots.iter().enumerate() {
+            if i > 0 {
+                snaps.push(',');
+            }
+            snaps.push_str(&snap.to_json());
+        }
+        snaps.push(']');
+        o.field_raw("snapshots", &snaps);
+        o.finish()
+    }
+
+    fn note_lookup(&mut self, pc: u32, hit: bool) {
+        self.lookup_serial += 1;
+        if hit {
+            if let Some(prev) = self.last_lookup.insert(pc, self.lookup_serial) {
+                self.rcache_reuse_distance.record(self.lookup_serial - prev);
+            } else {
+                // First hit after insertion: distance from insertion
+                // unknown, record as zero-distance warm hit.
+                self.rcache_reuse_distance.record(0);
+            }
+        }
+    }
+}
+
+impl Probe for MetricsRegistry {
+    fn emit(&mut self, event: ProbeEvent) {
+        let cycles = event.cycles();
+        match event {
+            ProbeEvent::Retire {
+                base_cycles,
+                i_stall,
+                d_stall,
+                ..
+            } => {
+                self.retired += 1;
+                self.pipeline_base_cycles += base_cycles as u64;
+                self.i_stall_cycles += i_stall as u64;
+                self.d_stall_cycles += d_stall as u64;
+                self.current.retired += 1;
+            }
+            ProbeEvent::TransBegin { .. } => self.trans_begins += 1,
+            ProbeEvent::TransCommit {
+                instructions,
+                partial,
+                ..
+            } => {
+                self.trans_commits += 1;
+                if partial {
+                    self.trans_partials += 1;
+                }
+                self.config_coverage.record(instructions as u64);
+            }
+            ProbeEvent::RcacheHit { pc } => {
+                self.rcache_hits += 1;
+                self.current.rcache_hits += 1;
+                self.note_lookup(pc, true);
+            }
+            ProbeEvent::RcacheMiss { pc } => {
+                self.rcache_misses += 1;
+                self.current.rcache_misses += 1;
+                self.note_lookup(pc, false);
+            }
+            ProbeEvent::RcacheInsert { evicted, .. } => {
+                self.rcache_inserts += 1;
+                if evicted.is_some() {
+                    self.rcache_evictions += 1;
+                }
+            }
+            ProbeEvent::RcacheFlush { pc } => {
+                self.rcache_flushes += 1;
+                self.last_lookup.remove(&pc);
+            }
+            ProbeEvent::ArrayInvoke(inv) => {
+                self.invocations += 1;
+                self.array_cycles += inv.total_cycles();
+                self.current.invocations += 1;
+                if inv.misspeculated {
+                    self.misspeculations += 1;
+                    self.current.misspeculations += 1;
+                }
+                self.spec_depth.record(inv.spec_depth as u64);
+                self.invocation_cycles.record(inv.total_cycles());
+            }
+        }
+        self.advance_cycles(cycles);
+    }
+
+    fn finish(&mut self) {
+        // Close the trailing partial interval so the snapshots tile the
+        // whole observed timeline.
+        if self.interval > 0
+            && (self.cycles_seen > self.current.start_cycle
+                || self.current.retired > 0
+                || self.current.invocations > 0
+                || self.current.rcache_hits > 0
+                || self.current.rcache_misses > 0)
+        {
+            let mut done = std::mem::take(&mut self.current);
+            done.end_cycle = self.cycles_seen;
+            self.current.index = done.index + 1;
+            self.current.start_cycle = self.cycles_seen;
+            self.snapshots.push(done);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ArrayInvoke, RetireKind};
+
+    fn retire(cycles: u32) -> ProbeEvent {
+        ProbeEvent::Retire {
+            pc: 0x100,
+            kind: RetireKind::Alu,
+            base_cycles: cycles,
+            i_stall: 0,
+            d_stall: 0,
+            ends_block: false,
+        }
+    }
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(LogHistogram::bucket_index(0), 0);
+        assert_eq!(LogHistogram::bucket_index(1), 1);
+        assert_eq!(LogHistogram::bucket_index(2), 2);
+        assert_eq!(LogHistogram::bucket_index(3), 2);
+        assert_eq!(LogHistogram::bucket_index(4), 3);
+        assert_eq!(LogHistogram::bucket_index(7), 3);
+        assert_eq!(LogHistogram::bucket_index(8), 4);
+        assert_eq!(LogHistogram::bucket_index(u64::MAX), 64);
+        assert_eq!(LogHistogram::bucket_low(0), 0);
+        assert_eq!(LogHistogram::bucket_low(1), 1);
+        assert_eq!(LogHistogram::bucket_low(4), 8);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = LogHistogram::new();
+        assert_eq!(h.min(), 0);
+        for v in [0, 1, 3, 8] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 12);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 8);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[2], 1);
+        assert_eq!(h.buckets()[4], 1);
+        assert_eq!(h.nonzero_buckets().count(), 4);
+    }
+
+    #[test]
+    fn interval_rollover() {
+        let mut m = MetricsRegistry::with_interval(10);
+        // 4 retires of 3 cycles each: boundary at 10 crossed mid-way.
+        for _ in 0..4 {
+            m.emit(retire(3));
+        }
+        assert_eq!(m.cycles_seen(), 12);
+        assert_eq!(m.snapshots.len(), 1);
+        let s = &m.snapshots[0];
+        assert_eq!(s.index, 0);
+        assert_eq!(s.start_cycle, 0);
+        assert_eq!(s.end_cycle, 10);
+        assert_eq!(s.retired, 4); // the straddling event lands in interval 0
+        assert_eq!(m.current_interval().index, 1);
+        assert_eq!(m.current_interval().start_cycle, 10);
+
+        // One giant event crosses several boundaries at once.
+        m.emit(retire(35));
+        assert_eq!(m.snapshots.len(), 4);
+        assert_eq!(m.snapshots[3].end_cycle, 40);
+        m.finish();
+        assert_eq!(m.snapshots.len(), 5);
+        assert_eq!(m.snapshots[4].end_cycle, 47);
+        assert_eq!(m.snapshots.iter().map(|s| s.retired).sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn reuse_distance_counts_lookups_between_hits() {
+        let mut m = MetricsRegistry::new();
+        m.emit(ProbeEvent::RcacheHit { pc: 0x10 }); // warm hit → 0
+        m.emit(ProbeEvent::RcacheMiss { pc: 0x20 });
+        m.emit(ProbeEvent::RcacheMiss { pc: 0x24 });
+        m.emit(ProbeEvent::RcacheHit { pc: 0x10 }); // 3 lookups since last
+        assert_eq!(m.rcache_reuse_distance.count(), 2);
+        assert_eq!(m.rcache_reuse_distance.max(), 3);
+        assert_eq!(m.rcache_hits, 2);
+        assert_eq!(m.rcache_misses, 2);
+    }
+
+    #[test]
+    fn registry_aggregates_invocations() {
+        let mut m = MetricsRegistry::new();
+        m.emit(ProbeEvent::ArrayInvoke(ArrayInvoke {
+            entry_pc: 4,
+            exit_pc: 8,
+            covered: 10,
+            executed: 10,
+            loads: 0,
+            stores: 0,
+            rows: 2,
+            spec_depth: 2,
+            misspeculated: true,
+            flushed: false,
+            stall_cycles: 1,
+            exec_cycles: 5,
+            tail_cycles: 2,
+        }));
+        assert_eq!(m.invocations, 1);
+        assert_eq!(m.misspeculations, 1);
+        assert_eq!(m.array_cycles, 8);
+        assert_eq!(m.spec_depth.max(), 2);
+        assert_eq!(m.invocation_cycles.sum(), 8);
+        let json = m.to_json();
+        crate::json::parse(&json).unwrap();
+    }
+}

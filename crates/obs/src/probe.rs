@@ -1,0 +1,144 @@
+//! The [`Probe`] trait and basic probe combinators.
+
+use crate::event::ProbeEvent;
+
+/// An event consumer monomorphized into the simulation loops.
+///
+/// Emit sites are written as
+///
+/// ```ignore
+/// if P::ENABLED {
+///     probe.emit(ProbeEvent::RcacheHit { pc });
+/// }
+/// ```
+///
+/// so with the default [`NullProbe`] (`ENABLED = false`) both the event
+/// construction and the call compile away — the hot loop pays zero cost.
+pub trait Probe {
+    /// Whether this probe observes anything. Emit sites skip event
+    /// construction entirely when this is `false`.
+    const ENABLED: bool = true;
+
+    /// Consumes one event.
+    fn emit(&mut self, event: ProbeEvent);
+
+    /// Flushes any buffered state (e.g. a pending retire batch). Called
+    /// once when the instrumented run finishes.
+    fn finish(&mut self) {}
+}
+
+/// The zero-cost default probe: observes nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullProbe;
+
+impl Probe for NullProbe {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn emit(&mut self, _event: ProbeEvent) {}
+}
+
+/// Forwarding impl so a probe can be lent to a sub-run.
+impl<P: Probe> Probe for &mut P {
+    const ENABLED: bool = P::ENABLED;
+
+    #[inline(always)]
+    fn emit(&mut self, event: ProbeEvent) {
+        (**self).emit(event);
+    }
+
+    fn finish(&mut self) {
+        (**self).finish();
+    }
+}
+
+/// Fan-out: both probes observe every event. Nest tuples for wider
+/// fan-out. A `(RealSink, NullProbe)` pair keeps `ENABLED = true`.
+impl<A: Probe, B: Probe> Probe for (A, B) {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    #[inline(always)]
+    fn emit(&mut self, event: ProbeEvent) {
+        if A::ENABLED {
+            self.0.emit(event);
+        }
+        if B::ENABLED {
+            self.1.emit(event);
+        }
+    }
+
+    fn finish(&mut self) {
+        self.0.finish();
+        self.1.finish();
+    }
+}
+
+/// A probe that records every event in memory — the reference sink for
+/// tests and for the NullProbe-equivalence property test.
+#[derive(Debug, Clone, Default)]
+pub struct RecordingProbe {
+    /// All events in emission order.
+    pub events: Vec<ProbeEvent>,
+}
+
+impl RecordingProbe {
+    /// An empty recorder.
+    pub fn new() -> RecordingProbe {
+        RecordingProbe::default()
+    }
+
+    /// Number of recorded events of the given wire type name.
+    pub fn count(&self, type_name: &str) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.type_name() == type_name)
+            .count()
+    }
+
+    /// Total simulated cycles across all recorded events.
+    pub fn total_cycles(&self) -> u64 {
+        self.events.iter().map(|e| e.cycles()).sum()
+    }
+}
+
+impl Probe for RecordingProbe {
+    fn emit(&mut self, event: ProbeEvent) {
+        self.events.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::RetireKind;
+
+    fn retire(pc: u32) -> ProbeEvent {
+        ProbeEvent::Retire {
+            pc,
+            kind: RetireKind::Alu,
+            base_cycles: 1,
+            i_stall: 0,
+            d_stall: 2,
+            ends_block: false,
+        }
+    }
+
+    #[test]
+    fn fanout_reaches_both() {
+        let mut pair = (RecordingProbe::new(), RecordingProbe::new());
+        pair.emit(retire(0x100));
+        pair.emit(ProbeEvent::RcacheMiss { pc: 0x100 });
+        assert_eq!(pair.0.events.len(), 2);
+        assert_eq!(pair.1.events.len(), 2);
+        assert_eq!(pair.0.total_cycles(), 3);
+    }
+
+    #[test]
+    fn null_probe_disables_enabled_flag() {
+        const {
+            assert!(!NullProbe::ENABLED);
+            assert!(<(RecordingProbe, NullProbe)>::ENABLED);
+            assert!(!<(NullProbe, NullProbe)>::ENABLED);
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! Per-block cycle attribution.
+//!
+//! Every simulated cycle lands in exactly one of six categories,
+//! charged to the static basic block it was spent in (keyed by the
+//! block's leader PC). Because the pipeline decomposes each retired
+//! instruction into base + i-stall + d-stall cycles and the array
+//! decomposes each invocation into stall + exec + tail cycles, the
+//! profile's column sums equal the run's total cycle count *exactly* —
+//! no sampling, no residue.
+
+use crate::event::ProbeEvent;
+use crate::json::ObjectWriter;
+use crate::probe::Probe;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The six cycle categories of the attribution model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttributionKind {
+    /// Pipeline issue + structural penalty cycles.
+    Pipeline,
+    /// Instruction-cache stall cycles.
+    IStall,
+    /// Data-cache stall cycles on the pipeline side.
+    DStall,
+    /// Reconfiguration stall cycles before an array invocation.
+    ReconfigStall,
+    /// Array row-execution cycles (incl. array d-cache stalls and
+    /// misspeculation penalty).
+    ArrayExec,
+    /// Write-back tail cycles not overlapped with execution.
+    WritebackTail,
+}
+
+impl AttributionKind {
+    /// All kinds, in rendering order.
+    pub const ALL: [AttributionKind; 6] = [
+        AttributionKind::Pipeline,
+        AttributionKind::IStall,
+        AttributionKind::DStall,
+        AttributionKind::ReconfigStall,
+        AttributionKind::ArrayExec,
+        AttributionKind::WritebackTail,
+    ];
+
+    /// Stable wire/column name of the category.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttributionKind::Pipeline => "pipeline",
+            AttributionKind::IStall => "i_stall",
+            AttributionKind::DStall => "d_stall",
+            AttributionKind::ReconfigStall => "reconfig_stall",
+            AttributionKind::ArrayExec => "array_exec",
+            AttributionKind::WritebackTail => "writeback_tail",
+        }
+    }
+}
+
+/// Cycle totals for one static basic block (or one whole run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockCycles {
+    /// Pipeline issue + structural penalty cycles.
+    pub pipeline: u64,
+    /// Instruction-cache stall cycles.
+    pub i_stall: u64,
+    /// Data-cache stall cycles (pipeline side).
+    pub d_stall: u64,
+    /// Reconfiguration stall cycles.
+    pub reconfig_stall: u64,
+    /// Array execution cycles.
+    pub array_exec: u64,
+    /// Write-back tail cycles.
+    pub writeback_tail: u64,
+    /// Pipeline instructions retired in the block.
+    pub retired: u64,
+    /// Array invocations entered at the block.
+    pub invocations: u64,
+}
+
+impl BlockCycles {
+    /// Cycles in the given category.
+    pub fn get(&self, kind: AttributionKind) -> u64 {
+        match kind {
+            AttributionKind::Pipeline => self.pipeline,
+            AttributionKind::IStall => self.i_stall,
+            AttributionKind::DStall => self.d_stall,
+            AttributionKind::ReconfigStall => self.reconfig_stall,
+            AttributionKind::ArrayExec => self.array_exec,
+            AttributionKind::WritebackTail => self.writeback_tail,
+        }
+    }
+
+    /// All cycles across the six categories.
+    pub fn total(&self) -> u64 {
+        AttributionKind::ALL.iter().map(|&k| self.get(k)).sum()
+    }
+
+    /// Element-wise sum (saturating, so a pathological merge cannot
+    /// wrap and silently corrupt the totals).
+    pub fn merged(&self, other: &BlockCycles) -> BlockCycles {
+        BlockCycles {
+            pipeline: self.pipeline.saturating_add(other.pipeline),
+            i_stall: self.i_stall.saturating_add(other.i_stall),
+            d_stall: self.d_stall.saturating_add(other.d_stall),
+            reconfig_stall: self.reconfig_stall.saturating_add(other.reconfig_stall),
+            array_exec: self.array_exec.saturating_add(other.array_exec),
+            writeback_tail: self.writeback_tail.saturating_add(other.writeback_tail),
+            retired: self.retired.saturating_add(other.retired),
+            invocations: self.invocations.saturating_add(other.invocations),
+        }
+    }
+}
+
+/// A [`Probe`] that attributes every cycle to a static basic block.
+///
+/// Block identity is the leader PC: the first instruction retired after
+/// a control transfer (or after an array invocation, which drains the
+/// pipeline) starts a new attribution scope. Array cycles are charged
+/// to the configuration's entry PC — the block the accelerated region
+/// replaced.
+#[derive(Debug, Clone, Default)]
+pub struct CycleProfiler {
+    blocks: HashMap<u32, BlockCycles>,
+    current_leader: Option<u32>,
+}
+
+impl CycleProfiler {
+    /// An empty profiler.
+    pub fn new() -> CycleProfiler {
+        CycleProfiler::default()
+    }
+
+    /// Finishes profiling and produces the sorted profile.
+    pub fn into_profile(self) -> CycleProfile {
+        let mut blocks: Vec<(u32, BlockCycles)> = self.blocks.into_iter().collect();
+        // Hottest first; PC breaks ties so the order is deterministic.
+        blocks.sort_by(|a, b| b.1.total().cmp(&a.1.total()).then(a.0.cmp(&b.0)));
+        let totals = blocks
+            .iter()
+            .fold(BlockCycles::default(), |acc, (_, b)| acc.merged(b));
+        CycleProfile { blocks, totals }
+    }
+}
+
+impl Probe for CycleProfiler {
+    fn emit(&mut self, event: ProbeEvent) {
+        match event {
+            ProbeEvent::Retire {
+                pc,
+                base_cycles,
+                i_stall,
+                d_stall,
+                ends_block,
+                ..
+            } => {
+                let leader = *self.current_leader.get_or_insert(pc);
+                let block = self.blocks.entry(leader).or_default();
+                block.pipeline += base_cycles as u64;
+                block.i_stall += i_stall as u64;
+                block.d_stall += d_stall as u64;
+                block.retired += 1;
+                if ends_block {
+                    self.current_leader = None;
+                }
+            }
+            ProbeEvent::ArrayInvoke(inv) => {
+                let block = self.blocks.entry(inv.entry_pc).or_default();
+                block.reconfig_stall += inv.stall_cycles as u64;
+                block.array_exec += inv.exec_cycles as u64;
+                block.writeback_tail += inv.tail_cycles as u64;
+                block.invocations += 1;
+                // The pipeline drains across an invocation; whatever
+                // retires next leads a fresh attribution scope.
+                self.current_leader = None;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The finished per-block cycle attribution, hottest block first.
+#[derive(Debug, Clone, Default)]
+pub struct CycleProfile {
+    /// `(leader_pc, cycles)` sorted by descending total.
+    pub blocks: Vec<(u32, BlockCycles)>,
+    /// Column sums over all blocks. `totals.total()` equals the run's
+    /// total cycle count exactly.
+    pub totals: BlockCycles,
+}
+
+impl CycleProfile {
+    /// All attributed cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.totals.total()
+    }
+
+    /// Renders the hot-block table (top `limit` blocks, 0 = all).
+    pub fn render(&self, limit: usize) -> String {
+        let mut s = String::new();
+        s.push_str(
+            "   block       total    %  pipeline   i-stall   d-stall  reconfig  arr-exec  wb-tail   retired  invokes\n",
+        );
+        let total = self.total_cycles().max(1);
+        let shown = if limit == 0 {
+            self.blocks.len()
+        } else {
+            limit.min(self.blocks.len())
+        };
+        for (pc, b) in &self.blocks[..shown] {
+            s.push_str(&format!(
+                "{pc:#010x} {:>11} {:>4.1} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>9} {:>8}\n",
+                b.total(),
+                100.0 * b.total() as f64 / total as f64,
+                b.pipeline,
+                b.i_stall,
+                b.d_stall,
+                b.reconfig_stall,
+                b.array_exec,
+                b.writeback_tail,
+                b.retired,
+                b.invocations,
+            ));
+        }
+        if shown < self.blocks.len() {
+            let rest = self.blocks[shown..]
+                .iter()
+                .fold(BlockCycles::default(), |acc, (_, b)| acc.merged(b));
+            s.push_str(&format!(
+                "(+{} more blocks) {:>4} {:>4.1}%\n",
+                self.blocks.len() - shown,
+                rest.total(),
+                100.0 * rest.total() as f64 / total as f64,
+            ));
+        }
+        let t = &self.totals;
+        s.push_str(&format!(
+            "     total {:>11} 100.0 {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>9} {:>8}\n",
+            t.total(),
+            t.pipeline,
+            t.i_stall,
+            t.d_stall,
+            t.reconfig_stall,
+            t.array_exec,
+            t.writeback_tail,
+            t.retired,
+            t.invocations,
+        ));
+        s
+    }
+
+    /// Serializes the profile as one JSON object.
+    pub fn to_json(&self) -> String {
+        fn block_json(b: &BlockCycles) -> String {
+            let mut o = ObjectWriter::new();
+            for kind in AttributionKind::ALL {
+                o.field_u64(kind.name(), b.get(kind));
+            }
+            o.field_u64("total", b.total());
+            o.field_u64("retired", b.retired);
+            o.field_u64("invocations", b.invocations);
+            o.finish()
+        }
+        let mut blocks = String::from("[");
+        for (i, (pc, b)) in self.blocks.iter().enumerate() {
+            if i > 0 {
+                blocks.push(',');
+            }
+            let mut o = ObjectWriter::new();
+            o.field_u64("leader_pc", *pc as u64);
+            o.field_raw("cycles", &block_json(b));
+            blocks.push_str(&o.finish());
+        }
+        blocks.push(']');
+        let mut o = ObjectWriter::new();
+        o.field_u64("total_cycles", self.total_cycles());
+        o.field_raw("totals", &block_json(&self.totals));
+        o.field_raw("blocks", &blocks);
+        o.finish()
+    }
+}
+
+impl fmt::Display for CycleProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(20))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ArrayInvoke, RetireKind};
+
+    fn retire(pc: u32, base: u32, i: u32, d: u32, ends: bool) -> ProbeEvent {
+        ProbeEvent::Retire {
+            pc,
+            kind: RetireKind::Alu,
+            base_cycles: base,
+            i_stall: i,
+            d_stall: d,
+            ends_block: ends,
+        }
+    }
+
+    #[test]
+    fn blocks_split_on_terminators() {
+        let mut p = CycleProfiler::new();
+        p.emit(retire(0x100, 1, 10, 0, false));
+        p.emit(retire(0x104, 1, 0, 3, true)); // ends block led by 0x100
+        p.emit(retire(0x200, 2, 0, 0, true)); // one-instruction block
+        p.emit(retire(0x100, 1, 0, 0, false)); // back to the first block
+        let profile = p.into_profile();
+        assert_eq!(profile.blocks.len(), 2);
+        let b100 = profile
+            .blocks
+            .iter()
+            .find(|(pc, _)| *pc == 0x100)
+            .unwrap()
+            .1;
+        assert_eq!(b100.pipeline, 3);
+        assert_eq!(b100.i_stall, 10);
+        assert_eq!(b100.d_stall, 3);
+        assert_eq!(b100.retired, 3);
+        assert_eq!(profile.totals.total(), 18);
+        // Hottest first.
+        assert_eq!(profile.blocks[0].0, 0x100);
+    }
+
+    #[test]
+    fn array_cycles_charge_entry_block_and_reset_leader() {
+        let mut p = CycleProfiler::new();
+        p.emit(retire(0x100, 1, 0, 0, false));
+        p.emit(ProbeEvent::ArrayInvoke(ArrayInvoke {
+            entry_pc: 0x300,
+            exit_pc: 0x340,
+            covered: 9,
+            executed: 9,
+            loads: 0,
+            stores: 0,
+            rows: 3,
+            spec_depth: 0,
+            misspeculated: false,
+            flushed: false,
+            stall_cycles: 2,
+            exec_cycles: 5,
+            tail_cycles: 1,
+        }));
+        // Leader was reset: this retire starts a new block even though
+        // the previous one never saw a terminator.
+        p.emit(retire(0x340, 1, 0, 0, false));
+        let profile = p.into_profile();
+        let b300 = profile
+            .blocks
+            .iter()
+            .find(|(pc, _)| *pc == 0x300)
+            .unwrap()
+            .1;
+        assert_eq!(b300.reconfig_stall, 2);
+        assert_eq!(b300.array_exec, 5);
+        assert_eq!(b300.writeback_tail, 1);
+        assert_eq!(b300.invocations, 1);
+        assert!(profile.blocks.iter().any(|(pc, _)| *pc == 0x340));
+        assert_eq!(profile.total_cycles(), 10);
+        let json = profile.to_json();
+        crate::json::parse(&json).unwrap();
+        let table = profile.render(1);
+        assert!(table.contains("more blocks"), "{table}");
+    }
+
+    #[test]
+    fn merged_saturates() {
+        let a = BlockCycles {
+            pipeline: u64::MAX,
+            ..BlockCycles::default()
+        };
+        let b = BlockCycles {
+            pipeline: 5,
+            retired: 1,
+            ..BlockCycles::default()
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.pipeline, u64::MAX);
+        assert_eq!(m.retired, 1);
+    }
+}

@@ -1,0 +1,531 @@
+//! Parsing, validation, and summarization of JSONL traces.
+//!
+//! [`read_trace`] validates a trace written by
+//! [`JsonlSink`](crate::JsonlSink): the first line must be a `header`
+//! whose `schema_version` is not newer than [`SCHEMA_VERSION`], every
+//! line must be well-formed JSON of a known record type, and the
+//! `footer` (when present) must agree with the observed event count.
+//! Unknown *fields* inside a known record are ignored, per the schema
+//! compatibility policy.
+//!
+//! The returned [`TraceSummary`] reconstructs every accelerator-side
+//! counter from the events alone — the round-trip test in `dim-core`
+//! asserts it equals the live `DimStats` field for field.
+
+use crate::event::{ArrayInvoke, ProbeEvent, RetireKind, SCHEMA_VERSION};
+use crate::json::{self, JsonValue};
+use std::fmt;
+
+/// A trace-reading error, with the 1-based line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayError {
+    /// 1-based line number (0 for whole-trace errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "trace error: {}", self.message)
+        } else {
+            write!(f, "trace error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// The `header` record of a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// Schema version the trace was written with.
+    pub schema_version: u32,
+    /// Workload name recorded at trace time.
+    pub workload: String,
+    /// Stored bits per cache entry (drives the cache-bit counters).
+    pub bits_per_config: u64,
+}
+
+/// One parsed trace line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceRecord {
+    /// The leading metadata record.
+    Header(TraceHeader),
+    /// A coalesced run of pipeline activity.
+    RetireBatch {
+        /// Instructions retired in the run.
+        count: u64,
+        /// Summed pipeline base cycles.
+        base_cycles: u64,
+        /// Summed instruction-cache stall cycles.
+        i_stall: u64,
+        /// Summed data-cache stall cycles.
+        d_stall: u64,
+        /// Reconfiguration-cache misses interleaved with the run.
+        rcache_misses: u64,
+        /// Retire counts per instruction kind.
+        kinds: Vec<(RetireKind, u64)>,
+    },
+    /// Any non-batched event.
+    Event(ProbeEvent),
+    /// The trailing integrity record.
+    Footer {
+        /// Total events the sink observed.
+        events: u64,
+    },
+}
+
+/// Accelerator- and pipeline-side counters reconstructed from a trace.
+///
+/// The first fifteen fields mirror `DimStats` in `dim-core` name for
+/// name (the crates deliberately do not depend on each other in that
+/// direction, so the round-trip test compares field by field).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Times a configuration executed on the array.
+    pub array_invocations: u64,
+    /// Instructions retired through the array.
+    pub array_instructions: u64,
+    /// Array execution cycles.
+    pub array_exec_cycles: u64,
+    /// Reconfiguration stall cycles.
+    pub reconfig_stall_cycles: u64,
+    /// Non-overlapped write-back cycles.
+    pub writeback_tail_cycles: u64,
+    /// Loads issued by the array.
+    pub array_loads: u64,
+    /// Stores issued by the array.
+    pub array_stores: u64,
+    /// Invocations with every speculation correct.
+    pub full_hits: u64,
+    /// Misspeculated invocations.
+    pub misspeculations: u64,
+    /// Configurations flushed after misspeculation.
+    pub config_flushes: u64,
+    /// Configurations built and inserted.
+    pub configs_built: u64,
+    /// Instructions examined by the detection hardware.
+    pub translated_instructions: u64,
+    /// Bits read from the reconfiguration cache.
+    pub cache_bits_read: u64,
+    /// Bits written to the reconfiguration cache.
+    pub cache_bits_written: u64,
+    /// Summed occupied rows over invocations.
+    pub array_occupied_rows: u64,
+
+    /// Pipeline instructions retired.
+    pub retired: u64,
+    /// Pipeline cycles (base + i-stall + d-stall).
+    pub pipeline_cycles: u64,
+    /// Reconfiguration-cache hits.
+    pub rcache_hits: u64,
+    /// Reconfiguration-cache misses.
+    pub rcache_misses: u64,
+    /// Insertions that displaced an entry.
+    pub rcache_evictions: u64,
+}
+
+impl TraceSummary {
+    /// Total simulated cycles: pipeline plus all array-attributed spans.
+    pub fn total_cycles(&self) -> u64 {
+        self.pipeline_cycles
+            + self.array_exec_cycles
+            + self.reconfig_stall_cycles
+            + self.writeback_tail_cycles
+    }
+}
+
+/// A fully parsed and validated trace.
+#[derive(Debug, Clone)]
+pub struct ReplayedTrace {
+    /// The header record.
+    pub header: TraceHeader,
+    /// Every record after the header, in trace order (footer included).
+    pub records: Vec<TraceRecord>,
+    /// Counters reconstructed from the records.
+    pub summary: TraceSummary,
+}
+
+fn err(line: usize, message: impl Into<String>) -> ReplayError {
+    ReplayError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn get_u64(v: &JsonValue, key: &str, line: usize) -> Result<u64, ReplayError> {
+    v.get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| err(line, format!("missing or non-integer field `{key}`")))
+}
+
+fn get_u32(v: &JsonValue, key: &str, line: usize) -> Result<u32, ReplayError> {
+    let n = get_u64(v, key, line)?;
+    u32::try_from(n).map_err(|_| err(line, format!("field `{key}` out of range")))
+}
+
+fn get_bool(v: &JsonValue, key: &str, line: usize) -> Result<bool, ReplayError> {
+    v.get(key)
+        .and_then(JsonValue::as_bool)
+        .ok_or_else(|| err(line, format!("missing or non-boolean field `{key}`")))
+}
+
+/// Parses and validates a single trace line.
+pub fn parse_record(text: &str, line: usize) -> Result<TraceRecord, ReplayError> {
+    let v = json::parse(text).map_err(|e| err(line, e.to_string()))?;
+    let ty = v
+        .get("type")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| err(line, "missing `type` field"))?;
+    Ok(match ty {
+        "header" => {
+            let version = get_u32(&v, "schema_version", line)?;
+            if version > SCHEMA_VERSION {
+                return Err(err(
+                    line,
+                    format!(
+                        "trace schema version {version} is newer than supported {SCHEMA_VERSION}"
+                    ),
+                ));
+            }
+            TraceRecord::Header(TraceHeader {
+                schema_version: version,
+                workload: v
+                    .get("workload")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+                bits_per_config: get_u64(&v, "bits_per_config", line)?,
+            })
+        }
+        "retire_batch" => {
+            let mut kinds = Vec::new();
+            if let Some(JsonValue::Object(map)) = v.get("kinds") {
+                for (name, n) in map {
+                    let kind = RetireKind::from_name(name)
+                        .ok_or_else(|| err(line, format!("unknown retire kind `{name}`")))?;
+                    let n = n
+                        .as_u64()
+                        .ok_or_else(|| err(line, format!("non-integer kind count `{name}`")))?;
+                    kinds.push((kind, n));
+                }
+            }
+            let count = get_u64(&v, "count", line)?;
+            let kind_total: u64 = kinds.iter().map(|(_, n)| n).sum();
+            if kind_total != count {
+                return Err(err(
+                    line,
+                    format!("kind counts sum to {kind_total} but `count` is {count}"),
+                ));
+            }
+            TraceRecord::RetireBatch {
+                count,
+                base_cycles: get_u64(&v, "base_cycles", line)?,
+                i_stall: get_u64(&v, "i_stall", line)?,
+                d_stall: get_u64(&v, "d_stall", line)?,
+                rcache_misses: get_u64(&v, "rcache_misses", line)?,
+                kinds,
+            }
+        }
+        "trans_begin" => TraceRecord::Event(ProbeEvent::TransBegin {
+            pc: get_u32(&v, "pc", line)?,
+        }),
+        "trans_commit" => TraceRecord::Event(ProbeEvent::TransCommit {
+            entry_pc: get_u32(&v, "entry_pc", line)?,
+            instructions: get_u32(&v, "instructions", line)?,
+            rows: get_u32(&v, "rows", line)?,
+            spec_blocks: get_u32(&v, "spec_blocks", line)?.min(u8::MAX as u32) as u8,
+            partial: get_bool(&v, "partial", line)?,
+        }),
+        "rcache_hit" => TraceRecord::Event(ProbeEvent::RcacheHit {
+            pc: get_u32(&v, "pc", line)?,
+        }),
+        "rcache_miss" => TraceRecord::Event(ProbeEvent::RcacheMiss {
+            pc: get_u32(&v, "pc", line)?,
+        }),
+        "rcache_insert" => {
+            let evicted = match v.get("evicted") {
+                None | Some(JsonValue::Null) => None,
+                Some(other) => Some(
+                    other
+                        .as_u64()
+                        .and_then(|n| u32::try_from(n).ok())
+                        .ok_or_else(|| err(line, "bad `evicted` field"))?,
+                ),
+            };
+            TraceRecord::Event(ProbeEvent::RcacheInsert {
+                pc: get_u32(&v, "pc", line)?,
+                evicted,
+            })
+        }
+        "rcache_flush" => TraceRecord::Event(ProbeEvent::RcacheFlush {
+            pc: get_u32(&v, "pc", line)?,
+        }),
+        "array_invoke" => {
+            let spec_depth = get_u32(&v, "spec_depth", line)?;
+            let spec_depth =
+                u8::try_from(spec_depth).map_err(|_| err(line, "`spec_depth` out of range"))?;
+            TraceRecord::Event(ProbeEvent::ArrayInvoke(ArrayInvoke {
+                entry_pc: get_u32(&v, "entry_pc", line)?,
+                exit_pc: get_u32(&v, "exit_pc", line)?,
+                covered: get_u32(&v, "covered", line)?,
+                executed: get_u32(&v, "executed", line)?,
+                loads: get_u32(&v, "loads", line)?,
+                stores: get_u32(&v, "stores", line)?,
+                rows: get_u32(&v, "rows", line)?,
+                spec_depth,
+                misspeculated: get_bool(&v, "misspeculated", line)?,
+                flushed: get_bool(&v, "flushed", line)?,
+                stall_cycles: get_u32(&v, "stall_cycles", line)?,
+                exec_cycles: get_u32(&v, "exec_cycles", line)?,
+                tail_cycles: get_u32(&v, "tail_cycles", line)?,
+            }))
+        }
+        "footer" => TraceRecord::Footer {
+            events: get_u64(&v, "events", line)?,
+        },
+        other => return Err(err(line, format!("unknown record type `{other}`"))),
+    })
+}
+
+/// Reads, validates, and summarizes a whole JSONL trace.
+///
+/// # Errors
+///
+/// Returns the first structural problem found: malformed JSON, unknown
+/// record type, missing header, a header newer than [`SCHEMA_VERSION`],
+/// records after the footer, a missing footer (a truncated trace), or a
+/// footer whose event count disagrees with the records.
+pub fn read_trace(text: &str) -> Result<ReplayedTrace, ReplayError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (first_idx, first) = lines.next().ok_or_else(|| err(0, "empty trace"))?;
+    let header = match parse_record(first, first_idx + 1)? {
+        TraceRecord::Header(h) => h,
+        other => {
+            return Err(err(
+                first_idx + 1,
+                format!("first record must be a header, got `{other:?}`"),
+            ))
+        }
+    };
+
+    let mut records = Vec::new();
+    let mut summary = TraceSummary::default();
+    let mut events: u64 = 0;
+    let mut footer: Option<u64> = None;
+    let mut flushed_invocations: u64 = 0;
+
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        if footer.is_some() {
+            return Err(err(lineno, "record after footer"));
+        }
+        let record = parse_record(line, lineno)?;
+        match &record {
+            TraceRecord::Header(_) => return Err(err(lineno, "duplicate header")),
+            TraceRecord::Footer { events: n } => footer = Some(*n),
+            TraceRecord::RetireBatch {
+                count,
+                base_cycles,
+                i_stall,
+                d_stall,
+                rcache_misses,
+                ..
+            } => {
+                events += count + rcache_misses;
+                summary.retired += count;
+                summary.translated_instructions += count;
+                summary.pipeline_cycles += base_cycles + i_stall + d_stall;
+                summary.rcache_misses += rcache_misses;
+            }
+            TraceRecord::Event(event) => {
+                events += 1;
+                match event {
+                    ProbeEvent::Retire { .. } | ProbeEvent::RcacheMiss { .. } => {
+                        return Err(err(lineno, "unbatched pipeline event in trace"))
+                    }
+                    ProbeEvent::TransBegin { .. } => {}
+                    ProbeEvent::TransCommit { .. } => {}
+                    ProbeEvent::RcacheHit { .. } => summary.rcache_hits += 1,
+                    ProbeEvent::RcacheInsert { evicted, .. } => {
+                        summary.configs_built += 1;
+                        summary.cache_bits_written += header.bits_per_config;
+                        if evicted.is_some() {
+                            summary.rcache_evictions += 1;
+                        }
+                    }
+                    ProbeEvent::RcacheFlush { .. } => summary.config_flushes += 1,
+                    ProbeEvent::ArrayInvoke(inv) => {
+                        summary.array_invocations += 1;
+                        summary.array_instructions += inv.executed as u64;
+                        summary.array_exec_cycles += inv.exec_cycles as u64;
+                        summary.reconfig_stall_cycles += inv.stall_cycles as u64;
+                        summary.writeback_tail_cycles += inv.tail_cycles as u64;
+                        summary.array_loads += inv.loads as u64;
+                        summary.array_stores += inv.stores as u64;
+                        summary.array_occupied_rows += inv.rows as u64;
+                        summary.cache_bits_read += header.bits_per_config;
+                        if inv.misspeculated {
+                            summary.misspeculations += 1;
+                        } else {
+                            summary.full_hits += 1;
+                        }
+                        if inv.flushed {
+                            flushed_invocations += 1;
+                        }
+                    }
+                }
+            }
+        }
+        records.push(record);
+    }
+
+    match footer {
+        None => return Err(err(0, "trace is truncated: no footer record")),
+        Some(n) if n != events => {
+            return Err(err(
+                0,
+                format!("footer reports {n} events but trace contains {events}"),
+            ));
+        }
+        Some(_) => {}
+    }
+    if flushed_invocations != summary.config_flushes {
+        return Err(err(
+            0,
+            format!(
+                "{} invocations marked flushed but {} rcache_flush records",
+                flushed_invocations, summary.config_flushes
+            ),
+        ));
+    }
+
+    Ok(ReplayedTrace {
+        header,
+        records,
+        summary,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jsonl::JsonlSink;
+    use crate::probe::Probe;
+
+    fn sample_trace() -> String {
+        let mut sink = JsonlSink::new(Vec::new(), "sample", 100);
+        sink.emit(ProbeEvent::RcacheMiss { pc: 0x400000 });
+        sink.emit(ProbeEvent::Retire {
+            pc: 0x400000,
+            kind: RetireKind::Alu,
+            base_cycles: 1,
+            i_stall: 12,
+            d_stall: 0,
+            ends_block: false,
+        });
+        sink.emit(ProbeEvent::TransBegin { pc: 0x400000 });
+        sink.emit(ProbeEvent::TransCommit {
+            entry_pc: 0x400000,
+            instructions: 7,
+            rows: 3,
+            spec_blocks: 2,
+            partial: false,
+        });
+        sink.emit(ProbeEvent::RcacheInsert {
+            pc: 0x400000,
+            evicted: None,
+        });
+        sink.emit(ProbeEvent::RcacheHit { pc: 0x400000 });
+        sink.emit(ProbeEvent::ArrayInvoke(ArrayInvoke {
+            entry_pc: 0x400000,
+            exit_pc: 0x40001c,
+            covered: 7,
+            executed: 7,
+            loads: 2,
+            stores: 1,
+            rows: 3,
+            spec_depth: 1,
+            misspeculated: false,
+            flushed: false,
+            stall_cycles: 1,
+            exec_cycles: 4,
+            tail_cycles: 2,
+        }));
+        let (bytes, e) = sink.into_inner();
+        assert!(e.is_none());
+        String::from_utf8(bytes).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_reconstructs_counters() {
+        let trace = read_trace(&sample_trace()).unwrap();
+        assert_eq!(trace.header.schema_version, SCHEMA_VERSION);
+        assert_eq!(trace.header.workload, "sample");
+        let s = trace.summary;
+        assert_eq!(s.retired, 1);
+        assert_eq!(s.translated_instructions, 1);
+        assert_eq!(s.pipeline_cycles, 13);
+        assert_eq!(s.rcache_misses, 1);
+        assert_eq!(s.rcache_hits, 1);
+        assert_eq!(s.configs_built, 1);
+        assert_eq!(s.cache_bits_written, 100);
+        assert_eq!(s.cache_bits_read, 100);
+        assert_eq!(s.array_invocations, 1);
+        assert_eq!(s.array_instructions, 7);
+        assert_eq!(s.full_hits, 1);
+        assert_eq!(s.total_cycles(), 13 + 7);
+    }
+
+    #[test]
+    fn rejects_newer_schema() {
+        let trace = r#"{"type":"header","schema_version":999,"workload":"x","bits_per_config":0}"#;
+        let e = read_trace(trace).unwrap_err();
+        assert!(e.message.contains("newer"), "{e}");
+    }
+
+    #[test]
+    fn rejects_missing_header_and_bad_footer() {
+        assert!(read_trace("").is_err());
+        assert!(read_trace(r#"{"type":"footer","events":0}"#).is_err());
+        let truncated = r#"{"type":"header","schema_version":1,"workload":"x","bits_per_config":0}
+{"type":"rcache_hit","pc":4}
+{"type":"footer","events":7}"#;
+        let e = read_trace(truncated).unwrap_err();
+        assert!(e.message.contains("footer"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_type_but_ignores_unknown_fields() {
+        let bad = r#"{"type":"header","schema_version":1,"workload":"x","bits_per_config":0}
+{"type":"mystery"}"#;
+        assert!(read_trace(bad).is_err());
+        let extra_fields = r#"{"type":"header","schema_version":1,"workload":"x","bits_per_config":0,"generator":"future"}
+{"type":"rcache_hit","pc":4,"way":3}
+{"type":"footer","events":1}"#;
+        let trace = read_trace(extra_fields).unwrap();
+        assert_eq!(trace.summary.rcache_hits, 1);
+    }
+
+    #[test]
+    fn rejects_truncated_trace_without_footer() {
+        let full = sample_trace();
+        let truncated: Vec<&str> = full.lines().collect();
+        let truncated = truncated[..truncated.len() - 1].join("\n");
+        let e = read_trace(&truncated).unwrap_err();
+        assert!(e.message.contains("truncated"), "{e}");
+    }
+
+    #[test]
+    fn rejects_inconsistent_batch() {
+        let bad = r#"{"type":"header","schema_version":1,"workload":"x","bits_per_config":0}
+{"type":"retire_batch","count":3,"base_cycles":3,"i_stall":0,"d_stall":0,"rcache_misses":0,"kinds":{"alu":1}}"#;
+        let e = read_trace(bad).unwrap_err();
+        assert!(e.message.contains("kind counts"), "{e}");
+    }
+}

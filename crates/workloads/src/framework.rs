@@ -177,11 +177,7 @@ pub fn validate(machine: &Machine, built: &BuiltBenchmark) -> Result<(), Workloa
             .symbol(&region.label)
             .unwrap_or_else(|| panic!("benchmark `{}` lacks label `{}`", built.name, region.label));
         let got = machine.mem.read_bytes(addr, region.bytes.len());
-        if let Some(offset) = got
-            .iter()
-            .zip(&region.bytes)
-            .position(|(g, w)| g != w)
-        {
+        if let Some(offset) = got.iter().zip(&region.bytes).position(|(g, w)| g != w) {
             return Err(WorkloadError::Mismatch {
                 label: region.label.clone(),
                 offset,
@@ -201,7 +197,11 @@ pub fn validate(machine: &Machine, built: &BuiltBenchmark) -> Result<(), Workloa
 pub fn run_baseline(built: &BuiltBenchmark) -> Result<Machine, WorkloadError> {
     let mut machine = Machine::load(&built.program);
     match machine.run(built.max_steps)? {
-        HaltReason::StepLimit => return Err(WorkloadError::Timeout { max_steps: built.max_steps }),
+        HaltReason::StepLimit => {
+            return Err(WorkloadError::Timeout {
+                max_steps: built.max_steps,
+            })
+        }
         HaltReason::Exit(_) => {}
     }
     validate(&machine, built)?;
@@ -301,7 +301,9 @@ mod tests {
         };
         let err = run_baseline(&built).unwrap_err();
         match err {
-            WorkloadError::Mismatch { offset, got, want, .. } => {
+            WorkloadError::Mismatch {
+                offset, got, want, ..
+            } => {
                 assert_eq!((offset, got, want), (2, 0x22, 0x99));
             }
             other => panic!("unexpected {other}"),

@@ -26,7 +26,10 @@ fn build(scale: Scale) -> BuiltBenchmark {
     let mut rng = XorShift32(0xb17c_0047);
     let values: Vec<u32> = (0..n).map(|_| rng.next_u32()).collect();
     let sum = popcount_sum(&values);
-    let expected: Vec<u8> = [sum, sum, sum].iter().flat_map(|w| w.to_le_bytes()).collect();
+    let expected: Vec<u8> = [sum, sum, sum]
+        .iter()
+        .flat_map(|w| w.to_le_bytes())
+        .collect();
 
     let src = format!(
         "
@@ -105,7 +108,10 @@ fn build(scale: Scale) -> BuiltBenchmark {
         name: "bitcount",
         category: Category::ControlFlow,
         program: must_assemble("bitcount", &src),
-        expected: vec![ExpectedRegion { label: "out".into(), bytes: expected }],
+        expected: vec![ExpectedRegion {
+            label: "out".into(),
+            bytes: expected,
+        }],
         max_steps: 400 * n as u64 + 10_000,
     }
 }

@@ -3,8 +3,8 @@
 //! branches; moderate basic blocks.
 
 use crate::framework::{
-    must_assemble, words_directive, BenchmarkSpec, BuiltBenchmark, Category, ExpectedRegion,
-    Scale, XorShift32,
+    must_assemble, words_directive, BenchmarkSpec, BuiltBenchmark, Category, ExpectedRegion, Scale,
+    XorShift32,
 };
 
 /// "No edge" weight. Small enough that `dist + INF` never wraps.
@@ -160,7 +160,10 @@ fn build(scale: Scale) -> BuiltBenchmark {
         name: "dijkstra",
         category: Category::ControlFlow,
         program: must_assemble("dijkstra", &src),
-        expected: vec![ExpectedRegion { label: "dist".into(), bytes: expected }],
+        expected: vec![ExpectedRegion {
+            label: "dist".into(),
+            bytes: expected,
+        }],
         max_steps: 200 * (v as u64) * (v as u64) + 100_000,
     }
 }

@@ -10,8 +10,8 @@
 //! Rust references.
 
 use crate::framework::{
-    must_assemble, words_directive, BenchmarkSpec, BuiltBenchmark, Category, ExpectedRegion,
-    Scale, XorShift32,
+    must_assemble, words_directive, BenchmarkSpec, BuiltBenchmark, Category, ExpectedRegion, Scale,
+    XorShift32,
 };
 
 const FRAME: usize = 160;
@@ -293,8 +293,14 @@ fn build_enc(scale: Scale) -> BuiltBenchmark {
         category: Category::DataFlow,
         program: must_assemble("gsm_enc", &src),
         expected: vec![
-            ExpectedRegion { label: "acf".into(), bytes: expected_acf },
-            ExpectedRegion { label: "ltp".into(), bytes: expected_ltp },
+            ExpectedRegion {
+                label: "acf".into(),
+                bytes: expected_acf,
+            },
+            ExpectedRegion {
+                label: "ltp".into(),
+                bytes: expected_ltp,
+            },
         ],
         max_steps: 120_000 * frames as u64 + 10_000,
     }
@@ -380,7 +386,10 @@ fn build_dec(scale: Scale) -> BuiltBenchmark {
         name: "gsm_dec",
         category: Category::Mixed,
         program: must_assemble("gsm_dec", &src),
-        expected: vec![ExpectedRegion { label: "outp".into(), bytes: expected }],
+        expected: vec![ExpectedRegion {
+            label: "outp".into(),
+            bytes: expected,
+        }],
         max_steps: 200 * n as u64 + 10_000,
     }
 }

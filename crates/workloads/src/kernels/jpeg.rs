@@ -14,15 +14,15 @@
 //! the array, exactly as in the paper.
 
 use crate::framework::{
-    must_assemble, words_directive, BenchmarkSpec, BuiltBenchmark, Category, ExpectedRegion,
-    Scale, XorShift32,
+    must_assemble, words_directive, BenchmarkSpec, BuiltBenchmark, Category, ExpectedRegion, Scale,
+    XorShift32,
 };
 
 /// Standard JPEG luminance quantization table.
 const QTABLE: [i32; 64] = [
-    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69,
-    56, 14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81,
-    104, 113, 92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
+    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104, 113,
+    92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
 ];
 
 /// DCT basis matrix in 8.8 fixed point:
@@ -36,8 +36,7 @@ fn cmat() -> [i32; 64] {
             (2.0f64 / 8.0).sqrt()
         };
         for x in 0..8 {
-            let v = alpha
-                * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0).cos();
+            let v = alpha * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0).cos();
             c[u * 8 + x] = (v * 256.0).round() as i32;
         }
     }
@@ -105,9 +104,9 @@ pub fn idct_dequant_reference(coef: &[i32; 64]) -> [i32; 64] {
 
 /// The standard JPEG zigzag scan order.
 const ZIGZAG: [u8; 64] = [
-    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
-    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
-    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+    13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
+    52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
 ];
 
 /// Bytes reserved per block for the run-length stream: DC word + up to
@@ -214,7 +213,10 @@ fn enc_block_code(b: usize) -> String {
             )
         },
         // tmpm[i*8+j] = acc
-        &format!("{}\n            sw   $s6, 0($t6)", addr("$s2", "$s3", "$s4")),
+        &format!(
+            "{}\n            sw   $s6, 0($t6)",
+            addr("$s2", "$s3", "$s4")
+        ),
     );
     let stage2 = ip_nest(
         &format!("mm2_{b}"),
@@ -325,7 +327,10 @@ fn dec_block_code(b: usize) -> String {
                 o = 32 * k,
             )
         },
-        &format!("{}\n            sw   $s6, 0($t6)", addr("$s2", "$s3", "$s4")),
+        &format!(
+            "{}\n            sw   $s6, 0($t6)",
+            addr("$s2", "$s3", "$s4")
+        ),
     );
     let stage2 = ip_nest(
         &format!("im2_{b}"),
@@ -432,8 +437,14 @@ fn build_enc(scale: Scale) -> BuiltBenchmark {
         category: Category::Mixed,
         program: must_assemble("jpeg_enc", &src),
         expected: vec![
-            ExpectedRegion { label: "coef".into(), bytes: expected },
-            ExpectedRegion { label: "rle".into(), bytes: expected_rle },
+            ExpectedRegion {
+                label: "coef".into(),
+                bytes: expected,
+            },
+            ExpectedRegion {
+                label: "rle".into(),
+                bytes: expected_rle,
+            },
         ],
         max_steps: 40_000 * (blocks * passes) as u64 + 10_000,
     }
@@ -491,7 +502,10 @@ fn build_dec(scale: Scale) -> BuiltBenchmark {
         name: "jpeg_dec",
         category: Category::Mixed,
         program: must_assemble("jpeg_dec", &src),
-        expected: vec![ExpectedRegion { label: "outp".into(), bytes: expected }],
+        expected: vec![ExpectedRegion {
+            label: "outp".into(),
+            bytes: expected,
+        }],
         max_steps: 40_000 * (blocks * passes) as u64 + 10_000,
     }
 }

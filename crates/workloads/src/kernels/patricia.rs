@@ -7,8 +7,8 @@
 //! branches, dependent loads — is the same.
 
 use crate::framework::{
-    must_assemble, words_directive, BenchmarkSpec, BuiltBenchmark, Category, ExpectedRegion,
-    Scale, XorShift32,
+    must_assemble, words_directive, BenchmarkSpec, BuiltBenchmark, Category, ExpectedRegion, Scale,
+    XorShift32,
 };
 use std::collections::HashSet;
 
@@ -151,7 +151,10 @@ fn build(scale: Scale) -> BuiltBenchmark {
         name: "patricia",
         category: Category::ControlFlow,
         program: must_assemble("patricia", &src),
-        expected: vec![ExpectedRegion { label: "out".into(), bytes: expected }],
+        expected: vec![ExpectedRegion {
+            label: "out".into(),
+            bytes: expected,
+        }],
         max_steps: 3000 * k as u64 + 100_000,
     }
 }

@@ -3,8 +3,8 @@
 //! Heavily control-flow oriented.
 
 use crate::framework::{
-    must_assemble, words_directive, BenchmarkSpec, BuiltBenchmark, Category, ExpectedRegion,
-    Scale, XorShift32,
+    must_assemble, words_directive, BenchmarkSpec, BuiltBenchmark, Category, ExpectedRegion, Scale,
+    XorShift32,
 };
 
 /// Reference: sorted copy (signed order).
@@ -106,7 +106,10 @@ fn build(scale: Scale) -> BuiltBenchmark {
         name: "quicksort",
         category: Category::ControlFlow,
         program: must_assemble("quicksort", &src),
-        expected: vec![ExpectedRegion { label: "arr".into(), bytes: expected }],
+        expected: vec![ExpectedRegion {
+            label: "arr".into(),
+            bytes: expected,
+        }],
         max_steps: 3000 * n as u64 + 100_000,
     }
 }

@@ -5,8 +5,8 @@
 //! most from large array configurations (Table 2's top rows).
 
 use crate::framework::{
-    bytes_directive, must_assemble, BenchmarkSpec, BuiltBenchmark, Category, ExpectedRegion,
-    Scale, XorShift32,
+    bytes_directive, must_assemble, BenchmarkSpec, BuiltBenchmark, Category, ExpectedRegion, Scale,
+    XorShift32,
 };
 
 fn xtime(x: u8) -> u8 {
@@ -40,12 +40,7 @@ fn sbox() -> [u8; 256] {
     let mut s = [0u8; 256];
     for (i, e) in s.iter_mut().enumerate() {
         let x = inv[i];
-        *e = x
-            ^ x.rotate_left(1)
-            ^ x.rotate_left(2)
-            ^ x.rotate_left(3)
-            ^ x.rotate_left(4)
-            ^ 0x63;
+        *e = x ^ x.rotate_left(1) ^ x.rotate_left(2) ^ x.rotate_left(3) ^ x.rotate_left(4) ^ 0x63;
     }
     s
 }
@@ -128,12 +123,9 @@ fn inv_mix_columns(state: &mut [u8; 16]) {
     for c in 0..4 {
         let a: [u8; 4] = state[4 * c..4 * c + 4].try_into().expect("4 bytes");
         state[4 * c] = gf_mul(a[0], 14) ^ gf_mul(a[1], 11) ^ gf_mul(a[2], 13) ^ gf_mul(a[3], 9);
-        state[4 * c + 1] =
-            gf_mul(a[0], 9) ^ gf_mul(a[1], 14) ^ gf_mul(a[2], 11) ^ gf_mul(a[3], 13);
-        state[4 * c + 2] =
-            gf_mul(a[0], 13) ^ gf_mul(a[1], 9) ^ gf_mul(a[2], 14) ^ gf_mul(a[3], 11);
-        state[4 * c + 3] =
-            gf_mul(a[0], 11) ^ gf_mul(a[1], 13) ^ gf_mul(a[2], 9) ^ gf_mul(a[3], 14);
+        state[4 * c + 1] = gf_mul(a[0], 9) ^ gf_mul(a[1], 14) ^ gf_mul(a[2], 11) ^ gf_mul(a[3], 13);
+        state[4 * c + 2] = gf_mul(a[0], 13) ^ gf_mul(a[1], 9) ^ gf_mul(a[2], 14) ^ gf_mul(a[3], 11);
+        state[4 * c + 3] = gf_mul(a[0], 11) ^ gf_mul(a[1], 13) ^ gf_mul(a[2], 9) ^ gf_mul(a[3], 14);
     }
 }
 
@@ -460,14 +452,12 @@ fn dec_asm(blocks: usize) -> String {
 }
 
 const KEY: [u8; 16] = [
-    0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
-    0x3c,
+    0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
 ];
 
 fn data_section(buf: &[u8]) -> String {
     let sb = sbox();
-    format!
-        (
+    format!(
         "
         .data
         sboxt:
@@ -508,7 +498,10 @@ fn build_enc(scale: Scale) -> BuiltBenchmark {
         name: "rijndael_enc",
         category: Category::DataFlow,
         program: must_assemble("rijndael_enc", &src),
-        expected: vec![ExpectedRegion { label: "buf".into(), bytes: expected }],
+        expected: vec![ExpectedRegion {
+            label: "buf".into(),
+            bytes: expected,
+        }],
         max_steps: 20_000 * blocks as u64 + 10_000,
     }
 }
@@ -528,7 +521,10 @@ fn build_dec(scale: Scale) -> BuiltBenchmark {
         name: "rijndael_dec",
         category: Category::DataFlow,
         program: must_assemble("rijndael_dec", &src),
-        expected: vec![ExpectedRegion { label: "buf".into(), bytes: plain }],
+        expected: vec![ExpectedRegion {
+            label: "buf".into(),
+            bytes: plain,
+        }],
         max_steps: 30_000 * blocks as u64 + 10_000,
     }
 }

@@ -7,14 +7,20 @@
 //! Rust reference mirrors both choices exactly.
 
 use crate::framework::{
-    must_assemble, words_directive, BenchmarkSpec, BuiltBenchmark, Category, ExpectedRegion,
-    Scale, XorShift32,
+    must_assemble, words_directive, BenchmarkSpec, BuiltBenchmark, Category, ExpectedRegion, Scale,
+    XorShift32,
 };
 
 /// Reference SHA-1 compression over `blocks` (16 words each).
 pub fn sha1_reference(words: &[u32]) -> [u32; 5] {
     assert_eq!(words.len() % 16, 0, "whole blocks only");
-    let mut h: [u32; 5] = [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476, 0xc3d2_e1f0];
+    let mut h: [u32; 5] = [
+        0x6745_2301,
+        0xefcd_ab89,
+        0x98ba_dcfe,
+        0x1032_5476,
+        0xc3d2_e1f0,
+    ];
     for block in words.chunks(16) {
         let mut w = [0u32; 80];
         w[..16].copy_from_slice(block);
@@ -198,7 +204,10 @@ fn build(scale: Scale) -> BuiltBenchmark {
         name: "sha",
         category: Category::DataFlow,
         program: must_assemble("sha", &src),
-        expected: vec![ExpectedRegion { label: "hbuf".into(), bytes: expected }],
+        expected: vec![ExpectedRegion {
+            label: "hbuf".into(),
+            bytes: expected,
+        }],
         max_steps: 4_000 * blocks as u64 + 10_000,
     }
 }

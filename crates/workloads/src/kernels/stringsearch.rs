@@ -10,8 +10,8 @@
 //! shows stringsearch among the most slot-sensitive benchmarks.
 
 use crate::framework::{
-    bytes_directive, must_assemble, BenchmarkSpec, BuiltBenchmark, Category, ExpectedRegion,
-    Scale, XorShift32,
+    bytes_directive, must_assemble, BenchmarkSpec, BuiltBenchmark, Category, ExpectedRegion, Scale,
+    XorShift32,
 };
 
 const M: usize = 8;
@@ -164,7 +164,10 @@ fn build(scale: Scale) -> BuiltBenchmark {
         name: "stringsearch",
         category: Category::ControlFlow,
         program: must_assemble("stringsearch", &src),
-        expected: vec![ExpectedRegion { label: "outp".into(), bytes: expected }],
+        expected: vec![ExpectedRegion {
+            label: "outp".into(),
+            bytes: expected,
+        }],
         max_steps: 200 * (n as u64) * (k as u64) + 100_000,
     }
 }

@@ -5,8 +5,8 @@
 //! "many basic blocks" case of the paper's Figure 3a.
 
 use crate::framework::{
-    bytes_directive, must_assemble, BenchmarkSpec, BuiltBenchmark, Category, ExpectedRegion,
-    Scale, XorShift32,
+    bytes_directive, must_assemble, BenchmarkSpec, BuiltBenchmark, Category, ExpectedRegion, Scale,
+    XorShift32,
 };
 
 /// Brightness-similarity LUT: weight = 100 * exp(-(d/27)^2), integerized.
@@ -350,7 +350,10 @@ fn build_smoothing(scale: Scale) -> BuiltBenchmark {
         name: "susan_smoothing",
         category: Category::DataFlow,
         program: must_assemble("susan_smoothing", &src),
-        expected: vec![ExpectedRegion { label: "outp".into(), bytes: expected }],
+        expected: vec![ExpectedRegion {
+            label: "outp".into(),
+            bytes: expected,
+        }],
         max_steps: 400 * (n * n) as u64 + 50_000,
     }
 }
@@ -370,7 +373,10 @@ fn build_corners(scale: Scale) -> BuiltBenchmark {
         name: "susan_corners",
         category: Category::Mixed,
         program: must_assemble("susan_corners", &src),
-        expected: vec![ExpectedRegion { label: "outp".into(), bytes: expected }],
+        expected: vec![ExpectedRegion {
+            label: "outp".into(),
+            bytes: expected,
+        }],
         max_steps: 1400 * (n * n) as u64 + 50_000,
     }
 }
@@ -390,7 +396,10 @@ fn build_edges(scale: Scale) -> BuiltBenchmark {
         name: "susan_edges",
         category: Category::Mixed,
         program: must_assemble("susan_edges", &src),
-        expected: vec![ExpectedRegion { label: "outp".into(), bytes: expected }],
+        expected: vec![ExpectedRegion {
+            label: "outp".into(),
+            bytes: expected,
+        }],
         max_steps: 400 * (n * n) as u64 + 50_000,
     }
 }

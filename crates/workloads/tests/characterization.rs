@@ -27,7 +27,10 @@ fn dataflow_blocks_dwarf_control_blocks() {
         rijndael > 5.0 * adpcm,
         "rijndael {rijndael:.1} vs rawaudio_dec {adpcm:.1}"
     );
-    assert!((3.0..6.0).contains(&adpcm), "paper: 3.79 i/br, got {adpcm:.2}");
+    assert!(
+        (3.0..6.0).contains(&adpcm),
+        "paper: 3.79 i/br, got {adpcm:.2}"
+    );
 }
 
 #[test]
@@ -46,13 +49,19 @@ fn category_average_block_sizes_are_ordered() {
     let d = avg(Category::DataFlow);
     let m = avg(Category::Mixed);
     let c = avg(Category::ControlFlow);
-    assert!(d > m && m > c, "dataflow {d:.1} > mixed {m:.1} > control {c:.1} violated");
+    assert!(
+        d > m && m > c,
+        "dataflow {d:.1} > mixed {m:.1} > control {c:.1} violated"
+    );
 }
 
 #[test]
 fn crc32_is_one_hot_loop_susan_corners_is_not() {
     let crc = profile("crc32");
-    assert!(crc.blocks_for_coverage(0.95) <= 3, "paper: ~3 BBs cover CRC32");
+    assert!(
+        crc.blocks_for_coverage(0.95) <= 3,
+        "paper: ~3 BBs cover CRC32"
+    );
     let corners = profile("susan_corners");
     assert!(
         corners.blocks_for_coverage(0.5) >= 10,

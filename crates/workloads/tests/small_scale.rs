@@ -43,8 +43,16 @@ fn builds_are_deterministic() {
     for spec in suite() {
         let a = (spec.build)(Scale::Tiny);
         let b = (spec.build)(Scale::Tiny);
-        assert_eq!(a.program.text, b.program.text, "{}: text differs", spec.name);
-        assert_eq!(a.program.data, b.program.data, "{}: data differs", spec.name);
+        assert_eq!(
+            a.program.text, b.program.text,
+            "{}: text differs",
+            spec.name
+        );
+        assert_eq!(
+            a.program.data, b.program.data,
+            "{}: data differs",
+            spec.name
+        );
         assert_eq!(
             a.expected.len(),
             b.expected.len(),

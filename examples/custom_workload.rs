@@ -59,7 +59,10 @@ fn build_fib(n: usize) -> Result<BuiltBenchmark, Box<dyn std::error::Error>> {
         name: "fibonacci",
         category: Category::Mixed,
         program: assemble(&src)?,
-        expected: vec![ExpectedRegion { label: "fib".into(), bytes: expected }],
+        expected: vec![ExpectedRegion {
+            label: "fib".into(),
+            bytes: expected,
+        }],
         max_steps: 100 * n as u64 + 1_000,
     })
 }

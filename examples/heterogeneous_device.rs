@@ -66,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "{:<14} {}  {:>10}",
             name,
-            curve.iter().map(|v| format!("{v:>6.2}")).collect::<String>(),
+            curve
+                .iter()
+                .map(|v| format!("{v:>6.2}"))
+                .collect::<String>(),
             needed
         );
     }

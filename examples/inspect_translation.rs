@@ -56,11 +56,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 Some(b) => format!(
                     "ends in branch @ {:#x} predicted {}",
                     b.pc,
-                    if b.predicted_taken { "taken" } else { "not taken" }
+                    if b.predicted_taken {
+                        "taken"
+                    } else {
+                        "not taken"
+                    }
                 ),
                 None => format!("sequential exit to {:#x}", segment.exit_pc),
             };
-            println!("  segment depth {}: {} ops, {}", segment.depth, segment.len, kind);
+            println!(
+                "  segment depth {}: {} ops, {}",
+                segment.depth, segment.len, kind
+            );
         }
         for op in config.ops() {
             println!(

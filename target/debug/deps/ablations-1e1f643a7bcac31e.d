@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-1e1f643a7bcac31e.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-1e1f643a7bcac31e: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

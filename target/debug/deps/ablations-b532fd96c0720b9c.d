@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-b532fd96c0720b9c.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-b532fd96c0720b9c: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-e48d8aa01d85e2d3.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-e48d8aa01d85e2d3: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/array_exec-3112331cf84861a9.d: crates/bench/benches/array_exec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarray_exec-3112331cf84861a9.rmeta: crates/bench/benches/array_exec.rs Cargo.toml
+
+crates/bench/benches/array_exec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

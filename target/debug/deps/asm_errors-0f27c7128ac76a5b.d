@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/asm_errors-0f27c7128ac76a5b.d: crates/mips/tests/asm_errors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libasm_errors-0f27c7128ac76a5b.rmeta: crates/mips/tests/asm_errors.rs Cargo.toml
+
+crates/mips/tests/asm_errors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/asm_errors-61f93223366f9128.d: crates/mips/tests/asm_errors.rs
+
+/root/repo/target/debug/deps/asm_errors-61f93223366f9128: crates/mips/tests/asm_errors.rs
+
+crates/mips/tests/asm_errors.rs:

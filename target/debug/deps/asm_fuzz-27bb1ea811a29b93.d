@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/asm_fuzz-27bb1ea811a29b93.d: crates/mips/tests/asm_fuzz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libasm_fuzz-27bb1ea811a29b93.rmeta: crates/mips/tests/asm_fuzz.rs Cargo.toml
+
+crates/mips/tests/asm_fuzz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

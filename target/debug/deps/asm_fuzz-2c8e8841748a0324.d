@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/asm_fuzz-2c8e8841748a0324.d: crates/mips/tests/asm_fuzz.rs
+
+/root/repo/target/debug/deps/asm_fuzz-2c8e8841748a0324: crates/mips/tests/asm_fuzz.rs
+
+crates/mips/tests/asm_fuzz.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/characterization-8338987a907ec6fa.d: crates/workloads/tests/characterization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcharacterization-8338987a907ec6fa.rmeta: crates/workloads/tests/characterization.rs Cargo.toml
+
+crates/workloads/tests/characterization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

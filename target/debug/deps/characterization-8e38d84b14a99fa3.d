@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/characterization-8e38d84b14a99fa3.d: crates/workloads/tests/characterization.rs
+
+/root/repo/target/debug/deps/characterization-8e38d84b14a99fa3: crates/workloads/tests/characterization.rs
+
+crates/workloads/tests/characterization.rs:

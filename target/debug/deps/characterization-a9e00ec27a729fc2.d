@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/characterization-a9e00ec27a729fc2.d: crates/workloads/tests/characterization.rs
+
+/root/repo/target/debug/deps/characterization-a9e00ec27a729fc2: crates/workloads/tests/characterization.rs
+
+crates/workloads/tests/characterization.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/characterization-dd0d4897d87cb443.d: crates/bench/benches/characterization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcharacterization-dd0d4897d87cb443.rmeta: crates/bench/benches/characterization.rs Cargo.toml
+
+crates/bench/benches/characterization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

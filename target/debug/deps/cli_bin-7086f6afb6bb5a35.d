@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli_bin-7086f6afb6bb5a35.d: crates/cli/tests/cli_bin.rs
+
+/root/repo/target/debug/deps/cli_bin-7086f6afb6bb5a35: crates/cli/tests/cli_bin.rs
+
+crates/cli/tests/cli_bin.rs:
+
+# env-dep:CARGO_BIN_EXE_dim=/root/repo/target/debug/dim

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli_bin-a8d8162bf2e00157.d: crates/cli/tests/cli_bin.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli_bin-a8d8162bf2e00157.rmeta: crates/cli/tests/cli_bin.rs Cargo.toml
+
+crates/cli/tests/cli_bin.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_dim=placeholder:dim
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli_bin-e52897bba8921d11.d: crates/cli/tests/cli_bin.rs
+
+/root/repo/target/debug/deps/cli_bin-e52897bba8921d11: crates/cli/tests/cli_bin.rs
+
+crates/cli/tests/cli_bin.rs:
+
+# env-dep:CARGO_BIN_EXE_dim=/root/repo/target/debug/dim

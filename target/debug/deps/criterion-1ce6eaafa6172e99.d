@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-1ce6eaafa6172e99.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-1ce6eaafa6172e99.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-1ce6eaafa6172e99.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

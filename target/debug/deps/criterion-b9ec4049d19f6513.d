@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-b9ec4049d19f6513.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-b9ec4049d19f6513.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-b9ec4049d19f6513.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-e464af8d051361e0.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-e464af8d051361e0: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dataflow_equivalence-85d5d5157e79c932.d: crates/core/tests/dataflow_equivalence.rs
+
+/root/repo/target/debug/deps/dataflow_equivalence-85d5d5157e79c932: crates/core/tests/dataflow_equivalence.rs
+
+crates/core/tests/dataflow_equivalence.rs:

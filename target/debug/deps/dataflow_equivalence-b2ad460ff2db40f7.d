@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dataflow_equivalence-b2ad460ff2db40f7.d: crates/core/tests/dataflow_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdataflow_equivalence-b2ad460ff2db40f7.rmeta: crates/core/tests/dataflow_equivalence.rs Cargo.toml
+
+crates/core/tests/dataflow_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dataflow_equivalence-d13fe2f4eab5e785.d: crates/core/tests/dataflow_equivalence.rs
+
+/root/repo/target/debug/deps/dataflow_equivalence-d13fe2f4eab5e785: crates/core/tests/dataflow_equivalence.rs
+
+crates/core/tests/dataflow_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-3ba45211037b7fa4.d: tests/differential.rs
+
+/root/repo/target/debug/deps/differential-3ba45211037b7fa4: tests/differential.rs
+
+tests/differential.rs:

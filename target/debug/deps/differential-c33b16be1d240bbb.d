@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-c33b16be1d240bbb.d: tests/differential.rs
+
+/root/repo/target/debug/deps/differential-c33b16be1d240bbb: tests/differential.rs
+
+tests/differential.rs:

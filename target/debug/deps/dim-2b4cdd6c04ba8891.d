@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dim-2b4cdd6c04ba8891.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/dim-2b4cdd6c04ba8891: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

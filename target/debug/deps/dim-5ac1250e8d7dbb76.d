@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dim-5ac1250e8d7dbb76.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/dim-5ac1250e8d7dbb76: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

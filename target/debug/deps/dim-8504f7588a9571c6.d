@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dim-8504f7588a9571c6.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/dim-8504f7588a9571c6: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dim-d0a532a10ae77b9d.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/dim-d0a532a10ae77b9d: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dim-f5644503476f89ef.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdim-f5644503476f89ef.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

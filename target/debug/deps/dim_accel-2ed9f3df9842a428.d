@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dim_accel-2ed9f3df9842a428.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdim_accel-2ed9f3df9842a428.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdim_accel-2ed9f3df9842a428.rmeta: src/lib.rs
+
+src/lib.rs:

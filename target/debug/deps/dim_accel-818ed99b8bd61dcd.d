@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dim_accel-818ed99b8bd61dcd.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdim_accel-818ed99b8bd61dcd.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dim_accel-931a80e956c7db01.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdim_accel-931a80e956c7db01.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdim_accel-931a80e956c7db01.rmeta: src/lib.rs
+
+src/lib.rs:

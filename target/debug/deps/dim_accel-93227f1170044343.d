@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dim_accel-93227f1170044343.d: src/lib.rs
+
+/root/repo/target/debug/deps/dim_accel-93227f1170044343: src/lib.rs
+
+src/lib.rs:

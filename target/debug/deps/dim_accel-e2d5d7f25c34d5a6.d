@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dim_accel-e2d5d7f25c34d5a6.d: src/lib.rs
+
+/root/repo/target/debug/deps/dim_accel-e2d5d7f25c34d5a6: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dim_bench-2e481e9cadc48731.d: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/dim_bench-2e481e9cadc48731: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:

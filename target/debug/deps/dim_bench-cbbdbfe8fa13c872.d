@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dim_bench-cbbdbfe8fa13c872.d: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/dim_bench-cbbdbfe8fa13c872: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dim_bench-ded846e8704b9208.d: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/libdim_bench-ded846e8704b9208.rlib: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/libdim_bench-ded846e8704b9208.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:

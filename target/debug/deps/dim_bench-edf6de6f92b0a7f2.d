@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dim_bench-edf6de6f92b0a7f2.d: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/libdim_bench-edf6de6f92b0a7f2.rlib: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/libdim_bench-edf6de6f92b0a7f2.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dim_bench-ff21af04f17bddb2.d: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/dim_bench-ff21af04f17bddb2: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/dim_cli-05bcb6ce69659e7f.d: crates/cli/src/lib.rs crates/cli/src/debugger.rs
+
+/root/repo/target/debug/deps/dim_cli-05bcb6ce69659e7f: crates/cli/src/lib.rs crates/cli/src/debugger.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/debugger.rs:

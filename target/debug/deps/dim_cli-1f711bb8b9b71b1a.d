@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dim_cli-1f711bb8b9b71b1a.d: crates/cli/src/lib.rs crates/cli/src/debugger.rs
+
+/root/repo/target/debug/deps/libdim_cli-1f711bb8b9b71b1a.rlib: crates/cli/src/lib.rs crates/cli/src/debugger.rs
+
+/root/repo/target/debug/deps/libdim_cli-1f711bb8b9b71b1a.rmeta: crates/cli/src/lib.rs crates/cli/src/debugger.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/debugger.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/dim_cli-399ccffaba1e5e2e.d: crates/cli/src/lib.rs crates/cli/src/debugger.rs
+
+/root/repo/target/debug/deps/dim_cli-399ccffaba1e5e2e: crates/cli/src/lib.rs crates/cli/src/debugger.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/debugger.rs:

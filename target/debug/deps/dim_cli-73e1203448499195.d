@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dim_cli-73e1203448499195.d: crates/cli/src/lib.rs crates/cli/src/debugger.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdim_cli-73e1203448499195.rmeta: crates/cli/src/lib.rs crates/cli/src/debugger.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+crates/cli/src/debugger.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dim_cli-fe0d4d5dcb5e4b24.d: crates/cli/src/lib.rs crates/cli/src/debugger.rs
+
+/root/repo/target/debug/deps/libdim_cli-fe0d4d5dcb5e4b24.rlib: crates/cli/src/lib.rs crates/cli/src/debugger.rs
+
+/root/repo/target/debug/deps/libdim_cli-fe0d4d5dcb5e4b24.rmeta: crates/cli/src/lib.rs crates/cli/src/debugger.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/debugger.rs:

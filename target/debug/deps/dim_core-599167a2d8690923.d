@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dim_core-599167a2d8690923.d: crates/core/src/lib.rs crates/core/src/gshare.rs crates/core/src/predictor.rs crates/core/src/rcache.rs crates/core/src/report.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/tables.rs crates/core/src/trace.rs crates/core/src/translator.rs
+
+/root/repo/target/debug/deps/libdim_core-599167a2d8690923.rlib: crates/core/src/lib.rs crates/core/src/gshare.rs crates/core/src/predictor.rs crates/core/src/rcache.rs crates/core/src/report.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/tables.rs crates/core/src/trace.rs crates/core/src/translator.rs
+
+/root/repo/target/debug/deps/libdim_core-599167a2d8690923.rmeta: crates/core/src/lib.rs crates/core/src/gshare.rs crates/core/src/predictor.rs crates/core/src/rcache.rs crates/core/src/report.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/tables.rs crates/core/src/trace.rs crates/core/src/translator.rs
+
+crates/core/src/lib.rs:
+crates/core/src/gshare.rs:
+crates/core/src/predictor.rs:
+crates/core/src/rcache.rs:
+crates/core/src/report.rs:
+crates/core/src/stats.rs:
+crates/core/src/system.rs:
+crates/core/src/tables.rs:
+crates/core/src/trace.rs:
+crates/core/src/translator.rs:

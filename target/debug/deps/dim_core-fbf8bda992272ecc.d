@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dim_core-fbf8bda992272ecc.d: crates/core/src/lib.rs crates/core/src/gshare.rs crates/core/src/predictor.rs crates/core/src/rcache.rs crates/core/src/report.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/tables.rs crates/core/src/trace.rs crates/core/src/translator.rs
+
+/root/repo/target/debug/deps/dim_core-fbf8bda992272ecc: crates/core/src/lib.rs crates/core/src/gshare.rs crates/core/src/predictor.rs crates/core/src/rcache.rs crates/core/src/report.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/tables.rs crates/core/src/trace.rs crates/core/src/translator.rs
+
+crates/core/src/lib.rs:
+crates/core/src/gshare.rs:
+crates/core/src/predictor.rs:
+crates/core/src/rcache.rs:
+crates/core/src/report.rs:
+crates/core/src/stats.rs:
+crates/core/src/system.rs:
+crates/core/src/tables.rs:
+crates/core/src/trace.rs:
+crates/core/src/translator.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dim_energy-63b3df6976b2d1b5.d: crates/energy/src/lib.rs crates/energy/src/area.rs crates/energy/src/power.rs
+
+/root/repo/target/debug/deps/dim_energy-63b3df6976b2d1b5: crates/energy/src/lib.rs crates/energy/src/area.rs crates/energy/src/power.rs
+
+crates/energy/src/lib.rs:
+crates/energy/src/area.rs:
+crates/energy/src/power.rs:

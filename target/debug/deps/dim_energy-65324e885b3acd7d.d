@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dim_energy-65324e885b3acd7d.d: crates/energy/src/lib.rs crates/energy/src/area.rs crates/energy/src/power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdim_energy-65324e885b3acd7d.rmeta: crates/energy/src/lib.rs crates/energy/src/area.rs crates/energy/src/power.rs Cargo.toml
+
+crates/energy/src/lib.rs:
+crates/energy/src/area.rs:
+crates/energy/src/power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

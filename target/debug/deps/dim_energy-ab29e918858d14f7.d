@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dim_energy-ab29e918858d14f7.d: crates/energy/src/lib.rs crates/energy/src/area.rs crates/energy/src/power.rs
+
+/root/repo/target/debug/deps/dim_energy-ab29e918858d14f7: crates/energy/src/lib.rs crates/energy/src/area.rs crates/energy/src/power.rs
+
+crates/energy/src/lib.rs:
+crates/energy/src/area.rs:
+crates/energy/src/power.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dim_energy-b89bde9c6d27b4e5.d: crates/energy/src/lib.rs crates/energy/src/area.rs crates/energy/src/power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdim_energy-b89bde9c6d27b4e5.rmeta: crates/energy/src/lib.rs crates/energy/src/area.rs crates/energy/src/power.rs Cargo.toml
+
+crates/energy/src/lib.rs:
+crates/energy/src/area.rs:
+crates/energy/src/power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dim_energy-e3add1069ff451fc.d: crates/energy/src/lib.rs crates/energy/src/area.rs crates/energy/src/power.rs
+
+/root/repo/target/debug/deps/libdim_energy-e3add1069ff451fc.rlib: crates/energy/src/lib.rs crates/energy/src/area.rs crates/energy/src/power.rs
+
+/root/repo/target/debug/deps/libdim_energy-e3add1069ff451fc.rmeta: crates/energy/src/lib.rs crates/energy/src/area.rs crates/energy/src/power.rs
+
+crates/energy/src/lib.rs:
+crates/energy/src/area.rs:
+crates/energy/src/power.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dim_energy-fa385bde8543a52c.d: crates/energy/src/lib.rs crates/energy/src/area.rs crates/energy/src/power.rs
+
+/root/repo/target/debug/deps/libdim_energy-fa385bde8543a52c.rlib: crates/energy/src/lib.rs crates/energy/src/area.rs crates/energy/src/power.rs
+
+/root/repo/target/debug/deps/libdim_energy-fa385bde8543a52c.rmeta: crates/energy/src/lib.rs crates/energy/src/area.rs crates/energy/src/power.rs
+
+crates/energy/src/lib.rs:
+crates/energy/src/area.rs:
+crates/energy/src/power.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/dim_mips-09961d9983a19fd1.d: crates/mips/src/lib.rs crates/mips/src/asm/mod.rs crates/mips/src/asm/expand.rs crates/mips/src/asm/item.rs crates/mips/src/code.rs crates/mips/src/disasm.rs crates/mips/src/image.rs crates/mips/src/inst.rs crates/mips/src/reg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdim_mips-09961d9983a19fd1.rmeta: crates/mips/src/lib.rs crates/mips/src/asm/mod.rs crates/mips/src/asm/expand.rs crates/mips/src/asm/item.rs crates/mips/src/code.rs crates/mips/src/disasm.rs crates/mips/src/image.rs crates/mips/src/inst.rs crates/mips/src/reg.rs Cargo.toml
+
+crates/mips/src/lib.rs:
+crates/mips/src/asm/mod.rs:
+crates/mips/src/asm/expand.rs:
+crates/mips/src/asm/item.rs:
+crates/mips/src/code.rs:
+crates/mips/src/disasm.rs:
+crates/mips/src/image.rs:
+crates/mips/src/inst.rs:
+crates/mips/src/reg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

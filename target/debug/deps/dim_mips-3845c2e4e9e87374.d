@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dim_mips-3845c2e4e9e87374.d: crates/mips/src/lib.rs crates/mips/src/asm/mod.rs crates/mips/src/asm/expand.rs crates/mips/src/asm/item.rs crates/mips/src/code.rs crates/mips/src/disasm.rs crates/mips/src/image.rs crates/mips/src/inst.rs crates/mips/src/reg.rs
+
+/root/repo/target/debug/deps/dim_mips-3845c2e4e9e87374: crates/mips/src/lib.rs crates/mips/src/asm/mod.rs crates/mips/src/asm/expand.rs crates/mips/src/asm/item.rs crates/mips/src/code.rs crates/mips/src/disasm.rs crates/mips/src/image.rs crates/mips/src/inst.rs crates/mips/src/reg.rs
+
+crates/mips/src/lib.rs:
+crates/mips/src/asm/mod.rs:
+crates/mips/src/asm/expand.rs:
+crates/mips/src/asm/item.rs:
+crates/mips/src/code.rs:
+crates/mips/src/disasm.rs:
+crates/mips/src/image.rs:
+crates/mips/src/inst.rs:
+crates/mips/src/reg.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dim_mips-7e7ec96ec5f38db4.d: crates/mips/src/lib.rs crates/mips/src/asm/mod.rs crates/mips/src/asm/expand.rs crates/mips/src/asm/item.rs crates/mips/src/code.rs crates/mips/src/disasm.rs crates/mips/src/image.rs crates/mips/src/inst.rs crates/mips/src/reg.rs
+
+/root/repo/target/debug/deps/libdim_mips-7e7ec96ec5f38db4.rlib: crates/mips/src/lib.rs crates/mips/src/asm/mod.rs crates/mips/src/asm/expand.rs crates/mips/src/asm/item.rs crates/mips/src/code.rs crates/mips/src/disasm.rs crates/mips/src/image.rs crates/mips/src/inst.rs crates/mips/src/reg.rs
+
+/root/repo/target/debug/deps/libdim_mips-7e7ec96ec5f38db4.rmeta: crates/mips/src/lib.rs crates/mips/src/asm/mod.rs crates/mips/src/asm/expand.rs crates/mips/src/asm/item.rs crates/mips/src/code.rs crates/mips/src/disasm.rs crates/mips/src/image.rs crates/mips/src/inst.rs crates/mips/src/reg.rs
+
+crates/mips/src/lib.rs:
+crates/mips/src/asm/mod.rs:
+crates/mips/src/asm/expand.rs:
+crates/mips/src/asm/item.rs:
+crates/mips/src/code.rs:
+crates/mips/src/disasm.rs:
+crates/mips/src/image.rs:
+crates/mips/src/inst.rs:
+crates/mips/src/reg.rs:

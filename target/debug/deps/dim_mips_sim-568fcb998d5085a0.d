@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dim_mips_sim-568fcb998d5085a0.d: crates/mips-sim/src/lib.rs crates/mips-sim/src/cache.rs crates/mips-sim/src/costs.rs crates/mips-sim/src/cpu.rs crates/mips-sim/src/error.rs crates/mips-sim/src/machine.rs crates/mips-sim/src/mem.rs crates/mips-sim/src/profile.rs crates/mips-sim/src/stats.rs crates/mips-sim/src/superscalar.rs
+
+/root/repo/target/debug/deps/dim_mips_sim-568fcb998d5085a0: crates/mips-sim/src/lib.rs crates/mips-sim/src/cache.rs crates/mips-sim/src/costs.rs crates/mips-sim/src/cpu.rs crates/mips-sim/src/error.rs crates/mips-sim/src/machine.rs crates/mips-sim/src/mem.rs crates/mips-sim/src/profile.rs crates/mips-sim/src/stats.rs crates/mips-sim/src/superscalar.rs
+
+crates/mips-sim/src/lib.rs:
+crates/mips-sim/src/cache.rs:
+crates/mips-sim/src/costs.rs:
+crates/mips-sim/src/cpu.rs:
+crates/mips-sim/src/error.rs:
+crates/mips-sim/src/machine.rs:
+crates/mips-sim/src/mem.rs:
+crates/mips-sim/src/profile.rs:
+crates/mips-sim/src/stats.rs:
+crates/mips-sim/src/superscalar.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dim_mips_sim-d49ae4b0ad666ea3.d: crates/mips-sim/src/lib.rs crates/mips-sim/src/cache.rs crates/mips-sim/src/costs.rs crates/mips-sim/src/cpu.rs crates/mips-sim/src/error.rs crates/mips-sim/src/machine.rs crates/mips-sim/src/mem.rs crates/mips-sim/src/profile.rs crates/mips-sim/src/stats.rs crates/mips-sim/src/superscalar.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdim_mips_sim-d49ae4b0ad666ea3.rmeta: crates/mips-sim/src/lib.rs crates/mips-sim/src/cache.rs crates/mips-sim/src/costs.rs crates/mips-sim/src/cpu.rs crates/mips-sim/src/error.rs crates/mips-sim/src/machine.rs crates/mips-sim/src/mem.rs crates/mips-sim/src/profile.rs crates/mips-sim/src/stats.rs crates/mips-sim/src/superscalar.rs Cargo.toml
+
+crates/mips-sim/src/lib.rs:
+crates/mips-sim/src/cache.rs:
+crates/mips-sim/src/costs.rs:
+crates/mips-sim/src/cpu.rs:
+crates/mips-sim/src/error.rs:
+crates/mips-sim/src/machine.rs:
+crates/mips-sim/src/mem.rs:
+crates/mips-sim/src/profile.rs:
+crates/mips-sim/src/stats.rs:
+crates/mips-sim/src/superscalar.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

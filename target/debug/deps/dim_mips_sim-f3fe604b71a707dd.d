@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dim_mips_sim-f3fe604b71a707dd.d: crates/mips-sim/src/lib.rs crates/mips-sim/src/cache.rs crates/mips-sim/src/costs.rs crates/mips-sim/src/cpu.rs crates/mips-sim/src/error.rs crates/mips-sim/src/machine.rs crates/mips-sim/src/mem.rs crates/mips-sim/src/profile.rs crates/mips-sim/src/stats.rs crates/mips-sim/src/superscalar.rs
+
+/root/repo/target/debug/deps/libdim_mips_sim-f3fe604b71a707dd.rlib: crates/mips-sim/src/lib.rs crates/mips-sim/src/cache.rs crates/mips-sim/src/costs.rs crates/mips-sim/src/cpu.rs crates/mips-sim/src/error.rs crates/mips-sim/src/machine.rs crates/mips-sim/src/mem.rs crates/mips-sim/src/profile.rs crates/mips-sim/src/stats.rs crates/mips-sim/src/superscalar.rs
+
+/root/repo/target/debug/deps/libdim_mips_sim-f3fe604b71a707dd.rmeta: crates/mips-sim/src/lib.rs crates/mips-sim/src/cache.rs crates/mips-sim/src/costs.rs crates/mips-sim/src/cpu.rs crates/mips-sim/src/error.rs crates/mips-sim/src/machine.rs crates/mips-sim/src/mem.rs crates/mips-sim/src/profile.rs crates/mips-sim/src/stats.rs crates/mips-sim/src/superscalar.rs
+
+crates/mips-sim/src/lib.rs:
+crates/mips-sim/src/cache.rs:
+crates/mips-sim/src/costs.rs:
+crates/mips-sim/src/cpu.rs:
+crates/mips-sim/src/error.rs:
+crates/mips-sim/src/machine.rs:
+crates/mips-sim/src/mem.rs:
+crates/mips-sim/src/profile.rs:
+crates/mips-sim/src/stats.rs:
+crates/mips-sim/src/superscalar.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dim_obs-2cf27eeecc7647d1.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/jsonl.rs crates/obs/src/metrics.rs crates/obs/src/probe.rs crates/obs/src/profile.rs crates/obs/src/replay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdim_obs-2cf27eeecc7647d1.rmeta: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/jsonl.rs crates/obs/src/metrics.rs crates/obs/src/probe.rs crates/obs/src/profile.rs crates/obs/src/replay.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/json.rs:
+crates/obs/src/jsonl.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/probe.rs:
+crates/obs/src/profile.rs:
+crates/obs/src/replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

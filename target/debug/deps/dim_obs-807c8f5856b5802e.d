@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dim_obs-807c8f5856b5802e.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/jsonl.rs crates/obs/src/metrics.rs crates/obs/src/probe.rs crates/obs/src/profile.rs crates/obs/src/replay.rs
+
+/root/repo/target/debug/deps/dim_obs-807c8f5856b5802e: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/jsonl.rs crates/obs/src/metrics.rs crates/obs/src/probe.rs crates/obs/src/profile.rs crates/obs/src/replay.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/json.rs:
+crates/obs/src/jsonl.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/probe.rs:
+crates/obs/src/profile.rs:
+crates/obs/src/replay.rs:

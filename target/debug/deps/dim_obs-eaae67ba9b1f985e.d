@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dim_obs-eaae67ba9b1f985e.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/jsonl.rs crates/obs/src/metrics.rs crates/obs/src/probe.rs crates/obs/src/profile.rs crates/obs/src/replay.rs
+
+/root/repo/target/debug/deps/libdim_obs-eaae67ba9b1f985e.rlib: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/jsonl.rs crates/obs/src/metrics.rs crates/obs/src/probe.rs crates/obs/src/profile.rs crates/obs/src/replay.rs
+
+/root/repo/target/debug/deps/libdim_obs-eaae67ba9b1f985e.rmeta: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/jsonl.rs crates/obs/src/metrics.rs crates/obs/src/probe.rs crates/obs/src/profile.rs crates/obs/src/replay.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/json.rs:
+crates/obs/src/jsonl.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/probe.rs:
+crates/obs/src/profile.rs:
+crates/obs/src/replay.rs:

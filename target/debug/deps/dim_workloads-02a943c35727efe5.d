@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/dim_workloads-02a943c35727efe5.d: crates/workloads/src/lib.rs crates/workloads/src/framework.rs crates/workloads/src/kernels/mod.rs crates/workloads/src/kernels/adpcm.rs crates/workloads/src/kernels/bitcount.rs crates/workloads/src/kernels/crc32.rs crates/workloads/src/kernels/dijkstra.rs crates/workloads/src/kernels/gsm.rs crates/workloads/src/kernels/jpeg.rs crates/workloads/src/kernels/patricia.rs crates/workloads/src/kernels/quicksort.rs crates/workloads/src/kernels/rijndael.rs crates/workloads/src/kernels/sha.rs crates/workloads/src/kernels/stringsearch.rs crates/workloads/src/kernels/susan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdim_workloads-02a943c35727efe5.rmeta: crates/workloads/src/lib.rs crates/workloads/src/framework.rs crates/workloads/src/kernels/mod.rs crates/workloads/src/kernels/adpcm.rs crates/workloads/src/kernels/bitcount.rs crates/workloads/src/kernels/crc32.rs crates/workloads/src/kernels/dijkstra.rs crates/workloads/src/kernels/gsm.rs crates/workloads/src/kernels/jpeg.rs crates/workloads/src/kernels/patricia.rs crates/workloads/src/kernels/quicksort.rs crates/workloads/src/kernels/rijndael.rs crates/workloads/src/kernels/sha.rs crates/workloads/src/kernels/stringsearch.rs crates/workloads/src/kernels/susan.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/framework.rs:
+crates/workloads/src/kernels/mod.rs:
+crates/workloads/src/kernels/adpcm.rs:
+crates/workloads/src/kernels/bitcount.rs:
+crates/workloads/src/kernels/crc32.rs:
+crates/workloads/src/kernels/dijkstra.rs:
+crates/workloads/src/kernels/gsm.rs:
+crates/workloads/src/kernels/jpeg.rs:
+crates/workloads/src/kernels/patricia.rs:
+crates/workloads/src/kernels/quicksort.rs:
+crates/workloads/src/kernels/rijndael.rs:
+crates/workloads/src/kernels/sha.rs:
+crates/workloads/src/kernels/stringsearch.rs:
+crates/workloads/src/kernels/susan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/disasm_roundtrip-15d55a0ff5cf03c6.d: tests/disasm_roundtrip.rs
+
+/root/repo/target/debug/deps/disasm_roundtrip-15d55a0ff5cf03c6: tests/disasm_roundtrip.rs
+
+tests/disasm_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/disasm_roundtrip-88557f7e8ab49e96.d: tests/disasm_roundtrip.rs
+
+/root/repo/target/debug/deps/disasm_roundtrip-88557f7e8ab49e96: tests/disasm_roundtrip.rs
+
+tests/disasm_roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/disasm_roundtrip-d8180ff7085320ea.d: tests/disasm_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdisasm_roundtrip-d8180ff7085320ea.rmeta: tests/disasm_roundtrip.rs Cargo.toml
+
+tests/disasm_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_cases-5f22ad7f9692416e.d: tests/edge_cases.rs
+
+/root/repo/target/debug/deps/edge_cases-5f22ad7f9692416e: tests/edge_cases.rs
+
+tests/edge_cases.rs:

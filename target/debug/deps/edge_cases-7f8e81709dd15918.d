@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_cases-7f8e81709dd15918.d: tests/edge_cases.rs
+
+/root/repo/target/debug/deps/edge_cases-7f8e81709dd15918: tests/edge_cases.rs
+
+tests/edge_cases.rs:

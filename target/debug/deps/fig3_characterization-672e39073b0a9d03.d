@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_characterization-672e39073b0a9d03.d: crates/bench/src/bin/fig3_characterization.rs
+
+/root/repo/target/debug/deps/fig3_characterization-672e39073b0a9d03: crates/bench/src/bin/fig3_characterization.rs
+
+crates/bench/src/bin/fig3_characterization.rs:

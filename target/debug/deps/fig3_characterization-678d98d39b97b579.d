@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_characterization-678d98d39b97b579.d: crates/bench/src/bin/fig3_characterization.rs
+
+/root/repo/target/debug/deps/fig3_characterization-678d98d39b97b579: crates/bench/src/bin/fig3_characterization.rs
+
+crates/bench/src/bin/fig3_characterization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_characterization-8adc5e12ae2c90a1.d: crates/bench/src/bin/fig3_characterization.rs
+
+/root/repo/target/debug/deps/fig3_characterization-8adc5e12ae2c90a1: crates/bench/src/bin/fig3_characterization.rs
+
+crates/bench/src/bin/fig3_characterization.rs:

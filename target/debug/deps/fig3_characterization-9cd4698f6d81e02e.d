@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_characterization-9cd4698f6d81e02e.d: crates/bench/src/bin/fig3_characterization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_characterization-9cd4698f6d81e02e.rmeta: crates/bench/src/bin/fig3_characterization.rs Cargo.toml
+
+crates/bench/src/bin/fig3_characterization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_summary-3c0577dd0f457073.d: crates/bench/src/bin/fig4_summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_summary-3c0577dd0f457073.rmeta: crates/bench/src/bin/fig4_summary.rs Cargo.toml
+
+crates/bench/src/bin/fig4_summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

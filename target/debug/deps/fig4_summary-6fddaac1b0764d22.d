@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_summary-6fddaac1b0764d22.d: crates/bench/src/bin/fig4_summary.rs
+
+/root/repo/target/debug/deps/fig4_summary-6fddaac1b0764d22: crates/bench/src/bin/fig4_summary.rs
+
+crates/bench/src/bin/fig4_summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_summary-b04b265346494d6b.d: crates/bench/src/bin/fig4_summary.rs
+
+/root/repo/target/debug/deps/fig4_summary-b04b265346494d6b: crates/bench/src/bin/fig4_summary.rs
+
+crates/bench/src/bin/fig4_summary.rs:

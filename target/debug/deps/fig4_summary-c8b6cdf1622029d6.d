@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_summary-c8b6cdf1622029d6.d: crates/bench/src/bin/fig4_summary.rs
+
+/root/repo/target/debug/deps/fig4_summary-c8b6cdf1622029d6: crates/bench/src/bin/fig4_summary.rs
+
+crates/bench/src/bin/fig4_summary.rs:

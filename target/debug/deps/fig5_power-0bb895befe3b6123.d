@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_power-0bb895befe3b6123.d: crates/bench/src/bin/fig5_power.rs
+
+/root/repo/target/debug/deps/fig5_power-0bb895befe3b6123: crates/bench/src/bin/fig5_power.rs
+
+crates/bench/src/bin/fig5_power.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_power-74f571d65d428260.d: crates/bench/src/bin/fig5_power.rs
+
+/root/repo/target/debug/deps/fig5_power-74f571d65d428260: crates/bench/src/bin/fig5_power.rs
+
+crates/bench/src/bin/fig5_power.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_power-89412980c0ec95e0.d: crates/bench/src/bin/fig5_power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_power-89412980c0ec95e0.rmeta: crates/bench/src/bin/fig5_power.rs Cargo.toml
+
+crates/bench/src/bin/fig5_power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_power-cde12de7c00fec09.d: crates/bench/src/bin/fig5_power.rs
+
+/root/repo/target/debug/deps/fig5_power-cde12de7c00fec09: crates/bench/src/bin/fig5_power.rs
+
+crates/bench/src/bin/fig5_power.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_energy-b397a8f39f1a3410.d: crates/bench/src/bin/fig6_energy.rs
+
+/root/repo/target/debug/deps/fig6_energy-b397a8f39f1a3410: crates/bench/src/bin/fig6_energy.rs
+
+crates/bench/src/bin/fig6_energy.rs:

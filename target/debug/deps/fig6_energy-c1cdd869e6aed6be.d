@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_energy-c1cdd869e6aed6be.d: crates/bench/src/bin/fig6_energy.rs
+
+/root/repo/target/debug/deps/fig6_energy-c1cdd869e6aed6be: crates/bench/src/bin/fig6_energy.rs
+
+crates/bench/src/bin/fig6_energy.rs:

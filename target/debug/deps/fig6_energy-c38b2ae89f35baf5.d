@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_energy-c38b2ae89f35baf5.d: crates/bench/src/bin/fig6_energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_energy-c38b2ae89f35baf5.rmeta: crates/bench/src/bin/fig6_energy.rs Cargo.toml
+
+crates/bench/src/bin/fig6_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_energy-cd2e7be3efee386f.d: crates/bench/src/bin/fig6_energy.rs
+
+/root/repo/target/debug/deps/fig6_energy-cd2e7be3efee386f: crates/bench/src/bin/fig6_energy.rs
+
+crates/bench/src/bin/fig6_energy.rs:

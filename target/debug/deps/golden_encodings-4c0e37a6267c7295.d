@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden_encodings-4c0e37a6267c7295.d: crates/mips/tests/golden_encodings.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_encodings-4c0e37a6267c7295.rmeta: crates/mips/tests/golden_encodings.rs Cargo.toml
+
+crates/mips/tests/golden_encodings.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_encodings-5e88425def7799f5.d: crates/mips/tests/golden_encodings.rs
+
+/root/repo/target/debug/deps/golden_encodings-5e88425def7799f5: crates/mips/tests/golden_encodings.rs
+
+crates/mips/tests/golden_encodings.rs:

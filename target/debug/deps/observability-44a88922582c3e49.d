@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/observability-44a88922582c3e49.d: crates/core/tests/observability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobservability-44a88922582c3e49.rmeta: crates/core/tests/observability.rs Cargo.toml
+
+crates/core/tests/observability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-8d174e7955a466e3.d: crates/core/tests/observability.rs
+
+/root/repo/target/debug/deps/observability-8d174e7955a466e3: crates/core/tests/observability.rs
+
+crates/core/tests/observability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-23931ec14283342a.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-23931ec14283342a: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-fbcce42335e39db8.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-fbcce42335e39db8: tests/paper_claims.rs
+
+tests/paper_claims.rs:

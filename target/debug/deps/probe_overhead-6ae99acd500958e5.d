@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/probe_overhead-6ae99acd500958e5.d: crates/bench/benches/probe_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprobe_overhead-6ae99acd500958e5.rmeta: crates/bench/benches/probe_overhead.rs Cargo.toml
+
+crates/bench/benches/probe_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_differential-04d3f0475afbde70.d: tests/prop_differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_differential-04d3f0475afbde70.rmeta: tests/prop_differential.rs Cargo.toml
+
+tests/prop_differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_differential-764a1503c8ee137d.d: tests/prop_differential.rs
+
+/root/repo/target/debug/deps/prop_differential-764a1503c8ee137d: tests/prop_differential.rs
+
+tests/prop_differential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_differential-797d6b40f203a73d.d: tests/prop_differential.rs
+
+/root/repo/target/debug/deps/prop_differential-797d6b40f203a73d: tests/prop_differential.rs
+
+tests/prop_differential.rs:

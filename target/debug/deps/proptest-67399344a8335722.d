@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-67399344a8335722.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-67399344a8335722: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-08bd94539023b359.d: crates/energy/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-08bd94539023b359.rmeta: crates/energy/tests/proptests.rs Cargo.toml
+
+crates/energy/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-14ef6becf7958919.d: crates/mips/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-14ef6becf7958919: crates/mips/tests/proptests.rs
+
+crates/mips/tests/proptests.rs:

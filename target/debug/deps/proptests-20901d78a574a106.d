@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-20901d78a574a106.d: crates/mips-sim/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-20901d78a574a106.rmeta: crates/mips-sim/tests/proptests.rs Cargo.toml
+
+crates/mips-sim/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-511fd6d9c596882d.d: crates/mips/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-511fd6d9c596882d.rmeta: crates/mips/tests/proptests.rs Cargo.toml
+
+crates/mips/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-68bda613c431610a.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-68bda613c431610a: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-9451f336b79e9f72.d: crates/cgra/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-9451f336b79e9f72.rmeta: crates/cgra/tests/proptests.rs Cargo.toml
+
+crates/cgra/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-98855ec9cea4c388.d: crates/mips-sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-98855ec9cea4c388: crates/mips-sim/tests/proptests.rs
+
+crates/mips-sim/tests/proptests.rs:

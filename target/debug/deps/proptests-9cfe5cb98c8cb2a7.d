@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-9cfe5cb98c8cb2a7.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-9cfe5cb98c8cb2a7: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a39374116ab6e90f.d: crates/cgra/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a39374116ab6e90f: crates/cgra/tests/proptests.rs
+
+crates/cgra/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a566b1cb5fa7b41e.d: crates/mips-sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a566b1cb5fa7b41e: crates/mips-sim/tests/proptests.rs
+
+crates/mips-sim/tests/proptests.rs:

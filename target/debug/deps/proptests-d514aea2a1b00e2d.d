@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-d514aea2a1b00e2d.d: crates/energy/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-d514aea2a1b00e2d: crates/energy/tests/proptests.rs
+
+crates/energy/tests/proptests.rs:

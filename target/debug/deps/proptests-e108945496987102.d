@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e108945496987102.d: crates/energy/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-e108945496987102: crates/energy/tests/proptests.rs
+
+crates/energy/tests/proptests.rs:

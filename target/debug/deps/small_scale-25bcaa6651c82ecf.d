@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/small_scale-25bcaa6651c82ecf.d: crates/workloads/tests/small_scale.rs
+
+/root/repo/target/debug/deps/small_scale-25bcaa6651c82ecf: crates/workloads/tests/small_scale.rs
+
+crates/workloads/tests/small_scale.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/small_scale-34af9f5598a83253.d: crates/workloads/tests/small_scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmall_scale-34af9f5598a83253.rmeta: crates/workloads/tests/small_scale.rs Cargo.toml
+
+crates/workloads/tests/small_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/small_scale-d9d98230415b0ca6.d: crates/workloads/tests/small_scale.rs
+
+/root/repo/target/debug/deps/small_scale-d9d98230415b0ca6: crates/workloads/tests/small_scale.rs
+
+crates/workloads/tests/small_scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_speedup-3eb193aa4d1adcce.d: crates/bench/src/bin/table2_speedup.rs
+
+/root/repo/target/debug/deps/table2_speedup-3eb193aa4d1adcce: crates/bench/src/bin/table2_speedup.rs
+
+crates/bench/src/bin/table2_speedup.rs:

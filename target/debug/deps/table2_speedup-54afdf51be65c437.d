@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_speedup-54afdf51be65c437.d: crates/bench/src/bin/table2_speedup.rs
+
+/root/repo/target/debug/deps/table2_speedup-54afdf51be65c437: crates/bench/src/bin/table2_speedup.rs
+
+crates/bench/src/bin/table2_speedup.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_speedup-587b44d27eabc1c3.d: crates/bench/src/bin/table2_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_speedup-587b44d27eabc1c3.rmeta: crates/bench/src/bin/table2_speedup.rs Cargo.toml
+
+crates/bench/src/bin/table2_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_speedup-a0bf9a2200e3014a.d: crates/bench/src/bin/table2_speedup.rs
+
+/root/repo/target/debug/deps/table2_speedup-a0bf9a2200e3014a: crates/bench/src/bin/table2_speedup.rs
+
+crates/bench/src/bin/table2_speedup.rs:

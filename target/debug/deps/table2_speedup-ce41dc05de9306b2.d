@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_speedup-ce41dc05de9306b2.d: crates/bench/src/bin/table2_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_speedup-ce41dc05de9306b2.rmeta: crates/bench/src/bin/table2_speedup.rs Cargo.toml
+
+crates/bench/src/bin/table2_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

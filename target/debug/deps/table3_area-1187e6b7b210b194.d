@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_area-1187e6b7b210b194.d: crates/bench/src/bin/table3_area.rs
+
+/root/repo/target/debug/deps/table3_area-1187e6b7b210b194: crates/bench/src/bin/table3_area.rs
+
+crates/bench/src/bin/table3_area.rs:

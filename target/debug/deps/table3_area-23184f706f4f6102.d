@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_area-23184f706f4f6102.d: crates/bench/src/bin/table3_area.rs
+
+/root/repo/target/debug/deps/table3_area-23184f706f4f6102: crates/bench/src/bin/table3_area.rs
+
+crates/bench/src/bin/table3_area.rs:

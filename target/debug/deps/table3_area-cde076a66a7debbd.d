@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_area-cde076a66a7debbd.d: crates/bench/src/bin/table3_area.rs
+
+/root/repo/target/debug/deps/table3_area-cde076a66a7debbd: crates/bench/src/bin/table3_area.rs
+
+crates/bench/src/bin/table3_area.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/translation-3e248233295083d6.d: crates/bench/benches/translation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtranslation-3e248233295083d6.rmeta: crates/bench/benches/translation.rs Cargo.toml
+
+crates/bench/benches/translation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_workload-7143cd57074b4e7d.d: examples/custom_workload.rs
+
+/root/repo/target/debug/examples/custom_workload-7143cd57074b4e7d: examples/custom_workload.rs
+
+examples/custom_workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_workload-d41d0cb25d025bd0.d: examples/custom_workload.rs
+
+/root/repo/target/debug/examples/custom_workload-d41d0cb25d025bd0: examples/custom_workload.rs
+
+examples/custom_workload.rs:

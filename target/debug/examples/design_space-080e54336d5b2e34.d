@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-080e54336d5b2e34.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-080e54336d5b2e34: examples/design_space.rs
+
+examples/design_space.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-5aa1e0fe816f3dfd.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-5aa1e0fe816f3dfd: examples/design_space.rs
+
+examples/design_space.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/heterogeneous_device-59e4e722e9742183.d: examples/heterogeneous_device.rs Cargo.toml
+
+/root/repo/target/debug/examples/libheterogeneous_device-59e4e722e9742183.rmeta: examples/heterogeneous_device.rs Cargo.toml
+
+examples/heterogeneous_device.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

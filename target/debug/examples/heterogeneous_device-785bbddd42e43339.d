@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/heterogeneous_device-785bbddd42e43339.d: examples/heterogeneous_device.rs
+
+/root/repo/target/debug/examples/heterogeneous_device-785bbddd42e43339: examples/heterogeneous_device.rs
+
+examples/heterogeneous_device.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/heterogeneous_device-f8da85ce32c26cce.d: examples/heterogeneous_device.rs
+
+/root/repo/target/debug/examples/heterogeneous_device-f8da85ce32c26cce: examples/heterogeneous_device.rs
+
+examples/heterogeneous_device.rs:

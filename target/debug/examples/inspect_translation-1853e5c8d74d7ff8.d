@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/inspect_translation-1853e5c8d74d7ff8.d: examples/inspect_translation.rs
+
+/root/repo/target/debug/examples/inspect_translation-1853e5c8d74d7ff8: examples/inspect_translation.rs
+
+examples/inspect_translation.rs:

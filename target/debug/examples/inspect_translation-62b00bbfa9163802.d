@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/inspect_translation-62b00bbfa9163802.d: examples/inspect_translation.rs
+
+/root/repo/target/debug/examples/inspect_translation-62b00bbfa9163802: examples/inspect_translation.rs
+
+examples/inspect_translation.rs:

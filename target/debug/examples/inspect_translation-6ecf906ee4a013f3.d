@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/inspect_translation-6ecf906ee4a013f3.d: examples/inspect_translation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinspect_translation-6ecf906ee4a013f3.rmeta: examples/inspect_translation.rs Cargo.toml
+
+examples/inspect_translation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mibench_sweep-078bcfaa0dad333f.d: examples/mibench_sweep.rs
+
+/root/repo/target/debug/examples/mibench_sweep-078bcfaa0dad333f: examples/mibench_sweep.rs
+
+examples/mibench_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mibench_sweep-11baf20ea69852e3.d: examples/mibench_sweep.rs
+
+/root/repo/target/debug/examples/mibench_sweep-11baf20ea69852e3: examples/mibench_sweep.rs
+
+examples/mibench_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mibench_sweep-d1f6545a9f61778e.d: examples/mibench_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmibench_sweep-d1f6545a9f61778e.rmeta: examples/mibench_sweep.rs Cargo.toml
+
+examples/mibench_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-067c519e330a825e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-067c519e330a825e: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-67259a1aa3ed5f42.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-67259a1aa3ed5f42: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-1ccec88075e3b1ef.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-1ccec88075e3b1ef: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

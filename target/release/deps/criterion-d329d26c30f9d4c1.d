@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-d329d26c30f9d4c1.d: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-d329d26c30f9d4c1.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-d329d26c30f9d4c1.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/differential-0e44f31c40344b33.d: tests/differential.rs
+
+/root/repo/target/release/deps/differential-0e44f31c40344b33: tests/differential.rs
+
+tests/differential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dim-689ed821c51633ea.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/dim-689ed821c51633ea: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

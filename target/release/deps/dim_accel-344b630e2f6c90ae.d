@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dim_accel-344b630e2f6c90ae.d: src/lib.rs
+
+/root/repo/target/release/deps/libdim_accel-344b630e2f6c90ae.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdim_accel-344b630e2f6c90ae.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dim_accel-49f5870b12dbd483.d: src/lib.rs
+
+/root/repo/target/release/deps/dim_accel-49f5870b12dbd483: src/lib.rs
+
+src/lib.rs:

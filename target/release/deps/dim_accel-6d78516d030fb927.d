@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dim_accel-6d78516d030fb927.d: src/lib.rs
+
+/root/repo/target/release/deps/libdim_accel-6d78516d030fb927.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdim_accel-6d78516d030fb927.rmeta: src/lib.rs
+
+src/lib.rs:

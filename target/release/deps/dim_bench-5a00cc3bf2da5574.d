@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dim_bench-5a00cc3bf2da5574.d: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/release/deps/libdim_bench-5a00cc3bf2da5574.rlib: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/release/deps/libdim_bench-5a00cc3bf2da5574.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:

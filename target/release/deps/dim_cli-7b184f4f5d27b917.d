@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/dim_cli-7b184f4f5d27b917.d: crates/cli/src/lib.rs crates/cli/src/debugger.rs
+
+/root/repo/target/release/deps/libdim_cli-7b184f4f5d27b917.rlib: crates/cli/src/lib.rs crates/cli/src/debugger.rs
+
+/root/repo/target/release/deps/libdim_cli-7b184f4f5d27b917.rmeta: crates/cli/src/lib.rs crates/cli/src/debugger.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/debugger.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dim_energy-a657d6cad4f7ea86.d: crates/energy/src/lib.rs crates/energy/src/area.rs crates/energy/src/power.rs
+
+/root/repo/target/release/deps/libdim_energy-a657d6cad4f7ea86.rlib: crates/energy/src/lib.rs crates/energy/src/area.rs crates/energy/src/power.rs
+
+/root/repo/target/release/deps/libdim_energy-a657d6cad4f7ea86.rmeta: crates/energy/src/lib.rs crates/energy/src/area.rs crates/energy/src/power.rs
+
+crates/energy/src/lib.rs:
+crates/energy/src/area.rs:
+crates/energy/src/power.rs:

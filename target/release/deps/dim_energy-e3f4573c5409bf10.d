@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dim_energy-e3f4573c5409bf10.d: crates/energy/src/lib.rs crates/energy/src/area.rs crates/energy/src/power.rs
+
+/root/repo/target/release/deps/libdim_energy-e3f4573c5409bf10.rlib: crates/energy/src/lib.rs crates/energy/src/area.rs crates/energy/src/power.rs
+
+/root/repo/target/release/deps/libdim_energy-e3f4573c5409bf10.rmeta: crates/energy/src/lib.rs crates/energy/src/area.rs crates/energy/src/power.rs
+
+crates/energy/src/lib.rs:
+crates/energy/src/area.rs:
+crates/energy/src/power.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/dim_mips-049ccb095c2e6a6d.d: crates/mips/src/lib.rs crates/mips/src/asm/mod.rs crates/mips/src/asm/expand.rs crates/mips/src/asm/item.rs crates/mips/src/code.rs crates/mips/src/disasm.rs crates/mips/src/image.rs crates/mips/src/inst.rs crates/mips/src/reg.rs
+
+/root/repo/target/release/deps/libdim_mips-049ccb095c2e6a6d.rlib: crates/mips/src/lib.rs crates/mips/src/asm/mod.rs crates/mips/src/asm/expand.rs crates/mips/src/asm/item.rs crates/mips/src/code.rs crates/mips/src/disasm.rs crates/mips/src/image.rs crates/mips/src/inst.rs crates/mips/src/reg.rs
+
+/root/repo/target/release/deps/libdim_mips-049ccb095c2e6a6d.rmeta: crates/mips/src/lib.rs crates/mips/src/asm/mod.rs crates/mips/src/asm/expand.rs crates/mips/src/asm/item.rs crates/mips/src/code.rs crates/mips/src/disasm.rs crates/mips/src/image.rs crates/mips/src/inst.rs crates/mips/src/reg.rs
+
+crates/mips/src/lib.rs:
+crates/mips/src/asm/mod.rs:
+crates/mips/src/asm/expand.rs:
+crates/mips/src/asm/item.rs:
+crates/mips/src/code.rs:
+crates/mips/src/disasm.rs:
+crates/mips/src/image.rs:
+crates/mips/src/inst.rs:
+crates/mips/src/reg.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/dim_mips_sim-3f2eee344ce857c5.d: crates/mips-sim/src/lib.rs crates/mips-sim/src/cache.rs crates/mips-sim/src/costs.rs crates/mips-sim/src/cpu.rs crates/mips-sim/src/error.rs crates/mips-sim/src/machine.rs crates/mips-sim/src/mem.rs crates/mips-sim/src/profile.rs crates/mips-sim/src/superscalar.rs crates/mips-sim/src/stats.rs
+
+/root/repo/target/release/deps/libdim_mips_sim-3f2eee344ce857c5.rlib: crates/mips-sim/src/lib.rs crates/mips-sim/src/cache.rs crates/mips-sim/src/costs.rs crates/mips-sim/src/cpu.rs crates/mips-sim/src/error.rs crates/mips-sim/src/machine.rs crates/mips-sim/src/mem.rs crates/mips-sim/src/profile.rs crates/mips-sim/src/superscalar.rs crates/mips-sim/src/stats.rs
+
+/root/repo/target/release/deps/libdim_mips_sim-3f2eee344ce857c5.rmeta: crates/mips-sim/src/lib.rs crates/mips-sim/src/cache.rs crates/mips-sim/src/costs.rs crates/mips-sim/src/cpu.rs crates/mips-sim/src/error.rs crates/mips-sim/src/machine.rs crates/mips-sim/src/mem.rs crates/mips-sim/src/profile.rs crates/mips-sim/src/superscalar.rs crates/mips-sim/src/stats.rs
+
+crates/mips-sim/src/lib.rs:
+crates/mips-sim/src/cache.rs:
+crates/mips-sim/src/costs.rs:
+crates/mips-sim/src/cpu.rs:
+crates/mips-sim/src/error.rs:
+crates/mips-sim/src/machine.rs:
+crates/mips-sim/src/mem.rs:
+crates/mips-sim/src/profile.rs:
+crates/mips-sim/src/superscalar.rs:
+crates/mips-sim/src/stats.rs:

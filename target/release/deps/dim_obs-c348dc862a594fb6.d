@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dim_obs-c348dc862a594fb6.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/jsonl.rs crates/obs/src/metrics.rs crates/obs/src/probe.rs crates/obs/src/profile.rs crates/obs/src/replay.rs
+
+/root/repo/target/release/deps/libdim_obs-c348dc862a594fb6.rlib: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/jsonl.rs crates/obs/src/metrics.rs crates/obs/src/probe.rs crates/obs/src/profile.rs crates/obs/src/replay.rs
+
+/root/repo/target/release/deps/libdim_obs-c348dc862a594fb6.rmeta: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/jsonl.rs crates/obs/src/metrics.rs crates/obs/src/probe.rs crates/obs/src/profile.rs crates/obs/src/replay.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/json.rs:
+crates/obs/src/jsonl.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/probe.rs:
+crates/obs/src/profile.rs:
+crates/obs/src/replay.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/dim_workloads-f7da260600acbbe4.d: crates/workloads/src/lib.rs crates/workloads/src/framework.rs crates/workloads/src/kernels/mod.rs crates/workloads/src/kernels/adpcm.rs crates/workloads/src/kernels/bitcount.rs crates/workloads/src/kernels/crc32.rs crates/workloads/src/kernels/dijkstra.rs crates/workloads/src/kernels/gsm.rs crates/workloads/src/kernels/jpeg.rs crates/workloads/src/kernels/patricia.rs crates/workloads/src/kernels/quicksort.rs crates/workloads/src/kernels/rijndael.rs crates/workloads/src/kernels/sha.rs crates/workloads/src/kernels/stringsearch.rs crates/workloads/src/kernels/susan.rs
+
+/root/repo/target/release/deps/libdim_workloads-f7da260600acbbe4.rlib: crates/workloads/src/lib.rs crates/workloads/src/framework.rs crates/workloads/src/kernels/mod.rs crates/workloads/src/kernels/adpcm.rs crates/workloads/src/kernels/bitcount.rs crates/workloads/src/kernels/crc32.rs crates/workloads/src/kernels/dijkstra.rs crates/workloads/src/kernels/gsm.rs crates/workloads/src/kernels/jpeg.rs crates/workloads/src/kernels/patricia.rs crates/workloads/src/kernels/quicksort.rs crates/workloads/src/kernels/rijndael.rs crates/workloads/src/kernels/sha.rs crates/workloads/src/kernels/stringsearch.rs crates/workloads/src/kernels/susan.rs
+
+/root/repo/target/release/deps/libdim_workloads-f7da260600acbbe4.rmeta: crates/workloads/src/lib.rs crates/workloads/src/framework.rs crates/workloads/src/kernels/mod.rs crates/workloads/src/kernels/adpcm.rs crates/workloads/src/kernels/bitcount.rs crates/workloads/src/kernels/crc32.rs crates/workloads/src/kernels/dijkstra.rs crates/workloads/src/kernels/gsm.rs crates/workloads/src/kernels/jpeg.rs crates/workloads/src/kernels/patricia.rs crates/workloads/src/kernels/quicksort.rs crates/workloads/src/kernels/rijndael.rs crates/workloads/src/kernels/sha.rs crates/workloads/src/kernels/stringsearch.rs crates/workloads/src/kernels/susan.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/framework.rs:
+crates/workloads/src/kernels/mod.rs:
+crates/workloads/src/kernels/adpcm.rs:
+crates/workloads/src/kernels/bitcount.rs:
+crates/workloads/src/kernels/crc32.rs:
+crates/workloads/src/kernels/dijkstra.rs:
+crates/workloads/src/kernels/gsm.rs:
+crates/workloads/src/kernels/jpeg.rs:
+crates/workloads/src/kernels/patricia.rs:
+crates/workloads/src/kernels/quicksort.rs:
+crates/workloads/src/kernels/rijndael.rs:
+crates/workloads/src/kernels/sha.rs:
+crates/workloads/src/kernels/stringsearch.rs:
+crates/workloads/src/kernels/susan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/disasm_roundtrip-e5049904deaf69ef.d: tests/disasm_roundtrip.rs
+
+/root/repo/target/release/deps/disasm_roundtrip-e5049904deaf69ef: tests/disasm_roundtrip.rs
+
+tests/disasm_roundtrip.rs:

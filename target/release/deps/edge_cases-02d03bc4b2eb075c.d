@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/edge_cases-02d03bc4b2eb075c.d: tests/edge_cases.rs
+
+/root/repo/target/release/deps/edge_cases-02d03bc4b2eb075c: tests/edge_cases.rs
+
+tests/edge_cases.rs:

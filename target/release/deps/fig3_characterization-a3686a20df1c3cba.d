@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_characterization-a3686a20df1c3cba.d: crates/bench/src/bin/fig3_characterization.rs
+
+/root/repo/target/release/deps/fig3_characterization-a3686a20df1c3cba: crates/bench/src/bin/fig3_characterization.rs
+
+crates/bench/src/bin/fig3_characterization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_summary-8e7f99c1b3b4ea2c.d: crates/bench/src/bin/fig4_summary.rs
+
+/root/repo/target/release/deps/fig4_summary-8e7f99c1b3b4ea2c: crates/bench/src/bin/fig4_summary.rs
+
+crates/bench/src/bin/fig4_summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_power-22f0dc15b24d803f.d: crates/bench/src/bin/fig5_power.rs
+
+/root/repo/target/release/deps/fig5_power-22f0dc15b24d803f: crates/bench/src/bin/fig5_power.rs
+
+crates/bench/src/bin/fig5_power.rs:

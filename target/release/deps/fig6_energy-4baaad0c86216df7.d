@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_energy-4baaad0c86216df7.d: crates/bench/src/bin/fig6_energy.rs
+
+/root/repo/target/release/deps/fig6_energy-4baaad0c86216df7: crates/bench/src/bin/fig6_energy.rs
+
+crates/bench/src/bin/fig6_energy.rs:

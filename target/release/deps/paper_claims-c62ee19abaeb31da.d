@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-c62ee19abaeb31da.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-c62ee19abaeb31da: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe_overhead-37d4a4dc1576b139.d: crates/bench/benches/probe_overhead.rs
+
+/root/repo/target/release/deps/probe_overhead-37d4a4dc1576b139: crates/bench/benches/probe_overhead.rs
+
+crates/bench/benches/probe_overhead.rs:

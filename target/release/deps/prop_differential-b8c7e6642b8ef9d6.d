@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_differential-b8c7e6642b8ef9d6.d: tests/prop_differential.rs
+
+/root/repo/target/release/deps/prop_differential-b8c7e6642b8ef9d6: tests/prop_differential.rs
+
+tests/prop_differential.rs:

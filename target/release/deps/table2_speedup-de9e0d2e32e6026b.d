@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_speedup-de9e0d2e32e6026b.d: crates/bench/src/bin/table2_speedup.rs
+
+/root/repo/target/release/deps/table2_speedup-de9e0d2e32e6026b: crates/bench/src/bin/table2_speedup.rs
+
+crates/bench/src/bin/table2_speedup.rs:

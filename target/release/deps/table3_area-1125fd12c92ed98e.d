@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_area-1125fd12c92ed98e.d: crates/bench/src/bin/table3_area.rs
+
+/root/repo/target/release/deps/table3_area-1125fd12c92ed98e: crates/bench/src/bin/table3_area.rs
+
+crates/bench/src/bin/table3_area.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/custom_workload-453b0599e7b28d52.d: examples/custom_workload.rs
+
+/root/repo/target/release/examples/custom_workload-453b0599e7b28d52: examples/custom_workload.rs
+
+examples/custom_workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/design_space-f26869695d7c33fe.d: examples/design_space.rs
+
+/root/repo/target/release/examples/design_space-f26869695d7c33fe: examples/design_space.rs
+
+examples/design_space.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/heterogeneous_device-3e144caf6b463470.d: examples/heterogeneous_device.rs
+
+/root/repo/target/release/examples/heterogeneous_device-3e144caf6b463470: examples/heterogeneous_device.rs
+
+examples/heterogeneous_device.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/inspect_translation-f39571d7468be625.d: examples/inspect_translation.rs
+
+/root/repo/target/release/examples/inspect_translation-f39571d7468be625: examples/inspect_translation.rs
+
+examples/inspect_translation.rs:

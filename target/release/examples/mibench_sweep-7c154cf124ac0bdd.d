@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/mibench_sweep-7c154cf124ac0bdd.d: examples/mibench_sweep.rs
+
+/root/repo/target/release/examples/mibench_sweep-7c154cf124ac0bdd: examples/mibench_sweep.rs
+
+examples/mibench_sweep.rs:

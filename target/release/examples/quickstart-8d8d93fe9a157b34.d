@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-8d8d93fe9a157b34.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-8d8d93fe9a157b34: examples/quickstart.rs
+
+examples/quickstart.rs:

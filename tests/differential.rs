@@ -8,7 +8,11 @@ use dim_accel::workloads::{validate, BuiltBenchmark};
 fn check_grid(built: &BuiltBenchmark) {
     let mut baseline = Machine::load(&built.program);
     let halt = baseline.run(built.max_steps).expect("baseline runs");
-    assert!(matches!(halt, HaltReason::Exit(_)), "{}: no halt", built.name);
+    assert!(
+        matches!(halt, HaltReason::Exit(_)),
+        "{}: no halt",
+        built.name
+    );
     validate(&baseline, built).expect("baseline validates");
 
     let grid = [

@@ -41,10 +41,7 @@ fn labeled_listing_covers_all_words() {
     for spec in suite() {
         let built = (spec.build)(Scale::Tiny);
         let labeled = disassemble_labeled(built.program.text_base, &built.program.text);
-        let instruction_lines = labeled
-            .lines()
-            .filter(|l| l.contains(":   "))
-            .count();
+        let instruction_lines = labeled.lines().filter(|l| l.contains(":   ")).count();
         assert_eq!(
             instruction_lines,
             built.program.text.len(),

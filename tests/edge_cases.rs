@@ -46,7 +46,10 @@ fn jump_into_middle_of_cached_region() {
                 b    mid
         ",
     );
-    assert!(sys.stats().array_invocations > 0, "the hot path must still accelerate");
+    assert!(
+        sys.stats().array_invocations > 0,
+        "the hot path must still accelerate"
+    );
 }
 
 /// The minimal cacheable region (4 instructions) round-trips correctly
@@ -146,7 +149,13 @@ fn misaligned_fault_propagates_identically() {
     );
     let sys_err = sys.run(1_000_000).unwrap_err();
     assert_eq!(base_err, sys_err);
-    assert!(matches!(base_err, SimError::Misaligned { addr: 0x1000_0001, width: 4 }));
+    assert!(matches!(
+        base_err,
+        SimError::Misaligned {
+            addr: 0x1000_0001,
+            width: 4
+        }
+    ));
 }
 
 /// A `jr` through a register that leaves the text segment errors out the
@@ -171,7 +180,10 @@ fn wild_jump_faults_identically() {
     );
     let sys_err = sys.run(1_000_000).unwrap_err();
     assert_eq!(base_err, sys_err);
-    assert!(matches!(base_err, SimError::PcOutOfRange { pc: 0x0030_0000 }));
+    assert!(matches!(
+        base_err,
+        SimError::PcOutOfRange { pc: 0x0030_0000 }
+    ));
 }
 
 /// Stepping a halted machine is reported as an error, not a silent no-op.

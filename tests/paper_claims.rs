@@ -3,9 +3,9 @@
 //! `Full`-scale numbers. If a model change breaks one of the paper's
 //! qualitative results, this file is where it shows up.
 
+use dim_accel::dim::DimStats;
 use dim_accel::energy::{energy_breakdown, PowerModel};
 use dim_accel::prelude::*;
-use dim_accel::dim::DimStats;
 use dim_accel::workloads::BuiltBenchmark;
 
 fn baseline_cycles(built: &BuiltBenchmark) -> u64 {

@@ -81,7 +81,10 @@ fn render(op: &Op) -> String {
         Op::AluImm(m, a, b, i) => format!("{m} {}, {}, {}", REGS[*a], REGS[*b], i),
         Op::Shift(m, a, b, s) => format!("{m} {}, {}, {}", REGS[*a], REGS[*b], s),
         Op::MulDiv(m, a, b) => {
-            format!("{m} {}, {}\n mflo {}\n mfhi {}", REGS[*a], REGS[*b], REGS[*a], REGS[*b])
+            format!(
+                "{m} {}, {}\n mflo {}\n mfhi {}",
+                REGS[*a], REGS[*b], REGS[*a], REGS[*b]
+            )
         }
         Op::Load(m, a, slot) => format!("{m} {}, {}($gp)", REGS[*a], slot * 4),
         Op::Store(m, a, slot) => format!("{m} {}, {}($gp)", REGS[*a], slot * 4),
