@@ -12,14 +12,17 @@
 //! 8. the cache replacement policy (FIFO, per the paper, vs LRU);
 //! 9. power gating of unused rows (the paper's announced future work).
 //!
-//! Usage: `ablations [tiny|small|full]` (default: small — ablations are
-//! exploratory, not headline numbers).
+//! Usage: `ablations [tiny|small|full] [--jobs N]` (default: small —
+//! ablations are exploratory, not headline numbers). With `--jobs N`
+//! the nine studies run concurrently on a work-stealing pool; stdout is
+//! identical to a serial run because sections print in a fixed order.
 
-use dim_bench::{ratio, run_accelerated, run_baseline, TextTable};
+use dim_bench::{jobs_from_args, ratio, report_pool, run_accelerated, run_baseline, TextTable};
 use dim_cgra::ArrayShape;
 use dim_core::SystemConfig;
 use dim_energy::{energy_breakdown, energy_breakdown_gated, PowerModel};
 use dim_mips_sim::{CacheConfig, CacheSim};
+use dim_sweep::execute_jobs;
 use dim_workloads::{by_name, Scale};
 
 fn scale_from_args() -> Scale {
@@ -32,11 +35,11 @@ fn scale_from_args() -> Scale {
 
 const BENCHES: [&str; 4] = ["rijndael_enc", "sha", "stringsearch", "rawaudio_dec"];
 
-fn main() {
-    let scale = scale_from_args();
+fn section(title: &str, t: TextTable) -> String {
+    format!("{title}\n{}", t.render())
+}
 
-    // --- 1. speculation depth ---
-    println!("Ablation 1 — speedup vs speculation depth (C#2, 64 slots)");
+fn ablation_spec_depth(scale: Scale) -> String {
     let mut t = TextTable::new(["benchmark", "nospec", "2 blocks", "3 blocks", "4 blocks"]);
     for name in BENCHES {
         let built = ((by_name(name).expect("known")).build)(scale);
@@ -50,10 +53,13 @@ fn main() {
         }
         t.row(cells);
     }
-    println!("{}", t.render());
+    section(
+        "Ablation 1 — speedup vs speculation depth (C#2, 64 slots)",
+        t,
+    )
+}
 
-    // --- 2. ALU rows per cycle ---
-    println!("Ablation 2 — speedup vs ALU levels per cycle (C#2, 64 slots, spec)");
+fn ablation_alu_levels(scale: Scale) -> String {
     let mut t = TextTable::new(["benchmark", "1 row/cycle", "3 rows/cycle"]);
     for name in BENCHES {
         let built = ((by_name(name).expect("known")).build)(scale);
@@ -67,10 +73,13 @@ fn main() {
         }
         t.row(cells);
     }
-    println!("{}", t.render());
+    section(
+        "Ablation 2 — speedup vs ALU levels per cycle (C#2, 64 slots, spec)",
+        t,
+    )
+}
 
-    // --- 3. misspeculation flush threshold ---
-    println!("Ablation 3 — speedup vs misspeculation flush threshold (C#2, 64 slots, spec)");
+fn ablation_flush_threshold(scale: Scale) -> String {
     let mut t = TextTable::new(["benchmark", "flush@1", "flush@8", "never"]);
     for name in BENCHES {
         let built = ((by_name(name).expect("known")).build)(scale);
@@ -84,10 +93,13 @@ fn main() {
         }
         t.row(cells);
     }
-    println!("{}", t.render());
+    section(
+        "Ablation 3 — speedup vs misspeculation flush threshold (C#2, 64 slots, spec)",
+        t,
+    )
+}
 
-    // --- 4. realistic caches ---
-    println!("Ablation 4 — speedup with perfect vs 4KiB I/D caches (C#2, 64 slots, spec)");
+fn ablation_caches(scale: Scale) -> String {
     let mut t = TextTable::new(["benchmark", "perfect", "4KiB caches", "dcache miss rate"]);
     for name in BENCHES {
         let built = ((by_name(name).expect("known")).build)(scale);
@@ -122,10 +134,13 @@ fn main() {
             format!("{:.2}%", 100.0 * dstats.miss_rate()),
         ]);
     }
-    println!("{}", t.render());
+    section(
+        "Ablation 4 — speedup with perfect vs 4KiB I/D caches (C#2, 64 slots, spec)",
+        t,
+    )
+}
 
-    // --- 5. DIM vs a CCA-like array (paper §2.2's comparison) ---
-    println!("Ablation 5 — DIM array vs CCA-like baseline (no memory ops, no shifts; 64 slots)");
+fn ablation_cca(scale: Scale) -> String {
     let mut t = TextTable::new(["benchmark", "DIM C#1 spec", "CCA-like"]);
     for name in BENCHES {
         let built = ((by_name(name).expect("known")).build)(scale);
@@ -141,10 +156,13 @@ fn main() {
             ratio(base as f64 / cca.cycles as f64),
         ]);
     }
-    println!("{}", t.render());
+    section(
+        "Ablation 5 — DIM array vs CCA-like baseline (no memory ops, no shifts; 64 slots)",
+        t,
+    )
+}
 
-    // --- DIM vs an in-order dual-issue superscalar (the paper's §1 foil) ---
-    println!("Ablation 6 — DIM (C#1, 64 slots, spec) vs in-order 2-wide superscalar");
+fn ablation_superscalar(scale: Scale) -> String {
     let mut t = TextTable::new(["benchmark", "superscalar 2w", "DIM C#1", "DIM C#3"]);
     for name in BENCHES {
         let built = ((by_name(name).expect("known")).build)(scale);
@@ -167,10 +185,13 @@ fn main() {
             ratio(base as f64 / dim3.cycles as f64),
         ]);
     }
-    println!("{}", t.render());
+    section(
+        "Ablation 6 — DIM (C#1, 64 slots, spec) vs in-order 2-wide superscalar",
+        t,
+    )
+}
 
-    // --- 6. branch predictor quality (bimodal vs gshare) ---
-    println!("Ablation 7 — speculation-gate predictor hit rate on real branch traces");
+fn ablation_predictor(scale: Scale) -> String {
     let mut t = TextTable::new(["benchmark", "bimodal", "gshare(12,8)"]);
     for name in BENCHES {
         let built = ((by_name(name).expect("known")).build)(scale);
@@ -197,12 +218,13 @@ fn main() {
             format!("{:.1}%", 100.0 * gs),
         ]);
     }
-    println!("{}", t.render());
+    section(
+        "Ablation 7 — speculation-gate predictor hit rate on real branch traces",
+        t,
+    )
+}
 
-    // --- cache replacement policy: FIFO (paper) vs LRU ---
-    println!(
-        "Ablation 8 — reconfiguration-cache replacement: FIFO (paper) vs LRU (16 slots, spec)"
-    );
+fn ablation_replacement(scale: Scale) -> String {
     let mut t = TextTable::new(["benchmark", "FIFO", "LRU"]);
     for name in BENCHES {
         let built = ((by_name(name).expect("known")).build)(scale);
@@ -219,10 +241,13 @@ fn main() {
         }
         t.row(cells);
     }
-    println!("{}", t.render());
+    section(
+        "Ablation 8 — reconfiguration-cache replacement: FIFO (paper) vs LRU (16 slots, spec)",
+        t,
+    )
+}
 
-    // --- 7. power gating ---
-    println!("Ablation 9 — total energy with and without power gating (C#3, 64 slots, spec)");
+fn ablation_power_gating(scale: Scale) -> String {
     let mut t = TextTable::new(["benchmark", "ungated", "gated", "saving"]);
     let model = PowerModel::default();
     for name in BENCHES {
@@ -243,5 +268,29 @@ fn main() {
             format!("{:.1}%", 100.0 * (1.0 - gated.total() / plain.total())),
         ]);
     }
-    println!("{}", t.render());
+    section(
+        "Ablation 9 — total energy with and without power gating (C#3, 64 slots, spec)",
+        t,
+    )
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let studies: Vec<fn(Scale) -> String> = vec![
+        ablation_spec_depth,
+        ablation_alu_levels,
+        ablation_flush_threshold,
+        ablation_caches,
+        ablation_cca,
+        ablation_superscalar,
+        ablation_predictor,
+        ablation_replacement,
+        ablation_power_gating,
+    ];
+    let jobs: Vec<_> = studies.into_iter().map(|f| move || f(scale)).collect();
+    let (sections, pool) = execute_jobs(jobs, jobs_from_args());
+    report_pool(&pool);
+    for s in sections {
+        println!("{s}");
+    }
 }

@@ -5,12 +5,14 @@
 //! configurations #1 and #3 with 64 cache slots, with and without
 //! speculation, next to the plain MIPS.
 //!
-//! Usage: `fig5_power [tiny|small|full]` (default: full).
+//! Usage: `fig5_power [tiny|small|full] [--jobs N]` (default: full,
+//! serial). The table on stdout is identical at any worker count.
 
-use dim_bench::{run_accelerated, run_baseline, TextTable};
+use dim_bench::{jobs_from_args, report_pool, run_accelerated, run_baseline, TextTable};
 use dim_cgra::ArrayShape;
 use dim_core::{DimStats, SystemConfig};
 use dim_energy::{energy_breakdown, EnergyBreakdown, PowerModel};
+use dim_sweep::execute_jobs;
 use dim_workloads::{by_name, Scale};
 
 fn scale_from_args() -> Scale {
@@ -42,25 +44,42 @@ fn main() {
     println!("Figure 5 — average power per cycle (abstract units), 64 cache slots");
     let mut t = TextTable::new(["run", "core", "imem", "dmem", "array+cache", "bt", "total"]);
 
-    for name in BENCHES {
-        let built = ((by_name(name).expect("known benchmark")).build)(scale);
-        let base = run_baseline(&built).unwrap_or_else(|e| panic!("{name}: {e}"));
-        let e = energy_breakdown(&base.stats, &DimStats::default(), &model)
-            .average_power(base.stats.cycles);
-        t.row(row_cells(format!("{name} / MIPS only"), &e));
+    let jobs: Vec<_> = BENCHES
+        .into_iter()
+        .map(|name| {
+            move || {
+                let built = ((by_name(name).expect("known benchmark")).build)(scale);
+                let base = run_baseline(&built).unwrap_or_else(|e| panic!("{name}: {e}"));
+                let e = energy_breakdown(&base.stats, &DimStats::default(), &model)
+                    .average_power(base.stats.cycles);
+                let mut rows = vec![row_cells(format!("{name} / MIPS only"), &e)];
 
-        for (cfg_name, shape) in [
-            ("C#1", ArrayShape::config1()),
-            ("C#3", ArrayShape::config3()),
-        ] {
-            for spec in [false, true] {
-                let run = run_accelerated(&built, SystemConfig::new(shape, 64, spec))
-                    .unwrap_or_else(|e| panic!("{name}: {e}"));
-                let e = energy_breakdown(&run.system.machine().stats, run.system.stats(), &model)
-                    .average_power(run.cycles);
-                let mode = if spec { "spec" } else { "nospec" };
-                t.row(row_cells(format!("{name} / {cfg_name} {mode}"), &e));
+                for (cfg_name, shape) in [
+                    ("C#1", ArrayShape::config1()),
+                    ("C#3", ArrayShape::config3()),
+                ] {
+                    for spec in [false, true] {
+                        let run = run_accelerated(&built, SystemConfig::new(shape, 64, spec))
+                            .unwrap_or_else(|e| panic!("{name}: {e}"));
+                        let e = energy_breakdown(
+                            &run.system.machine().stats,
+                            run.system.stats(),
+                            &model,
+                        )
+                        .average_power(run.cycles);
+                        let mode = if spec { "spec" } else { "nospec" };
+                        rows.push(row_cells(format!("{name} / {cfg_name} {mode}"), &e));
+                    }
+                }
+                rows
             }
+        })
+        .collect();
+    let (bench_rows, pool) = execute_jobs(jobs, jobs_from_args());
+    report_pool(&pool);
+    for rows in bench_rows {
+        for row in rows {
+            t.row(row);
         }
     }
     println!("{}", t.render());

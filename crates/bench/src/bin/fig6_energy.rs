@@ -2,12 +2,14 @@
 //! headline average energy saving of configuration #2 with 64 slots
 //! across the whole suite (the paper reports 1.73×).
 //!
-//! Usage: `fig6_energy [tiny|small|full]` (default: full).
+//! Usage: `fig6_energy [tiny|small|full] [--jobs N]` (default: full,
+//! serial). The tables on stdout are identical at any worker count.
 
-use dim_bench::{ratio, run_accelerated, run_baseline, TextTable};
+use dim_bench::{jobs_from_args, ratio, report_pool, run_accelerated, run_baseline, TextTable};
 use dim_cgra::ArrayShape;
 use dim_core::{DimStats, SystemConfig};
 use dim_energy::{energy_breakdown, PowerModel};
+use dim_sweep::execute_jobs;
 use dim_workloads::{by_name, suite, Scale};
 
 fn scale_from_args() -> Scale {
@@ -35,59 +37,85 @@ fn main() {
         "total",
         "vs MIPS",
     ]);
-    for name in BENCHES {
-        let built = ((by_name(name).expect("known benchmark")).build)(scale);
-        let base = run_baseline(&built).unwrap_or_else(|e| panic!("{name}: {e}"));
-        let e_base = energy_breakdown(&base.stats, &DimStats::default(), &model);
-        t.row([
-            format!("{name} / MIPS only"),
-            format!("{:.0}", e_base.core),
-            format!("{:.0}", e_base.imem),
-            format!("{:.0}", e_base.dmem),
-            format!("{:.0}", e_base.array + e_base.rcache),
-            format!("{:.0}", e_base.bt),
-            format!("{:.0}", e_base.total()),
-            "1.00".into(),
-        ]);
-        for (cfg_name, shape) in [
-            ("C#1", ArrayShape::config1()),
-            ("C#3", ArrayShape::config3()),
-        ] {
-            for spec in [false, true] {
-                let run = run_accelerated(&built, SystemConfig::new(shape, 64, spec))
-                    .unwrap_or_else(|e| panic!("{name}: {e}"));
-                let e = energy_breakdown(&run.system.machine().stats, run.system.stats(), &model);
-                let mode = if spec { "spec" } else { "nospec" };
-                t.row([
-                    format!("{name} / {cfg_name} {mode}"),
-                    format!("{:.0}", e.core),
-                    format!("{:.0}", e.imem),
-                    format!("{:.0}", e.dmem),
-                    format!("{:.0}", e.array + e.rcache),
-                    format!("{:.0}", e.bt),
-                    format!("{:.0}", e.total()),
-                    ratio(e_base.total() / e.total()),
-                ]);
+    let workers = jobs_from_args();
+    let table_jobs: Vec<_> = BENCHES
+        .into_iter()
+        .map(|name| {
+            move || {
+                let built = ((by_name(name).expect("known benchmark")).build)(scale);
+                let base = run_baseline(&built).unwrap_or_else(|e| panic!("{name}: {e}"));
+                let e_base = energy_breakdown(&base.stats, &DimStats::default(), &model);
+                let mut rows = vec![vec![
+                    format!("{name} / MIPS only"),
+                    format!("{:.0}", e_base.core),
+                    format!("{:.0}", e_base.imem),
+                    format!("{:.0}", e_base.dmem),
+                    format!("{:.0}", e_base.array + e_base.rcache),
+                    format!("{:.0}", e_base.bt),
+                    format!("{:.0}", e_base.total()),
+                    "1.00".into(),
+                ]];
+                for (cfg_name, shape) in [
+                    ("C#1", ArrayShape::config1()),
+                    ("C#3", ArrayShape::config3()),
+                ] {
+                    for spec in [false, true] {
+                        let run = run_accelerated(&built, SystemConfig::new(shape, 64, spec))
+                            .unwrap_or_else(|e| panic!("{name}: {e}"));
+                        let e = energy_breakdown(
+                            &run.system.machine().stats,
+                            run.system.stats(),
+                            &model,
+                        );
+                        let mode = if spec { "spec" } else { "nospec" };
+                        rows.push(vec![
+                            format!("{name} / {cfg_name} {mode}"),
+                            format!("{:.0}", e.core),
+                            format!("{:.0}", e.imem),
+                            format!("{:.0}", e.dmem),
+                            format!("{:.0}", e.array + e.rcache),
+                            format!("{:.0}", e.bt),
+                            format!("{:.0}", e.total()),
+                            ratio(e_base.total() / e.total()),
+                        ]);
+                    }
+                }
+                rows
             }
+        })
+        .collect();
+    let (bench_rows, pool) = execute_jobs(table_jobs, workers);
+    report_pool(&pool);
+    for rows in bench_rows {
+        for row in rows {
+            t.row(row);
         }
     }
     println!("{}", t.render());
 
     // Headline: suite-average energy saving for configuration #2, 64 slots.
-    let mut saving_sum = 0.0;
-    let mut count = 0usize;
-    for spec in suite() {
-        let built = (spec.build)(scale);
-        let base = run_baseline(&built).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
-        let e_base = energy_breakdown(&base.stats, &DimStats::default(), &model).total();
-        let run = run_accelerated(&built, SystemConfig::new(ArrayShape::config2(), 64, true))
-            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
-        let e_accel =
-            energy_breakdown(&run.system.machine().stats, run.system.stats(), &model).total();
-        saving_sum += e_base / e_accel;
-        count += 1;
-        eprintln!("  finished {}", spec.name);
-    }
+    let saving_jobs: Vec<_> = suite()
+        .into_iter()
+        .map(|spec| {
+            move || {
+                let built = (spec.build)(scale);
+                let base = run_baseline(&built).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+                let e_base = energy_breakdown(&base.stats, &DimStats::default(), &model).total();
+                let run =
+                    run_accelerated(&built, SystemConfig::new(ArrayShape::config2(), 64, true))
+                        .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+                let e_accel =
+                    energy_breakdown(&run.system.machine().stats, run.system.stats(), &model)
+                        .total();
+                eprintln!("  finished {}", spec.name);
+                e_base / e_accel
+            }
+        })
+        .collect();
+    let (savings, pool) = execute_jobs(saving_jobs, workers);
+    report_pool(&pool);
+    let saving_sum: f64 = savings.iter().sum();
+    let count = savings.len();
     println!(
         "Suite-average energy saving, C#2 / 64 slots / speculation: {}x (paper: 1.73x)",
         ratio(saving_sum / count as f64)

@@ -3,11 +3,14 @@
 //! without speculation, with 16/64/256 reconfiguration-cache slots, plus
 //! the ideal (infinite resources) columns.
 //!
-//! Usage: `table2_speedup [tiny|small|full] [--csv]` (default: full).
-//! With `--csv`, the speedup grid is emitted as comma-separated values
-//! (one header row), ready for plotting.
+//! Usage: `table2_speedup [tiny|small|full] [--csv] [--jobs N]`
+//! (default: full, serial). With `--csv`, the speedup grid is emitted as
+//! comma-separated values (one header row), ready for plotting. With
+//! `--jobs N`, benchmarks run on an N-worker work-stealing pool; the
+//! table on stdout is identical to a serial run.
 
-use dim_bench::{ratio, table2_row, TextTable, CACHE_SLOTS, SHAPES};
+use dim_bench::{jobs_from_args, ratio, report_pool, table2_row, TextTable, CACHE_SLOTS, SHAPES};
+use dim_sweep::execute_jobs;
 use dim_workloads::{suite, Scale};
 
 fn scale_from_args() -> Scale {
@@ -68,11 +71,23 @@ fn run_table2(scale: Scale, csv: bool) {
     header.push("ideal/spec".into());
     let mut t2 = TextTable::new(header);
 
+    let jobs: Vec<_> = suite()
+        .into_iter()
+        .map(|spec| {
+            move || {
+                let built = (spec.build)(scale);
+                let row = table2_row(&built).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+                eprintln!("  finished {}", row.name);
+                row
+            }
+        })
+        .collect();
+    let (rows, pool) = execute_jobs(jobs, jobs_from_args());
+    report_pool(&pool);
+
     let mut sums = vec![0.0f64; 3 * 2 * 3 + 2];
     let mut count = 0usize;
-    for spec in suite() {
-        let built = (spec.build)(scale);
-        let row = table2_row(&built).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+    for row in rows {
         let mut cells = vec![row.name.to_string()];
         let mut flat = Vec::new();
         for si in 0..3 {
@@ -90,7 +105,6 @@ fn run_table2(scale: Scale, csv: bool) {
         }
         count += 1;
         t2.row(cells);
-        eprintln!("  finished {}", row.name);
     }
     let mut avg = vec!["average".to_string()];
     for s in &sums {

@@ -125,6 +125,32 @@ pub fn speedup(baseline_cycles: u64, accelerated_cycles: u64) -> f64 {
     baseline_cycles as f64 / accelerated_cycles.max(1) as f64
 }
 
+/// Parses `--jobs N` from the process arguments (default 1 = serial).
+/// Shared by every harness binary so they all accept the same flag.
+pub fn jobs_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// Reports pool utilisation to stderr after a parallel harness run, so
+/// the deterministic table on stdout stays clean.
+pub fn report_pool(pool: &dim_sweep::PoolStats) {
+    if pool.threads > 1 {
+        eprintln!(
+            "pool: {} workers, {} jobs, {} steals, mean job {:.0}us",
+            pool.threads,
+            pool.total_executed(),
+            pool.total_steals(),
+            pool.job_micros.mean()
+        );
+    }
+}
+
 /// One benchmark's full Table 2 row: speedups for every
 /// (shape × speculation × cache-slot) point plus the two ideal columns.
 #[derive(Debug, Clone)]

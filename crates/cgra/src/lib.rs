@@ -34,6 +34,7 @@ mod encoding;
 mod exec;
 mod render;
 mod shape;
+pub mod snapshot;
 mod timing;
 
 pub use config::{Configuration, InvocationCycles, PlaceError, PlacedOp, Segment, SegmentBranch};

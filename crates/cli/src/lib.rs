@@ -60,7 +60,9 @@ commands:
                                      run on the plain MIPS simulator
   accel  <file> [--config 1|2|3|ideal] [--slots N] [--no-spec] [--compare]
                 [--dump-configs] [--trace] [--trace-out <t.jsonl>] [--metrics]
-                                     run with the DIM accelerator attached
+                [--rcache-save <f.dimrc>] [--rcache-load <f.dimrc>]
+                                     run with the DIM accelerator attached;
+                                     rcache snapshots warm-start later runs
   profile <file> [--config 1|2|3|ideal] [--slots N] [--no-spec] [--caches]
                  [--top N] [--json]  per-block cycle attribution of an
                                      accelerated run
@@ -68,6 +70,11 @@ commands:
   compare <file>                     cycles on scalar / 2-wide superscalar /
                                      DIM configs #1..#3 side by side
   suite  [--scale tiny|small|full]   run + validate the MiBench-like suite
+  sweep  <spec> [--jobs N] [--out <dir>] [--limit N] [--warm on|off]
+                [--bench-out <dir>]
+                                     expand a sweep spec and run the grid on a
+                                     work-stealing pool (resumable; see
+                                     docs/sweeps.md for the spec format)
   debug  <file> [--script <cmds>]    scriptable debugger (stdin by default)
   help                               show this text
 
@@ -85,6 +92,50 @@ fn load_program(path: &str) -> Result<Program, CliError> {
     let src = String::from_utf8(bytes)
         .map_err(|_| CliError::new(format!("{path}: not UTF-8 assembly source")))?;
     assemble(&src).map_err(|e| CliError::new(format!("{path}:{e}")))
+}
+
+/// Strict argument validation: every flag must be known, flags taking a
+/// value must have one, no flag may repeat, and at most `positionals`
+/// non-flag arguments are accepted. A typo like `--slot 16` must fail
+/// loudly rather than silently run with defaults.
+fn check_flags(
+    cmd: &str,
+    args: &[String],
+    value_flags: &[&str],
+    bool_flags: &[&str],
+    positionals: usize,
+) -> Result<(), CliError> {
+    let mut seen: Vec<&str> = Vec::new();
+    let mut positional_count = 0;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if arg.starts_with('-') {
+            if seen.contains(&arg) {
+                return Err(CliError::new(format!(
+                    "{cmd}: `{arg}` given more than once"
+                )));
+            }
+            if value_flags.contains(&arg) {
+                if i + 1 >= args.len() {
+                    return Err(CliError::new(format!("{arg} requires a value")));
+                }
+                i += 1;
+            } else if !bool_flags.contains(&arg) {
+                return Err(CliError::new(format!(
+                    "{cmd}: unknown flag `{arg}` (see `dim help`)"
+                )));
+            }
+            seen.push(arg);
+        } else {
+            positional_count += 1;
+            if positional_count > positionals {
+                return Err(CliError::new(format!("{cmd}: unexpected argument `{arg}`")));
+            }
+        }
+        i += 1;
+    }
+    Ok(())
 }
 
 fn parse_flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, CliError> {
@@ -245,11 +296,32 @@ fn cmd_run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
 }
 
 fn cmd_accel(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    check_flags(
+        "accel",
+        args,
+        &[
+            "--config",
+            "--slots",
+            "--max-steps",
+            "--trace-out",
+            "--rcache-save",
+            "--rcache-load",
+        ],
+        &[
+            "--no-spec",
+            "--compare",
+            "--dump-configs",
+            "--trace",
+            "--metrics",
+        ],
+        1,
+    )?;
     let input = args
         .first()
         .ok_or_else(|| CliError::new("accel: missing input file"))?;
     let program = load_program(input)?;
-    let shape = match parse_flag_value(args, "--config")?.unwrap_or("1") {
+    let config_choice = parse_flag_value(args, "--config")?.unwrap_or("1");
+    let shape = match config_choice {
         "1" => ArrayShape::config1(),
         "2" => ArrayShape::config2(),
         "3" => ArrayShape::config3(),
@@ -271,11 +343,35 @@ fn cmd_accel(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         })
         .transpose()?
         .unwrap_or(100_000_000);
+    let rcache_load = parse_flag_value(args, "--rcache-load")?;
+    let rcache_save = parse_flag_value(args, "--rcache-save")?;
+    if (rcache_load.is_some() || rcache_save.is_some()) && config_choice == "ideal" {
+        return Err(CliError::new(
+            "accel: rcache snapshots are not supported with --config ideal \
+             (the idealized array has no finite cache to persist)",
+        ));
+    }
 
     let mut system = System::new(
         Machine::load(&program),
         SystemConfig::new(shape, slots, speculation),
     );
+    if let Some(path) = rcache_load {
+        let bytes =
+            std::fs::read(path).map_err(|e| CliError::new(format!("--rcache-load {path}: {e}")))?;
+        system.load_rcache(&bytes).map_err(|e| {
+            CliError::new(format!(
+                "--rcache-load {path}: {e}\n\
+                 hint: a snapshot only loads into a system with the same \
+                 --config, --slots and speculation settings it was saved from"
+            ))
+        })?;
+        writeln!(
+            out,
+            "rcache: loaded {} configuration(s) from {path}",
+            system.cache().len()
+        )?;
+    }
     if args.iter().any(|a| a == "--trace") {
         system.enable_trace(64);
     }
@@ -336,7 +432,120 @@ fn cmd_accel(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
             baseline.stats.cycles as f64 / system.total_cycles().max(1) as f64
         )?;
     }
+    if let Some(path) = rcache_save {
+        let bytes = system.save_rcache();
+        dim_sweep::atomic_write(Path::new(path), &bytes)
+            .map_err(|e| CliError::new(format!("--rcache-save {path}: {e}")))?;
+        writeln!(
+            out,
+            "rcache: saved {} configuration(s) ({} bytes) to {path}",
+            system.cache().len(),
+            bytes.len()
+        )?;
+    }
     report_halt(out, halt)
+}
+
+fn cmd_sweep(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    use dim_sweep::{bench_compare, run_sweep, SweepOptions, SweepSpec};
+    check_flags(
+        "sweep",
+        args,
+        &["--jobs", "--out", "--limit", "--bench-out", "--warm"],
+        &[],
+        1,
+    )?;
+    let input = args
+        .first()
+        .ok_or_else(|| CliError::new("sweep: missing spec file"))?;
+    let text = std::fs::read_to_string(Path::new(input))
+        .map_err(|e| CliError::new(format!("{input}: {e}")))?;
+    let spec = SweepSpec::parse(&text).map_err(|e| CliError::new(format!("{input}: {e}")))?;
+    let jobs: usize = parse_flag_value(args, "--jobs")?
+        .map(|v| v.parse().map_err(|_| CliError::new("--jobs: not a number")))
+        .transpose()?
+        .unwrap_or(1);
+    if jobs == 0 {
+        return Err(CliError::new("--jobs: must be at least 1"));
+    }
+    let limit: Option<usize> = parse_flag_value(args, "--limit")?
+        .map(|v| {
+            v.parse()
+                .map_err(|_| CliError::new("--limit: not a number"))
+        })
+        .transpose()?;
+    let warm = parse_flag_value(args, "--warm")?
+        .map(|v| match v {
+            "on" => Ok(true),
+            "off" => Ok(false),
+            other => Err(CliError::new(format!(
+                "--warm: expected on|off, got `{other}`"
+            ))),
+        })
+        .transpose()?;
+
+    if let Some(bench_out) = parse_flag_value(args, "--bench-out")? {
+        if limit.is_some() {
+            return Err(CliError::new(
+                "sweep: --limit and --bench-out are mutually exclusive \
+                 (a truncated run cannot be compared)",
+            ));
+        }
+        let compare = bench_compare(&spec, Path::new(bench_out), jobs)
+            .map_err(|e| CliError::new(e.to_string()))?;
+        writeln!(
+            out,
+            "bench: {} cells, serial {:.3}s, parallel({}) {:.3}s, speedup {:.2}x, identical: {}",
+            compare.cells,
+            compare.serial_seconds,
+            compare.jobs,
+            compare.parallel_seconds,
+            compare.speedup,
+            compare.identical
+        )?;
+        writeln!(
+            out,
+            "wrote {}",
+            Path::new(bench_out).join("BENCH_sweep.json").display()
+        )?;
+        if !compare.identical {
+            return Err(CliError::new(
+                "sweep: parallel results diverged from serial — this is an engine bug",
+            ));
+        }
+        return Ok(());
+    }
+
+    let out_dir = parse_flag_value(args, "--out")?.unwrap_or("sweep-out");
+    let mut opts = SweepOptions::new(Path::new(out_dir).to_path_buf());
+    opts.jobs = jobs;
+    opts.limit = limit;
+    opts.warm_rcache = warm;
+    let outcome = run_sweep(&spec, &opts).map_err(|e| CliError::new(e.to_string()))?;
+    writeln!(
+        out,
+        "sweep: {} cells ({} executed, {} skipped) in {:.3}s with {} worker(s), {} steal(s)",
+        outcome.total_cells,
+        outcome.executed,
+        outcome.skipped,
+        outcome.wall_seconds,
+        outcome.pool.threads,
+        outcome.pool.total_steals()
+    )?;
+    if outcome.complete {
+        writeln!(
+            out,
+            "complete: report at {}",
+            opts.out_dir.join("report.txt").display()
+        )?;
+    } else {
+        writeln!(
+            out,
+            "incomplete ({} cells remain): rerun the same command to resume",
+            outcome.total_cells - outcome.executed - outcome.skipped
+        )?;
+    }
+    Ok(())
 }
 
 fn cmd_profile(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
@@ -555,6 +764,7 @@ pub fn dispatch(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         Some("profile") => cmd_profile(&args[1..], out),
         Some("trace") => cmd_trace(&args[1..], out),
         Some("suite") => cmd_suite(&args[1..], out),
+        Some("sweep") => cmd_sweep(&args[1..], out),
         Some("debug") => cmd_debug(&args[1..], out),
         Some("compare") => cmd_compare(&args[1..], out),
         Some("help") | None => {
@@ -727,6 +937,106 @@ mod tests {
     fn accel_rejects_bad_config() {
         let src = tmp_file("t4.s", PROGRAM);
         assert!(run_cli(&["accel", src.to_str().unwrap(), "--config", "9"]).is_err());
+    }
+
+    #[test]
+    fn accel_rejects_unknown_and_malformed_flags() {
+        let src = tmp_file("t13.s", PROGRAM);
+        let path = src.to_str().unwrap();
+        let err = run_cli(&["accel", path, "--slot", "16"]).unwrap_err();
+        assert!(err.to_string().contains("unknown flag `--slot`"), "{err}");
+        let err = run_cli(&["accel", path, "--slots"]).unwrap_err();
+        assert!(err.to_string().contains("requires a value"), "{err}");
+        let err = run_cli(&["accel", path, "--compare", "--compare"]).unwrap_err();
+        assert!(err.to_string().contains("more than once"), "{err}");
+        let err = run_cli(&["accel", path, "stray.s"]).unwrap_err();
+        assert!(err.to_string().contains("unexpected argument"), "{err}");
+    }
+
+    #[test]
+    fn accel_rejects_rcache_with_ideal_array() {
+        let src = tmp_file("t14.s", PROGRAM);
+        let err = run_cli(&[
+            "accel",
+            src.to_str().unwrap(),
+            "--config",
+            "ideal",
+            "--rcache-save",
+            "/tmp/x.dimrc",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("not supported"), "{err}");
+    }
+
+    #[test]
+    fn accel_rcache_save_then_load_roundtrip() {
+        let src = tmp_file("t15.s", PROGRAM);
+        let path = src.to_str().unwrap();
+        let snap = std::env::temp_dir().join("dim-cli-tests/t15.dimrc");
+        let snap = snap.to_str().unwrap();
+
+        let saved = run_cli(&["accel", path, "--config", "2", "--rcache-save", snap]).unwrap();
+        assert!(saved.contains("rcache: saved"), "{saved}");
+
+        let loaded = run_cli(&["accel", path, "--config", "2", "--rcache-load", snap]).unwrap();
+        assert!(loaded.contains("rcache: loaded"), "{loaded}");
+
+        // A snapshot from config 2 must not load into a config 3 system,
+        // and the error must say why.
+        let err = run_cli(&["accel", path, "--config", "3", "--rcache-load", snap]).unwrap_err();
+        assert!(err.to_string().contains("hint"), "{err}");
+    }
+
+    #[test]
+    fn sweep_runs_resumes_and_validates_flags() {
+        let spec = tmp_file(
+            "t16.spec",
+            "workloads = crc32\nscale = tiny\nshapes = 1, 3\nslots = 16\nspeculation = on\n",
+        );
+        let spec_path = spec.to_str().unwrap();
+        let out_dir = std::env::temp_dir().join("dim-cli-tests/t16-sweep");
+        std::fs::remove_dir_all(&out_dir).ok();
+        let out_path = out_dir.to_str().unwrap();
+
+        let first = run_cli(&["sweep", spec_path, "--out", out_path, "--limit", "1"]).unwrap();
+        assert!(first.contains("incomplete"), "{first}");
+
+        let second = run_cli(&["sweep", spec_path, "--out", out_path, "--jobs", "2"]).unwrap();
+        assert!(second.contains("1 skipped"), "{second}");
+        assert!(second.contains("complete: report"), "{second}");
+
+        let err = run_cli(&["sweep", spec_path, "--jobs", "0"]).unwrap_err();
+        assert!(err.to_string().contains("at least 1"), "{err}");
+        let err = run_cli(&["sweep", spec_path, "--job", "2"]).unwrap_err();
+        assert!(err.to_string().contains("unknown flag"), "{err}");
+
+        let bad_spec = tmp_file("t16-bad.spec", "workloads = crc32\nshapes = 9\n");
+        let err = run_cli(&["sweep", bad_spec.to_str().unwrap()]).unwrap_err();
+        assert!(err.to_string().contains("unknown shape"), "{err}");
+
+        std::fs::remove_dir_all(&out_dir).ok();
+    }
+
+    #[test]
+    fn sweep_bench_compare_writes_json() {
+        let spec = tmp_file(
+            "t17.spec",
+            "workloads = crc32\nscale = tiny\nshapes = 1\nslots = 16\nspeculation = on\n",
+        );
+        let base = std::env::temp_dir().join("dim-cli-tests/t17-bench");
+        std::fs::remove_dir_all(&base).ok();
+        let report = run_cli(&[
+            "sweep",
+            spec.to_str().unwrap(),
+            "--jobs",
+            "2",
+            "--bench-out",
+            base.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(report.contains("identical: true"), "{report}");
+        assert!(base.join("BENCH_sweep.json").exists());
+        std::fs::remove_dir_all(&base).ok();
     }
 
     #[test]

@@ -30,6 +30,7 @@ mod gshare;
 mod predictor;
 mod rcache;
 mod report;
+mod snapshot;
 mod stats;
 mod system;
 mod tables;
@@ -40,6 +41,7 @@ pub use gshare::{measure_hit_rate, GsharePredictor, SpeculationPredictor};
 pub use predictor::{BimodalPredictor, Counter};
 pub use rcache::{ReconfCache, ReplacementPolicy};
 pub use report::RunReport;
+pub use snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use stats::DimStats;
 pub use system::{System, SystemConfig};
 pub use tables::{live_in_sources, DependenceTable};

@@ -44,6 +44,27 @@ impl Counter {
             _ => None,
         }
     }
+
+    /// The 2-bit encoding used by the snapshot wire format.
+    pub fn to_bits(self) -> u8 {
+        match self {
+            Counter::StrongNotTaken => 0,
+            Counter::WeakNotTaken => 1,
+            Counter::WeakTaken => 2,
+            Counter::StrongTaken => 3,
+        }
+    }
+
+    /// Inverse of [`to_bits`](Counter::to_bits); `None` above 3.
+    pub fn from_bits(bits: u8) -> Option<Counter> {
+        match bits {
+            0 => Some(Counter::StrongNotTaken),
+            1 => Some(Counter::WeakNotTaken),
+            2 => Some(Counter::WeakTaken),
+            3 => Some(Counter::StrongTaken),
+            _ => None,
+        }
+    }
 }
 
 /// Table of per-branch 2-bit counters, keyed by branch PC.
@@ -84,6 +105,19 @@ impl BimodalPredictor {
     /// Number of branches tracked.
     pub fn tracked_branches(&self) -> usize {
         self.counters.len()
+    }
+
+    /// All tracked `(branch PC, counter)` pairs, sorted by PC so the
+    /// snapshot byte stream is deterministic.
+    pub fn entries(&self) -> Vec<(u32, Counter)> {
+        let mut v: Vec<(u32, Counter)> = self.counters.iter().map(|(&pc, &c)| (pc, c)).collect();
+        v.sort_unstable_by_key(|&(pc, _)| pc);
+        v
+    }
+
+    /// Restores one counter (snapshot warm-start path).
+    pub fn seed(&mut self, pc: u32, counter: Counter) {
+        self.counters.insert(pc, counter);
     }
 }
 

@@ -154,6 +154,23 @@ impl ReconfCache {
     pub fn iter(&self) -> impl Iterator<Item = &Configuration> + '_ {
         self.order.iter().filter_map(|pc| self.entries.get(pc))
     }
+
+    /// Restores one entry without touching any statistic — the snapshot
+    /// warm-start path, which must leave the hit/miss/insertion counters
+    /// of the new run untouched. Entries seed in call order, so seeding
+    /// a snapshot's FIFO sequence reproduces the saved eviction order
+    /// exactly. Returns `false` (and stores nothing) if the cache is
+    /// already at capacity or the PC is already present; snapshot
+    /// loading treats that as corruption upstream.
+    pub fn seed(&mut self, config: Configuration) -> bool {
+        let pc = config.entry_pc;
+        if self.slots == 0 || self.entries.len() >= self.slots || self.entries.contains_key(&pc) {
+            return false;
+        }
+        self.entries.insert(pc, config);
+        self.order.push_back(pc);
+        true
+    }
 }
 
 #[cfg(test)]
@@ -244,6 +261,93 @@ mod tests {
         fifo.insert(config_at(0x300));
         assert!(fifo.peek(0x100).is_none());
         assert!(fifo.peek(0x200).is_some());
+    }
+
+    /// Eviction edge cases around the capacity boundary: filling to
+    /// capacity-1 and capacity must never evict; one past capacity must
+    /// evict exactly the oldest entry; and this holds for slots = 1.
+    #[test]
+    fn eviction_boundary_at_capacity_plus_minus_one() {
+        for slots in [1usize, 2, 3, 16] {
+            // capacity - 1 inserts: no eviction.
+            let mut cache = ReconfCache::new(slots);
+            for i in 0..slots.saturating_sub(1) {
+                assert_eq!(cache.insert(config_at(0x100 + 4 * i as u32)), None);
+            }
+            assert_eq!(cache.evictions(), 0, "slots={slots}");
+            assert_eq!(cache.len(), slots - 1);
+
+            // The capacity-th insert still fits.
+            assert_eq!(
+                cache.insert(config_at(0x100 + 4 * (slots as u32 - 1))),
+                None
+            );
+            assert_eq!(cache.evictions(), 0, "slots={slots}");
+            assert_eq!(cache.len(), slots);
+
+            // capacity + 1: exactly one eviction, of the oldest PC.
+            let evicted = cache.insert(config_at(0x900));
+            assert_eq!(evicted, Some(0x100), "slots={slots}");
+            assert_eq!(cache.evictions(), 1);
+            assert_eq!(cache.len(), slots);
+            assert!(cache.peek(0x100).is_none());
+            assert!(cache.peek(0x900).is_some());
+            // FIFO order after the eviction: second-oldest is next out.
+            let next = cache.insert(config_at(0x904));
+            if slots == 1 {
+                assert_eq!(next, Some(0x900));
+            } else {
+                assert_eq!(next, Some(0x104));
+            }
+        }
+    }
+
+    /// Re-inserting an existing PC when exactly full must not evict —
+    /// the replacement happens in place.
+    #[test]
+    fn reinsert_at_capacity_does_not_evict() {
+        let mut cache = ReconfCache::new(2);
+        cache.insert(config_at(0x100));
+        cache.insert(config_at(0x104));
+        assert_eq!(cache.insert(config_at(0x100)), None);
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.len(), 2);
+    }
+
+    /// A flush at capacity opens a slot: the next insert must not evict,
+    /// and the stale FIFO entry for the flushed PC must not confuse the
+    /// eviction order afterwards.
+    #[test]
+    fn flush_at_capacity_then_insert_refills_without_eviction() {
+        let mut cache = ReconfCache::new(2);
+        cache.insert(config_at(0x100));
+        cache.insert(config_at(0x104));
+        cache.flush(0x100);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.insert(config_at(0x108)), None);
+        assert_eq!(cache.evictions(), 0);
+        // Now 0x104 is oldest; overflow evicts it, not the flushed PC.
+        assert_eq!(cache.insert(config_at(0x10c)), Some(0x104));
+    }
+
+    /// `seed` (the snapshot restore path) fills to capacity and refuses
+    /// anything further or duplicated, without touching statistics.
+    #[test]
+    fn seed_respects_capacity_and_stats() {
+        let mut cache = ReconfCache::new(2);
+        assert!(cache.seed(config_at(0x100)));
+        assert!(cache.seed(config_at(0x104)));
+        assert!(!cache.seed(config_at(0x108)), "over capacity");
+        assert!(!cache.seed(config_at(0x100)), "duplicate PC");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.insertions(), 0);
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.hit_miss(), (0, 0));
+        // Seeded order behaves as FIFO history: 0x100 evicts first.
+        assert_eq!(cache.insert(config_at(0x108)), Some(0x100));
+
+        let mut disabled = ReconfCache::new(0);
+        assert!(!disabled.seed(config_at(0x100)), "0 slots stores nothing");
     }
 
     #[test]

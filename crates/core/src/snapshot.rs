@@ -1,0 +1,465 @@
+//! Versioned, checksummed snapshots of the accelerator's warm state:
+//! the reconfiguration cache (translated configurations in FIFO order),
+//! the bimodal predictor table, and the per-configuration misspeculation
+//! strike counters.
+//!
+//! A snapshot lets a later run skip the translation warm-up entirely
+//! (`dim accel --rcache-save/--rcache-load`, `dim sweep` warm-start):
+//! restoring a snapshot and re-running a program from the same machine
+//! state produces, instruction for instruction, the continuation the
+//! original system would have executed — the property the
+//! `warm_restart_matches_cold_continuation` tests pin down.
+//!
+//! ## File layout (`.dimrc`)
+//!
+//! ```text
+//! magic   "DIMRC\0"            6 bytes
+//! version u16                  (currently 1)
+//! len     u64                  payload length in bytes
+//! payload [len bytes]          header + predictor + strikes + configs
+//! check   u64                  FNV-1a 64 of the payload
+//! ```
+//!
+//! The payload starts with a compatibility header (array shape, cache
+//! slots + policy, speculation settings, flush threshold). Loading
+//! validates magic, version, length, checksum, and every header field
+//! against the live [`SystemConfig`]; any mismatch is a hard error —
+//! a snapshot never silently reinterprets configurations placed for a
+//! different array.
+
+use crate::rcache::ReplacementPolicy;
+use crate::{Counter, ReconfCache, System, SystemConfig};
+use dim_cgra::snapshot::{
+    decode_config, encode_config, fnv1a64, put_shape, put_u16, put_u32, put_u64, read_shape,
+    Cursor, WireError,
+};
+use std::fmt;
+
+/// File magic of a reconfiguration-cache snapshot.
+pub const SNAPSHOT_MAGIC: &[u8; 6] = b"DIMRC\0";
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+/// Why a snapshot could not be loaded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The file does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// The format version is newer than this build understands.
+    UnsupportedVersion(u16),
+    /// The payload checksum did not match — truncated or corrupted file.
+    ChecksumMismatch {
+        /// Checksum recorded in the file.
+        expected: u64,
+        /// Checksum of the payload actually read.
+        actual: u64,
+    },
+    /// The payload structure could not be decoded.
+    Wire(WireError),
+    /// The snapshot was taken under settings incompatible with the
+    /// system it is being loaded into; the message names the field.
+    Incompatible(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a DIM rcache snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "snapshot version {v} not supported (this build reads <= {SNAPSHOT_VERSION})"
+                )
+            }
+            SnapshotError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "snapshot checksum mismatch (file says {expected:#018x}, payload hashes to \
+                 {actual:#018x}) — file truncated or corrupted"
+            ),
+            SnapshotError::Wire(e) => write!(f, "snapshot payload: {e}"),
+            SnapshotError::Incompatible(what) => {
+                write!(f, "snapshot incompatible with this configuration: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<WireError> for SnapshotError {
+    fn from(e: WireError) -> Self {
+        SnapshotError::Wire(e)
+    }
+}
+
+fn policy_bits(policy: ReplacementPolicy) -> u8 {
+    match policy {
+        ReplacementPolicy::Fifo => 0,
+        ReplacementPolicy::Lru => 1,
+    }
+}
+
+fn policy_from_bits(bits: u8) -> Result<ReplacementPolicy, SnapshotError> {
+    match bits {
+        0 => Ok(ReplacementPolicy::Fifo),
+        1 => Ok(ReplacementPolicy::Lru),
+        other => Err(SnapshotError::Wire(WireError::Corrupt(format!(
+            "replacement policy tag {other}"
+        )))),
+    }
+}
+
+fn check_eq<T: PartialEq + fmt::Debug>(
+    field: &str,
+    snapshot: T,
+    live: T,
+) -> Result<(), SnapshotError> {
+    if snapshot != live {
+        return Err(SnapshotError::Incompatible(format!(
+            "{field}: snapshot has {snapshot:?}, system has {live:?}"
+        )));
+    }
+    Ok(())
+}
+
+fn encode_header(out: &mut Vec<u8>, config: &SystemConfig) {
+    put_shape(out, &config.shape);
+    put_u64(out, config.cache_slots as u64);
+    out.push(policy_bits(config.cache_policy));
+    out.push(config.speculation as u8);
+    out.push(config.max_spec_blocks);
+    out.push(config.support_shifts as u8);
+    put_u32(out, config.misspec_flush_threshold);
+}
+
+fn validate_header(c: &mut Cursor<'_>, config: &SystemConfig) -> Result<(), SnapshotError> {
+    let shape = read_shape(c)?;
+    check_eq("array shape", shape, config.shape)?;
+    let slots = c.u64()?;
+    check_eq("cache slots", slots, config.cache_slots as u64)?;
+    let policy = policy_from_bits(c.u8()?)?;
+    check_eq("replacement policy", policy, config.cache_policy)?;
+    let speculation = c.u8()? != 0;
+    check_eq("speculation", speculation, config.speculation)?;
+    let max_spec_blocks = c.u8()?;
+    check_eq("max_spec_blocks", max_spec_blocks, config.max_spec_blocks)?;
+    let support_shifts = c.u8()? != 0;
+    check_eq("support_shifts", support_shifts, config.support_shifts)?;
+    let threshold = c.u32()?;
+    check_eq(
+        "misspec_flush_threshold",
+        threshold,
+        config.misspec_flush_threshold,
+    )?;
+    Ok(())
+}
+
+impl System {
+    /// Serializes the accelerator's warm state (reconfiguration cache,
+    /// predictor, misspeculation strikes) into a versioned, checksummed
+    /// snapshot.
+    ///
+    /// Takes `&mut self` because snapshotting finalizes the translator —
+    /// any in-flight partial detection region is abandoned, leaving the
+    /// continuing system in exactly the state a warm restart of this
+    /// snapshot would start from.
+    pub fn save_rcache(&mut self) -> Vec<u8> {
+        self.translator.abandon_region();
+
+        let mut payload = Vec::new();
+        encode_header(&mut payload, self.config());
+
+        let predictor = self.predictor.entries();
+        put_u32(&mut payload, predictor.len() as u32);
+        for (pc, counter) in predictor {
+            put_u32(&mut payload, pc);
+            payload.push(counter.to_bits());
+        }
+
+        let mut strikes: Vec<(u32, u32)> = self
+            .misspec_counts
+            .iter()
+            .map(|(&pc, &n)| (pc, n))
+            .collect();
+        strikes.sort_unstable_by_key(|&(pc, _)| pc);
+        put_u32(&mut payload, strikes.len() as u32);
+        for (pc, n) in strikes {
+            put_u32(&mut payload, pc);
+            put_u32(&mut payload, n);
+        }
+
+        let configs: Vec<_> = self.cache.iter().collect();
+        put_u32(&mut payload, configs.len() as u32);
+        for config in configs {
+            encode_config(config, &mut payload);
+        }
+
+        let mut out = Vec::with_capacity(payload.len() + 24);
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        put_u16(&mut out, SNAPSHOT_VERSION);
+        put_u64(&mut out, payload.len() as u64);
+        out.extend_from_slice(&payload);
+        put_u64(&mut out, fnv1a64(&payload));
+        out
+    }
+
+    /// Replaces the accelerator's warm state with the snapshot's:
+    /// reconfiguration cache contents (in saved FIFO order, statistics
+    /// zeroed), predictor counters, and misspeculation strikes. The
+    /// machine and the run statistics are untouched. Call before (or
+    /// between) runs; like [`save_rcache`](System::save_rcache) it
+    /// abandons any in-flight detection region.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] when the bytes are not a snapshot, fail the
+    /// checksum, or were saved under a different array shape, cache
+    /// geometry, or speculation policy than this system's.
+    pub fn load_rcache(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut c = Cursor::new(bytes);
+        let mut magic = [0u8; 6];
+        for slot in &mut magic {
+            *slot = c.u8().map_err(|_| SnapshotError::BadMagic)?;
+        }
+        if &magic != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = c.u16()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let len = c.u64()? as usize;
+        if c.remaining() < len + 8 {
+            return Err(SnapshotError::Wire(WireError::Truncated));
+        }
+        let payload_start = c.position();
+        let payload = &bytes[payload_start..payload_start + len];
+        let mut tail = Cursor::new(&bytes[payload_start + len..]);
+        let expected = tail.u64()?;
+        if tail.remaining() != 0 {
+            return Err(SnapshotError::Wire(WireError::Corrupt(format!(
+                "{} trailing bytes after checksum",
+                tail.remaining()
+            ))));
+        }
+        let actual = fnv1a64(payload);
+        if expected != actual {
+            return Err(SnapshotError::ChecksumMismatch { expected, actual });
+        }
+
+        let mut p = Cursor::new(payload);
+        let config = *self.config();
+        validate_header(&mut p, &config)?;
+
+        // Decode into fresh state first so a corrupt tail cannot leave
+        // the system half-restored.
+        let mut predictor = crate::BimodalPredictor::new();
+        let n_pred = p.u32()?;
+        for _ in 0..n_pred {
+            let pc = p.u32()?;
+            let bits = p.u8()?;
+            let counter = Counter::from_bits(bits).ok_or_else(|| {
+                SnapshotError::Wire(WireError::Corrupt(format!("counter bits {bits}")))
+            })?;
+            predictor.seed(pc, counter);
+        }
+        let mut strikes = std::collections::HashMap::new();
+        let n_strikes = p.u32()?;
+        for _ in 0..n_strikes {
+            let pc = p.u32()?;
+            let n = p.u32()?;
+            strikes.insert(pc, n);
+        }
+        let mut cache = ReconfCache::with_policy(config.cache_slots, config.cache_policy);
+        let n_configs = p.u32()?;
+        for _ in 0..n_configs {
+            let entry = decode_config(&mut p)?;
+            if entry.shape() != &config.shape {
+                return Err(SnapshotError::Incompatible(format!(
+                    "configuration at {:#x} was placed for a different shape",
+                    entry.entry_pc
+                )));
+            }
+            let pc = entry.entry_pc;
+            if !cache.seed(entry) {
+                return Err(SnapshotError::Wire(WireError::Corrupt(format!(
+                    "cache entry at {pc:#x} exceeds capacity or repeats"
+                ))));
+            }
+        }
+        if p.remaining() != 0 {
+            return Err(SnapshotError::Wire(WireError::Corrupt(format!(
+                "{} unread payload bytes",
+                p.remaining()
+            ))));
+        }
+
+        self.translator.abandon_region();
+        self.predictor = predictor;
+        self.misspec_counts = strikes;
+        self.cache = cache;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SystemConfig;
+    use dim_cgra::ArrayShape;
+    use dim_mips::asm::assemble;
+    use dim_mips_sim::Machine;
+
+    const LOOP: &str = "
+        main: li $s0, 300
+              li $v0, 0
+        loop: addu $v0, $v0, $s0
+              xor  $t1, $v0, $s0
+              addu $v0, $v0, $t1
+              sll  $t2, $v0, 2
+              addu $v0, $v0, $t2
+              addiu $s0, $s0, -1
+              bnez $s0, loop
+              break 0";
+
+    fn warmed_system() -> System {
+        let program = assemble(LOOP).unwrap();
+        let mut sys = System::new(
+            Machine::load(&program),
+            SystemConfig::new(ArrayShape::config1(), 64, true),
+        );
+        sys.run(10_000_000).unwrap();
+        assert!(!sys.cache().is_empty(), "warm-up produced no configs");
+        sys
+    }
+
+    #[test]
+    fn snapshot_roundtrips_cache_contents() {
+        let mut sys = warmed_system();
+        let bytes = sys.save_rcache();
+        let program = assemble(LOOP).unwrap();
+        let mut fresh = System::new(
+            Machine::load(&program),
+            SystemConfig::new(ArrayShape::config1(), 64, true),
+        );
+        fresh.load_rcache(&bytes).unwrap();
+        let a: Vec<_> = sys.cache().iter().cloned().collect();
+        let b: Vec<_> = fresh.cache().iter().cloned().collect();
+        assert_eq!(a, b, "cache contents and order must round-trip");
+        assert_eq!(fresh.cache().hit_miss(), (0, 0), "stats start fresh");
+        // Saving the restored system reproduces the same bytes.
+        assert_eq!(fresh.save_rcache(), bytes);
+    }
+
+    #[test]
+    fn load_rejects_wrong_shape_slots_policy() {
+        let mut sys = warmed_system();
+        let bytes = sys.save_rcache();
+        let program = assemble(LOOP).unwrap();
+        for config in [
+            SystemConfig::new(ArrayShape::config2(), 64, true),
+            SystemConfig::new(ArrayShape::config1(), 16, true),
+            SystemConfig::new(ArrayShape::config1(), 64, false),
+        ] {
+            let mut other = System::new(Machine::load(&program), config);
+            let err = other.load_rcache(&bytes).unwrap_err();
+            assert!(
+                matches!(err, SnapshotError::Incompatible(_)),
+                "expected Incompatible, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn load_rejects_corruption_truncation_and_bad_magic() {
+        let mut sys = warmed_system();
+        let bytes = sys.save_rcache();
+        let program = assemble(LOOP).unwrap();
+        let fresh = || {
+            System::new(
+                Machine::load(&program),
+                SystemConfig::new(ArrayShape::config1(), 64, true),
+            )
+        };
+
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert_eq!(fresh().load_rcache(&bad), Err(SnapshotError::BadMagic));
+
+        // Future version.
+        let mut bad = bytes.clone();
+        bad[6] = 0xff;
+        assert!(matches!(
+            fresh().load_rcache(&bad),
+            Err(SnapshotError::UnsupportedVersion(_))
+        ));
+
+        // Flip a payload byte: checksum must catch it.
+        let mut bad = bytes.clone();
+        let mid = 16 + (bad.len() - 24) / 2;
+        bad[mid] ^= 0x40;
+        assert!(matches!(
+            fresh().load_rcache(&bad),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+
+        // Truncation at every boundary below the checksum tail.
+        for len in 0..bytes.len() {
+            assert!(
+                fresh().load_rcache(&bytes[..len]).is_err(),
+                "prefix of {len} bytes loaded"
+            );
+        }
+    }
+
+    /// Three hot loops against a 2-slot cache force capacity evictions
+    /// before the save; the snapshot must capture the post-eviction FIFO
+    /// state (survivors only, in surviving order) and restore it exactly.
+    #[test]
+    fn snapshot_roundtrips_through_eviction() {
+        const THREE_LOOPS: &str = "
+            main: li $s0, 80
+            l1:   addu $v0, $v0, $s0
+                  xor  $t1, $v0, $s0
+                  addu $v0, $v0, $t1
+                  addiu $s0, $s0, -1
+                  bnez $s0, l1
+                  li $s1, 80
+            l2:   sll $t2, $v0, 2
+                  addu $v0, $v0, $t2
+                  addiu $s1, $s1, -1
+                  bnez $s1, l2
+                  li $s2, 80
+            l3:   srl $t3, $v0, 1
+                  xor  $v0, $v0, $t3
+                  addiu $s2, $s2, -1
+                  bnez $s2, l3
+                  break 0";
+        let program = assemble(THREE_LOOPS).unwrap();
+        let config = SystemConfig::new(ArrayShape::config1(), 2, true);
+        let mut sys = System::new(Machine::load(&program), config);
+        sys.run(10_000_000).unwrap();
+        assert!(
+            sys.cache().evictions() > 0,
+            "three loops into two slots must evict"
+        );
+        assert_eq!(sys.cache().len(), 2, "cache full at save time");
+
+        let bytes = sys.save_rcache();
+        let mut fresh = System::new(Machine::load(&program), config);
+        fresh.load_rcache(&bytes).unwrap();
+        let a: Vec<_> = sys.cache().iter().cloned().collect();
+        let b: Vec<_> = fresh.cache().iter().cloned().collect();
+        assert_eq!(a, b, "post-eviction contents and FIFO order round-trip");
+        assert_eq!(fresh.cache().evictions(), 0, "restored stats start fresh");
+        assert_eq!(fresh.save_rcache(), bytes);
+    }
+
+    #[test]
+    fn snapshot_version_constant_is_one() {
+        // Bumping the format version must be a conscious act: update the
+        // compat policy in docs/sweeps.md when this changes.
+        assert_eq!(SNAPSHOT_VERSION, 1);
+    }
+}

@@ -102,12 +102,12 @@ impl SystemConfig {
 pub struct System {
     machine: Machine,
     config: SystemConfig,
-    cache: ReconfCache,
-    translator: Translator,
-    predictor: BimodalPredictor,
+    pub(crate) cache: ReconfCache,
+    pub(crate) translator: Translator,
+    pub(crate) predictor: BimodalPredictor,
     stats: DimStats,
     stored_bits_per_config: u64,
-    misspec_counts: HashMap<u32, u32>,
+    pub(crate) misspec_counts: HashMap<u32, u32>,
     trace: Option<Trace>,
 }
 

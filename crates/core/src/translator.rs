@@ -119,6 +119,16 @@ impl Translator {
         self.boundary = true;
     }
 
+    /// Drops any in-flight detection region and marks a boundary — the
+    /// snapshot save/load path. A warm-started translator begins with no
+    /// candidate, so the snapshotting system must discard its own to
+    /// leave both sides in identical states; otherwise the saved run and
+    /// its warm restart would translate (and cache) different regions.
+    pub fn abandon_region(&mut self) {
+        self.candidate = None;
+        self.boundary = true;
+    }
+
     /// Finalizes and returns the in-flight candidate, if it is worth
     /// caching, using `exit_pc` as its sequential exit. Called by the
     /// coupled system when a cache hit interrupts collection.

@@ -1,0 +1,143 @@
+//! The warm-start contract of rcache snapshots: restoring a snapshot
+//! into a fresh system that resumes from the saved machine state
+//! produces, counter for counter, exactly the continuation the original
+//! system executed after the save.
+//!
+//! The snapshot may be taken at *any* instruction boundary — including
+//! mid-loop and mid-translation — so these tests sweep the save point,
+//! the cache capacity (down to a single slot, where warm-up state is
+//! dominated by evictions) and the speculation policy.
+
+use dim_cgra::ArrayShape;
+use dim_core::{DimStats, System, SystemConfig};
+use dim_mips::asm::{assemble, Program};
+use dim_mips_sim::Machine;
+use proptest::prelude::*;
+
+/// Two hot loops with distinct bodies, parameterized by trip counts so
+/// the save point can land in either loop or the glue between them.
+fn two_loop_program(iters1: u32, iters2: u32) -> Program {
+    let src = format!(
+        "
+        main: li $s0, {iters1}
+              li $v0, 0
+        l1:   addu $v0, $v0, $s0
+              xor  $t1, $v0, $s0
+              addu $v0, $v0, $t1
+              addiu $s0, $s0, -1
+              bnez $s0, l1
+              li $s1, {iters2}
+        l2:   sll $t2, $v0, 2
+              addu $v0, $v0, $t2
+              srl  $t3, $v0, 3
+              xor  $v0, $v0, $t3
+              addiu $s1, $s1, -1
+              bnez $s1, l2
+              break 0"
+    );
+    assemble(&src).unwrap()
+}
+
+/// Field-wise `a - b`; panics on underflow, which would itself signal
+/// that the warm run did work the cold continuation never did.
+fn stats_delta(a: &DimStats, b: &DimStats) -> DimStats {
+    DimStats {
+        array_invocations: a.array_invocations - b.array_invocations,
+        array_instructions: a.array_instructions - b.array_instructions,
+        array_exec_cycles: a.array_exec_cycles - b.array_exec_cycles,
+        reconfig_stall_cycles: a.reconfig_stall_cycles - b.reconfig_stall_cycles,
+        writeback_tail_cycles: a.writeback_tail_cycles - b.writeback_tail_cycles,
+        array_loads: a.array_loads - b.array_loads,
+        array_stores: a.array_stores - b.array_stores,
+        full_hits: a.full_hits - b.full_hits,
+        misspeculations: a.misspeculations - b.misspeculations,
+        config_flushes: a.config_flushes - b.config_flushes,
+        configs_built: a.configs_built - b.configs_built,
+        translated_instructions: a.translated_instructions - b.translated_instructions,
+        cache_bits_read: a.cache_bits_read - b.cache_bits_read,
+        cache_bits_written: a.cache_bits_written - b.cache_bits_written,
+        array_occupied_rows: a.array_occupied_rows - b.array_occupied_rows,
+    }
+}
+
+const BUDGET: u64 = 10_000_000;
+
+/// Runs the property for one parameter point and returns an error string
+/// on the first divergence.
+fn check_warm_matches_cold(
+    iters1: u32,
+    iters2: u32,
+    warmup: u64,
+    slots: usize,
+    speculation: bool,
+) -> Result<(), String> {
+    let program = two_loop_program(iters1, iters2);
+    let config = SystemConfig::new(ArrayShape::config1(), slots, speculation);
+
+    // Cold run to the save point.
+    let mut cold = System::new(Machine::load(&program), config);
+    cold.run(warmup).map_err(|e| e.to_string())?;
+    let mark = *cold.stats();
+    let machine_at_mark = cold.machine().clone();
+    let bytes = cold.save_rcache();
+
+    // Cold continuation to completion.
+    cold.run(BUDGET).map_err(|e| e.to_string())?;
+    let cold_delta = stats_delta(cold.stats(), &mark);
+
+    // Warm restart: fresh system, saved machine state, loaded snapshot.
+    let mut warm = System::new(machine_at_mark, config);
+    warm.load_rcache(&bytes).map_err(|e| e.to_string())?;
+    warm.run(BUDGET).map_err(|e| e.to_string())?;
+
+    if &cold_delta != warm.stats() {
+        return Err(format!(
+            "DimStats diverged after warmup={warmup} slots={slots} \
+             spec={speculation}:\ncold delta {cold_delta:#?}\nwarm {:#?}",
+            warm.stats()
+        ));
+    }
+    if cold.machine().cpu != warm.machine().cpu {
+        return Err(format!(
+            "final CPU state diverged after warmup={warmup} slots={slots} spec={speculation}"
+        ));
+    }
+    if cold.machine().stats.cycles != warm.machine().stats.cycles {
+        return Err(format!(
+            "processor cycles diverged: cold {} vs warm {}",
+            cold.machine().stats.cycles,
+            warm.machine().stats.cycles
+        ));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A warm-started run produces DimStats identical to the equivalent
+    /// cold run's post-save continuation, and the two executions retire
+    /// the same instructions into the same final machine state.
+    #[test]
+    fn warm_restart_matches_cold_continuation(
+        iters1 in 8u32..48,
+        iters2 in 8u32..48,
+        warmup in 1u64..600,
+        slots in prop_oneof![Just(1usize), Just(2), Just(4), Just(64)],
+        speculation in any::<bool>(),
+    ) {
+        if let Err(msg) = check_warm_matches_cold(iters1, iters2, warmup, slots, speculation) {
+            prop_assert!(false, "{}", msg);
+        }
+    }
+}
+
+/// The deterministic edge cases the sweep above may not pin: saving
+/// before anything was translated, and saving after the program halted.
+#[test]
+fn warm_restart_matches_at_trivial_save_points() {
+    // Save at instruction 1: the snapshot is essentially empty.
+    check_warm_matches_cold(16, 16, 1, 64, true).unwrap();
+    // Save after completion: the continuation is empty on both sides.
+    check_warm_matches_cold(16, 16, BUDGET, 64, true).unwrap();
+}

@@ -31,6 +31,18 @@ impl DataLoc {
 
     /// Total number of dense indices (32 GPRs + HI + LO).
     pub const COUNT: usize = 34;
+
+    /// The inverse of [`dense_index`](DataLoc::dense_index): recovers the
+    /// location from its dense index, or `None` when out of range. Used
+    /// by the snapshot wire format to round-trip live-in/write-back sets.
+    pub fn from_dense_index(index: usize) -> Option<DataLoc> {
+        match index {
+            0..=31 => Reg::new(index as u8).map(DataLoc::Gpr),
+            32 => Some(DataLoc::Hi),
+            33 => Some(DataLoc::Lo),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for DataLoc {

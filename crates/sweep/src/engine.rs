@@ -1,0 +1,432 @@
+//! Sweep execution: expansion → (resume filtering) → parallel run →
+//! deterministic aggregation.
+//!
+//! Determinism contract: everything under `cells/` and the final
+//! `report.txt` depends only on the spec and the simulators — never on
+//! wall-clock, worker count or completion order — so a parallel sweep
+//! is byte-identical to `--jobs 1`. Host-dependent material (timing,
+//! steal counts, queue-depth histograms) is confined to `summary.json`
+//! and `BENCH_sweep.json`.
+
+use crate::fsio::atomic_write;
+use crate::journal::{cell_is_done, Journal};
+use crate::pool::{execute_jobs, PoolStats};
+use crate::spec::{CellSpec, SweepSpec};
+use dim_cgra::snapshot::fnv1a64;
+use dim_core::System;
+use dim_mips_sim::{HaltReason, Machine};
+use dim_obs::ObjectWriter;
+use dim_workloads::{run_baseline, validate};
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Sweep failure.
+#[derive(Debug)]
+pub enum SweepError {
+    /// Filesystem trouble.
+    Io(io::Error),
+    /// A cell failed to simulate or validate. Completed cells stay
+    /// journaled; rerunning the sweep retries only the failures.
+    Cell {
+        /// The failing cell's id.
+        id: String,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Io(e) => write!(f, "sweep I/O error: {e}"),
+            SweepError::Cell { id, reason } => write!(f, "cell `{id}` failed: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<io::Error> for SweepError {
+    fn from(e: io::Error) -> Self {
+        SweepError::Io(e)
+    }
+}
+
+/// Execution options orthogonal to the spec.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Output directory (journal, cell results, report, summary).
+    pub out_dir: PathBuf,
+    /// Worker threads; 1 = serial.
+    pub jobs: usize,
+    /// Run at most this many pending cells this invocation (used to
+    /// exercise resume deterministically; `None` = all).
+    pub limit: Option<usize>,
+    /// Overrides the spec's `warm_rcache` setting when set.
+    pub warm_rcache: Option<bool>,
+}
+
+impl SweepOptions {
+    /// Serial execution into `out_dir` with spec-default warm behaviour.
+    pub fn new(out_dir: PathBuf) -> SweepOptions {
+        SweepOptions {
+            out_dir,
+            jobs: 1,
+            limit: None,
+            warm_rcache: None,
+        }
+    }
+}
+
+/// What one invocation did.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Cells in the expanded grid.
+    pub total_cells: usize,
+    /// Cells executed by this invocation.
+    pub executed: usize,
+    /// Cells skipped because the journal + result checksum proved them
+    /// already done.
+    pub skipped: usize,
+    /// Whether every cell in the grid now has a valid result (false
+    /// after a `limit`-truncated run).
+    pub complete: bool,
+    /// Wall-clock for this invocation's execution phase.
+    pub wall_seconds: f64,
+    /// Pool statistics for this invocation.
+    pub pool: PoolStats,
+}
+
+struct CellRun {
+    json: String,
+    warm_loaded: bool,
+}
+
+fn cell_result_path(out_dir: &Path, id: &str) -> PathBuf {
+    out_dir.join("cells").join(format!("{id}.json"))
+}
+
+fn cell_snapshot_path(out_dir: &Path, id: &str) -> PathBuf {
+    out_dir.join("rcache").join(format!("{id}.dimrc"))
+}
+
+/// Simulates one cell and renders its deterministic result JSON.
+fn run_cell(
+    cell: &CellSpec,
+    baseline_cycles: u64,
+    warm: bool,
+    out_dir: &Path,
+) -> Result<CellRun, String> {
+    let spec = dim_workloads::by_name(&cell.workload)
+        .ok_or_else(|| format!("unknown workload `{}`", cell.workload))?;
+    let built = (spec.build)(cell.scale);
+    let mut system = System::new(Machine::load(&built.program), cell.system_config());
+
+    let mut warm_loaded = false;
+    if warm {
+        let snapshot_path = cell_snapshot_path(out_dir, &cell.id);
+        if let Ok(bytes) = std::fs::read(&snapshot_path) {
+            match system.load_rcache(&bytes) {
+                Ok(()) => warm_loaded = true,
+                Err(e) => return Err(format!("stale rcache snapshot rejected: {e}")),
+            }
+        }
+    }
+
+    match system.run(built.max_steps) {
+        Ok(HaltReason::Exit(_)) => {}
+        Ok(HaltReason::StepLimit) => {
+            return Err(format!(
+                "did not halt within {} instructions",
+                built.max_steps
+            ))
+        }
+        Err(e) => return Err(format!("simulation failed: {e}")),
+    }
+    validate(system.machine(), &built).map_err(|e| e.to_string())?;
+
+    if warm {
+        let bytes = system.save_rcache();
+        atomic_write(&cell_snapshot_path(out_dir, &cell.id), &bytes)
+            .map_err(|e| format!("snapshot write failed: {e}"))?;
+    }
+
+    let accel_cycles = system.total_cycles();
+    let stats = system.stats();
+    let (hits, misses) = system.cache().hit_miss();
+
+    let mut dim = ObjectWriter::new();
+    dim.field_u64("array_invocations", stats.array_invocations)
+        .field_u64("array_instructions", stats.array_instructions)
+        .field_u64("array_exec_cycles", stats.array_exec_cycles)
+        .field_u64("reconfig_stall_cycles", stats.reconfig_stall_cycles)
+        .field_u64("writeback_tail_cycles", stats.writeback_tail_cycles)
+        .field_u64("full_hits", stats.full_hits)
+        .field_u64("misspeculations", stats.misspeculations)
+        .field_u64("config_flushes", stats.config_flushes)
+        .field_u64("configs_built", stats.configs_built)
+        .field_u64("translated_instructions", stats.translated_instructions);
+    let mut cache = ObjectWriter::new();
+    cache
+        .field_u64("hits", hits)
+        .field_u64("misses", misses)
+        .field_u64("insertions", system.cache().insertions())
+        .field_u64("evictions", system.cache().evictions())
+        .field_u64("flushes", system.cache().flushes())
+        .field_u64("resident", system.cache().len() as u64);
+
+    let speedup = if accel_cycles == 0 {
+        0.0
+    } else {
+        baseline_cycles as f64 / accel_cycles as f64
+    };
+    let mut w = ObjectWriter::new();
+    w.field_u64("index", cell.index as u64)
+        .field_str("id", &cell.id)
+        .field_str("workload", &cell.workload)
+        .field_str("shape", cell.shape_key())
+        .field_u64("slots", cell.slots as u64)
+        .field_bool("speculation", cell.speculation)
+        .field_u64("max_spec_blocks", cell.max_spec_blocks as u64)
+        .field_u64("flush_threshold", cell.flush_threshold as u64)
+        .field_str(
+            "policy",
+            match cell.policy {
+                dim_core::ReplacementPolicy::Fifo => "fifo",
+                dim_core::ReplacementPolicy::Lru => "lru",
+            },
+        )
+        .field_bool("warm_loaded", warm_loaded)
+        .field_u64("baseline_cycles", baseline_cycles)
+        .field_u64("accel_cycles", accel_cycles)
+        .field_f64("speedup", speedup)
+        .field_raw("dim", &dim.finish())
+        .field_raw("cache", &cache.finish());
+    let mut json = w.finish();
+    json.push('\n');
+    Ok(CellRun { json, warm_loaded })
+}
+
+/// Runs (or resumes) a sweep.
+///
+/// # Errors
+///
+/// I/O failures, or the first failing cell (already-finished cells stay
+/// journaled either way, so rerunning retries only the remainder).
+pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, SweepError> {
+    let cells = spec.expand();
+    let warm = opts.warm_rcache.unwrap_or(spec.warm_rcache);
+    let out_dir = &opts.out_dir;
+    std::fs::create_dir_all(out_dir)?;
+
+    let journal_path = out_dir.join("journal.txt");
+    let done = Journal::read(&journal_path)?;
+    let mut pending: Vec<&CellSpec> = cells
+        .iter()
+        .filter(|c| !cell_is_done(&done, &c.id, &cell_result_path(out_dir, &c.id)))
+        .collect();
+    let skipped = cells.len() - pending.len();
+    if let Some(limit) = opts.limit {
+        pending.truncate(limit);
+    }
+
+    // Baselines are shared per workload (the grid only varies
+    // accelerator parameters), so run them once, serially, up front.
+    let mut baselines: HashMap<&str, u64> = HashMap::new();
+    for cell in &pending {
+        if !baselines.contains_key(cell.workload.as_str()) {
+            let spec = dim_workloads::by_name(&cell.workload).expect("validated at parse");
+            let built = (spec.build)(cell.scale);
+            let machine = run_baseline(&built).map_err(|e| SweepError::Cell {
+                id: format!("{}-baseline", cell.workload),
+                reason: e.to_string(),
+            })?;
+            baselines.insert(cell.workload.as_str(), machine.stats.cycles);
+        }
+    }
+
+    let journal = Journal::open_append(&journal_path)?;
+    let start = Instant::now();
+    let jobs: Vec<_> = pending
+        .iter()
+        .map(|cell| {
+            let cell = (*cell).clone();
+            let baseline = baselines[cell.workload.as_str()];
+            let journal = &journal;
+            move || -> Result<(), SweepError> {
+                let run = run_cell(&cell, baseline, warm, out_dir).map_err(|reason| {
+                    SweepError::Cell {
+                        id: cell.id.clone(),
+                        reason,
+                    }
+                })?;
+                let path = cell_result_path(out_dir, &cell.id);
+                atomic_write(&path, run.json.as_bytes())?;
+                journal.record(&cell.id, fnv1a64(run.json.as_bytes()))?;
+                let _ = run.warm_loaded;
+                Ok(())
+            }
+        })
+        .collect();
+    let executed = jobs.len();
+    let (results, pool) = execute_jobs(jobs, opts.jobs);
+    let wall_seconds = start.elapsed().as_secs_f64();
+    for result in results {
+        result?;
+    }
+
+    let complete = skipped + executed == cells.len();
+    if complete {
+        let report = render_report(spec, &cells, out_dir)?;
+        atomic_write(&out_dir.join("report.txt"), report.as_bytes())?;
+    }
+
+    let outcome = SweepOutcome {
+        total_cells: cells.len(),
+        executed,
+        skipped,
+        complete,
+        wall_seconds,
+        pool,
+    };
+    let mut w = ObjectWriter::new();
+    w.field_u64("total_cells", outcome.total_cells as u64)
+        .field_u64("executed", outcome.executed as u64)
+        .field_u64("skipped", outcome.skipped as u64)
+        .field_bool("complete", outcome.complete)
+        .field_u64("jobs", opts.jobs.max(1) as u64)
+        .field_bool("warm_rcache", warm)
+        .field_str("scale", spec.scale_key())
+        .field_f64("wall_seconds", outcome.wall_seconds)
+        .field_raw("pool", &outcome.pool.to_json());
+    let mut summary = w.finish();
+    summary.push('\n');
+    atomic_write(&out_dir.join("summary.json"), summary.as_bytes())?;
+
+    Ok(outcome)
+}
+
+/// Renders the deterministic cross-cell report from the on-disk cell
+/// results (index order, fixed-width columns).
+fn render_report(
+    spec: &SweepSpec,
+    cells: &[CellSpec],
+    out_dir: &Path,
+) -> Result<String, SweepError> {
+    let id_width = cells.iter().map(|c| c.id.len()).max().unwrap_or(2).max(2);
+    let mut out = format!(
+        "DIM sweep: {} cells, scale {}\n\n{:<id_width$}  {:>12}  {:>12}  {:>8}\n",
+        cells.len(),
+        spec.scale_key(),
+        "id",
+        "baseline",
+        "accel",
+        "speedup",
+    );
+    for cell in cells {
+        let bytes = std::fs::read(cell_result_path(out_dir, &cell.id))?;
+        let text = String::from_utf8_lossy(&bytes);
+        let value = dim_obs::parse_json(&text).map_err(|e| SweepError::Cell {
+            id: cell.id.clone(),
+            reason: format!("unreadable result file: {e}"),
+        })?;
+        let field = |k: &str| value.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+        let baseline = field("baseline_cycles");
+        let accel = field("accel_cycles");
+        let speedup = if accel == 0 {
+            0.0
+        } else {
+            baseline as f64 / accel as f64
+        };
+        out.push_str(&format!(
+            "{:<id_width$}  {baseline:>12}  {accel:>12}  {speedup:>8.3}\n",
+            cell.id,
+        ));
+    }
+    Ok(out)
+}
+
+/// Serial-vs-parallel comparison for `BENCH_sweep.json`.
+#[derive(Debug)]
+pub struct BenchCompare {
+    /// Cells per side.
+    pub cells: usize,
+    /// Serial (`--jobs 1`) wall-clock.
+    pub serial_seconds: f64,
+    /// Parallel wall-clock.
+    pub parallel_seconds: f64,
+    /// Worker threads used for the parallel side.
+    pub jobs: usize,
+    /// Whether every parallel cell result was byte-identical to serial.
+    pub identical: bool,
+    /// serial/parallel wall-clock ratio (1.0 when parallel is 0).
+    pub speedup: f64,
+}
+
+/// Runs the same sweep serially and with `jobs` workers into sibling
+/// directories under `out_base`, verifies the results are
+/// byte-identical, and writes `BENCH_sweep.json`.
+///
+/// # Errors
+///
+/// Propagates either side's sweep failure or I/O errors.
+pub fn bench_compare(
+    spec: &SweepSpec,
+    out_base: &Path,
+    jobs: usize,
+) -> Result<BenchCompare, SweepError> {
+    let serial_dir = out_base.join("serial");
+    let parallel_dir = out_base.join("parallel");
+
+    let mut serial_opts = SweepOptions::new(serial_dir.clone());
+    serial_opts.jobs = 1;
+    let serial = run_sweep(spec, &serial_opts)?;
+
+    let mut parallel_opts = SweepOptions::new(parallel_dir.clone());
+    parallel_opts.jobs = jobs.max(1);
+    let parallel = run_sweep(spec, &parallel_opts)?;
+
+    let mut identical = true;
+    for cell in spec.expand() {
+        let a = std::fs::read(cell_result_path(&serial_dir, &cell.id))?;
+        let b = std::fs::read(cell_result_path(&parallel_dir, &cell.id))?;
+        if a != b {
+            identical = false;
+        }
+    }
+    let report_a = std::fs::read(serial_dir.join("report.txt"))?;
+    let report_b = std::fs::read(parallel_dir.join("report.txt"))?;
+    if report_a != report_b {
+        identical = false;
+    }
+
+    let compare = BenchCompare {
+        cells: serial.total_cells,
+        serial_seconds: serial.wall_seconds,
+        parallel_seconds: parallel.wall_seconds,
+        jobs: parallel_opts.jobs,
+        identical,
+        speedup: if parallel.wall_seconds > 0.0 {
+            serial.wall_seconds / parallel.wall_seconds
+        } else {
+            1.0
+        },
+    };
+    let mut w = ObjectWriter::new();
+    w.field_str("bench", "sweep_parallel_scaling")
+        .field_u64("cells", compare.cells as u64)
+        .field_u64("jobs", compare.jobs as u64)
+        .field_f64("serial_seconds", compare.serial_seconds)
+        .field_f64("parallel_seconds", compare.parallel_seconds)
+        .field_f64("speedup", compare.speedup)
+        .field_bool("identical_results", compare.identical)
+        .field_raw("serial_pool", &serial.pool.to_json())
+        .field_raw("parallel_pool", &parallel.pool.to_json());
+    let mut json = w.finish();
+    json.push('\n');
+    atomic_write(&out_base.join("BENCH_sweep.json"), json.as_bytes())?;
+    Ok(compare)
+}

@@ -1,0 +1,69 @@
+//! Atomic result-file writes.
+//!
+//! Every artifact a sweep produces (cell results, snapshots, reports) is
+//! written through [`atomic_write`]: the bytes land in a process-unique
+//! temporary file in the destination directory and are renamed into
+//! place. A reader therefore observes either the complete previous
+//! version or the complete new version — never a torn file — which is
+//! what makes the resume journal's checksums trustworthy after a kill.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Writes `bytes` to `path` atomically (temp file + rename), creating
+/// parent directories as needed.
+///
+/// # Errors
+///
+/// Any underlying filesystem error; the temporary file is removed on
+/// failure when possible.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    let result = fs::write(&tmp, bytes).and_then(|()| fs::rename(&tmp, path));
+    if result.is_err() {
+        fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("dim-sweep-fsio-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = scratch("basic");
+        let path = dir.join("nested/result.json");
+        atomic_write(&path, b"one").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"one");
+        atomic_write(&path, b"two").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"two");
+        // No stray temp files left behind.
+        let leftovers: Vec<_> = fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(leftovers, vec![std::ffi::OsString::from("result.json")]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_directory_path() {
+        assert!(atomic_write(Path::new("/"), b"x").is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! The resume journal.
+//!
+//! A sweep writes one `done <cell-id> <fnv64-hex>` line per completed
+//! cell, appended and flushed *after* the cell's result file has been
+//! atomically renamed into place. On restart, a cell is skipped only if
+//! its journal entry exists **and** the result file on disk hashes to
+//! the recorded checksum — so a kill between rename and journal append
+//! merely re-runs one cell, and a corrupted or hand-edited result file
+//! is detected and regenerated rather than trusted.
+//!
+//! Malformed journal lines (a torn final append) are ignored, not
+//! fatal: the worst outcome is re-executing the cell the line was for.
+
+use dim_cgra::snapshot::fnv1a64;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Append-only completed-cell log.
+#[derive(Debug)]
+pub struct Journal {
+    file: Mutex<File>,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Reads the completed-cell map (`id -> result checksum`) from an
+    /// existing journal; missing file means an empty map.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors other than the file not existing.
+    pub fn read(path: &Path) -> io::Result<HashMap<String, u64>> {
+        let mut text = String::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                f.read_to_string(&mut text)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(HashMap::new()),
+            Err(e) => return Err(e),
+        }
+        let mut done = HashMap::new();
+        for line in text.lines() {
+            let mut parts = line.split_whitespace();
+            let (Some("done"), Some(id), Some(hex)) = (parts.next(), parts.next(), parts.next())
+            else {
+                continue;
+            };
+            if parts.next().is_some() {
+                continue;
+            }
+            if let Ok(checksum) = u64::from_str_radix(hex, 16) {
+                done.insert(id.to_string(), checksum);
+            }
+        }
+        Ok(done)
+    }
+
+    /// Opens the journal for appending, creating it (and parent
+    /// directories) if needed.
+    ///
+    /// # Errors
+    ///
+    /// Underlying filesystem errors.
+    pub fn open_append(path: &Path) -> io::Result<Journal> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Journal {
+            file: Mutex::new(file),
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Records one completed cell; flushed before returning so a
+    /// subsequent crash cannot lose the entry.
+    ///
+    /// # Errors
+    ///
+    /// Underlying filesystem errors.
+    pub fn record(&self, id: &str, checksum: u64) -> io::Result<()> {
+        let mut file = self.file.lock().unwrap();
+        writeln!(file, "done {id} {checksum:016x}")?;
+        file.flush()
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Whether a cell's prior result is intact: journaled, present on disk,
+/// and matching the recorded checksum.
+pub fn cell_is_done(done: &HashMap<String, u64>, id: &str, result_path: &Path) -> bool {
+    let Some(&want) = done.get(id) else {
+        return false;
+    };
+    match std::fs::read(result_path) {
+        Ok(bytes) => fnv1a64(&bytes) == want,
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("dim-sweep-journal-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_and_tolerant_read() {
+        let dir = scratch("rt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.txt");
+        let journal = Journal::open_append(&path).unwrap();
+        journal.record("cell-a", 0xdead_beef).unwrap();
+        journal.record("cell-b", 42).unwrap();
+        // A torn partial line must be skipped, not fatal.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            write!(f, "done cell-c").unwrap();
+        }
+        let done = Journal::read(&path).unwrap();
+        assert_eq!(done.get("cell-a"), Some(&0xdead_beef));
+        assert_eq!(done.get("cell-b"), Some(&42));
+        assert!(!done.contains_key("cell-c"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_journal_is_empty() {
+        let done = Journal::read(Path::new("/nonexistent/journal.txt")).unwrap();
+        assert!(done.is_empty());
+    }
+
+    #[test]
+    fn done_requires_matching_file() {
+        let dir = scratch("done");
+        std::fs::create_dir_all(&dir).unwrap();
+        let result = dir.join("cell.json");
+        std::fs::write(&result, b"{\"x\":1}").unwrap();
+        let sum = fnv1a64(b"{\"x\":1}");
+        let mut done = HashMap::new();
+        done.insert("cell".to_string(), sum);
+        assert!(cell_is_done(&done, "cell", &result));
+        // Wrong checksum -> re-run.
+        done.insert("cell".to_string(), sum ^ 1);
+        assert!(!cell_is_done(&done, "cell", &result));
+        // Missing file -> re-run.
+        done.insert("cell".to_string(), sum);
+        assert!(!cell_is_done(&done, "cell", &dir.join("gone.json")));
+        // Unjournaled -> re-run.
+        assert!(!cell_is_done(&done, "other", &result));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,45 @@
+//! # dim-sweep
+//!
+//! Batch-execution and design-space-exploration engine for the DIM
+//! reproduction. A declarative sweep spec (workloads × array shapes ×
+//! cache sizes × speculation settings × …) is expanded into a
+//! deterministic job list, executed on an in-crate work-stealing thread
+//! pool, and aggregated into machine-readable results that are
+//! byte-identical regardless of worker count or completion order.
+//!
+//! The engine is restartable: each finished cell is recorded in an
+//! append-only journal next to an atomically-written result file, so a
+//! killed sweep resumes without re-executing completed cells. When warm
+//! starts are enabled, each cell also persists its reconfiguration-cache
+//! snapshot (see [`dim_core::SNAPSHOT_MAGIC`]) so later sweeps over the
+//! same grid skip the translation warm-up.
+//!
+//! ```
+//! use dim_sweep::{SweepSpec, SweepOptions, run_sweep};
+//! let spec = SweepSpec::parse("
+//!     workloads = crc32
+//!     scale = tiny
+//!     shapes = 1
+//!     slots = 16
+//!     speculation = on
+//! ")?;
+//! let dir = std::env::temp_dir().join(format!("dim-sweep-doc-{}", std::process::id()));
+//! let outcome = run_sweep(&spec, &SweepOptions::new(dir.clone()))?;
+//! assert!(outcome.complete);
+//! std::fs::remove_dir_all(&dir).ok();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod engine;
+mod fsio;
+mod journal;
+mod pool;
+mod spec;
+
+pub use engine::{bench_compare, run_sweep, BenchCompare, SweepError, SweepOptions, SweepOutcome};
+pub use fsio::atomic_write;
+pub use journal::Journal;
+pub use pool::{execute_jobs, PoolStats};
+pub use spec::{CellSpec, ShapeChoice, SpecError, SweepSpec};

@@ -1,0 +1,171 @@
+//! End-to-end sweep engine tests: parallel/serial byte-identity,
+//! kill-and-resume via `--limit`, and rcache warm-start reuse.
+
+use dim_sweep::{bench_compare, run_sweep, SweepOptions, SweepSpec};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dim-sweep-it-{}-{name}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn tiny_spec() -> SweepSpec {
+    SweepSpec::parse(
+        "workloads = crc32, bitcount\n\
+         scale = tiny\n\
+         shapes = 1, 3\n\
+         slots = 16\n\
+         speculation = on\n",
+    )
+    .unwrap()
+}
+
+fn read_cells(dir: &Path, spec: &SweepSpec) -> Vec<(String, Vec<u8>)> {
+    spec.expand()
+        .into_iter()
+        .map(|c| {
+            let path = dir.join("cells").join(format!("{}.json", c.id));
+            (
+                c.id,
+                fs::read(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display())),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_results_byte_identical_to_serial() {
+    let spec = tiny_spec();
+    let serial_dir = scratch("det-serial");
+    let parallel_dir = scratch("det-parallel");
+
+    let serial = run_sweep(&spec, &SweepOptions::new(serial_dir.clone())).unwrap();
+    let mut opts = SweepOptions::new(parallel_dir.clone());
+    opts.jobs = 4;
+    let parallel = run_sweep(&spec, &opts).unwrap();
+
+    assert!(serial.complete && parallel.complete);
+    assert_eq!(serial.executed, 4);
+    assert_eq!(parallel.executed, 4);
+    assert_eq!(
+        read_cells(&serial_dir, &spec),
+        read_cells(&parallel_dir, &spec)
+    );
+    assert_eq!(
+        fs::read(serial_dir.join("report.txt")).unwrap(),
+        fs::read(parallel_dir.join("report.txt")).unwrap()
+    );
+
+    fs::remove_dir_all(&serial_dir).ok();
+    fs::remove_dir_all(&parallel_dir).ok();
+}
+
+#[test]
+fn limit_interrupt_then_resume_skips_done_cells() {
+    let spec = tiny_spec();
+    let dir = scratch("resume");
+
+    // "Kill" after two cells.
+    let mut first = SweepOptions::new(dir.clone());
+    first.limit = Some(2);
+    let outcome = run_sweep(&spec, &first).unwrap();
+    assert_eq!(outcome.executed, 2);
+    assert!(!outcome.complete);
+    assert!(!dir.join("report.txt").exists());
+    let journal_after_first = fs::read_to_string(dir.join("journal.txt")).unwrap();
+    assert_eq!(journal_after_first.lines().count(), 2);
+
+    // Resume: only the remaining two cells execute.
+    let resumed = run_sweep(&spec, &SweepOptions::new(dir.clone())).unwrap();
+    assert_eq!(resumed.skipped, 2);
+    assert_eq!(resumed.executed, 2);
+    assert!(resumed.complete);
+    assert!(dir.join("report.txt").exists());
+
+    // A third invocation is a no-op.
+    let noop = run_sweep(&spec, &SweepOptions::new(dir.clone())).unwrap();
+    assert_eq!(noop.executed, 0);
+    assert_eq!(noop.skipped, 4);
+    assert!(noop.complete);
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_result_file_is_rerun_on_resume() {
+    let spec = tiny_spec();
+    let dir = scratch("corrupt");
+    run_sweep(&spec, &SweepOptions::new(dir.clone())).unwrap();
+
+    // Tamper with one result: the journal checksum no longer matches,
+    // so exactly that cell must re-execute.
+    let victim = dir
+        .join("cells")
+        .join(format!("{}.json", spec.expand()[0].id));
+    let good = fs::read(&victim).unwrap();
+    fs::write(&victim, b"{}\n").unwrap();
+
+    let resumed = run_sweep(&spec, &SweepOptions::new(dir.clone())).unwrap();
+    assert_eq!(resumed.executed, 1);
+    assert_eq!(resumed.skipped, 3);
+    assert!(resumed.complete);
+    assert_eq!(fs::read(&victim).unwrap(), good);
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn warm_rcache_snapshots_persist_and_reload() {
+    let spec = SweepSpec::parse(
+        "workloads = crc32\nscale = tiny\nshapes = 1\nslots = 16\n\
+         speculation = on\nwarm_rcache = on",
+    )
+    .unwrap();
+    let dir = scratch("warm");
+    run_sweep(&spec, &SweepOptions::new(dir.clone())).unwrap();
+
+    let cell = &spec.expand()[0];
+    let snapshot = dir.join("rcache").join(format!("{}.dimrc", cell.id));
+    assert!(snapshot.exists(), "snapshot written for warm sweep");
+    let cold_json = fs::read(dir.join("cells").join(format!("{}.json", cell.id))).unwrap();
+    assert!(String::from_utf8_lossy(&cold_json).contains("\"warm_loaded\":false"));
+
+    // Force re-execution of the same grid in the same directory: the
+    // cell must load the snapshot this time.
+    fs::remove_file(dir.join("journal.txt")).unwrap();
+    run_sweep(&spec, &SweepOptions::new(dir.clone())).unwrap();
+    let warm_json = fs::read(dir.join("cells").join(format!("{}.json", cell.id))).unwrap();
+    let warm_text = String::from_utf8_lossy(&warm_json);
+    assert!(warm_text.contains("\"warm_loaded\":true"), "{warm_text}");
+
+    // Warm start must not change the architectural outcome: baseline
+    // and accel cycle counts both stay self-consistent fields.
+    let parsed = dim_obs::parse_json(&warm_text).unwrap();
+    assert!(parsed.get("accel_cycles").and_then(|v| v.as_u64()).unwrap() > 0);
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bench_compare_writes_report_and_matches() {
+    let spec = SweepSpec::parse(
+        "workloads = crc32\nscale = tiny\nshapes = 1, 3\nslots = 16\nspeculation = on",
+    )
+    .unwrap();
+    let base = scratch("bench");
+    let compare = bench_compare(&spec, &base, 2).unwrap();
+    assert!(compare.identical, "parallel must match serial");
+    assert_eq!(compare.cells, 2);
+
+    let json = fs::read_to_string(base.join("BENCH_sweep.json")).unwrap();
+    let parsed = dim_obs::parse_json(&json).unwrap();
+    assert_eq!(
+        parsed.get("identical_results").and_then(|v| v.as_bool()),
+        Some(true)
+    );
+    assert_eq!(parsed.get("jobs").and_then(|v| v.as_u64()), Some(2));
+
+    fs::remove_dir_all(&base).ok();
+}
