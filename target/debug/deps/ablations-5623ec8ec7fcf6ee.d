@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-5623ec8ec7fcf6ee.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-5623ec8ec7fcf6ee: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-d1ca688e96d15212.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-d1ca688e96d15212: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

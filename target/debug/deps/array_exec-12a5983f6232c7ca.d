@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/array_exec-12a5983f6232c7ca.d: crates/bench/benches/array_exec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarray_exec-12a5983f6232c7ca.rmeta: crates/bench/benches/array_exec.rs Cargo.toml
+
+crates/bench/benches/array_exec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/characterization-3f283b324e3c5a00.d: crates/bench/benches/characterization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcharacterization-3f283b324e3c5a00.rmeta: crates/bench/benches/characterization.rs Cargo.toml
+
+crates/bench/benches/characterization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli_bin-5becadf7434d5e73.d: crates/cli/tests/cli_bin.rs
+
+/root/repo/target/debug/deps/cli_bin-5becadf7434d5e73: crates/cli/tests/cli_bin.rs
+
+crates/cli/tests/cli_bin.rs:
+
+# env-dep:CARGO_BIN_EXE_dim=/root/repo/target/debug/dim

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli_bin-6cf1ea76adced1ad.d: crates/cli/tests/cli_bin.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli_bin-6cf1ea76adced1ad.rmeta: crates/cli/tests/cli_bin.rs Cargo.toml
+
+crates/cli/tests/cli_bin.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_dim=placeholder:dim
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

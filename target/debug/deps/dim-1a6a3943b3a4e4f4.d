@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dim-1a6a3943b3a4e4f4.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdim-1a6a3943b3a4e4f4.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

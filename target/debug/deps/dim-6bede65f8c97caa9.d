@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dim-6bede65f8c97caa9.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/dim-6bede65f8c97caa9: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

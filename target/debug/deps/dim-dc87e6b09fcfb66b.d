@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dim-dc87e6b09fcfb66b.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdim-dc87e6b09fcfb66b.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

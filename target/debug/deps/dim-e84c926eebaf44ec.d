@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dim-e84c926eebaf44ec.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/dim-e84c926eebaf44ec: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dim_bench-337a4c4a42e5646b.d: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdim_bench-337a4c4a42e5646b.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/runner.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

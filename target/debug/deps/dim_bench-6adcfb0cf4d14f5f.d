@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dim_bench-6adcfb0cf4d14f5f.d: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/libdim_bench-6adcfb0cf4d14f5f.rlib: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/libdim_bench-6adcfb0cf4d14f5f.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dim_bench-d8e590e928b1bd2c.d: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/dim_bench-d8e590e928b1bd2c: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/dim_cgra-3414a3fefad74aaa.d: crates/cgra/src/lib.rs crates/cgra/src/config.rs crates/cgra/src/encoding.rs crates/cgra/src/exec.rs crates/cgra/src/render.rs crates/cgra/src/shape.rs crates/cgra/src/timing.rs
+/root/repo/target/debug/deps/dim_cgra-3414a3fefad74aaa.d: crates/cgra/src/lib.rs crates/cgra/src/config.rs crates/cgra/src/encoding.rs crates/cgra/src/exec.rs crates/cgra/src/render.rs crates/cgra/src/shape.rs crates/cgra/src/snapshot.rs crates/cgra/src/timing.rs
 
-/root/repo/target/debug/deps/dim_cgra-3414a3fefad74aaa: crates/cgra/src/lib.rs crates/cgra/src/config.rs crates/cgra/src/encoding.rs crates/cgra/src/exec.rs crates/cgra/src/render.rs crates/cgra/src/shape.rs crates/cgra/src/timing.rs
+/root/repo/target/debug/deps/dim_cgra-3414a3fefad74aaa: crates/cgra/src/lib.rs crates/cgra/src/config.rs crates/cgra/src/encoding.rs crates/cgra/src/exec.rs crates/cgra/src/render.rs crates/cgra/src/shape.rs crates/cgra/src/snapshot.rs crates/cgra/src/timing.rs
 
 crates/cgra/src/lib.rs:
 crates/cgra/src/config.rs:
@@ -8,4 +8,5 @@ crates/cgra/src/encoding.rs:
 crates/cgra/src/exec.rs:
 crates/cgra/src/render.rs:
 crates/cgra/src/shape.rs:
+crates/cgra/src/snapshot.rs:
 crates/cgra/src/timing.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/dim_cgra-8a43405e440295b6.d: crates/cgra/src/lib.rs crates/cgra/src/config.rs crates/cgra/src/encoding.rs crates/cgra/src/exec.rs crates/cgra/src/render.rs crates/cgra/src/shape.rs crates/cgra/src/timing.rs Cargo.toml
+/root/repo/target/debug/deps/dim_cgra-8a43405e440295b6.d: crates/cgra/src/lib.rs crates/cgra/src/config.rs crates/cgra/src/encoding.rs crates/cgra/src/exec.rs crates/cgra/src/render.rs crates/cgra/src/shape.rs crates/cgra/src/snapshot.rs crates/cgra/src/timing.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdim_cgra-8a43405e440295b6.rmeta: crates/cgra/src/lib.rs crates/cgra/src/config.rs crates/cgra/src/encoding.rs crates/cgra/src/exec.rs crates/cgra/src/render.rs crates/cgra/src/shape.rs crates/cgra/src/timing.rs Cargo.toml
+/root/repo/target/debug/deps/libdim_cgra-8a43405e440295b6.rmeta: crates/cgra/src/lib.rs crates/cgra/src/config.rs crates/cgra/src/encoding.rs crates/cgra/src/exec.rs crates/cgra/src/render.rs crates/cgra/src/shape.rs crates/cgra/src/snapshot.rs crates/cgra/src/timing.rs Cargo.toml
 
 crates/cgra/src/lib.rs:
 crates/cgra/src/config.rs:
@@ -8,8 +8,9 @@ crates/cgra/src/encoding.rs:
 crates/cgra/src/exec.rs:
 crates/cgra/src/render.rs:
 crates/cgra/src/shape.rs:
+crates/cgra/src/snapshot.rs:
 crates/cgra/src/timing.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=
 # env-dep:CLIPPY_CONF_DIR

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/dim_cgra-95a1b280ebe7a8e4.d: crates/cgra/src/lib.rs crates/cgra/src/config.rs crates/cgra/src/encoding.rs crates/cgra/src/exec.rs crates/cgra/src/render.rs crates/cgra/src/shape.rs crates/cgra/src/timing.rs
+/root/repo/target/debug/deps/dim_cgra-95a1b280ebe7a8e4.d: crates/cgra/src/lib.rs crates/cgra/src/config.rs crates/cgra/src/encoding.rs crates/cgra/src/exec.rs crates/cgra/src/render.rs crates/cgra/src/shape.rs crates/cgra/src/snapshot.rs crates/cgra/src/timing.rs
 
-/root/repo/target/debug/deps/libdim_cgra-95a1b280ebe7a8e4.rlib: crates/cgra/src/lib.rs crates/cgra/src/config.rs crates/cgra/src/encoding.rs crates/cgra/src/exec.rs crates/cgra/src/render.rs crates/cgra/src/shape.rs crates/cgra/src/timing.rs
+/root/repo/target/debug/deps/libdim_cgra-95a1b280ebe7a8e4.rlib: crates/cgra/src/lib.rs crates/cgra/src/config.rs crates/cgra/src/encoding.rs crates/cgra/src/exec.rs crates/cgra/src/render.rs crates/cgra/src/shape.rs crates/cgra/src/snapshot.rs crates/cgra/src/timing.rs
 
-/root/repo/target/debug/deps/libdim_cgra-95a1b280ebe7a8e4.rmeta: crates/cgra/src/lib.rs crates/cgra/src/config.rs crates/cgra/src/encoding.rs crates/cgra/src/exec.rs crates/cgra/src/render.rs crates/cgra/src/shape.rs crates/cgra/src/timing.rs
+/root/repo/target/debug/deps/libdim_cgra-95a1b280ebe7a8e4.rmeta: crates/cgra/src/lib.rs crates/cgra/src/config.rs crates/cgra/src/encoding.rs crates/cgra/src/exec.rs crates/cgra/src/render.rs crates/cgra/src/shape.rs crates/cgra/src/snapshot.rs crates/cgra/src/timing.rs
 
 crates/cgra/src/lib.rs:
 crates/cgra/src/config.rs:
@@ -10,4 +10,5 @@ crates/cgra/src/encoding.rs:
 crates/cgra/src/exec.rs:
 crates/cgra/src/render.rs:
 crates/cgra/src/shape.rs:
+crates/cgra/src/snapshot.rs:
 crates/cgra/src/timing.rs:

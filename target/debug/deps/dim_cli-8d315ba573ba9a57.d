@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dim_cli-8d315ba573ba9a57.d: crates/cli/src/lib.rs crates/cli/src/debugger.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdim_cli-8d315ba573ba9a57.rmeta: crates/cli/src/lib.rs crates/cli/src/debugger.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+crates/cli/src/debugger.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

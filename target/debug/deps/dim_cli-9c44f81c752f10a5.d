@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/dim_cli-9c44f81c752f10a5.d: crates/cli/src/lib.rs crates/cli/src/debugger.rs
+
+/root/repo/target/debug/deps/dim_cli-9c44f81c752f10a5: crates/cli/src/lib.rs crates/cli/src/debugger.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/debugger.rs:

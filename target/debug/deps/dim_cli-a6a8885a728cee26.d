@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dim_cli-a6a8885a728cee26.d: crates/cli/src/lib.rs crates/cli/src/debugger.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdim_cli-a6a8885a728cee26.rmeta: crates/cli/src/lib.rs crates/cli/src/debugger.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+crates/cli/src/debugger.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dim_cli-abde92416a7bfd6a.d: crates/cli/src/lib.rs crates/cli/src/debugger.rs
+
+/root/repo/target/debug/deps/libdim_cli-abde92416a7bfd6a.rlib: crates/cli/src/lib.rs crates/cli/src/debugger.rs
+
+/root/repo/target/debug/deps/libdim_cli-abde92416a7bfd6a.rmeta: crates/cli/src/lib.rs crates/cli/src/debugger.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/debugger.rs:

@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/dim_core-3c7d54c8aefc0b56.d: crates/core/src/lib.rs crates/core/src/gshare.rs crates/core/src/predictor.rs crates/core/src/rcache.rs crates/core/src/report.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/tables.rs crates/core/src/trace.rs crates/core/src/translator.rs Cargo.toml
+/root/repo/target/debug/deps/dim_core-3c7d54c8aefc0b56.d: crates/core/src/lib.rs crates/core/src/gshare.rs crates/core/src/predictor.rs crates/core/src/rcache.rs crates/core/src/report.rs crates/core/src/snapshot.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/tables.rs crates/core/src/trace.rs crates/core/src/translator.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdim_core-3c7d54c8aefc0b56.rmeta: crates/core/src/lib.rs crates/core/src/gshare.rs crates/core/src/predictor.rs crates/core/src/rcache.rs crates/core/src/report.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/tables.rs crates/core/src/trace.rs crates/core/src/translator.rs Cargo.toml
+/root/repo/target/debug/deps/libdim_core-3c7d54c8aefc0b56.rmeta: crates/core/src/lib.rs crates/core/src/gshare.rs crates/core/src/predictor.rs crates/core/src/rcache.rs crates/core/src/report.rs crates/core/src/snapshot.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/tables.rs crates/core/src/trace.rs crates/core/src/translator.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/gshare.rs:
 crates/core/src/predictor.rs:
 crates/core/src/rcache.rs:
 crates/core/src/report.rs:
+crates/core/src/snapshot.rs:
 crates/core/src/stats.rs:
 crates/core/src/system.rs:
 crates/core/src/tables.rs:
@@ -14,5 +15,5 @@ crates/core/src/trace.rs:
 crates/core/src/translator.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=
 # env-dep:CLIPPY_CONF_DIR

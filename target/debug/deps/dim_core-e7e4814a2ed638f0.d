@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/dim_core-e7e4814a2ed638f0.d: crates/core/src/lib.rs crates/core/src/gshare.rs crates/core/src/predictor.rs crates/core/src/rcache.rs crates/core/src/report.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/tables.rs crates/core/src/trace.rs crates/core/src/translator.rs
+/root/repo/target/debug/deps/dim_core-e7e4814a2ed638f0.d: crates/core/src/lib.rs crates/core/src/gshare.rs crates/core/src/predictor.rs crates/core/src/rcache.rs crates/core/src/report.rs crates/core/src/snapshot.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/tables.rs crates/core/src/trace.rs crates/core/src/translator.rs
 
-/root/repo/target/debug/deps/dim_core-e7e4814a2ed638f0: crates/core/src/lib.rs crates/core/src/gshare.rs crates/core/src/predictor.rs crates/core/src/rcache.rs crates/core/src/report.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/tables.rs crates/core/src/trace.rs crates/core/src/translator.rs
+/root/repo/target/debug/deps/dim_core-e7e4814a2ed638f0: crates/core/src/lib.rs crates/core/src/gshare.rs crates/core/src/predictor.rs crates/core/src/rcache.rs crates/core/src/report.rs crates/core/src/snapshot.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/tables.rs crates/core/src/trace.rs crates/core/src/translator.rs
 
 crates/core/src/lib.rs:
 crates/core/src/gshare.rs:
 crates/core/src/predictor.rs:
 crates/core/src/rcache.rs:
 crates/core/src/report.rs:
+crates/core/src/snapshot.rs:
 crates/core/src/stats.rs:
 crates/core/src/system.rs:
 crates/core/src/tables.rs:

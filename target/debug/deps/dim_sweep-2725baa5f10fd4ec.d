@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dim_sweep-2725baa5f10fd4ec.d: crates/sweep/src/lib.rs crates/sweep/src/engine.rs crates/sweep/src/fsio.rs crates/sweep/src/journal.rs crates/sweep/src/pool.rs crates/sweep/src/spec.rs
+
+/root/repo/target/debug/deps/dim_sweep-2725baa5f10fd4ec: crates/sweep/src/lib.rs crates/sweep/src/engine.rs crates/sweep/src/fsio.rs crates/sweep/src/journal.rs crates/sweep/src/pool.rs crates/sweep/src/spec.rs
+
+crates/sweep/src/lib.rs:
+crates/sweep/src/engine.rs:
+crates/sweep/src/fsio.rs:
+crates/sweep/src/journal.rs:
+crates/sweep/src/pool.rs:
+crates/sweep/src/spec.rs:

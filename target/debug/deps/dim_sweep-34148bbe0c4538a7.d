@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dim_sweep-34148bbe0c4538a7.d: crates/sweep/src/lib.rs crates/sweep/src/engine.rs crates/sweep/src/fsio.rs crates/sweep/src/journal.rs crates/sweep/src/pool.rs crates/sweep/src/spec.rs
+
+/root/repo/target/debug/deps/libdim_sweep-34148bbe0c4538a7.rlib: crates/sweep/src/lib.rs crates/sweep/src/engine.rs crates/sweep/src/fsio.rs crates/sweep/src/journal.rs crates/sweep/src/pool.rs crates/sweep/src/spec.rs
+
+/root/repo/target/debug/deps/libdim_sweep-34148bbe0c4538a7.rmeta: crates/sweep/src/lib.rs crates/sweep/src/engine.rs crates/sweep/src/fsio.rs crates/sweep/src/journal.rs crates/sweep/src/pool.rs crates/sweep/src/spec.rs
+
+crates/sweep/src/lib.rs:
+crates/sweep/src/engine.rs:
+crates/sweep/src/fsio.rs:
+crates/sweep/src/journal.rs:
+crates/sweep/src/pool.rs:
+crates/sweep/src/spec.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dim_sweep-877e4d29457f5f62.d: crates/sweep/src/lib.rs crates/sweep/src/engine.rs crates/sweep/src/fsio.rs crates/sweep/src/journal.rs crates/sweep/src/pool.rs crates/sweep/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdim_sweep-877e4d29457f5f62.rmeta: crates/sweep/src/lib.rs crates/sweep/src/engine.rs crates/sweep/src/fsio.rs crates/sweep/src/journal.rs crates/sweep/src/pool.rs crates/sweep/src/spec.rs Cargo.toml
+
+crates/sweep/src/lib.rs:
+crates/sweep/src/engine.rs:
+crates/sweep/src/fsio.rs:
+crates/sweep/src/journal.rs:
+crates/sweep/src/pool.rs:
+crates/sweep/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

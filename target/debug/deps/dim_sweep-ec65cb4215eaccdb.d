@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dim_sweep-ec65cb4215eaccdb.d: crates/sweep/src/lib.rs crates/sweep/src/engine.rs crates/sweep/src/fsio.rs crates/sweep/src/journal.rs crates/sweep/src/pool.rs crates/sweep/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdim_sweep-ec65cb4215eaccdb.rmeta: crates/sweep/src/lib.rs crates/sweep/src/engine.rs crates/sweep/src/fsio.rs crates/sweep/src/journal.rs crates/sweep/src/pool.rs crates/sweep/src/spec.rs Cargo.toml
+
+crates/sweep/src/lib.rs:
+crates/sweep/src/engine.rs:
+crates/sweep/src/fsio.rs:
+crates/sweep/src/journal.rs:
+crates/sweep/src/pool.rs:
+crates/sweep/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -19,5 +19,5 @@ crates/workloads/src/kernels/stringsearch.rs:
 crates/workloads/src/kernels/susan.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=
 # env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_characterization-0414258f2b2803e4.d: crates/bench/src/bin/fig3_characterization.rs
+
+/root/repo/target/debug/deps/fig3_characterization-0414258f2b2803e4: crates/bench/src/bin/fig3_characterization.rs
+
+crates/bench/src/bin/fig3_characterization.rs:

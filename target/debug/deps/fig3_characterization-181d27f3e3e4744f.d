@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_characterization-181d27f3e3e4744f.d: crates/bench/src/bin/fig3_characterization.rs
+
+/root/repo/target/debug/deps/fig3_characterization-181d27f3e3e4744f: crates/bench/src/bin/fig3_characterization.rs
+
+crates/bench/src/bin/fig3_characterization.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_characterization-f00f867926dd7321.d: crates/bench/src/bin/fig3_characterization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_characterization-f00f867926dd7321.rmeta: crates/bench/src/bin/fig3_characterization.rs Cargo.toml
+
+crates/bench/src/bin/fig3_characterization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

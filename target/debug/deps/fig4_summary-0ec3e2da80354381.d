@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_summary-0ec3e2da80354381.d: crates/bench/src/bin/fig4_summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_summary-0ec3e2da80354381.rmeta: crates/bench/src/bin/fig4_summary.rs Cargo.toml
+
+crates/bench/src/bin/fig4_summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

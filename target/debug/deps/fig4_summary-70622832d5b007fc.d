@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_summary-70622832d5b007fc.d: crates/bench/src/bin/fig4_summary.rs
+
+/root/repo/target/debug/deps/fig4_summary-70622832d5b007fc: crates/bench/src/bin/fig4_summary.rs
+
+crates/bench/src/bin/fig4_summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_summary-af63c58c4d03bce3.d: crates/bench/src/bin/fig4_summary.rs
+
+/root/repo/target/debug/deps/fig4_summary-af63c58c4d03bce3: crates/bench/src/bin/fig4_summary.rs
+
+crates/bench/src/bin/fig4_summary.rs:

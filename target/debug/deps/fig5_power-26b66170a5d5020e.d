@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_power-26b66170a5d5020e.d: crates/bench/src/bin/fig5_power.rs
+
+/root/repo/target/debug/deps/fig5_power-26b66170a5d5020e: crates/bench/src/bin/fig5_power.rs
+
+crates/bench/src/bin/fig5_power.rs:

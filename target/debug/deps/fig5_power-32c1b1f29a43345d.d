@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_power-32c1b1f29a43345d.d: crates/bench/src/bin/fig5_power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_power-32c1b1f29a43345d.rmeta: crates/bench/src/bin/fig5_power.rs Cargo.toml
+
+crates/bench/src/bin/fig5_power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

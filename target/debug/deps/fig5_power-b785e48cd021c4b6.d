@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_power-b785e48cd021c4b6.d: crates/bench/src/bin/fig5_power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_power-b785e48cd021c4b6.rmeta: crates/bench/src/bin/fig5_power.rs Cargo.toml
+
+crates/bench/src/bin/fig5_power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_power-be9f12bb867eda71.d: crates/bench/src/bin/fig5_power.rs
+
+/root/repo/target/debug/deps/fig5_power-be9f12bb867eda71: crates/bench/src/bin/fig5_power.rs
+
+crates/bench/src/bin/fig5_power.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_energy-2d18bef6f5cb0c25.d: crates/bench/src/bin/fig6_energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_energy-2d18bef6f5cb0c25.rmeta: crates/bench/src/bin/fig6_energy.rs Cargo.toml
+
+crates/bench/src/bin/fig6_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_energy-546b3bb4c09594be.d: crates/bench/src/bin/fig6_energy.rs
+
+/root/repo/target/debug/deps/fig6_energy-546b3bb4c09594be: crates/bench/src/bin/fig6_energy.rs
+
+crates/bench/src/bin/fig6_energy.rs:

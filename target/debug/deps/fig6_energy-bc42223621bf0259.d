@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_energy-bc42223621bf0259.d: crates/bench/src/bin/fig6_energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_energy-bc42223621bf0259.rmeta: crates/bench/src/bin/fig6_energy.rs Cargo.toml
+
+crates/bench/src/bin/fig6_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_energy-bf6c323390505431.d: crates/bench/src/bin/fig6_energy.rs
+
+/root/repo/target/debug/deps/fig6_energy-bf6c323390505431: crates/bench/src/bin/fig6_energy.rs
+
+crates/bench/src/bin/fig6_energy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/probe_overhead-eb17b28116bf3fa7.d: crates/bench/benches/probe_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprobe_overhead-eb17b28116bf3fa7.rmeta: crates/bench/benches/probe_overhead.rs Cargo.toml
+
+crates/bench/benches/probe_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_tests-d5df247ffba6d4e0.d: crates/sweep/tests/sweep_tests.rs
+
+/root/repo/target/debug/deps/sweep_tests-d5df247ffba6d4e0: crates/sweep/tests/sweep_tests.rs
+
+crates/sweep/tests/sweep_tests.rs:

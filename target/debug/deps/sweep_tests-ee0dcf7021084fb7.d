@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep_tests-ee0dcf7021084fb7.d: crates/sweep/tests/sweep_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep_tests-ee0dcf7021084fb7.rmeta: crates/sweep/tests/sweep_tests.rs Cargo.toml
+
+crates/sweep/tests/sweep_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_speedup-47dd22a933bf9ba5.d: crates/bench/src/bin/table2_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_speedup-47dd22a933bf9ba5.rmeta: crates/bench/src/bin/table2_speedup.rs Cargo.toml
+
+crates/bench/src/bin/table2_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_speedup-9306027f7a1b1803.d: crates/bench/src/bin/table2_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_speedup-9306027f7a1b1803.rmeta: crates/bench/src/bin/table2_speedup.rs Cargo.toml
+
+crates/bench/src/bin/table2_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_speedup-96cd0d4ac8f6d6df.d: crates/bench/src/bin/table2_speedup.rs
+
+/root/repo/target/debug/deps/table2_speedup-96cd0d4ac8f6d6df: crates/bench/src/bin/table2_speedup.rs
+
+crates/bench/src/bin/table2_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_speedup-ca36f7c0111e90b1.d: crates/bench/src/bin/table2_speedup.rs
+
+/root/repo/target/debug/deps/table2_speedup-ca36f7c0111e90b1: crates/bench/src/bin/table2_speedup.rs
+
+crates/bench/src/bin/table2_speedup.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_area-2595750b71570271.d: crates/bench/src/bin/table3_area.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_area-2595750b71570271.rmeta: crates/bench/src/bin/table3_area.rs Cargo.toml
+
+crates/bench/src/bin/table3_area.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_area-6b95b302fa0174e9.d: crates/bench/src/bin/table3_area.rs
+
+/root/repo/target/debug/deps/table3_area-6b95b302fa0174e9: crates/bench/src/bin/table3_area.rs
+
+crates/bench/src/bin/table3_area.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_area-aa4d26df3efc5fc9.d: crates/bench/src/bin/table3_area.rs
+
+/root/repo/target/debug/deps/table3_area-aa4d26df3efc5fc9: crates/bench/src/bin/table3_area.rs
+
+crates/bench/src/bin/table3_area.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_area-fec98efa610b24b6.d: crates/bench/src/bin/table3_area.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_area-fec98efa610b24b6.rmeta: crates/bench/src/bin/table3_area.rs Cargo.toml
+
+crates/bench/src/bin/table3_area.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

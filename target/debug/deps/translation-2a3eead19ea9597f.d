@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/translation-2a3eead19ea9597f.d: crates/bench/benches/translation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtranslation-2a3eead19ea9597f.rmeta: crates/bench/benches/translation.rs Cargo.toml
+
+crates/bench/benches/translation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/warm_start-214b50399b0d0683.d: crates/core/tests/warm_start.rs
+
+/root/repo/target/debug/deps/warm_start-214b50399b0d0683: crates/core/tests/warm_start.rs
+
+crates/core/tests/warm_start.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/warm_start-c04d10850e78d2dc.d: crates/core/tests/warm_start.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwarm_start-c04d10850e78d2dc.rmeta: crates/core/tests/warm_start.rs Cargo.toml
+
+crates/core/tests/warm_start.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

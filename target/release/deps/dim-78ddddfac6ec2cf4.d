@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dim-78ddddfac6ec2cf4.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/dim-78ddddfac6ec2cf4: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/dim_cgra-06000bc79432bdc2.d: crates/cgra/src/lib.rs crates/cgra/src/config.rs crates/cgra/src/encoding.rs crates/cgra/src/exec.rs crates/cgra/src/render.rs crates/cgra/src/shape.rs crates/cgra/src/timing.rs
+/root/repo/target/release/deps/dim_cgra-06000bc79432bdc2.d: crates/cgra/src/lib.rs crates/cgra/src/config.rs crates/cgra/src/encoding.rs crates/cgra/src/exec.rs crates/cgra/src/render.rs crates/cgra/src/shape.rs crates/cgra/src/snapshot.rs crates/cgra/src/timing.rs
 
-/root/repo/target/release/deps/libdim_cgra-06000bc79432bdc2.rlib: crates/cgra/src/lib.rs crates/cgra/src/config.rs crates/cgra/src/encoding.rs crates/cgra/src/exec.rs crates/cgra/src/render.rs crates/cgra/src/shape.rs crates/cgra/src/timing.rs
+/root/repo/target/release/deps/libdim_cgra-06000bc79432bdc2.rlib: crates/cgra/src/lib.rs crates/cgra/src/config.rs crates/cgra/src/encoding.rs crates/cgra/src/exec.rs crates/cgra/src/render.rs crates/cgra/src/shape.rs crates/cgra/src/snapshot.rs crates/cgra/src/timing.rs
 
-/root/repo/target/release/deps/libdim_cgra-06000bc79432bdc2.rmeta: crates/cgra/src/lib.rs crates/cgra/src/config.rs crates/cgra/src/encoding.rs crates/cgra/src/exec.rs crates/cgra/src/render.rs crates/cgra/src/shape.rs crates/cgra/src/timing.rs
+/root/repo/target/release/deps/libdim_cgra-06000bc79432bdc2.rmeta: crates/cgra/src/lib.rs crates/cgra/src/config.rs crates/cgra/src/encoding.rs crates/cgra/src/exec.rs crates/cgra/src/render.rs crates/cgra/src/shape.rs crates/cgra/src/snapshot.rs crates/cgra/src/timing.rs
 
 crates/cgra/src/lib.rs:
 crates/cgra/src/config.rs:
@@ -10,4 +10,5 @@ crates/cgra/src/encoding.rs:
 crates/cgra/src/exec.rs:
 crates/cgra/src/render.rs:
 crates/cgra/src/shape.rs:
+crates/cgra/src/snapshot.rs:
 crates/cgra/src/timing.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/dim_cli-6383c2df804a3117.d: crates/cli/src/lib.rs crates/cli/src/debugger.rs
+
+/root/repo/target/release/deps/libdim_cli-6383c2df804a3117.rlib: crates/cli/src/lib.rs crates/cli/src/debugger.rs
+
+/root/repo/target/release/deps/libdim_cli-6383c2df804a3117.rmeta: crates/cli/src/lib.rs crates/cli/src/debugger.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/debugger.rs:

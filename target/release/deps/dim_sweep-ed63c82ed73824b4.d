@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dim_sweep-ed63c82ed73824b4.d: crates/sweep/src/lib.rs crates/sweep/src/engine.rs crates/sweep/src/fsio.rs crates/sweep/src/journal.rs crates/sweep/src/pool.rs crates/sweep/src/spec.rs
+
+/root/repo/target/release/deps/libdim_sweep-ed63c82ed73824b4.rlib: crates/sweep/src/lib.rs crates/sweep/src/engine.rs crates/sweep/src/fsio.rs crates/sweep/src/journal.rs crates/sweep/src/pool.rs crates/sweep/src/spec.rs
+
+/root/repo/target/release/deps/libdim_sweep-ed63c82ed73824b4.rmeta: crates/sweep/src/lib.rs crates/sweep/src/engine.rs crates/sweep/src/fsio.rs crates/sweep/src/journal.rs crates/sweep/src/pool.rs crates/sweep/src/spec.rs
+
+crates/sweep/src/lib.rs:
+crates/sweep/src/engine.rs:
+crates/sweep/src/fsio.rs:
+crates/sweep/src/journal.rs:
+crates/sweep/src/pool.rs:
+crates/sweep/src/spec.rs:
