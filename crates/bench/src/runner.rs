@@ -61,6 +61,32 @@ pub fn run_accelerated(
     Ok(AcceleratedRun { system, cycles })
 }
 
+/// Like [`run_accelerated`], but observed through an arbitrary
+/// [`Probe`](dim_obs::Probe) — the hook the perf harness uses to attach
+/// a `(CycleProfiler, MetricsRegistry)` fan-out to a single run.
+///
+/// # Errors
+///
+/// Propagates simulation/validation failures.
+pub fn run_instrumented<P: dim_obs::Probe>(
+    built: &BuiltBenchmark,
+    config: SystemConfig,
+    probe: &mut P,
+) -> Result<AcceleratedRun, WorkloadError> {
+    let mut system = System::new(Machine::load(&built.program), config);
+    match system.run_probed(built.max_steps, probe)? {
+        HaltReason::StepLimit => {
+            return Err(WorkloadError::Timeout {
+                max_steps: built.max_steps,
+            })
+        }
+        HaltReason::Exit(_) => {}
+    }
+    validate(system.machine(), built)?;
+    let cycles = system.total_cycles();
+    Ok(AcceleratedRun { system, cycles })
+}
+
 /// A validated accelerated run plus its per-block cycle attribution.
 #[derive(Debug)]
 pub struct ProfiledRun {

@@ -75,6 +75,18 @@ commands:
                                      expand a sweep spec and run the grid on a
                                      work-stealing pool (resumable; see
                                      docs/sweeps.md for the spec format)
+  perf   record --out <f.json> [--name N] [--workloads a,b,c] [--scale S]
+                [--shape 1|2|3] [--slots N] [--no-spec] [--reps N]
+                [--bench-out <dir>]
+                                     run the workload matrix and write a
+                                     versioned performance baseline
+  perf   compare <base> <current> [--json]
+                                     diff two baselines metric by metric with
+                                     a cycle-attribution waterfall
+  perf   gate --baseline <f.json> [--current <f.json>]
+              [--tolerance-spec <f.toml>] [--json]
+                                     re-record (or load --current) and fail on
+                                     regressions beyond per-metric tolerances
   debug  <file> [--script <cmds>]    scriptable debugger (stdin by default)
   help                               show this text
 
@@ -732,6 +744,180 @@ fn cmd_compare(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     Ok(())
 }
 
+fn perf_read_baseline(path: &str) -> Result<dim_perf::Baseline, CliError> {
+    let text = std::fs::read_to_string(Path::new(path))
+        .map_err(|e| CliError::new(format!("{path}: {e}")))?;
+    dim_perf::Baseline::parse(&text).map_err(|e| CliError::new(format!("{path}: {e}")))
+}
+
+fn cmd_perf_record(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    use dim_perf::{bench_perf_json, record, RecordOptions};
+    check_flags(
+        "perf record",
+        args,
+        &[
+            "--out",
+            "--name",
+            "--workloads",
+            "--scale",
+            "--shape",
+            "--slots",
+            "--reps",
+            "--bench-out",
+        ],
+        &["--no-spec"],
+        0,
+    )?;
+    let out_path = parse_flag_value(args, "--out")?
+        .ok_or_else(|| CliError::new("perf record: --out <file> is required"))?;
+    let workloads: Vec<String> = match parse_flag_value(args, "--workloads")? {
+        Some(list) => list.split(',').map(|s| s.trim().to_string()).collect(),
+        None => dim_workloads::suite()
+            .iter()
+            .map(|s| s.name.to_string())
+            .collect(),
+    };
+    let opts = RecordOptions {
+        name: parse_flag_value(args, "--name")?.unwrap_or("local").into(),
+        workloads,
+        scale: parse_flag_value(args, "--scale")?.unwrap_or("tiny").into(),
+        shape: parse_flag_value(args, "--shape")?
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| CliError::new("--shape: not a number"))
+            })
+            .transpose()?
+            .unwrap_or(2),
+        cache_slots: parse_flag_value(args, "--slots")?
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| CliError::new("--slots: not a number"))
+            })
+            .transpose()?
+            .unwrap_or(64),
+        speculation: !args.iter().any(|a| a == "--no-spec"),
+        host_reps: parse_flag_value(args, "--reps")?
+            .map(|v| v.parse().map_err(|_| CliError::new("--reps: not a number")))
+            .transpose()?
+            .unwrap_or(3),
+    };
+    let baseline = record(&opts).map_err(|e| CliError::new(e.to_string()))?;
+    if let Some(parent) = Path::new(out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| CliError::new(format!("--out {out_path}: {e}")))?;
+        }
+    }
+    std::fs::write(out_path, baseline.to_json())
+        .map_err(|e| CliError::new(format!("--out {out_path}: {e}")))?;
+    for w in &baseline.workloads {
+        writeln!(
+            out,
+            "{:16} {:>10} cycles ({:.2}x), wall {:.3} ms, {:.1} sim-MIPS",
+            w.name,
+            w.accel_cycles,
+            w.speedup,
+            w.host.wall_nanos_min as f64 / 1e6,
+            w.host.sim_mips
+        )?;
+    }
+    writeln!(
+        out,
+        "baseline `{}`: {} workload(s) -> {out_path}",
+        baseline.name,
+        baseline.workloads.len()
+    )?;
+    if let Some(dir) = parse_flag_value(args, "--bench-out")? {
+        let dir = Path::new(dir);
+        std::fs::create_dir_all(dir).map_err(|e| CliError::new(format!("--bench-out: {e}")))?;
+        let path = dir.join("BENCH_perf.json");
+        std::fs::write(&path, bench_perf_json(&baseline))
+            .map_err(|e| CliError::new(format!("{}: {e}", path.display())))?;
+        writeln!(out, "wrote {}", path.display())?;
+    }
+    Ok(())
+}
+
+fn cmd_perf_compare(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    check_flags("perf compare", args, &[], &["--json"], 2)?;
+    let mut files = args.iter().filter(|a| !a.starts_with('-'));
+    let (base_path, cur_path) = match (files.next(), files.next()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Err(CliError::new(
+                "perf compare: expected two baseline files (base, current)",
+            ))
+        }
+    };
+    let base = perf_read_baseline(base_path)?;
+    let cur = perf_read_baseline(cur_path)?;
+    let cmp = dim_perf::compare(&base, &cur);
+    if args.iter().any(|a| a == "--json") {
+        writeln!(out, "{}", cmp.to_json())?;
+    } else {
+        write!(out, "{}", cmp.render())?;
+    }
+    Ok(())
+}
+
+fn cmd_perf_gate(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    use dim_perf::{gate, record, RecordOptions, ToleranceSpec};
+    check_flags(
+        "perf gate",
+        args,
+        &["--baseline", "--current", "--tolerance-spec"],
+        &["--json"],
+        0,
+    )?;
+    let base_path = parse_flag_value(args, "--baseline")?
+        .ok_or_else(|| CliError::new("perf gate: --baseline <file> is required"))?;
+    let base = perf_read_baseline(base_path)?;
+    let spec = match parse_flag_value(args, "--tolerance-spec")? {
+        Some(path) => {
+            let text = std::fs::read_to_string(Path::new(path))
+                .map_err(|e| CliError::new(format!("{path}: {e}")))?;
+            ToleranceSpec::parse(&text).map_err(|e| CliError::new(format!("{path}: {e}")))?
+        }
+        None => ToleranceSpec::strict(),
+    };
+    let cur = match parse_flag_value(args, "--current")? {
+        Some(path) => perf_read_baseline(path)?,
+        None => {
+            // Re-record under exactly the parameters the reference was
+            // captured with, so the matrices are guaranteed to match.
+            let opts = RecordOptions::from_matrix("current", &base.matrix);
+            record(&opts).map_err(|e| CliError::new(e.to_string()))?
+        }
+    };
+    let outcome = gate(&base, &cur, &spec);
+    if args.iter().any(|a| a == "--json") {
+        writeln!(out, "{}", outcome.to_json())?;
+    } else {
+        write!(out, "{}", outcome.render())?;
+    }
+    if !outcome.ok() {
+        return Err(CliError::new(format!(
+            "perf gate: {} regression(s) beyond tolerance (baseline {base_path})",
+            outcome.violations.len()
+        )));
+    }
+    Ok(())
+}
+
+fn cmd_perf(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    match args.first().map(String::as_str) {
+        Some("record") => cmd_perf_record(&args[1..], out),
+        Some("compare") => cmd_perf_compare(&args[1..], out),
+        Some("gate") => cmd_perf_gate(&args[1..], out),
+        Some(other) => Err(CliError::new(format!(
+            "perf: unknown subcommand `{other}` (expected record, compare or gate)"
+        ))),
+        None => Err(CliError::new(
+            "perf: missing subcommand (expected record, compare or gate)",
+        )),
+    }
+}
+
 fn cmd_debug(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     let input = args
         .first()
@@ -765,6 +951,7 @@ pub fn dispatch(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         Some("trace") => cmd_trace(&args[1..], out),
         Some("suite") => cmd_suite(&args[1..], out),
         Some("sweep") => cmd_sweep(&args[1..], out),
+        Some("perf") => cmd_perf(&args[1..], out),
         Some("debug") => cmd_debug(&args[1..], out),
         Some("compare") => cmd_compare(&args[1..], out),
         Some("help") | None => {
@@ -1037,6 +1224,112 @@ mod tests {
         assert!(report.contains("identical: true"), "{report}");
         assert!(base.join("BENCH_sweep.json").exists());
         std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn perf_record_compare_gate_roundtrip() {
+        let dir = std::env::temp_dir().join("dim-cli-tests/t18-perf");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let base_path = base.to_str().unwrap();
+
+        let report = run_cli(&[
+            "perf",
+            "record",
+            "--out",
+            base_path,
+            "--workloads",
+            "crc32,sha",
+            "--shape",
+            "1",
+            "--reps",
+            "1",
+            "--bench-out",
+            dir.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(
+            report.contains("baseline `local`: 2 workload(s)"),
+            "{report}"
+        );
+        assert!(dir.join("BENCH_perf.json").exists());
+
+        // Gate re-records under the stored matrix; the simulator is
+        // deterministic, so the strict default passes.
+        let gated = run_cli(&["perf", "gate", "--baseline", base_path]).unwrap();
+        assert!(gated.contains("gate PASSED"), "{gated}");
+
+        // Comparing the baseline against itself shows no movement.
+        let cmp = run_cli(&["perf", "compare", base_path, base_path]).unwrap();
+        assert!(cmp.contains("crc32"), "{cmp}");
+        let json = run_cli(&["perf", "compare", base_path, base_path, "--json"]).unwrap();
+        assert!(json.trim_start().starts_with('{'), "{json}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn perf_gate_fails_on_doctored_baseline() {
+        let dir = std::env::temp_dir().join("dim-cli-tests/t19-perf");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let base_path = base.to_str().unwrap();
+        run_cli(&[
+            "perf",
+            "record",
+            "--out",
+            base_path,
+            "--workloads",
+            "crc32",
+            "--shape",
+            "1",
+            "--reps",
+            "1",
+        ])
+        .unwrap();
+
+        // Hand-inject a simulated-cycle regression into a copy, keeping
+        // the attribution invariant intact, and gate the copy as current.
+        let mut doctored =
+            dim_perf::Baseline::parse(&std::fs::read_to_string(&base).unwrap()).unwrap();
+        let w = &mut doctored.workloads[0];
+        let extra = w.accel_cycles / 10 + 1;
+        w.accel_cycles += extra;
+        w.attribution.pipeline += extra;
+        w.speedup = w.scalar_cycles as f64 / w.accel_cycles as f64;
+        let cur = dir.join("cur.json");
+        std::fs::write(&cur, doctored.to_json()).unwrap();
+
+        let err = run_cli(&[
+            "perf",
+            "gate",
+            "--baseline",
+            base_path,
+            "--current",
+            cur.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("regression"), "{err}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn perf_rejects_bad_usage() {
+        let err = run_cli(&["perf"]).unwrap_err();
+        assert!(err.to_string().contains("missing subcommand"), "{err}");
+        let err = run_cli(&["perf", "frobnicate"]).unwrap_err();
+        assert!(err.to_string().contains("unknown subcommand"), "{err}");
+        let err = run_cli(&["perf", "record"]).unwrap_err();
+        assert!(err.to_string().contains("--out"), "{err}");
+        let err = run_cli(&["perf", "gate"]).unwrap_err();
+        assert!(err.to_string().contains("--baseline"), "{err}");
+        let err = run_cli(&["perf", "compare", "only-one.json"]).unwrap_err();
+        assert!(err.to_string().contains("two baseline files"), "{err}");
+        let err = run_cli(&["perf", "record", "--out", "/tmp/x.json", "--rep", "1"]).unwrap_err();
+        assert!(err.to_string().contains("unknown flag"), "{err}");
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub use predictor::{BimodalPredictor, Counter};
 pub use rcache::{ReconfCache, ReplacementPolicy};
 pub use report::RunReport;
 pub use snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
-pub use stats::DimStats;
+pub use stats::{CycleBreakdown, DimStats};
 pub use system::{System, SystemConfig};
 pub use tables::{live_in_sources, DependenceTable};
 pub use trace::{Trace, TraceEvent};

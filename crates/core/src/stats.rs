@@ -102,6 +102,55 @@ impl DimStats {
     }
 }
 
+/// Exact per-phase decomposition of a run's total cycle count.
+///
+/// The six categories match the attribution model of
+/// `dim_obs::AttributionKind`: three pipeline-side spans (base issue
+/// cycles, instruction-cache stalls, data-cache stalls) and three
+/// array-side spans (reconfiguration stalls, row execution, write-back
+/// tail). [`total`](CycleBreakdown::total) equals
+/// [`System::total_cycles`](crate::System::total_cycles) exactly — the
+/// breakdown is computed from the same counters, not sampled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleBreakdown {
+    /// Pipeline issue + structural penalty cycles.
+    pub pipeline: u64,
+    /// Instruction-cache stall cycles.
+    pub i_stall: u64,
+    /// Data-cache stall cycles on the pipeline side.
+    pub d_stall: u64,
+    /// Reconfiguration stall cycles before array invocations.
+    pub reconfig_stall: u64,
+    /// Array row-execution cycles.
+    pub array_exec: u64,
+    /// Write-back tail cycles not overlapped with execution.
+    pub writeback_tail: u64,
+}
+
+impl CycleBreakdown {
+    /// Sum over all six categories.
+    pub fn total(&self) -> u64 {
+        self.pipeline
+            + self.i_stall
+            + self.d_stall
+            + self.reconfig_stall
+            + self.array_exec
+            + self.writeback_tail
+    }
+
+    /// `(stable name, cycles)` pairs in rendering order.
+    pub fn named(&self) -> [(&'static str, u64); 6] {
+        [
+            ("pipeline", self.pipeline),
+            ("i_stall", self.i_stall),
+            ("d_stall", self.d_stall),
+            ("reconfig_stall", self.reconfig_stall),
+            ("array_exec", self.array_exec),
+            ("writeback_tail", self.writeback_tail),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,7 +9,7 @@
 //! while the DIM hardware translates it in parallel.
 
 use crate::{
-    BimodalPredictor, DimStats, ReconfCache, ReplacementPolicy, Trace, Translator,
+    BimodalPredictor, CycleBreakdown, DimStats, ReconfCache, ReplacementPolicy, Trace, Translator,
     TranslatorOptions,
 };
 use dim_cgra::{ArrayShape, ArrayTiming, Configuration, EncodingParams};
@@ -189,6 +189,21 @@ impl System {
     /// Total retired instructions (pipeline + array).
     pub fn total_instructions(&self) -> u64 {
         self.machine.stats.instructions + self.stats.array_instructions
+    }
+
+    /// Exact per-phase cycle attribution of the run so far. The
+    /// breakdown's total equals [`total_cycles`](System::total_cycles)
+    /// by construction; `dim perf` cross-checks it against the
+    /// probe-derived profile to catch accounting drift.
+    pub fn cycle_breakdown(&self) -> CycleBreakdown {
+        CycleBreakdown {
+            pipeline: self.machine.stats.base_cycles(),
+            i_stall: self.machine.stats.i_stall_cycles,
+            d_stall: self.machine.stats.d_stall_cycles,
+            reconfig_stall: self.stats.reconfig_stall_cycles,
+            array_exec: self.stats.array_exec_cycles,
+            writeback_tail: self.stats.writeback_tail_cycles,
+        }
     }
 
     /// Runs until the program halts or `max_instructions` have retired.

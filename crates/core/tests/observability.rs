@@ -176,6 +176,20 @@ proptest! {
         prop_assert_eq!(profile.totals.array_exec, astats.array_exec_cycles);
         prop_assert_eq!(profile.totals.writeback_tail, astats.writeback_tail_cycles);
         prop_assert_eq!(profile.totals.retired, mstats.instructions);
+
+        // The counter-derived breakdown agrees with the profiler column
+        // for column — same attribution model, two independent sources.
+        let breakdown = system.cycle_breakdown();
+        prop_assert_eq!(breakdown.total(), system.total_cycles());
+        prop_assert_eq!(breakdown.pipeline, profile.totals.pipeline);
+        prop_assert_eq!(breakdown.i_stall, profile.totals.i_stall);
+        prop_assert_eq!(breakdown.d_stall, profile.totals.d_stall);
+        prop_assert_eq!(breakdown.reconfig_stall, profile.totals.reconfig_stall);
+        prop_assert_eq!(breakdown.array_exec, profile.totals.array_exec);
+        prop_assert_eq!(breakdown.writeback_tail, profile.totals.writeback_tail);
+        if with_caches {
+            prop_assert!(breakdown.i_stall + breakdown.d_stall > 0);
+        }
     }
 }
 

@@ -188,11 +188,13 @@ impl Machine {
         if let Some(ic) = &mut self.icache {
             i_stall = ic.access(info.pc);
             self.stats.cycles += i_stall;
+            self.stats.i_stall_cycles += i_stall;
         }
         let mut d_stall = 0;
         if let (Some(dc), Some(addr)) = (&mut self.dcache, info.mem_addr) {
             d_stall = dc.access(addr);
             self.stats.cycles += d_stall;
+            self.stats.d_stall_cycles += d_stall;
         }
         self.last_load_dest = match inst {
             Instruction::Load { rt, .. } => Some(rt),

@@ -31,6 +31,12 @@ pub struct RunStats {
     pub syscalls: u64,
     /// Load-use interlock stalls.
     pub load_use_stalls: u64,
+    /// Instruction-cache stall cycles (0 without an attached i-cache).
+    /// Included in `cycles`, broken out for cycle attribution.
+    pub i_stall_cycles: u64,
+    /// Data-cache stall cycles (0 without an attached d-cache).
+    /// Included in `cycles`, broken out for cycle attribution.
+    pub d_stall_cycles: u64,
 }
 
 impl RunStats {
@@ -96,6 +102,8 @@ impl RunStats {
         acc(&mut self.divs, other.divs);
         acc(&mut self.syscalls, other.syscalls);
         acc(&mut self.load_use_stalls, other.load_use_stalls);
+        acc(&mut self.i_stall_cycles, other.i_stall_cycles);
+        acc(&mut self.d_stall_cycles, other.d_stall_cycles);
     }
 
     /// Data-memory accesses (loads + stores).
@@ -116,6 +124,12 @@ impl RunStats {
         } else {
             self.instructions as f64 / self.control_transfers() as f64
         }
+    }
+
+    /// Pipeline cycles excluding cache stalls (issue + structural
+    /// penalties) — the `pipeline` column of the attribution model.
+    pub fn base_cycles(&self) -> u64 {
+        self.cycles - self.i_stall_cycles - self.d_stall_cycles
     }
 
     /// Instructions per cycle on the baseline pipeline.
@@ -166,6 +180,18 @@ mod tests {
         assert_eq!(s.load_use_stalls, 1);
         assert_eq!(s.mem_accesses(), 1);
         assert!((s.instructions_per_branch() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn base_cycles_excludes_cache_stalls() {
+        let s = RunStats {
+            cycles: 20,
+            i_stall_cycles: 3,
+            d_stall_cycles: 5,
+            ..RunStats::new()
+        };
+        assert_eq!(s.base_cycles(), 12);
+        assert_eq!(RunStats::new().base_cycles(), 0);
     }
 
     #[test]

@@ -7,7 +7,15 @@
 /// carries a *greater* major version than they understand; fields may be
 /// *added* to events within a version, so consumers must ignore unknown
 /// fields.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// History:
+/// - **1** — initial vocabulary (header, retire_batch, translator,
+///   rcache, array_invoke, footer).
+/// - **2** — adds sink-emitted `telemetry` records (periodic
+///   host-progress samples). Telemetry records are not probe events and
+///   do not count toward the footer's `events` total; readers must
+///   reject them in a trace whose header declares version 1.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Coarse classification of a retired pipeline instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

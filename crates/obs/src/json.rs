@@ -53,6 +53,24 @@ impl JsonValue {
         }
     }
 
+    /// This value as an `f64` (integers convert losslessly enough for
+    /// metric ratios; non-numbers are `None`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Int(i) => Some(*i as f64),
+            JsonValue::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// This value as an array slice.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
     /// This value as a bool.
     pub fn as_bool(&self) -> Option<bool> {
         match self {

@@ -35,7 +35,7 @@ mod profile;
 pub mod replay;
 
 pub use event::{ArrayInvoke, ProbeEvent, RetireKind, SCHEMA_VERSION};
-pub use json::{parse as parse_json, JsonValue, ObjectWriter};
+pub use json::{parse as parse_json, write_escaped, JsonValue, ObjectWriter};
 pub use jsonl::JsonlSink;
 pub use metrics::{IntervalSnapshot, LogHistogram, MetricsRegistry};
 pub use probe::{NullProbe, Probe, RecordingProbe};

@@ -69,6 +69,25 @@ impl LogHistogram {
         self.max = self.max.max(value);
     }
 
+    /// Merges another histogram's samples into this one.
+    ///
+    /// Equivalent to having recorded every one of `other`'s samples
+    /// here: buckets add pairwise, count/sum accumulate (sum saturates,
+    /// like [`record`](LogHistogram::record)), min/max widen. Merging an
+    /// empty histogram is a no-op and leaves min/max untouched.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (b, &n) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(n);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Number of samples.
     pub fn count(&self) -> u64 {
         self.count
@@ -378,6 +397,40 @@ impl MetricsRegistry {
         o.finish()
     }
 
+    /// Accumulates another registry's totals into this one (saturating),
+    /// for aggregating per-run registries into a suite-wide report.
+    ///
+    /// Scalar counters add saturatingly and histograms merge sample for
+    /// sample. Interval snapshots and reuse-distance tracking state are
+    /// per-run timelines and are deliberately *not* merged — the merged
+    /// registry keeps only its own.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        fn acc(total: &mut u64, add: u64) {
+            *total = total.saturating_add(add);
+        }
+        acc(&mut self.retired, other.retired);
+        acc(&mut self.pipeline_base_cycles, other.pipeline_base_cycles);
+        acc(&mut self.i_stall_cycles, other.i_stall_cycles);
+        acc(&mut self.d_stall_cycles, other.d_stall_cycles);
+        acc(&mut self.trans_begins, other.trans_begins);
+        acc(&mut self.trans_commits, other.trans_commits);
+        acc(&mut self.trans_partials, other.trans_partials);
+        acc(&mut self.rcache_hits, other.rcache_hits);
+        acc(&mut self.rcache_misses, other.rcache_misses);
+        acc(&mut self.rcache_inserts, other.rcache_inserts);
+        acc(&mut self.rcache_evictions, other.rcache_evictions);
+        acc(&mut self.rcache_flushes, other.rcache_flushes);
+        acc(&mut self.invocations, other.invocations);
+        acc(&mut self.misspeculations, other.misspeculations);
+        acc(&mut self.array_cycles, other.array_cycles);
+        acc(&mut self.cycles_seen, other.cycles_seen);
+        self.config_coverage.merge(&other.config_coverage);
+        self.spec_depth.merge(&other.spec_depth);
+        self.rcache_reuse_distance
+            .merge(&other.rcache_reuse_distance);
+        self.invocation_cycles.merge(&other.invocation_cycles);
+    }
+
     fn note_lookup(&mut self, pc: u32, hit: bool) {
         self.lookup_serial += 1;
         if hit {
@@ -547,6 +600,100 @@ mod tests {
         assert_eq!(m.snapshots.len(), 5);
         assert_eq!(m.snapshots[4].end_cycle, 47);
         assert_eq!(m.snapshots.iter().map(|s| s.retired).sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn histogram_merge_matches_sequential_recording_at_bucket_edges() {
+        // Samples sitting exactly on power-of-two bucket boundaries —
+        // the off-by-one-prone cases (0, 1, 2^k, 2^k - 1, u64::MAX).
+        let edges_a = [0u64, 1, 2, 3, 4];
+        let edges_b = [7u64, 8, (1 << 32) - 1, 1 << 32, u64::MAX];
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut reference = LogHistogram::new();
+        for v in edges_a {
+            a.record(v);
+            reference.record(v);
+        }
+        for v in edges_b {
+            b.record(v);
+            reference.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, reference);
+        assert_eq!(a.buckets()[0], 1); // the lone zero
+        assert_eq!(a.buckets()[64], 1); // u64::MAX keeps the top bucket
+        assert_eq!(a.min(), 0);
+        assert_eq!(a.max(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_merge_with_empty_is_identity() {
+        let mut h = LogHistogram::new();
+        h.record(5);
+        let before = h.clone();
+        h.merge(&LogHistogram::new()); // empty rhs: no-op, min untouched
+        assert_eq!(h, before);
+        let mut empty = LogHistogram::new();
+        empty.merge(&before); // empty lhs: becomes rhs
+        assert_eq!(empty, before);
+        let mut both = LogHistogram::new();
+        both.merge(&LogHistogram::new());
+        assert_eq!(both.count(), 0);
+        assert_eq!(both.min(), 0); // still reports 0, not the MAX sentinel
+    }
+
+    #[test]
+    fn registry_merge_saturates_counters() {
+        let mut a = MetricsRegistry::new();
+        a.retired = u64::MAX - 1;
+        a.invocations = 3;
+        let mut b = MetricsRegistry::new();
+        b.retired = 5;
+        b.invocations = 4;
+        b.config_coverage.record(7);
+        b.snapshots.push(IntervalSnapshot::default());
+        a.merge(&b);
+        assert_eq!(a.retired, u64::MAX); // saturated, not wrapped
+        assert_eq!(a.invocations, 7);
+        assert_eq!(a.config_coverage.count(), 1);
+        assert!(a.snapshots.is_empty()); // per-run timelines stay put
+    }
+
+    #[test]
+    fn histogram_merge_saturates_sum() {
+        let mut a = LogHistogram::new();
+        a.record(u64::MAX);
+        let mut b = LogHistogram::new();
+        b.record(u64::MAX);
+        a.merge(&b);
+        assert_eq!(a.sum(), u64::MAX);
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn empty_snapshot_and_registry_serialize_roundtrip() {
+        let snap_json = IntervalSnapshot::default().to_json();
+        let v = crate::json::parse(&snap_json).unwrap();
+        for key in [
+            "index",
+            "start_cycle",
+            "end_cycle",
+            "retired",
+            "invocations",
+            "rcache_hits",
+            "rcache_misses",
+            "misspeculations",
+        ] {
+            assert_eq!(v.get(key).and_then(|f| f.as_u64()), Some(0), "{key}");
+        }
+
+        let reg_json = MetricsRegistry::new().to_json();
+        let v = crate::json::parse(&reg_json).unwrap();
+        assert_eq!(v.get("retired").and_then(|f| f.as_u64()), Some(0));
+        let cov = v.get("config_coverage").unwrap();
+        assert_eq!(cov.get("count").and_then(|f| f.as_u64()), Some(0));
+        assert_eq!(cov.get("min").and_then(|f| f.as_u64()), Some(0));
     }
 
     #[test]

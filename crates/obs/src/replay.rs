@@ -6,7 +6,9 @@
 //! line must be well-formed JSON of a known record type, and the
 //! `footer` (when present) must agree with the observed event count.
 //! Unknown *fields* inside a known record are ignored, per the schema
-//! compatibility policy.
+//! compatibility policy. Version-1 traces remain readable; `telemetry`
+//! records (added in version 2) are accepted only when the header
+//! declares version 2 or newer, and never count as events.
 //!
 //! The returned [`TraceSummary`] reconstructs every accelerator-side
 //! counter from the events alone — the round-trip test in `dim-core`
@@ -70,6 +72,22 @@ pub enum TraceRecord {
     },
     /// Any non-batched event.
     Event(ProbeEvent),
+    /// A sink-emitted host-progress sample (schema version 2).
+    ///
+    /// Not a probe event: excluded from the footer's `events` total and
+    /// rejected when the header declares schema version 1.
+    Telemetry {
+        /// Zero-based sample index.
+        seq: u64,
+        /// Cumulative simulated cycles at the sample point.
+        sim_cycles: u64,
+        /// Cumulative retired instructions at the sample point.
+        retired: u64,
+        /// Cumulative probe events at the sample point.
+        events: u64,
+        /// Host wall-clock nanoseconds since the sink was created.
+        host_nanos: u64,
+    },
     /// The trailing integrity record.
     Footer {
         /// Total events the sink observed.
@@ -283,6 +301,13 @@ pub fn parse_record(text: &str, line: usize) -> Result<TraceRecord, ReplayError>
                 tail_cycles: get_u32(&v, "tail_cycles", line)?,
             }))
         }
+        "telemetry" => TraceRecord::Telemetry {
+            seq: get_u64(&v, "seq", line)?,
+            sim_cycles: get_u64(&v, "sim_cycles", line)?,
+            retired: get_u64(&v, "retired", line)?,
+            events: get_u64(&v, "events", line)?,
+            host_nanos: get_u64(&v, "host_nanos", line)?,
+        },
         "footer" => TraceRecord::Footer {
             events: get_u64(&v, "events", line)?,
         },
@@ -319,6 +344,7 @@ pub fn read_trace(text: &str) -> Result<ReplayedTrace, ReplayError> {
     let mut events: u64 = 0;
     let mut footer: Option<u64> = None;
     let mut flushed_invocations: u64 = 0;
+    let mut last_telemetry_cycles: Option<u64> = None;
 
     for (idx, line) in lines {
         let lineno = idx + 1;
@@ -329,6 +355,26 @@ pub fn read_trace(text: &str) -> Result<ReplayedTrace, ReplayError> {
         match &record {
             TraceRecord::Header(_) => return Err(err(lineno, "duplicate header")),
             TraceRecord::Footer { events: n } => footer = Some(*n),
+            TraceRecord::Telemetry { sim_cycles, .. } => {
+                // Telemetry arrived with schema version 2; a v1 header
+                // promises a vocabulary that does not contain it.
+                if header.schema_version < 2 {
+                    return Err(err(
+                        lineno,
+                        format!(
+                            "telemetry record in a schema version {} trace \
+                             (requires version 2)",
+                            header.schema_version
+                        ),
+                    ));
+                }
+                if let Some(prev) = last_telemetry_cycles {
+                    if *sim_cycles < prev {
+                        return Err(err(lineno, "telemetry sim_cycles went backwards"));
+                    }
+                }
+                last_telemetry_cycles = Some(*sim_cycles);
+            }
             TraceRecord::RetireBatch {
                 count,
                 base_cycles,
@@ -480,6 +526,64 @@ mod tests {
         assert_eq!(s.array_instructions, 7);
         assert_eq!(s.full_hits, 1);
         assert_eq!(s.total_cycles(), 13 + 7);
+    }
+
+    #[test]
+    fn telemetry_roundtrips_in_v2_traces() {
+        let mut sink = JsonlSink::new(Vec::new(), "t", 0);
+        sink.set_telemetry_interval(1);
+        sink.emit(ProbeEvent::RcacheHit { pc: 4 });
+        let (bytes, e) = sink.into_inner();
+        assert!(e.is_none());
+        let trace = read_trace(&String::from_utf8(bytes).unwrap()).unwrap();
+        assert_eq!(trace.header.schema_version, 2);
+        assert_eq!(trace.summary.rcache_hits, 1);
+        let telemetry: Vec<_> = trace
+            .records
+            .iter()
+            .filter(|r| matches!(r, TraceRecord::Telemetry { .. }))
+            .collect();
+        assert_eq!(telemetry.len(), 1); // the final finish() sample
+        match telemetry[0] {
+            TraceRecord::Telemetry {
+                events, retired, ..
+            } => {
+                assert_eq!(*events, 1);
+                assert_eq!(*retired, 0);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn reads_v1_traces_without_telemetry() {
+        // A trace written by the previous schema version stays readable.
+        let v1 = r#"{"type":"header","schema_version":1,"workload":"old","bits_per_config":64}
+{"type":"rcache_hit","pc":4}
+{"type":"footer","events":1}"#;
+        let trace = read_trace(v1).unwrap();
+        assert_eq!(trace.header.schema_version, 1);
+        assert_eq!(trace.summary.rcache_hits, 1);
+    }
+
+    #[test]
+    fn rejects_telemetry_in_v1_trace() {
+        let bad = r#"{"type":"header","schema_version":1,"workload":"old","bits_per_config":64}
+{"type":"telemetry","seq":0,"sim_cycles":10,"retired":2,"events":2,"host_nanos":100}
+{"type":"footer","events":0}"#;
+        let e = read_trace(bad).unwrap_err();
+        assert!(e.message.contains("requires version 2"), "{e}");
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn rejects_backwards_telemetry() {
+        let bad = r#"{"type":"header","schema_version":2,"workload":"x","bits_per_config":0}
+{"type":"telemetry","seq":0,"sim_cycles":10,"retired":0,"events":0,"host_nanos":1}
+{"type":"telemetry","seq":1,"sim_cycles":5,"retired":0,"events":0,"host_nanos":2}
+{"type":"footer","events":0}"#;
+        let e = read_trace(bad).unwrap_err();
+        assert!(e.message.contains("backwards"), "{e}");
     }
 
     #[test]

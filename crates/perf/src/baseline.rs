@@ -1,0 +1,414 @@
+//! The versioned on-disk baseline format.
+//!
+//! A baseline is one JSON object: schema version, a human-chosen name,
+//! the exact record matrix it was captured with (so a gate can re-record
+//! under identical parameters), and one record per workload. Parsing
+//! validates the schema invariants — most importantly that every
+//! workload's six attribution columns sum *exactly* to its accelerated
+//! cycle total.
+
+use crate::PerfError;
+use dim_core::CycleBreakdown;
+use dim_obs::{parse_json, JsonValue, ObjectWriter};
+
+/// Version of the baseline file format.
+///
+/// Compatibility policy matches the trace schema: readers reject files
+/// declaring a newer version and ignore unknown fields within a known
+/// version.
+pub const BASELINE_SCHEMA_VERSION: u32 = 1;
+
+/// Reconfiguration-cache behaviour during the accelerated run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RcacheCounters {
+    /// Lookups that found a cached configuration.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Configurations inserted.
+    pub inserts: u64,
+    /// Insertions that displaced an entry.
+    pub evictions: u64,
+    /// Configurations flushed after repeated misspeculation.
+    pub flushes: u64,
+}
+
+/// Host-side (non-deterministic) measurements for one workload.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HostTelemetry {
+    /// Fastest accelerated run over [`reps`](HostTelemetry::reps)
+    /// repetitions, in nanoseconds — min-of-N filters scheduler noise.
+    pub wall_nanos_min: u64,
+    /// Mean wall time over the repetitions, in nanoseconds.
+    pub wall_nanos_mean: f64,
+    /// Repetitions measured.
+    pub reps: u32,
+    /// Millions of simulated instructions retired per host second,
+    /// computed from the fastest repetition.
+    pub sim_mips: f64,
+    /// Peak resident set size of the recording process in bytes
+    /// (0 when the platform does not expose it).
+    pub peak_rss_bytes: u64,
+}
+
+/// Everything recorded about one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadRecord {
+    /// Workload name from the suite.
+    pub name: String,
+    /// Cycles on the plain scalar pipeline.
+    pub scalar_cycles: u64,
+    /// Total simulated cycles on the accelerated system.
+    pub accel_cycles: u64,
+    /// `scalar_cycles / accel_cycles`.
+    pub speedup: f64,
+    /// Pipeline instructions retired during the accelerated run.
+    pub retired: u64,
+    /// Array invocations during the accelerated run.
+    pub array_invocations: u64,
+    /// Exact per-phase attribution; sums to
+    /// [`accel_cycles`](WorkloadRecord::accel_cycles).
+    pub attribution: CycleBreakdown,
+    /// Reconfiguration-cache counters.
+    pub rcache: RcacheCounters,
+    /// Host telemetry.
+    pub host: HostTelemetry,
+}
+
+/// The workload matrix a baseline was recorded under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordMatrix {
+    /// Workload names, in recording order.
+    pub workloads: Vec<String>,
+    /// Input scale: `tiny`, `small`, or `full`.
+    pub scale: String,
+    /// Array shape from Table 1 (1, 2 or 3).
+    pub shape: u32,
+    /// Reconfiguration-cache capacity in slots.
+    pub cache_slots: u64,
+    /// Whether branch speculation was enabled.
+    pub speculation: bool,
+    /// Wall-clock repetitions per workload.
+    pub host_reps: u32,
+}
+
+/// A complete baseline file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// Format version ([`BASELINE_SCHEMA_VERSION`] when written here).
+    pub schema_version: u32,
+    /// Human-chosen baseline name (e.g. `ci`).
+    pub name: String,
+    /// The matrix it was recorded under.
+    pub matrix: RecordMatrix,
+    /// One record per workload, in matrix order.
+    pub workloads: Vec<WorkloadRecord>,
+}
+
+impl Baseline {
+    /// Serializes the baseline as pretty-enough single-object JSON
+    /// (one workload per line for reviewable diffs).
+    pub fn to_json(&self) -> String {
+        let mut matrix = ObjectWriter::new();
+        let mut names = String::from("[");
+        for (i, w) in self.matrix.workloads.iter().enumerate() {
+            if i > 0 {
+                names.push(',');
+            }
+            let mut s = String::new();
+            dim_obs::write_escaped(&mut s, w);
+            names.push_str(&s);
+        }
+        names.push(']');
+        matrix.field_raw("workloads", &names);
+        matrix.field_str("scale", &self.matrix.scale);
+        matrix.field_u64("shape", self.matrix.shape as u64);
+        matrix.field_u64("cache_slots", self.matrix.cache_slots);
+        matrix.field_bool("speculation", self.matrix.speculation);
+        matrix.field_u64("host_reps", self.matrix.host_reps as u64);
+
+        let mut out = String::from("{\n");
+        out.push_str(&format!("\"schema_version\": {},\n", self.schema_version));
+        let mut name = String::new();
+        dim_obs::write_escaped(&mut name, &self.name);
+        out.push_str(&format!("\"name\": {name},\n"));
+        out.push_str(&format!("\"matrix\": {},\n", matrix.finish()));
+        out.push_str("\"workloads\": [\n");
+        for (i, w) in self.workloads.iter().enumerate() {
+            out.push_str(&w.to_json());
+            if i + 1 < self.workloads.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Parses and validates a baseline file.
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed JSON, a newer schema version, duplicate
+    /// workload names, and any workload whose attribution columns do
+    /// not sum to its accelerated cycle total.
+    pub fn parse(text: &str) -> Result<Baseline, PerfError> {
+        let v = parse_json(text).map_err(|e| PerfError::Parse(format!("baseline: {e}")))?;
+        let schema_version = get_u64(&v, "schema_version")? as u32;
+        if schema_version > BASELINE_SCHEMA_VERSION {
+            return Err(PerfError::Parse(format!(
+                "baseline schema version {schema_version} is newer than supported \
+                 {BASELINE_SCHEMA_VERSION}"
+            )));
+        }
+        let matrix_v = v
+            .get("matrix")
+            .ok_or_else(|| PerfError::Parse("baseline: missing `matrix`".into()))?;
+        let matrix = RecordMatrix {
+            workloads: matrix_v
+                .get("workloads")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| PerfError::Parse("baseline: missing `matrix.workloads`".into()))?
+                .iter()
+                .map(|w| {
+                    w.as_str().map(str::to_string).ok_or_else(|| {
+                        PerfError::Parse("baseline: non-string workload name".into())
+                    })
+                })
+                .collect::<Result<_, _>>()?,
+            scale: get_str(matrix_v, "scale")?,
+            shape: get_u64(matrix_v, "shape")? as u32,
+            cache_slots: get_u64(matrix_v, "cache_slots")?,
+            speculation: matrix_v
+                .get("speculation")
+                .and_then(JsonValue::as_bool)
+                .ok_or_else(|| PerfError::Parse("baseline: missing `matrix.speculation`".into()))?,
+            host_reps: get_u64(matrix_v, "host_reps")? as u32,
+        };
+        let mut workloads = Vec::new();
+        for w in v
+            .get("workloads")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| PerfError::Parse("baseline: missing `workloads` array".into()))?
+        {
+            workloads.push(WorkloadRecord::parse(w)?);
+        }
+        for pair in workloads.windows(2) {
+            if workloads.iter().filter(|w| w.name == pair[0].name).count() > 1 {
+                return Err(PerfError::Parse(format!(
+                    "baseline: duplicate workload `{}`",
+                    pair[0].name
+                )));
+            }
+        }
+        Ok(Baseline {
+            schema_version,
+            name: get_str(&v, "name")?,
+            matrix,
+            workloads,
+        })
+    }
+
+    /// The record for `name`, if present.
+    pub fn workload(&self, name: &str) -> Option<&WorkloadRecord> {
+        self.workloads.iter().find(|w| w.name == name)
+    }
+}
+
+impl WorkloadRecord {
+    /// Serializes the record as one JSON object on one line.
+    pub fn to_json(&self) -> String {
+        let mut attr = ObjectWriter::new();
+        for (name, cycles) in self.attribution.named() {
+            attr.field_u64(name, cycles);
+        }
+        let mut rc = ObjectWriter::new();
+        rc.field_u64("hits", self.rcache.hits);
+        rc.field_u64("misses", self.rcache.misses);
+        rc.field_u64("inserts", self.rcache.inserts);
+        rc.field_u64("evictions", self.rcache.evictions);
+        rc.field_u64("flushes", self.rcache.flushes);
+        let mut host = ObjectWriter::new();
+        host.field_u64("wall_nanos_min", self.host.wall_nanos_min);
+        host.field_f64("wall_nanos_mean", self.host.wall_nanos_mean);
+        host.field_u64("reps", self.host.reps as u64);
+        host.field_f64("sim_mips", self.host.sim_mips);
+        host.field_u64("peak_rss_bytes", self.host.peak_rss_bytes);
+        let mut o = ObjectWriter::new();
+        o.field_str("name", &self.name);
+        o.field_u64("scalar_cycles", self.scalar_cycles);
+        o.field_u64("accel_cycles", self.accel_cycles);
+        o.field_f64("speedup", self.speedup);
+        o.field_u64("retired", self.retired);
+        o.field_u64("array_invocations", self.array_invocations);
+        o.field_raw("attribution", &attr.finish());
+        o.field_raw("rcache", &rc.finish());
+        o.field_raw("host", &host.finish());
+        o.finish()
+    }
+
+    fn parse(v: &JsonValue) -> Result<WorkloadRecord, PerfError> {
+        let name = get_str(v, "name")?;
+        let attr_v = v
+            .get("attribution")
+            .ok_or_else(|| PerfError::Parse(format!("workload `{name}`: missing attribution")))?;
+        let attribution = CycleBreakdown {
+            pipeline: get_u64(attr_v, "pipeline")?,
+            i_stall: get_u64(attr_v, "i_stall")?,
+            d_stall: get_u64(attr_v, "d_stall")?,
+            reconfig_stall: get_u64(attr_v, "reconfig_stall")?,
+            array_exec: get_u64(attr_v, "array_exec")?,
+            writeback_tail: get_u64(attr_v, "writeback_tail")?,
+        };
+        let rc_v = v
+            .get("rcache")
+            .ok_or_else(|| PerfError::Parse(format!("workload `{name}`: missing rcache")))?;
+        let host_v = v
+            .get("host")
+            .ok_or_else(|| PerfError::Parse(format!("workload `{name}`: missing host")))?;
+        let record = WorkloadRecord {
+            scalar_cycles: get_u64(v, "scalar_cycles")?,
+            accel_cycles: get_u64(v, "accel_cycles")?,
+            speedup: get_f64(v, "speedup")?,
+            retired: get_u64(v, "retired")?,
+            array_invocations: get_u64(v, "array_invocations")?,
+            attribution,
+            rcache: RcacheCounters {
+                hits: get_u64(rc_v, "hits")?,
+                misses: get_u64(rc_v, "misses")?,
+                inserts: get_u64(rc_v, "inserts")?,
+                evictions: get_u64(rc_v, "evictions")?,
+                flushes: get_u64(rc_v, "flushes")?,
+            },
+            host: HostTelemetry {
+                wall_nanos_min: get_u64(host_v, "wall_nanos_min")?,
+                wall_nanos_mean: get_f64(host_v, "wall_nanos_mean")?,
+                reps: get_u64(host_v, "reps")? as u32,
+                sim_mips: get_f64(host_v, "sim_mips")?,
+                peak_rss_bytes: get_u64(host_v, "peak_rss_bytes")?,
+            },
+            name,
+        };
+        if record.attribution.total() != record.accel_cycles {
+            return Err(PerfError::Parse(format!(
+                "workload `{}`: attribution columns sum to {} but accel_cycles is {}",
+                record.name,
+                record.attribution.total(),
+                record.accel_cycles
+            )));
+        }
+        Ok(record)
+    }
+}
+
+fn get_u64(v: &JsonValue, key: &str) -> Result<u64, PerfError> {
+    v.get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| PerfError::Parse(format!("missing or non-integer field `{key}`")))
+}
+
+fn get_f64(v: &JsonValue, key: &str) -> Result<f64, PerfError> {
+    v.get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| PerfError::Parse(format!("missing or non-numeric field `{key}`")))
+}
+
+fn get_str(v: &JsonValue, key: &str) -> Result<String, PerfError> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| PerfError::Parse(format!("missing or non-string field `{key}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample() -> Baseline {
+        Baseline {
+            schema_version: BASELINE_SCHEMA_VERSION,
+            name: "test".into(),
+            matrix: RecordMatrix {
+                workloads: vec!["crc32".into()],
+                scale: "tiny".into(),
+                shape: 1,
+                cache_slots: 64,
+                speculation: true,
+                host_reps: 2,
+            },
+            workloads: vec![WorkloadRecord {
+                name: "crc32".into(),
+                scalar_cycles: 1000,
+                accel_cycles: 600,
+                speedup: 1000.0 / 600.0,
+                retired: 400,
+                array_invocations: 10,
+                attribution: CycleBreakdown {
+                    pipeline: 400,
+                    i_stall: 50,
+                    d_stall: 50,
+                    reconfig_stall: 40,
+                    array_exec: 50,
+                    writeback_tail: 10,
+                },
+                rcache: RcacheCounters {
+                    hits: 9,
+                    misses: 1,
+                    inserts: 1,
+                    evictions: 0,
+                    flushes: 0,
+                },
+                host: HostTelemetry {
+                    wall_nanos_min: 12345,
+                    wall_nanos_mean: 13000.5,
+                    reps: 2,
+                    sim_mips: 32.4,
+                    peak_rss_bytes: 1 << 20,
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let b = sample();
+        let parsed = Baseline::parse(&b.to_json()).unwrap();
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn rejects_newer_schema_version() {
+        let mut b = sample();
+        b.schema_version = BASELINE_SCHEMA_VERSION + 1;
+        let e = Baseline::parse(&b.to_json()).unwrap_err();
+        assert!(e.to_string().contains("newer"), "{e}");
+    }
+
+    #[test]
+    fn rejects_attribution_that_does_not_sum() {
+        let mut b = sample();
+        b.workloads[0].accel_cycles += 1; // attribution now under-counts
+        let e = Baseline::parse(&b.to_json()).unwrap_err();
+        assert!(e.to_string().contains("attribution"), "{e}");
+    }
+
+    #[test]
+    fn rejects_duplicate_workloads() {
+        let mut b = sample();
+        let dup = b.workloads[0].clone();
+        b.workloads.push(dup);
+        let e = Baseline::parse(&b.to_json()).unwrap_err();
+        assert!(e.to_string().contains("duplicate"), "{e}");
+    }
+
+    #[test]
+    fn ignores_unknown_fields() {
+        let b = sample();
+        let json = b.to_json().replace(
+            "\"schema_version\": 1,",
+            "\"schema_version\": 1,\n\"generator\": \"future-tool\",",
+        );
+        let parsed = Baseline::parse(&json).unwrap();
+        assert_eq!(parsed, b);
+    }
+}

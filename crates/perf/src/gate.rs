@@ -1,0 +1,463 @@
+//! The regression gate: per-metric tolerances, violations, notes.
+
+use crate::baseline::Baseline;
+use crate::compare::{metric_by_name, rel_delta, Direction, METRICS};
+use crate::PerfError;
+use dim_obs::ObjectWriter;
+
+/// Per-metric relative tolerances, parsed from a small TOML subset:
+///
+/// ```toml
+/// # 0.05 allows a 5% regression before the gate fails.
+/// [simulated]
+/// accel_cycles = 0.0
+/// speedup = 0.0
+///
+/// [host]
+/// wall_nanos_min = 0.5
+/// ```
+///
+/// Simulated metrics are deterministic, so their tolerances are
+/// typically zero; host metrics are noisy and are only checked when
+/// listed under `[host]`. Unknown metric names are rejected — a typo in
+/// a tolerance spec must not silently disable a check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToleranceSpec {
+    /// `(metric, tolerance)` pairs to check, simulated and host alike.
+    pub entries: Vec<(String, f64)>,
+}
+
+impl ToleranceSpec {
+    /// The strict default: every simulated metric at zero tolerance,
+    /// no host checks.
+    pub fn strict() -> ToleranceSpec {
+        ToleranceSpec {
+            entries: METRICS
+                .iter()
+                .filter(|m| !m.host)
+                .map(|m| (m.name.to_string(), 0.0))
+                .collect(),
+        }
+    }
+
+    /// Parses a tolerance spec.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown sections, unknown metric names, metrics listed
+    /// under the wrong section, and non-numeric or negative tolerances.
+    pub fn parse(text: &str) -> Result<ToleranceSpec, PerfError> {
+        let mut entries = Vec::new();
+        let mut section: Option<&str> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = match raw.find('#') {
+                Some(i) => &raw[..i],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = match name.trim() {
+                    "simulated" => Some("simulated"),
+                    "host" => Some("host"),
+                    other => {
+                        return Err(PerfError::Parse(format!(
+                            "tolerance spec line {lineno}: unknown section `[{other}]`"
+                        )))
+                    }
+                };
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(PerfError::Parse(format!(
+                    "tolerance spec line {lineno}: expected `key = value`"
+                )));
+            };
+            let key = key.trim();
+            let section = section.ok_or_else(|| {
+                PerfError::Parse(format!(
+                    "tolerance spec line {lineno}: entry before any [section]"
+                ))
+            })?;
+            let metric = metric_by_name(key).ok_or_else(|| {
+                PerfError::Parse(format!(
+                    "tolerance spec line {lineno}: unknown metric `{key}`"
+                ))
+            })?;
+            let in_host = section == "host";
+            if metric.host != in_host {
+                return Err(PerfError::Parse(format!(
+                    "tolerance spec line {lineno}: metric `{key}` belongs under [{}]",
+                    if metric.host { "host" } else { "simulated" }
+                )));
+            }
+            let tol: f64 = value.trim().parse().map_err(|_| {
+                PerfError::Parse(format!(
+                    "tolerance spec line {lineno}: non-numeric tolerance for `{key}`"
+                ))
+            })?;
+            if !tol.is_finite() || tol < 0.0 {
+                return Err(PerfError::Parse(format!(
+                    "tolerance spec line {lineno}: tolerance for `{key}` must be finite and >= 0"
+                )));
+            }
+            entries.push((key.to_string(), tol));
+        }
+        if entries.is_empty() {
+            return Err(PerfError::Parse(
+                "tolerance spec lists no metrics to check".into(),
+            ));
+        }
+        Ok(ToleranceSpec { entries })
+    }
+}
+
+/// One gate check that moved beyond its tolerance.
+#[derive(Debug, Clone)]
+pub struct GateFinding {
+    /// Workload the finding is about.
+    pub workload: String,
+    /// Metric name (or `missing-workload`).
+    pub metric: String,
+    /// Reference value.
+    pub base: f64,
+    /// Current value.
+    pub cur: f64,
+    /// Relative change.
+    pub rel: f64,
+    /// Tolerance that applied.
+    pub tolerance: f64,
+}
+
+/// The gate's verdict: regressions beyond tolerance, plus informational
+/// notes (improvements and new workloads never fail the gate).
+#[derive(Debug, Clone, Default)]
+pub struct GateOutcome {
+    /// Regressions: each one fails the gate.
+    pub violations: Vec<GateFinding>,
+    /// Improvements beyond tolerance and other non-fatal observations.
+    pub notes: Vec<String>,
+    /// Checks performed (workload × metric pairs).
+    pub checks: u64,
+}
+
+impl GateOutcome {
+    /// Whether the gate passes.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders the verdict for humans.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for v in &self.violations {
+            if v.metric == "missing-workload" {
+                s.push_str(&format!(
+                    "  FAIL {}: present in baseline but missing from current run\n",
+                    v.workload
+                ));
+                continue;
+            }
+            let rel = if v.rel.is_infinite() {
+                "was zero".to_string()
+            } else {
+                format!("{:+.2}%", v.rel * 100.0)
+            };
+            s.push_str(&format!(
+                "  FAIL {} {}: {} -> {} ({}, tolerance {:.2}%)\n",
+                v.workload,
+                v.metric,
+                v.base,
+                v.cur,
+                rel,
+                v.tolerance * 100.0
+            ));
+        }
+        for note in &self.notes {
+            s.push_str(&format!("  note {note}\n"));
+        }
+        if self.ok() {
+            s.push_str(&format!("gate PASSED ({} checks)\n", self.checks));
+        } else {
+            s.push_str(&format!(
+                "gate FAILED: {} violation(s) in {} checks\n",
+                self.violations.len(),
+                self.checks
+            ));
+        }
+        s
+    }
+
+    /// Serializes the verdict as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut violations = String::from("[");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                violations.push(',');
+            }
+            let mut o = ObjectWriter::new();
+            o.field_str("workload", &v.workload);
+            o.field_str("metric", &v.metric);
+            o.field_f64("base", v.base);
+            o.field_f64("cur", v.cur);
+            o.field_f64("rel", v.rel);
+            o.field_f64("tolerance", v.tolerance);
+            violations.push_str(&o.finish());
+        }
+        violations.push(']');
+        let mut notes = String::from("[");
+        for (i, n) in self.notes.iter().enumerate() {
+            if i > 0 {
+                notes.push(',');
+            }
+            dim_obs::write_escaped(&mut notes, n);
+        }
+        notes.push(']');
+        let mut o = ObjectWriter::new();
+        o.field_bool("ok", self.ok());
+        o.field_u64("checks", self.checks);
+        o.field_raw("violations", &violations);
+        o.field_raw("notes", &notes);
+        o.finish()
+    }
+}
+
+/// Checks `cur` against the reference `base` under `spec`.
+///
+/// Only movements in each metric's regression direction count as
+/// violations; movements the other way beyond tolerance become notes
+/// suggesting a baseline refresh. Baselines recorded under different
+/// matrices cannot be compared and fail immediately.
+pub fn gate(base: &Baseline, cur: &Baseline, spec: &ToleranceSpec) -> GateOutcome {
+    let mut out = GateOutcome::default();
+    if base.matrix != cur.matrix {
+        out.violations.push(GateFinding {
+            workload: "*".into(),
+            metric: "matrix".into(),
+            base: 0.0,
+            cur: 0.0,
+            rel: 0.0,
+            tolerance: 0.0,
+        });
+        out.notes.push(format!(
+            "record matrices differ (baseline `{}` vs current `{}`) — re-record with \
+             identical parameters",
+            base.name, cur.name
+        ));
+        return out;
+    }
+    for b in &base.workloads {
+        let Some(c) = cur.workload(&b.name) else {
+            out.violations.push(GateFinding {
+                workload: b.name.clone(),
+                metric: "missing-workload".into(),
+                base: 0.0,
+                cur: 0.0,
+                rel: 0.0,
+                tolerance: 0.0,
+            });
+            continue;
+        };
+        for (name, tol) in &spec.entries {
+            let metric = metric_by_name(name).expect("spec validated at parse time");
+            let bv = (metric.extract)(b);
+            let cv = (metric.extract)(c);
+            let rel = rel_delta(bv, cv);
+            out.checks += 1;
+            let (regressed, improved) = match metric.direction {
+                Direction::HigherIsWorse => (rel > *tol, rel < -*tol),
+                Direction::LowerIsWorse => (rel < -*tol, rel > *tol),
+            };
+            if regressed {
+                out.violations.push(GateFinding {
+                    workload: b.name.clone(),
+                    metric: name.clone(),
+                    base: bv,
+                    cur: cv,
+                    rel,
+                    tolerance: *tol,
+                });
+            } else if improved && !metric.host {
+                out.notes.push(format!(
+                    "{} {} improved {} -> {} ({:+.2}%) — consider refreshing the baseline",
+                    b.name,
+                    name,
+                    bv,
+                    cv,
+                    rel * 100.0
+                ));
+            }
+        }
+    }
+    for c in &cur.workloads {
+        if base.workload(&c.name).is_none() {
+            out.notes.push(format!(
+                "{} is new in the current run (not in the baseline)",
+                c.name
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::{Baseline, HostTelemetry, RcacheCounters, RecordMatrix, WorkloadRecord};
+    use dim_core::CycleBreakdown;
+
+    fn sample() -> Baseline {
+        Baseline {
+            schema_version: crate::BASELINE_SCHEMA_VERSION,
+            name: "ref".into(),
+            matrix: RecordMatrix {
+                workloads: vec!["crc32".into()],
+                scale: "tiny".into(),
+                shape: 1,
+                cache_slots: 64,
+                speculation: true,
+                host_reps: 1,
+            },
+            workloads: vec![WorkloadRecord {
+                name: "crc32".into(),
+                scalar_cycles: 1000,
+                accel_cycles: 600,
+                speedup: 1000.0 / 600.0,
+                retired: 400,
+                array_invocations: 10,
+                attribution: CycleBreakdown {
+                    pipeline: 500,
+                    i_stall: 0,
+                    d_stall: 0,
+                    reconfig_stall: 40,
+                    array_exec: 50,
+                    writeback_tail: 10,
+                },
+                rcache: RcacheCounters {
+                    hits: 9,
+                    misses: 1,
+                    inserts: 1,
+                    evictions: 0,
+                    flushes: 0,
+                },
+                host: HostTelemetry {
+                    wall_nanos_min: 1000,
+                    wall_nanos_mean: 1000.0,
+                    reps: 1,
+                    sim_mips: 10.0,
+                    peak_rss_bytes: 1 << 20,
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn identical_baselines_pass_strict() {
+        let b = sample();
+        let out = gate(&b, &b, &ToleranceSpec::strict());
+        assert!(out.ok(), "{}", out.render());
+        assert!(out.checks > 0);
+        dim_obs::parse_json(&out.to_json()).unwrap();
+    }
+
+    #[test]
+    fn five_percent_cycle_regression_fails() {
+        let base = sample();
+        let mut cur = sample();
+        // Inject a 5% simulated-cycle regression, keeping the
+        // attribution invariant intact (all growth in pipeline).
+        cur.workloads[0].accel_cycles = 630;
+        cur.workloads[0].attribution.pipeline += 30;
+        cur.workloads[0].speedup = 1000.0 / 630.0;
+        let out = gate(&base, &cur, &ToleranceSpec::strict());
+        assert!(!out.ok());
+        assert!(out
+            .violations
+            .iter()
+            .any(|v| v.metric == "accel_cycles" && (v.rel - 0.05).abs() < 1e-9));
+        assert!(out.violations.iter().any(|v| v.metric == "speedup"));
+        assert!(out.render().contains("gate FAILED"));
+    }
+
+    #[test]
+    fn tolerance_absorbs_small_regressions() {
+        let base = sample();
+        let mut cur = sample();
+        cur.workloads[0].accel_cycles = 612; // +2%
+        cur.workloads[0].attribution.pipeline += 12;
+        cur.workloads[0].speedup = 1000.0 / 612.0;
+        let spec = ToleranceSpec::parse(
+            "[simulated]\n\
+             accel_cycles = 0.05\n\
+             speedup = 0.05\n",
+        )
+        .unwrap();
+        assert!(gate(&base, &cur, &spec).ok());
+        let strict = gate(&base, &cur, &ToleranceSpec::strict());
+        assert!(!strict.ok());
+    }
+
+    #[test]
+    fn improvements_are_notes_not_violations() {
+        let base = sample();
+        let mut cur = sample();
+        cur.workloads[0].accel_cycles = 540; // 10% faster
+        cur.workloads[0].attribution.pipeline -= 60;
+        cur.workloads[0].speedup = 1000.0 / 540.0;
+        let out = gate(&base, &cur, &ToleranceSpec::strict());
+        assert!(out.ok(), "{}", out.render());
+        assert!(out.notes.iter().any(|n| n.contains("refreshing")));
+    }
+
+    #[test]
+    fn missing_workload_fails() {
+        let base = sample();
+        let mut cur = sample();
+        cur.workloads.clear();
+        let out = gate(&base, &cur, &ToleranceSpec::strict());
+        assert!(!out.ok());
+        assert!(out.render().contains("missing from current run"));
+    }
+
+    #[test]
+    fn matrix_mismatch_fails_immediately() {
+        let base = sample();
+        let mut cur = sample();
+        cur.matrix.cache_slots = 16;
+        let out = gate(&base, &cur, &ToleranceSpec::strict());
+        assert!(!out.ok());
+        assert_eq!(out.checks, 0);
+    }
+
+    #[test]
+    fn host_checks_are_opt_in_and_loose() {
+        let base = sample();
+        let mut cur = sample();
+        cur.workloads[0].host.wall_nanos_min = 1400; // +40% wall time
+        assert!(gate(&base, &cur, &ToleranceSpec::strict()).ok());
+        let spec = ToleranceSpec::parse("[host]\nwall_nanos_min = 0.25\n").unwrap();
+        let out = gate(&base, &cur, &spec);
+        assert!(!out.ok());
+        let loose = ToleranceSpec::parse("[host]\nwall_nanos_min = 0.5\n").unwrap();
+        assert!(gate(&base, &cur, &loose).ok());
+    }
+
+    #[test]
+    fn spec_rejects_typos_and_wrong_sections() {
+        assert!(ToleranceSpec::parse("[simulated]\naccell_cycles = 0.0\n").is_err());
+        assert!(ToleranceSpec::parse("[simulated]\nwall_nanos_min = 0.5\n").is_err());
+        assert!(ToleranceSpec::parse("[host]\naccel_cycles = 0.0\n").is_err());
+        assert!(ToleranceSpec::parse("[mystery]\n").is_err());
+        assert!(ToleranceSpec::parse("accel_cycles = 0.0\n").is_err());
+        assert!(ToleranceSpec::parse("[simulated]\naccel_cycles = -0.1\n").is_err());
+        assert!(ToleranceSpec::parse("# only comments\n").is_err());
+        let ok = ToleranceSpec::parse(
+            "# comment\n[simulated]\naccel_cycles = 0.0 # trailing\n[host]\nsim_mips = 0.9\n",
+        )
+        .unwrap();
+        assert_eq!(ok.entries.len(), 2);
+    }
+}

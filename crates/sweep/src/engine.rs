@@ -5,8 +5,8 @@
 //! `report.txt` depends only on the spec and the simulators — never on
 //! wall-clock, worker count or completion order — so a parallel sweep
 //! is byte-identical to `--jobs 1`. Host-dependent material (timing,
-//! steal counts, queue-depth histograms) is confined to `summary.json`
-//! and `BENCH_sweep.json`.
+//! steal counts, queue-depth histograms) is confined to `summary.json`,
+//! `telemetry.json`, `trend.jsonl` and `BENCH_sweep.json`.
 
 use crate::fsio::atomic_write;
 use crate::journal::{cell_is_done, Journal};
@@ -20,8 +20,10 @@ use dim_workloads::{run_baseline, validate};
 use std::collections::HashMap;
 use std::fmt;
 use std::io;
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::time::Instant;
+use std::sync::Mutex;
+use std::time::{Instant, SystemTime};
 
 /// Sweep failure.
 #[derive(Debug)]
@@ -249,6 +251,10 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
     }
 
     let journal = Journal::open_append(&journal_path)?;
+    // Host-side per-cell wall times: collected under a lock in whatever
+    // order cells finish, sorted by id before writing so the telemetry
+    // file itself is stable apart from the times.
+    let cell_wall: Mutex<Vec<(String, u64)>> = Mutex::new(Vec::new());
     let start = Instant::now();
     let jobs: Vec<_> = pending
         .iter()
@@ -256,7 +262,9 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
             let cell = (*cell).clone();
             let baseline = baselines[cell.workload.as_str()];
             let journal = &journal;
+            let cell_wall = &cell_wall;
             move || -> Result<(), SweepError> {
+                let cell_started = Instant::now();
                 let run = run_cell(&cell, baseline, warm, out_dir).map_err(|reason| {
                     SweepError::Cell {
                         id: cell.id.clone(),
@@ -267,6 +275,10 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
                 atomic_write(&path, run.json.as_bytes())?;
                 journal.record(&cell.id, fnv1a64(run.json.as_bytes()))?;
                 let _ = run.warm_loaded;
+                cell_wall
+                    .lock()
+                    .expect("telemetry lock")
+                    .push((cell.id.clone(), cell_started.elapsed().as_nanos() as u64));
                 Ok(())
             }
         })
@@ -306,7 +318,73 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
     summary.push('\n');
     atomic_write(&out_dir.join("summary.json"), summary.as_bytes())?;
 
+    write_telemetry(out_dir, cell_wall.into_inner().expect("telemetry lock"))?;
+    append_trend(out_dir, &outcome, opts.jobs.max(1))?;
+
     Ok(outcome)
+}
+
+/// Writes per-cell wall times to `telemetry.json` (host-side data, so
+/// outside the determinism contract; the id order is still stable).
+fn write_telemetry(out_dir: &Path, mut wall: Vec<(String, u64)>) -> Result<(), SweepError> {
+    if wall.is_empty() {
+        return Ok(());
+    }
+    wall.sort_by(|a, b| a.0.cmp(&b.0));
+    let total: u64 = wall.iter().map(|(_, n)| n).sum();
+    let mut cells = String::from("[");
+    for (i, (id, nanos)) in wall.iter().enumerate() {
+        if i > 0 {
+            cells.push(',');
+        }
+        let mut o = ObjectWriter::new();
+        o.field_str("id", id).field_u64("wall_nanos", *nanos);
+        cells.push_str(&o.finish());
+    }
+    cells.push(']');
+    let mut w = ObjectWriter::new();
+    w.field_u64("executed", wall.len() as u64)
+        .field_u64("total_wall_nanos", total)
+        .field_raw("cells", &cells);
+    let mut json = w.finish();
+    json.push('\n');
+    atomic_write(&out_dir.join("telemetry.json"), json.as_bytes())?;
+    Ok(())
+}
+
+/// Appends one line per invocation to `trend.jsonl`, the sweep's
+/// throughput history across runs — resumable sweeps accumulate one
+/// record per invocation, so throughput drift stays visible over time.
+fn append_trend(out_dir: &Path, outcome: &SweepOutcome, jobs: usize) -> Result<(), SweepError> {
+    if outcome.executed == 0 {
+        return Ok(());
+    }
+    let unix_seconds = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let throughput = if outcome.wall_seconds > 0.0 {
+        outcome.executed as f64 / outcome.wall_seconds
+    } else {
+        0.0
+    };
+    let mut w = ObjectWriter::new();
+    w.field_u64("unix_seconds", unix_seconds)
+        .field_u64("executed", outcome.executed as u64)
+        .field_u64("skipped", outcome.skipped as u64)
+        .field_u64("total_cells", outcome.total_cells as u64)
+        .field_bool("complete", outcome.complete)
+        .field_u64("jobs", jobs as u64)
+        .field_f64("wall_seconds", outcome.wall_seconds)
+        .field_f64("cells_per_second", throughput);
+    let mut line = w.finish();
+    line.push('\n');
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(out_dir.join("trend.jsonl"))?;
+    file.write_all(line.as_bytes())?;
+    Ok(())
 }
 
 /// Renders the deterministic cross-cell report from the on-disk cell

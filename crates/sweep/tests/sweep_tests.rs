@@ -94,6 +94,51 @@ fn limit_interrupt_then_resume_skips_done_cells() {
 }
 
 #[test]
+fn telemetry_and_trend_accumulate_across_invocations() {
+    let spec = tiny_spec();
+    let dir = scratch("telemetry");
+
+    // Partial run: telemetry covers the two executed cells, trend gains
+    // its first line.
+    let mut first = SweepOptions::new(dir.clone());
+    first.limit = Some(2);
+    run_sweep(&spec, &first).unwrap();
+    let telemetry = fs::read_to_string(dir.join("telemetry.json")).unwrap();
+    let value = dim_obs::parse_json(&telemetry).unwrap();
+    assert_eq!(value.get("executed").and_then(|v| v.as_u64()), Some(2));
+    let cells = value.get("cells").and_then(|v| v.as_array()).unwrap();
+    assert_eq!(cells.len(), 2);
+    for cell in cells {
+        assert!(cell.get("id").and_then(|v| v.as_str()).is_some());
+        assert!(cell.get("wall_nanos").and_then(|v| v.as_u64()).is_some());
+    }
+    let trend = fs::read_to_string(dir.join("trend.jsonl")).unwrap();
+    assert_eq!(trend.lines().count(), 1);
+
+    // Resume to completion: telemetry is rewritten for the newly
+    // executed cells and trend appends a second record.
+    run_sweep(&spec, &SweepOptions::new(dir.clone())).unwrap();
+    let trend = fs::read_to_string(dir.join("trend.jsonl")).unwrap();
+    assert_eq!(trend.lines().count(), 2);
+    for line in trend.lines() {
+        let record = dim_obs::parse_json(line).unwrap();
+        assert!(record.get("executed").and_then(|v| v.as_u64()).unwrap() > 0);
+        assert!(record.get("cells_per_second").is_some());
+    }
+
+    // A no-op invocation (everything already done) must not pad the
+    // history or clobber telemetry with an empty snapshot.
+    run_sweep(&spec, &SweepOptions::new(dir.clone())).unwrap();
+    let trend = fs::read_to_string(dir.join("trend.jsonl")).unwrap();
+    assert_eq!(trend.lines().count(), 2);
+    let telemetry = fs::read_to_string(dir.join("telemetry.json")).unwrap();
+    let value = dim_obs::parse_json(&telemetry).unwrap();
+    assert_eq!(value.get("executed").and_then(|v| v.as_u64()), Some(2));
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn corrupt_result_file_is_rerun_on_resume() {
     let spec = tiny_spec();
     let dir = scratch("corrupt");
