@@ -26,6 +26,7 @@ mod runner;
 
 pub use report::{percent, ratio, TextTable};
 pub use runner::{
-    jobs_from_args, report_pool, run_accelerated, run_baseline, run_instrumented, run_profiled,
-    speedup, table2_row, AcceleratedRun, ProfiledRun, Table2Row, CACHE_SLOTS, SHAPES,
+    jobs_from_args, report_pool, run_accelerated, run_baseline, run_explained, run_instrumented,
+    run_profiled, speedup, table2_row, AcceleratedRun, ExplainedRun, ProfiledRun, Table2Row,
+    CACHE_SLOTS, SHAPES,
 };

@@ -146,6 +146,64 @@ pub fn run_profiled(
     })
 }
 
+/// A validated accelerated run plus its region-level forensics.
+#[derive(Debug)]
+pub struct ExplainedRun {
+    /// The run itself.
+    pub run: AcceleratedRun,
+    /// Per-region lifecycle and cycle attribution; the scalar bucket
+    /// plus all region attributions equal [`AcceleratedRun::cycles`]
+    /// exactly.
+    pub explanation: dim_explain::Explanation,
+}
+
+/// Like [`run_accelerated`], but additionally traces the run through an
+/// in-memory [`JsonlSink`](dim_obs::JsonlSink) and analyzes the trace
+/// into a region-level [`Explanation`](dim_explain::Explanation) —
+/// which regions accelerated, which translations were wasted, where
+/// misspeculation ate the winnings.
+///
+/// # Errors
+///
+/// Propagates simulation/validation failures.
+///
+/// # Panics
+///
+/// Panics if the trace the run just wrote fails replay or the region
+/// attribution does not conserve the cycle total — both are simulator
+/// bugs, not workload conditions.
+pub fn run_explained(
+    built: &BuiltBenchmark,
+    config: SystemConfig,
+) -> Result<ExplainedRun, WorkloadError> {
+    let mut system = System::new(Machine::load(&built.program), config);
+    let mut sink = dim_obs::JsonlSink::new(Vec::new(), built.name, system.stored_bits_per_config());
+    match system.run_probed(built.max_steps, &mut sink)? {
+        HaltReason::StepLimit => {
+            return Err(WorkloadError::Timeout {
+                max_steps: built.max_steps,
+            })
+        }
+        HaltReason::Exit(_) => {}
+    }
+    validate(system.machine(), built)?;
+    let cycles = system.total_cycles();
+    let (buf, io_error) = sink.into_inner();
+    assert!(io_error.is_none(), "in-memory trace write cannot fail");
+    let text = String::from_utf8(buf).expect("trace is UTF-8");
+    let explanation = dim_explain::explain_text(&text)
+        .unwrap_or_else(|e| panic!("self-written trace must replay: {e}"));
+    assert_eq!(
+        explanation.attributed_total(),
+        cycles,
+        "region attribution must account for every cycle"
+    );
+    Ok(ExplainedRun {
+        run: AcceleratedRun { system, cycles },
+        explanation,
+    })
+}
+
 /// Computes the speedup of a configuration over the baseline cycle count.
 pub fn speedup(baseline_cycles: u64, accelerated_cycles: u64) -> f64 {
     baseline_cycles as f64 / accelerated_cycles.max(1) as f64
@@ -261,6 +319,21 @@ mod tests {
             profile.get("total_cycles").unwrap().as_u64(),
             Some(profiled.run.cycles)
         );
+    }
+
+    #[test]
+    fn explained_run_conserves_cycles_and_finds_regions() {
+        let built = (by_name("crc32").unwrap().build)(Scale::Tiny);
+        let explained =
+            run_explained(&built, SystemConfig::new(ArrayShape::config1(), 64, true)).unwrap();
+        let ex = &explained.explanation;
+        assert_eq!(ex.attributed_total(), explained.run.cycles);
+        assert!(!ex.regions.is_empty(), "accelerated run must have regions");
+        assert!(
+            ex.regions.iter().any(|r| r.invocations > 0),
+            "some region must have executed on the array"
+        );
+        assert_eq!(ex.schema_version, dim_obs::SCHEMA_VERSION);
     }
 
     #[test]

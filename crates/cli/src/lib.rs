@@ -66,12 +66,19 @@ commands:
   profile <file> [--config 1|2|3|ideal] [--slots N] [--no-spec] [--caches]
                  [--top N] [--json]  per-block cycle attribution of an
                                      accelerated run
-  trace  <t.jsonl>                   validate a trace and print its summary
+  trace  <t.jsonl> [--stats]         validate a trace and print its summary
+                                     (--stats adds per-kind record counts)
+  explain <t.jsonl> [--top N] [--json] [--chrome-out <f.json>]
+                    [--folded-out <f.folded>]
+                                     region-level acceleration forensics over a
+                                     trace: lifecycle table, missed-speedup
+                                     ranking, Chrome-trace timeline and
+                                     collapsed-stack flamegraph exports
   compare <file>                     cycles on scalar / 2-wide superscalar /
                                      DIM configs #1..#3 side by side
   suite  [--scale tiny|small|full]   run + validate the MiBench-like suite
   sweep  <spec> [--jobs N] [--out <dir>] [--limit N] [--warm on|off]
-                [--bench-out <dir>]
+                [--bench-out <dir>] [--explain]
                                      expand a sweep spec and run the grid on a
                                      work-stealing pool (resumable; see
                                      docs/sweeps.md for the spec format)
@@ -464,7 +471,7 @@ fn cmd_sweep(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         "sweep",
         args,
         &["--jobs", "--out", "--limit", "--bench-out", "--warm"],
-        &[],
+        &["--explain"],
         1,
     )?;
     let input = args
@@ -533,7 +540,15 @@ fn cmd_sweep(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     opts.jobs = jobs;
     opts.limit = limit;
     opts.warm_rcache = warm;
+    opts.explain = args.iter().any(|a| a == "--explain");
     let outcome = run_sweep(&spec, &opts).map_err(|e| CliError::new(e.to_string()))?;
+    if opts.explain && outcome.executed > 0 {
+        writeln!(
+            out,
+            "forensics: per-cell explain reports under {}",
+            opts.out_dir.join("explain").display()
+        )?;
+    }
     writeln!(
         out,
         "sweep: {} cells ({} executed, {} skipped) in {:.3}s with {} worker(s), {} steal(s)",
@@ -621,6 +636,7 @@ fn cmd_profile(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
 }
 
 fn cmd_trace(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    check_flags("trace", args, &[], &["--stats"], 1)?;
     let input = args
         .first()
         .ok_or_else(|| CliError::new("trace: missing trace file"))?;
@@ -655,6 +671,55 @@ fn cmd_trace(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         s.rcache_hits, s.rcache_misses, s.configs_built, s.config_flushes
     )?;
     writeln!(out, "  total:    {} cycles", s.total_cycles())?;
+    if args.iter().any(|a| a == "--stats") {
+        writeln!(out, "  records by kind:")?;
+        for (kind, count) in trace.record_stats() {
+            writeln!(out, "    {kind:<14} {count:>10}")?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_explain(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    check_flags(
+        "explain",
+        args,
+        &["--chrome-out", "--folded-out", "--top"],
+        &["--json"],
+        1,
+    )?;
+    let input = args
+        .first()
+        .ok_or_else(|| CliError::new("explain: missing trace file"))?;
+    let text = std::fs::read_to_string(Path::new(input))
+        .map_err(|e| CliError::new(format!("{input}: {e}")))?;
+    let ex =
+        dim_explain::explain_text(&text).map_err(|e| CliError::new(format!("{input}: {e}")))?;
+    let top: usize = parse_flag_value(args, "--top")?
+        .map(|v| v.parse().map_err(|_| CliError::new("--top: not a number")))
+        .transpose()?
+        .unwrap_or(10);
+    if let Some(path) = parse_flag_value(args, "--chrome-out")? {
+        std::fs::write(path, ex.chrome_trace())
+            .map_err(|e| CliError::new(format!("--chrome-out {path}: {e}")))?;
+        writeln!(
+            out,
+            "chrome trace -> {path} (load in ui.perfetto.dev or chrome://tracing)"
+        )?;
+    }
+    if let Some(path) = parse_flag_value(args, "--folded-out")? {
+        std::fs::write(path, ex.folded())
+            .map_err(|e| CliError::new(format!("--folded-out {path}: {e}")))?;
+        writeln!(
+            out,
+            "folded stacks -> {path} (feed to flamegraph.pl or speedscope)"
+        )?;
+    }
+    if args.iter().any(|a| a == "--json") {
+        writeln!(out, "{}", ex.to_json())?;
+        return Ok(());
+    }
+    write!(out, "{}", ex.render(top))?;
     Ok(())
 }
 
@@ -949,6 +1014,7 @@ pub fn dispatch(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         Some("accel") => cmd_accel(&args[1..], out),
         Some("profile") => cmd_profile(&args[1..], out),
         Some("trace") => cmd_trace(&args[1..], out),
+        Some("explain") => cmd_explain(&args[1..], out),
         Some("suite") => cmd_suite(&args[1..], out),
         Some("sweep") => cmd_sweep(&args[1..], out),
         Some("perf") => cmd_perf(&args[1..], out),
@@ -1101,6 +1167,110 @@ mod tests {
 
         let summary = run_cli(&["trace", trace.to_str().unwrap()]).unwrap();
         assert!(summary.contains("valid trace"), "{summary}");
+    }
+
+    #[test]
+    fn trace_stats_lists_record_kinds() {
+        let src = tmp_file("t20.s", PROGRAM);
+        let trace = std::env::temp_dir().join("dim-cli-tests/t20.jsonl");
+        run_cli(&[
+            "accel",
+            src.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .unwrap();
+        let summary = run_cli(&["trace", trace.to_str().unwrap(), "--stats"]).unwrap();
+        assert!(summary.contains("records by kind:"), "{summary}");
+        assert!(summary.contains("retire"), "{summary}");
+        assert!(summary.contains("array_invoke"), "{summary}");
+
+        let plain = run_cli(&["trace", trace.to_str().unwrap()]).unwrap();
+        assert!(!plain.contains("records by kind:"), "{plain}");
+        let err = run_cli(&["trace", trace.to_str().unwrap(), "--stat"]).unwrap_err();
+        assert!(err.to_string().contains("unknown flag"), "{err}");
+    }
+
+    #[test]
+    fn explain_exports_chrome_and_folded_and_ranks_regions() {
+        let src = tmp_file("t21.s", PROGRAM);
+        let trace = std::env::temp_dir().join("dim-cli-tests/t21.jsonl");
+        run_cli(&[
+            "accel",
+            src.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .unwrap();
+
+        let chrome = std::env::temp_dir().join("dim-cli-tests/t21-chrome.json");
+        let folded = std::env::temp_dir().join("dim-cli-tests/t21.folded");
+        let report = run_cli(&[
+            "explain",
+            trace.to_str().unwrap(),
+            "--chrome-out",
+            chrome.to_str().unwrap(),
+            "--folded-out",
+            folded.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(report.contains("top"), "{report}");
+        assert!(report.contains("0x"), "{report}");
+        assert!(report.contains("chrome trace ->"), "{report}");
+        assert!(report.contains("folded stacks ->"), "{report}");
+
+        // The Chrome export is valid JSON with a traceEvents array; the
+        // folded export is non-empty and frame-structured.
+        let chrome_text = std::fs::read_to_string(&chrome).unwrap();
+        let parsed = dim_obs::parse_json(&chrome_text).unwrap();
+        assert!(parsed
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .is_some_and(|events| !events.is_empty()));
+        let folded_text = std::fs::read_to_string(&folded).unwrap();
+        assert!(!folded_text.trim().is_empty());
+        assert!(folded_text.lines().all(|l| l.rsplit_once(' ').is_some()));
+
+        // JSON mode emits the machine-readable analysis instead.
+        let json = run_cli(&["explain", trace.to_str().unwrap(), "--json"]).unwrap();
+        let v = dim_obs::parse_json(&json).unwrap();
+        assert!(v.get("total_cycles").and_then(|x| x.as_u64()).unwrap() > 0);
+
+        // Flag validation stays strict.
+        let err = run_cli(&["explain", trace.to_str().unwrap(), "--chrome"]).unwrap_err();
+        assert!(err.to_string().contains("unknown flag"), "{err}");
+        let err = run_cli(&["explain", trace.to_str().unwrap(), "--top"]).unwrap_err();
+        assert!(err.to_string().contains("requires a value"), "{err}");
+        assert!(run_cli(&["explain"]).is_err());
+    }
+
+    #[test]
+    fn sweep_explain_writes_per_cell_forensics() {
+        let spec = tmp_file(
+            "t22.spec",
+            "workloads = crc32\nscale = tiny\nshapes = 1\nslots = 16\nspeculation = on\n",
+        );
+        let out_dir = std::env::temp_dir().join("dim-cli-tests/t22-sweep");
+        std::fs::remove_dir_all(&out_dir).ok();
+        let report = run_cli(&[
+            "sweep",
+            spec.to_str().unwrap(),
+            "--out",
+            out_dir.to_str().unwrap(),
+            "--explain",
+        ])
+        .unwrap();
+        assert!(report.contains("forensics:"), "{report}");
+        let explain_dir = out_dir.join("explain");
+        let entries: Vec<_> = std::fs::read_dir(&explain_dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        assert_eq!(entries.len(), 1);
+        let text = std::fs::read_to_string(&entries[0]).unwrap();
+        let parsed = dim_obs::parse_json(&text).unwrap();
+        assert!(parsed.get("regions").is_some());
+        std::fs::remove_dir_all(&out_dir).ok();
     }
 
     #[test]

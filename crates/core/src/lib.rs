@@ -39,7 +39,7 @@ mod translator;
 
 pub use gshare::{measure_hit_rate, GsharePredictor, SpeculationPredictor};
 pub use predictor::{BimodalPredictor, Counter};
-pub use rcache::{ReconfCache, ReplacementPolicy};
+pub use rcache::{EvictedEntry, ReconfCache, ReplacementPolicy};
 pub use report::RunReport;
 pub use snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use stats::{CycleBreakdown, DimStats};

@@ -17,6 +17,20 @@ pub enum ReplacementPolicy {
     Lru,
 }
 
+/// What a capacity eviction displaced: the victim's identity (entry PC
+/// plus covered length — the stable region id) and how often it was
+/// reused between insertion and eviction. `uses == 0` marks a *dead*
+/// eviction: the translation never repaid its cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedEntry {
+    /// Entry PC of the evicted configuration.
+    pub pc: u32,
+    /// Instructions the evicted configuration covered.
+    pub len: u32,
+    /// Lookup hits the entry served while resident.
+    pub uses: u64,
+}
+
 /// The configuration cache (FIFO by default, per the paper).
 ///
 /// The slot count is the headline capacity parameter swept in Table 2
@@ -27,10 +41,15 @@ pub struct ReconfCache {
     policy: ReplacementPolicy,
     entries: HashMap<u32, Configuration>,
     order: VecDeque<u32>,
+    /// Lookup hits per resident entry since its (re-)insertion, for
+    /// live-vs-dead eviction accounting.
+    uses: HashMap<u32, u64>,
     hits: u64,
     misses: u64,
     insertions: u64,
     evictions: u64,
+    evictions_live: u64,
+    evictions_dead: u64,
     flushes: u64,
 }
 
@@ -48,10 +67,13 @@ impl ReconfCache {
             policy,
             entries: HashMap::new(),
             order: VecDeque::new(),
+            uses: HashMap::new(),
             hits: 0,
             misses: 0,
             insertions: 0,
             evictions: 0,
+            evictions_live: 0,
+            evictions_dead: 0,
             flushes: 0,
         }
     }
@@ -77,6 +99,7 @@ impl ReconfCache {
         match self.entries.get(&pc) {
             Some(c) => {
                 self.hits += 1;
+                *self.uses.entry(pc).or_insert(0) += 1;
                 if self.policy == ReplacementPolicy::Lru {
                     self.order.retain(|&p| p != pc);
                     self.order.push_back(pc);
@@ -97,14 +120,17 @@ impl ReconfCache {
 
     /// Inserts a configuration (keyed by its entry PC), evicting the
     /// oldest entry when full. Re-inserting an existing PC replaces the
-    /// configuration without changing its FIFO position. Returns the
-    /// entry PC of the configuration this insert displaced, if any.
-    pub fn insert(&mut self, config: Configuration) -> Option<u32> {
+    /// configuration without changing its FIFO position (and restarts
+    /// its reuse count — the new translation must earn its own keep).
+    /// Returns the displaced entry's identity and reuse count, if the
+    /// insert evicted one.
+    pub fn insert(&mut self, config: Configuration) -> Option<EvictedEntry> {
         if self.slots == 0 {
             return None;
         }
         let pc = config.entry_pc;
         self.insertions += 1;
+        self.uses.insert(pc, 0);
         if self.entries.insert(pc, config).is_some() {
             return None;
         }
@@ -113,9 +139,19 @@ impl ReconfCache {
         while self.entries.len() > self.slots {
             // Skip stale order entries left by flushes.
             if let Some(old) = self.order.pop_front() {
-                if self.entries.remove(&old).is_some() {
+                if let Some(victim) = self.entries.remove(&old) {
+                    let uses = self.uses.remove(&old).unwrap_or(0);
                     self.evictions += 1;
-                    evicted = Some(old);
+                    if uses > 0 {
+                        self.evictions_live += 1;
+                    } else {
+                        self.evictions_dead += 1;
+                    }
+                    evicted = Some(EvictedEntry {
+                        pc: old,
+                        len: victim.instruction_count() as u32,
+                        uses,
+                    });
                 }
             }
         }
@@ -126,6 +162,7 @@ impl ReconfCache {
     pub fn flush(&mut self, pc: u32) {
         if self.entries.remove(&pc).is_some() {
             self.flushes += 1;
+            self.uses.remove(&pc);
             self.order.retain(|&p| p != pc);
         }
     }
@@ -143,6 +180,18 @@ impl ReconfCache {
     /// Capacity evictions over the run.
     pub fn evictions(&self) -> u64 {
         self.evictions
+    }
+
+    /// Capacity evictions whose victim had served at least one lookup
+    /// hit while resident.
+    pub fn evictions_live(&self) -> u64 {
+        self.evictions_live
+    }
+
+    /// Capacity evictions whose victim was never reused after insertion
+    /// — translations the cache threw away before they repaid anything.
+    pub fn evictions_dead(&self) -> u64 {
+        self.evictions_dead
     }
 
     /// Misspeculation flushes over the run.
@@ -196,7 +245,10 @@ mod tests {
         let mut cache = ReconfCache::new(2);
         assert_eq!(cache.insert(config_at(0x100)), None);
         assert_eq!(cache.insert(config_at(0x200)), None);
-        assert_eq!(cache.insert(config_at(0x300)), Some(0x100));
+        let evicted = cache.insert(config_at(0x300)).unwrap();
+        assert_eq!(evicted.pc, 0x100);
+        assert_eq!(evicted.len, 1);
+        assert_eq!(evicted.uses, 0);
         assert!(cache.peek(0x100).is_none());
         assert!(cache.peek(0x200).is_some());
         assert!(cache.peek(0x300).is_some());
@@ -287,13 +339,13 @@ mod tests {
 
             // capacity + 1: exactly one eviction, of the oldest PC.
             let evicted = cache.insert(config_at(0x900));
-            assert_eq!(evicted, Some(0x100), "slots={slots}");
+            assert_eq!(evicted.map(|e| e.pc), Some(0x100), "slots={slots}");
             assert_eq!(cache.evictions(), 1);
             assert_eq!(cache.len(), slots);
             assert!(cache.peek(0x100).is_none());
             assert!(cache.peek(0x900).is_some());
             // FIFO order after the eviction: second-oldest is next out.
-            let next = cache.insert(config_at(0x904));
+            let next = cache.insert(config_at(0x904)).map(|e| e.pc);
             if slots == 1 {
                 assert_eq!(next, Some(0x900));
             } else {
@@ -327,7 +379,7 @@ mod tests {
         assert_eq!(cache.insert(config_at(0x108)), None);
         assert_eq!(cache.evictions(), 0);
         // Now 0x104 is oldest; overflow evicts it, not the flushed PC.
-        assert_eq!(cache.insert(config_at(0x10c)), Some(0x104));
+        assert_eq!(cache.insert(config_at(0x10c)).map(|e| e.pc), Some(0x104));
     }
 
     /// `seed` (the snapshot restore path) fills to capacity and refuses
@@ -344,10 +396,39 @@ mod tests {
         assert_eq!(cache.evictions(), 0);
         assert_eq!(cache.hit_miss(), (0, 0));
         // Seeded order behaves as FIFO history: 0x100 evicts first.
-        assert_eq!(cache.insert(config_at(0x108)), Some(0x100));
+        assert_eq!(cache.insert(config_at(0x108)).map(|e| e.pc), Some(0x100));
 
         let mut disabled = ReconfCache::new(0);
         assert!(!disabled.seed(config_at(0x100)), "0 slots stores nothing");
+    }
+
+    #[test]
+    fn eviction_distinguishes_live_from_dead() {
+        let mut cache = ReconfCache::new(2);
+        cache.insert(config_at(0x100));
+        cache.insert(config_at(0x200));
+        assert!(cache.lookup(0x100).is_some()); // 0x100 repaid itself
+        let evicted = cache.insert(config_at(0x300)).unwrap();
+        assert_eq!((evicted.pc, evicted.uses), (0x100, 1));
+        assert_eq!(cache.evictions_live(), 1);
+        assert_eq!(cache.evictions_dead(), 0);
+        let evicted = cache.insert(config_at(0x400)).unwrap();
+        assert_eq!((evicted.pc, evicted.uses), (0x200, 0)); // never reused
+        assert_eq!(cache.evictions_live(), 1);
+        assert_eq!(cache.evictions_dead(), 1);
+    }
+
+    #[test]
+    fn reinsert_restarts_reuse_count() {
+        let mut cache = ReconfCache::new(2);
+        cache.insert(config_at(0x100));
+        assert!(cache.lookup(0x100).is_some());
+        cache.insert(config_at(0x100)); // replacement translation
+        cache.insert(config_at(0x200));
+        // 0x100 evicts with the *new* translation's count, not the old hit.
+        let evicted = cache.insert(config_at(0x300)).unwrap();
+        assert_eq!((evicted.pc, evicted.uses), (0x100, 0));
+        assert_eq!(cache.evictions_dead(), 1);
     }
 
     #[test]

@@ -40,6 +40,12 @@ pub struct DimStats {
     /// occupied — drives the power-gating model (unused rows switched
     /// off, the paper's announced future work).
     pub array_occupied_rows: u64,
+    /// Capacity evictions whose victim had served at least one cache
+    /// hit while resident.
+    pub rcache_evictions_live: u64,
+    /// Capacity evictions whose victim was never reused after insertion
+    /// — translation work the cache discarded before any payback.
+    pub rcache_evictions_dead: u64,
 }
 
 impl DimStats {
@@ -79,6 +85,8 @@ impl DimStats {
         acc(&mut self.cache_bits_read, other.cache_bits_read);
         acc(&mut self.cache_bits_written, other.cache_bits_written);
         acc(&mut self.array_occupied_rows, other.array_occupied_rows);
+        acc(&mut self.rcache_evictions_live, other.rcache_evictions_live);
+        acc(&mut self.rcache_evictions_dead, other.rcache_evictions_dead);
     }
 
     /// All cycles attributable to array execution (stalls + rows +

@@ -244,7 +244,10 @@ impl System {
             let hit = self.cache.lookup(pc).cloned();
             if let Some(config) = hit {
                 if P::ENABLED {
-                    probe.emit(ProbeEvent::RcacheHit { pc });
+                    probe.emit(ProbeEvent::RcacheHit {
+                        pc,
+                        len: config.instruction_count() as u32,
+                    });
                 }
                 // A cache hit interrupts any in-flight detection region.
                 // (The inserted partial may even evict the entry we are
@@ -281,9 +284,28 @@ impl System {
         self.stats.configs_built += 1;
         self.stats.cache_bits_written += self.stored_bits_per_config;
         let pc = config.entry_pc;
+        let len = config.instruction_count() as u32;
         let evicted = self.cache.insert(config);
+        if let Some(victim) = &evicted {
+            if victim.uses > 0 {
+                self.stats.rcache_evictions_live += 1;
+            } else {
+                self.stats.rcache_evictions_dead += 1;
+            }
+        }
         if P::ENABLED {
-            probe.emit(ProbeEvent::RcacheInsert { pc, evicted });
+            probe.emit(ProbeEvent::RcacheInsert {
+                pc,
+                len,
+                evicted: evicted.as_ref().map(|e| e.pc),
+            });
+            if let Some(victim) = evicted {
+                probe.emit(ProbeEvent::RcacheEvict {
+                    pc: victim.pc,
+                    len: victim.len,
+                    uses: victim.uses,
+                });
+            }
         }
     }
 
@@ -476,9 +498,18 @@ impl System {
                 tail_cycles: spans.tail as u32,
             });
             if P::ENABLED {
+                if let Some((branch_pc, _)) = misspec_branch {
+                    probe.emit(ProbeEvent::SpecMispredict {
+                        region_pc: config.entry_pc,
+                        region_len: config.instruction_count() as u32,
+                        branch_pc,
+                        penalty_cycles: misspec_penalty as u32,
+                    });
+                }
                 if flushed {
                     probe.emit(ProbeEvent::RcacheFlush {
                         pc: config.entry_pc,
+                        len: config.instruction_count() as u32,
                     });
                 }
                 probe.emit(event);

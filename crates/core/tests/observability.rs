@@ -140,6 +140,8 @@ proptest! {
         prop_assert_eq!(s.configs_built, live.configs_built);
         prop_assert_eq!(s.translated_instructions, live.translated_instructions);
         prop_assert_eq!(s.array_occupied_rows, live.array_occupied_rows);
+        prop_assert_eq!(s.rcache_evictions_live, live.rcache_evictions_live);
+        prop_assert_eq!(s.rcache_evictions_dead, live.rcache_evictions_dead);
         // Bit counters reconstruct exactly from the header's
         // bits_per_config (taken from the live system's encoding).
         prop_assert_eq!(s.cache_bits_read, live.cache_bits_read);
@@ -191,6 +193,73 @@ proptest! {
             prop_assert!(breakdown.i_stall + breakdown.d_stall > 0);
         }
     }
+}
+
+/// The eviction split at the capacity boundary: a cache sized to hold
+/// every region never evicts (both counters zero); one slot short,
+/// displacements begin, the live/dead split accounts for every eviction
+/// the cache reports, and the hot loop's reused config counts as a
+/// *live* casualty.
+#[test]
+fn eviction_split_tracks_capacity_boundary() {
+    let src = "
+        main: li $s0, 30
+              li $v0, 0
+        l1:   xor $t0, $v0, $s0
+              addu $v0, $v0, $t0
+              sll $t1, $v0, 1
+              addu $v0, $v0, $t1
+              addiu $s0, $s0, -1
+              bnez $s0, l1
+              li $s1, 30
+        l2:   srl $t2, $v0, 2
+              xor $v0, $v0, $t2
+              addiu $v0, $v0, 7
+              addiu $s1, $s1, -1
+              bnez $s1, l2
+              break 0";
+    let run = |slots: usize| {
+        let mut system = build_system(src, slots, true, false);
+        system.run(MAX_INSTRUCTIONS).expect("runs");
+        system
+    };
+
+    // Roomy: every region stays resident.
+    let roomy = run(64);
+    assert_eq!(roomy.cache().evictions(), 0);
+    assert_eq!(roomy.stats().rcache_evictions_live, 0);
+    assert_eq!(roomy.stats().rcache_evictions_dead, 0);
+    let resident = roomy.cache().len();
+    assert!(resident >= 2, "needs at least two regions to displace");
+
+    // Exactly at capacity: still nothing evicts.
+    let exact = run(resident);
+    assert_eq!(exact.cache().evictions(), 0);
+    assert_eq!(exact.stats().rcache_evictions_live, 0);
+    assert_eq!(exact.stats().rcache_evictions_dead, 0);
+
+    // One short: displacement starts and the split stays exhaustive.
+    let tight = run(resident - 1);
+    let stats = tight.stats();
+    assert!(tight.cache().evictions() > 0);
+    assert_eq!(
+        stats.rcache_evictions_live + stats.rcache_evictions_dead,
+        tight.cache().evictions()
+    );
+
+    // A single slot forces the hot loop's config — hit on every
+    // iteration — to be displaced when the next region arrives, so at
+    // least one eviction must be classified live.
+    let single = run(1);
+    let stats = single.stats();
+    assert_eq!(
+        stats.rcache_evictions_live + stats.rcache_evictions_dead,
+        single.cache().evictions()
+    );
+    assert!(
+        stats.rcache_evictions_live >= 1,
+        "the hot loop's config was reused before being displaced: {stats:?}"
+    );
 }
 
 /// The bounded in-memory trace sees the same events as an external sink

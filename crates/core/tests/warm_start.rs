@@ -57,6 +57,8 @@ fn stats_delta(a: &DimStats, b: &DimStats) -> DimStats {
         cache_bits_read: a.cache_bits_read - b.cache_bits_read,
         cache_bits_written: a.cache_bits_written - b.cache_bits_written,
         array_occupied_rows: a.array_occupied_rows - b.array_occupied_rows,
+        rcache_evictions_live: a.rcache_evictions_live - b.rcache_evictions_live,
+        rcache_evictions_dead: a.rcache_evictions_dead - b.rcache_evictions_dead,
     }
 }
 

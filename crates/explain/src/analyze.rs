@@ -1,0 +1,623 @@
+//! The trace walk: region lifecycles, exact cycle attribution, and
+//! missed-speedup ranking.
+
+use dim_obs::replay::{read_trace, ReplayError, ReplayedTrace, TraceRecord, TraceSummary};
+use dim_obs::ProbeEvent;
+use std::collections::HashMap;
+
+/// Lifecycle counters and cycle attribution for one region.
+///
+/// A region is identified by its detection PC plus the number of
+/// instructions the translated configuration covers (`len`); `len` is 0
+/// until some event carries it (and in schema-v1/v2 traces, always).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegionStats {
+    /// Detection PC — entry of the region.
+    pub pc: u32,
+    /// Instructions the region's configuration covers (largest seen).
+    pub len: u32,
+    /// Detection windows the translator opened at this PC.
+    pub detections: u64,
+    /// Configurations committed from this PC.
+    pub commits: u64,
+    /// Commits that were interrupted prefixes rather than natural closes.
+    pub partial_commits: u64,
+    /// Insertions into the reconfiguration cache.
+    pub inserts: u64,
+    /// Reconfiguration-cache lookup hits.
+    pub hits: u64,
+    /// Times the region executed on the array.
+    pub invocations: u64,
+    /// Instructions retired through array execution of this region.
+    pub executed_instructions: u64,
+    /// Invocations with every speculated branch correct.
+    pub full_hits: u64,
+    /// Misspeculated invocations (schema v3; 0 in older traces).
+    pub mispredicts: u64,
+    /// Misspeculation penalty cycles charged inside this region's
+    /// invocations (schema v3; 0 in older traces).
+    pub mispredict_penalty_cycles: u64,
+    /// Flushes after repeated misspeculation.
+    pub flushes: u64,
+    /// Capacity evictions after at least one reuse (schema v3).
+    pub evictions_live: u64,
+    /// Capacity evictions with zero reuse — dead translations (v3).
+    pub evictions_dead: u64,
+    /// Pipeline cycles retired while this region's detection window was
+    /// open. Translation itself is free (it happens in hardware beside
+    /// the pipeline); this measures the investment window, and is the
+    /// sunk cost when the region never pays back.
+    pub translate_cycles: u64,
+    /// Cycles the array charged executing this region (reconfiguration
+    /// stall + rows + write-back tail + data stalls + penalties).
+    pub array_cycles: u64,
+}
+
+impl RegionStats {
+    /// All cycles attributed to this region.
+    pub fn attributed_cycles(&self) -> u64 {
+        self.translate_cycles + self.array_cycles
+    }
+
+    /// Estimated cycles acceleration saved (negative: cost) — the
+    /// instructions the array retired, priced at the trace's scalar CPI,
+    /// minus what the array actually charged.
+    pub fn estimated_saved_cycles(&self, scalar_cpi: f64) -> i64 {
+        let scalar = self.executed_instructions as f64 * scalar_cpi;
+        (scalar - self.array_cycles as f64).round() as i64
+    }
+}
+
+/// Why a region shows up in the missed-speedup ranking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissedCause {
+    /// A detection window opened (possibly repeatedly) but no
+    /// configuration was ever committed — the candidate always died.
+    NeverCommitted,
+    /// The region was translated and cached but evicted before serving
+    /// a single reuse; the translation investment was discarded.
+    DeadEviction,
+    /// The region did accelerate, but its misspeculation penalty
+    /// exceeds the estimated cycles acceleration saved.
+    MispredictDominated,
+}
+
+impl MissedCause {
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MissedCause::NeverCommitted => "never_committed",
+            MissedCause::DeadEviction => "dead_eviction",
+            MissedCause::MispredictDominated => "mispredict_dominated",
+        }
+    }
+
+    /// One-line human description.
+    pub fn describe(self) -> &'static str {
+        match self {
+            MissedCause::NeverCommitted => "detection window never committed a configuration",
+            MissedCause::DeadEviction => "translated but evicted before any reuse",
+            MissedCause::MispredictDominated => "misspeculation penalty exceeds estimated savings",
+        }
+    }
+}
+
+/// One ranked missed-speedup finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MissedSpeedup {
+    /// Region detection PC.
+    pub pc: u32,
+    /// Region length (0 when unknown).
+    pub len: u32,
+    /// The category.
+    pub cause: MissedCause,
+    /// Cycles attributed to the miss (sunk translate-window cycles for
+    /// uncommitted/dead regions, penalty cycles for mispredict-bound
+    /// regions). The ranking key.
+    pub cycles: u64,
+}
+
+/// What a timeline span represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A detection window on the pipeline track.
+    Translate {
+        /// Whether the window closed with a committed configuration.
+        committed: bool,
+    },
+    /// An array invocation on the CGRA track.
+    Invoke {
+        /// Instructions actually executed.
+        executed: u32,
+        /// Whether a speculated branch resolved wrong.
+        misspeculated: bool,
+        /// Whether the invocation ended with a flush.
+        flushed: bool,
+    },
+}
+
+/// A duration event on the reconstructed timeline, in simulated cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Region PC the span belongs to.
+    pub pc: u32,
+    /// Start, in cumulative simulated cycles from trace start.
+    pub start: u64,
+    /// Duration in cycles (0-length windows are kept).
+    pub dur: u64,
+    /// What happened.
+    pub kind: SpanKind,
+}
+
+/// Kinds of point-in-time markers on the timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarkerKind {
+    /// A capacity eviction; `value` is the victim's reuse count.
+    Evict,
+    /// A misspeculation flush; `value` is 0.
+    Flush,
+    /// A mispredicted speculative branch; `value` is the penalty.
+    Mispredict,
+}
+
+impl MarkerKind {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MarkerKind::Evict => "evict",
+            MarkerKind::Flush => "flush",
+            MarkerKind::Mispredict => "mispredict",
+        }
+    }
+}
+
+/// An instantaneous event on the reconstructed timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Marker {
+    /// Region PC the marker belongs to.
+    pub pc: u32,
+    /// Position in cumulative simulated cycles.
+    pub at: u64,
+    /// Kind-specific value (see [`MarkerKind`]).
+    pub value: u64,
+    /// What happened.
+    pub kind: MarkerKind,
+}
+
+/// The full forensic analysis of one trace.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// Workload name from the trace header.
+    pub workload: String,
+    /// Schema version the trace was written with.
+    pub schema_version: u32,
+    /// The replayed counters the analysis was built from.
+    pub summary: TraceSummary,
+    /// Pipeline cycles retired outside any detection window.
+    pub scalar_cycles: u64,
+    /// Pipeline cycles per pipeline-retired instruction — the price
+    /// used to estimate what accelerated instructions would have cost
+    /// scalar (1.0 when the trace retired nothing on the pipeline).
+    pub scalar_cpi: f64,
+    /// Per-region lifecycle stats, sorted by attributed cycles
+    /// descending.
+    pub regions: Vec<RegionStats>,
+    /// Missed-speedup findings, ranked by cycles descending.
+    pub missed: Vec<MissedSpeedup>,
+    /// Timeline duration events, in trace order.
+    pub spans: Vec<Span>,
+    /// Timeline instant events, in trace order.
+    pub markers: Vec<Marker>,
+}
+
+impl Explanation {
+    /// Total simulated cycles of the trace.
+    pub fn total_cycles(&self) -> u64 {
+        self.summary.total_cycles()
+    }
+
+    /// The scalar bucket plus every region's attribution. Equals
+    /// [`total_cycles`](Explanation::total_cycles) exactly — the
+    /// conservation law the property test enforces.
+    pub fn attributed_total(&self) -> u64 {
+        self.scalar_cycles
+            + self
+                .regions
+                .iter()
+                .map(RegionStats::attributed_cycles)
+                .sum::<u64>()
+    }
+
+    /// The region record for `pc`, if the trace ever mentioned it.
+    pub fn region(&self, pc: u32) -> Option<&RegionStats> {
+        self.regions.iter().find(|r| r.pc == pc)
+    }
+}
+
+/// Formats a region id for display: `0x{pc:x}[{len}]`.
+pub(crate) fn region_id(pc: u32, len: u32) -> String {
+    format!("0x{pc:x}[{len}]")
+}
+
+struct Walker {
+    regions: HashMap<u32, RegionStats>,
+    scalar_cycles: u64,
+    clock: u64,
+    /// `(pc, start_clock)` of the open detection window, if any.
+    open: Option<(u32, u64)>,
+    spans: Vec<Span>,
+    markers: Vec<Marker>,
+}
+
+impl Walker {
+    fn region(&mut self, pc: u32) -> &mut RegionStats {
+        self.regions.entry(pc).or_insert_with(|| RegionStats {
+            pc,
+            ..RegionStats::default()
+        })
+    }
+
+    fn note_len(&mut self, pc: u32, len: u32) {
+        let r = self.region(pc);
+        r.len = r.len.max(len);
+    }
+
+    fn close_window(&mut self, committed: bool) {
+        if let Some((pc, start)) = self.open.take() {
+            self.spans.push(Span {
+                pc,
+                start,
+                dur: self.clock - start,
+                kind: SpanKind::Translate { committed },
+            });
+        }
+    }
+
+    fn event(&mut self, e: &ProbeEvent) {
+        match *e {
+            // Retires only appear batched in sink-written traces; handle
+            // the raw event anyway so hand-built traces attribute too.
+            ProbeEvent::Retire {
+                base_cycles,
+                i_stall,
+                d_stall,
+                ..
+            } => {
+                let cycles = base_cycles as u64 + i_stall as u64 + d_stall as u64;
+                self.retire_cycles(cycles);
+            }
+            ProbeEvent::TransBegin { pc } => {
+                self.close_window(false);
+                self.open = Some((pc, self.clock));
+                self.region(pc).detections += 1;
+            }
+            ProbeEvent::TransCommit {
+                entry_pc,
+                instructions,
+                partial,
+                ..
+            } => {
+                self.close_window(true);
+                let r = self.region(entry_pc);
+                r.commits += 1;
+                if partial {
+                    r.partial_commits += 1;
+                }
+                self.note_len(entry_pc, instructions);
+            }
+            ProbeEvent::RcacheHit { pc, len } => {
+                self.region(pc).hits += 1;
+                self.note_len(pc, len);
+            }
+            ProbeEvent::RcacheMiss { .. } => {}
+            ProbeEvent::RcacheInsert { pc, len, .. } => {
+                self.region(pc).inserts += 1;
+                self.note_len(pc, len);
+            }
+            ProbeEvent::RcacheFlush { pc, len } => {
+                self.region(pc).flushes += 1;
+                self.note_len(pc, len);
+                self.markers.push(Marker {
+                    pc,
+                    at: self.clock,
+                    value: 0,
+                    kind: MarkerKind::Flush,
+                });
+            }
+            ProbeEvent::RcacheEvict { pc, len, uses } => {
+                let r = self.region(pc);
+                if uses > 0 {
+                    r.evictions_live += 1;
+                } else {
+                    r.evictions_dead += 1;
+                }
+                self.note_len(pc, len);
+                self.markers.push(Marker {
+                    pc,
+                    at: self.clock,
+                    value: uses,
+                    kind: MarkerKind::Evict,
+                });
+            }
+            ProbeEvent::SpecMispredict {
+                region_pc,
+                region_len,
+                penalty_cycles,
+                ..
+            } => {
+                let r = self.region(region_pc);
+                r.mispredicts += 1;
+                r.mispredict_penalty_cycles += penalty_cycles as u64;
+                self.note_len(region_pc, region_len);
+                self.markers.push(Marker {
+                    pc: region_pc,
+                    at: self.clock,
+                    value: penalty_cycles as u64,
+                    kind: MarkerKind::Mispredict,
+                });
+            }
+            ProbeEvent::ArrayInvoke(inv) => {
+                let cycles = inv.total_cycles();
+                let r = self.region(inv.entry_pc);
+                r.invocations += 1;
+                r.executed_instructions += inv.executed as u64;
+                if !inv.misspeculated {
+                    r.full_hits += 1;
+                }
+                r.array_cycles += cycles;
+                self.note_len(inv.entry_pc, inv.covered);
+                self.spans.push(Span {
+                    pc: inv.entry_pc,
+                    start: self.clock,
+                    dur: cycles,
+                    kind: SpanKind::Invoke {
+                        executed: inv.executed,
+                        misspeculated: inv.misspeculated,
+                        flushed: inv.flushed,
+                    },
+                });
+                self.clock += cycles;
+            }
+        }
+    }
+
+    fn retire_cycles(&mut self, cycles: u64) {
+        match self.open {
+            Some((pc, _)) => self.region(pc).translate_cycles += cycles,
+            None => self.scalar_cycles += cycles,
+        }
+        self.clock += cycles;
+    }
+}
+
+/// Ranks the missed-speedup findings for the analyzed regions.
+fn rank_missed(regions: &[RegionStats], scalar_cpi: f64) -> Vec<MissedSpeedup> {
+    let mut missed = Vec::new();
+    for r in regions {
+        if r.detections > 0 && r.commits == 0 {
+            // Investment window with literally nothing to show for it.
+            missed.push(MissedSpeedup {
+                pc: r.pc,
+                len: r.len,
+                cause: MissedCause::NeverCommitted,
+                cycles: r.translate_cycles,
+            });
+            continue;
+        }
+        if r.evictions_dead > 0 && r.invocations == 0 {
+            missed.push(MissedSpeedup {
+                pc: r.pc,
+                len: r.len,
+                cause: MissedCause::DeadEviction,
+                cycles: r.translate_cycles,
+            });
+        }
+        if r.mispredict_penalty_cycles > 0
+            && (r.mispredict_penalty_cycles as i64) > r.estimated_saved_cycles(scalar_cpi).max(0)
+        {
+            missed.push(MissedSpeedup {
+                pc: r.pc,
+                len: r.len,
+                cause: MissedCause::MispredictDominated,
+                cycles: r.mispredict_penalty_cycles,
+            });
+        }
+    }
+    missed.sort_by(|a, b| b.cycles.cmp(&a.cycles).then(a.pc.cmp(&b.pc)));
+    missed
+}
+
+/// Analyzes a replayed trace into per-region lifecycles, timeline, and
+/// missed-speedup ranking.
+pub fn explain(trace: &ReplayedTrace) -> Explanation {
+    let mut w = Walker {
+        regions: HashMap::new(),
+        scalar_cycles: 0,
+        clock: 0,
+        open: None,
+        spans: Vec::new(),
+        markers: Vec::new(),
+    };
+    for record in &trace.records {
+        match record {
+            TraceRecord::RetireBatch {
+                base_cycles,
+                i_stall,
+                d_stall,
+                ..
+            } => w.retire_cycles(base_cycles + i_stall + d_stall),
+            TraceRecord::Event(e) => w.event(e),
+            TraceRecord::Header(_) | TraceRecord::Telemetry { .. } | TraceRecord::Footer { .. } => {
+            }
+        }
+    }
+    // A window still open at trace end is an abandoned candidate.
+    w.close_window(false);
+
+    let scalar_cpi = if trace.summary.retired > 0 {
+        trace.summary.pipeline_cycles as f64 / trace.summary.retired as f64
+    } else {
+        1.0
+    };
+    let mut regions: Vec<RegionStats> = w.regions.into_values().collect();
+    regions.sort_by(|a, b| {
+        b.attributed_cycles()
+            .cmp(&a.attributed_cycles())
+            .then(a.pc.cmp(&b.pc))
+    });
+    let missed = rank_missed(&regions, scalar_cpi);
+
+    let explanation = Explanation {
+        workload: trace.header.workload.clone(),
+        schema_version: trace.header.schema_version,
+        summary: trace.summary,
+        scalar_cycles: w.scalar_cycles,
+        scalar_cpi,
+        regions,
+        missed,
+        spans: w.spans,
+        markers: w.markers,
+    };
+    debug_assert_eq!(
+        explanation.attributed_total(),
+        explanation.total_cycles(),
+        "cycle attribution must conserve the trace total"
+    );
+    explanation
+}
+
+/// Parses trace text and analyzes it in one step.
+///
+/// # Errors
+///
+/// Returns the [`ReplayError`] if the trace fails validation.
+pub fn explain_text(text: &str) -> Result<Explanation, ReplayError> {
+    Ok(explain(&read_trace(text)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const V3: &str = concat!(
+        r#"{"type":"header","schema_version":3,"workload":"unit","bits_per_config":64}"#,
+        "\n",
+        r#"{"type":"retire_batch","count":4,"base_cycles":6,"i_stall":1,"d_stall":0,"rcache_misses":4,"kinds":{"alu":4}}"#,
+        "\n",
+        r#"{"type":"trans_begin","pc":64}"#,
+        "\n",
+        r#"{"type":"retire_batch","count":5,"base_cycles":5,"i_stall":0,"d_stall":0,"rcache_misses":5,"kinds":{"alu":5}}"#,
+        "\n",
+        r#"{"type":"trans_commit","entry_pc":64,"instructions":5,"rows":2,"spec_blocks":1,"partial":false}"#,
+        "\n",
+        r#"{"type":"rcache_insert","pc":64,"len":5,"evicted":96}"#,
+        "\n",
+        r#"{"type":"rcache_evict","pc":96,"len":3,"uses":0}"#,
+        "\n",
+        r#"{"type":"rcache_hit","pc":64,"len":5}"#,
+        "\n",
+        r#"{"type":"mispredict","region_pc":64,"region_len":5,"branch_pc":80,"penalty_cycles":2}"#,
+        "\n",
+        r#"{"type":"array_invoke","entry_pc":64,"exit_pc":84,"covered":5,"executed":3,"loads":0,"stores":0,"rows":2,"spec_depth":0,"misspeculated":true,"flushed":false,"stall_cycles":1,"exec_cycles":4,"tail_cycles":1}"#,
+        "\n",
+        r#"{"type":"trans_begin","pc":128}"#,
+        "\n",
+        r#"{"type":"retire_batch","count":2,"base_cycles":3,"i_stall":0,"d_stall":0,"rcache_misses":2,"kinds":{"alu":2}}"#,
+        "\n",
+        r#"{"type":"footer","events":30}"#,
+    );
+
+    #[test]
+    fn attribution_conserves_total_cycles() {
+        let ex = explain_text(V3).unwrap();
+        assert_eq!(ex.attributed_total(), ex.total_cycles());
+        // 7 scalar + 5 in region 64's window + 3 in region 128's window
+        // + 6 array cycles.
+        assert_eq!(ex.scalar_cycles, 7);
+        assert_eq!(ex.total_cycles(), 21);
+    }
+
+    #[test]
+    fn lifecycle_counters_reconstruct() {
+        let ex = explain_text(V3).unwrap();
+        let r = ex.region(64).unwrap();
+        assert_eq!(r.len, 5);
+        assert_eq!(r.detections, 1);
+        assert_eq!(r.commits, 1);
+        assert_eq!(r.inserts, 1);
+        assert_eq!(r.hits, 1);
+        assert_eq!(r.invocations, 1);
+        assert_eq!(r.mispredicts, 1);
+        assert_eq!(r.mispredict_penalty_cycles, 2);
+        assert_eq!(r.translate_cycles, 5);
+        assert_eq!(r.array_cycles, 6);
+        let victim = ex.region(96).unwrap();
+        assert_eq!(victim.evictions_dead, 1);
+        assert_eq!(victim.evictions_live, 0);
+    }
+
+    #[test]
+    fn missed_speedup_ranks_all_three_causes() {
+        let ex = explain_text(V3).unwrap();
+        // Region 128: opened, never committed, window still open at EOF.
+        let never = ex
+            .missed
+            .iter()
+            .find(|m| m.cause == MissedCause::NeverCommitted)
+            .expect("uncommitted region ranked");
+        assert_eq!(never.pc, 128);
+        assert_eq!(never.cycles, 3);
+        // Region 96: evicted dead without ever being invoked.
+        assert!(ex
+            .missed
+            .iter()
+            .any(|m| m.cause == MissedCause::DeadEviction && m.pc == 96));
+        // Region 64: 2 penalty cycles vs an estimated saving of
+        // 3 * (15/11 pipeline CPI) - 6 < 0 → mispredict-dominated.
+        assert!(ex
+            .missed
+            .iter()
+            .any(|m| m.cause == MissedCause::MispredictDominated && m.pc == 64));
+    }
+
+    #[test]
+    fn timeline_spans_are_ordered_and_typed() {
+        let ex = explain_text(V3).unwrap();
+        assert_eq!(ex.spans.len(), 3); // 2 translate windows + 1 invoke
+        let invoke = ex
+            .spans
+            .iter()
+            .find(|s| matches!(s.kind, SpanKind::Invoke { .. }))
+            .unwrap();
+        assert_eq!(invoke.pc, 64);
+        assert_eq!(invoke.start, 12);
+        assert_eq!(invoke.dur, 6);
+        assert_eq!(ex.markers.len(), 2); // evict + mispredict
+        let starts: Vec<u64> = ex.spans.iter().map(|s| s.start).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted, "spans come out in timeline order");
+    }
+
+    #[test]
+    fn v1_trace_explains_with_len_zero() {
+        let v1 = concat!(
+            r#"{"type":"header","schema_version":1,"workload":"old","bits_per_config":64}"#,
+            "\n",
+            r#"{"type":"rcache_insert","pc":4,"evicted":null}"#,
+            "\n",
+            r#"{"type":"rcache_hit","pc":4}"#,
+            "\n",
+            r#"{"type":"array_invoke","entry_pc":4,"exit_pc":8,"covered":2,"executed":2,"loads":0,"stores":0,"rows":1,"spec_depth":0,"misspeculated":false,"flushed":false,"stall_cycles":0,"exec_cycles":2,"tail_cycles":0}"#,
+            "\n",
+            r#"{"type":"footer","events":3}"#,
+        );
+        let ex = explain_text(v1).unwrap();
+        assert_eq!(ex.schema_version, 1);
+        assert_eq!(ex.attributed_total(), ex.total_cycles());
+        let r = ex.region(4).unwrap();
+        assert_eq!(r.len, 2); // learned from array_invoke.covered
+        assert_eq!(r.hits, 1);
+        assert!(ex.missed.is_empty());
+    }
+}

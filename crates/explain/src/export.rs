@@ -1,0 +1,227 @@
+//! Chrome trace-event and collapsed-stack (flamegraph) exports.
+
+use crate::analyze::{Explanation, MarkerKind, SpanKind};
+use dim_obs::{write_escaped, ObjectWriter};
+
+/// Track (thread) ids inside the Chrome trace: the pipeline/translator
+/// side and the reconfigurable array side.
+const TID_PIPELINE: u64 = 1;
+const TID_ARRAY: u64 = 2;
+const PID: u64 = 1;
+
+fn meta_event(name: &str, tid: Option<u64>, value: &str) -> String {
+    let mut o = ObjectWriter::new();
+    o.field_str("ph", "M");
+    o.field_str("name", name);
+    o.field_u64("pid", PID);
+    if let Some(tid) = tid {
+        o.field_u64("tid", tid);
+    }
+    let mut args = ObjectWriter::new();
+    args.field_str("name", value);
+    o.field_raw("args", &args.finish());
+    o.finish()
+}
+
+impl Explanation {
+    /// Renders the timeline as Chrome trace-event JSON
+    /// (`{"traceEvents":[...]}`), loadable in `chrome://tracing`,
+    /// Perfetto, or speedscope. One simulated cycle maps to one
+    /// microsecond of display time. Detection windows appear as
+    /// duration events on the *pipeline* track, array invocations on
+    /// the *CGRA* track, and evictions / flushes / mispredicts as
+    /// instant events.
+    pub fn chrome_trace(&self) -> String {
+        let mut events: Vec<String> = Vec::with_capacity(self.spans.len() + self.markers.len() + 3);
+        events.push(meta_event("process_name", None, "dim simulated cycles"));
+        events.push(meta_event(
+            "thread_name",
+            Some(TID_PIPELINE),
+            "pipeline / translate",
+        ));
+        events.push(meta_event("thread_name", Some(TID_ARRAY), "array (CGRA)"));
+
+        for span in &self.spans {
+            let len = self.region(span.pc).map_or(0, |r| r.len);
+            let mut o = ObjectWriter::new();
+            o.field_str("ph", "X");
+            o.field_u64("pid", PID);
+            o.field_u64("ts", span.start);
+            o.field_u64("dur", span.dur);
+            let mut args = ObjectWriter::new();
+            args.field_u64("pc", span.pc as u64);
+            args.field_u64("len", len as u64);
+            match span.kind {
+                SpanKind::Translate { committed } => {
+                    o.field_str("name", &format!("translate 0x{:x}", span.pc));
+                    o.field_str("cat", "translate");
+                    o.field_u64("tid", TID_PIPELINE);
+                    args.field_bool("committed", committed);
+                }
+                SpanKind::Invoke {
+                    executed,
+                    misspeculated,
+                    flushed,
+                } => {
+                    o.field_str("name", &format!("region 0x{:x}", span.pc));
+                    o.field_str("cat", "invoke");
+                    o.field_u64("tid", TID_ARRAY);
+                    args.field_u64("executed", executed as u64);
+                    args.field_bool("misspeculated", misspeculated);
+                    args.field_bool("flushed", flushed);
+                }
+            }
+            o.field_raw("args", &args.finish());
+            events.push(o.finish());
+        }
+
+        for marker in &self.markers {
+            let mut o = ObjectWriter::new();
+            o.field_str("ph", "i");
+            o.field_str("s", "t"); // thread-scoped instant
+            o.field_u64("pid", PID);
+            o.field_u64("ts", marker.at);
+            o.field_str("name", &format!("{} 0x{:x}", marker.kind.name(), marker.pc));
+            o.field_str("cat", marker.kind.name());
+            let tid = match marker.kind {
+                // Cache bookkeeping happens beside the pipeline; the
+                // mispredict fires during array execution.
+                MarkerKind::Evict | MarkerKind::Flush => TID_PIPELINE,
+                MarkerKind::Mispredict => TID_ARRAY,
+            };
+            o.field_u64("tid", tid);
+            let mut args = ObjectWriter::new();
+            args.field_u64("pc", marker.pc as u64);
+            match marker.kind {
+                MarkerKind::Evict => args.field_u64("uses", marker.value),
+                MarkerKind::Flush => args.field_u64("strikes", marker.value),
+                MarkerKind::Mispredict => args.field_u64("penalty_cycles", marker.value),
+            };
+            o.field_raw("args", &args.finish());
+            events.push(o.finish());
+        }
+
+        let mut out = String::from("{\"traceEvents\":[");
+        out.push_str(&events.join(","));
+        out.push_str("],\"displayTimeUnit\":\"ms\",\"otherData\":{\"workload\":");
+        write_escaped(&mut out, &self.workload);
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders the attribution as collapsed-stack lines for
+    /// `flamegraph.pl` or `inferno-flamegraph`: one
+    /// `workload;frame;frame count` line per leaf, counts in simulated
+    /// cycles. The per-line counts sum exactly to the trace's total
+    /// cycles — the mispredict penalty is carved out of each region's
+    /// array frame, never double-counted.
+    pub fn folded(&self) -> String {
+        let mut out = String::new();
+        let root = sanitize_frame(&self.workload);
+        if self.scalar_cycles > 0 {
+            out.push_str(&format!("{root};(scalar) {}\n", self.scalar_cycles));
+        }
+        for r in &self.regions {
+            let frame = format!("{root};region 0x{:x}[{}]", r.pc, r.len);
+            if r.translate_cycles > 0 {
+                out.push_str(&format!("{frame};translate {}\n", r.translate_cycles));
+            }
+            // The penalty is inside array_cycles by construction; split
+            // it into its own child frame without changing the sum.
+            let penalty = r.mispredict_penalty_cycles.min(r.array_cycles);
+            if r.array_cycles - penalty > 0 {
+                out.push_str(&format!("{frame};array {}\n", r.array_cycles - penalty));
+            }
+            if penalty > 0 {
+                out.push_str(&format!("{frame};array;mispredict_penalty {penalty}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Frame names must not contain the folded format's separators.
+fn sanitize_frame(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| {
+            if c == ';' || c.is_whitespace() {
+                '_'
+            } else {
+                c
+            }
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "(trace)".to_string()
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::explain_text;
+    use dim_obs::parse_json;
+
+    const TRACE: &str = concat!(
+        r#"{"type":"header","schema_version":3,"workload":"wl one","bits_per_config":64}"#,
+        "\n",
+        r#"{"type":"retire_batch","count":2,"base_cycles":2,"i_stall":0,"d_stall":0,"rcache_misses":2,"kinds":{"alu":2}}"#,
+        "\n",
+        r#"{"type":"trans_begin","pc":64}"#,
+        "\n",
+        r#"{"type":"retire_batch","count":3,"base_cycles":3,"i_stall":0,"d_stall":0,"rcache_misses":3,"kinds":{"alu":3}}"#,
+        "\n",
+        r#"{"type":"trans_commit","entry_pc":64,"instructions":3,"rows":1,"spec_blocks":1,"partial":false}"#,
+        "\n",
+        r#"{"type":"rcache_insert","pc":64,"len":3,"evicted":null}"#,
+        "\n",
+        r#"{"type":"rcache_hit","pc":64,"len":3}"#,
+        "\n",
+        r#"{"type":"mispredict","region_pc":64,"region_len":3,"branch_pc":68,"penalty_cycles":2}"#,
+        "\n",
+        r#"{"type":"array_invoke","entry_pc":64,"exit_pc":76,"covered":3,"executed":2,"loads":0,"stores":0,"rows":1,"spec_depth":0,"misspeculated":true,"flushed":false,"stall_cycles":0,"exec_cycles":5,"tail_cycles":0}"#,
+        "\n",
+        r#"{"type":"footer","events":16}"#,
+    );
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_both_tracks() {
+        let ex = explain_text(TRACE).unwrap();
+        let text = ex.chrome_trace();
+        let v = parse_json(&text).expect("chrome export parses as JSON");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        // 3 metadata + 1 translate span + 1 invoke span + 1 mispredict.
+        assert_eq!(events.len(), 6);
+        let invoke = events
+            .iter()
+            .find(|e| e.get("cat").and_then(|c| c.as_str()) == Some("invoke"))
+            .expect("invoke span present");
+        assert_eq!(invoke.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(invoke.get("ts").unwrap().as_u64(), Some(5));
+        assert_eq!(invoke.get("dur").unwrap().as_u64(), Some(5));
+        assert_eq!(invoke.get("tid").unwrap().as_u64(), Some(2));
+        assert!(events
+            .iter()
+            .any(|e| e.get("cat").and_then(|c| c.as_str()) == Some("translate")));
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").and_then(|p| p.as_str()) == Some("i")));
+    }
+
+    #[test]
+    fn folded_lines_sum_to_total_cycles() {
+        let ex = explain_text(TRACE).unwrap();
+        let folded = ex.folded();
+        assert!(!folded.is_empty());
+        let mut sum = 0u64;
+        for line in folded.lines() {
+            let (stack, count) = line.rsplit_once(' ').expect("count-terminated line");
+            assert!(stack.starts_with("wl_one;"), "{stack}");
+            sum += count.parse::<u64>().expect("numeric count");
+        }
+        assert_eq!(sum, ex.total_cycles());
+        assert!(folded.contains(";array;mispredict_penalty 2"));
+    }
+}

@@ -1,0 +1,49 @@
+//! # dim-explain
+//!
+//! Region-level acceleration forensics over JSONL traces.
+//!
+//! Where `dim-obs` answers *how many* (counters, histograms, per-block
+//! cycle attribution), this crate answers *which region and why*: it
+//! replays a trace written by [`JsonlSink`](dim_obs::JsonlSink) and
+//! reconstructs, for every detected region — identified by its
+//! detection PC plus covered-instruction count — the full lifecycle the
+//! DIM hardware put it through: detect → translate → insert → hits →
+//! speculative replays → mispredicts → evict, with exact cycle
+//! attribution at every step.
+//!
+//! The attribution invariant, enforced by a property test: the scalar
+//! bucket plus every region's translate-window and array cycles sum to
+//! [`TraceSummary::total_cycles`](dim_obs::replay::TraceSummary) —
+//! *exactly*, not approximately. Pipeline retire cycles land either in
+//! the region whose detection window was open when they retired or in
+//! the `(scalar)` bucket; array-invocation cycles land on the invoked
+//! region; nothing else carries cycles.
+//!
+//! On top of the lifecycle the crate ranks *missed speedup*: regions
+//! translated but evicted before any reuse, regions whose misspeculation
+//! penalty outweighs what acceleration saved, and detection windows that
+//! never produced a configuration at all.
+//!
+//! Three renderings share one [`Explanation`]:
+//!
+//! * [`Explanation::render`] — the terminal report (`dim explain`);
+//! * [`Explanation::chrome_trace`] — Chrome trace-event JSON, loadable
+//!   in `chrome://tracing`, Perfetto, or speedscope, with the pipeline
+//!   and the array as separate tracks;
+//! * [`Explanation::folded`] — collapsed-stack lines for
+//!   `flamegraph.pl` / `inferno-flamegraph`.
+//!
+//! Traces of any supported schema version replay: version-1/2 traces
+//! simply lack the v3 region-id (`len` reads as 0) and the
+//! evict/mispredict forensics.
+
+#![warn(missing_docs)]
+
+mod analyze;
+mod export;
+mod report;
+
+pub use analyze::{
+    explain, explain_text, Explanation, Marker, MarkerKind, MissedCause, MissedSpeedup,
+    RegionStats, Span, SpanKind,
+};

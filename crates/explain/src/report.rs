@@ -1,0 +1,228 @@
+//! Terminal report and machine-readable JSON for an [`Explanation`].
+
+use crate::analyze::{region_id, Explanation, MissedSpeedup, RegionStats};
+use dim_obs::ObjectWriter;
+use std::fmt::Write as _;
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 * 100.0 / whole as f64
+    }
+}
+
+impl Explanation {
+    /// Renders the terminal forensics report: run totals, the top
+    /// `top` regions by attributed cycles with their full lifecycle,
+    /// and the missed-speedup ranking.
+    pub fn render(&self, top: usize) -> String {
+        let mut out = String::new();
+        let total = self.total_cycles();
+        let _ = writeln!(
+            out,
+            "explain: {} (schema v{}, {} cycles)",
+            if self.workload.is_empty() {
+                "<unnamed>"
+            } else {
+                &self.workload
+            },
+            self.schema_version,
+            total,
+        );
+        let accel: u64 = self
+            .regions
+            .iter()
+            .map(RegionStats::attributed_cycles)
+            .sum();
+        let _ = writeln!(
+            out,
+            "  scalar {} cy ({:.1}%)   region-attributed {} cy ({:.1}%)   scalar CPI {:.2}",
+            self.scalar_cycles,
+            pct(self.scalar_cycles, total),
+            accel,
+            pct(accel, total),
+            self.scalar_cpi,
+        );
+        let _ = writeln!(
+            out,
+            "  {} regions, {} invocations, {} mispredicts, {} evictions ({} live, {} dead)",
+            self.regions.len(),
+            self.summary.array_invocations,
+            self.summary.misspeculations,
+            self.summary.rcache_evictions_live + self.summary.rcache_evictions_dead,
+            self.summary.rcache_evictions_live,
+            self.summary.rcache_evictions_dead,
+        );
+
+        let shown = self.regions.len().min(top);
+        if shown > 0 {
+            let _ = writeln!(out, "\ntop {shown} regions by attributed cycles:");
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>10} {:>8} {:>6} {:>6} {:>8} {:>9} {:>8} {:>10}",
+                "region",
+                "cycles",
+                "%total",
+                "det",
+                "hits",
+                "invokes",
+                "mispred",
+                "evict",
+                "est.saved"
+            );
+            for r in self.regions.iter().take(shown) {
+                let _ = writeln!(
+                    out,
+                    "  {:<16} {:>10} {:>7.1}% {:>6} {:>6} {:>8} {:>9} {:>8} {:>10}",
+                    region_id(r.pc, r.len),
+                    r.attributed_cycles(),
+                    pct(r.attributed_cycles(), total),
+                    r.detections,
+                    r.hits,
+                    r.invocations,
+                    r.mispredicts,
+                    r.evictions_live + r.evictions_dead,
+                    r.estimated_saved_cycles(self.scalar_cpi),
+                );
+            }
+        }
+
+        if self.missed.is_empty() {
+            let _ = writeln!(out, "\nno missed speedup detected");
+        } else {
+            let shown = self.missed.len().min(top);
+            let _ = writeln!(
+                out,
+                "\nmissed speedup ({} finding{}, top {shown}):",
+                self.missed.len(),
+                if self.missed.len() == 1 { "" } else { "s" },
+            );
+            for m in self.missed.iter().take(shown) {
+                let _ = writeln!(
+                    out,
+                    "  {:<16} {:>10} cy  {}",
+                    region_id(m.pc, m.len),
+                    m.cycles,
+                    m.cause.describe(),
+                );
+            }
+        }
+        out
+    }
+
+    /// Serializes the analysis as a single JSON object (regions and
+    /// missed-speedup findings included; the timeline is not embedded —
+    /// use [`chrome_trace`](Explanation::chrome_trace) for that).
+    pub fn to_json(&self) -> String {
+        let mut o = ObjectWriter::new();
+        o.field_str("workload", &self.workload);
+        o.field_u64("schema_version", self.schema_version as u64);
+        o.field_u64("total_cycles", self.total_cycles());
+        o.field_u64("scalar_cycles", self.scalar_cycles);
+        o.field_f64("scalar_cpi", self.scalar_cpi);
+        let regions: Vec<String> = self
+            .regions
+            .iter()
+            .map(|r| region_json(r, self.scalar_cpi))
+            .collect();
+        o.field_raw("regions", &format!("[{}]", regions.join(",")));
+        let missed: Vec<String> = self.missed.iter().map(missed_json).collect();
+        o.field_raw("missed", &format!("[{}]", missed.join(",")));
+        o.finish()
+    }
+}
+
+fn region_json(r: &RegionStats, scalar_cpi: f64) -> String {
+    let mut o = ObjectWriter::new();
+    o.field_u64("pc", r.pc as u64);
+    o.field_u64("len", r.len as u64);
+    o.field_u64("detections", r.detections);
+    o.field_u64("commits", r.commits);
+    o.field_u64("partial_commits", r.partial_commits);
+    o.field_u64("inserts", r.inserts);
+    o.field_u64("hits", r.hits);
+    o.field_u64("invocations", r.invocations);
+    o.field_u64("executed_instructions", r.executed_instructions);
+    o.field_u64("full_hits", r.full_hits);
+    o.field_u64("mispredicts", r.mispredicts);
+    o.field_u64("mispredict_penalty_cycles", r.mispredict_penalty_cycles);
+    o.field_u64("flushes", r.flushes);
+    o.field_u64("evictions_live", r.evictions_live);
+    o.field_u64("evictions_dead", r.evictions_dead);
+    o.field_u64("translate_cycles", r.translate_cycles);
+    o.field_u64("array_cycles", r.array_cycles);
+    o.field_f64(
+        "estimated_saved_cycles",
+        r.estimated_saved_cycles(scalar_cpi) as f64,
+    );
+    o.finish()
+}
+
+fn missed_json(m: &MissedSpeedup) -> String {
+    let mut o = ObjectWriter::new();
+    o.field_u64("pc", m.pc as u64);
+    o.field_u64("len", m.len as u64);
+    o.field_str("cause", m.cause.name());
+    o.field_u64("cycles", m.cycles);
+    o.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::explain_text;
+    use dim_obs::parse_json;
+
+    const TRACE: &str = concat!(
+        r#"{"type":"header","schema_version":3,"workload":"unit","bits_per_config":64}"#,
+        "\n",
+        r#"{"type":"trans_begin","pc":64}"#,
+        "\n",
+        r#"{"type":"retire_batch","count":3,"base_cycles":4,"i_stall":0,"d_stall":0,"rcache_misses":3,"kinds":{"alu":3}}"#,
+        "\n",
+        r#"{"type":"trans_commit","entry_pc":64,"instructions":3,"rows":1,"spec_blocks":1,"partial":false}"#,
+        "\n",
+        r#"{"type":"rcache_insert","pc":64,"len":3,"evicted":null}"#,
+        "\n",
+        r#"{"type":"rcache_hit","pc":64,"len":3}"#,
+        "\n",
+        r#"{"type":"array_invoke","entry_pc":64,"exit_pc":76,"covered":3,"executed":3,"loads":0,"stores":0,"rows":1,"spec_depth":0,"misspeculated":false,"flushed":false,"stall_cycles":1,"exec_cycles":3,"tail_cycles":0}"#,
+        "\n",
+        r#"{"type":"trans_begin","pc":200}"#,
+        "\n",
+        r#"{"type":"retire_batch","count":2,"base_cycles":2,"i_stall":0,"d_stall":0,"rcache_misses":2,"kinds":{"alu":2}}"#,
+        "\n",
+        r#"{"type":"footer","events":16}"#,
+    );
+
+    #[test]
+    fn report_names_regions_and_missed_speedup() {
+        let ex = explain_text(TRACE).unwrap();
+        let report = ex.render(10);
+        assert!(report.contains("0x40[3]"), "{report}");
+        assert!(report.contains("missed speedup"), "{report}");
+        assert!(
+            report.contains("never committed a configuration"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn json_parses_and_carries_the_invariant() {
+        let ex = explain_text(TRACE).unwrap();
+        let v = parse_json(&ex.to_json()).expect("valid JSON");
+        assert_eq!(v.get("workload").unwrap().as_str(), Some("unit"));
+        let total = v.get("total_cycles").unwrap().as_u64().unwrap();
+        let scalar = v.get("scalar_cycles").unwrap().as_u64().unwrap();
+        let regions = v.get("regions").unwrap().as_array().unwrap();
+        let attributed: u64 = regions
+            .iter()
+            .map(|r| {
+                r.get("translate_cycles").unwrap().as_u64().unwrap()
+                    + r.get("array_cycles").unwrap().as_u64().unwrap()
+            })
+            .sum();
+        assert_eq!(scalar + attributed, total);
+        assert!(!v.get("missed").unwrap().as_array().unwrap().is_empty());
+    }
+}

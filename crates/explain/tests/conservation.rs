@@ -1,0 +1,191 @@
+//! The attribution conservation law, end-to-end: for any program and
+//! any accelerator setting, the scalar bucket plus every region's
+//! translate-window and array cycles of the explained trace sum to the
+//! system's exact total cycle count — and older-schema golden traces
+//! keep replaying through the explain pipeline.
+
+use dim_cgra::ArrayShape;
+use dim_core::{System, SystemConfig};
+use dim_explain::{explain_text, MissedCause};
+use dim_mips::asm::{assemble, Program};
+use dim_mips_sim::Machine;
+use dim_obs::JsonlSink;
+use proptest::prelude::*;
+
+/// Two loops with a data-dependent branch between them, parameterized
+/// so speculation, flushing, and cache pressure all get exercised.
+fn program(iters1: u32, iters2: u32) -> Program {
+    let src = format!(
+        "
+        main: li $s0, {iters1}
+              li $v0, 0
+        l1:   andi $t0, $s0, 1
+              beqz $t0, skip
+              addiu $v0, $v0, 3
+              addiu $v0, $v0, 5
+        skip: xor  $t1, $v0, $s0
+              addu $v0, $v0, $t1
+              addiu $s0, $s0, -1
+              bnez $s0, l1
+              li $s1, {iters2}
+        l2:   sll $t2, $v0, 2
+              addu $v0, $v0, $t2
+              srl  $t3, $v0, 3
+              xor  $v0, $v0, $t3
+              addiu $s1, $s1, -1
+              bnez $s1, l2
+              break 0"
+    );
+    assemble(&src).unwrap()
+}
+
+/// Runs the program traced, explains the trace, and checks conservation.
+fn check_conservation(iters1: u32, iters2: u32, slots: usize, spec: bool) -> Result<(), String> {
+    let config = SystemConfig::new(ArrayShape::config1(), slots, spec);
+    let mut system = System::new(Machine::load(&program(iters1, iters2)), config);
+    let mut sink = JsonlSink::new(Vec::new(), "prop", system.stored_bits_per_config());
+    system
+        .run_probed(10_000_000, &mut sink)
+        .map_err(|e| e.to_string())?;
+    let (buf, io_error) = sink.into_inner();
+    assert!(io_error.is_none());
+    let text = String::from_utf8(buf).map_err(|e| e.to_string())?;
+    let ex = explain_text(&text).map_err(|e| e.to_string())?;
+    let total = system.total_cycles();
+    if ex.attributed_total() != total {
+        return Err(format!(
+            "attribution {} != system total {} (iters1={iters1} iters2={iters2} \
+             slots={slots} spec={spec})",
+            ex.attributed_total(),
+            total
+        ));
+    }
+    if ex.total_cycles() != total {
+        return Err(format!(
+            "replayed total {} != system total {}",
+            ex.total_cycles(),
+            total
+        ));
+    }
+    // Lifecycle counters must agree with the live system too.
+    let stats = system.stats();
+    let evict_live: u64 = ex.regions.iter().map(|r| r.evictions_live).sum();
+    let evict_dead: u64 = ex.regions.iter().map(|r| r.evictions_dead).sum();
+    if evict_live != stats.rcache_evictions_live || evict_dead != stats.rcache_evictions_dead {
+        return Err(format!(
+            "eviction split diverged: explain {evict_live}/{evict_dead} vs stats {}/{}",
+            stats.rcache_evictions_live, stats.rcache_evictions_dead
+        ));
+    }
+    let mispredicts: u64 = ex.regions.iter().map(|r| r.mispredicts).sum();
+    if mispredicts != stats.misspeculations {
+        return Err(format!(
+            "mispredict count diverged: explain {mispredicts} vs stats {}",
+            stats.misspeculations
+        ));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation holds across trip counts, cache pressure (down to a
+    /// single slot, where dead evictions dominate), and speculation.
+    #[test]
+    fn attribution_sums_to_total_cycles(
+        iters1 in 4u32..64,
+        iters2 in 4u32..64,
+        slots in prop_oneof![Just(1usize), Just(2), Just(4), Just(64)],
+        spec in any::<bool>(),
+    ) {
+        if let Err(msg) = check_conservation(iters1, iters2, slots, spec) {
+            prop_assert!(false, "{}", msg);
+        }
+    }
+}
+
+/// A speculative run under cache pressure produces at least one ranked
+/// missed-speedup finding — the acceptance bar for `dim explain`.
+#[test]
+fn pressured_run_ranks_missed_speedup() {
+    let config = SystemConfig::new(ArrayShape::config1(), 1, true);
+    let mut system = System::new(Machine::load(&program(40, 40)), config);
+    let mut sink = JsonlSink::new(Vec::new(), "pressure", system.stored_bits_per_config());
+    system.run_probed(10_000_000, &mut sink).unwrap();
+    let (buf, _) = sink.into_inner();
+    let ex = explain_text(&String::from_utf8(buf).unwrap()).unwrap();
+    assert!(
+        ex.missed.iter().any(|m| m.cycles > 0),
+        "pressured run must surface a nonzero missed-speedup finding: {:?}",
+        ex.missed
+    );
+    assert!(!ex.render(5).is_empty());
+}
+
+/// Golden v1 trace: no telemetry, no `len`, no evict/mispredict
+/// records. Must keep replaying through the explain pipeline.
+#[test]
+fn golden_v1_trace_explains() {
+    let v1 = concat!(
+        r#"{"type":"header","schema_version":1,"workload":"golden-v1","bits_per_config":128}"#,
+        "\n",
+        r#"{"type":"retire_batch","count":6,"base_cycles":8,"i_stall":2,"d_stall":1,"rcache_misses":6,"kinds":{"alu":4,"branch":2}}"#,
+        "\n",
+        r#"{"type":"trans_begin","pc":4096}"#,
+        "\n",
+        r#"{"type":"retire_batch","count":4,"base_cycles":4,"i_stall":0,"d_stall":0,"rcache_misses":4,"kinds":{"alu":4}}"#,
+        "\n",
+        r#"{"type":"trans_commit","entry_pc":4096,"instructions":4,"rows":2,"spec_blocks":1,"partial":false}"#,
+        "\n",
+        r#"{"type":"rcache_insert","pc":4096,"evicted":null}"#,
+        "\n",
+        r#"{"type":"rcache_hit","pc":4096}"#,
+        "\n",
+        r#"{"type":"array_invoke","entry_pc":4096,"exit_pc":4112,"covered":4,"executed":4,"loads":0,"stores":0,"rows":2,"spec_depth":0,"misspeculated":false,"flushed":false,"stall_cycles":1,"exec_cycles":2,"tail_cycles":1}"#,
+        "\n",
+        r#"{"type":"footer","events":25}"#,
+    );
+    let ex = explain_text(v1).unwrap();
+    assert_eq!(ex.schema_version, 1);
+    assert_eq!(ex.attributed_total(), ex.total_cycles());
+    assert_eq!(ex.total_cycles(), 19);
+    let region = ex.region(4096).expect("region reconstructed");
+    assert_eq!(region.len, 4);
+    assert_eq!(region.translate_cycles, 4);
+    assert_eq!(region.array_cycles, 4);
+    // v3 forensics are absent, not invented.
+    assert_eq!(region.mispredicts, 0);
+    assert_eq!(region.evictions_live + region.evictions_dead, 0);
+    // The Chrome and folded exports still render.
+    assert!(ex.chrome_trace().contains("traceEvents"));
+    assert!(!ex.folded().is_empty());
+}
+
+/// Golden v2 trace: telemetry records present, still no v3 forensics.
+#[test]
+fn golden_v2_trace_explains() {
+    let v2 = concat!(
+        r#"{"type":"header","schema_version":2,"workload":"golden-v2","bits_per_config":64}"#,
+        "\n",
+        r#"{"type":"retire_batch","count":3,"base_cycles":3,"i_stall":0,"d_stall":0,"rcache_misses":3,"kinds":{"alu":3}}"#,
+        "\n",
+        r#"{"type":"telemetry","seq":0,"sim_cycles":3,"retired":3,"events":6,"host_nanos":1000}"#,
+        "\n",
+        r#"{"type":"trans_begin","pc":512}"#,
+        "\n",
+        r#"{"type":"retire_batch","count":2,"base_cycles":2,"i_stall":0,"d_stall":0,"rcache_misses":2,"kinds":{"alu":2}}"#,
+        "\n",
+        r#"{"type":"footer","events":11}"#,
+    );
+    let ex = explain_text(v2).unwrap();
+    assert_eq!(ex.schema_version, 2);
+    assert_eq!(ex.attributed_total(), ex.total_cycles());
+    assert_eq!(ex.total_cycles(), 5);
+    assert_eq!(ex.scalar_cycles, 3);
+    // The abandoned window ranks as never-committed missed speedup.
+    assert!(ex
+        .missed
+        .iter()
+        .any(|m| m.pc == 512 && m.cause == MissedCause::NeverCommitted && m.cycles == 2));
+}

@@ -15,7 +15,13 @@
 ///   host-progress samples). Telemetry records are not probe events and
 ///   do not count toward the footer's `events` total; readers must
 ///   reject them in a trace whose header declares version 1.
-pub const SCHEMA_VERSION: u32 = 2;
+/// - **3** — region identity: `rcache_hit`/`rcache_insert`/`rcache_flush`
+///   carry the configuration length (`len`), and two new record types
+///   appear — `rcache_evict` (per-eviction, with the evicted region's
+///   reuse count) and `mispredict` (per-misspeculated invocation, with
+///   the offending branch PC and penalty). Readers must reject the new
+///   record types in a trace whose header declares an older version.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Coarse classification of a retired pipeline instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -159,6 +165,10 @@ pub enum ProbeEvent {
     RcacheHit {
         /// Looked-up PC.
         pc: u32,
+        /// Instructions covered by the cached configuration — together
+        /// with `pc` this is the stable region id (schema v3; 0 in
+        /// older traces).
+        len: u32,
     },
     /// Reconfiguration-cache lookup miss.
     RcacheMiss {
@@ -170,6 +180,9 @@ pub enum ProbeEvent {
     RcacheInsert {
         /// Entry PC of the inserted configuration.
         pc: u32,
+        /// Instructions the inserted configuration covers (region id;
+        /// schema v3, 0 in older traces).
+        len: u32,
         /// Entry PC of the evicted configuration, if the insert
         /// displaced one.
         evicted: Option<u32>,
@@ -178,6 +191,34 @@ pub enum ProbeEvent {
     RcacheFlush {
         /// Entry PC of the flushed configuration.
         pc: u32,
+        /// Instructions the flushed configuration covered (region id;
+        /// schema v3, 0 in older traces).
+        len: u32,
+    },
+    /// A configuration was displaced from the reconfiguration cache by
+    /// capacity pressure (schema v3). Distinguishes entries that repaid
+    /// their translation (`uses > 0`) from dead insertions.
+    RcacheEvict {
+        /// Entry PC of the evicted configuration.
+        pc: u32,
+        /// Instructions the evicted configuration covered.
+        len: u32,
+        /// Lookup hits the entry served between insertion and eviction.
+        uses: u64,
+    },
+    /// A speculated branch inside an array invocation resolved against
+    /// its prediction (schema v3). The penalty cycles are *already*
+    /// inside the corresponding `array_invoke`'s `exec_cycles`; this
+    /// record only attributes them to a region and branch.
+    SpecMispredict {
+        /// Entry PC of the misspeculating configuration.
+        region_pc: u32,
+        /// Instructions that configuration covers.
+        region_len: u32,
+        /// PC of the branch that resolved against its prediction.
+        branch_pc: u32,
+        /// Misspeculation penalty cycles charged inside the invocation.
+        penalty_cycles: u32,
     },
     /// A cached configuration executed on the array.
     ArrayInvoke(ArrayInvoke),
@@ -194,6 +235,8 @@ impl ProbeEvent {
             ProbeEvent::RcacheMiss { .. } => "rcache_miss",
             ProbeEvent::RcacheInsert { .. } => "rcache_insert",
             ProbeEvent::RcacheFlush { .. } => "rcache_flush",
+            ProbeEvent::RcacheEvict { .. } => "rcache_evict",
+            ProbeEvent::SpecMispredict { .. } => "mispredict",
             ProbeEvent::ArrayInvoke(_) => "array_invoke",
         }
     }

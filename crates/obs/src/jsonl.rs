@@ -208,15 +208,34 @@ impl<W: Write> JsonlSink<W> {
                 o.field_u64("spec_blocks", spec_blocks as u64);
                 o.field_bool("partial", partial);
             }
-            ProbeEvent::RcacheHit { pc } => {
+            ProbeEvent::RcacheHit { pc, len } => {
                 o.field_u64("pc", pc as u64);
+                o.field_u64("len", len as u64);
             }
-            ProbeEvent::RcacheInsert { pc, evicted } => {
+            ProbeEvent::RcacheInsert { pc, len, evicted } => {
                 o.field_u64("pc", pc as u64);
+                o.field_u64("len", len as u64);
                 o.field_opt_u64("evicted", evicted.map(|pc| pc as u64));
             }
-            ProbeEvent::RcacheFlush { pc } => {
+            ProbeEvent::RcacheFlush { pc, len } => {
                 o.field_u64("pc", pc as u64);
+                o.field_u64("len", len as u64);
+            }
+            ProbeEvent::RcacheEvict { pc, len, uses } => {
+                o.field_u64("pc", pc as u64);
+                o.field_u64("len", len as u64);
+                o.field_u64("uses", uses);
+            }
+            ProbeEvent::SpecMispredict {
+                region_pc,
+                region_len,
+                branch_pc,
+                penalty_cycles,
+            } => {
+                o.field_u64("region_pc", region_pc as u64);
+                o.field_u64("region_len", region_len as u64);
+                o.field_u64("branch_pc", branch_pc as u64);
+                o.field_u64("penalty_cycles", penalty_cycles as u64);
             }
             ProbeEvent::ArrayInvoke(inv) => {
                 o.field_u64("entry_pc", inv.entry_pc as u64);
@@ -344,7 +363,7 @@ mod tests {
         sink.emit(retire(0x100, RetireKind::Alu));
         sink.emit(ProbeEvent::RcacheMiss { pc: 0x104 });
         sink.emit(retire(0x104, RetireKind::Load));
-        sink.emit(ProbeEvent::RcacheHit { pc: 0x108 });
+        sink.emit(ProbeEvent::RcacheHit { pc: 0x108, len: 8 });
         sink.emit(invoke());
         let (bytes, err) = sink.into_inner();
         assert!(err.is_none());
@@ -378,9 +397,21 @@ mod tests {
         });
         sink.emit(ProbeEvent::RcacheInsert {
             pc: 4,
+            len: 5,
             evicted: Some(8),
         });
-        sink.emit(ProbeEvent::RcacheFlush { pc: 4 });
+        sink.emit(ProbeEvent::RcacheEvict {
+            pc: 8,
+            len: 9,
+            uses: 3,
+        });
+        sink.emit(ProbeEvent::SpecMispredict {
+            region_pc: 4,
+            region_len: 5,
+            branch_pc: 16,
+            penalty_cycles: 2,
+        });
+        sink.emit(ProbeEvent::RcacheFlush { pc: 4, len: 5 });
         let (bytes, err) = sink.into_inner();
         assert!(err.is_none());
         for line in String::from_utf8(bytes).unwrap().lines() {

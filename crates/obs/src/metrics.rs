@@ -244,6 +244,10 @@ pub struct MetricsRegistry {
     pub rcache_inserts: u64,
     /// Insertions that evicted an entry.
     pub rcache_evictions: u64,
+    /// Evictions whose victim had served at least one lookup hit.
+    pub rcache_evicted_live: u64,
+    /// Evictions whose victim was never reused after insertion.
+    pub rcache_evicted_dead: u64,
     /// Configurations flushed after misspeculation.
     pub rcache_flushes: u64,
     /// Array invocations.
@@ -328,11 +332,13 @@ impl MetricsRegistry {
             self.trans_begins, self.trans_commits, self.trans_partials
         ));
         s.push_str(&format!(
-            "rcache: {} hits / {} misses, {} inserts ({} evictions), {} flushes\n",
+            "rcache: {} hits / {} misses, {} inserts ({} evictions: {} live, {} dead), {} flushes\n",
             self.rcache_hits,
             self.rcache_misses,
             self.rcache_inserts,
             self.rcache_evictions,
+            self.rcache_evicted_live,
+            self.rcache_evicted_dead,
             self.rcache_flushes
         ));
         s.push_str(&format!(
@@ -374,6 +380,8 @@ impl MetricsRegistry {
         o.field_u64("rcache_misses", self.rcache_misses);
         o.field_u64("rcache_inserts", self.rcache_inserts);
         o.field_u64("rcache_evictions", self.rcache_evictions);
+        o.field_u64("rcache_evicted_live", self.rcache_evicted_live);
+        o.field_u64("rcache_evicted_dead", self.rcache_evicted_dead);
         o.field_u64("rcache_flushes", self.rcache_flushes);
         o.field_u64("invocations", self.invocations);
         o.field_u64("misspeculations", self.misspeculations);
@@ -419,6 +427,8 @@ impl MetricsRegistry {
         acc(&mut self.rcache_misses, other.rcache_misses);
         acc(&mut self.rcache_inserts, other.rcache_inserts);
         acc(&mut self.rcache_evictions, other.rcache_evictions);
+        acc(&mut self.rcache_evicted_live, other.rcache_evicted_live);
+        acc(&mut self.rcache_evicted_dead, other.rcache_evicted_dead);
         acc(&mut self.rcache_flushes, other.rcache_flushes);
         acc(&mut self.invocations, other.invocations);
         acc(&mut self.misspeculations, other.misspeculations);
@@ -473,7 +483,7 @@ impl Probe for MetricsRegistry {
                 }
                 self.config_coverage.record(instructions as u64);
             }
-            ProbeEvent::RcacheHit { pc } => {
+            ProbeEvent::RcacheHit { pc, .. } => {
                 self.rcache_hits += 1;
                 self.current.rcache_hits += 1;
                 self.note_lookup(pc, true);
@@ -489,10 +499,19 @@ impl Probe for MetricsRegistry {
                     self.rcache_evictions += 1;
                 }
             }
-            ProbeEvent::RcacheFlush { pc } => {
+            ProbeEvent::RcacheFlush { pc, .. } => {
                 self.rcache_flushes += 1;
                 self.last_lookup.remove(&pc);
             }
+            ProbeEvent::RcacheEvict { pc, uses, .. } => {
+                if uses > 0 {
+                    self.rcache_evicted_live += 1;
+                } else {
+                    self.rcache_evicted_dead += 1;
+                }
+                self.last_lookup.remove(&pc);
+            }
+            ProbeEvent::SpecMispredict { .. } => {}
             ProbeEvent::ArrayInvoke(inv) => {
                 self.invocations += 1;
                 self.array_cycles += inv.total_cycles();
@@ -699,14 +718,36 @@ mod tests {
     #[test]
     fn reuse_distance_counts_lookups_between_hits() {
         let mut m = MetricsRegistry::new();
-        m.emit(ProbeEvent::RcacheHit { pc: 0x10 }); // warm hit → 0
+        m.emit(ProbeEvent::RcacheHit { pc: 0x10, len: 4 }); // warm hit → 0
         m.emit(ProbeEvent::RcacheMiss { pc: 0x20 });
         m.emit(ProbeEvent::RcacheMiss { pc: 0x24 });
-        m.emit(ProbeEvent::RcacheHit { pc: 0x10 }); // 3 lookups since last
+        m.emit(ProbeEvent::RcacheHit { pc: 0x10, len: 4 }); // 3 lookups since last
         assert_eq!(m.rcache_reuse_distance.count(), 2);
         assert_eq!(m.rcache_reuse_distance.max(), 3);
         assert_eq!(m.rcache_hits, 2);
         assert_eq!(m.rcache_misses, 2);
+    }
+
+    #[test]
+    fn evictions_split_live_from_dead() {
+        let mut m = MetricsRegistry::new();
+        m.emit(ProbeEvent::RcacheEvict {
+            pc: 0x10,
+            len: 4,
+            uses: 2,
+        });
+        m.emit(ProbeEvent::RcacheEvict {
+            pc: 0x20,
+            len: 6,
+            uses: 0,
+        });
+        assert_eq!(m.rcache_evicted_live, 1);
+        assert_eq!(m.rcache_evicted_dead, 1);
+        let mut other = MetricsRegistry::new();
+        other.rcache_evicted_live = u64::MAX;
+        other.merge(&m);
+        assert_eq!(other.rcache_evicted_live, u64::MAX); // saturated
+        assert_eq!(other.rcache_evicted_dead, 1);
     }
 
     #[test]

@@ -8,7 +8,10 @@
 //! Unknown *fields* inside a known record are ignored, per the schema
 //! compatibility policy. Version-1 traces remain readable; `telemetry`
 //! records (added in version 2) are accepted only when the header
-//! declares version 2 or newer, and never count as events.
+//! declares version 2 or newer, and never count as events. Likewise the
+//! `rcache_evict` and `mispredict` records (added in version 3) are
+//! rejected in traces whose header declares an older version, and the
+//! `len` region-id field on rcache records defaults to 0 when absent.
 //!
 //! The returned [`TraceSummary`] reconstructs every accelerator-side
 //! counter from the events alone — the round-trip test in `dim-core`
@@ -98,8 +101,10 @@ pub enum TraceRecord {
 /// Accelerator- and pipeline-side counters reconstructed from a trace.
 ///
 /// The first fifteen fields mirror `DimStats` in `dim-core` name for
-/// name (the crates deliberately do not depend on each other in that
-/// direction, so the round-trip test compares field by field).
+/// name, and the trailing `rcache_evictions_live`/`rcache_evictions_dead`
+/// pair mirrors the equally named `DimStats` counters (the crates
+/// deliberately do not depend on each other in that direction, so the
+/// round-trip test compares field by field).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TraceSummary {
     /// Times a configuration executed on the array.
@@ -143,6 +148,12 @@ pub struct TraceSummary {
     pub rcache_misses: u64,
     /// Insertions that displaced an entry.
     pub rcache_evictions: u64,
+    /// Evictions whose victim had served at least one lookup hit
+    /// (schema v3; 0 in older traces).
+    pub rcache_evictions_live: u64,
+    /// Evictions whose victim was never reused after insertion
+    /// (schema v3; 0 in older traces).
+    pub rcache_evictions_dead: u64,
 }
 
 impl TraceSummary {
@@ -188,6 +199,15 @@ fn get_bool(v: &JsonValue, key: &str, line: usize) -> Result<bool, ReplayError> 
     v.get(key)
         .and_then(JsonValue::as_bool)
         .ok_or_else(|| err(line, format!("missing or non-boolean field `{key}`")))
+}
+
+/// Reads an optional `u32` field, defaulting when absent (used for the
+/// schema-v3 `len` region-id field, which older traces lack).
+fn get_u32_or(v: &JsonValue, key: &str, default: u32, line: usize) -> Result<u32, ReplayError> {
+    match v.get(key) {
+        None | Some(JsonValue::Null) => Ok(default),
+        Some(_) => get_u32(v, key, line),
+    }
 }
 
 /// Parses and validates a single trace line.
@@ -259,6 +279,7 @@ pub fn parse_record(text: &str, line: usize) -> Result<TraceRecord, ReplayError>
         }),
         "rcache_hit" => TraceRecord::Event(ProbeEvent::RcacheHit {
             pc: get_u32(&v, "pc", line)?,
+            len: get_u32_or(&v, "len", 0, line)?,
         }),
         "rcache_miss" => TraceRecord::Event(ProbeEvent::RcacheMiss {
             pc: get_u32(&v, "pc", line)?,
@@ -275,11 +296,24 @@ pub fn parse_record(text: &str, line: usize) -> Result<TraceRecord, ReplayError>
             };
             TraceRecord::Event(ProbeEvent::RcacheInsert {
                 pc: get_u32(&v, "pc", line)?,
+                len: get_u32_or(&v, "len", 0, line)?,
                 evicted,
             })
         }
         "rcache_flush" => TraceRecord::Event(ProbeEvent::RcacheFlush {
             pc: get_u32(&v, "pc", line)?,
+            len: get_u32_or(&v, "len", 0, line)?,
+        }),
+        "rcache_evict" => TraceRecord::Event(ProbeEvent::RcacheEvict {
+            pc: get_u32(&v, "pc", line)?,
+            len: get_u32_or(&v, "len", 0, line)?,
+            uses: get_u64(&v, "uses", line)?,
+        }),
+        "mispredict" => TraceRecord::Event(ProbeEvent::SpecMispredict {
+            region_pc: get_u32(&v, "region_pc", line)?,
+            region_len: get_u32_or(&v, "region_len", 0, line)?,
+            branch_pc: get_u32(&v, "branch_pc", line)?,
+            penalty_cycles: get_u32(&v, "penalty_cycles", line)?,
         }),
         "array_invoke" => {
             let spec_depth = get_u32(&v, "spec_depth", line)?;
@@ -344,6 +378,7 @@ pub fn read_trace(text: &str) -> Result<ReplayedTrace, ReplayError> {
     let mut events: u64 = 0;
     let mut footer: Option<u64> = None;
     let mut flushed_invocations: u64 = 0;
+    let mut mispredict_records: u64 = 0;
     let mut last_telemetry_cycles: Option<u64> = None;
 
     for (idx, line) in lines {
@@ -406,6 +441,39 @@ pub fn read_trace(text: &str) -> Result<ReplayedTrace, ReplayError> {
                         }
                     }
                     ProbeEvent::RcacheFlush { .. } => summary.config_flushes += 1,
+                    ProbeEvent::RcacheEvict { uses, .. } => {
+                        // Arrived with schema version 3, like telemetry
+                        // arrived with 2: an older header promises a
+                        // vocabulary that does not contain it.
+                        if header.schema_version < 3 {
+                            return Err(err(
+                                lineno,
+                                format!(
+                                    "rcache_evict record in a schema version {} trace \
+                                     (requires version 3)",
+                                    header.schema_version
+                                ),
+                            ));
+                        }
+                        if *uses > 0 {
+                            summary.rcache_evictions_live += 1;
+                        } else {
+                            summary.rcache_evictions_dead += 1;
+                        }
+                    }
+                    ProbeEvent::SpecMispredict { .. } => {
+                        if header.schema_version < 3 {
+                            return Err(err(
+                                lineno,
+                                format!(
+                                    "mispredict record in a schema version {} trace \
+                                     (requires version 3)",
+                                    header.schema_version
+                                ),
+                            ));
+                        }
+                        mispredict_records += 1;
+                    }
                     ProbeEvent::ArrayInvoke(inv) => {
                         summary.array_invocations += 1;
                         summary.array_instructions += inv.executed as u64;
@@ -450,12 +518,66 @@ pub fn read_trace(text: &str) -> Result<ReplayedTrace, ReplayError> {
             ),
         ));
     }
+    if header.schema_version >= 3 {
+        let evict_records = summary.rcache_evictions_live + summary.rcache_evictions_dead;
+        if evict_records != summary.rcache_evictions {
+            return Err(err(
+                0,
+                format!(
+                    "{} rcache_evict records but {} inserts displaced an entry",
+                    evict_records, summary.rcache_evictions
+                ),
+            ));
+        }
+        if mispredict_records != summary.misspeculations {
+            return Err(err(
+                0,
+                format!(
+                    "{} mispredict records but {} invocations misspeculated",
+                    mispredict_records, summary.misspeculations
+                ),
+            ));
+        }
+    }
 
     Ok(ReplayedTrace {
         header,
         records,
         summary,
     })
+}
+
+impl ReplayedTrace {
+    /// Per-kind record counts, for `dim trace --stats`: one entry per
+    /// record type present, sorted by name. Batched pipeline events are
+    /// counted individually under `retire` / `rcache_miss`, and the
+    /// batch records themselves under `retire_batch`.
+    pub fn record_stats(&self) -> Vec<(&'static str, u64)> {
+        use std::collections::BTreeMap;
+        let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for record in &self.records {
+            match record {
+                TraceRecord::Header(_) => *counts.entry("header").or_default() += 1,
+                TraceRecord::RetireBatch {
+                    count,
+                    rcache_misses,
+                    ..
+                } => {
+                    *counts.entry("retire_batch").or_default() += 1;
+                    if *count > 0 {
+                        *counts.entry("retire").or_default() += count;
+                    }
+                    if *rcache_misses > 0 {
+                        *counts.entry("rcache_miss").or_default() += rcache_misses;
+                    }
+                }
+                TraceRecord::Event(e) => *counts.entry(e.type_name()).or_default() += 1,
+                TraceRecord::Telemetry { .. } => *counts.entry("telemetry").or_default() += 1,
+                TraceRecord::Footer { .. } => *counts.entry("footer").or_default() += 1,
+            }
+        }
+        counts.into_iter().collect()
+    }
 }
 
 #[cfg(test)]
@@ -485,9 +607,13 @@ mod tests {
         });
         sink.emit(ProbeEvent::RcacheInsert {
             pc: 0x400000,
+            len: 7,
             evicted: None,
         });
-        sink.emit(ProbeEvent::RcacheHit { pc: 0x400000 });
+        sink.emit(ProbeEvent::RcacheHit {
+            pc: 0x400000,
+            len: 7,
+        });
         sink.emit(ProbeEvent::ArrayInvoke(ArrayInvoke {
             entry_pc: 0x400000,
             exit_pc: 0x40001c,
@@ -532,11 +658,11 @@ mod tests {
     fn telemetry_roundtrips_in_v2_traces() {
         let mut sink = JsonlSink::new(Vec::new(), "t", 0);
         sink.set_telemetry_interval(1);
-        sink.emit(ProbeEvent::RcacheHit { pc: 4 });
+        sink.emit(ProbeEvent::RcacheHit { pc: 4, len: 1 });
         let (bytes, e) = sink.into_inner();
         assert!(e.is_none());
         let trace = read_trace(&String::from_utf8(bytes).unwrap()).unwrap();
-        assert_eq!(trace.header.schema_version, 2);
+        assert_eq!(trace.header.schema_version, SCHEMA_VERSION);
         assert_eq!(trace.summary.rcache_hits, 1);
         let telemetry: Vec<_> = trace
             .records
@@ -574,6 +700,84 @@ mod tests {
         let e = read_trace(bad).unwrap_err();
         assert!(e.message.contains("requires version 2"), "{e}");
         assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn reads_v2_traces_and_defaults_len() {
+        // A trace written by schema version 2 (no `len` on rcache
+        // records, no evict/mispredict events) stays readable.
+        let v2 = r#"{"type":"header","schema_version":2,"workload":"old","bits_per_config":64}
+{"type":"rcache_insert","pc":4,"evicted":null}
+{"type":"rcache_hit","pc":4}
+{"type":"array_invoke","entry_pc":4,"exit_pc":8,"covered":1,"executed":1,"loads":0,"stores":0,"rows":1,"spec_depth":1,"misspeculated":true,"flushed":true,"stall_cycles":0,"exec_cycles":1,"tail_cycles":0}
+{"type":"rcache_flush","pc":4}
+{"type":"footer","events":4}"#;
+        let trace = read_trace(v2).unwrap();
+        assert_eq!(trace.header.schema_version, 2);
+        assert_eq!(trace.summary.rcache_hits, 1);
+        assert_eq!(trace.summary.config_flushes, 1);
+        assert_eq!(trace.summary.rcache_evictions_live, 0);
+        assert_eq!(trace.summary.rcache_evictions_dead, 0);
+        let hit = trace
+            .records
+            .iter()
+            .find_map(|r| match r {
+                TraceRecord::Event(ProbeEvent::RcacheHit { len, .. }) => Some(*len),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(hit, 0);
+    }
+
+    #[test]
+    fn rejects_v3_records_in_older_traces() {
+        let evict = r#"{"type":"header","schema_version":2,"workload":"old","bits_per_config":64}
+{"type":"rcache_evict","pc":4,"len":8,"uses":1}
+{"type":"footer","events":1}"#;
+        let e = read_trace(evict).unwrap_err();
+        assert!(e.message.contains("requires version 3"), "{e}");
+        assert_eq!(e.line, 2);
+
+        let mispredict = r#"{"type":"header","schema_version":1,"workload":"old","bits_per_config":64}
+{"type":"mispredict","region_pc":4,"region_len":8,"branch_pc":12,"penalty_cycles":2}
+{"type":"footer","events":1}"#;
+        let e = read_trace(mispredict).unwrap_err();
+        assert!(e.message.contains("requires version 3"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unpaired_evict_and_mispredict_records() {
+        // v3 demands one rcache_evict per displacing insert...
+        let missing_evict = r#"{"type":"header","schema_version":3,"workload":"x","bits_per_config":0}
+{"type":"rcache_insert","pc":4,"len":2,"evicted":8}
+{"type":"footer","events":1}"#;
+        let e = read_trace(missing_evict).unwrap_err();
+        assert!(e.message.contains("rcache_evict"), "{e}");
+        // ...and one mispredict per misspeculated invocation.
+        let missing_mispredict = r#"{"type":"header","schema_version":3,"workload":"x","bits_per_config":0}
+{"type":"array_invoke","entry_pc":4,"exit_pc":8,"covered":1,"executed":1,"loads":0,"stores":0,"rows":1,"spec_depth":1,"misspeculated":true,"flushed":false,"stall_cycles":0,"exec_cycles":1,"tail_cycles":0}
+{"type":"footer","events":1}"#;
+        let e = read_trace(missing_mispredict).unwrap_err();
+        assert!(e.message.contains("mispredict"), "{e}");
+    }
+
+    #[test]
+    fn record_stats_counts_batched_events_individually() {
+        let trace = read_trace(&sample_trace()).unwrap();
+        let stats = trace.record_stats();
+        let count = |name: &str| {
+            stats
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, c)| *c)
+                .unwrap_or(0)
+        };
+        assert_eq!(count("retire"), 1);
+        assert_eq!(count("rcache_miss"), 1);
+        assert_eq!(count("retire_batch"), 1);
+        assert_eq!(count("rcache_hit"), 1);
+        assert_eq!(count("array_invoke"), 1);
+        assert_eq!(count("footer"), 1);
     }
 
     #[test]

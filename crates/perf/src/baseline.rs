@@ -33,6 +33,24 @@ pub struct RcacheCounters {
     pub flushes: u64,
 }
 
+/// One hot region's footprint during the recording run: the key
+/// (detection PC + covered length) plus the cycles `dim explain`
+/// attributes to it. Baselines embed the top few so `perf compare` can
+/// name the region a cycle regression moved into, not just the phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegionSummary {
+    /// Detection PC of the translated region.
+    pub pc: u32,
+    /// Instructions the configuration covers.
+    pub len: u32,
+    /// Cycles attributed to the region (translate windows + array).
+    pub cycles: u64,
+    /// Array invocations that entered at this PC.
+    pub invocations: u64,
+    /// Speculative mispredicts charged to the region.
+    pub mispredicts: u64,
+}
+
 /// Host-side (non-deterministic) measurements for one workload.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct HostTelemetry {
@@ -73,6 +91,10 @@ pub struct WorkloadRecord {
     pub rcache: RcacheCounters,
     /// Host telemetry.
     pub host: HostTelemetry,
+    /// Top regions by attributed cycles (empty in baselines recorded
+    /// before region forensics existed; omitted from the JSON then, so
+    /// older files parse and older readers are not confused).
+    pub regions: Vec<RegionSummary>,
 }
 
 /// The workload matrix a baseline was recorded under.
@@ -244,6 +266,23 @@ impl WorkloadRecord {
         o.field_raw("attribution", &attr.finish());
         o.field_raw("rcache", &rc.finish());
         o.field_raw("host", &host.finish());
+        if !self.regions.is_empty() {
+            let mut regions = String::from("[");
+            for (i, r) in self.regions.iter().enumerate() {
+                if i > 0 {
+                    regions.push(',');
+                }
+                let mut ro = ObjectWriter::new();
+                ro.field_u64("pc", r.pc as u64);
+                ro.field_u64("len", r.len as u64);
+                ro.field_u64("cycles", r.cycles);
+                ro.field_u64("invocations", r.invocations);
+                ro.field_u64("mispredicts", r.mispredicts);
+                regions.push_str(&ro.finish());
+            }
+            regions.push(']');
+            o.field_raw("regions", &regions);
+        }
         o.finish()
     }
 
@@ -266,6 +305,18 @@ impl WorkloadRecord {
         let host_v = v
             .get("host")
             .ok_or_else(|| PerfError::Parse(format!("workload `{name}`: missing host")))?;
+        let mut regions = Vec::new();
+        if let Some(list) = v.get("regions").and_then(JsonValue::as_array) {
+            for r in list {
+                regions.push(RegionSummary {
+                    pc: get_u64(r, "pc")? as u32,
+                    len: get_u64(r, "len")? as u32,
+                    cycles: get_u64(r, "cycles")?,
+                    invocations: get_u64(r, "invocations")?,
+                    mispredicts: get_u64(r, "mispredicts")?,
+                });
+            }
+        }
         let record = WorkloadRecord {
             scalar_cycles: get_u64(v, "scalar_cycles")?,
             accel_cycles: get_u64(v, "accel_cycles")?,
@@ -287,6 +338,7 @@ impl WorkloadRecord {
                 sim_mips: get_f64(host_v, "sim_mips")?,
                 peak_rss_bytes: get_u64(host_v, "peak_rss_bytes")?,
             },
+            regions,
             name,
         };
         if record.attribution.total() != record.accel_cycles {
@@ -365,6 +417,7 @@ mod tests {
                     sim_mips: 32.4,
                     peak_rss_bytes: 1 << 20,
                 },
+                regions: vec![],
             }],
         }
     }
@@ -374,6 +427,34 @@ mod tests {
         let b = sample();
         let parsed = Baseline::parse(&b.to_json()).unwrap();
         assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_regions() {
+        let mut b = sample();
+        b.workloads[0].regions = vec![
+            RegionSummary {
+                pc: 0x400,
+                len: 7,
+                cycles: 90,
+                invocations: 9,
+                mispredicts: 1,
+            },
+            RegionSummary {
+                pc: 0x440,
+                len: 3,
+                cycles: 10,
+                invocations: 1,
+                mispredicts: 0,
+            },
+        ];
+        let json = b.to_json();
+        assert!(json.contains("\"regions\""), "{json}");
+        let parsed = Baseline::parse(&json).unwrap();
+        assert_eq!(parsed, b);
+        // A region-free record keeps the field out entirely, so files
+        // from before region forensics stay byte-stable.
+        assert!(!sample().to_json().contains("\"regions\""));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Diffing two baselines: per-metric deltas and attribution waterfalls.
 
-use crate::baseline::{Baseline, WorkloadRecord};
+use crate::baseline::{Baseline, RegionSummary, WorkloadRecord};
 use dim_obs::ObjectWriter;
 
 /// Whether growth or shrinkage of a metric is the regression direction.
@@ -158,6 +158,10 @@ pub struct WorkloadDiff {
     pub deltas: Vec<MetricDelta>,
     /// Attribution waterfall: `(category, base, cur)` cycles.
     pub waterfall: Vec<(&'static str, u64, u64)>,
+    /// Per-region cycle movement, `(region id, base, cur)` — empty
+    /// unless both baselines embed region tables. A region missing from
+    /// one side's table counts 0 cycles there.
+    pub region_moves: Vec<(String, u64, u64)>,
 }
 
 /// The full diff of two baselines.
@@ -209,6 +213,7 @@ pub fn compare(base: &Baseline, cur: &Baseline) -> Comparison {
             name: b.name.clone(),
             deltas,
             waterfall,
+            region_moves: region_moves(&b.regions, &c.regions),
         });
     }
     let only_in_cur = cur
@@ -224,6 +229,36 @@ pub fn compare(base: &Baseline, cur: &Baseline) -> Comparison {
         only_in_cur,
         workloads,
     }
+}
+
+/// Joins two region tables on `(pc, len)`, ordered by the base table's
+/// ranking with current-only regions appended. Empty unless both sides
+/// recorded regions, so diffs against pre-forensics baselines stay
+/// quiet rather than reporting everything as "new".
+fn region_moves(base: &[RegionSummary], cur: &[RegionSummary]) -> Vec<(String, u64, u64)> {
+    if base.is_empty() || cur.is_empty() {
+        return Vec::new();
+    }
+    let cycles_in = |table: &[RegionSummary], pc: u32, len: u32| {
+        table
+            .iter()
+            .find(|r| r.pc == pc && r.len == len)
+            .map_or(0, |r| r.cycles)
+    };
+    let mut moves = Vec::new();
+    for r in base {
+        moves.push((
+            format!("0x{:x}[{}]", r.pc, r.len),
+            r.cycles,
+            cycles_in(cur, r.pc, r.len),
+        ));
+    }
+    for r in cur {
+        if !base.iter().any(|b| b.pc == r.pc && b.len == r.len) {
+            moves.push((format!("0x{:x}[{}]", r.pc, r.len), 0, r.cycles));
+        }
+    }
+    moves
 }
 
 fn fmt_rel(rel: f64) -> String {
@@ -283,6 +318,19 @@ impl Comparison {
                     total_cur as i128 - total_base as i128
                 ));
             }
+            let moved: Vec<_> = w.region_moves.iter().filter(|(_, b, c)| b != c).collect();
+            if !moved.is_empty() {
+                s.push_str("  region movement (attributed cycles):\n");
+                for (id, b, c) in moved {
+                    s.push_str(&format!(
+                        "    {:<16} {:>12} -> {:>12}  {:>+8}\n",
+                        id,
+                        b,
+                        c,
+                        *c as i128 - *b as i128
+                    ));
+                }
+            }
             for d in w.deltas.iter().filter(|d| d.host && d.rel != 0.0) {
                 s.push_str(&format!(
                     "  {:<28} {:>14} -> {:>14}  {} (host, informational)\n",
@@ -329,10 +377,23 @@ impl Comparison {
                 waterfall.push_str(&o.finish());
             }
             waterfall.push(']');
+            let mut regions = String::from("[");
+            for (j, (id, b, c)) in w.region_moves.iter().enumerate() {
+                if j > 0 {
+                    regions.push(',');
+                }
+                let mut o = ObjectWriter::new();
+                o.field_str("region", id);
+                o.field_u64("base", *b);
+                o.field_u64("cur", *c);
+                regions.push_str(&o.finish());
+            }
+            regions.push(']');
             let mut o = ObjectWriter::new();
             o.field_str("name", &w.name);
             o.field_raw("deltas", &deltas);
             o.field_raw("waterfall", &waterfall);
+            o.field_raw("region_moves", &regions);
             workloads.push_str(&o.finish());
         }
         workloads.push(']');
@@ -417,6 +478,7 @@ mod tests {
                     sim_mips: 10.0,
                     peak_rss_bytes: 0,
                 },
+                regions: vec![],
             }],
         }
     }
@@ -448,6 +510,58 @@ mod tests {
         let rendered = cmp.render();
         assert!(rendered.contains("attribution waterfall"), "{rendered}");
         assert!(rendered.contains("+60"), "{rendered}");
+    }
+
+    #[test]
+    fn region_movement_names_the_shifted_region() {
+        use crate::baseline::RegionSummary;
+        let mut a = sample();
+        a.workloads[0].regions = vec![RegionSummary {
+            pc: 0x400,
+            len: 7,
+            cycles: 80,
+            invocations: 8,
+            mispredicts: 0,
+        }];
+        let mut b = sample();
+        b.name = "b".into();
+        b.workloads[0].regions = vec![
+            RegionSummary {
+                pc: 0x400,
+                len: 7,
+                cycles: 120,
+                invocations: 8,
+                mispredicts: 4,
+            },
+            RegionSummary {
+                pc: 0x500,
+                len: 3,
+                cycles: 15,
+                invocations: 2,
+                mispredicts: 0,
+            },
+        ];
+        let cmp = compare(&a, &b);
+        let rendered = cmp.render();
+        assert!(rendered.contains("region movement"), "{rendered}");
+        assert!(rendered.contains("0x400[7]"), "{rendered}");
+        assert!(rendered.contains("+40"), "{rendered}");
+        assert!(rendered.contains("0x500[3]"), "{rendered}");
+        let v = dim_obs::parse_json(&cmp.to_json()).unwrap();
+        let moves = v.get("workloads").unwrap().as_array().unwrap()[0]
+            .get("region_moves")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .len();
+        assert_eq!(moves, 2);
+
+        // Against a pre-forensics baseline (no regions) the section is
+        // suppressed entirely.
+        let old = sample();
+        let cmp = compare(&old, &b);
+        assert!(cmp.workloads[0].region_moves.is_empty());
+        assert!(!cmp.render().contains("region movement"));
     }
 
     #[test]

@@ -350,6 +350,7 @@ mod tests {
                     sim_mips: 10.0,
                     peak_rss_bytes: 1 << 20,
                 },
+                regions: vec![],
             }],
         }
     }

@@ -1,14 +1,19 @@
 //! Capturing a baseline: run the matrix, collect every metric.
 
-use crate::baseline::{Baseline, HostTelemetry, RcacheCounters, RecordMatrix, WorkloadRecord};
+use crate::baseline::{
+    Baseline, HostTelemetry, RcacheCounters, RecordMatrix, RegionSummary, WorkloadRecord,
+};
 use crate::host::{peak_rss_bytes, sim_mips};
 use crate::PerfError;
-use dim_bench::{run_baseline, run_instrumented, speedup};
+use dim_bench::{run_baseline, run_explained, run_instrumented, speedup};
 use dim_cgra::ArrayShape;
 use dim_core::SystemConfig;
 use dim_obs::{CycleProfiler, MetricsRegistry, ObjectWriter, Probe};
 use dim_workloads::{by_name, Scale};
 use std::time::Instant;
+
+/// How many regions a baseline embeds per workload.
+const TOP_REGIONS: usize = 5;
 
 /// What to record and under which system parameters.
 #[derive(Debug, Clone)]
@@ -129,6 +134,26 @@ pub fn record(opts: &RecordOptions) -> Result<Baseline, PerfError> {
         let wall_min = wall.iter().copied().min().expect("reps >= 1");
         let wall_mean = wall.iter().sum::<u64>() as f64 / wall.len() as f64;
         let retired = run.system.machine().stats.instructions;
+
+        // One traced run reconstructs the per-region footprint; the
+        // simulator is deterministic, so it sees exactly the run the
+        // metrics above describe. Regions come back sorted by
+        // attributed cycles — keep the top few.
+        let explained = run_explained(&built, config)?;
+        debug_assert_eq!(explained.run.cycles, run.cycles);
+        let regions: Vec<RegionSummary> = explained
+            .explanation
+            .regions
+            .iter()
+            .take(TOP_REGIONS)
+            .map(|r| RegionSummary {
+                pc: r.pc,
+                len: r.len,
+                cycles: r.attributed_cycles(),
+                invocations: r.invocations,
+                mispredicts: r.mispredicts,
+            })
+            .collect();
         workloads.push(WorkloadRecord {
             name: name.clone(),
             scalar_cycles,
@@ -151,6 +176,7 @@ pub fn record(opts: &RecordOptions) -> Result<Baseline, PerfError> {
                 sim_mips: sim_mips(retired, wall_min),
                 peak_rss_bytes: peak_rss_bytes().unwrap_or(0),
             },
+            regions,
         });
     }
     Ok(Baseline {

@@ -69,6 +69,11 @@ pub struct SweepOptions {
     pub limit: Option<usize>,
     /// Overrides the spec's `warm_rcache` setting when set.
     pub warm_rcache: Option<bool>,
+    /// Also trace each cell and write a per-region forensics report to
+    /// `explain/<id>.json`. Host-convenience output: like the telemetry
+    /// files it sits outside the determinism contract (`cells/` and
+    /// `report.txt` stay byte-identical with or without it).
+    pub explain: bool,
 }
 
 impl SweepOptions {
@@ -79,6 +84,7 @@ impl SweepOptions {
             jobs: 1,
             limit: None,
             warm_rcache: None,
+            explain: false,
         }
     }
 }
@@ -115,11 +121,16 @@ fn cell_snapshot_path(out_dir: &Path, id: &str) -> PathBuf {
     out_dir.join("rcache").join(format!("{id}.dimrc"))
 }
 
+fn cell_explain_path(out_dir: &Path, id: &str) -> PathBuf {
+    out_dir.join("explain").join(format!("{id}.json"))
+}
+
 /// Simulates one cell and renders its deterministic result JSON.
 fn run_cell(
     cell: &CellSpec,
     baseline_cycles: u64,
     warm: bool,
+    explain: bool,
     out_dir: &Path,
 ) -> Result<CellRun, String> {
     let spec = dim_workloads::by_name(&cell.workload)
@@ -138,7 +149,24 @@ fn run_cell(
         }
     }
 
-    match system.run(built.max_steps) {
+    // `--explain` runs through the probe sink; the probes are
+    // cycle-neutral, so the deterministic cell result is identical
+    // either way — only the side-channel trace differs.
+    let mut trace_text = None;
+    let halt = if explain {
+        let mut sink =
+            dim_obs::JsonlSink::new(Vec::new(), &cell.id, system.stored_bits_per_config());
+        let halt = system.run_probed(built.max_steps, &mut sink);
+        let (buf, io_error) = sink.into_inner();
+        if let Some(e) = io_error {
+            return Err(format!("trace capture failed: {e}"));
+        }
+        trace_text = Some(String::from_utf8(buf).map_err(|e| e.to_string())?);
+        halt
+    } else {
+        system.run(built.max_steps)
+    };
+    match halt {
         Ok(HaltReason::Exit(_)) => {}
         Ok(HaltReason::StepLimit) => {
             return Err(format!(
@@ -149,6 +177,14 @@ fn run_cell(
         Err(e) => return Err(format!("simulation failed: {e}")),
     }
     validate(system.machine(), &built).map_err(|e| e.to_string())?;
+
+    if let Some(text) = trace_text {
+        let ex = dim_explain::explain_text(&text).map_err(|e| format!("explain failed: {e}"))?;
+        let mut json = ex.to_json();
+        json.push('\n');
+        atomic_write(&cell_explain_path(out_dir, &cell.id), json.as_bytes())
+            .map_err(|e| format!("explain write failed: {e}"))?;
+    }
 
     if warm {
         let bytes = system.save_rcache();
@@ -221,6 +257,7 @@ fn run_cell(
 pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, SweepError> {
     let cells = spec.expand();
     let warm = opts.warm_rcache.unwrap_or(spec.warm_rcache);
+    let explain = opts.explain;
     let out_dir = &opts.out_dir;
     std::fs::create_dir_all(out_dir)?;
 
@@ -265,7 +302,7 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
             let cell_wall = &cell_wall;
             move || -> Result<(), SweepError> {
                 let cell_started = Instant::now();
-                let run = run_cell(&cell, baseline, warm, out_dir).map_err(|reason| {
+                let run = run_cell(&cell, baseline, warm, explain, out_dir).map_err(|reason| {
                     SweepError::Cell {
                         id: cell.id.clone(),
                         reason,

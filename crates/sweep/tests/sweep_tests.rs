@@ -194,6 +194,54 @@ fn warm_rcache_snapshots_persist_and_reload() {
 }
 
 #[test]
+fn explain_sweep_writes_forensics_without_perturbing_results() {
+    let spec = tiny_spec();
+    let plain_dir = scratch("explain-plain");
+    let explain_dir = scratch("explain-on");
+
+    run_sweep(&spec, &SweepOptions::new(plain_dir.clone())).unwrap();
+    let mut opts = SweepOptions::new(explain_dir.clone());
+    opts.explain = true;
+    run_sweep(&spec, &opts).unwrap();
+
+    // The determinism contract is unaffected: cell results and the
+    // report are byte-identical with or without forensics.
+    assert_eq!(
+        read_cells(&plain_dir, &spec),
+        read_cells(&explain_dir, &spec)
+    );
+    assert_eq!(
+        fs::read(plain_dir.join("report.txt")).unwrap(),
+        fs::read(explain_dir.join("report.txt")).unwrap()
+    );
+
+    // Every cell gained a parseable forensics report with attribution
+    // that covers the cell's full cycle count.
+    for cell in spec.expand() {
+        let path = explain_dir
+            .join("explain")
+            .join(format!("{}.json", cell.id));
+        let text = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing forensics {}: {e}", path.display()));
+        let parsed = dim_obs::parse_json(&text).unwrap();
+        assert_eq!(
+            parsed.get("workload").and_then(|v| v.as_str()),
+            Some(cell.id.as_str())
+        );
+        let total = parsed.get("total_cycles").and_then(|v| v.as_u64()).unwrap();
+        assert!(total > 0, "{}", cell.id);
+        assert!(parsed
+            .get("regions")
+            .and_then(|v| v.as_array())
+            .is_some_and(|r| !r.is_empty()));
+        assert!(!plain_dir.join("explain").exists());
+    }
+
+    fs::remove_dir_all(&plain_dir).ok();
+    fs::remove_dir_all(&explain_dir).ok();
+}
+
+#[test]
 fn bench_compare_writes_report_and_matches() {
     let spec = SweepSpec::parse(
         "workloads = crc32\nscale = tiny\nshapes = 1, 3\nslots = 16\nspeculation = on",
