@@ -39,7 +39,7 @@ fn bench_array_exec(c: &mut Criterion) {
                     System::new(Machine::load(&program), SystemConfig::new(shape, 64, true));
                 sys.run(10_000_000).expect("runs");
                 std::hint::black_box(sys.total_cycles())
-            })
+            });
         });
     }
     g.finish();
@@ -95,7 +95,7 @@ fn bench_dataflow_executor(c: &mut Criterion) {
             };
             let mut mem: std::collections::HashMap<u32, u8> = std::collections::HashMap::new();
             std::hint::black_box(execute_dataflow(&config, &mut ctx, &mut mem).expect("executes"))
-        })
+        });
     });
     g.finish();
 }

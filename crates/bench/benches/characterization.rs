@@ -17,7 +17,7 @@ fn bench_characterization(c: &mut Criterion) {
             let mut p = Profiler::new();
             m.run_with(built.max_steps, |i| p.observe(i)).expect("runs");
             std::hint::black_box(p.finish().block_count())
-        })
+        });
     });
     g.finish();
 }

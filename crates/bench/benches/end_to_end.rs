@@ -13,7 +13,7 @@ fn bench_end_to_end(c: &mut Criterion) {
         let mut g = c.benchmark_group(name);
         g.sample_size(20);
         g.bench_function("baseline", |b| {
-            b.iter(|| std::hint::black_box(run_baseline(&built).expect("valid").stats.cycles))
+            b.iter(|| std::hint::black_box(run_baseline(&built).expect("valid").stats.cycles));
         });
         g.bench_function("accelerated_c2_spec", |b| {
             b.iter(|| {
@@ -21,7 +21,7 @@ fn bench_end_to_end(c: &mut Criterion) {
                     run_accelerated(&built, SystemConfig::new(ArrayShape::config2(), 64, true))
                         .expect("valid");
                 std::hint::black_box(run.cycles)
-            })
+            });
         });
         g.finish();
     }

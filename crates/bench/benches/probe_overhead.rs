@@ -26,7 +26,7 @@ fn bench_probe_overhead(c: &mut Criterion) {
             let mut sys = System::new(Machine::load(&built.program), config);
             sys.run(built.max_steps).expect("runs");
             std::hint::black_box(sys.total_cycles())
-        })
+        });
     });
     g.bench_function("null_probe", |b| {
         b.iter(|| {
@@ -34,7 +34,7 @@ fn bench_probe_overhead(c: &mut Criterion) {
             sys.run_probed(built.max_steps, &mut NullProbe)
                 .expect("runs");
             std::hint::black_box(sys.total_cycles())
-        })
+        });
     });
     g.bench_function("recording", |b| {
         b.iter(|| {
@@ -42,7 +42,7 @@ fn bench_probe_overhead(c: &mut Criterion) {
             let mut probe = RecordingProbe::new();
             sys.run_probed(built.max_steps, &mut probe).expect("runs");
             std::hint::black_box((sys.total_cycles(), probe.events.len()))
-        })
+        });
     });
     g.bench_function("profiler", |b| {
         b.iter(|| {
@@ -51,7 +51,7 @@ fn bench_probe_overhead(c: &mut Criterion) {
             sys.run_probed(built.max_steps, &mut profiler)
                 .expect("runs");
             std::hint::black_box(profiler.into_profile().total_cycles())
-        })
+        });
     });
     g.finish();
 }

@@ -21,7 +21,7 @@ fn bench_assembler(c: &mut Criterion) {
               bnez $t0, loop
               break 0";
     g.bench_function("small_program", |b| {
-        b.iter(|| assemble(std::hint::black_box(src)).expect("assembles"))
+        b.iter(|| assemble(std::hint::black_box(src)).expect("assembles"));
     });
     g.finish();
 }
@@ -37,7 +37,7 @@ fn bench_baseline_pipeline(c: &mut Criterion) {
             let mut m = Machine::load(&built.program);
             m.run(built.max_steps).expect("runs");
             std::hint::black_box(m.stats.cycles)
-        })
+        });
     });
     g.finish();
 }

@@ -49,7 +49,7 @@ fn bench_translation(c: &mut Criterion) {
                     }
                 }
                 std::hint::black_box(built)
-            })
+            });
         });
     }
     g.finish();

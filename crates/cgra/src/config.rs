@@ -291,6 +291,28 @@ impl Configuration {
         &self.ops
     }
 
+    /// Mutable access to the placed operations, for checkers and test
+    /// harnesses that perturb placements (fault injection against the
+    /// verifier). The length is fixed; derived row-occupancy caches are
+    /// *not* updated, so after mutating ops only introspection and
+    /// [`crate::verify::verify_config`] — which re-derives everything
+    /// from the ops — give trustworthy answers.
+    pub fn ops_mut(&mut self) -> &mut [PlacedOp] {
+        &mut self.ops
+    }
+
+    /// Removes `loc` from the write-back map, returning its pending
+    /// depth. Introspection/corruption support for the verifier.
+    pub fn remove_writeback(&mut self, loc: DataLoc) -> Option<u8> {
+        self.writebacks.remove(&loc)
+    }
+
+    /// Removes `loc` from the live-in set, reporting whether it was
+    /// present. Introspection/corruption support for the verifier.
+    pub fn remove_live_in(&mut self, loc: DataLoc) -> bool {
+        self.live_ins.remove(&loc)
+    }
+
     /// The speculation segments in depth order.
     pub fn segments(&self) -> &[Segment] {
         &self.segments

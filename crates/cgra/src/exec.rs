@@ -223,7 +223,7 @@ pub fn execute_dataflow(
     for &bi in &eval_order {
         let b = &bound[bi];
         let op = &ops[b.index];
-        let src = |k: usize| b.srcs[k].map(|v| values[v]).unwrap_or(0);
+        let src = |k: usize| b.srcs[k].map_or(0, |v| values[v]);
         let mut out0 = None;
         let mut out1 = None;
         use Instruction::*;
@@ -344,8 +344,7 @@ fn check_align(addr: u32, width: u32) -> Result<(), ExecError> {
 fn shadow_read(mem: &dyn ExecMemory, shadow: &HashMap<u32, (u8, u8)>, addr: u32) -> u8 {
     shadow
         .get(&addr)
-        .map(|&(b, _)| b)
-        .unwrap_or_else(|| mem.read_u8(addr))
+        .map_or_else(|| mem.read_u8(addr), |&(b, _)| b)
 }
 
 fn load_value(

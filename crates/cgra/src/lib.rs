@@ -36,6 +36,7 @@ mod render;
 mod shape;
 pub mod snapshot;
 mod timing;
+pub mod verify;
 
 pub use config::{Configuration, InvocationCycles, PlaceError, PlacedOp, Segment, SegmentBranch};
 pub use encoding::{cache_bytes, encoding_breakdown, EncodingBreakdown, EncodingParams};

@@ -94,6 +94,15 @@ commands:
               [--tolerance-spec <f.toml>] [--json]
                                      re-record (or load --current) and fail on
                                      regressions beyond per-metric tolerances
+  lint   <file> [--allow C1,C2] [--json] [--candidates] [--config 1|2|3]
+                                     static CFG/dataflow analysis of a workload
+                                     binary; --candidates adds the static set
+                                     of DIM-accelerable regions
+  lint   --suite [--scale tiny|small|full] [--json]
+                                     lint all bundled workloads with their
+                                     per-workload allowlists applied
+  verify <f.dimrc> [--json]          structurally verify every configuration
+                                     in an rcache snapshot
   debug  <file> [--script <cmds>]    scriptable debugger (stdin by default)
   help                               show this text
 
@@ -162,7 +171,7 @@ fn parse_flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str
         None => Ok(None),
         Some(i) => args
             .get(i + 1)
-            .map(|s| s.as_str())
+            .map(std::string::String::as_str)
             .map(Some)
             .ok_or_else(|| CliError::new(format!("{flag} requires a value"))),
     }
@@ -906,13 +915,10 @@ fn cmd_perf_record(args: &[String], out: &mut impl Write) -> Result<(), CliError
 fn cmd_perf_compare(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     check_flags("perf compare", args, &[], &["--json"], 2)?;
     let mut files = args.iter().filter(|a| !a.starts_with('-'));
-    let (base_path, cur_path) = match (files.next(), files.next()) {
-        (Some(a), Some(b)) => (a, b),
-        _ => {
-            return Err(CliError::new(
-                "perf compare: expected two baseline files (base, current)",
-            ))
-        }
+    let (Some(base_path), Some(cur_path)) = (files.next(), files.next()) else {
+        return Err(CliError::new(
+            "perf compare: expected two baseline files (base, current)",
+        ));
     };
     let base = perf_read_baseline(base_path)?;
     let cur = perf_read_baseline(cur_path)?;
@@ -983,6 +989,212 @@ fn cmd_perf(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     }
 }
 
+fn lint_one(
+    name: &str,
+    program: &Program,
+    allow: Vec<String>,
+    json: bool,
+    out: &mut impl Write,
+) -> Result<bool, CliError> {
+    use dim_lint::report::{render_human, render_json};
+    let report = dim_lint::lint_program(program, &dim_lint::LintOptions { allow });
+    if json {
+        writeln!(out, "{}", render_json(name, &report))?;
+    } else {
+        write!(out, "{}", render_human(name, &report))?;
+    }
+    Ok(report.is_clean())
+}
+
+fn cmd_lint(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    check_flags(
+        "lint",
+        args,
+        &["--allow", "--scale", "--config"],
+        &["--suite", "--json", "--candidates"],
+        1,
+    )?;
+    let json = args.iter().any(|a| a == "--json");
+
+    if args.iter().any(|a| a == "--suite") {
+        for flag in ["--allow", "--candidates", "--config"] {
+            if args.iter().any(|a| a == flag) {
+                return Err(CliError::new(format!(
+                    "lint: `{flag}` does not apply to --suite \
+                     (suite allowlists live in dim-workloads)"
+                )));
+            }
+        }
+        if args.iter().any(|a| !a.starts_with('-')) {
+            return Err(CliError::new("lint: --suite takes no input file"));
+        }
+        let scale = match parse_flag_value(args, "--scale")?.unwrap_or("tiny") {
+            "tiny" => dim_workloads::Scale::Tiny,
+            "small" => dim_workloads::Scale::Small,
+            "full" => dim_workloads::Scale::Full,
+            other => return Err(CliError::new(format!("--scale: unknown `{other}`"))),
+        };
+        let mut unclean = Vec::new();
+        for spec in dim_workloads::suite() {
+            let built = (spec.build)(scale);
+            let allow: Vec<String> = dim_workloads::lint_allowlist(spec.name)
+                .iter()
+                .map(|(code, _)| (*code).to_string())
+                .collect();
+            if !lint_one(spec.name, &built.program, allow, json, out)? {
+                unclean.push(spec.name);
+            }
+        }
+        if !unclean.is_empty() {
+            return Err(CliError::new(format!(
+                "lint: {} workload(s) failed the gate: {}",
+                unclean.len(),
+                unclean.join(", ")
+            )));
+        }
+        return Ok(());
+    }
+
+    let input = args
+        .iter()
+        .find(|a| !a.starts_with('-'))
+        .ok_or_else(|| CliError::new("lint: missing input file"))?;
+    let program = load_program(input)?;
+    let allow: Vec<String> = parse_flag_value(args, "--allow")?
+        .map(|v| v.split(',').map(str::to_string).collect())
+        .unwrap_or_default();
+    let clean = lint_one(input, &program, allow, json, out)?;
+    if args.iter().any(|a| a == "--candidates") {
+        use dim_lint::report::{render_candidates_human, render_candidates_json};
+        let shape = match parse_flag_value(args, "--config")?.unwrap_or("2") {
+            "1" => ArrayShape::config1(),
+            "2" => ArrayShape::config2(),
+            "3" => ArrayShape::config3(),
+            other => return Err(CliError::new(format!("--config: unknown `{other}`"))),
+        };
+        let opts = dim_core::TranslatorOptions::new(shape);
+        let set = dim_lint::candidates::compute_candidates(&program, &opts);
+        if json {
+            writeln!(out, "{}", render_candidates_json(&set))?;
+        } else {
+            write!(out, "{}", render_candidates_human(&set))?;
+        }
+    }
+    if !clean {
+        return Err(CliError::new(format!("lint: {input} failed the gate")));
+    }
+    Ok(())
+}
+
+fn cmd_verify(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    use dim_core::SnapshotContents;
+    check_flags("verify", args, &[], &["--json"], 1)?;
+    let json = args.iter().any(|a| a == "--json");
+    let input = args
+        .iter()
+        .find(|a| !a.starts_with('-'))
+        .ok_or_else(|| CliError::new("verify: missing snapshot file"))?;
+    let bytes = std::fs::read(input).map_err(|e| CliError::new(format!("{input}: {e}")))?;
+    let contents =
+        SnapshotContents::parse(&bytes).map_err(|e| CliError::new(format!("{input}: {e}")))?;
+
+    let mut total_violations = 0usize;
+    let mut findings = Vec::new();
+    for config in &contents.configs {
+        let violations = dim_cgra::verify::verify_config(config);
+        total_violations += violations.len();
+        findings.push((config, violations));
+    }
+
+    if json {
+        let shape = &contents.shape;
+        let mut doc = format!(
+            "{{\"snapshot\":\"{}\",\"shape\":{{\"rows\":{},\"alus\":{},\"mults\":{},\"ldsts\":{}}},\"slots\":{},\"speculation\":{},\"max_spec_blocks\":{},\"predictor_entries\":{},\"strikes\":{},\"configs\":[",
+            dim_lint::report::json_escape(input),
+            shape.rows,
+            shape.alus_per_row,
+            shape.mults_per_row,
+            shape.ldsts_per_row,
+            contents.cache_slots,
+            contents.speculation,
+            contents.max_spec_blocks,
+            contents.predictor.len(),
+            contents.strikes.len(),
+        );
+        for (i, (config, violations)) in findings.iter().enumerate() {
+            if i > 0 {
+                doc.push(',');
+            }
+            doc.push_str(&format!(
+                "{{\"entry\":{},\"ops\":{},\"rows\":{},\"segments\":{},\"violations\":[",
+                config.entry_pc,
+                config.instruction_count(),
+                config.rows_used(),
+                config.segments().len()
+            ));
+            for (j, v) in violations.iter().enumerate() {
+                if j > 0 {
+                    doc.push(',');
+                }
+                doc.push_str(&format!(
+                    "{{\"kind\":\"{}\",\"detail\":\"{}\"}}",
+                    v.kind,
+                    dim_lint::report::json_escape(&v.to_string())
+                ));
+            }
+            doc.push_str("]}");
+        }
+        doc.push_str(&format!("],\"ok\":{}}}", total_violations == 0));
+        writeln!(out, "{doc}")?;
+    } else {
+        writeln!(
+            out,
+            "{input}: {} rows x {}a/{}m/{}l array, {} slots, speculation {} ({} blocks), {} predictor entries, {} strikes",
+            contents.shape.rows,
+            contents.shape.alus_per_row,
+            contents.shape.mults_per_row,
+            contents.shape.ldsts_per_row,
+            contents.cache_slots,
+            if contents.speculation { "on" } else { "off" },
+            contents.max_spec_blocks,
+            contents.predictor.len(),
+            contents.strikes.len(),
+        )?;
+        for (config, violations) in &findings {
+            writeln!(
+                out,
+                "  {:#010x}: {} ops, {} rows, {} segment(s) — {}",
+                config.entry_pc,
+                config.instruction_count(),
+                config.rows_used(),
+                config.segments().len(),
+                if violations.is_empty() {
+                    "ok".to_string()
+                } else {
+                    format!("{} violation(s)", violations.len())
+                }
+            )?;
+            for v in violations {
+                writeln!(out, "    {v}")?;
+            }
+        }
+    }
+    if total_violations > 0 {
+        return Err(CliError::new(format!(
+            "verify: {input}: {total_violations} violation(s) across {} configuration(s)",
+            findings.iter().filter(|(_, v)| !v.is_empty()).count()
+        )));
+    }
+    if !json {
+        writeln!(
+            out,
+            "verify: {} configuration(s) structurally valid",
+            findings.len()
+        )?;
+    }
+    Ok(())
+}
+
 fn cmd_debug(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     let input = args
         .first()
@@ -1018,6 +1230,8 @@ pub fn dispatch(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         Some("suite") => cmd_suite(&args[1..], out),
         Some("sweep") => cmd_sweep(&args[1..], out),
         Some("perf") => cmd_perf(&args[1..], out),
+        Some("lint") => cmd_lint(&args[1..], out),
+        Some("verify") => cmd_verify(&args[1..], out),
         Some("debug") => cmd_debug(&args[1..], out),
         Some("compare") => cmd_compare(&args[1..], out),
         Some("help") | None => {
@@ -1054,7 +1268,7 @@ mod tests {
               break 0";
 
     fn run_cli(args: &[&str]) -> Result<String, CliError> {
-        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = args.iter().map(std::string::ToString::to_string).collect();
         let mut out = Vec::new();
         dispatch(&args, &mut out)?;
         Ok(String::from_utf8(out).unwrap())
@@ -1234,7 +1448,12 @@ mod tests {
         // JSON mode emits the machine-readable analysis instead.
         let json = run_cli(&["explain", trace.to_str().unwrap(), "--json"]).unwrap();
         let v = dim_obs::parse_json(&json).unwrap();
-        assert!(v.get("total_cycles").and_then(|x| x.as_u64()).unwrap() > 0);
+        assert!(
+            v.get("total_cycles")
+                .and_then(dim_obs::JsonValue::as_u64)
+                .unwrap()
+                > 0
+        );
 
         // Flag validation stays strict.
         let err = run_cli(&["explain", trace.to_str().unwrap(), "--chrome"]).unwrap_err();
@@ -1342,6 +1561,107 @@ mod tests {
         // and the error must say why.
         let err = run_cli(&["accel", path, "--config", "3", "--rcache-load", snap]).unwrap_err();
         assert!(err.to_string().contains("hint"), "{err}");
+    }
+
+    #[test]
+    fn lint_clean_file_reports_and_passes() {
+        let src = tmp_file("t20.s", PROGRAM);
+        let out = run_cli(&["lint", src.to_str().unwrap()]).unwrap();
+        assert!(out.contains("0 errors"), "{out}");
+        assert!(out.contains("blocks"), "{out}");
+    }
+
+    #[test]
+    fn lint_dirty_file_fails_and_allow_suppresses() {
+        let src = tmp_file(
+            "t21.s",
+            "main: j end
+             dead: li $t0, 1
+             end:  break 0",
+        );
+        let path = src.to_str().unwrap();
+        let err = run_cli(&["lint", path]).unwrap_err();
+        assert!(err.to_string().contains("failed the gate"), "{err}");
+
+        let out = run_cli(&["lint", path, "--allow", "W101"]).unwrap();
+        assert!(out.contains("suppressed"), "{out}");
+    }
+
+    #[test]
+    fn lint_json_and_candidates() {
+        let src = tmp_file("t22.s", PROGRAM);
+        let path = src.to_str().unwrap();
+        let out = run_cli(&["lint", path, "--json", "--candidates"]).unwrap();
+        assert!(out.contains("\"clean\":true"), "{out}");
+        assert!(out.contains("\"entries\":["), "{out}");
+        let human = run_cli(&["lint", path, "--candidates"]).unwrap();
+        assert!(human.contains("viable region entries"), "{human}");
+    }
+
+    #[test]
+    fn lint_suite_is_clean_with_allowlists() {
+        let out = run_cli(&["lint", "--suite"]).unwrap();
+        assert!(out.contains("crc32"), "{out}");
+        assert!(out.contains("dijkstra"), "{out}");
+        // Flag combinations that cannot mean anything must fail loudly.
+        assert!(run_cli(&["lint", "--suite", "--candidates"]).is_err());
+        assert!(run_cli(&["lint"]).is_err());
+    }
+
+    #[test]
+    fn verify_accepts_good_snapshot_and_rejects_doctored_one() {
+        let src = tmp_file("t23.s", PROGRAM);
+        let path = src.to_str().unwrap();
+        let snap = std::env::temp_dir().join("dim-cli-tests/t23.dimrc");
+        let snap = snap.to_str().unwrap();
+        run_cli(&["accel", path, "--config", "2", "--rcache-save", snap]).unwrap();
+
+        let ok = run_cli(&["verify", snap]).unwrap();
+        assert!(ok.contains("structurally valid"), "{ok}");
+        let js = run_cli(&["verify", snap, "--json"]).unwrap();
+        assert!(js.contains("\"ok\":true"), "{js}");
+
+        // Doctor the snapshot: drop a writeback from the first
+        // configuration and re-encode (valid checksum, invalid contents).
+        let bytes = std::fs::read(snap).unwrap();
+        let mut contents = dim_core::SnapshotContents::parse(&bytes).unwrap();
+        let loc = contents.configs[0].writebacks().next().unwrap().0;
+        contents.configs[0].remove_writeback(loc);
+        let doctored = std::env::temp_dir().join("dim-cli-tests/t23-doctored.dimrc");
+        std::fs::write(&doctored, contents.encode()).unwrap();
+
+        let err = run_cli(&["verify", doctored.to_str().unwrap()]).unwrap_err();
+        assert!(err.to_string().contains("violation"), "{err}");
+
+        // The accelerator must refuse to warm-start from it, naming the
+        // failing region.
+        let err = run_cli(&[
+            "accel",
+            path,
+            "--config",
+            "2",
+            "--rcache-load",
+            doctored.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("failed verification"), "{err}");
+    }
+
+    #[test]
+    fn verify_rejects_bit_flip() {
+        let src = tmp_file("t24.s", PROGRAM);
+        let path = src.to_str().unwrap();
+        let snap = std::env::temp_dir().join("dim-cli-tests/t24.dimrc");
+        let snap = snap.to_str().unwrap();
+        run_cli(&["accel", path, "--config", "2", "--rcache-save", snap]).unwrap();
+
+        let mut bytes = std::fs::read(snap).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        let flipped = std::env::temp_dir().join("dim-cli-tests/t24-flipped.dimrc");
+        std::fs::write(&flipped, &bytes).unwrap();
+        let err = run_cli(&["verify", flipped.to_str().unwrap()]).unwrap_err();
+        assert!(!err.to_string().is_empty());
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub use gshare::{measure_hit_rate, GsharePredictor, SpeculationPredictor};
 pub use predictor::{BimodalPredictor, Counter};
 pub use rcache::{EvictedEntry, ReconfCache, ReplacementPolicy};
 pub use report::RunReport;
-pub use snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use snapshot::{SnapshotContents, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use stats::{CycleBreakdown, DimStats};
 pub use system::{System, SystemConfig};
 pub use tables::{live_in_sources, DependenceTable};

@@ -33,6 +33,7 @@ use dim_cgra::snapshot::{
     decode_config, encode_config, fnv1a64, put_shape, put_u16, put_u32, put_u64, read_shape,
     Cursor, WireError,
 };
+use dim_cgra::{ArrayShape, Configuration};
 use std::fmt;
 
 /// File magic of a reconfiguration-cache snapshot.
@@ -59,6 +60,17 @@ pub enum SnapshotError {
     /// The snapshot was taken under settings incompatible with the
     /// system it is being loaded into; the message names the field.
     Incompatible(String),
+    /// A decoded configuration failed the static verifier
+    /// (`dim_cgra::verify`) — structurally well-formed bytes describing
+    /// a region that could not have come from the translator.
+    InvalidConfig {
+        /// Entry PC of the failing region.
+        pc: u32,
+        /// Covered instructions of the failing region.
+        len: u32,
+        /// First verifier violation.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SnapshotError {
@@ -80,6 +92,10 @@ impl fmt::Display for SnapshotError {
             SnapshotError::Incompatible(what) => {
                 write!(f, "snapshot incompatible with this configuration: {what}")
             }
+            SnapshotError::InvalidConfig { pc, len, detail } => write!(
+                f,
+                "snapshot region at {pc:#x} ({len} instructions) failed verification: {detail}"
+            ),
         }
     }
 }
@@ -122,100 +138,42 @@ fn check_eq<T: PartialEq + fmt::Debug>(
     Ok(())
 }
 
-fn encode_header(out: &mut Vec<u8>, config: &SystemConfig) {
-    put_shape(out, &config.shape);
-    put_u64(out, config.cache_slots as u64);
-    out.push(policy_bits(config.cache_policy));
-    out.push(config.speculation as u8);
-    out.push(config.max_spec_blocks);
-    out.push(config.support_shifts as u8);
-    put_u32(out, config.misspec_flush_threshold);
+/// The fully decoded contents of a `.dimrc` snapshot, independent of any
+/// live [`System`] — the structure `dim verify` inspects offline and
+/// [`System::load_rcache`] restores after its compatibility checks.
+#[derive(Debug, Clone)]
+pub struct SnapshotContents {
+    /// Array geometry the snapshot was taken under.
+    pub shape: ArrayShape,
+    /// Reconfiguration-cache capacity in slots.
+    pub cache_slots: u64,
+    /// Cache replacement policy.
+    pub cache_policy: ReplacementPolicy,
+    /// Whether speculation was enabled.
+    pub speculation: bool,
+    /// Maximum merged basic blocks when speculating.
+    pub max_spec_blocks: u8,
+    /// Whether the array's ALUs included shifters.
+    pub support_shifts: bool,
+    /// Misspeculation flush threshold.
+    pub misspec_flush_threshold: u32,
+    /// Bimodal predictor entries `(pc, counter)`.
+    pub predictor: Vec<(u32, Counter)>,
+    /// Per-configuration misspeculation strikes `(pc, count)`.
+    pub strikes: Vec<(u32, u32)>,
+    /// Cached configurations in saved FIFO order.
+    pub configs: Vec<Configuration>,
 }
 
-fn validate_header(c: &mut Cursor<'_>, config: &SystemConfig) -> Result<(), SnapshotError> {
-    let shape = read_shape(c)?;
-    check_eq("array shape", shape, config.shape)?;
-    let slots = c.u64()?;
-    check_eq("cache slots", slots, config.cache_slots as u64)?;
-    let policy = policy_from_bits(c.u8()?)?;
-    check_eq("replacement policy", policy, config.cache_policy)?;
-    let speculation = c.u8()? != 0;
-    check_eq("speculation", speculation, config.speculation)?;
-    let max_spec_blocks = c.u8()?;
-    check_eq("max_spec_blocks", max_spec_blocks, config.max_spec_blocks)?;
-    let support_shifts = c.u8()? != 0;
-    check_eq("support_shifts", support_shifts, config.support_shifts)?;
-    let threshold = c.u32()?;
-    check_eq(
-        "misspec_flush_threshold",
-        threshold,
-        config.misspec_flush_threshold,
-    )?;
-    Ok(())
-}
-
-impl System {
-    /// Serializes the accelerator's warm state (reconfiguration cache,
-    /// predictor, misspeculation strikes) into a versioned, checksummed
-    /// snapshot.
-    ///
-    /// Takes `&mut self` because snapshotting finalizes the translator —
-    /// any in-flight partial detection region is abandoned, leaving the
-    /// continuing system in exactly the state a warm restart of this
-    /// snapshot would start from.
-    pub fn save_rcache(&mut self) -> Vec<u8> {
-        self.translator.abandon_region();
-
-        let mut payload = Vec::new();
-        encode_header(&mut payload, self.config());
-
-        let predictor = self.predictor.entries();
-        put_u32(&mut payload, predictor.len() as u32);
-        for (pc, counter) in predictor {
-            put_u32(&mut payload, pc);
-            payload.push(counter.to_bits());
-        }
-
-        let mut strikes: Vec<(u32, u32)> = self
-            .misspec_counts
-            .iter()
-            .map(|(&pc, &n)| (pc, n))
-            .collect();
-        strikes.sort_unstable_by_key(|&(pc, _)| pc);
-        put_u32(&mut payload, strikes.len() as u32);
-        for (pc, n) in strikes {
-            put_u32(&mut payload, pc);
-            put_u32(&mut payload, n);
-        }
-
-        let configs: Vec<_> = self.cache.iter().collect();
-        put_u32(&mut payload, configs.len() as u32);
-        for config in configs {
-            encode_config(config, &mut payload);
-        }
-
-        let mut out = Vec::with_capacity(payload.len() + 24);
-        out.extend_from_slice(SNAPSHOT_MAGIC);
-        put_u16(&mut out, SNAPSHOT_VERSION);
-        put_u64(&mut out, payload.len() as u64);
-        out.extend_from_slice(&payload);
-        put_u64(&mut out, fnv1a64(&payload));
-        out
-    }
-
-    /// Replaces the accelerator's warm state with the snapshot's:
-    /// reconfiguration cache contents (in saved FIFO order, statistics
-    /// zeroed), predictor counters, and misspeculation strikes. The
-    /// machine and the run statistics are untouched. Call before (or
-    /// between) runs; like [`save_rcache`](System::save_rcache) it
-    /// abandons any in-flight detection region.
+impl SnapshotContents {
+    /// Decodes a complete `.dimrc` byte image: magic, version, length,
+    /// checksum, header, predictor, strikes, and every configuration
+    /// (each replay-decoded against the header's array shape).
     ///
     /// # Errors
     ///
-    /// [`SnapshotError`] when the bytes are not a snapshot, fail the
-    /// checksum, or were saved under a different array shape, cache
-    /// geometry, or speculation policy than this system's.
-    pub fn load_rcache(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+    /// [`SnapshotError`] for anything that is not a well-formed snapshot.
+    pub fn parse(bytes: &[u8]) -> Result<SnapshotContents, SnapshotError> {
         let mut c = Cursor::new(bytes);
         let mut magic = [0u8; 6];
         for slot in &mut magic {
@@ -248,12 +206,15 @@ impl System {
         }
 
         let mut p = Cursor::new(payload);
-        let config = *self.config();
-        validate_header(&mut p, &config)?;
+        let shape = read_shape(&mut p)?;
+        let cache_slots = p.u64()?;
+        let cache_policy = policy_from_bits(p.u8()?)?;
+        let speculation = p.u8()? != 0;
+        let max_spec_blocks = p.u8()?;
+        let support_shifts = p.u8()? != 0;
+        let misspec_flush_threshold = p.u32()?;
 
-        // Decode into fresh state first so a corrupt tail cannot leave
-        // the system half-restored.
-        let mut predictor = crate::BimodalPredictor::new();
+        let mut predictor = Vec::new();
         let n_pred = p.u32()?;
         for _ in 0..n_pred {
             let pc = p.u32()?;
@@ -261,37 +222,195 @@ impl System {
             let counter = Counter::from_bits(bits).ok_or_else(|| {
                 SnapshotError::Wire(WireError::Corrupt(format!("counter bits {bits}")))
             })?;
-            predictor.seed(pc, counter);
+            predictor.push((pc, counter));
         }
-        let mut strikes = std::collections::HashMap::new();
+        let mut strikes = Vec::new();
         let n_strikes = p.u32()?;
         for _ in 0..n_strikes {
             let pc = p.u32()?;
             let n = p.u32()?;
-            strikes.insert(pc, n);
+            strikes.push((pc, n));
         }
-        let mut cache = ReconfCache::with_policy(config.cache_slots, config.cache_policy);
+        let mut configs = Vec::new();
         let n_configs = p.u32()?;
         for _ in 0..n_configs {
             let entry = decode_config(&mut p)?;
-            if entry.shape() != &config.shape {
+            if entry.shape() != &shape {
                 return Err(SnapshotError::Incompatible(format!(
                     "configuration at {:#x} was placed for a different shape",
                     entry.entry_pc
                 )));
             }
-            let pc = entry.entry_pc;
-            if !cache.seed(entry) {
-                return Err(SnapshotError::Wire(WireError::Corrupt(format!(
-                    "cache entry at {pc:#x} exceeds capacity or repeats"
-                ))));
-            }
+            configs.push(entry);
         }
         if p.remaining() != 0 {
             return Err(SnapshotError::Wire(WireError::Corrupt(format!(
                 "{} unread payload bytes",
                 p.remaining()
             ))));
+        }
+        Ok(SnapshotContents {
+            shape,
+            cache_slots,
+            cache_policy,
+            speculation,
+            max_spec_blocks,
+            support_shifts,
+            misspec_flush_threshold,
+            predictor,
+            strikes,
+            configs,
+        })
+    }
+
+    /// Runs the static configuration verifier over every cached region.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::InvalidConfig`] naming the first failing
+    /// region's PC and length.
+    pub fn verify(&self) -> Result<(), SnapshotError> {
+        for config in &self.configs {
+            if let Some(violation) = dim_cgra::verify::verify_config(config).into_iter().next() {
+                return Err(SnapshotError::InvalidConfig {
+                    pc: config.entry_pc,
+                    len: config.instruction_count() as u32,
+                    detail: violation.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes these contents back into a complete `.dimrc` byte
+    /// image (magic, version, length, payload, checksum). Inverse of
+    /// [`parse`](SnapshotContents::parse); [`System::save_rcache`] is
+    /// implemented on top of it.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        put_shape(&mut payload, &self.shape);
+        put_u64(&mut payload, self.cache_slots);
+        payload.push(policy_bits(self.cache_policy));
+        payload.push(self.speculation as u8);
+        payload.push(self.max_spec_blocks);
+        payload.push(self.support_shifts as u8);
+        put_u32(&mut payload, self.misspec_flush_threshold);
+
+        put_u32(&mut payload, self.predictor.len() as u32);
+        for &(pc, counter) in &self.predictor {
+            put_u32(&mut payload, pc);
+            payload.push(counter.to_bits());
+        }
+        put_u32(&mut payload, self.strikes.len() as u32);
+        for &(pc, n) in &self.strikes {
+            put_u32(&mut payload, pc);
+            put_u32(&mut payload, n);
+        }
+        put_u32(&mut payload, self.configs.len() as u32);
+        for config in &self.configs {
+            encode_config(config, &mut payload);
+        }
+
+        let mut out = Vec::with_capacity(payload.len() + 24);
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        put_u16(&mut out, SNAPSHOT_VERSION);
+        put_u64(&mut out, payload.len() as u64);
+        out.extend_from_slice(&payload);
+        put_u64(&mut out, fnv1a64(&payload));
+        out
+    }
+
+    fn check_compatible(&self, config: &SystemConfig) -> Result<(), SnapshotError> {
+        check_eq("array shape", self.shape, config.shape)?;
+        check_eq("cache slots", self.cache_slots, config.cache_slots as u64)?;
+        check_eq("replacement policy", self.cache_policy, config.cache_policy)?;
+        check_eq("speculation", self.speculation, config.speculation)?;
+        check_eq(
+            "max_spec_blocks",
+            self.max_spec_blocks,
+            config.max_spec_blocks,
+        )?;
+        check_eq("support_shifts", self.support_shifts, config.support_shifts)?;
+        check_eq(
+            "misspec_flush_threshold",
+            self.misspec_flush_threshold,
+            config.misspec_flush_threshold,
+        )?;
+        Ok(())
+    }
+}
+
+impl System {
+    /// Serializes the accelerator's warm state (reconfiguration cache,
+    /// predictor, misspeculation strikes) into a versioned, checksummed
+    /// snapshot.
+    ///
+    /// Takes `&mut self` because snapshotting finalizes the translator —
+    /// any in-flight partial detection region is abandoned, leaving the
+    /// continuing system in exactly the state a warm restart of this
+    /// snapshot would start from.
+    pub fn save_rcache(&mut self) -> Vec<u8> {
+        self.translator.abandon_region();
+
+        let mut strikes: Vec<(u32, u32)> = self
+            .misspec_counts
+            .iter()
+            .map(|(&pc, &n)| (pc, n))
+            .collect();
+        strikes.sort_unstable_by_key(|&(pc, _)| pc);
+
+        let config = *self.config();
+        SnapshotContents {
+            shape: config.shape,
+            cache_slots: config.cache_slots as u64,
+            cache_policy: config.cache_policy,
+            speculation: config.speculation,
+            max_spec_blocks: config.max_spec_blocks,
+            support_shifts: config.support_shifts,
+            misspec_flush_threshold: config.misspec_flush_threshold,
+            predictor: self.predictor.entries(),
+            strikes,
+            configs: self.cache.iter().cloned().collect(),
+        }
+        .encode()
+    }
+
+    /// Replaces the accelerator's warm state with the snapshot's:
+    /// reconfiguration cache contents (in saved FIFO order, statistics
+    /// zeroed), predictor counters, and misspeculation strikes. The
+    /// machine and the run statistics are untouched. Call before (or
+    /// between) runs; like [`save_rcache`](System::save_rcache) it
+    /// abandons any in-flight detection region.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] when the bytes are not a snapshot, fail the
+    /// checksum, were saved under a different array shape, cache
+    /// geometry, or speculation policy than this system's, or contain a
+    /// configuration that fails the static verifier
+    /// ([`SnapshotError::InvalidConfig`] names the region's PC/len).
+    pub fn load_rcache(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let contents = SnapshotContents::parse(bytes)?;
+        let config = *self.config();
+        contents.check_compatible(&config)?;
+        contents.verify()?;
+
+        // Build fresh state first so a corrupt tail cannot leave the
+        // system half-restored.
+        let mut predictor = crate::BimodalPredictor::new();
+        for &(pc, counter) in &contents.predictor {
+            predictor.seed(pc, counter);
+        }
+        let strikes: std::collections::HashMap<u32, u32> =
+            contents.strikes.iter().copied().collect();
+        let mut cache = ReconfCache::with_policy(config.cache_slots, config.cache_policy);
+        for entry in contents.configs {
+            let pc = entry.entry_pc;
+            if !cache.seed(entry) {
+                return Err(SnapshotError::Wire(WireError::Corrupt(format!(
+                    "cache entry at {pc:#x} exceeds capacity or repeats"
+                ))));
+            }
         }
 
         self.translator.abandon_region();
@@ -454,6 +573,57 @@ mod tests {
         assert_eq!(a, b, "post-eviction contents and FIFO order round-trip");
         assert_eq!(fresh.cache().evictions(), 0, "restored stats start fresh");
         assert_eq!(fresh.save_rcache(), bytes);
+    }
+
+    /// A snapshot whose bytes are structurally perfect (valid magic,
+    /// checksum, wire layout) but whose payload describes a region the
+    /// translator could never have committed must be rejected by the
+    /// verifier pass with the failing region's PC and length.
+    #[test]
+    fn load_rejects_doctored_but_checksum_valid_snapshot() {
+        let mut sys = warmed_system();
+        let bytes = sys.save_rcache();
+        let mut contents = SnapshotContents::parse(&bytes).unwrap();
+        assert!(!contents.configs.is_empty());
+        // Drop one write-back from the first region: the wire stays
+        // self-consistent (decode replays placements fine), but the
+        // write-back map no longer matches the instruction window.
+        let victim = &mut contents.configs[0];
+        let expected_pc = victim.entry_pc;
+        let expected_len = victim.instruction_count() as u32;
+        let (loc, _) = victim.writebacks().next().expect("region writes something");
+        victim.remove_writeback(loc);
+        let doctored = contents.encode();
+        assert_ne!(doctored, bytes);
+
+        let program = assemble(LOOP).unwrap();
+        let mut fresh = System::new(
+            Machine::load(&program),
+            SystemConfig::new(ArrayShape::config1(), 64, true),
+        );
+        match fresh.load_rcache(&doctored).unwrap_err() {
+            SnapshotError::InvalidConfig { pc, len, detail } => {
+                assert_eq!(pc, expected_pc);
+                assert_eq!(len, expected_len);
+                assert!(detail.contains("writeback-mismatch"), "{detail}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        // The failed load must not have touched the warm state.
+        assert!(fresh.cache().is_empty());
+    }
+
+    #[test]
+    fn parse_encode_roundtrip_is_byte_identical() {
+        let mut sys = warmed_system();
+        let bytes = sys.save_rcache();
+        let contents = SnapshotContents::parse(&bytes).unwrap();
+        assert!(contents.verify().is_ok());
+        assert_eq!(contents.encode(), bytes);
+        assert_eq!(contents.shape, ArrayShape::config1());
+        assert_eq!(contents.cache_slots, 64);
+        assert!(contents.speculation);
+        assert_eq!(contents.configs.len(), sys.cache().len());
     }
 
     #[test]

@@ -46,6 +46,11 @@ pub struct SystemConfig {
     /// the architectural state and panic on any divergence from the
     /// replay result. Slow; for tests and bring-up.
     pub cross_check: bool,
+    /// Debug mode: run the static configuration verifier
+    /// (`dim_cgra::verify::verify_config`) on every configuration the
+    /// translator commits, panicking on the first violation. Catches
+    /// translator bugs at the commit point instead of at (mis)execution.
+    pub verify_configs: bool,
     /// Encoding constants (cache bit accounting).
     pub encoding: EncodingParams,
 }
@@ -63,6 +68,7 @@ impl SystemConfig {
             misspec_flush_threshold: 8,
             support_shifts: true,
             cross_check: false,
+            verify_configs: false,
             encoding: EncodingParams::default(),
         }
     }
@@ -109,6 +115,7 @@ pub struct System {
     stored_bits_per_config: u64,
     pub(crate) misspec_counts: HashMap<u32, u32>,
     trace: Option<Trace>,
+    commit_log: Option<Vec<Configuration>>,
 }
 
 impl System {
@@ -135,7 +142,24 @@ impl System {
             stored_bits_per_config: stored_bits,
             misspec_counts: HashMap::new(),
             trace: None,
+            commit_log: None,
         }
+    }
+
+    /// Starts recording every configuration the translator commits to
+    /// the cache. The log is unbounded — test/analysis use only (the
+    /// static-candidate soundness cross-check in `dim-lint` compares it
+    /// against the statically computed candidate set).
+    pub fn enable_commit_log(&mut self) {
+        self.commit_log = Some(Vec::new());
+    }
+
+    /// All configurations committed since [`enable_commit_log`]
+    /// (in commit order), or an empty slice when logging is off.
+    ///
+    /// [`enable_commit_log`]: System::enable_commit_log
+    pub fn commit_log(&self) -> &[Configuration] {
+        self.commit_log.as_deref().unwrap_or(&[])
     }
 
     /// Enables invocation tracing, retaining the last `capacity` array
@@ -281,6 +305,23 @@ impl System {
     }
 
     fn insert_config<P: Probe>(&mut self, config: Configuration, probe: &mut P) {
+        if self.config.verify_configs {
+            let violations = dim_cgra::verify::verify_config(&config);
+            assert!(
+                violations.is_empty(),
+                "translator committed an invalid configuration @ {:#x} ({} ops): {}",
+                config.entry_pc,
+                config.instruction_count(),
+                violations
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            );
+        }
+        if let Some(log) = &mut self.commit_log {
+            log.push(config.clone());
+        }
         self.stats.configs_built += 1;
         self.stats.cache_bits_written += self.stored_bits_per_config;
         let pc = config.entry_pc;

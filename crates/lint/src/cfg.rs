@@ -1,0 +1,368 @@
+//! Control-flow-graph reconstruction over an assembled text segment.
+//!
+//! Blocks are delimited by leaders (the entry point, every branch/jump
+//! target, and the instruction after any control transfer, `break`, or
+//! undecodable word) and by terminators. The simulated pipeline has no
+//! architectural delay slots, but the graph records the would-be slot
+//! ownership (`pc + 4` of every control transfer) so the delay-slot
+//! portability lints can reason about it.
+
+use dim_mips::asm::Program;
+use dim_mips::{decode, Instruction};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// How a basic block ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Terminator {
+    /// Conditional branch: two-way split.
+    Branch {
+        /// PC of the branch.
+        pc: u32,
+        /// Taken target.
+        taken: u32,
+        /// Fall-through address.
+        fall: u32,
+    },
+    /// Unconditional jump (`j`).
+    Jump {
+        /// PC of the jump.
+        pc: u32,
+        /// Absolute target.
+        target: u32,
+    },
+    /// Call (`jal`): control goes to `target`, and the callee eventually
+    /// returns to `fall` — both are treated as successors.
+    Call {
+        /// PC of the call.
+        pc: u32,
+        /// Absolute target.
+        target: u32,
+        /// Return address (`pc + 4`, no delay slots).
+        fall: u32,
+    },
+    /// Indirect transfer (`jr`/`jalr`): statically unknown target.
+    Indirect {
+        /// PC of the indirect jump.
+        pc: u32,
+        /// Return point when the transfer links (`jalr`), else `None`.
+        fall: Option<u32>,
+    },
+    /// `break` — program exit.
+    Break {
+        /// PC of the break.
+        pc: u32,
+    },
+    /// The next instruction is a leader; execution falls through.
+    FallThrough {
+        /// Address of the next block.
+        next: u32,
+    },
+    /// The text segment ends without a terminating transfer.
+    TextEnd,
+    /// The block ends at a word that does not decode.
+    Undecodable {
+        /// PC of the undecodable word.
+        pc: u32,
+    },
+}
+
+impl Terminator {
+    /// Whether the successor set is statically unknown (conservative
+    /// analyses treat everything as live past such blocks).
+    pub fn is_unknown_exit(&self) -> bool {
+        matches!(
+            self,
+            Terminator::Indirect { .. }
+                | Terminator::Break { .. }
+                | Terminator::TextEnd
+                | Terminator::Undecodable { .. }
+        )
+    }
+}
+
+/// One basic block.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// PC of the first instruction.
+    pub start: u32,
+    /// Number of instruction slots covered (including an undecodable
+    /// terminator word).
+    pub len: usize,
+    /// How the block ends.
+    pub term: Terminator,
+    /// Successor block start PCs (inside the text segment).
+    pub succs: Vec<u32>,
+    /// Whether the block is reachable from the entry point.
+    pub reachable: bool,
+}
+
+/// The reconstructed control-flow graph of a program's text segment.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Base address of the text segment.
+    pub text_base: u32,
+    /// Program entry point.
+    pub entry: u32,
+    /// Decoded instructions, indexed by `(pc - text_base) / 4`; `None`
+    /// where the word does not decode.
+    pub insts: Vec<Option<Instruction>>,
+    /// Basic blocks in address order.
+    pub blocks: Vec<Block>,
+    block_index: HashMap<u32, usize>,
+}
+
+impl Cfg {
+    /// Reconstructs the graph from an assembled program.
+    pub fn build(program: &Program) -> Cfg {
+        let base = program.text_base;
+        let insts: Vec<Option<Instruction>> =
+            program.text.iter().map(|&w| decode(w).ok()).collect();
+        let end = base + (insts.len() as u32) * 4;
+        let in_text = |pc: u32| pc >= base && pc < end && pc.is_multiple_of(4);
+
+        // Leaders: entry, text base, control targets, post-terminator pcs.
+        let mut leaders: BTreeSet<u32> = BTreeSet::new();
+        leaders.insert(base);
+        if in_text(program.entry) {
+            leaders.insert(program.entry);
+        }
+        for (i, inst) in insts.iter().enumerate() {
+            let pc = base + (i as u32) * 4;
+            let Some(inst) = inst else {
+                leaders.insert(pc + 4);
+                continue;
+            };
+            if let Some(t) = inst.branch_target(pc).or_else(|| inst.jump_target(pc)) {
+                if in_text(t) {
+                    leaders.insert(t);
+                }
+            }
+            if inst.is_control() || matches!(inst, Instruction::Break { .. }) {
+                leaders.insert(pc + 4);
+            }
+        }
+        leaders.retain(|&pc| in_text(pc));
+
+        // Carve blocks between leaders/terminators.
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut block_index = HashMap::new();
+        let mut i = 0usize;
+        while i < insts.len() {
+            let start = base + (i as u32) * 4;
+            let mut len = 0usize;
+            let term = loop {
+                let pc = base + ((i + len) as u32) * 4;
+                if i + len >= insts.len() {
+                    break Terminator::TextEnd;
+                }
+                if len > 0 && leaders.contains(&pc) {
+                    break Terminator::FallThrough { next: pc };
+                }
+                len += 1;
+                let Some(inst) = insts[i + len - 1] else {
+                    break Terminator::Undecodable { pc };
+                };
+                match inst {
+                    Instruction::Branch { .. } => {
+                        break Terminator::Branch {
+                            pc,
+                            taken: inst.branch_target(pc).expect("branch has target"),
+                            fall: pc.wrapping_add(4),
+                        }
+                    }
+                    Instruction::J { .. } => {
+                        break Terminator::Jump {
+                            pc,
+                            target: inst.jump_target(pc).expect("jump has target"),
+                        }
+                    }
+                    Instruction::Jal { .. } => {
+                        break Terminator::Call {
+                            pc,
+                            target: inst.jump_target(pc).expect("jump has target"),
+                            fall: pc.wrapping_add(4),
+                        }
+                    }
+                    Instruction::Jr { .. } => break Terminator::Indirect { pc, fall: None },
+                    Instruction::Jalr { .. } => {
+                        break Terminator::Indirect {
+                            pc,
+                            fall: Some(pc.wrapping_add(4)),
+                        }
+                    }
+                    Instruction::Break { .. } => break Terminator::Break { pc },
+                    _ => {}
+                }
+            };
+            let succs = match term {
+                Terminator::Branch { taken, fall, .. } => vec![taken, fall],
+                Terminator::Jump { target, .. } => vec![target],
+                Terminator::Call { target, fall, .. } => vec![target, fall],
+                Terminator::Indirect { fall, .. } => fall.into_iter().collect(),
+                Terminator::FallThrough { next } => vec![next],
+                Terminator::Break { .. } | Terminator::TextEnd | Terminator::Undecodable { .. } => {
+                    vec![]
+                }
+            };
+            let succs: Vec<u32> = succs.into_iter().filter(|&pc| in_text(pc)).collect();
+            block_index.insert(start, blocks.len());
+            blocks.push(Block {
+                start,
+                len: len.max(1),
+                term,
+                succs,
+                reachable: false,
+            });
+            i += len.max(1);
+        }
+
+        let mut cfg = Cfg {
+            text_base: base,
+            entry: program.entry,
+            insts,
+            blocks,
+            block_index,
+        };
+        cfg.mark_reachable();
+        cfg
+    }
+
+    /// End address of the text segment (exclusive).
+    pub fn text_end(&self) -> u32 {
+        self.text_base + (self.insts.len() as u32) * 4
+    }
+
+    /// Whether `pc` addresses an instruction slot of the text segment.
+    pub fn in_text(&self, pc: u32) -> bool {
+        pc >= self.text_base && pc < self.text_end() && pc.is_multiple_of(4)
+    }
+
+    /// The decoded instruction at `pc`, if inside text and decodable.
+    pub fn inst_at(&self, pc: u32) -> Option<Instruction> {
+        if !self.in_text(pc) {
+            return None;
+        }
+        self.insts[((pc - self.text_base) / 4) as usize]
+    }
+
+    /// Index of the block starting at `pc`.
+    pub fn block_at(&self, pc: u32) -> Option<usize> {
+        self.block_index.get(&pc).copied()
+    }
+
+    /// Predecessor indices per block.
+    pub fn predecessors(&self) -> Vec<Vec<usize>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (b, block) in self.blocks.iter().enumerate() {
+            for &succ in &block.succs {
+                if let Some(s) = self.block_at(succ) {
+                    preds[s].push(b);
+                }
+            }
+        }
+        preds
+    }
+
+    /// Instructions of one block as `(pc, Option<Instruction>)`.
+    pub fn block_insts(
+        &self,
+        block: &Block,
+    ) -> impl Iterator<Item = (u32, Option<Instruction>)> + '_ {
+        let start = ((block.start - self.text_base) / 4) as usize;
+        (start..start + block.len).map(move |i| (self.text_base + (i as u32) * 4, self.insts[i]))
+    }
+
+    fn mark_reachable(&mut self) {
+        let entry_block = self
+            .block_at(self.entry)
+            .or_else(|| self.block_at(self.text_base));
+        let Some(entry_block) = entry_block else {
+            return;
+        };
+        let mut queue = VecDeque::from([entry_block]);
+        while let Some(b) = queue.pop_front() {
+            if self.blocks[b].reachable {
+                continue;
+            }
+            self.blocks[b].reachable = true;
+            let succs = self.blocks[b].succs.clone();
+            for pc in succs {
+                if let Some(s) = self.block_at(pc) {
+                    if !self.blocks[s].reachable {
+                        queue.push_back(s);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dim_mips::asm::assemble;
+
+    fn cfg_of(src: &str) -> Cfg {
+        Cfg::build(&assemble(src).expect("assembles"))
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let cfg = cfg_of("main: li $t0, 1\n li $t1, 2\n break 0");
+        assert_eq!(cfg.blocks.len(), 1, "{:?}", cfg.blocks);
+        assert!(matches!(cfg.blocks[0].term, Terminator::Break { .. }));
+        assert!(cfg.blocks[0].reachable);
+        assert_eq!(cfg.blocks[0].len, 3);
+    }
+
+    #[test]
+    fn branch_splits_blocks_and_marks_targets() {
+        let cfg = cfg_of(
+            "main: li $s0, 4
+             loop: addiu $s0, $s0, -1
+                   bnez $s0, loop
+                   break 0",
+        );
+        let loop_pc = cfg.text_base + 4;
+        assert!(cfg.block_at(loop_pc).is_some(), "branch target is a leader");
+        let loop_block = &cfg.blocks[cfg.block_at(loop_pc).unwrap()];
+        assert!(matches!(loop_block.term, Terminator::Branch { .. }));
+        assert_eq!(loop_block.succs.len(), 2);
+        assert!(cfg.blocks.iter().all(|b| b.reachable));
+    }
+
+    #[test]
+    fn unreachable_block_detected() {
+        let cfg = cfg_of(
+            "main: j end
+             dead: li $t0, 1
+                   li $t1, 2
+             end:  break 0",
+        );
+        let dead_pc = cfg.text_base + 4;
+        let dead = &cfg.blocks[cfg.block_at(dead_pc).unwrap()];
+        assert!(!dead.reachable);
+        let end = cfg
+            .blocks
+            .iter()
+            .find(|b| matches!(b.term, Terminator::Break { .. }));
+        assert!(end.unwrap().reachable);
+    }
+
+    #[test]
+    fn call_has_target_and_return_successors() {
+        let cfg = cfg_of(
+            "main: jal fn
+                   break 0
+             fn:   jr $ra",
+        );
+        let first = &cfg.blocks[0];
+        assert!(matches!(first.term, Terminator::Call { .. }));
+        assert_eq!(first.succs.len(), 2);
+        let fn_block = cfg
+            .blocks
+            .iter()
+            .find(|b| matches!(b.term, Terminator::Indirect { .. }));
+        assert!(fn_block.unwrap().term.is_unknown_exit());
+    }
+}

@@ -1,0 +1,304 @@
+//! Register dataflow over the CFG: per-block liveness and reaching
+//! definitions.
+//!
+//! Both analyses work over the 34 dense [`DataLoc`] slots (32 GPRs with
+//! `$zero` excluded at the source, plus HI and LO). Liveness uses one
+//! `u64` bitmask per block; reaching definitions use chunked bitsets
+//! over global definition-site indices.
+
+use crate::cfg::{Cfg, Terminator};
+use dim_mips::{DataLoc, Instruction};
+
+/// Number of dense dataflow locations (GPRs + HI + LO).
+pub const NUM_LOCS: usize = 34;
+
+/// Bitmask covering every dataflow location.
+pub const ALL_LOCS: u64 = (1u64 << NUM_LOCS) - 1;
+
+fn read_mask(inst: &Instruction) -> u64 {
+    if matches!(inst, Instruction::Syscall) {
+        // Syscalls consume machine state through a register convention the
+        // dataflow model does not track; treat them as reading everything.
+        return ALL_LOCS;
+    }
+    inst.reads()
+        .iter()
+        .fold(0u64, |m, loc| m | (1 << loc.dense_index()))
+}
+
+fn write_mask(inst: &Instruction) -> u64 {
+    inst.writes()
+        .iter()
+        .fold(0u64, |m, loc| m | (1 << loc.dense_index()))
+}
+
+/// Per-block live-in / live-out register sets.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Locations live on entry to each block (indexed like `cfg.blocks`).
+    pub live_in: Vec<u64>,
+    /// Locations live on exit from each block.
+    pub live_out: Vec<u64>,
+}
+
+/// Whether a block's exit leaves the analyzed region (indirect jump,
+/// `break`, text end, undecodable word, or a direct target outside the
+/// text segment) — everything must be assumed live/used past it.
+fn exits_region(cfg: &Cfg, block_idx: usize) -> bool {
+    let block = &cfg.blocks[block_idx];
+    if block.term.is_unknown_exit() {
+        return true;
+    }
+    let expected = match block.term {
+        Terminator::Branch { .. } | Terminator::Call { .. } => 2,
+        Terminator::Jump { .. } | Terminator::FallThrough { .. } => 1,
+        _ => 0,
+    };
+    block.succs.len() < expected
+}
+
+/// Computes backward liveness to a fixpoint.
+pub fn liveness(cfg: &Cfg) -> Liveness {
+    let n = cfg.blocks.len();
+    let mut use_mask = vec![0u64; n];
+    let mut def_mask = vec![0u64; n];
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        for (_, inst) in cfg.block_insts(block) {
+            let Some(inst) = inst else { break };
+            use_mask[b] |= read_mask(&inst) & !def_mask[b];
+            def_mask[b] |= write_mask(&inst);
+        }
+    }
+
+    let mut live_in = vec![0u64; n];
+    let mut live_out = vec![0u64; n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in (0..n).rev() {
+            let mut out = if exits_region(cfg, b) { ALL_LOCS } else { 0 };
+            for &succ in &cfg.blocks[b].succs {
+                if let Some(s) = cfg.block_at(succ) {
+                    out |= live_in[s];
+                }
+            }
+            let inp = use_mask[b] | (out & !def_mask[b]);
+            if out != live_out[b] || inp != live_in[b] {
+                live_out[b] = out;
+                live_in[b] = inp;
+                changed = true;
+            }
+        }
+    }
+    Liveness { live_in, live_out }
+}
+
+/// One register/HI/LO definition site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DefSite {
+    /// PC of the defining instruction.
+    pub pc: u32,
+    /// Location defined.
+    pub loc: DataLoc,
+}
+
+/// Reaching-definition analysis result: the global definition-site list
+/// and, for each site, whether some execution path can observe it.
+#[derive(Debug, Clone)]
+pub struct ReachingDefs {
+    /// All definition sites in program order.
+    pub sites: Vec<DefSite>,
+    /// `used[i]` — definition `sites[i]` reaches at least one read of its
+    /// location (or an exit where everything must be assumed read).
+    pub used: Vec<bool>,
+}
+
+#[derive(Clone, PartialEq, Eq)]
+struct BitSet(Vec<u64>);
+
+impl BitSet {
+    fn new(n: usize) -> BitSet {
+        BitSet(vec![0u64; n.div_ceil(64)])
+    }
+    fn set(&mut self, i: usize) {
+        self.0[i / 64] |= 1 << (i % 64);
+    }
+    fn clear(&mut self, i: usize) {
+        self.0[i / 64] &= !(1 << (i % 64));
+    }
+    fn union(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            let next = *a | *b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+    fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.0.iter().enumerate().flat_map(|(w, &bits)| {
+            (0..64)
+                .filter(move |b| bits & (1 << b) != 0)
+                .map(move |b| w * 64 + b)
+        })
+    }
+}
+
+/// Computes reaching definitions and marks every definition that some
+/// path can observe.
+pub fn reaching_defs(cfg: &Cfg) -> ReachingDefs {
+    // Enumerate definition sites and group them by location.
+    let mut sites: Vec<DefSite> = Vec::new();
+    let mut by_loc: Vec<Vec<usize>> = vec![Vec::new(); NUM_LOCS];
+    for block in &cfg.blocks {
+        for (pc, inst) in cfg.block_insts(block) {
+            let Some(inst) = inst else { break };
+            for loc in inst.writes().iter() {
+                by_loc[loc.dense_index()].push(sites.len());
+                sites.push(DefSite { pc, loc });
+            }
+        }
+    }
+    let n_sites = sites.len();
+    let n_blocks = cfg.blocks.len();
+
+    // Per-block gen (downward-exposed defs) and kill (all defs of written
+    // locations).
+    let mut gen = vec![BitSet::new(n_sites); n_blocks];
+    let mut kill = vec![BitSet::new(n_sites); n_blocks];
+    let mut site_cursor = 0usize;
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        for (_, inst) in cfg.block_insts(block) {
+            let Some(inst) = inst else { break };
+            for loc in inst.writes().iter() {
+                for &other in &by_loc[loc.dense_index()] {
+                    kill[b].set(other);
+                    gen[b].clear(other);
+                }
+                gen[b].set(site_cursor);
+                site_cursor += 1;
+            }
+        }
+    }
+
+    // Forward fixpoint: in[b] = ∪ out[pred], out[b] = gen ∪ (in − kill).
+    let preds = cfg.predecessors();
+    let mut reach_in = vec![BitSet::new(n_sites); n_blocks];
+    let mut reach_out = vec![BitSet::new(n_sites); n_blocks];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..n_blocks {
+            let mut inp = BitSet::new(n_sites);
+            for &p in &preds[b] {
+                inp.union(&reach_out[p]);
+            }
+            let mut out = inp.clone();
+            for (w, k) in out.0.iter_mut().zip(&kill[b].0) {
+                *w &= !k;
+            }
+            out.union(&gen[b]);
+            changed |= reach_in[b].union(&inp);
+            if out != reach_out[b] {
+                reach_out[b] = out;
+                changed = true;
+            }
+        }
+    }
+
+    // Walk each block forward, marking definitions observed by reads.
+    let mut used = vec![false; n_sites];
+    let mut site_cursor = 0usize;
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        let mut reach = reach_in[b].clone();
+        for (_, inst) in cfg.block_insts(block) {
+            let Some(inst) = inst else { break };
+            if matches!(inst, Instruction::Syscall) {
+                for s in reach.ones() {
+                    used[s] = true;
+                }
+            } else {
+                for loc in inst.reads().iter() {
+                    for &s in &by_loc[loc.dense_index()] {
+                        if reach.0[s / 64] & (1 << (s % 64)) != 0 {
+                            used[s] = true;
+                        }
+                    }
+                }
+            }
+            for loc in inst.writes().iter() {
+                for &other in &by_loc[loc.dense_index()] {
+                    reach.clear(other);
+                }
+                reach.set(site_cursor);
+                site_cursor += 1;
+            }
+        }
+        if exits_region(cfg, b) {
+            for s in reach.ones() {
+                used[s] = true;
+            }
+        }
+    }
+
+    ReachingDefs { sites, used }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dim_mips::asm::assemble;
+    use dim_mips::Reg;
+
+    fn analyse(src: &str) -> (Cfg, Liveness, ReachingDefs) {
+        let cfg = Cfg::build(&assemble(src).expect("assembles"));
+        let live = liveness(&cfg);
+        let defs = reaching_defs(&cfg);
+        (cfg, live, defs)
+    }
+
+    fn bit(reg: Reg) -> u64 {
+        1 << DataLoc::Gpr(reg).dense_index()
+    }
+
+    #[test]
+    fn loop_counter_is_live_at_header() {
+        let (cfg, live, _) = analyse(
+            "main: li $s0, 4
+             loop: addiu $s0, $s0, -1
+                   bnez $s0, loop
+                   break 0",
+        );
+        let header = cfg.block_at(cfg.text_base + 4).unwrap();
+        assert_ne!(live.live_in[header] & bit(Reg::S0), 0);
+    }
+
+    #[test]
+    fn dead_definition_is_not_marked_used() {
+        let (_, _, defs) = analyse(
+            "main: li $t0, 7
+                   li $t0, 8
+                   addu $v0, $t0, $t0
+                   break 0",
+        );
+        let t0_defs: Vec<usize> = defs
+            .sites
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.loc == DataLoc::Gpr(Reg::T0))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(t0_defs.len(), 2);
+        assert!(!defs.used[t0_defs[0]], "overwritten def must be dead");
+        assert!(defs.used[t0_defs[1]]);
+    }
+
+    #[test]
+    fn defs_reaching_indirect_exit_count_as_used() {
+        let (_, _, defs) = analyse(
+            "main: li $v0, 1
+                   jr $ra",
+        );
+        assert!(defs.used.iter().all(|&u| u));
+    }
+}

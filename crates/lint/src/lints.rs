@@ -1,0 +1,273 @@
+//! The diagnostic catalogue.
+//!
+//! Errors (`E0xx`) are structural defects: the binary cannot execute the
+//! flagged path correctly on any target. Warnings (`W1xx`) are
+//! portability or hygiene defects — the program runs on this simulator
+//! (which has no architectural branch delay slots) but would diverge or
+//! waste encoding space on delay-slot MIPS hardware. Notes (`N2xx`) are
+//! performance observations that never gate CI.
+
+use crate::cfg::{Cfg, Terminator};
+use crate::dataflow::{liveness, reaching_defs};
+use dim_mips::asm::Program;
+use dim_mips::{DataLoc, Instruction, Reg};
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Performance observation; informational only.
+    Note,
+    /// Portability or hygiene defect.
+    Warning,
+    /// Structural defect.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        })
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Catalogue code (`E001`, `W103`, ...).
+    pub code: &'static str,
+    /// Severity class implied by the code.
+    pub severity: Severity,
+    /// PC the finding anchors to, when it has one.
+    pub pc: Option<u32>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.pc {
+            Some(pc) => write!(
+                f,
+                "{} [{}] at {:#010x}: {}",
+                self.severity, self.code, pc, self.message
+            ),
+            None => write!(f, "{} [{}]: {}", self.severity, self.code, self.message),
+        }
+    }
+}
+
+fn diag(code: &'static str, severity: Severity, pc: u32, message: String) -> Diagnostic {
+    Diagnostic {
+        code,
+        severity,
+        pc: Some(pc),
+        message,
+    }
+}
+
+fn loc_name(loc: DataLoc) -> String {
+    match loc {
+        DataLoc::Gpr(r) => format!("${}", r.abi_name()),
+        DataLoc::Hi => "HI".into(),
+        DataLoc::Lo => "LO".into(),
+    }
+}
+
+/// The control transfer's statically known destination, if any.
+fn known_target(term: &Terminator) -> Option<(u32, u32)> {
+    match *term {
+        Terminator::Branch { pc, taken, .. } => Some((pc, taken)),
+        Terminator::Jump { pc, target } => Some((pc, target)),
+        Terminator::Call { pc, target, .. } => Some((pc, target)),
+        _ => None,
+    }
+}
+
+/// Runs the full catalogue over a reconstructed CFG.
+pub fn run_lints(cfg: &Cfg, program: &Program) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let live = liveness(cfg);
+    let defs = reaching_defs(cfg);
+
+    for block in &cfg.blocks {
+        if !block.reachable {
+            // W101: unreachable block (covers any undecodable words inside
+            // it too — data placed in text shows up here, not as E001).
+            out.push(diag(
+                "W101",
+                Severity::Warning,
+                block.start,
+                format!(
+                    "block of {} instruction{} is unreachable from the entry point",
+                    block.len,
+                    if block.len == 1 { "" } else { "s" }
+                ),
+            ));
+            continue;
+        }
+
+        // E001: undecodable word on a reachable path.
+        if let Terminator::Undecodable { pc } = block.term {
+            let word = program.text[((pc - cfg.text_base) / 4) as usize];
+            out.push(diag(
+                "E001",
+                Severity::Error,
+                pc,
+                format!("word {word:#010x} on a reachable path does not decode"),
+            ));
+        }
+
+        // E002: direct control transfer leaving the text segment.
+        if let Some((pc, target)) = known_target(&block.term) {
+            if !cfg.in_text(target) {
+                out.push(diag(
+                    "E002",
+                    Severity::Error,
+                    pc,
+                    format!(
+                        "transfer target {target:#010x} is outside the text segment ({:#010x}..{:#010x})",
+                        cfg.text_base,
+                        cfg.text_end()
+                    ),
+                ));
+            }
+        }
+
+        // E003: reachable flow off the end of the text segment.
+        let falls_off = match block.term {
+            Terminator::TextEnd => Some(cfg.text_end().wrapping_sub(4)),
+            Terminator::Branch { pc, fall, .. } if !cfg.in_text(fall) => Some(pc),
+            Terminator::Call { pc, fall, .. } if !cfg.in_text(fall) => Some(pc),
+            _ => None,
+        };
+        if let Some(pc) = falls_off {
+            out.push(diag(
+                "E003",
+                Severity::Error,
+                pc,
+                "execution can flow past the end of the text segment without a terminating transfer".into(),
+            ));
+        }
+
+        let insts: Vec<(u32, Option<Instruction>)> = cfg.block_insts(block).collect();
+        for (i, &(pc, inst)) in insts.iter().enumerate() {
+            let Some(inst) = inst else { break };
+
+            // W103: write whose encoded destination is $zero (discarded),
+            // excluding the canonical NOP encoding.
+            if inst.dest_gpr() == Some(Reg::ZERO) && !inst.is_nop() {
+                out.push(diag(
+                    "W103",
+                    Severity::Warning,
+                    pc,
+                    format!("`{inst}` writes $zero; the result is discarded"),
+                ));
+            }
+
+            // N201: load feeding a use in the very next slot — the
+            // pipeline's one-instruction load-use hazard window stalls.
+            if matches!(
+                inst,
+                Instruction::Load { .. } | Instruction::LoadUnaligned { .. }
+            ) {
+                if let Some(rt) = inst.dest_gpr() {
+                    if let Some(&(next_pc, Some(next))) = insts.get(i + 1) {
+                        if next.reads().contains(DataLoc::Gpr(rt)) {
+                            out.push(diag(
+                                "N201",
+                                Severity::Note,
+                                next_pc,
+                                format!(
+                                    "consumes ${} in the slot after its load at {pc:#010x}; costs a load-use stall cycle",
+                                    rt.abi_name()
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Delay-slot portability checks anchor on the transfer's slot
+        // instruction (pc + 4), which may open the next block.
+        if let Some(trans_pc) = match block.term {
+            Terminator::Branch { pc, .. }
+            | Terminator::Jump { pc, .. }
+            | Terminator::Call { pc, .. }
+            | Terminator::Indirect { pc, .. } => Some(pc),
+            _ => None,
+        } {
+            let slot_pc = trans_pc.wrapping_add(4);
+            if let Some(slot) = cfg.inst_at(slot_pc) {
+                // W102: control transfer in the would-be delay slot —
+                // unpredictable on delay-slot hardware.
+                if slot.is_control() {
+                    out.push(diag(
+                        "W102",
+                        Severity::Warning,
+                        slot_pc,
+                        format!(
+                            "control transfer sits in the delay slot of the transfer at {trans_pc:#010x}; behaviour is unpredictable on delay-slot MIPS"
+                        ),
+                    ));
+                }
+
+                // N203: slot definition live at the transfer's known
+                // target. Delay-slot hardware executes the slot before the
+                // target; this simulator does not — the two architectures
+                // observe different values. A note, not a warning: every
+                // workload in this suite is written for the no-delay-slot
+                // pipeline, so the divergence is expected and this only
+                // inventories where re-porting to real MIPS would need a
+                // slot fill or reorder.
+                if let Some((_, target)) = known_target(&block.term) {
+                    if let Some(tb) = cfg.block_at(target) {
+                        let writes: Vec<DataLoc> = slot.writes().iter().collect();
+                        for loc in writes {
+                            if live.live_in[tb] & (1 << loc.dense_index()) != 0 {
+                                out.push(diag(
+                                    "N203",
+                                    Severity::Note,
+                                    slot_pc,
+                                    format!(
+                                        "defines {} in the delay slot of {trans_pc:#010x} while it is live at the taken target {target:#010x}; delay-slot hardware would execute the definition before the target",
+                                        loc_name(loc)
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // N202: definitions no execution path observes.
+    let reachable_pcs: std::collections::HashSet<u32> = cfg
+        .blocks
+        .iter()
+        .filter(|b| b.reachable)
+        .flat_map(|b| cfg.block_insts(b).map(|(pc, _)| pc))
+        .collect();
+    for (site, &used) in defs.sites.iter().zip(&defs.used) {
+        if used || !reachable_pcs.contains(&site.pc) {
+            continue;
+        }
+        let inst = cfg.inst_at(site.pc).expect("def site decodes");
+        if inst.is_nop() {
+            continue;
+        }
+        out.push(diag(
+            "N202",
+            Severity::Note,
+            site.pc,
+            format!("value of {} defined here is never used", loc_name(site.loc)),
+        ));
+    }
+
+    out.sort_by_key(|d| (d.pc.unwrap_or(0), d.code));
+    out
+}

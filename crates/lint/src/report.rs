@@ -1,0 +1,132 @@
+//! Rendering: human-readable listings and machine-readable JSON for the
+//! `dim lint` / `dim verify` subcommands.
+
+use crate::candidates::CandidateSet;
+use crate::LintReport;
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a lint report as plain text, one diagnostic per line.
+pub fn render_human(name: &str, report: &LintReport) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        let _ = writeln!(out, "{d}");
+    }
+    let _ = writeln!(
+        out,
+        "{name}: {} instructions, {} blocks ({} reachable) — {} error{}, {} warning{}, {} note{}{}",
+        report.instructions,
+        report.blocks,
+        report.reachable_blocks,
+        report.error_count(),
+        plural(report.error_count()),
+        report.warning_count(),
+        plural(report.warning_count()),
+        report.note_count(),
+        plural(report.note_count()),
+        if report.suppressed > 0 {
+            format!(" ({} suppressed)", report.suppressed)
+        } else {
+            String::new()
+        }
+    );
+    out
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+/// Renders a lint report as a JSON object.
+pub fn render_json(name: &str, report: &LintReport) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"workload\":\"{}\",\"instructions\":{},\"blocks\":{},\"reachable_blocks\":{},\"errors\":{},\"warnings\":{},\"notes\":{},\"suppressed\":{},\"clean\":{},\"diagnostics\":[",
+        json_escape(name),
+        report.instructions,
+        report.blocks,
+        report.reachable_blocks,
+        report.error_count(),
+        report.warning_count(),
+        report.note_count(),
+        report.suppressed,
+        report.is_clean()
+    );
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"code\":\"{}\",\"severity\":\"{}\",\"pc\":{},\"message\":\"{}\"}}",
+            d.code,
+            d.severity,
+            d.pc.map_or("null".to_string(), |pc| pc.to_string()),
+            json_escape(&d.message)
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders the static candidate set as plain text.
+pub fn render_candidates_human(set: &CandidateSet) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} viable region entries:", set.len());
+    for (entry, paths) in &set.candidates {
+        let longest = paths.iter().map(Vec::len).max().unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "  {entry:#010x}: {} path{}, longest merges {} instruction{}",
+            paths.len(),
+            plural(paths.len()),
+            longest,
+            plural(longest)
+        );
+    }
+    out
+}
+
+/// Renders the static candidate set as a JSON object.
+pub fn render_candidates_json(set: &CandidateSet) -> String {
+    let mut out = String::from("{\"entries\":[");
+    for (i, (entry, paths)) in set.candidates.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"entry\":{entry},\"paths\":[");
+        for (j, path) in paths.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let pcs: Vec<String> = path.iter().map(u32::to_string).collect();
+            let _ = write!(out, "[{}]", pcs.join(","));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}

@@ -1,0 +1,101 @@
+//! Suite-wide guarantees: every workload binary lints clean (modulo its
+//! explicit allowlist), and every region the dynamic translator commits
+//! is contained in the static candidate set.
+
+use dim_core::{System, SystemConfig, TranslatorOptions};
+use dim_lint::candidates::contains_region;
+use dim_lint::{lint_program, LintOptions};
+use dim_mips_sim::Machine;
+use dim_workloads::{suite, Scale};
+
+#[test]
+fn every_workload_lints_clean() {
+    let mut failures = Vec::new();
+    for spec in suite() {
+        let built = (spec.build)(Scale::Tiny);
+        let opts = LintOptions {
+            allow: dim_workloads::lint_allowlist(spec.name)
+                .iter()
+                .map(|(code, _)| (*code).to_string())
+                .collect(),
+        };
+        let report = lint_program(&built.program, &opts);
+        if !report.is_clean() {
+            for d in report
+                .diagnostics
+                .iter()
+                .filter(|d| !matches!(d.severity, dim_lint::lints::Severity::Note))
+            {
+                failures.push(format!("{}: {d}", spec.name));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "lint findings:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// Every allowlist entry must still be needed: a suppression that no
+/// longer fires is stale and must be removed.
+#[test]
+fn allowlists_carry_no_stale_entries() {
+    for spec in suite() {
+        let allow = dim_workloads::lint_allowlist(spec.name);
+        if allow.is_empty() {
+            continue;
+        }
+        let built = (spec.build)(Scale::Tiny);
+        let report = lint_program(&built.program, &LintOptions::default());
+        for (code, why) in allow {
+            assert!(
+                report.diagnostics.iter().any(|d| d.code == *code),
+                "{}: allowlisted {code} ({why}) no longer fires — remove it",
+                spec.name
+            );
+        }
+    }
+}
+
+/// Property: every configuration the dynamic translator commits is a
+/// prefix of a path in the static candidate set at the same entry PC.
+/// Runs with the debug verifier enabled, so every committed
+/// configuration is also structurally verified on the way in.
+#[test]
+fn dynamic_regions_are_statically_predicted() {
+    for spec in suite() {
+        let built = (spec.build)(Scale::Tiny);
+        let mut config = SystemConfig::new(dim_cgra::ArrayShape::config2(), 64, true);
+        config.verify_configs = true;
+        let mut system = System::new(Machine::load(&built.program), config);
+        system.enable_commit_log();
+        system
+            .run(built.max_steps)
+            .unwrap_or_else(|e| panic!("{}: {e:?}", spec.name));
+
+        let opts = TranslatorOptions {
+            shape: dim_cgra::ArrayShape::config2(),
+            speculation: true,
+            max_spec_blocks: 3,
+            support_shifts: true,
+        };
+        for committed in system.commit_log() {
+            let op_pcs: Vec<u32> = committed.ops().iter().map(|op| op.pc).collect();
+            assert!(
+                contains_region(&built.program, &opts, committed.entry_pc, &op_pcs),
+                "{}: committed region at {:#010x} ({} ops) not statically predicted: {:x?}",
+                spec.name,
+                committed.entry_pc,
+                op_pcs.len(),
+                op_pcs
+            );
+        }
+        assert_eq!(
+            system.commit_log().len() as u64,
+            system.stats().configs_built,
+            "{}: commit log must mirror committed configurations",
+            spec.name
+        );
+    }
+}

@@ -178,8 +178,7 @@ impl Machine {
         let inst = self.fetch(self.cpu.pc)?;
         let load_use = self
             .last_load_dest
-            .map(|dest| inst.reads().contains(dim_mips::DataLoc::Gpr(dest)))
-            .unwrap_or(false);
+            .is_some_and(|dest| inst.reads().contains(dim_mips::DataLoc::Gpr(dest)));
         let info = self.cpu.execute(inst, &mut self.mem)?;
         self.stats.record(&inst, info.taken, load_use);
         let base_cycles = self.costs.cycles(&inst, info.taken, load_use);

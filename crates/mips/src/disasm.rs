@@ -179,7 +179,7 @@ pub fn disassemble_labeled(base: u32, words: &[u32]) -> String {
                 match targets.get(&t) {
                     Some(&n) => {
                         let printed = i.to_string();
-                        let head = printed.rsplit_once(' ').map(|(h, _)| h).unwrap_or("");
+                        let head = printed.rsplit_once(' ').map_or("", |(h, _)| h);
                         format!("{head} L{n}")
                     }
                     None => i.to_string(),

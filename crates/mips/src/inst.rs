@@ -751,6 +751,34 @@ impl Instruction {
             _ => None,
         }
     }
+
+    /// The *encoded* destination register, including `$zero`. Unlike
+    /// [`writes`](Instruction::writes) — which models architectural
+    /// effect and therefore drops `$zero` — this reports what the
+    /// instruction word says, so static analyzers can flag suspicious
+    /// writes to the hardwired zero register. `jal`'s implicit `$ra` and
+    /// HI/LO destinations are not encoded register fields and return
+    /// `None`.
+    pub fn dest_gpr(&self) -> Option<Reg> {
+        use Instruction::*;
+        match *self {
+            Alu { rd, .. }
+            | Shift { rd, .. }
+            | ShiftVar { rd, .. }
+            | Mfhi { rd }
+            | Mflo { rd }
+            | Jalr { rd, .. } => Some(rd),
+            AluImm { rt, .. } | Lui { rt, .. } | Load { rt, .. } | LoadUnaligned { rt, .. } => {
+                Some(rt)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether this is the canonical no-op (`sll $zero, $zero, 0`).
+    pub fn is_nop(&self) -> bool {
+        *self == Instruction::NOP
+    }
 }
 
 #[cfg(test)]

@@ -704,15 +704,31 @@ mod tests {
             "rcache_misses",
             "misspeculations",
         ] {
-            assert_eq!(v.get(key).and_then(|f| f.as_u64()), Some(0), "{key}");
+            assert_eq!(
+                v.get(key).and_then(super::super::json::JsonValue::as_u64),
+                Some(0),
+                "{key}"
+            );
         }
 
         let reg_json = MetricsRegistry::new().to_json();
         let v = crate::json::parse(&reg_json).unwrap();
-        assert_eq!(v.get("retired").and_then(|f| f.as_u64()), Some(0));
+        assert_eq!(
+            v.get("retired")
+                .and_then(super::super::json::JsonValue::as_u64),
+            Some(0)
+        );
         let cov = v.get("config_coverage").unwrap();
-        assert_eq!(cov.get("count").and_then(|f| f.as_u64()), Some(0));
-        assert_eq!(cov.get("min").and_then(|f| f.as_u64()), Some(0));
+        assert_eq!(
+            cov.get("count")
+                .and_then(super::super::json::JsonValue::as_u64),
+            Some(0)
+        );
+        assert_eq!(
+            cov.get("min")
+                .and_then(super::super::json::JsonValue::as_u64),
+            Some(0)
+        );
     }
 
     #[test]

@@ -97,7 +97,10 @@ impl RecordingProbe {
 
     /// Total simulated cycles across all recorded events.
     pub fn total_cycles(&self) -> u64 {
-        self.events.iter().map(|e| e.cycles()).sum()
+        self.events
+            .iter()
+            .map(super::event::ProbeEvent::cycles)
+            .sum()
     }
 }
 

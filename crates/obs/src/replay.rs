@@ -769,8 +769,7 @@ mod tests {
             stats
                 .iter()
                 .find(|(n, _)| *n == name)
-                .map(|(_, c)| *c)
-                .unwrap_or(0)
+                .map_or(0, |(_, c)| *c)
         };
         assert_eq!(count("retire"), 1);
         assert_eq!(count("rcache_miss"), 1);

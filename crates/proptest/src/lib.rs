@@ -241,7 +241,7 @@ pub mod strategy {
                         }
                         pick -= span;
                     }
-                    ranges.first().map(|(a, _)| *a).unwrap_or('?')
+                    ranges.first().map_or('?', |(a, _)| *a)
                 }
             }
         }
@@ -286,10 +286,7 @@ pub mod strategy {
                     let spec: String = chars.by_ref().take_while(|&d| d != '}').collect();
                     let parts: Vec<&str> = spec.splitn(2, ',').collect();
                     let lo: usize = parts[0].trim().parse().unwrap_or(0);
-                    let hi = parts
-                        .get(1)
-                        .map(|s| s.trim().parse().unwrap_or(lo))
-                        .unwrap_or(lo);
+                    let hi = parts.get(1).map_or(lo, |s| s.trim().parse().unwrap_or(lo));
                     (lo, hi.max(lo))
                 }
                 Some('*') => {

@@ -398,8 +398,7 @@ fn append_trend(out_dir: &Path, outcome: &SweepOutcome, jobs: usize) -> Result<(
     }
     let unix_seconds = SystemTime::now()
         .duration_since(SystemTime::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
+        .map_or(0, |d| d.as_secs());
     let throughput = if outcome.wall_seconds > 0.0 {
         outcome.executed as f64 / outcome.wall_seconds
     } else {
@@ -448,7 +447,12 @@ fn render_report(
             id: cell.id.clone(),
             reason: format!("unreadable result file: {e}"),
         })?;
-        let field = |k: &str| value.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+        let field = |k: &str| {
+            value
+                .get(k)
+                .and_then(dim_obs::JsonValue::as_u64)
+                .unwrap_or(0)
+        };
         let baseline = field("baseline_cycles");
         let accel = field("accel_cycles");
         let speedup = if accel == 0 {

@@ -50,7 +50,7 @@ impl PoolStats {
     /// JSON object for `summary.json` / `BENCH_sweep.json`.
     pub fn to_json(&self) -> String {
         let list = |v: &[u64]| {
-            let items: Vec<String> = v.iter().map(|n| n.to_string()).collect();
+            let items: Vec<String> = v.iter().map(std::string::ToString::to_string).collect();
             format!("[{}]", items.join(","))
         };
         let mut w = ObjectWriter::new();
@@ -149,8 +149,14 @@ where
         .collect();
     let stats = PoolStats {
         threads,
-        executed: executed.into_iter().map(|a| a.into_inner()).collect(),
-        steals: steals.into_iter().map(|a| a.into_inner()).collect(),
+        executed: executed
+            .into_iter()
+            .map(std::sync::atomic::AtomicU64::into_inner)
+            .collect(),
+        steals: steals
+            .into_iter()
+            .map(std::sync::atomic::AtomicU64::into_inner)
+            .collect(),
         queue_depth: queue_depth.into_inner().unwrap(),
         job_micros: job_micros.into_inner().unwrap(),
     };
@@ -221,6 +227,9 @@ mod tests {
         let jobs: Vec<_> = (0..5u64).map(|i| move || i).collect();
         let (_, stats) = execute_jobs(jobs, 2);
         let parsed = dim_obs::parse_json(&stats.to_json()).unwrap();
-        assert_eq!(parsed.get("threads").and_then(|v| v.as_u64()), Some(2));
+        assert_eq!(
+            parsed.get("threads").and_then(dim_obs::JsonValue::as_u64),
+            Some(2)
+        );
     }
 }

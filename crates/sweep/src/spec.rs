@@ -305,7 +305,7 @@ impl SweepSpec {
                 }
                 "ideal" => spec.ideal = parse_bool("ideal", value).map_err(err_line)?,
                 "warm_rcache" => {
-                    spec.warm_rcache = parse_bool("warm_rcache", value).map_err(err_line)?
+                    spec.warm_rcache = parse_bool("warm_rcache", value).map_err(err_line)?;
                 }
                 other => {
                     return Err(err_line(SpecError(format!("unknown key `{other}`"))));
@@ -404,7 +404,7 @@ impl SweepSpec {
         flush: u32,
         policy: ReplacementPolicy,
     ) -> CellSpec {
-        let shape_key = shape.map(ShapeChoice::key).unwrap_or("ideal");
+        let shape_key = shape.map_or("ideal", ShapeChoice::key);
         let id = format!(
             "{workload}-{shape_key}-{}-s{slots}-b{blocks}-f{flush}-{}",
             if speculation { "spec" } else { "nospec" },

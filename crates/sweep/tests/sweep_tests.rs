@@ -105,12 +105,18 @@ fn telemetry_and_trend_accumulate_across_invocations() {
     run_sweep(&spec, &first).unwrap();
     let telemetry = fs::read_to_string(dir.join("telemetry.json")).unwrap();
     let value = dim_obs::parse_json(&telemetry).unwrap();
-    assert_eq!(value.get("executed").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(
+        value.get("executed").and_then(dim_obs::JsonValue::as_u64),
+        Some(2)
+    );
     let cells = value.get("cells").and_then(|v| v.as_array()).unwrap();
     assert_eq!(cells.len(), 2);
     for cell in cells {
         assert!(cell.get("id").and_then(|v| v.as_str()).is_some());
-        assert!(cell.get("wall_nanos").and_then(|v| v.as_u64()).is_some());
+        assert!(cell
+            .get("wall_nanos")
+            .and_then(dim_obs::JsonValue::as_u64)
+            .is_some());
     }
     let trend = fs::read_to_string(dir.join("trend.jsonl")).unwrap();
     assert_eq!(trend.lines().count(), 1);
@@ -122,7 +128,13 @@ fn telemetry_and_trend_accumulate_across_invocations() {
     assert_eq!(trend.lines().count(), 2);
     for line in trend.lines() {
         let record = dim_obs::parse_json(line).unwrap();
-        assert!(record.get("executed").and_then(|v| v.as_u64()).unwrap() > 0);
+        assert!(
+            record
+                .get("executed")
+                .and_then(dim_obs::JsonValue::as_u64)
+                .unwrap()
+                > 0
+        );
         assert!(record.get("cells_per_second").is_some());
     }
 
@@ -133,7 +145,10 @@ fn telemetry_and_trend_accumulate_across_invocations() {
     assert_eq!(trend.lines().count(), 2);
     let telemetry = fs::read_to_string(dir.join("telemetry.json")).unwrap();
     let value = dim_obs::parse_json(&telemetry).unwrap();
-    assert_eq!(value.get("executed").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(
+        value.get("executed").and_then(dim_obs::JsonValue::as_u64),
+        Some(2)
+    );
 
     fs::remove_dir_all(&dir).ok();
 }
@@ -188,7 +203,13 @@ fn warm_rcache_snapshots_persist_and_reload() {
     // Warm start must not change the architectural outcome: baseline
     // and accel cycle counts both stay self-consistent fields.
     let parsed = dim_obs::parse_json(&warm_text).unwrap();
-    assert!(parsed.get("accel_cycles").and_then(|v| v.as_u64()).unwrap() > 0);
+    assert!(
+        parsed
+            .get("accel_cycles")
+            .and_then(dim_obs::JsonValue::as_u64)
+            .unwrap()
+            > 0
+    );
 
     fs::remove_dir_all(&dir).ok();
 }
@@ -228,7 +249,10 @@ fn explain_sweep_writes_forensics_without_perturbing_results() {
             parsed.get("workload").and_then(|v| v.as_str()),
             Some(cell.id.as_str())
         );
-        let total = parsed.get("total_cycles").and_then(|v| v.as_u64()).unwrap();
+        let total = parsed
+            .get("total_cycles")
+            .and_then(dim_obs::JsonValue::as_u64)
+            .unwrap();
         assert!(total > 0, "{}", cell.id);
         assert!(parsed
             .get("regions")
@@ -255,10 +279,15 @@ fn bench_compare_writes_report_and_matches() {
     let json = fs::read_to_string(base.join("BENCH_sweep.json")).unwrap();
     let parsed = dim_obs::parse_json(&json).unwrap();
     assert_eq!(
-        parsed.get("identical_results").and_then(|v| v.as_bool()),
+        parsed
+            .get("identical_results")
+            .and_then(dim_obs::JsonValue::as_bool),
         Some(true)
     );
-    assert_eq!(parsed.get("jobs").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(
+        parsed.get("jobs").and_then(dim_obs::JsonValue::as_u64),
+        Some(2)
+    );
 
     fs::remove_dir_all(&base).ok();
 }

@@ -225,7 +225,7 @@ pub(crate) fn bytes_directive(bytes: &[u8]) -> String {
     let mut out = String::with_capacity(bytes.len() * 6);
     for chunk in bytes.chunks(16) {
         out.push_str("    .byte ");
-        let row: Vec<String> = chunk.iter().map(|b| b.to_string()).collect();
+        let row: Vec<String> = chunk.iter().map(std::string::ToString::to_string).collect();
         out.push_str(&row.join(", "));
         out.push('\n');
     }

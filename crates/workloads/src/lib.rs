@@ -57,6 +57,27 @@ pub fn by_name(name: &str) -> Option<BenchmarkSpec> {
     suite().into_iter().find(|s| s.name == name)
 }
 
+/// Per-workload static-analysis suppressions for `dim lint`.
+///
+/// Each entry is a diagnostic code plus the reason the finding is
+/// accepted rather than fixed. The lint suite test asserts every entry
+/// still fires, so stale suppressions cannot accumulate. Keep this list
+/// empty unless a finding is deliberate: fixing the assembly is always
+/// preferred.
+pub fn lint_allowlist(name: &str) -> &'static [(&'static str, &'static str)] {
+    match name {
+        // `bnez $t6, find` falls straight into `bltz $s5, done`: two
+        // back-to-back conditional branches. Correct on the DIM pipeline
+        // (no delay slots); flagged only because delay-slot MIPS leaves a
+        // branch in a branch's delay slot undefined.
+        "dijkstra" => &[("W102", "back-to-back branches close the find-min loop")],
+        // `bnez $t0, dy_loop` falls straight into `beqz $s6,
+        // store_center` — same back-to-back-branch shape as dijkstra.
+        "susan_smoothing" => &[("W102", "back-to-back branches close the mask loop")],
+        _ => &[],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -51,8 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .iter()
             .zip(&curve)
             .find(|(_, &sp)| sp >= 0.95 * peak)
-            .map(|(&s, _)| s)
-            .unwrap_or(*SLOTS.last().expect("non-empty"));
+            .map_or(*SLOTS.last().expect("non-empty"), |(&s, _)| s);
         total_demand += needed;
 
         // Count distinct configurations the app actually builds.

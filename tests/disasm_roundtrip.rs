@@ -16,7 +16,7 @@ fn every_benchmark_listing_reassembles_identically() {
         // and jumps absolute, so the listing is valid standalone source.
         let src: String = listing
             .lines()
-            .map(|l| l.split_once(": ").map(|(_, i)| i).unwrap_or(l))
+            .map(|l| l.split_once(": ").map_or(l, |(_, i)| i))
             .collect::<Vec<_>>()
             .join("\n");
         let reassembled = assemble_with(
