@@ -3,15 +3,17 @@
 //! `run()` is `run_probed(NullProbe)` — the probe is monomorphized in
 //! and every emit site compiles away, so the `null_probe` group must
 //! sit within measurement noise (<2%) of `uninstrumented`. The
-//! `recording`/`profiler` groups document what observation actually
-//! costs when it is switched on.
+//! `flight_recorder`/`recording`/`profiler` groups document what
+//! observation actually costs when it is switched on; the flight
+//! recorder is the always-on candidate, so its steady-state cost is
+//! also gated (≤5% over `null_probe`) by `bench_flight`.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use dim_bench::run_baseline;
 use dim_cgra::ArrayShape;
 use dim_core::{System, SystemConfig};
 use dim_mips_sim::Machine;
-use dim_obs::{CycleProfiler, NullProbe, RecordingProbe};
+use dim_obs::{CycleProfiler, FlightRecorder, NullProbe, RecordingProbe};
 use dim_workloads::{by_name, Scale};
 
 fn bench_probe_overhead(c: &mut Criterion) {
@@ -34,6 +36,15 @@ fn bench_probe_overhead(c: &mut Criterion) {
             sys.run_probed(built.max_steps, &mut NullProbe)
                 .expect("runs");
             std::hint::black_box(sys.total_cycles())
+        });
+    });
+    g.bench_function("flight_recorder", |b| {
+        b.iter(|| {
+            let mut sys = System::new(Machine::load(&built.program), config);
+            let mut recorder = FlightRecorder::new(65_536);
+            sys.run_probed(built.max_steps, &mut recorder)
+                .expect("runs");
+            std::hint::black_box((sys.total_cycles(), recorder.total()))
         });
     });
     g.bench_function("recording", |b| {

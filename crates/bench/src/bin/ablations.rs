@@ -287,7 +287,10 @@ fn main() {
         ablation_replacement,
         ablation_power_gating,
     ];
-    let jobs: Vec<_> = studies.into_iter().map(|f| move || f(scale)).collect();
+    let jobs: Vec<_> = studies
+        .into_iter()
+        .map(|f| move |_w: usize| f(scale))
+        .collect();
     let (sections, pool) = execute_jobs(jobs, jobs_from_args());
     report_pool(&pool);
     for s in sections {

@@ -1,0 +1,151 @@
+//! Steady-state cost gate for the always-on flight recorder.
+//!
+//! Runs two workloads three ways — uninstrumented, `run_probed` with
+//! [`NullProbe`] and `run_probed` with a [`FlightRecorder`] at the
+//! `dim accel` default window — taking the minimum wall time over
+//! several repetitions, and fails (exit 1) if the recorder's overhead
+//! over the `NullProbe` baseline exceeds 5% in aggregate. The numbers
+//! land in `BENCH_flight.json` so CI archives the trend.
+//!
+//! Usage: `bench_flight [--out <dir>] [--reps N]`
+
+use dim_bench::run_baseline;
+use dim_cgra::ArrayShape;
+use dim_core::{System, SystemConfig};
+use dim_mips_sim::Machine;
+use dim_obs::{FlightRecorder, NullProbe, ObjectWriter};
+use dim_workloads::{by_name, BuiltBenchmark, Scale};
+use std::time::Instant;
+
+/// Same window `dim accel --watchdog` uses by default.
+const FLIGHT_CAPACITY: usize = 65_536;
+const WORKLOADS: [&str; 2] = ["crc32", "sha"];
+const THRESHOLD_PCT: f64 = 5.0;
+
+fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn min_nanos(reps: u32, mut run: impl FnMut()) -> u64 {
+    (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            run();
+            start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+        })
+        .min()
+        .expect("at least one rep")
+}
+
+struct Row {
+    name: &'static str,
+    uninstrumented: u64,
+    null_probe: u64,
+    flight: u64,
+    events: u64,
+}
+
+fn measure(name: &'static str, built: &BuiltBenchmark, reps: u32) -> Row {
+    let config = SystemConfig::new(ArrayShape::config2(), 64, true);
+    let uninstrumented = min_nanos(reps, || {
+        let mut sys = System::new(Machine::load(&built.program), config);
+        sys.run(built.max_steps).expect("runs");
+        std::hint::black_box(sys.total_cycles());
+    });
+    let null_probe = min_nanos(reps, || {
+        let mut sys = System::new(Machine::load(&built.program), config);
+        sys.run_probed(built.max_steps, &mut NullProbe)
+            .expect("runs");
+        std::hint::black_box(sys.total_cycles());
+    });
+    let mut events = 0;
+    let flight = min_nanos(reps, || {
+        let mut sys = System::new(Machine::load(&built.program), config);
+        let mut recorder = FlightRecorder::new(FLIGHT_CAPACITY);
+        sys.run_probed(built.max_steps, &mut recorder)
+            .expect("runs");
+        events = recorder.total();
+        std::hint::black_box(sys.total_cycles());
+    });
+    Row {
+        name,
+        uninstrumented,
+        null_probe,
+        flight,
+        events,
+    }
+}
+
+fn overhead_pct(baseline: u64, candidate: u64) -> f64 {
+    if baseline == 0 {
+        return 0.0;
+    }
+    100.0 * (candidate as f64 - baseline as f64) / baseline as f64
+}
+
+fn main() {
+    let out_dir = arg_value("--out").unwrap_or_else(|| "bench-out".to_string());
+    let reps: u32 = arg_value("--reps").map_or(7, |v| v.parse().expect("--reps: not a number"));
+
+    let mut rows = Vec::new();
+    for name in WORKLOADS {
+        let built = (by_name(name).expect("workload exists").build)(Scale::Tiny);
+        run_baseline(&built).expect("baseline validates");
+        let row = measure(name, &built, reps);
+        eprintln!(
+            "  {name}: uninstrumented {:.3} ms, null {:.3} ms, flight {:.3} ms \
+             ({} events, {:+.2}% vs null)",
+            row.uninstrumented as f64 / 1e6,
+            row.null_probe as f64 / 1e6,
+            row.flight as f64 / 1e6,
+            row.events,
+            overhead_pct(row.null_probe, row.flight),
+        );
+        rows.push(row);
+    }
+
+    let null_total: u64 = rows.iter().map(|r| r.null_probe).sum();
+    let flight_total: u64 = rows.iter().map(|r| r.flight).sum();
+    let overall = overhead_pct(null_total, flight_total);
+    let ok = overall <= THRESHOLD_PCT;
+
+    let mut workloads_json = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            workloads_json.push(',');
+        }
+        let mut o = ObjectWriter::new();
+        o.field_str("name", r.name)
+            .field_u64("uninstrumented_nanos_min", r.uninstrumented)
+            .field_u64("null_probe_nanos_min", r.null_probe)
+            .field_u64("flight_nanos_min", r.flight)
+            .field_u64("events", r.events)
+            .field_f64("overhead_pct", overhead_pct(r.null_probe, r.flight));
+        workloads_json.push_str(&o.finish());
+    }
+    workloads_json.push(']');
+
+    let mut doc = ObjectWriter::new();
+    doc.field_str("bench", "flight_overhead")
+        .field_u64("flight_capacity", FLIGHT_CAPACITY as u64)
+        .field_u64("reps", u64::from(reps))
+        .field_raw("workloads", &workloads_json)
+        .field_f64("overall_overhead_pct", overall)
+        .field_f64("threshold_pct", THRESHOLD_PCT)
+        .field_bool("ok", ok);
+
+    std::fs::create_dir_all(&out_dir).expect("create --out dir");
+    let path = std::path::Path::new(&out_dir).join("BENCH_flight.json");
+    std::fs::write(&path, format!("{}\n", doc.finish())).expect("write BENCH_flight.json");
+    println!(
+        "flight recorder overhead {overall:+.2}% vs NullProbe (threshold {THRESHOLD_PCT}%) -> {}",
+        path.display()
+    );
+    if !ok {
+        eprintln!("bench_flight: overhead beyond threshold");
+        std::process::exit(1);
+    }
+}

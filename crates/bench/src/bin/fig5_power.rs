@@ -47,7 +47,7 @@ fn main() {
     let jobs: Vec<_> = BENCHES
         .into_iter()
         .map(|name| {
-            move || {
+            move |_w: usize| {
                 let built = ((by_name(name).expect("known benchmark")).build)(scale);
                 let base = run_baseline(&built).unwrap_or_else(|e| panic!("{name}: {e}"));
                 let e = energy_breakdown(&base.stats, &DimStats::default(), &model)

@@ -41,7 +41,7 @@ fn main() {
     let table_jobs: Vec<_> = BENCHES
         .into_iter()
         .map(|name| {
-            move || {
+            move |_w: usize| {
                 let built = ((by_name(name).expect("known benchmark")).build)(scale);
                 let base = run_baseline(&built).unwrap_or_else(|e| panic!("{name}: {e}"));
                 let e_base = energy_breakdown(&base.stats, &DimStats::default(), &model);
@@ -97,7 +97,7 @@ fn main() {
     let saving_jobs: Vec<_> = suite()
         .into_iter()
         .map(|spec| {
-            move || {
+            move |_w: usize| {
                 let built = (spec.build)(scale);
                 let base = run_baseline(&built).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
                 let e_base = energy_breakdown(&base.stats, &DimStats::default(), &model).total();

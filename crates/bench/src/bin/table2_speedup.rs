@@ -74,7 +74,7 @@ fn run_table2(scale: Scale, csv: bool) {
     let jobs: Vec<_> = suite()
         .into_iter()
         .map(|spec| {
-            move || {
+            move |_w: usize| {
                 let built = (spec.build)(scale);
                 let row = table2_row(&built).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
                 eprintln!("  finished {}", row.name);

@@ -1,0 +1,42 @@
+//! Whole-suite watchdog drill: every bundled workload must run to
+//! completion, validate, and keep the online invariant watchdog silent.
+//! A trip here means the simulator's probe stream violated one of its
+//! own conservation laws — a bug worth the test time to catch early.
+
+use dim_cgra::ArrayShape;
+use dim_core::{System, SystemConfig};
+use dim_mips_sim::Machine;
+use dim_obs::FlightGuard;
+use dim_workloads::{suite, validate, Scale};
+
+#[test]
+fn every_workload_runs_clean_under_the_watchdog() {
+    let suite = suite();
+    assert_eq!(suite.len(), 18, "suite size changed; update this drill");
+    for spec in suite {
+        let built = (spec.build)(Scale::Tiny);
+        let mut system = System::new(
+            Machine::load(&built.program),
+            SystemConfig::new(ArrayShape::config2(), 64, true),
+        );
+        let mut guard = FlightGuard::new(spec.name, 4096, 64, system.stored_bits_per_config());
+        system
+            .run_probed(built.max_steps, &mut guard)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        validate(system.machine(), &built).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        assert!(
+            guard.violation().is_none(),
+            "{}: watchdog tripped: {}",
+            spec.name,
+            guard.violation().expect("just checked")
+        );
+        assert!(
+            guard.recorder().total() > 0,
+            "{}: recorder saw no events",
+            spec.name
+        );
+        // The retained window must replay through the trace validator.
+        dim_obs::replay::read_trace(&guard.dump())
+            .unwrap_or_else(|e| panic!("{}: dump did not validate: {e}", spec.name));
+    }
+}

@@ -111,16 +111,9 @@ pub fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-/// FNV-1a 64-bit hash — the snapshot checksum. Not cryptographic; it
-/// guards against truncation and bit rot, not adversaries.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// FNV-1a 64-bit hash — the snapshot checksum (the workspace's shared
+/// implementation, re-exported here for snapshot callers).
+pub use dim_obs::fnv1a64;
 
 /// Serializes an [`ArrayShape`] (six `u64` fields).
 pub fn put_shape(out: &mut Vec<u8>, shape: &ArrayShape) {

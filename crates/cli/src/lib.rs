@@ -21,7 +21,8 @@ use dim_core::{System, SystemConfig};
 use dim_mips::asm::{assemble, Program};
 use dim_mips::{disassemble_labeled, image};
 use dim_mips_sim::{HaltReason, Machine, Profiler};
-use dim_obs::{CycleProfiler, JsonlSink, MetricsRegistry, Probe};
+use dim_obs::status::{read_status, StatusEntry, StatusError, STATUS_FILE_NAME};
+use dim_obs::{CycleProfiler, FlightGuard, JsonlSink, MetricsRegistry, Probe};
 use std::fmt;
 use std::io::{BufWriter, Write};
 use std::path::Path;
@@ -57,17 +58,25 @@ commands:
   asm    <in.s> [-o <out.dimg>]      assemble to a program image
   disasm <file>                      disassemble an image or source file
   run    <file> [--max-steps N] [--profile] [--caches] [--trace-out <t.jsonl>]
+                [--telemetry-interval N]
                                      run on the plain MIPS simulator
   accel  <file> [--config 1|2|3|ideal] [--slots N] [--no-spec] [--compare]
                 [--dump-configs] [--trace] [--trace-out <t.jsonl>] [--metrics]
                 [--rcache-save <f.dimrc>] [--rcache-load <f.dimrc>]
+                [--telemetry-interval N] [--flight N] [--watchdog]
+                [--flight-out <f.jsonl>]
                                      run with the DIM accelerator attached;
-                                     rcache snapshots warm-start later runs
+                                     rcache snapshots warm-start later runs;
+                                     --flight keeps a last-N-events ring,
+                                     --watchdog checks stream invariants live
+                                     and fails (with a flight dump) on a trip,
+                                     --flight-out always dumps the window
   profile <file> [--config 1|2|3|ideal] [--slots N] [--no-spec] [--caches]
                  [--top N] [--json]  per-block cycle attribution of an
                                      accelerated run
   trace  <t.jsonl> [--stats]         validate a trace and print its summary
-                                     (--stats adds per-kind record counts)
+                                     (--stats adds per-kind record counts and,
+                                     for flight dumps, per-kind drop totals)
   explain <t.jsonl> [--top N] [--json] [--chrome-out <f.json>]
                     [--folded-out <f.folded>]
                                      region-level acceleration forensics over a
@@ -78,10 +87,19 @@ commands:
                                      DIM configs #1..#3 side by side
   suite  [--scale tiny|small|full]   run + validate the MiBench-like suite
   sweep  <spec> [--jobs N] [--out <dir>] [--limit N] [--warm on|off]
-                [--bench-out <dir>] [--explain]
+                [--bench-out <dir>] [--explain] [--flight N]
+                [--telemetry-interval N]
                                      expand a sweep spec and run the grid on a
                                      work-stealing pool (resumable; see
-                                     docs/sweeps.md for the spec format)
+                                     docs/sweeps.md for the spec format); live
+                                     status lands in <dir>/status.dimstat and
+                                     failing cells dump their flight window to
+                                     <dir>/flight/ (--flight 0 disables)
+  top    <dir-or-status-file> [--follow]
+                                     render the live telemetry published by a
+                                     running sweep or accel: per-worker state,
+                                     progress, rcache hit rate and sim-MIPS
+                                     (--follow polls until the run finishes)
   perf   record --out <f.json> [--name N] [--workloads a,b,c] [--scale S]
                 [--shape 1|2|3] [--slots N] [--no-spec] [--reps N]
                 [--bench-out <dir>]
@@ -177,6 +195,28 @@ fn parse_flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str
     }
 }
 
+/// Flight-recorder window `dim accel` uses when `--watchdog` or
+/// `--flight-out` asks for a recorder without `--flight` sizing one.
+const DEFAULT_ACCEL_FLIGHT: usize = 65_536;
+
+/// Shared parsing for `--telemetry-interval`, used identically by
+/// `run`, `accel` and `sweep`: a positive cycle count. 0 is rejected
+/// rather than silently meaning "off" — omitting the flag means off.
+fn parse_telemetry_interval(args: &[String]) -> Result<Option<u64>, CliError> {
+    let interval: Option<u64> = parse_flag_value(args, "--telemetry-interval")?
+        .map(|v| {
+            v.parse()
+                .map_err(|_| CliError::new("--telemetry-interval: not a number"))
+        })
+        .transpose()?;
+    if interval == Some(0) {
+        return Err(CliError::new(
+            "--telemetry-interval: must be at least 1 cycle (omit the flag to disable)",
+        ));
+    }
+    Ok(interval)
+}
+
 type FileSink = JsonlSink<BufWriter<std::fs::File>>;
 
 fn open_trace_sink(path: &str, workload: &str, bits_per_config: u64) -> Result<FileSink, CliError> {
@@ -250,6 +290,13 @@ fn cmd_disasm(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
 }
 
 fn cmd_run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    check_flags(
+        "run",
+        args,
+        &["--max-steps", "--trace-out", "--telemetry-interval"],
+        &["--profile", "--caches"],
+        1,
+    )?;
     let input = args
         .first()
         .ok_or_else(|| CliError::new("run: missing input file"))?;
@@ -266,6 +313,13 @@ fn cmd_run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         attach_caches(&mut machine);
     }
     let trace_out = parse_flag_value(args, "--trace-out")?;
+    let telemetry = parse_telemetry_interval(args)?;
+    if telemetry.is_some() && trace_out.is_none() {
+        return Err(CliError::new(
+            "run: --telemetry-interval requires --trace-out (it sets the \
+             trace's telemetry cadence)",
+        ));
+    }
     let halt = if let Some(path) = trace_out {
         if args.iter().any(|a| a == "--profile") {
             return Err(CliError::new(
@@ -275,6 +329,9 @@ fn cmd_run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         // A plain pipeline run has no reconfiguration cache, so the
         // header records 0 bits per configuration.
         let mut sink = open_trace_sink(path, input, 0)?;
+        if let Some(interval) = telemetry {
+            sink.set_telemetry_interval(interval);
+        }
         let halt = machine
             .run_probed(max_steps, &mut sink)
             .map_err(|e| CliError::new(e.to_string()))?;
@@ -334,6 +391,9 @@ fn cmd_accel(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
             "--trace-out",
             "--rcache-save",
             "--rcache-load",
+            "--telemetry-interval",
+            "--flight",
+            "--flight-out",
         ],
         &[
             "--no-spec",
@@ -341,6 +401,7 @@ fn cmd_accel(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
             "--dump-configs",
             "--trace",
             "--metrics",
+            "--watchdog",
         ],
         1,
     )?;
@@ -404,30 +465,99 @@ fn cmd_accel(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         system.enable_trace(64);
     }
     let trace_out = parse_flag_value(args, "--trace-out")?;
+    let telemetry = parse_telemetry_interval(args)?;
     let want_metrics = args.iter().any(|a| a == "--metrics");
-    let mut metrics = MetricsRegistry::with_interval(100_000);
-    let halt = match trace_out {
+    let flight_out = parse_flag_value(args, "--flight-out")?;
+    let want_watchdog = args.iter().any(|a| a == "--watchdog");
+    let flight_capacity: Option<usize> = parse_flag_value(args, "--flight")?
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|_| CliError::new("--flight: not a number"))
+                .and_then(|n| {
+                    if n == 0 {
+                        Err(CliError::new(
+                            "--flight: capacity must be at least 1 event \
+                             (omit the flag to disable the recorder)",
+                        ))
+                    } else {
+                        Ok(n)
+                    }
+                })
+        })
+        .transpose()?;
+    // --watchdog and --flight-out imply a recorder; give it a roomy
+    // default window when --flight didn't size one explicitly.
+    let flight_capacity = flight_capacity
+        .or_else(|| (want_watchdog || flight_out.is_some()).then_some(DEFAULT_ACCEL_FLIGHT));
+
+    let mut metrics =
+        want_metrics.then(|| MetricsRegistry::with_interval(telemetry.unwrap_or(100_000)));
+    let mut sink: Option<FileSink> = match trace_out {
         Some(path) => {
-            let mut sink = open_trace_sink(path, input, system.stored_bits_per_config())?;
-            let halt = if want_metrics {
-                let mut pair = (&mut sink, &mut metrics);
-                system.run_probed(max_steps, &mut pair)
-            } else {
-                system.run_probed(max_steps, &mut sink)
+            let mut s = open_trace_sink(path, input, system.stored_bits_per_config())?;
+            if let Some(interval) = telemetry {
+                s.set_telemetry_interval(interval);
             }
-            .map_err(|e| CliError::new(e.to_string()))?;
-            close_trace_sink(sink, path, out)?;
-            halt
+            Some(s)
         }
-        None if want_metrics => system
-            .run_probed(max_steps, &mut metrics)
-            .map_err(|e| CliError::new(e.to_string()))?,
-        None => system
-            .run(max_steps)
-            .map_err(|e| CliError::new(e.to_string()))?,
+        None => None,
     };
-    if want_metrics {
-        metrics.finish();
+    let mut guard = flight_capacity.map(|capacity| {
+        let mut g = FlightGuard::new(input, capacity, slots, system.stored_bits_per_config());
+        // A warm-started cache already holds configurations the stream
+        // never inserted; seed them so the watchdog doesn't cry wolf on
+        // the first legitimate hit.
+        for config in system.cache().iter() {
+            g.watchdog_mut().seed_resident(config.entry_pc);
+        }
+        g
+    });
+
+    let halt = if metrics.is_some() || sink.is_some() || guard.is_some() {
+        let mut probe = (sink.as_mut(), (metrics.as_mut(), guard.as_mut()));
+        let halt = system
+            .run_probed(max_steps, &mut probe)
+            .map_err(|e| CliError::new(e.to_string()))?;
+        probe.finish();
+        halt
+    } else {
+        system
+            .run(max_steps)
+            .map_err(|e| CliError::new(e.to_string()))?
+    };
+    if let Some(sink) = sink.take() {
+        close_trace_sink(sink, trace_out.unwrap_or_default(), out)?;
+    }
+
+    if let Some(g) = &guard {
+        let tripped = g.violation().is_some();
+        // A forced dump always lands at --flight-out; a watchdog trip
+        // with no destination still dumps, next to the input.
+        let dump_path: Option<String> = match flight_out {
+            Some(path) => Some(path.to_string()),
+            None if tripped => Some(format!("{input}.flight.jsonl")),
+            None => None,
+        };
+        if let Some(path) = &dump_path {
+            let text = g.trip_dump().map_or_else(|| g.dump(), str::to_string);
+            std::fs::write(path, text)
+                .map_err(|e| CliError::new(format!("--flight-out {path}: {e}")))?;
+            writeln!(
+                out,
+                "flight: {} of {} event(s) retained ({} dropped) -> {path}",
+                g.recorder().retained(),
+                g.recorder().total(),
+                g.recorder().total_dropped(),
+            )?;
+        }
+        if let Some(v) = g.violation() {
+            return Err(CliError::new(format!(
+                "accel: watchdog {v}{}",
+                dump_path
+                    .map(|p| format!(" (flight dump: {p})"))
+                    .unwrap_or_default()
+            )));
+        }
     }
     if !system.machine().output.is_empty() {
         writeln!(out, "--- program output ---")?;
@@ -435,7 +565,7 @@ fn cmd_accel(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         writeln!(out, "\n----------------------")?;
     }
     writeln!(out, "{}", system.report())?;
-    if want_metrics {
+    if let Some(metrics) = &metrics {
         writeln!(out, "--- metrics ---")?;
         write!(out, "{}", metrics.render())?;
     }
@@ -479,7 +609,15 @@ fn cmd_sweep(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     check_flags(
         "sweep",
         args,
-        &["--jobs", "--out", "--limit", "--bench-out", "--warm"],
+        &[
+            "--jobs",
+            "--out",
+            "--limit",
+            "--bench-out",
+            "--warm",
+            "--flight",
+            "--telemetry-interval",
+        ],
         &["--explain"],
         1,
     )?;
@@ -550,6 +688,14 @@ fn cmd_sweep(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     opts.limit = limit;
     opts.warm_rcache = warm;
     opts.explain = args.iter().any(|a| a == "--explain");
+    // Unlike accel's, sweep's recorder is on by default; `--flight 0`
+    // switches the per-worker recorder + watchdog off.
+    if let Some(capacity) = parse_flag_value(args, "--flight")? {
+        opts.flight_capacity = capacity
+            .parse()
+            .map_err(|_| CliError::new("--flight: not a number"))?;
+    }
+    opts.telemetry_interval = parse_telemetry_interval(args)?.unwrap_or(0);
     let outcome = run_sweep(&spec, &opts).map_err(|e| CliError::new(e.to_string()))?;
     if opts.explain && outcome.executed > 0 {
         writeln!(
@@ -558,6 +704,12 @@ fn cmd_sweep(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
             opts.out_dir.join("explain").display()
         )?;
     }
+    writeln!(
+        out,
+        "telemetry: {} (watch with `dim top {} --follow`)",
+        opts.out_dir.join(STATUS_FILE_NAME).display(),
+        opts.out_dir.display()
+    )?;
     writeln!(
         out,
         "sweep: {} cells ({} executed, {} skipped) in {:.3}s with {} worker(s), {} steal(s)",
@@ -685,8 +837,88 @@ fn cmd_trace(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         for (kind, count) in trace.record_stats() {
             writeln!(out, "    {kind:<14} {count:>10}")?;
         }
+        if !trace.header.dropped.is_empty() {
+            let total: u64 = trace.header.dropped.iter().map(|(_, n)| *n).sum();
+            writeln!(out, "  dropped by kind (flight window, {total} total):")?;
+            for (kind, count) in &trace.header.dropped {
+                writeln!(out, "    {kind:<14} {count:>10}")?;
+            }
+        }
     }
     Ok(())
+}
+
+/// One aligned table row per status entry; live rates are derived, not
+/// stored, so a stale snapshot still renders consistently.
+fn render_status(entries: &[StatusEntry], out: &mut impl Write) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "{:<10} {:<8} {:>9}  {:<24} {:>12} {:>14} {:>6} {:>9}",
+        "source", "state", "done", "label", "retired", "sim cycles", "hit%", "sim-MIPS"
+    )?;
+    for e in entries {
+        let lookups = e.rcache_hits + e.rcache_misses;
+        let hit_pct = if lookups == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.1}", 100.0 * e.rcache_hits as f64 / lookups as f64)
+        };
+        let sim_mips = if e.host_nanos == 0 {
+            "-".to_string()
+        } else {
+            // retired instructions per host second, in millions:
+            // retired / (host_nanos / 1e9) / 1e6.
+            format!("{:.1}", e.retired as f64 * 1000.0 / e.host_nanos as f64)
+        };
+        writeln!(
+            out,
+            "{:<10} {:<8} {:>9}  {:<24} {:>12} {:>14} {:>6} {:>9}",
+            e.source,
+            e.state,
+            format!("{}/{}", e.done, e.total),
+            e.label,
+            e.retired,
+            e.sim_cycles,
+            hit_pct,
+            sim_mips
+        )?;
+    }
+    Ok(())
+}
+
+fn cmd_top(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    check_flags("top", args, &[], &["--follow"], 1)?;
+    let target = args
+        .iter()
+        .find(|a| !a.starts_with('-'))
+        .ok_or_else(|| CliError::new("top: missing status file or sweep output directory"))?;
+    let mut path = Path::new(target).to_path_buf();
+    if path.is_dir() {
+        path = path.join(STATUS_FILE_NAME);
+    }
+    let follow = args.iter().any(|a| a == "--follow");
+    loop {
+        let status = match read_status(&path) {
+            Ok(s) => s,
+            // Following a live producer: the file may not exist yet (the
+            // sweep is still warming up) — wait for the first snapshot.
+            Err(StatusError::Io(_)) if follow => {
+                std::thread::sleep(std::time::Duration::from_millis(100));
+                continue;
+            }
+            Err(e) => return Err(CliError::new(format!("{}: {e}", path.display()))),
+        };
+        render_status(&status.entries, out)?;
+        let finished = status
+            .entries
+            .first()
+            .is_none_or(|e| e.state == "done" || e.state == "failed");
+        if !follow || finished {
+            return Ok(());
+        }
+        writeln!(out)?;
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
 }
 
 fn cmd_explain(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
@@ -1226,6 +1458,7 @@ pub fn dispatch(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         Some("accel") => cmd_accel(&args[1..], out),
         Some("profile") => cmd_profile(&args[1..], out),
         Some("trace") => cmd_trace(&args[1..], out),
+        Some("top") => cmd_top(&args[1..], out),
         Some("explain") => cmd_explain(&args[1..], out),
         Some("suite") => cmd_suite(&args[1..], out),
         Some("sweep") => cmd_sweep(&args[1..], out),
@@ -1403,6 +1636,153 @@ mod tests {
         assert!(!plain.contains("records by kind:"), "{plain}");
         let err = run_cli(&["trace", trace.to_str().unwrap(), "--stat"]).unwrap_err();
         assert!(err.to_string().contains("unknown flag"), "{err}");
+    }
+
+    #[test]
+    fn telemetry_interval_is_validated_everywhere() {
+        let src = tmp_file("t30.s", PROGRAM);
+        let path = src.to_str().unwrap();
+        for cmd in ["run", "accel"] {
+            let err = run_cli(&[cmd, path, "--telemetry-interval", "0"]).unwrap_err();
+            assert!(err.to_string().contains("at least 1 cycle"), "{cmd}: {err}");
+            let err = run_cli(&[cmd, path, "--telemetry-interval", "x"]).unwrap_err();
+            assert!(err.to_string().contains("not a number"), "{cmd}: {err}");
+        }
+        let spec = tmp_file(
+            "t30.spec",
+            "workloads = crc32\nscale = tiny\nshapes = 1\nslots = 16\nspeculation = on\n",
+        );
+        let err =
+            run_cli(&["sweep", spec.to_str().unwrap(), "--telemetry-interval", "0"]).unwrap_err();
+        assert!(err.to_string().contains("at least 1 cycle"), "{err}");
+        // For a plain run the flag has no trace to stamp.
+        let err = run_cli(&["run", path, "--telemetry-interval", "500"]).unwrap_err();
+        assert!(err.to_string().contains("requires --trace-out"), "{err}");
+    }
+
+    #[test]
+    fn telemetry_interval_stamps_run_and_accel_traces() {
+        let src = tmp_file("t31.s", PROGRAM);
+        let path = src.to_str().unwrap();
+        for cmd in ["run", "accel"] {
+            let trace = std::env::temp_dir().join(format!("dim-cli-tests/t31-{cmd}.jsonl"));
+            run_cli(&[
+                cmd,
+                path,
+                "--trace-out",
+                trace.to_str().unwrap(),
+                "--telemetry-interval",
+                "100",
+            ])
+            .unwrap();
+            let text = std::fs::read_to_string(&trace).unwrap();
+            assert!(text.contains("\"type\":\"telemetry\""), "{cmd}: {text}");
+            dim_obs::replay::read_trace(&text).unwrap();
+        }
+    }
+
+    #[test]
+    fn accel_flight_out_dumps_a_validating_window_with_drop_accounting() {
+        let src = tmp_file("t32.s", PROGRAM);
+        let path = src.to_str().unwrap();
+        let dump = std::env::temp_dir().join("dim-cli-tests/t32.flight.jsonl");
+        let report = run_cli(&[
+            "accel",
+            path,
+            "--flight",
+            "16",
+            "--watchdog",
+            "--flight-out",
+            dump.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(report.contains("flight:"), "{report}");
+        assert!(report.contains("retained"), "{report}");
+
+        // The dump is a valid schema trace and `dim trace` accepts it.
+        let summary = run_cli(&["trace", dump.to_str().unwrap(), "--stats"]).unwrap();
+        assert!(summary.contains("valid trace"), "{summary}");
+        // This workload retires far more than 16 events, so the window
+        // wrapped and the header carries per-kind drop totals.
+        assert!(summary.contains("dropped by kind"), "{summary}");
+        assert!(summary.contains("retire"), "{summary}");
+
+        let text = std::fs::read_to_string(&dump).unwrap();
+        let replayed = dim_obs::replay::read_trace(&text).unwrap();
+        assert!(!replayed.header.dropped.is_empty());
+
+        // Flag validation: a zero-capacity ring is a contradiction.
+        let err = run_cli(&["accel", path, "--flight", "0"]).unwrap_err();
+        assert!(err.to_string().contains("at least 1 event"), "{err}");
+    }
+
+    #[test]
+    fn accel_watchdog_passes_cleanly_on_a_healthy_run() {
+        let src = tmp_file("t33.s", PROGRAM);
+        let report = run_cli(&["accel", src.to_str().unwrap(), "--watchdog"]).unwrap();
+        assert!(report.contains("configurations:"), "{report}");
+        // No violation -> no dump file is left behind.
+        assert!(!std::path::Path::new(&format!("{}.flight.jsonl", src.to_str().unwrap())).exists());
+    }
+
+    #[test]
+    fn top_renders_sweep_status_and_rejects_missing_files() {
+        let spec = tmp_file(
+            "t34.spec",
+            "workloads = crc32\nscale = tiny\nshapes = 1, 3\nslots = 16\nspeculation = on\n",
+        );
+        let out_dir = std::env::temp_dir().join("dim-cli-tests/t34-sweep");
+        std::fs::remove_dir_all(&out_dir).ok();
+        let report = run_cli(&[
+            "sweep",
+            spec.to_str().unwrap(),
+            "--out",
+            out_dir.to_str().unwrap(),
+            "--jobs",
+            "2",
+        ])
+        .unwrap();
+        assert!(report.contains("telemetry:"), "{report}");
+
+        // Both the directory and the file itself are accepted targets.
+        for target in [
+            out_dir.to_path_buf(),
+            out_dir.join(dim_obs::status::STATUS_FILE_NAME),
+        ] {
+            let table = run_cli(&["top", target.to_str().unwrap()]).unwrap();
+            assert!(table.contains("source"), "{table}");
+            assert!(table.contains("sweep"), "{table}");
+            assert!(table.contains("done"), "{table}");
+            assert!(table.contains("2/2"), "{table}");
+            assert!(table.contains("worker-1"), "{table}");
+        }
+
+        let err = run_cli(&["top", "/nonexistent/status.dimstat"]).unwrap_err();
+        assert!(!err.to_string().is_empty());
+        let err = run_cli(&["top"]).unwrap_err();
+        assert!(err.to_string().contains("missing status file"), "{err}");
+        std::fs::remove_dir_all(&out_dir).ok();
+    }
+
+    #[test]
+    fn sweep_flight_zero_disables_the_flight_dir() {
+        let spec = tmp_file(
+            "t35.spec",
+            "workloads = crc32\nscale = tiny\nshapes = 1\nslots = 16\nspeculation = on\n",
+        );
+        let out_dir = std::env::temp_dir().join("dim-cli-tests/t35-sweep");
+        std::fs::remove_dir_all(&out_dir).ok();
+        run_cli(&[
+            "sweep",
+            spec.to_str().unwrap(),
+            "--out",
+            out_dir.to_str().unwrap(),
+            "--flight",
+            "0",
+        ])
+        .unwrap();
+        assert!(!out_dir.join("flight").exists());
+        std::fs::remove_dir_all(&out_dir).ok();
     }
 
     #[test]

@@ -37,6 +37,10 @@ mod tables;
 mod trace;
 mod translator;
 
+/// The workspace's shared FNV-1a 64-bit hash — the one checksum used by
+/// `.dimrc` snapshots, the sweep resume journal, and the live status
+/// file. Canonically defined (and golden-vector tested) in `dim-obs`.
+pub use dim_obs::fnv1a64;
 pub use gshare::{measure_hit_rate, GsharePredictor, SpeculationPredictor};
 pub use predictor::{BimodalPredictor, Counter};
 pub use rcache::{EvictedEntry, ReconfCache, ReplacementPolicy};

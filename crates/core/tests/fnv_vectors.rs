@@ -1,0 +1,26 @@
+//! Golden vectors for the workspace's single shared FNV-1a helper, as
+//! re-exported from `dim-core` — the name every checksum consumer
+//! (snapshot footers, sweep journal, status-file header) imports.
+
+use dim_core::fnv1a64;
+
+#[test]
+fn golden_vectors_through_the_core_reexport() {
+    // Noll's published FNV-1a 64-bit reference vectors.
+    assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+    assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    assert_eq!(fnv1a64(b"b"), 0xaf63_df4c_8601_f1a5);
+    assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+}
+
+#[test]
+fn every_reexport_is_the_same_function() {
+    // The cgra and core re-exports must resolve to the obs canonical
+    // definition — compare as function pointers.
+    let core_fn: fn(&[u8]) -> u64 = dim_core::fnv1a64;
+    let cgra_fn: fn(&[u8]) -> u64 = dim_cgra::snapshot::fnv1a64;
+    let obs_fn: fn(&[u8]) -> u64 = dim_obs::fnv1a64;
+    let sample = b"dim-flight";
+    assert_eq!(core_fn(sample), obs_fn(sample));
+    assert_eq!(cgra_fn(sample), obs_fn(sample));
+}

@@ -23,6 +23,24 @@
 ///   record types in a trace whose header declares an older version.
 pub const SCHEMA_VERSION: u32 = 3;
 
+/// Number of distinct [`ProbeEvent`] variants; sizes the per-kind
+/// accounting arrays (e.g. the flight recorder's drop counters).
+pub const EVENT_KINDS: usize = 10;
+
+/// Stable wire names indexed by [`ProbeEvent::type_index`].
+pub const EVENT_KIND_NAMES: [&str; EVENT_KINDS] = [
+    "retire",
+    "trans_begin",
+    "trans_commit",
+    "rcache_hit",
+    "rcache_miss",
+    "rcache_insert",
+    "rcache_flush",
+    "rcache_evict",
+    "mispredict",
+    "array_invoke",
+];
+
 /// Coarse classification of a retired pipeline instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RetireKind {
@@ -241,6 +259,23 @@ impl ProbeEvent {
         }
     }
 
+    /// Dense index of the event's variant, in [`EVENT_KIND_NAMES`]
+    /// order — always below [`EVENT_KINDS`].
+    pub fn type_index(&self) -> usize {
+        match self {
+            ProbeEvent::Retire { .. } => 0,
+            ProbeEvent::TransBegin { .. } => 1,
+            ProbeEvent::TransCommit { .. } => 2,
+            ProbeEvent::RcacheHit { .. } => 3,
+            ProbeEvent::RcacheMiss { .. } => 4,
+            ProbeEvent::RcacheInsert { .. } => 5,
+            ProbeEvent::RcacheFlush { .. } => 6,
+            ProbeEvent::RcacheEvict { .. } => 7,
+            ProbeEvent::SpecMispredict { .. } => 8,
+            ProbeEvent::ArrayInvoke(_) => 9,
+        }
+    }
+
     /// Simulated cycles this event accounts for (0 for bookkeeping
     /// events like cache lookups).
     pub fn cycles(&self) -> u64 {
@@ -253,6 +288,72 @@ impl ProbeEvent {
             } => *base_cycles as u64 + *i_stall as u64 + *d_stall as u64,
             ProbeEvent::ArrayInvoke(inv) => inv.total_cycles(),
             _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_index_matches_name_table() {
+        let samples = [
+            ProbeEvent::Retire {
+                pc: 0,
+                kind: RetireKind::Alu,
+                base_cycles: 1,
+                i_stall: 0,
+                d_stall: 0,
+                ends_block: false,
+            },
+            ProbeEvent::TransBegin { pc: 0 },
+            ProbeEvent::TransCommit {
+                entry_pc: 0,
+                instructions: 1,
+                rows: 1,
+                spec_blocks: 1,
+                partial: false,
+            },
+            ProbeEvent::RcacheHit { pc: 0, len: 1 },
+            ProbeEvent::RcacheMiss { pc: 0 },
+            ProbeEvent::RcacheInsert {
+                pc: 0,
+                len: 1,
+                evicted: None,
+            },
+            ProbeEvent::RcacheFlush { pc: 0, len: 1 },
+            ProbeEvent::RcacheEvict {
+                pc: 0,
+                len: 1,
+                uses: 0,
+            },
+            ProbeEvent::SpecMispredict {
+                region_pc: 0,
+                region_len: 1,
+                branch_pc: 0,
+                penalty_cycles: 1,
+            },
+            ProbeEvent::ArrayInvoke(ArrayInvoke {
+                entry_pc: 0,
+                exit_pc: 0,
+                covered: 1,
+                executed: 1,
+                loads: 0,
+                stores: 0,
+                rows: 1,
+                spec_depth: 0,
+                misspeculated: false,
+                flushed: false,
+                stall_cycles: 0,
+                exec_cycles: 1,
+                tail_cycles: 0,
+            }),
+        ];
+        assert_eq!(samples.len(), EVENT_KINDS);
+        for (i, event) in samples.iter().enumerate() {
+            assert_eq!(event.type_index(), i);
+            assert_eq!(EVENT_KIND_NAMES[i], event.type_name());
         }
     }
 }

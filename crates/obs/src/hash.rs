@@ -1,0 +1,31 @@
+//! The workspace's one FNV-1a implementation.
+//!
+//! Every integrity checksum in the repo — the `.dimrc` snapshot footer,
+//! the sweep resume journal, the live status-file header — is this same
+//! 64-bit FNV-1a. It lives here (the only crate with no dependencies)
+//! and is re-exported by `dim-cgra` and `dim-core`, so there is exactly
+//! one definition to test against the published golden vectors.
+
+/// FNV-1a 64-bit hash. Not cryptographic; it guards against truncation
+/// and bit rot, not adversaries.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_vectors() {
+        // Published FNV-1a 64-bit test vectors (Noll's reference set).
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+}

@@ -88,6 +88,20 @@ impl<W: Write> JsonlSink<W> {
     /// stored size of one cache entry, recorded so replay can
     /// reconstruct the cache-bit energy counters.
     pub fn new(out: W, workload: &str, bits_per_config: u64) -> JsonlSink<W> {
+        JsonlSink::with_header_extra(out, workload, bits_per_config, &[])
+    }
+
+    /// Like [`JsonlSink::new`], but appends extra raw-JSON fields to the
+    /// `header` record (each value must already be valid JSON). Readers
+    /// ignore unknown header fields per the schema compatibility policy;
+    /// the flight recorder uses this to annotate dumps with drop
+    /// accounting without a schema bump.
+    pub fn with_header_extra(
+        out: W,
+        workload: &str,
+        bits_per_config: u64,
+        extra: &[(&str, String)],
+    ) -> JsonlSink<W> {
         let mut sink = JsonlSink {
             out,
             batch: Batch::default(),
@@ -107,6 +121,9 @@ impl<W: Write> JsonlSink<W> {
         o.field_u64("schema_version", SCHEMA_VERSION as u64);
         o.field_str("workload", workload);
         o.field_u64("bits_per_config", bits_per_config);
+        for (name, raw) in extra {
+            o.field_raw(name, raw);
+        }
         sink.write_line(&o.finish());
         sink
     }

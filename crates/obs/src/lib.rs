@@ -20,6 +20,18 @@
 //!   {pipeline, i-stall, d-stall, reconfig-stall, array-exec,
 //!   write-back-tail} per static basic block (`dim profile`).
 //!
+//! Always-on observability adds three more pieces (`dim-flight`):
+//!
+//! * [`FlightRecorder`] — a fixed-capacity, allocation-free ring of the
+//!   last N events with per-kind drop accounting, dumpable as a valid
+//!   schema-v3 trace at any moment;
+//! * [`Watchdog`] — an online invariant checker (cycle conservation,
+//!   rcache occupancy, hit-without-insert, monotonic cycle counter)
+//!   that latches a precise [`Violation`]; [`FlightGuard`] pairs the
+//!   two so the first trip snapshots the black box automatically;
+//! * [`status`] — the atomically-replaced, checksummed live status file
+//!   (`status.dimstat`) that `dim top` tails.
+//!
 //! The event schema is versioned ([`SCHEMA_VERSION`]); see
 //! `docs/observability.md` for the compatibility policy and a worked
 //! example of diffing two runs.
@@ -27,16 +39,25 @@
 #![warn(missing_docs)]
 
 mod event;
+mod flight;
+mod hash;
 mod json;
 mod jsonl;
 mod metrics;
 mod probe;
 mod profile;
 pub mod replay;
+pub mod status;
+mod watchdog;
 
-pub use event::{ArrayInvoke, ProbeEvent, RetireKind, SCHEMA_VERSION};
+pub use event::{
+    ArrayInvoke, ProbeEvent, RetireKind, EVENT_KINDS, EVENT_KIND_NAMES, SCHEMA_VERSION,
+};
+pub use flight::{FlightGuard, FlightRecorder};
+pub use hash::fnv1a64;
 pub use json::{parse as parse_json, write_escaped, JsonValue, ObjectWriter};
 pub use jsonl::JsonlSink;
 pub use metrics::{IntervalSnapshot, LogHistogram, MetricsRegistry};
 pub use probe::{NullProbe, Probe, RecordingProbe};
 pub use profile::{AttributionKind, BlockCycles, CycleProfile, CycleProfiler};
+pub use watchdog::{Violation, Watchdog};

@@ -73,6 +73,28 @@ impl<A: Probe, B: Probe> Probe for (A, B) {
     }
 }
 
+/// Runtime-optional probe: `None` observes nothing. Unlike
+/// [`NullProbe`] the decision is made per run, not per monomorphization,
+/// so `ENABLED` must stay `true` and each emit pays one branch — the
+/// combinator the CLI uses to compose independently-flagged sinks
+/// without an arm per flag combination.
+impl<P: Probe> Probe for Option<P> {
+    const ENABLED: bool = P::ENABLED;
+
+    #[inline(always)]
+    fn emit(&mut self, event: ProbeEvent) {
+        if let Some(p) = self {
+            p.emit(event);
+        }
+    }
+
+    fn finish(&mut self) {
+        if let Some(p) = self {
+            p.finish();
+        }
+    }
+}
+
 /// A probe that records every event in memory — the reference sink for
 /// tests and for the NullProbe-equivalence property test.
 #[derive(Debug, Clone, Default)]

@@ -51,6 +51,9 @@ pub struct TraceHeader {
     pub workload: String,
     /// Stored bits per cache entry (drives the cache-bit counters).
     pub bits_per_config: u64,
+    /// Per-kind counts of events a flight-recorder window dropped
+    /// before this trace was dumped (empty for ordinary full traces).
+    pub dropped: Vec<(String, u64)>,
 }
 
 /// One parsed trace line.
@@ -228,6 +231,15 @@ pub fn parse_record(text: &str, line: usize) -> Result<TraceRecord, ReplayError>
                     ),
                 ));
             }
+            let mut dropped = Vec::new();
+            if let Some(JsonValue::Object(map)) = v.get("dropped") {
+                for (name, n) in map {
+                    let n = n
+                        .as_u64()
+                        .ok_or_else(|| err(line, format!("non-integer dropped count `{name}`")))?;
+                    dropped.push((name.clone(), n));
+                }
+            }
             TraceRecord::Header(TraceHeader {
                 schema_version: version,
                 workload: v
@@ -236,6 +248,7 @@ pub fn parse_record(text: &str, line: usize) -> Result<TraceRecord, ReplayError>
                     .unwrap_or_default()
                     .to_string(),
                 bits_per_config: get_u64(&v, "bits_per_config", line)?,
+                dropped,
             })
         }
         "retire_batch" => {

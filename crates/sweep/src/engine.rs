@@ -5,17 +5,21 @@
 //! `report.txt` depends only on the spec and the simulators — never on
 //! wall-clock, worker count or completion order — so a parallel sweep
 //! is byte-identical to `--jobs 1`. Host-dependent material (timing,
-//! steal counts, queue-depth histograms) is confined to `summary.json`,
-//! `telemetry.json`, `trend.jsonl` and `BENCH_sweep.json`.
+//! steal counts, queue-depth histograms, the live `status.dimstat`
+//! board, and `flight/` failure dumps) is confined to `summary.json`,
+//! `telemetry.json`, `trend.jsonl`, `BENCH_sweep.json`, and those
+//! files — never `cells/` or `report.txt`.
 
 use crate::fsio::atomic_write;
 use crate::journal::{cell_is_done, Journal};
+use crate::panichook::capture_panics;
 use crate::pool::{execute_jobs, PoolStats};
 use crate::spec::{CellSpec, SweepSpec};
-use dim_cgra::snapshot::fnv1a64;
+use dim_core::fnv1a64;
 use dim_core::System;
 use dim_mips_sim::{HaltReason, Machine};
-use dim_obs::ObjectWriter;
+use dim_obs::status::{write_status, StatusEntry, StatusFile, StatusPulse, STATUS_FILE_NAME};
+use dim_obs::{FlightGuard, ObjectWriter, Probe as _};
 use dim_workloads::{run_baseline, validate};
 use std::collections::HashMap;
 use std::fmt;
@@ -74,10 +78,27 @@ pub struct SweepOptions {
     /// files it sits outside the determinism contract (`cells/` and
     /// `report.txt` stay byte-identical with or without it).
     pub explain: bool,
+    /// Per-worker flight-recorder window (events). Every cell runs with
+    /// an always-on recorder plus the invariant watchdog; on a cell
+    /// failure, panic, or watchdog trip the retained window is dumped
+    /// to `flight/<id>.jsonl`. 0 disables both. Probes are
+    /// cycle-neutral, so cell results are byte-identical either way.
+    pub flight_capacity: usize,
+    /// Live-status publish interval in simulated cycles (also the
+    /// `--explain` trace's telemetry interval). 0 keeps the default
+    /// pulse cadence.
+    pub telemetry_interval: u64,
 }
 
+/// Default flight-recorder window per worker (events).
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 4096;
+
+/// Default live-status publish cadence (simulated cycles).
+const DEFAULT_PULSE_CYCLES: u64 = 250_000;
+
 impl SweepOptions {
-    /// Serial execution into `out_dir` with spec-default warm behaviour.
+    /// Serial execution into `out_dir` with spec-default warm behaviour
+    /// and the always-on flight recorder at its default window.
     pub fn new(out_dir: PathBuf) -> SweepOptions {
         SweepOptions {
             out_dir,
@@ -85,6 +106,8 @@ impl SweepOptions {
             limit: None,
             warm_rcache: None,
             explain: false,
+            flight_capacity: DEFAULT_FLIGHT_CAPACITY,
+            telemetry_interval: 0,
         }
     }
 }
@@ -111,6 +134,13 @@ pub struct SweepOutcome {
 struct CellRun {
     json: String,
     warm_loaded: bool,
+    /// Counters for the live status board (host-side only).
+    retired: u64,
+    sim_cycles: u64,
+    invocations: u64,
+    rcache_hits: u64,
+    rcache_misses: u64,
+    misspeculations: u64,
 }
 
 fn cell_result_path(out_dir: &Path, id: &str) -> PathBuf {
@@ -125,21 +155,97 @@ fn cell_explain_path(out_dir: &Path, id: &str) -> PathBuf {
     out_dir.join("explain").join(format!("{id}.json"))
 }
 
-/// Simulates one cell and renders its deterministic result JSON.
-fn run_cell(
-    cell: &CellSpec,
-    baseline_cycles: u64,
+fn cell_flight_path(out_dir: &Path, id: &str) -> PathBuf {
+    out_dir.join("flight").join(format!("{id}.jsonl"))
+}
+
+/// The shared live-status board for one sweep invocation: entry 0
+/// aggregates the whole sweep, entries `1..=threads` track workers.
+/// Every mutation atomically republishes `status.dimstat`; write errors
+/// are swallowed because status is advisory host-side output.
+struct StatusBoard {
+    path: PathBuf,
+    entries: Mutex<Vec<StatusEntry>>,
+}
+
+impl StatusBoard {
+    fn new(path: PathBuf, threads: usize, total_cells: u64, skipped: u64) -> StatusBoard {
+        let mut entries = vec![StatusEntry {
+            source: "sweep".into(),
+            label: format!("{total_cells} cells"),
+            state: "running".into(),
+            done: skipped,
+            total: total_cells,
+            ..Default::default()
+        }];
+        for w in 0..threads {
+            entries.push(StatusEntry {
+                source: format!("worker-{w}"),
+                state: "idle".into(),
+                ..Default::default()
+            });
+        }
+        StatusBoard {
+            path,
+            entries: Mutex::new(entries),
+        }
+    }
+
+    fn update(&self, f: impl FnOnce(&mut Vec<StatusEntry>)) {
+        let mut entries = self.entries.lock().expect("status board lock");
+        f(&mut entries);
+        let file = StatusFile {
+            entries: entries.clone(),
+        };
+        // Serialized under the lock so concurrent workers never
+        // interleave temp-file writes.
+        let _ = write_status(&self.path, &file);
+    }
+}
+
+/// Everything a cell run needs beyond the cell itself.
+struct CellCtx<'a> {
     warm: bool,
     explain: bool,
+    flight_capacity: usize,
+    telemetry_interval: u64,
+    out_dir: &'a Path,
+    /// Live-status board and the index of the worker running this cell.
+    status: Option<(&'a StatusBoard, usize)>,
+}
+
+/// On failure, preserves the black box: writes the flight window (the
+/// trip-time dump if the watchdog fired, else the window as of now) to
+/// `flight/<id>.jsonl` and appends its path to the failure reason.
+fn with_flight_dump(
+    reason: String,
+    guard: Option<&FlightGuard>,
     out_dir: &Path,
-) -> Result<CellRun, String> {
+    id: &str,
+) -> String {
+    let Some(guard) = guard else {
+        return reason;
+    };
+    let dump = guard
+        .trip_dump()
+        .map_or_else(|| guard.dump(), str::to_string);
+    let path = cell_flight_path(out_dir, id);
+    match atomic_write(&path, dump.as_bytes()) {
+        Ok(()) => format!("{reason}; flight dump: {}", path.display()),
+        Err(e) => format!("{reason}; flight dump write failed: {e}"),
+    }
+}
+
+/// Simulates one cell and renders its deterministic result JSON.
+fn run_cell(cell: &CellSpec, baseline_cycles: u64, ctx: &CellCtx<'_>) -> Result<CellRun, String> {
     let spec = dim_workloads::by_name(&cell.workload)
         .ok_or_else(|| format!("unknown workload `{}`", cell.workload))?;
     let built = (spec.build)(cell.scale);
     let mut system = System::new(Machine::load(&built.program), cell.system_config());
+    let out_dir = ctx.out_dir;
 
     let mut warm_loaded = false;
-    if warm {
+    if ctx.warm {
         let snapshot_path = cell_snapshot_path(out_dir, &cell.id);
         if let Ok(bytes) = std::fs::read(&snapshot_path) {
             match system.load_rcache(&bytes) {
@@ -149,34 +255,103 @@ fn run_cell(
         }
     }
 
+    // The always-on black box: flight recorder + invariant watchdog.
+    // Warm-start entries were inserted before probing began, so they
+    // are seeded as resident or the hit-without-insert law would
+    // false-positive.
+    let mut guard = (ctx.flight_capacity > 0).then(|| {
+        let mut g = FlightGuard::new(
+            &cell.id,
+            ctx.flight_capacity,
+            cell.slots,
+            system.stored_bits_per_config(),
+        );
+        for config in system.cache().iter() {
+            g.watchdog_mut().seed_resident(config.entry_pc);
+        }
+        g
+    });
+
     // `--explain` runs through the probe sink; the probes are
     // cycle-neutral, so the deterministic cell result is identical
     // either way — only the side-channel trace differs.
+    let mut sink = ctx.explain.then(|| {
+        let mut s = dim_obs::JsonlSink::new(Vec::new(), &cell.id, system.stored_bits_per_config());
+        if ctx.telemetry_interval > 0 {
+            s.set_telemetry_interval(ctx.telemetry_interval);
+        }
+        s
+    });
+
+    // Live per-worker progress for `dim top`, published mid-cell.
+    let mut pulse = ctx.status.map(|(board, worker)| {
+        let entry = StatusEntry {
+            source: format!("worker-{worker}"),
+            label: cell.id.clone(),
+            state: "running".into(),
+            total: 1,
+            ..Default::default()
+        };
+        let interval = if ctx.telemetry_interval > 0 {
+            ctx.telemetry_interval
+        } else {
+            DEFAULT_PULSE_CYCLES
+        };
+        StatusPulse::new(entry, interval, move |e: &StatusEntry| {
+            board.update(|entries| entries[worker + 1] = e.clone());
+        })
+    });
+
+    let use_probes = guard.is_some() || sink.is_some() || pulse.is_some();
+    let run_result = if use_probes {
+        let mut probe = (sink.as_mut(), (guard.as_mut(), pulse.as_mut()));
+        capture_panics(|| {
+            let halt = system.run_probed(built.max_steps, &mut probe);
+            probe.finish();
+            halt
+        })
+    } else {
+        capture_panics(|| system.run(built.max_steps))
+    };
+
+    let fail = |reason: String, guard: Option<&FlightGuard>| {
+        with_flight_dump(reason, guard, out_dir, &cell.id)
+    };
+
+    let halt = match run_result {
+        Ok(halt) => halt,
+        Err(panic_msg) => {
+            return Err(fail(format!("worker panic: {panic_msg}"), guard.as_ref()));
+        }
+    };
+    match halt {
+        Ok(HaltReason::Exit(_)) => {}
+        Ok(HaltReason::StepLimit) => {
+            return Err(fail(
+                format!("did not halt within {} instructions", built.max_steps),
+                guard.as_ref(),
+            ))
+        }
+        Err(e) => return Err(fail(format!("simulation failed: {e}"), guard.as_ref())),
+    }
+    if let Some(violation) = guard.as_ref().and_then(FlightGuard::violation) {
+        return Err(fail(
+            format!("watchdog tripped: {violation}"),
+            guard.as_ref(),
+        ));
+    }
+    if let Err(e) = validate(system.machine(), &built) {
+        return Err(fail(format!("validation failed: {e}"), guard.as_ref()));
+    }
+
     let mut trace_text = None;
-    let halt = if explain {
-        let mut sink =
-            dim_obs::JsonlSink::new(Vec::new(), &cell.id, system.stored_bits_per_config());
-        let halt = system.run_probed(built.max_steps, &mut sink);
+    if let Some(sink) = sink.take() {
         let (buf, io_error) = sink.into_inner();
         if let Some(e) = io_error {
             return Err(format!("trace capture failed: {e}"));
         }
         trace_text = Some(String::from_utf8(buf).map_err(|e| e.to_string())?);
-        halt
-    } else {
-        system.run(built.max_steps)
-    };
-    match halt {
-        Ok(HaltReason::Exit(_)) => {}
-        Ok(HaltReason::StepLimit) => {
-            return Err(format!(
-                "did not halt within {} instructions",
-                built.max_steps
-            ))
-        }
-        Err(e) => return Err(format!("simulation failed: {e}")),
     }
-    validate(system.machine(), &built).map_err(|e| e.to_string())?;
 
     if let Some(text) = trace_text {
         let ex = dim_explain::explain_text(&text).map_err(|e| format!("explain failed: {e}"))?;
@@ -186,7 +361,7 @@ fn run_cell(
             .map_err(|e| format!("explain write failed: {e}"))?;
     }
 
-    if warm {
+    if ctx.warm {
         let bytes = system.save_rcache();
         atomic_write(&cell_snapshot_path(out_dir, &cell.id), &bytes)
             .map_err(|e| format!("snapshot write failed: {e}"))?;
@@ -245,7 +420,16 @@ fn run_cell(
         .field_raw("cache", &cache.finish());
     let mut json = w.finish();
     json.push('\n');
-    Ok(CellRun { json, warm_loaded })
+    Ok(CellRun {
+        json,
+        warm_loaded,
+        retired: system.machine().stats.instructions,
+        sim_cycles: accel_cycles,
+        invocations: stats.array_invocations,
+        rcache_hits: hits,
+        rcache_misses: misses,
+        misspeculations: stats.misspeculations,
+    })
 }
 
 /// Runs (or resumes) a sweep.
@@ -292,6 +476,14 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
     // order cells finish, sorted by id before writing so the telemetry
     // file itself is stable apart from the times.
     let cell_wall: Mutex<Vec<(String, u64)>> = Mutex::new(Vec::new());
+    let threads = opts.jobs.max(1);
+    let board = StatusBoard::new(
+        out_dir.join(STATUS_FILE_NAME),
+        threads,
+        cells.len() as u64,
+        skipped as u64,
+    );
+    board.update(|_| {});
     let start = Instant::now();
     let jobs: Vec<_> = pending
         .iter()
@@ -300,9 +492,22 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
             let baseline = baselines[cell.workload.as_str()];
             let journal = &journal;
             let cell_wall = &cell_wall;
-            move || -> Result<(), SweepError> {
+            let board = &board;
+            move |w: usize| -> Result<(), SweepError> {
                 let cell_started = Instant::now();
-                let run = run_cell(&cell, baseline, warm, explain, out_dir).map_err(|reason| {
+                let ctx = CellCtx {
+                    warm,
+                    explain,
+                    flight_capacity: opts.flight_capacity,
+                    telemetry_interval: opts.telemetry_interval,
+                    out_dir,
+                    status: Some((board, w)),
+                };
+                let run = run_cell(&cell, baseline, &ctx).map_err(|reason| {
+                    board.update(|entries| {
+                        entries[w + 1].state = "failed".into();
+                        entries[w + 1].label = cell.id.clone();
+                    });
                     SweepError::Cell {
                         id: cell.id.clone(),
                         reason,
@@ -312,10 +517,34 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
                 atomic_write(&path, run.json.as_bytes())?;
                 journal.record(&cell.id, fnv1a64(run.json.as_bytes()))?;
                 let _ = run.warm_loaded;
+                let cell_nanos = cell_started.elapsed().as_nanos() as u64;
+                board.update(|entries| {
+                    let worker = &mut entries[w + 1];
+                    worker.state = "idle".into();
+                    worker.label = cell.id.clone();
+                    worker.done = 1;
+                    worker.total = 1;
+                    worker.retired = run.retired;
+                    worker.sim_cycles = run.sim_cycles;
+                    worker.invocations = run.invocations;
+                    worker.rcache_hits = run.rcache_hits;
+                    worker.rcache_misses = run.rcache_misses;
+                    worker.misspeculations = run.misspeculations;
+                    worker.host_nanos = cell_nanos;
+                    let agg = &mut entries[0];
+                    agg.done += 1;
+                    agg.retired += run.retired;
+                    agg.sim_cycles += run.sim_cycles;
+                    agg.invocations += run.invocations;
+                    agg.rcache_hits += run.rcache_hits;
+                    agg.rcache_misses += run.rcache_misses;
+                    agg.misspeculations += run.misspeculations;
+                    agg.host_nanos = start.elapsed().as_nanos() as u64;
+                });
                 cell_wall
                     .lock()
                     .expect("telemetry lock")
-                    .push((cell.id.clone(), cell_started.elapsed().as_nanos() as u64));
+                    .push((cell.id.clone(), cell_nanos));
                 Ok(())
             }
         })
@@ -323,8 +552,20 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
     let executed = jobs.len();
     let (results, pool) = execute_jobs(jobs, opts.jobs);
     let wall_seconds = start.elapsed().as_secs_f64();
+    let mut failure = None;
     for result in results {
-        result?;
+        if let Err(e) = result {
+            failure = Some(e);
+            break;
+        }
+    }
+    let final_state = if failure.is_some() { "failed" } else { "done" };
+    board.update(|entries| {
+        entries[0].state = final_state.into();
+        entries[0].host_nanos = start.elapsed().as_nanos() as u64;
+    });
+    if let Some(e) = failure {
+        return Err(e);
     }
 
     let complete = skipped + executed == cells.len();

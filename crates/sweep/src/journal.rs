@@ -11,7 +11,7 @@
 //! Malformed journal lines (a torn final append) are ignored, not
 //! fatal: the worst outcome is re-executing the cell the line was for.
 
-use dim_cgra::snapshot::fnv1a64;
+use dim_core::fnv1a64;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Write};

@@ -35,11 +35,16 @@
 mod engine;
 mod fsio;
 mod journal;
+mod panichook;
 mod pool;
 mod spec;
 
-pub use engine::{bench_compare, run_sweep, BenchCompare, SweepError, SweepOptions, SweepOutcome};
+pub use engine::{
+    bench_compare, run_sweep, BenchCompare, SweepError, SweepOptions, SweepOutcome,
+    DEFAULT_FLIGHT_CAPACITY,
+};
 pub use fsio::atomic_write;
 pub use journal::Journal;
+pub use panichook::capture_panics;
 pub use pool::{execute_jobs, PoolStats};
 pub use spec::{CellSpec, ShapeChoice, SpecError, SweepSpec};

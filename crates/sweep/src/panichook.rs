@@ -1,0 +1,103 @@
+//! Panic capture for sweep workers.
+//!
+//! A panicking cell must not take the whole sweep down with a raw
+//! backtrace and no flight dump. [`capture_panics`] runs a closure
+//! under `catch_unwind` and converts any panic into an `Err(message)`,
+//! so the worker loop can treat it like any other cell failure — dump
+//! the flight recorder, record the reason, move on.
+//!
+//! The process panic hook is global state; we install ours exactly once
+//! and it defers to the previously-installed hook for every panic that
+//! is *not* inside a [`capture_panics`] scope (tracked by a
+//! thread-local flag), so unrelated threads — including the test
+//! harness — keep their normal panic output.
+
+use std::cell::{Cell, RefCell};
+use std::panic::{catch_unwind, AssertUnwindSafe, PanicHookInfo};
+use std::sync::Once;
+
+thread_local! {
+    static CAPTURING: Cell<bool> = const { Cell::new(false) };
+    static MESSAGE: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+static INSTALL: Once = Once::new();
+
+fn install_hook() {
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info: &PanicHookInfo<'_>| {
+            let captured = CAPTURING.with(|c| {
+                if !c.get() {
+                    return false;
+                }
+                let message = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                let location = info
+                    .location()
+                    .map(|l| format!(" at {}:{}", l.file(), l.line()))
+                    .unwrap_or_default();
+                MESSAGE.with(|m| *m.borrow_mut() = Some(format!("{message}{location}")));
+                true
+            });
+            if !captured {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f`, converting a panic on this thread into `Err(message)`
+/// (with the panic's source location) instead of aborting the sweep.
+/// Panics on other threads are unaffected.
+pub fn capture_panics<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    install_hook();
+    CAPTURING.with(|c| c.set(true));
+    MESSAGE.with(|m| *m.borrow_mut() = None);
+    let result = catch_unwind(AssertUnwindSafe(f));
+    CAPTURING.with(|c| c.set(false));
+    result.map_err(|_| {
+        MESSAGE
+            .with(|m| m.borrow_mut().take())
+            .unwrap_or_else(|| "panic (no message captured)".to_string())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_through_normal_results() {
+        assert_eq!(capture_panics(|| 41 + 1), Ok(42));
+    }
+
+    #[test]
+    fn converts_panics_to_messages_with_location() {
+        let err = capture_panics(|| -> u32 { panic!("cell exploded: {}", 7) })
+            .expect_err("panic captured");
+        assert!(err.contains("cell exploded: 7"), "{err}");
+        assert!(err.contains("panichook.rs"), "{err}");
+    }
+
+    #[test]
+    fn nested_use_keeps_working() {
+        for i in 0..3 {
+            let r = capture_panics(|| {
+                if i == 1 {
+                    panic!("only the middle one");
+                }
+                i
+            });
+            if i == 1 {
+                assert!(r.is_err());
+            } else {
+                assert_eq!(r, Ok(i));
+            }
+        }
+    }
+}

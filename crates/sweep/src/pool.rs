@@ -67,11 +67,17 @@ impl PoolStats {
 /// Runs every job on `threads` workers and returns the results in input
 /// order, plus pool statistics.
 ///
+/// Each job receives the index (`0..threads`) of the worker that runs
+/// it, so per-worker side channels (live status entries, flight
+/// recorders) can be addressed without locking a shared allocator. The
+/// index must never influence a job's *result* — only which reporting
+/// slot it writes — or the serial/parallel determinism contract breaks.
+///
 /// `threads` is clamped to at least 1; with exactly 1 the pool degrades
 /// to strict in-order serial execution on a single spawned worker.
 pub fn execute_jobs<T, F>(jobs: Vec<F>, threads: usize) -> (Vec<T>, PoolStats)
 where
-    F: FnOnce() -> T + Send,
+    F: FnOnce(usize) -> T + Send,
     T: Send,
 {
     let threads = threads.max(1);
@@ -130,7 +136,7 @@ where
                     }
                 };
                 let start = Instant::now();
-                let out = job();
+                let out = job(w);
                 let micros = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
                 job_micros.lock().unwrap().record(micros);
                 executed[w].fetch_add(1, Ordering::Relaxed);
@@ -170,7 +176,7 @@ mod tests {
     #[test]
     fn results_keep_input_order() {
         for threads in [1, 2, 4, 7] {
-            let jobs: Vec<_> = (0..40u64).map(|i| move || i * i).collect();
+            let jobs: Vec<_> = (0..40u64).map(|i| move |_w: usize| i * i).collect();
             let (out, stats) = execute_jobs(jobs, threads);
             assert_eq!(out, (0..40u64).map(|i| i * i).collect::<Vec<_>>());
             assert_eq!(stats.total_executed(), 40);
@@ -181,7 +187,7 @@ mod tests {
 
     #[test]
     fn empty_job_list() {
-        let jobs: Vec<fn() -> u64> = Vec::new();
+        let jobs: Vec<fn(usize) -> u64> = Vec::new();
         let (out, stats) = execute_jobs(jobs, 4);
         assert!(out.is_empty());
         assert_eq!(stats.total_executed(), 0);
@@ -189,7 +195,7 @@ mod tests {
 
     #[test]
     fn zero_threads_clamps_to_one() {
-        let jobs: Vec<_> = (0..3u64).map(|i| move || i).collect();
+        let jobs: Vec<_> = (0..3u64).map(|i| move |_w: usize| i).collect();
         let (out, stats) = execute_jobs(jobs, 0);
         assert_eq!(out, vec![0, 1, 2]);
         assert_eq!(stats.threads, 1);
@@ -203,15 +209,15 @@ mod tests {
         // slow jobs on one deque, at least one steal is overwhelmingly
         // forced; assert only on correctness plus the counters being
         // self-consistent, since scheduling is timing-dependent.
-        let jobs: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..16u64)
+        let jobs: Vec<Box<dyn FnOnce(usize) -> u64 + Send>> = (0..16u64)
             .map(|i| {
-                let f: Box<dyn FnOnce() -> u64 + Send> = if i % 4 == 0 {
-                    Box::new(move || {
+                let f: Box<dyn FnOnce(usize) -> u64 + Send> = if i % 4 == 0 {
+                    Box::new(move |_w| {
                         std::thread::sleep(std::time::Duration::from_millis(2));
                         i
                     })
                 } else {
-                    Box::new(move || i)
+                    Box::new(move |_w| i)
                 };
                 f
             })
@@ -224,7 +230,7 @@ mod tests {
 
     #[test]
     fn stats_json_is_parseable() {
-        let jobs: Vec<_> = (0..5u64).map(|i| move || i).collect();
+        let jobs: Vec<_> = (0..5u64).map(|i| move |_w: usize| i).collect();
         let (_, stats) = execute_jobs(jobs, 2);
         let parsed = dim_obs::parse_json(&stats.to_json()).unwrap();
         assert_eq!(

@@ -291,3 +291,72 @@ fn bench_compare_writes_report_and_matches() {
 
     fs::remove_dir_all(&base).ok();
 }
+
+#[test]
+fn status_file_is_published_and_valid_but_outside_the_contract() {
+    use dim_obs::status::{read_status, STATUS_FILE_NAME};
+
+    let spec = tiny_spec();
+    let dir = scratch("status");
+    let mut opts = SweepOptions::new(dir.clone());
+    opts.jobs = 2;
+    let outcome = run_sweep(&spec, &opts).unwrap();
+    assert!(outcome.complete);
+
+    // The board parses back with a verified checksum: one aggregate
+    // entry plus one per worker, with the aggregate settled on "done".
+    let status = read_status(&dir.join(STATUS_FILE_NAME)).unwrap();
+    assert_eq!(status.entries.len(), 1 + 2);
+    let agg = &status.entries[0];
+    assert_eq!(agg.source, "sweep");
+    assert_eq!(agg.state, "done");
+    assert_eq!(agg.done, 4);
+    assert_eq!(agg.total, 4);
+    assert!(agg.retired > 0);
+    assert!(agg.sim_cycles > 0);
+    assert!(agg.host_nanos > 0);
+    assert!(status.entries[1..]
+        .iter()
+        .all(|e| e.source.starts_with("worker-")));
+
+    // Like telemetry.json, status.dimstat is host-side output: the
+    // deterministic artifacts must be byte-identical with the flight
+    // recorder and status publishing disabled entirely.
+    let bare_dir = scratch("status-bare");
+    let mut bare = SweepOptions::new(bare_dir.clone());
+    bare.flight_capacity = 0;
+    run_sweep(&spec, &bare).unwrap();
+    assert_eq!(read_cells(&dir, &spec), read_cells(&bare_dir, &spec));
+    assert_eq!(
+        fs::read(dir.join("report.txt")).unwrap(),
+        fs::read(bare_dir.join("report.txt")).unwrap()
+    );
+
+    fs::remove_dir_all(&dir).ok();
+    fs::remove_dir_all(&bare_dir).ok();
+}
+
+#[test]
+fn watchdog_stays_quiet_across_warm_resume_sweeps() {
+    // Warm-start snapshots seed the watchdog's resident set; a second
+    // sweep over the same grid must not trip hit-without-insert.
+    let spec = SweepSpec::parse(
+        "workloads = crc32\nscale = tiny\nshapes = 1\nslots = 16\nspeculation = on\nwarm_rcache = true",
+    )
+    .unwrap();
+    let dir = scratch("warm-watchdog");
+    run_sweep(&spec, &SweepOptions::new(dir.clone())).unwrap();
+    // Force re-execution by clearing the journal but keeping snapshots.
+    fs::remove_file(dir.join("journal.txt")).unwrap();
+    for cell in spec.expand() {
+        fs::remove_file(dir.join("cells").join(format!("{}.json", cell.id))).ok();
+    }
+    let second = run_sweep(&spec, &SweepOptions::new(dir.clone())).unwrap();
+    assert!(second.complete);
+    assert_eq!(second.executed, 1);
+    assert!(
+        !dir.join("flight").exists(),
+        "no flight dumps expected from a clean warm resume"
+    );
+    fs::remove_dir_all(&dir).ok();
+}
