@@ -21,7 +21,7 @@ use dim_core::{System, SystemConfig};
 use dim_mips::asm::{assemble, Program};
 use dim_mips::{disassemble_labeled, image};
 use dim_mips_sim::{HaltReason, Machine, Profiler};
-use dim_obs::status::{read_status, StatusEntry, StatusError, STATUS_FILE_NAME};
+use dim_obs::status::{read_status, StatusEntry, STATUS_FILE_NAME};
 use dim_obs::{CycleProfiler, FlightGuard, JsonlSink, MetricsRegistry, Probe};
 use std::fmt;
 use std::io::{BufWriter, Write};
@@ -121,6 +121,23 @@ commands:
                                      per-workload allowlists applied
   verify <f.dimrc> [--json]          structurally verify every configuration
                                      in an rcache snapshot
+  serve  --socket <path> [--jobs N] [--queue N] [--tenant-quota N]
+         [--shard-dir <dir>] [--status-dir <dir>] [--flight N]
+         [--telemetry-interval N]
+                                     persistent acceleration daemon on a Unix
+                                     socket: bounded request queue with busy
+                                     backpressure, per-tenant quotas, and
+                                     shared verifier-gated warm rcache shards
+                                     that warm-start from and drain to
+                                     <shard-dir>/*.dimrc; live telemetry in
+                                     <status-dir>/status.dimstat (dim top)
+  serve  --selftest [--jobs N] [--clients N] [--requests N] [--bench-out <dir>]
+                                     in-process load generator against a real
+                                     daemon: cold-vs-warm ramp and latency
+                                     percentiles -> BENCH_serve.json
+  submit <socket> <request.file> [--json]
+                                     send one request file to a running daemon
+                                     and print the reply (see docs/serving.md)
   debug  <file> [--script <cmds>]    scriptable debugger (stdin by default)
   help                               show this text
 
@@ -886,6 +903,77 @@ fn render_status(entries: &[StatusEntry], out: &mut impl Write) -> Result<(), Cl
     Ok(())
 }
 
+/// How `dim top --follow` polls and how hard it tries when the status
+/// file is missing or torn. Injectable so tests can run in milliseconds.
+struct FollowPolicy {
+    /// Delay between successful renders.
+    poll: std::time::Duration,
+    /// First retry delay after a failed read.
+    backoff_start: std::time::Duration,
+    /// Retry delay ceiling (doubles up to this).
+    backoff_cap: std::time::Duration,
+    /// Consecutive failed reads tolerated before giving up.
+    max_misses: u32,
+}
+
+impl Default for FollowPolicy {
+    fn default() -> FollowPolicy {
+        FollowPolicy {
+            poll: std::time::Duration::from_millis(200),
+            backoff_start: std::time::Duration::from_millis(50),
+            backoff_cap: std::time::Duration::from_millis(800),
+            max_misses: 25,
+        }
+    }
+}
+
+fn run_top(
+    path: &Path,
+    follow: bool,
+    policy: &FollowPolicy,
+    out: &mut impl Write,
+) -> Result<(), CliError> {
+    let mut misses: u32 = 0;
+    let mut backoff = policy.backoff_start;
+    loop {
+        match read_status(path) {
+            Ok(status) => {
+                misses = 0;
+                backoff = policy.backoff_start;
+                render_status(&status.entries, out)?;
+                let finished = status
+                    .entries
+                    .first()
+                    .is_none_or(|e| e.state == "done" || e.state == "failed");
+                if !follow || finished {
+                    return Ok(());
+                }
+                writeln!(out)?;
+                std::thread::sleep(policy.poll);
+            }
+            // Following a live producer: the file may not exist yet (a
+            // sweep still warming up), may read torn mid-rewrite, or may
+            // vanish and reappear when a daemon restarts or re-publishes.
+            // Every error kind is transient while following — retry with
+            // bounded doubling backoff, and only give up after a run of
+            // consecutive misses with nothing rendered in between.
+            Err(e) if follow => {
+                misses += 1;
+                if misses > policy.max_misses {
+                    return Err(CliError::new(format!(
+                        "{}: gave up after {} attempts: {e}",
+                        path.display(),
+                        policy.max_misses
+                    )));
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(policy.backoff_cap);
+            }
+            Err(e) => return Err(CliError::new(format!("{}: {e}", path.display()))),
+        }
+    }
+}
+
 fn cmd_top(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     check_flags("top", args, &[], &["--follow"], 1)?;
     let target = args
@@ -897,28 +985,7 @@ fn cmd_top(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         path = path.join(STATUS_FILE_NAME);
     }
     let follow = args.iter().any(|a| a == "--follow");
-    loop {
-        let status = match read_status(&path) {
-            Ok(s) => s,
-            // Following a live producer: the file may not exist yet (the
-            // sweep is still warming up) — wait for the first snapshot.
-            Err(StatusError::Io(_)) if follow => {
-                std::thread::sleep(std::time::Duration::from_millis(100));
-                continue;
-            }
-            Err(e) => return Err(CliError::new(format!("{}: {e}", path.display()))),
-        };
-        render_status(&status.entries, out)?;
-        let finished = status
-            .entries
-            .first()
-            .is_none_or(|e| e.state == "done" || e.state == "failed");
-        if !follow || finished {
-            return Ok(());
-        }
-        writeln!(out)?;
-        std::thread::sleep(std::time::Duration::from_millis(200));
-    }
+    run_top(&path, follow, &FollowPolicy::default(), out)
 }
 
 fn cmd_explain(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
@@ -1427,6 +1494,209 @@ fn cmd_verify(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Parses a `--flag N` positive integer, rejecting 0 with a message
+/// naming the flag — serve's counts (jobs, queue, quota, clients,
+/// requests) all share the "at least 1" rule.
+fn parse_positive(args: &[String], flag: &str) -> Result<Option<u64>, CliError> {
+    let value: Option<u64> = parse_flag_value(args, flag)?
+        .map(|v| {
+            v.parse()
+                .map_err(|_| CliError::new(format!("{flag}: not a number")))
+        })
+        .transpose()?;
+    if value == Some(0) {
+        return Err(CliError::new(format!("{flag}: must be at least 1")));
+    }
+    Ok(value)
+}
+
+fn cmd_serve(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    check_flags(
+        "serve",
+        args,
+        &[
+            "--socket",
+            "--jobs",
+            "--queue",
+            "--tenant-quota",
+            "--shard-dir",
+            "--status-dir",
+            "--flight",
+            "--telemetry-interval",
+            "--clients",
+            "--requests",
+            "--bench-out",
+        ],
+        &["--selftest"],
+        0,
+    )?;
+    let selftest = args.iter().any(|a| a == "--selftest");
+    let daemon_only = [
+        "--socket",
+        "--queue",
+        "--tenant-quota",
+        "--shard-dir",
+        "--status-dir",
+        "--flight",
+        "--telemetry-interval",
+    ];
+    let selftest_only = ["--clients", "--requests", "--bench-out"];
+    if selftest {
+        if let Some(flag) = daemon_only
+            .iter()
+            .find(|f| args.contains(&(**f).to_string()))
+        {
+            return Err(CliError::new(format!(
+                "serve: `{flag}` does not apply to --selftest"
+            )));
+        }
+    } else if let Some(flag) = selftest_only
+        .iter()
+        .find(|f| args.contains(&(**f).to_string()))
+    {
+        return Err(CliError::new(format!(
+            "serve: `{flag}` requires --selftest"
+        )));
+    }
+    let jobs = parse_positive(args, "--jobs")?;
+
+    if selftest {
+        let mut opts = dim_serve::SelftestOptions::default();
+        if let Some(jobs) = jobs {
+            opts.jobs = jobs as usize;
+        }
+        if let Some(clients) = parse_positive(args, "--clients")? {
+            opts.clients = clients as usize;
+        }
+        if let Some(requests) = parse_positive(args, "--requests")? {
+            opts.requests_per_client = requests as usize;
+        }
+        if let Some(dir) = parse_flag_value(args, "--bench-out")? {
+            opts.bench_out = Path::new(dir).to_path_buf();
+        }
+        let report =
+            dim_serve::run_selftest(&opts).map_err(|e| CliError::new(format!("serve: {e}")))?;
+        writeln!(
+            out,
+            "selftest: {}/{} requests completed, {} busy retries, {:.1} req/s",
+            report.completed, report.requests_total, report.busy_retries, report.throughput_rps
+        )?;
+        writeln!(
+            out,
+            "selftest: ramp cold {} cycles -> warm {} cycles",
+            report.cold_cycles, report.warm_cycles
+        )?;
+        writeln!(out, "selftest: bench -> {}", report.bench_path.display())?;
+        if !report.ok {
+            return Err(CliError::new(
+                "serve: selftest failed (incomplete requests or warm shard did not beat cold start)",
+            ));
+        }
+        return Ok(());
+    }
+
+    let socket = parse_flag_value(args, "--socket")?
+        .ok_or_else(|| CliError::new("serve: missing --socket (or use --selftest)"))?;
+    let mut opts = dim_serve::ServeOptions::new(Path::new(socket).to_path_buf());
+    if let Some(jobs) = jobs {
+        opts.jobs = jobs as usize;
+    }
+    if let Some(queue) = parse_positive(args, "--queue")? {
+        opts.queue_capacity = queue as usize;
+    }
+    if let Some(quota) = parse_positive(args, "--tenant-quota")? {
+        opts.tenant_quota = quota as usize;
+    }
+    if let Some(dir) = parse_flag_value(args, "--shard-dir")? {
+        opts.shard_dir = Some(Path::new(dir).to_path_buf());
+    }
+    if let Some(dir) = parse_flag_value(args, "--status-dir")? {
+        opts.out_dir = Some(Path::new(dir).to_path_buf());
+    }
+    if let Some(flight) = parse_flag_value(args, "--flight")? {
+        opts.flight_capacity = flight
+            .parse()
+            .map_err(|_| CliError::new("--flight: not a number"))?;
+    }
+    if let Some(interval) = parse_telemetry_interval(args)? {
+        opts.telemetry_interval = interval;
+    }
+    writeln!(out, "serve: listening on {socket} ({} workers)", opts.jobs)?;
+    out.flush()?;
+    let summary = dim_serve::serve(&opts).map_err(|e| CliError::new(e.to_string()))?;
+    for err in &summary.import_errors {
+        writeln!(out, "serve: warning: shard import skipped: {err}")?;
+    }
+    if summary.shards_imported > 0 {
+        writeln!(
+            out,
+            "serve: warm-started {} shard(s) from disk",
+            summary.shards_imported
+        )?;
+    }
+    writeln!(
+        out,
+        "serve: drained: {} submitted, {} completed, {} failed, {} busy-rejected, {} shard(s) snapshotted",
+        summary.submitted, summary.completed, summary.failed, summary.busy_rejected, summary.shards
+    )?;
+    Ok(())
+}
+
+fn cmd_submit(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    check_flags("submit", args, &[], &["--json"], 2)?;
+    let json = args.iter().any(|a| a == "--json");
+    let mut positionals = args.iter().filter(|a| !a.starts_with('-'));
+    let socket = positionals
+        .next()
+        .ok_or_else(|| CliError::new("submit: missing socket path"))?;
+    let request_file = positionals
+        .next()
+        .ok_or_else(|| CliError::new("submit: missing request file"))?;
+    let socket_path = Path::new(socket);
+    if !socket_path.exists() {
+        return Err(CliError::new(format!(
+            "submit: {socket}: no such socket (is the daemon running?)"
+        )));
+    }
+    let text = std::fs::read_to_string(request_file)
+        .map_err(|e| CliError::new(format!("{request_file}: {e}")))?;
+    let request = dim_serve::parse_request(&text)
+        .map_err(|e| CliError::new(format!("{request_file}: {e}")))?;
+    let replies = dim_serve::submit(socket_path, std::slice::from_ref(&request))
+        .map_err(|e| CliError::new(e.to_string()))?;
+    match replies.into_iter().next() {
+        Some(dim_serve::Reply::Ok { json: reply_json }) => {
+            if json {
+                writeln!(out, "{reply_json}")?;
+                return Ok(());
+            }
+            // The human-readable view: the embedded report when the
+            // command produced one, the raw object otherwise.
+            let report = dim_obs::parse_json(&reply_json)
+                .ok()
+                .as_ref()
+                .and_then(|v| v.get("report"))
+                .and_then(|v| v.as_str())
+                .map(str::to_string);
+            match report {
+                Some(report) => write!(out, "{report}")?,
+                None => writeln!(out, "{reply_json}")?,
+            }
+            Ok(())
+        }
+        Some(dim_serve::Reply::Busy {
+            retry_after_ms,
+            reason,
+        }) => Err(CliError::new(format!(
+            "submit: server busy: {reason} (retry after {retry_after_ms}ms)"
+        ))),
+        Some(dim_serve::Reply::Error { message }) => {
+            Err(CliError::new(format!("submit: {message}")))
+        }
+        None => Err(CliError::new("submit: server sent no reply")),
+    }
+}
+
 fn cmd_debug(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     let input = args
         .first()
@@ -1465,6 +1735,8 @@ pub fn dispatch(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         Some("perf") => cmd_perf(&args[1..], out),
         Some("lint") => cmd_lint(&args[1..], out),
         Some("verify") => cmd_verify(&args[1..], out),
+        Some("serve") => cmd_serve(&args[1..], out),
+        Some("submit") => cmd_submit(&args[1..], out),
         Some("debug") => cmd_debug(&args[1..], out),
         Some("compare") => cmd_compare(&args[1..], out),
         Some("help") | None => {
@@ -2244,5 +2516,140 @@ quit
     fn missing_file_reported() {
         let err = run_cli(&["run", "/nonexistent/x.s"]).unwrap_err();
         assert!(err.to_string().contains("/nonexistent/x.s"));
+    }
+
+    fn status_file_with_state(state: &str) -> dim_obs::status::StatusFile {
+        dim_obs::status::StatusFile {
+            entries: vec![StatusEntry {
+                source: "sweep".into(),
+                label: "restart-test".into(),
+                state: state.into(),
+                ..Default::default()
+            }],
+        }
+    }
+
+    fn tiny_follow_policy(max_misses: u32) -> FollowPolicy {
+        FollowPolicy {
+            poll: std::time::Duration::from_millis(5),
+            backoff_start: std::time::Duration::from_millis(2),
+            backoff_cap: std::time::Duration::from_millis(10),
+            max_misses,
+        }
+    }
+
+    #[test]
+    fn top_follow_survives_status_file_restart() {
+        use dim_obs::status::write_status;
+        let dir = std::env::temp_dir().join(format!("dim-top-restart-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(STATUS_FILE_NAME);
+        write_status(&path, &status_file_with_state("running")).unwrap();
+
+        // A producer that vanishes mid-follow (file deleted) and then
+        // reappears finished — the follower must ride it out.
+        let writer = {
+            let path = path.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                std::fs::remove_file(&path).unwrap();
+                std::thread::sleep(std::time::Duration::from_millis(40));
+                write_status(&path, &status_file_with_state("done")).unwrap();
+            })
+        };
+        let mut out = Vec::new();
+        run_top(&path, true, &tiny_follow_policy(100), &mut out).unwrap();
+        writer.join().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("running"), "{text}");
+        assert!(text.contains("done"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn top_follow_gives_up_after_bounded_misses() {
+        let path = std::env::temp_dir().join("dim-top-never-appears/status.dimstat");
+        let mut out = Vec::new();
+        let err = run_top(&path, true, &tiny_follow_policy(3), &mut out).unwrap_err();
+        assert!(
+            err.to_string().contains("gave up after 3 attempts"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn serve_flags_are_validated_strictly() {
+        for (args, needle) in [
+            (vec!["serve"], "missing --socket"),
+            (vec!["serve", "--jobs", "0"], "--jobs: must be at least 1"),
+            (
+                vec!["serve", "--socket", "/tmp/x.sock", "--queue", "0"],
+                "--queue: must be at least 1",
+            ),
+            (
+                vec!["serve", "--socket", "/tmp/x.sock", "--clients", "4"],
+                "requires --selftest",
+            ),
+            (
+                vec!["serve", "--selftest", "--socket", "/tmp/x.sock"],
+                "does not apply to --selftest",
+            ),
+            (vec!["serve", "--frobnicate"], "unknown flag"),
+            (vec!["submit"], "missing socket path"),
+            (vec!["submit", "/tmp/x.sock"], "missing request file"),
+            (
+                vec!["submit", "/nonexistent/dim.sock", "/nonexistent/req.toml"],
+                "no such socket",
+            ),
+        ] {
+            let err = run_cli(&args).unwrap_err();
+            assert!(err.to_string().contains(needle), "{args:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn serve_daemon_accepts_a_submitted_request_file() {
+        let dir = std::env::temp_dir().join(format!("dim-cli-serve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let socket = dir.join("dim.sock");
+        let server = {
+            let socket = socket.to_str().unwrap().to_string();
+            std::thread::spawn(move || run_cli(&["serve", "--socket", &socket, "--jobs", "1"]))
+        };
+        for _ in 0..200 {
+            if socket.exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(socket.exists(), "daemon socket never appeared");
+
+        let req = tmp_file("serve-req.toml", "workload = bitcount\ncommand = accel\n");
+        let report = run_cli(&["submit", socket.to_str().unwrap(), req.to_str().unwrap()]).unwrap();
+        assert!(report.contains("cycles"), "{report}");
+
+        let status_req = tmp_file("serve-status.toml", "command = status\n");
+        let status = run_cli(&[
+            "submit",
+            socket.to_str().unwrap(),
+            status_req.to_str().unwrap(),
+            "--json",
+        ])
+        .unwrap();
+        assert!(status.contains("\"completed\":1"), "{status}");
+
+        let shutdown_req = tmp_file("serve-shutdown.toml", "command = shutdown\n");
+        run_cli(&[
+            "submit",
+            socket.to_str().unwrap(),
+            shutdown_req.to_str().unwrap(),
+        ])
+        .unwrap();
+        let summary = server.join().unwrap().unwrap();
+        assert!(
+            summary.contains("drained: 1 submitted, 1 completed"),
+            "{summary}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

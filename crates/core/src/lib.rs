@@ -41,11 +41,18 @@ mod translator;
 /// `.dimrc` snapshots, the sweep resume journal, and the live status
 /// file. Canonically defined (and golden-vector tested) in `dim-obs`.
 pub use dim_obs::fnv1a64;
+/// The workspace's shared magic/version/len/fnv64 framing — one helper
+/// behind `.dimrc` snapshots, `status.dimstat`, and the `dim serve`
+/// wire protocol, so the three formats cannot drift. Canonically
+/// defined (and golden-vector tested) in `dim-obs`.
+pub use dim_obs::frame;
 pub use gshare::{measure_hit_rate, GsharePredictor, SpeculationPredictor};
 pub use predictor::{BimodalPredictor, Counter};
 pub use rcache::{EvictedEntry, ReconfCache, ReplacementPolicy};
 pub use report::RunReport;
-pub use snapshot::{SnapshotContents, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use snapshot::{
+    SnapshotContents, SnapshotError, SNAPSHOT_FRAME, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
 pub use stats::{CycleBreakdown, DimStats};
 pub use system::{System, SystemConfig};
 pub use tables::{live_in_sources, DependenceTable};

@@ -30,16 +30,22 @@
 use crate::rcache::ReplacementPolicy;
 use crate::{Counter, ReconfCache, System, SystemConfig};
 use dim_cgra::snapshot::{
-    decode_config, encode_config, fnv1a64, put_shape, put_u16, put_u32, put_u64, read_shape,
-    Cursor, WireError,
+    decode_config, encode_config, put_shape, put_u32, put_u64, read_shape, Cursor, WireError,
 };
 use dim_cgra::{ArrayShape, Configuration};
+use dim_obs::frame::{self, FrameError, FrameSpec};
 use std::fmt;
 
 /// File magic of a reconfiguration-cache snapshot.
 pub const SNAPSHOT_MAGIC: &[u8; 6] = b"DIMRC\0";
 /// Current snapshot format version.
 pub const SNAPSHOT_VERSION: u16 = 1;
+
+/// The snapshot's frame identity for the shared [`frame`] helper.
+pub const SNAPSHOT_FRAME: FrameSpec = FrameSpec {
+    magic: SNAPSHOT_MAGIC,
+    version: SNAPSHOT_VERSION,
+};
 
 /// Why a snapshot could not be loaded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -105,6 +111,24 @@ impl std::error::Error for SnapshotError {}
 impl From<WireError> for SnapshotError {
     fn from(e: WireError) -> Self {
         SnapshotError::Wire(e)
+    }
+}
+
+impl From<FrameError> for SnapshotError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::BadMagic => SnapshotError::BadMagic,
+            FrameError::UnsupportedVersion(v) => SnapshotError::UnsupportedVersion(v),
+            FrameError::Truncated | FrameError::Oversized { .. } => {
+                SnapshotError::Wire(WireError::Truncated)
+            }
+            FrameError::TrailingBytes(n) => SnapshotError::Wire(WireError::Corrupt(format!(
+                "{n} trailing bytes after checksum"
+            ))),
+            FrameError::ChecksumMismatch { expected, actual } => {
+                SnapshotError::ChecksumMismatch { expected, actual }
+            }
+        }
     }
 }
 
@@ -174,35 +198,9 @@ impl SnapshotContents {
     ///
     /// [`SnapshotError`] for anything that is not a well-formed snapshot.
     pub fn parse(bytes: &[u8]) -> Result<SnapshotContents, SnapshotError> {
-        let mut c = Cursor::new(bytes);
-        let mut magic = [0u8; 6];
-        for slot in &mut magic {
-            *slot = c.u8().map_err(|_| SnapshotError::BadMagic)?;
-        }
-        if &magic != SNAPSHOT_MAGIC {
-            return Err(SnapshotError::BadMagic);
-        }
-        let version = c.u16()?;
+        let (version, payload) = frame::decode_frame(SNAPSHOT_FRAME, bytes)?;
         if version != SNAPSHOT_VERSION {
             return Err(SnapshotError::UnsupportedVersion(version));
-        }
-        let len = c.u64()? as usize;
-        if c.remaining() < len + 8 {
-            return Err(SnapshotError::Wire(WireError::Truncated));
-        }
-        let payload_start = c.position();
-        let payload = &bytes[payload_start..payload_start + len];
-        let mut tail = Cursor::new(&bytes[payload_start + len..]);
-        let expected = tail.u64()?;
-        if tail.remaining() != 0 {
-            return Err(SnapshotError::Wire(WireError::Corrupt(format!(
-                "{} trailing bytes after checksum",
-                tail.remaining()
-            ))));
-        }
-        let actual = fnv1a64(payload);
-        if expected != actual {
-            return Err(SnapshotError::ChecksumMismatch { expected, actual });
         }
 
         let mut p = Cursor::new(payload);
@@ -311,13 +309,7 @@ impl SnapshotContents {
             encode_config(config, &mut payload);
         }
 
-        let mut out = Vec::with_capacity(payload.len() + 24);
-        out.extend_from_slice(SNAPSHOT_MAGIC);
-        put_u16(&mut out, SNAPSHOT_VERSION);
-        put_u64(&mut out, payload.len() as u64);
-        out.extend_from_slice(&payload);
-        put_u64(&mut out, fnv1a64(&payload));
-        out
+        frame::encode_frame(SNAPSHOT_FRAME, &payload)
     }
 
     fn check_compatible(&self, config: &SystemConfig) -> Result<(), SnapshotError> {

@@ -40,6 +40,7 @@
 
 mod event;
 mod flight;
+pub mod frame;
 mod hash;
 mod json;
 mod jsonl;

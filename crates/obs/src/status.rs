@@ -15,7 +15,7 @@
 //! nondeterministic).
 
 use crate::event::ProbeEvent;
-use crate::hash::fnv1a64;
+use crate::frame::{parse_text_frame, render_text_frame, TextFrameError};
 use crate::json::{parse, JsonValue, ObjectWriter};
 use crate::probe::Probe;
 use std::fmt;
@@ -68,6 +68,17 @@ impl std::error::Error for StatusError {}
 impl From<io::Error> for StatusError {
     fn from(e: io::Error) -> StatusError {
         StatusError::Io(e)
+    }
+}
+
+impl From<TextFrameError> for StatusError {
+    fn from(e: TextFrameError) -> StatusError {
+        match e {
+            TextFrameError::Malformed(m) => StatusError::Malformed(m),
+            TextFrameError::BadMagic => StatusError::BadMagic,
+            TextFrameError::UnsupportedVersion(v) => StatusError::UnsupportedVersion(v),
+            TextFrameError::ChecksumMismatch => StatusError::ChecksumMismatch,
+        }
     }
 }
 
@@ -159,47 +170,27 @@ pub struct StatusFile {
 }
 
 impl StatusFile {
-    /// Renders the header + body text that [`write_status`] persists.
+    /// Renders the header + body text that [`write_status`] persists,
+    /// via the shared [`crate::frame`] text framing.
     pub fn render(&self) -> String {
         let mut body = String::new();
         for entry in &self.entries {
             body.push_str(&entry.to_json());
             body.push('\n');
         }
-        let mut header = ObjectWriter::new();
-        header.field_str("type", "status_header");
-        header.field_str("magic", STATUS_MAGIC);
-        header.field_u64("version", STATUS_VERSION);
-        header.field_u64("entries", self.entries.len() as u64);
-        header.field_str("body_fnv64", &format!("{:016x}", fnv1a64(body.as_bytes())));
-        format!("{}\n{body}", header.finish())
+        render_text_frame(
+            "status_header",
+            STATUS_MAGIC,
+            STATUS_VERSION,
+            &[("entries", self.entries.len() as u64)],
+            &body,
+        )
     }
 
     /// Parses the text of a status file, verifying magic, version, and
     /// the body checksum.
     pub fn parse(text: &str) -> Result<StatusFile, StatusError> {
-        let Some((header_line, body)) = text.split_once('\n') else {
-            return Err(StatusError::Malformed("missing header line".into()));
-        };
-        let header =
-            parse(header_line).map_err(|e| StatusError::Malformed(format!("header: {e:?}")))?;
-        if header.get("magic").and_then(JsonValue::as_str) != Some(STATUS_MAGIC) {
-            return Err(StatusError::BadMagic);
-        }
-        let version = header
-            .get("version")
-            .and_then(JsonValue::as_u64)
-            .ok_or_else(|| StatusError::Malformed("header: missing `version`".into()))?;
-        if version > STATUS_VERSION {
-            return Err(StatusError::UnsupportedVersion(version));
-        }
-        let declared = header
-            .get("body_fnv64")
-            .and_then(JsonValue::as_str)
-            .ok_or_else(|| StatusError::Malformed("header: missing `body_fnv64`".into()))?;
-        if format!("{:016x}", fnv1a64(body.as_bytes())) != declared {
-            return Err(StatusError::ChecksumMismatch);
-        }
+        let (header, body) = parse_text_frame(STATUS_MAGIC, STATUS_VERSION, text)?;
         let count = header
             .get("entries")
             .and_then(JsonValue::as_u64)
@@ -328,6 +319,7 @@ pub fn read_status(path: &Path) -> Result<StatusFile, StatusError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hash::fnv1a64;
 
     fn sample() -> StatusFile {
         StatusFile {

@@ -1,0 +1,73 @@
+//! One-shot client for the serve wire protocol: connect, write one
+//! request batch, read one reply batch. This is all `dim submit` needs,
+//! and the selftest load generator reuses it verbatim so the benchmark
+//! exercises the same path a real client does.
+
+use crate::proto::{
+    decode_reply_batch, encode_request_batch, Reply, Request, MAX_FRAME_PAYLOAD, WIRE_FRAME,
+};
+use dim_obs::frame::{read_frame, write_frame, ReadFrameError};
+use std::fmt;
+use std::io;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// Why a submission failed before a reply arrived.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not connect or the stream broke mid-exchange.
+    Io(io::Error),
+    /// The server's bytes did not parse as a reply frame.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "submit: {e}"),
+            ClientError::Protocol(m) => write!(f, "submit: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ReadFrameError> for ClientError {
+    fn from(e: ReadFrameError) -> ClientError {
+        match e {
+            ReadFrameError::Io(e) => ClientError::Io(e),
+            ReadFrameError::Frame(e) => ClientError::Protocol(format!("bad reply frame: {e}")),
+        }
+    }
+}
+
+/// Sends one batch of requests and waits for the matching replies.
+///
+/// The reply vector is index-aligned with `requests`.
+///
+/// # Errors
+///
+/// [`ClientError`] on connection failure, a torn stream, or a reply
+/// that fails frame/batch validation (including a count mismatch).
+pub fn submit(socket: &Path, requests: &[Request]) -> Result<Vec<Reply>, ClientError> {
+    let mut stream = UnixStream::connect(socket)?;
+    write_frame(WIRE_FRAME, &mut stream, &encode_request_batch(requests))?;
+    let payload = read_frame(WIRE_FRAME, &mut stream, MAX_FRAME_PAYLOAD)?
+        .ok_or_else(|| ClientError::Protocol("server closed before replying".into()))?;
+    let replies =
+        decode_reply_batch(&payload).map_err(|e| ClientError::Protocol(format!("{e}")))?;
+    if replies.len() != requests.len() {
+        return Err(ClientError::Protocol(format!(
+            "reply count mismatch: sent {}, got {}",
+            requests.len(),
+            replies.len()
+        )));
+    }
+    Ok(replies)
+}

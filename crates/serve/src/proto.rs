@@ -1,0 +1,430 @@
+//! The `dim serve` wire protocol.
+//!
+//! One message = one binary frame from the shared [`dim_core::frame`]
+//! helper — magic `DIMSV\0`, version, payload length, payload, FNV-1a 64
+//! checksum — exactly the `.dimrc` framing discipline, so a corrupted or
+//! truncated message is rejected before any field is interpreted. The
+//! payload is a *batch*: a kind tag, an item count, then the items, all
+//! little-endian via the `dim_cgra::snapshot` wire primitives.
+//!
+//! A client writes one request-batch frame and reads exactly one
+//! reply-batch frame with one [`Reply`] per [`Request`], in request
+//! order. Backpressure is explicit: a server that cannot queue a request
+//! answers it with [`Reply::Busy`] and a retry hint instead of buffering
+//! without bound.
+
+use dim_cgra::snapshot::{put_u32, put_u64, Cursor, WireError};
+use dim_core::frame::FrameSpec;
+use dim_workloads::Scale;
+
+/// Frame magic of a serve wire message.
+pub const WIRE_MAGIC: &[u8; 6] = b"DIMSV\0";
+/// Current wire protocol version.
+pub const WIRE_VERSION: u16 = 1;
+/// The wire protocol's frame identity for [`dim_core::frame`].
+pub const WIRE_FRAME: FrameSpec = FrameSpec {
+    magic: WIRE_MAGIC,
+    version: WIRE_VERSION,
+};
+/// Ceiling on a single frame's payload: a corrupt length field must not
+/// be able to request an unbounded allocation.
+pub const MAX_FRAME_PAYLOAD: u64 = 16 * 1024 * 1024;
+
+/// Ceiling on strings and batch sizes inside a payload (same defense as
+/// [`MAX_FRAME_PAYLOAD`], one layer down).
+const MAX_STRING: u32 = 4096;
+const MAX_BATCH: u32 = 4096;
+
+const KIND_REQUEST_BATCH: u8 = 1;
+const KIND_REPLY_BATCH: u8 = 2;
+
+/// What a request asks the server to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Plain (unaccelerated) simulation of a workload.
+    Run,
+    /// Accelerated simulation; the only command that touches shards.
+    Accel,
+    /// Accelerated simulation returning region-level explain JSON.
+    Explain,
+    /// Server statistics snapshot; never queued.
+    Status,
+    /// Begin graceful shutdown: drain the queue, snapshot shards, exit.
+    Shutdown,
+}
+
+impl Command {
+    fn to_tag(self) -> u8 {
+        match self {
+            Command::Run => 0,
+            Command::Accel => 1,
+            Command::Explain => 2,
+            Command::Status => 3,
+            Command::Shutdown => 4,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Command, WireError> {
+        match tag {
+            0 => Ok(Command::Run),
+            1 => Ok(Command::Accel),
+            2 => Ok(Command::Explain),
+            3 => Ok(Command::Status),
+            4 => Ok(Command::Shutdown),
+            other => Err(WireError::Corrupt(format!("command tag {other}"))),
+        }
+    }
+
+    /// The name used in request files and result JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Command::Run => "run",
+            Command::Accel => "accel",
+            Command::Explain => "explain",
+            Command::Status => "status",
+            Command::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// One unit of work submitted to the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Quota/accounting identity of the submitter.
+    pub tenant: String,
+    /// What to do.
+    pub command: Command,
+    /// Workload name from `dim_workloads::suite()` (empty for
+    /// status/shutdown).
+    pub workload: String,
+    /// Input scale.
+    pub scale: Scale,
+    /// Array geometry: 1–3 for the paper's configs, 0 for the idealized
+    /// infinite array.
+    pub shape: u8,
+    /// Reconfiguration-cache slots.
+    pub slots: u32,
+    /// Whether speculation is enabled.
+    pub speculation: bool,
+    /// Whether this request warm-starts from (and feeds) the shared
+    /// per-workload rcache shard.
+    pub shared_shard: bool,
+    /// Instruction budget override (0 = the workload's default).
+    pub max_steps: u64,
+}
+
+impl Default for Request {
+    fn default() -> Request {
+        Request {
+            tenant: "default".into(),
+            command: Command::Accel,
+            workload: String::new(),
+            scale: Scale::Tiny,
+            shape: 2,
+            slots: 64,
+            speculation: true,
+            shared_shard: false,
+            max_steps: 0,
+        }
+    }
+}
+
+/// The server's answer to one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// The request completed; `json` is the command's result object.
+    Ok {
+        /// Result JSON (one object, no trailing newline).
+        json: String,
+    },
+    /// The server refused to queue the request — bounded queue full or
+    /// tenant quota exhausted. Retry after the hinted delay.
+    Busy {
+        /// Suggested client back-off in milliseconds.
+        retry_after_ms: u32,
+        /// Which limit was hit (for humans and logs).
+        reason: String,
+    },
+    /// The request was invalid or its execution failed.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn read_string(c: &mut Cursor<'_>) -> Result<String, WireError> {
+    let len = c.u32()?;
+    if len > MAX_STRING {
+        return Err(WireError::Corrupt(format!("string length {len}")));
+    }
+    let mut bytes = Vec::with_capacity(len as usize);
+    for _ in 0..len {
+        bytes.push(c.u8()?);
+    }
+    String::from_utf8(bytes).map_err(|_| WireError::Corrupt("non-UTF-8 string".into()))
+}
+
+fn scale_tag(scale: Scale) -> u8 {
+    match scale {
+        Scale::Tiny => 0,
+        Scale::Small => 1,
+        Scale::Full => 2,
+    }
+}
+
+fn scale_from_tag(tag: u8) -> Result<Scale, WireError> {
+    match tag {
+        0 => Ok(Scale::Tiny),
+        1 => Ok(Scale::Small),
+        2 => Ok(Scale::Full),
+        other => Err(WireError::Corrupt(format!("scale tag {other}"))),
+    }
+}
+
+/// The name used in request files and result JSON.
+pub fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Full => "full",
+    }
+}
+
+fn put_request(out: &mut Vec<u8>, req: &Request) {
+    put_string(out, &req.tenant);
+    out.push(req.command.to_tag());
+    put_string(out, &req.workload);
+    out.push(scale_tag(req.scale));
+    out.push(req.shape);
+    put_u32(out, req.slots);
+    out.push(u8::from(req.speculation));
+    out.push(u8::from(req.shared_shard));
+    put_u64(out, req.max_steps);
+}
+
+fn read_request(c: &mut Cursor<'_>) -> Result<Request, WireError> {
+    Ok(Request {
+        tenant: read_string(c)?,
+        command: Command::from_tag(c.u8()?)?,
+        workload: read_string(c)?,
+        scale: scale_from_tag(c.u8()?)?,
+        shape: c.u8()?,
+        slots: c.u32()?,
+        speculation: c.u8()? != 0,
+        shared_shard: c.u8()? != 0,
+        max_steps: c.u64()?,
+    })
+}
+
+fn put_reply(out: &mut Vec<u8>, reply: &Reply) {
+    match reply {
+        Reply::Ok { json } => {
+            out.push(0);
+            // Result JSON can exceed MAX_STRING (explain output); length
+            // it as a raw u32 with the frame checksum as integrity.
+            put_u32(out, json.len() as u32);
+            out.extend_from_slice(json.as_bytes());
+        }
+        Reply::Busy {
+            retry_after_ms,
+            reason,
+        } => {
+            out.push(1);
+            put_u32(out, *retry_after_ms);
+            put_string(out, reason);
+        }
+        Reply::Error { message } => {
+            out.push(2);
+            put_string(out, message);
+        }
+    }
+}
+
+fn read_reply(c: &mut Cursor<'_>) -> Result<Reply, WireError> {
+    match c.u8()? {
+        0 => {
+            let len = c.u32()?;
+            if len as u64 > MAX_FRAME_PAYLOAD {
+                return Err(WireError::Corrupt(format!("result length {len}")));
+            }
+            let mut bytes = Vec::with_capacity(len as usize);
+            for _ in 0..len {
+                bytes.push(c.u8()?);
+            }
+            let json = String::from_utf8(bytes)
+                .map_err(|_| WireError::Corrupt("non-UTF-8 result".into()))?;
+            Ok(Reply::Ok { json })
+        }
+        1 => Ok(Reply::Busy {
+            retry_after_ms: c.u32()?,
+            reason: read_string(c)?,
+        }),
+        2 => Ok(Reply::Error {
+            message: read_string(c)?,
+        }),
+        other => Err(WireError::Corrupt(format!("reply tag {other}"))),
+    }
+}
+
+fn batch_count(c: &mut Cursor<'_>, what: &str) -> Result<u32, WireError> {
+    let count = c.u32()?;
+    if count > MAX_BATCH {
+        return Err(WireError::Corrupt(format!("{what} batch of {count}")));
+    }
+    Ok(count)
+}
+
+fn finish<T>(c: &Cursor<'_>, items: Vec<T>) -> Result<Vec<T>, WireError> {
+    if c.remaining() != 0 {
+        return Err(WireError::Corrupt(format!(
+            "{} unread payload bytes",
+            c.remaining()
+        )));
+    }
+    Ok(items)
+}
+
+/// Serializes a request batch into a frame payload.
+pub fn encode_request_batch(requests: &[Request]) -> Vec<u8> {
+    let mut out = vec![KIND_REQUEST_BATCH];
+    put_u32(&mut out, requests.len() as u32);
+    for req in requests {
+        put_request(&mut out, req);
+    }
+    out
+}
+
+/// Decodes a request-batch frame payload.
+///
+/// # Errors
+///
+/// [`WireError`] when the payload is not a well-formed request batch.
+pub fn decode_request_batch(payload: &[u8]) -> Result<Vec<Request>, WireError> {
+    let mut c = Cursor::new(payload);
+    let kind = c.u8()?;
+    if kind != KIND_REQUEST_BATCH {
+        return Err(WireError::Corrupt(format!("payload kind {kind}")));
+    }
+    let count = batch_count(&mut c, "request")?;
+    let mut requests = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        requests.push(read_request(&mut c)?);
+    }
+    finish(&c, requests)
+}
+
+/// Serializes a reply batch into a frame payload.
+pub fn encode_reply_batch(replies: &[Reply]) -> Vec<u8> {
+    let mut out = vec![KIND_REPLY_BATCH];
+    put_u32(&mut out, replies.len() as u32);
+    for reply in replies {
+        put_reply(&mut out, reply);
+    }
+    out
+}
+
+/// Decodes a reply-batch frame payload.
+///
+/// # Errors
+///
+/// [`WireError`] when the payload is not a well-formed reply batch.
+pub fn decode_reply_batch(payload: &[u8]) -> Result<Vec<Reply>, WireError> {
+    let mut c = Cursor::new(payload);
+    let kind = c.u8()?;
+    if kind != KIND_REPLY_BATCH {
+        return Err(WireError::Corrupt(format!("payload kind {kind}")));
+    }
+    let count = batch_count(&mut c, "reply")?;
+    let mut replies = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        replies.push(read_reply(&mut c)?);
+    }
+    finish(&c, replies)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dim_core::frame::{decode_frame, encode_frame};
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request {
+                tenant: "alice".into(),
+                command: Command::Accel,
+                workload: "crc32".into(),
+                scale: Scale::Small,
+                shape: 2,
+                slots: 64,
+                speculation: true,
+                shared_shard: true,
+                max_steps: 1_000_000,
+            },
+            Request {
+                tenant: "bob".into(),
+                command: Command::Status,
+                ..Request::default()
+            },
+        ]
+    }
+
+    #[test]
+    fn request_batch_roundtrips() {
+        let requests = sample_requests();
+        let payload = encode_request_batch(&requests);
+        assert_eq!(decode_request_batch(&payload).unwrap(), requests);
+    }
+
+    #[test]
+    fn reply_batch_roundtrips() {
+        let replies = vec![
+            Reply::Ok {
+                json: "{\"accel_cycles\":123}".into(),
+            },
+            Reply::Busy {
+                retry_after_ms: 250,
+                reason: "queue full (8/8)".into(),
+            },
+            Reply::Error {
+                message: "unknown workload `nope`".into(),
+            },
+        ];
+        let payload = encode_reply_batch(&replies);
+        assert_eq!(decode_reply_batch(&payload).unwrap(), replies);
+    }
+
+    #[test]
+    fn rejects_wrong_kind_and_truncation() {
+        let requests = sample_requests();
+        let payload = encode_request_batch(&requests);
+        assert!(decode_reply_batch(&payload).is_err());
+        for len in 0..payload.len() {
+            assert!(
+                decode_request_batch(&payload[..len]).is_err(),
+                "prefix of {len} bytes decoded"
+            );
+        }
+        let mut trailing = payload.clone();
+        trailing.push(0);
+        assert!(decode_request_batch(&trailing).is_err());
+    }
+
+    /// The wire frame is the `.dimrc` frame with a different magic —
+    /// pinned here so the formats cannot drift apart.
+    #[test]
+    fn wire_frame_follows_shared_framing() {
+        let payload = encode_request_batch(&sample_requests());
+        let frame = encode_frame(WIRE_FRAME, &payload);
+        assert_eq!(&frame[..6], WIRE_MAGIC);
+        assert_eq!(frame[6..8], WIRE_VERSION.to_le_bytes());
+        assert_eq!(frame[8..16], (payload.len() as u64).to_le_bytes());
+        let (version, decoded) = decode_frame(WIRE_FRAME, &frame).unwrap();
+        assert_eq!(version, WIRE_VERSION);
+        assert_eq!(decoded, payload.as_slice());
+    }
+}

@@ -1,0 +1,242 @@
+//! The `dim submit` request file: a strict `key = value` subset (the
+//! same dialect as sweep specs — `#` comments, optional quotes,
+//! `on`/`off` booleans), parsed into a wire [`Request`] and validated
+//! with the same zero-tolerance posture as the CLI's flag checking:
+//! unknown keys, malformed values, and contradictory combinations are
+//! hard errors, never silently defaulted.
+
+use crate::proto::{Command, Request};
+use dim_workloads::Scale;
+
+/// Parses and validates one request file.
+///
+/// # Errors
+///
+/// A human-readable message naming the offending line or field.
+pub fn parse_request(text: &str) -> Result<Request, String> {
+    let mut req = Request::default();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| format!("line {}: {msg}", idx + 1);
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(err(format!("expected `key = value`, got `{line}`")));
+        };
+        let key = key.trim();
+        let value = value.trim().trim_matches('"');
+        if value.is_empty() {
+            return Err(err(format!("`{key}` has no value")));
+        }
+        match key {
+            "tenant" => req.tenant = value.to_string(),
+            "command" => {
+                req.command = match value {
+                    "run" => Command::Run,
+                    "accel" => Command::Accel,
+                    "explain" => Command::Explain,
+                    "status" => Command::Status,
+                    "shutdown" => Command::Shutdown,
+                    other => {
+                        return Err(err(format!(
+                            "unknown command `{other}` (run|accel|explain|status|shutdown)"
+                        )))
+                    }
+                };
+            }
+            "workload" => req.workload = value.to_string(),
+            "scale" => {
+                req.scale = match value {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    other => return Err(err(format!("unknown scale `{other}` (tiny|small|full)"))),
+                };
+            }
+            "shape" => {
+                req.shape = match value {
+                    "1" | "config1" | "c1" => 1,
+                    "2" | "config2" | "c2" => 2,
+                    "3" | "config3" | "c3" => 3,
+                    "ideal" => 0,
+                    other => return Err(err(format!("unknown shape `{other}` (1|2|3|ideal)"))),
+                };
+            }
+            "slots" => {
+                req.slots = value
+                    .parse::<u32>()
+                    .map_err(|_| err(format!("`slots` must be a number, got `{value}`")))?;
+            }
+            "speculation" => req.speculation = parse_bool(value).map_err(err)?,
+            "shared_shard" => req.shared_shard = parse_bool(value).map_err(err)?,
+            "max_steps" => {
+                req.max_steps = value
+                    .parse::<u64>()
+                    .map_err(|_| err(format!("`max_steps` must be a number, got `{value}`")))?;
+            }
+            other => return Err(err(format!("unknown key `{other}`"))),
+        }
+    }
+    validate_request(&req)?;
+    Ok(req)
+}
+
+fn parse_bool(value: &str) -> Result<bool, String> {
+    match value {
+        "on" | "true" | "yes" | "1" => Ok(true),
+        "off" | "false" | "no" | "0" => Ok(false),
+        other => Err(format!("expected on/off, got `{other}`")),
+    }
+}
+
+/// The shared request sanity rules, applied both client-side (so `dim
+/// submit` fails fast) and server-side at enqueue (so a hand-rolled
+/// client cannot sneak an invalid request past the file parser).
+///
+/// # Errors
+///
+/// A human-readable message naming the violated rule.
+pub fn validate_request(req: &Request) -> Result<(), String> {
+    if req.tenant.is_empty() {
+        return Err("`tenant` must not be empty".into());
+    }
+    match req.command {
+        Command::Status | Command::Shutdown => {
+            if !req.workload.is_empty() {
+                return Err(format!(
+                    "`workload` does not apply to command `{}`",
+                    req.command.name()
+                ));
+            }
+        }
+        Command::Run | Command::Accel | Command::Explain => {
+            if req.workload.is_empty() {
+                return Err(format!(
+                    "command `{}` requires a `workload`",
+                    req.command.name()
+                ));
+            }
+            if req.slots == 0 {
+                return Err("`slots` must be at least 1".into());
+            }
+        }
+    }
+    if req.shape > 3 {
+        return Err(format!("shape tag {} out of range (0..=3)", req.shape));
+    }
+    if req.shared_shard && req.shape == 0 {
+        return Err(
+            "shared shards are not supported with shape `ideal` (the idealized array has no \
+             finite cache to share)"
+                .into(),
+        );
+    }
+    if req.shared_shard && req.command == Command::Run {
+        return Err("`shared_shard` does not apply to command `run` (no accelerator)".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_request() {
+        let req = parse_request(
+            "
+            # an accel request
+            tenant = alice
+            command = accel
+            workload = \"crc32\"
+            scale = small
+            shape = 3
+            slots = 16
+            speculation = off
+            shared_shard = on
+            max_steps = 5000000
+            ",
+        )
+        .unwrap();
+        assert_eq!(req.tenant, "alice");
+        assert_eq!(req.command, Command::Accel);
+        assert_eq!(req.workload, "crc32");
+        assert_eq!(req.scale, Scale::Small);
+        assert_eq!(req.shape, 3);
+        assert_eq!(req.slots, 16);
+        assert!(!req.speculation);
+        assert!(req.shared_shard);
+        assert_eq!(req.max_steps, 5_000_000);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let req = parse_request("workload = crc32").unwrap();
+        assert_eq!(req.tenant, "default");
+        assert_eq!(req.command, Command::Accel);
+        assert_eq!(req.scale, Scale::Tiny);
+        assert_eq!(req.shape, 2);
+        assert_eq!(req.slots, 64);
+        assert!(req.speculation);
+        assert!(!req.shared_shard);
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_bad_values() {
+        for (text, needle) in [
+            ("wrkload = crc32", "unknown key"),
+            ("workload = crc32\nscale = huge", "unknown scale"),
+            ("workload = crc32\nshape = 9", "unknown shape"),
+            ("workload = crc32\nslots = many", "must be a number"),
+            ("workload = crc32\nspeculation = maybe", "expected on/off"),
+            ("workload crc32", "expected `key = value`"),
+            ("workload =", "has no value"),
+        ] {
+            let err = parse_request(text).unwrap_err();
+            assert!(err.contains(needle), "`{text}` → `{err}`");
+        }
+    }
+
+    #[test]
+    fn rejects_contradictions() {
+        for (text, needle) in [
+            ("command = accel", "requires a `workload`"),
+            ("command = status\nworkload = crc32", "does not apply"),
+            ("workload = crc32\nslots = 0", "at least 1"),
+            (
+                "workload = crc32\nshape = ideal\nshared_shard = on",
+                "not supported with shape `ideal`",
+            ),
+            (
+                "command = run\nworkload = crc32\nshared_shard = on",
+                "does not apply to command `run`",
+            ),
+            ("workload = crc32\ntenant = \"\"", "has no value"),
+        ] {
+            let err = parse_request(text).unwrap_err();
+            assert!(err.contains(needle), "`{text}` → `{err}`");
+        }
+        // A hand-rolled wire request can carry an empty tenant even
+        // though the file parser cannot express one.
+        let req = Request {
+            workload: "crc32".into(),
+            tenant: String::new(),
+            ..Request::default()
+        };
+        let err = validate_request(&req).unwrap_err();
+        assert!(err.contains("must not be empty"), "{err}");
+    }
+
+    #[test]
+    fn status_and_shutdown_need_no_workload() {
+        assert_eq!(
+            parse_request("command = status").unwrap().command,
+            Command::Status
+        );
+        assert_eq!(
+            parse_request("command = shutdown").unwrap().command,
+            Command::Shutdown
+        );
+    }
+}

@@ -1,0 +1,276 @@
+//! `dim serve --selftest`: an in-process load generator that stands up
+//! a real server on a temp socket, drives it through the real client,
+//! and writes `BENCH_serve.json`.
+//!
+//! Two phases. The **ramp** sends sequential shared-shard accel
+//! requests for one workload and records the simulated cycle count of
+//! each; the first request is a cold start (empty shard) and the last
+//! is fully warm, so `warm_cycles < cold_cycles` is the headline gate —
+//! shared shards must actually buy cycles, not just exist. The **load**
+//! phase runs concurrent client threads (distinct tenants, rotating
+//! workloads) with busy-retry, and reports throughput plus wall-clock
+//! latency percentiles.
+
+use crate::client::submit;
+use crate::proto::{Command, Reply, Request};
+use crate::server::{serve, ServeOptions};
+use dim_obs::{parse_json, ObjectWriter};
+use dim_sweep::atomic_write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Knobs for the load generator.
+#[derive(Debug, Clone)]
+pub struct SelftestOptions {
+    /// Server worker threads.
+    pub jobs: usize,
+    /// Concurrent client threads in the load phase.
+    pub clients: usize,
+    /// Requests each client sends.
+    pub requests_per_client: usize,
+    /// Directory receiving `BENCH_serve.json`.
+    pub bench_out: PathBuf,
+}
+
+impl Default for SelftestOptions {
+    fn default() -> SelftestOptions {
+        SelftestOptions {
+            jobs: 2,
+            clients: 4,
+            requests_per_client: 6,
+            bench_out: PathBuf::from("bench-out"),
+        }
+    }
+}
+
+/// What the selftest measured; `ok` is the CI gate.
+#[derive(Debug, Clone)]
+pub struct SelftestReport {
+    /// All requests completed and the warm shard beat the cold start.
+    pub ok: bool,
+    /// Simulated cycles of the first (cold) ramp request.
+    pub cold_cycles: u64,
+    /// Simulated cycles of the last (warm) ramp request.
+    pub warm_cycles: u64,
+    /// Load-phase requests that completed with `Ok`.
+    pub completed: u64,
+    /// Load-phase requests attempted.
+    pub requests_total: u64,
+    /// `Busy` replies absorbed by client-side retry.
+    pub busy_retries: u64,
+    /// Load-phase throughput in requests per second.
+    pub throughput_rps: f64,
+    /// Where `BENCH_serve.json` landed.
+    pub bench_path: PathBuf,
+}
+
+const RAMP_WORKLOAD: &str = "crc32";
+const RAMP_LEN: usize = 5;
+const LOAD_WORKLOADS: &[&str] = &["crc32", "bitcount", "quicksort"];
+
+fn accel_request(tenant: &str, workload: &str) -> Request {
+    Request {
+        tenant: tenant.to_string(),
+        command: Command::Accel,
+        workload: workload.to_string(),
+        shared_shard: true,
+        ..Request::default()
+    }
+}
+
+fn accel_cycles(reply: &Reply) -> Result<u64, String> {
+    match reply {
+        Reply::Ok { json } => parse_json(json)
+            .ok()
+            .as_ref()
+            .and_then(|v| v.get("accel_cycles"))
+            .and_then(dim_obs::JsonValue::as_u64)
+            .ok_or_else(|| "reply json missing accel_cycles".to_string()),
+        Reply::Busy { reason, .. } => Err(format!("unexpected Busy during ramp: {reason}")),
+        Reply::Error { message } => Err(format!("ramp request failed: {message}")),
+    }
+}
+
+/// Sends one request, absorbing `Busy` with the server's retry hint.
+fn submit_with_retry(
+    socket: &Path,
+    request: &Request,
+    busy_retries: &AtomicU64,
+) -> Result<Reply, String> {
+    for _ in 0..64 {
+        let reply = submit(socket, std::slice::from_ref(request))
+            .map_err(|e| e.to_string())?
+            .pop()
+            .ok_or_else(|| "empty reply batch".to_string())?;
+        match reply {
+            Reply::Busy { retry_after_ms, .. } => {
+                busy_retries.fetch_add(1, Ordering::SeqCst);
+                thread::sleep(Duration::from_millis(u64::from(retry_after_ms.min(500))));
+            }
+            other => return Ok(other),
+        }
+    }
+    Err("request still busy after 64 retries".into())
+}
+
+fn percentile(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(p * (sorted.len() - 1)) / 100]
+}
+
+/// Runs the selftest end to end and writes `BENCH_serve.json`.
+///
+/// # Errors
+///
+/// A human-readable message when the server cannot start, a ramp
+/// request fails, or the benchmark file cannot be written.
+pub fn run_selftest(opts: &SelftestOptions) -> Result<SelftestReport, String> {
+    let socket =
+        std::env::temp_dir().join(format!("dim-serve-selftest-{}.sock", std::process::id()));
+    let mut serve_opts = ServeOptions::new(socket.clone());
+    serve_opts.jobs = opts.jobs.max(1);
+    serve_opts.queue_capacity = (opts.clients * 2).max(4);
+    serve_opts.tenant_quota = 8;
+    let server = {
+        let serve_opts = serve_opts.clone();
+        thread::spawn(move || serve(&serve_opts))
+    };
+    for _ in 0..100 {
+        if socket.exists() {
+            break;
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+    if !socket.exists() {
+        return Err("server socket never appeared".into());
+    }
+
+    let result = drive(&socket, opts);
+
+    // Always shut the server down, even if the drive failed.
+    let _ = submit(
+        &socket,
+        &[Request {
+            command: Command::Shutdown,
+            workload: String::new(),
+            ..Request::default()
+        }],
+    );
+    match server.join() {
+        Ok(Ok(_summary)) => {}
+        Ok(Err(e)) => return Err(format!("server failed: {e}")),
+        Err(_) => return Err("server thread panicked".into()),
+    }
+    result
+}
+
+fn drive(socket: &Path, opts: &SelftestOptions) -> Result<SelftestReport, String> {
+    // Ramp: same shard, sequential, cold → warm.
+    let mut ramp_cycles = Vec::with_capacity(RAMP_LEN);
+    let busy_retries = Arc::new(AtomicU64::new(0));
+    for _ in 0..RAMP_LEN {
+        let reply =
+            submit_with_retry(socket, &accel_request("ramp", RAMP_WORKLOAD), &busy_retries)?;
+        ramp_cycles.push(accel_cycles(&reply)?);
+    }
+    let cold_cycles = ramp_cycles[0];
+    let warm_cycles = *ramp_cycles.last().expect("ramp is non-empty");
+
+    // Load: concurrent tenants, rotating workloads, busy-retry.
+    let completed = Arc::new(AtomicU64::new(0));
+    let failed = Arc::new(AtomicU64::new(0));
+    let load_start = Instant::now();
+    let mut latencies_micros: Vec<u64> = Vec::new();
+    let mut handles = Vec::new();
+    for c in 0..opts.clients {
+        let socket = socket.to_path_buf();
+        let completed = Arc::clone(&completed);
+        let failed = Arc::clone(&failed);
+        let busy_retries = Arc::clone(&busy_retries);
+        let requests_per_client = opts.requests_per_client;
+        handles.push(thread::spawn(move || {
+            let tenant = format!("client-{c}");
+            let mut local: Vec<u64> = Vec::with_capacity(requests_per_client);
+            for r in 0..requests_per_client {
+                let workload = LOAD_WORKLOADS[(c + r) % LOAD_WORKLOADS.len()];
+                let start = Instant::now();
+                match submit_with_retry(&socket, &accel_request(&tenant, workload), &busy_retries) {
+                    Ok(Reply::Ok { .. }) => {
+                        completed.fetch_add(1, Ordering::SeqCst);
+                        local.push(u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX));
+                    }
+                    _ => {
+                        failed.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            }
+            local
+        }));
+    }
+    for handle in handles {
+        latencies_micros.extend(handle.join().map_err(|_| "client thread panicked")?);
+    }
+    let elapsed = load_start.elapsed().as_secs_f64().max(1e-9);
+    latencies_micros.sort_unstable();
+
+    let requests_total = (opts.clients * opts.requests_per_client) as u64;
+    let completed = completed.load(Ordering::SeqCst);
+    let throughput_rps = completed as f64 / elapsed;
+    let ok = completed == requests_total
+        && failed.load(Ordering::SeqCst) == 0
+        && warm_cycles < cold_cycles;
+
+    let mut latency = ObjectWriter::new();
+    latency
+        .field_u64("p50", percentile(&latencies_micros, 50))
+        .field_u64("p90", percentile(&latencies_micros, 90))
+        .field_u64("p99", percentile(&latencies_micros, 99))
+        .field_u64("max", latencies_micros.last().copied().unwrap_or(0));
+    let cycles_json = format!(
+        "[{}]",
+        ramp_cycles
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let mut ramp = ObjectWriter::new();
+    ramp.field_str("workload", RAMP_WORKLOAD)
+        .field_raw("cycles", &cycles_json)
+        .field_u64("cold_cycles", cold_cycles)
+        .field_u64("warm_cycles", warm_cycles)
+        .field_f64(
+            "warm_speedup",
+            cold_cycles as f64 / warm_cycles.max(1) as f64,
+        );
+    let mut o = ObjectWriter::new();
+    o.field_str("bench", "serve_selftest")
+        .field_u64("jobs", opts.jobs as u64)
+        .field_u64("clients", opts.clients as u64)
+        .field_u64("requests_total", requests_total)
+        .field_u64("completed", completed)
+        .field_u64("busy_retries", busy_retries.load(Ordering::SeqCst))
+        .field_f64("throughput_rps", throughput_rps)
+        .field_raw("latency_micros", &latency.finish())
+        .field_raw("ramp", &ramp.finish())
+        .field_bool("ok", ok);
+    let bench_path = opts.bench_out.join("BENCH_serve.json");
+    atomic_write(&bench_path, o.finish().as_bytes())
+        .map_err(|e| format!("writing {}: {e}", bench_path.display()))?;
+
+    Ok(SelftestReport {
+        ok,
+        cold_cycles,
+        warm_cycles,
+        completed,
+        requests_total,
+        busy_retries: busy_retries.load(Ordering::SeqCst),
+        throughput_rps,
+        bench_path,
+    })
+}

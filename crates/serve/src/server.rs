@@ -1,0 +1,798 @@
+//! The `dim serve` daemon: accept loop, bounded request queue, wave
+//! scheduling onto the dim-sweep work-stealing pool, shared warm shards,
+//! live status, and graceful drain.
+//!
+//! Life of a request: a connection thread reads one request-batch frame,
+//! answers `status`/`shutdown` inline, and tries to queue the rest.
+//! Queueing is where backpressure lives — a full queue or an exhausted
+//! tenant quota earns an immediate [`Reply::Busy`] with a retry hint;
+//! the server never buffers without bound. The dispatcher drains the
+//! queue in waves and runs each wave on `dim_sweep::execute_jobs`, so
+//! request execution shares the sweep engine's pool, panic capture, and
+//! per-worker [`FlightGuard`] discipline. Workers send replies back
+//! through per-request channels; the connection thread writes the reply
+//! batch in request order.
+//!
+//! Graceful shutdown (`shutdown` request): stop accepting, refuse new
+//! work, drain in-flight waves, flush replies, snapshot every shard to
+//! `--shard-dir`, publish a final `done` status, remove the socket.
+
+use crate::proto::{
+    encode_reply_batch, scale_name, Command, Reply, Request, MAX_FRAME_PAYLOAD, WIRE_FRAME,
+};
+use crate::request::validate_request;
+use crate::shard::{shard_id, ShardManager};
+use dim_cgra::ArrayShape;
+use dim_core::{System, SystemConfig};
+use dim_mips_sim::{HaltReason, Machine};
+use dim_obs::frame::{read_frame, write_frame};
+use dim_obs::status::{write_status, StatusEntry, StatusFile, StatusPulse, STATUS_FILE_NAME};
+use dim_obs::{FlightGuard, ObjectWriter, Probe as _};
+use dim_sweep::{atomic_write, capture_panics, execute_jobs, DEFAULT_FLIGHT_CAPACITY};
+use dim_workloads::validate;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Status-pulse cadence when the request does not override it.
+const DEFAULT_PULSE_CYCLES: u64 = 250_000;
+/// Accept-loop poll interval while waiting for connections or drain.
+/// This bounds both connection-setup latency and shutdown reaction
+/// time, so it is deliberately short.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+/// How long the drain waits for final replies to reach their sockets.
+const REPLY_FLUSH_TIMEOUT: Duration = Duration::from_secs(3);
+
+/// Everything `dim serve` needs to run.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Unix socket path to listen on (a stale file is replaced).
+    pub socket: PathBuf,
+    /// Worker threads per dispatch wave.
+    pub jobs: usize,
+    /// Bounded queue capacity; beyond it requests earn `Busy`.
+    pub queue_capacity: usize,
+    /// Maximum queued-or-running requests per tenant.
+    pub tenant_quota: usize,
+    /// Shard warm-start/drain directory (`<id>.dimrc` per shard).
+    pub shard_dir: Option<PathBuf>,
+    /// Directory for `status.dimstat` and `flight/` failure dumps.
+    pub out_dir: Option<PathBuf>,
+    /// Flight-recorder window per worker (0 disables the black box).
+    pub flight_capacity: usize,
+    /// Status/telemetry publish cadence in simulated cycles.
+    pub telemetry_interval: u64,
+}
+
+impl ServeOptions {
+    /// Defaults for everything but the socket path.
+    pub fn new(socket: PathBuf) -> ServeOptions {
+        ServeOptions {
+            socket,
+            jobs: 2,
+            queue_capacity: 64,
+            tenant_quota: 16,
+            shard_dir: None,
+            out_dir: None,
+            flight_capacity: DEFAULT_FLIGHT_CAPACITY,
+            telemetry_interval: DEFAULT_PULSE_CYCLES,
+        }
+    }
+}
+
+/// Why the server could not start or finish cleanly.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket or filesystem trouble.
+    Io(io::Error),
+    /// Anything else, human-readable.
+    Msg(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "serve: {e}"),
+            ServeError::Msg(m) => write!(f, "serve: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> ServeError {
+        ServeError::Io(e)
+    }
+}
+
+/// What a finished server did, for logs and tests.
+#[derive(Debug, Clone, Default)]
+pub struct ServeSummary {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests that completed with `Ok`.
+    pub completed: u64,
+    /// Requests that completed with `Error`.
+    pub failed: u64,
+    /// Requests refused with `Busy`.
+    pub busy_rejected: u64,
+    /// Shards alive at drain.
+    pub shards: usize,
+    /// Shard images imported at start.
+    pub shards_imported: usize,
+    /// Import failures (file name: reason), server kept going.
+    pub import_errors: Vec<String>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct TenantStats {
+    outstanding: u64,
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    busy: u64,
+}
+
+struct Pending {
+    seq: u64,
+    request: Request,
+    reply_tx: mpsc::Sender<Reply>,
+}
+
+/// Entry 0 aggregates the server; entries `1..=jobs` track workers.
+struct StatusBoard {
+    path: Option<PathBuf>,
+    entries: Mutex<Vec<StatusEntry>>,
+}
+
+impl StatusBoard {
+    fn new(path: Option<PathBuf>, label: &str, jobs: usize) -> StatusBoard {
+        let mut entries = vec![StatusEntry {
+            source: "serve".into(),
+            label: label.to_string(),
+            state: "running".into(),
+            ..Default::default()
+        }];
+        for w in 0..jobs {
+            entries.push(StatusEntry {
+                source: format!("worker-{w}"),
+                state: "idle".into(),
+                ..Default::default()
+            });
+        }
+        StatusBoard {
+            path,
+            entries: Mutex::new(entries),
+        }
+    }
+
+    fn update(&self, f: impl FnOnce(&mut Vec<StatusEntry>)) {
+        let mut entries = self.entries.lock().expect("status board lock");
+        f(&mut entries);
+        if let Some(path) = &self.path {
+            let file = StatusFile {
+                entries: entries.clone(),
+            };
+            // Advisory host-side output: write errors are swallowed.
+            let _ = write_status(path, &file);
+        }
+    }
+}
+
+struct ServerState {
+    opts: ServeOptions,
+    queue: Mutex<VecDeque<Pending>>,
+    queue_cv: Condvar,
+    draining: AtomicBool,
+    seq: AtomicU64,
+    /// Request batches currently being read/executed/written by
+    /// connection threads; the drain waits for zero so the last reply
+    /// reaches its socket before the process exits.
+    batches_in_flight: AtomicI64,
+    tenants: Mutex<BTreeMap<String, TenantStats>>,
+    shards: ShardManager,
+    board: StatusBoard,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    busy_rejected: AtomicU64,
+}
+
+impl ServerState {
+    fn status_json(&self) -> String {
+        let queue_depth = self.queue.lock().expect("queue lock").len() as u64;
+        let mut tenants_json = String::from("[");
+        {
+            let tenants = self.tenants.lock().expect("tenant lock");
+            for (i, (name, t)) in tenants.iter().enumerate() {
+                if i > 0 {
+                    tenants_json.push(',');
+                }
+                let mut o = ObjectWriter::new();
+                o.field_str("tenant", name)
+                    .field_u64("outstanding", t.outstanding)
+                    .field_u64("submitted", t.submitted)
+                    .field_u64("completed", t.completed)
+                    .field_u64("failed", t.failed)
+                    .field_u64("busy_rejected", t.busy);
+                tenants_json.push_str(&o.finish());
+            }
+        }
+        tenants_json.push(']');
+        let mut shards_json = String::from("[");
+        for (i, s) in self.shards.stats().iter().enumerate() {
+            if i > 0 {
+                shards_json.push(',');
+            }
+            let mut o = ObjectWriter::new();
+            o.field_str("id", &s.id)
+                .field_u64("resident", s.resident)
+                .field_u64("admissions", s.admissions)
+                .field_u64("admitted_configs", s.admitted_configs)
+                .field_u64("duplicates", s.duplicates)
+                .field_u64("evictions", s.evictions)
+                .field_u64("rejected", s.rejected)
+                .field_u64("warm_loads", s.warm_loads);
+            shards_json.push_str(&o.finish());
+        }
+        shards_json.push(']');
+        let mut o = ObjectWriter::new();
+        o.field_str("command", "status")
+            .field_bool("draining", self.draining.load(Ordering::SeqCst))
+            .field_u64("queue_depth", queue_depth)
+            .field_u64("queue_capacity", self.opts.queue_capacity as u64)
+            .field_u64("jobs", self.opts.jobs as u64)
+            .field_u64("submitted", self.submitted.load(Ordering::SeqCst))
+            .field_u64("completed", self.completed.load(Ordering::SeqCst))
+            .field_u64("failed", self.failed.load(Ordering::SeqCst))
+            .field_u64("busy_rejected", self.busy_rejected.load(Ordering::SeqCst))
+            .field_raw("tenants", &tenants_json)
+            .field_raw("shards", &shards_json);
+        o.finish()
+    }
+
+    /// Handles one request at enqueue time. `Some(reply)` answers it
+    /// immediately (inline command, backpressure, or validation error);
+    /// `None` means it was queued and will reply through `reply_tx`.
+    fn immediate_or_enqueue(
+        self: &Arc<ServerState>,
+        request: Request,
+        reply_tx: &mpsc::Sender<Reply>,
+    ) -> Option<Reply> {
+        match request.command {
+            Command::Status => {
+                return Some(Reply::Ok {
+                    json: self.status_json(),
+                })
+            }
+            Command::Shutdown => {
+                self.draining.store(true, Ordering::SeqCst);
+                self.queue_cv.notify_all();
+                let mut o = ObjectWriter::new();
+                o.field_str("command", "shutdown")
+                    .field_bool("draining", true);
+                return Some(Reply::Ok { json: o.finish() });
+            }
+            Command::Run | Command::Accel | Command::Explain => {}
+        }
+        if let Err(message) = validate_request(&request) {
+            return Some(Reply::Error {
+                message: format!("invalid request: {message}"),
+            });
+        }
+        if dim_workloads::by_name(&request.workload).is_none() {
+            return Some(Reply::Error {
+                message: format!("unknown workload `{}`", request.workload),
+            });
+        }
+        let mut queue = self.queue.lock().expect("queue lock");
+        if self.draining.load(Ordering::SeqCst) {
+            return Some(Reply::Error {
+                message: "server is draining (shutdown in progress)".into(),
+            });
+        }
+        if queue.len() >= self.opts.queue_capacity {
+            self.busy_rejected.fetch_add(1, Ordering::SeqCst);
+            self.bump_tenant(&request.tenant, |t| t.busy += 1);
+            return Some(Reply::Busy {
+                retry_after_ms: self.retry_hint(queue.len()),
+                reason: format!("queue full ({}/{})", queue.len(), self.opts.queue_capacity),
+            });
+        }
+        {
+            let mut tenants = self.tenants.lock().expect("tenant lock");
+            let t = tenants.entry(request.tenant.clone()).or_default();
+            if t.outstanding >= self.opts.tenant_quota as u64 {
+                t.busy += 1;
+                drop(tenants);
+                self.busy_rejected.fetch_add(1, Ordering::SeqCst);
+                return Some(Reply::Busy {
+                    retry_after_ms: self.retry_hint(queue.len()),
+                    reason: format!(
+                        "tenant `{}` quota exhausted ({}/{})",
+                        request.tenant, self.opts.tenant_quota, self.opts.tenant_quota
+                    ),
+                });
+            }
+            t.outstanding += 1;
+            t.submitted += 1;
+        }
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst);
+        self.submitted.fetch_add(1, Ordering::SeqCst);
+        queue.push_back(Pending {
+            seq,
+            request,
+            reply_tx: reply_tx.clone(),
+        });
+        drop(queue);
+        self.board.update(|entries| entries[0].total += 1);
+        self.queue_cv.notify_all();
+        None
+    }
+
+    fn retry_hint(&self, queue_len: usize) -> u32 {
+        // Rough time for the backlog to clear one wave: deeper queue,
+        // longer hint. Clamped so clients never stall for long.
+        let per_job = (queue_len / self.opts.jobs.max(1)) as u32;
+        (100 + per_job * 50).min(2_000)
+    }
+
+    fn bump_tenant(&self, tenant: &str, f: impl FnOnce(&mut TenantStats)) {
+        let mut tenants = self.tenants.lock().expect("tenant lock");
+        f(tenants.entry(tenant.to_string()).or_default());
+    }
+
+    fn finish_request(&self, pending: &Pending, reply: Reply) {
+        let ok = matches!(reply, Reply::Ok { .. });
+        if ok {
+            self.completed.fetch_add(1, Ordering::SeqCst);
+        } else {
+            self.failed.fetch_add(1, Ordering::SeqCst);
+        }
+        self.bump_tenant(&pending.request.tenant, |t| {
+            t.outstanding = t.outstanding.saturating_sub(1);
+            if ok {
+                t.completed += 1;
+            } else {
+                t.failed += 1;
+            }
+        });
+        self.board.update(|entries| entries[0].done += 1);
+        // A dropped receiver (client gone) just discards the reply.
+        let _ = pending.reply_tx.send(reply);
+    }
+}
+
+fn system_config(request: &Request) -> SystemConfig {
+    let shape = match request.shape {
+        1 => ArrayShape::config1(),
+        2 => ArrayShape::config2(),
+        3 => ArrayShape::config3(),
+        _ => ArrayShape::infinite(),
+    };
+    SystemConfig::new(shape, request.slots as usize, request.speculation)
+}
+
+fn flight_dump_suffix(state: &ServerState, guard: Option<&FlightGuard>, seq: u64) -> String {
+    let (Some(out_dir), Some(guard)) = (&state.opts.out_dir, guard) else {
+        return String::new();
+    };
+    let dump = guard
+        .trip_dump()
+        .map_or_else(|| guard.dump(), str::to_string);
+    let path = out_dir.join("flight").join(format!("req-{seq}.jsonl"));
+    match atomic_write(&path, dump.as_bytes()) {
+        Ok(()) => format!("; flight dump: {}", path.display()),
+        Err(e) => format!("; flight dump write failed: {e}"),
+    }
+}
+
+/// Executes one queued request on worker `worker`; returns the reply.
+fn run_one(state: &ServerState, pending: &Pending, worker: usize) -> Reply {
+    let request = &pending.request;
+    let fail = |message: String| Reply::Error { message };
+    let Some(spec) = dim_workloads::by_name(&request.workload) else {
+        return fail(format!("unknown workload `{}`", request.workload));
+    };
+    let built = (spec.build)(request.scale);
+    let max_steps = if request.max_steps > 0 {
+        request.max_steps
+    } else {
+        built.max_steps
+    };
+    let label = format!("req-{}__{}", pending.seq, request.workload);
+
+    if request.command == Command::Run {
+        let mut machine = Machine::load(&built.program);
+        let halt = match capture_panics(|| machine.run(max_steps)) {
+            Ok(halt) => halt,
+            Err(panic_msg) => return fail(format!("worker panic: {panic_msg}")),
+        };
+        match halt {
+            Ok(HaltReason::Exit(_)) => {}
+            Ok(HaltReason::StepLimit) => {
+                return fail(format!("did not halt within {max_steps} instructions"))
+            }
+            Err(e) => return fail(format!("simulation failed: {e}")),
+        }
+        if let Err(e) = validate(&machine, &built) {
+            return fail(format!("validation failed: {e}"));
+        }
+        let mut o = ObjectWriter::new();
+        o.field_str("command", "run")
+            .field_str("workload", &request.workload)
+            .field_str("scale", scale_name(request.scale))
+            .field_u64("retired", machine.stats.instructions)
+            .field_u64("cycles", machine.stats.cycles);
+        return Reply::Ok { json: o.finish() };
+    }
+
+    let config = system_config(request);
+    let mut system = System::new(Machine::load(&built.program), config);
+
+    // Warm-start from the shared shard. The shard image already passed
+    // the trust boundary at admission, and `load_rcache` re-verifies —
+    // defense in depth around shared state.
+    let id = shard_id(
+        &request.workload,
+        request.shape,
+        request.slots,
+        request.speculation,
+    );
+    let mut warm_loaded = false;
+    if request.shared_shard {
+        if let Some(bytes) = state.shards.warm_bytes(&id) {
+            match system.load_rcache(&bytes) {
+                Ok(()) => warm_loaded = true,
+                Err(e) => return fail(format!("shared shard rejected at load: {e}")),
+            }
+        }
+    }
+
+    let mut guard = (state.opts.flight_capacity > 0).then(|| {
+        let mut g = FlightGuard::new(
+            &label,
+            state.opts.flight_capacity,
+            request.slots as usize,
+            system.stored_bits_per_config(),
+        );
+        for config in system.cache().iter() {
+            g.watchdog_mut().seed_resident(config.entry_pc);
+        }
+        g
+    });
+    let mut sink = (request.command == Command::Explain)
+        .then(|| dim_obs::JsonlSink::new(Vec::new(), &label, system.stored_bits_per_config()));
+    let mut pulse = {
+        let entry = StatusEntry {
+            source: format!("worker-{worker}"),
+            label: label.clone(),
+            state: "running".into(),
+            total: 1,
+            ..Default::default()
+        };
+        let interval = state.opts.telemetry_interval.max(1);
+        let board = &state.board;
+        StatusPulse::new(entry, interval, move |e: &StatusEntry| {
+            board.update(|entries| entries[worker + 1] = e.clone());
+        })
+    };
+
+    let run_result = {
+        let mut probe = (sink.as_mut(), (guard.as_mut(), &mut pulse));
+        capture_panics(|| {
+            let halt = system.run_probed(max_steps, &mut probe);
+            probe.finish();
+            halt
+        })
+    };
+    let fail_dump = |reason: String, guard: Option<&FlightGuard>| Reply::Error {
+        message: format!("{reason}{}", flight_dump_suffix(state, guard, pending.seq)),
+    };
+    let halt = match run_result {
+        Ok(halt) => halt,
+        Err(panic_msg) => return fail_dump(format!("worker panic: {panic_msg}"), guard.as_ref()),
+    };
+    match halt {
+        Ok(HaltReason::Exit(_)) => {}
+        Ok(HaltReason::StepLimit) => {
+            return fail_dump(
+                format!("did not halt within {max_steps} instructions"),
+                guard.as_ref(),
+            )
+        }
+        Err(e) => return fail_dump(format!("simulation failed: {e}"), guard.as_ref()),
+    }
+    if let Some(violation) = guard.as_ref().and_then(FlightGuard::violation) {
+        return fail_dump(format!("watchdog tripped: {violation}"), guard.as_ref());
+    }
+    if let Err(e) = validate(system.machine(), &built) {
+        return fail_dump(format!("validation failed: {e}"), guard.as_ref());
+    }
+
+    let mut explain_json = None;
+    if let Some(sink) = sink.take() {
+        let (buf, io_error) = sink.into_inner();
+        if let Some(e) = io_error {
+            return fail(format!("trace capture failed: {e}"));
+        }
+        let text = match String::from_utf8(buf) {
+            Ok(text) => text,
+            Err(e) => return fail(format!("trace capture failed: {e}")),
+        };
+        match dim_explain::explain_text(&text) {
+            Ok(ex) => explain_json = Some(ex.to_json()),
+            Err(e) => return fail(format!("explain failed: {e}")),
+        }
+    }
+
+    // Offer the warmed cache back to the shard. Self-produced snapshots
+    // re-cross the trust boundary like everyone else's.
+    let mut shard_json = None;
+    if request.shared_shard {
+        let bytes = system.save_rcache();
+        match state.shards.admit(&id, &config, &bytes) {
+            Ok(outcome) => {
+                let mut o = ObjectWriter::new();
+                o.field_str("id", &id)
+                    .field_u64("admitted", u64::from(outcome.admitted))
+                    .field_u64("duplicates", u64::from(outcome.duplicates))
+                    .field_u64("evicted", u64::from(outcome.evicted));
+                shard_json = Some(o.finish());
+            }
+            Err(e) => return fail(format!("shard admission failed: {e}")),
+        }
+    }
+
+    let (hits, misses) = system.cache().hit_miss();
+    let stats = system.stats();
+    let mut cache = ObjectWriter::new();
+    cache
+        .field_u64("hits", hits)
+        .field_u64("misses", misses)
+        .field_u64("resident", system.cache().len() as u64)
+        .field_u64("configs_built", stats.configs_built);
+    let mut o = ObjectWriter::new();
+    o.field_str("command", request.command.name())
+        .field_str("workload", &request.workload)
+        .field_str("scale", scale_name(request.scale))
+        .field_u64("shape", u64::from(request.shape))
+        .field_u64("slots", u64::from(request.slots))
+        .field_bool("speculation", request.speculation)
+        .field_bool("shared_shard", request.shared_shard)
+        .field_bool("warm_loaded", warm_loaded)
+        .field_u64("retired", system.total_instructions())
+        .field_u64("accel_cycles", system.total_cycles())
+        .field_u64("invocations", stats.array_invocations)
+        .field_raw("rcache", &cache.finish());
+    if let Some(shard) = shard_json {
+        o.field_raw("shard", &shard);
+    }
+    if let Some(explain) = explain_json {
+        o.field_raw("explain", &explain);
+    }
+    o.field_str("report", &system.report().to_string());
+    Reply::Ok { json: o.finish() }
+}
+
+/// The dispatcher: drains the queue in waves and runs each wave on the
+/// dim-sweep pool. Returns once draining is set and the queue is empty.
+fn dispatcher(state: &Arc<ServerState>) {
+    loop {
+        let wave: Vec<Pending> = {
+            let mut queue = state.queue.lock().expect("queue lock");
+            loop {
+                if !queue.is_empty() {
+                    break;
+                }
+                if state.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                let (guard, _timeout) = state
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(200))
+                    .expect("queue lock");
+                queue = guard;
+            }
+            let take = queue.len().min(state.opts.jobs.max(1) * 4);
+            queue.drain(..take).collect()
+        };
+        let jobs: Vec<_> = wave
+            .into_iter()
+            .map(|pending| {
+                let state = Arc::clone(state);
+                move |worker: usize| {
+                    let reply = run_one(&state, &pending, worker);
+                    state.finish_request(&pending, reply);
+                    state.board.update(|entries| {
+                        entries[worker + 1].state = "idle".into();
+                    });
+                }
+            })
+            .collect();
+        let threads = state.opts.jobs;
+        let _ = execute_jobs(jobs, threads);
+    }
+}
+
+enum Slot {
+    Now(Reply),
+    Later(mpsc::Receiver<Reply>),
+}
+
+/// Serves one client connection until EOF, protocol error, or drain.
+fn connection(state: &Arc<ServerState>, mut stream: UnixStream) {
+    loop {
+        let payload = match read_frame(WIRE_FRAME, &mut stream, MAX_FRAME_PAYLOAD) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return,
+            Err(_) => return,
+        };
+        state.batches_in_flight.fetch_add(1, Ordering::SeqCst);
+        let requests = crate::proto::decode_request_batch(&payload);
+        let replies: Vec<Reply> = match requests {
+            Err(e) => vec![Reply::Error {
+                message: format!("malformed request batch: {e}"),
+            }],
+            Ok(requests) => {
+                let slots: Vec<Slot> = requests
+                    .into_iter()
+                    .map(|request| {
+                        let (tx, rx) = mpsc::channel();
+                        match state.immediate_or_enqueue(request, &tx) {
+                            Some(reply) => Slot::Now(reply),
+                            None => Slot::Later(rx),
+                        }
+                    })
+                    .collect();
+                slots
+                    .into_iter()
+                    .map(|slot| match slot {
+                        Slot::Now(reply) => reply,
+                        Slot::Later(rx) => rx.recv().unwrap_or(Reply::Error {
+                            message: "worker dropped before replying".into(),
+                        }),
+                    })
+                    .collect()
+            }
+        };
+        let wrote = write_frame(WIRE_FRAME, &mut stream, &encode_reply_batch(&replies));
+        state.batches_in_flight.fetch_sub(1, Ordering::SeqCst);
+        if wrote.is_err() {
+            return;
+        }
+    }
+}
+
+fn import_shards(state: &ServerState, summary: &mut ServeSummary) {
+    let Some(dir) = &state.opts.shard_dir else {
+        return;
+    };
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return; // Directory appears on drain.
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "dimrc"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let id = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let outcome = std::fs::read(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|bytes| state.shards.import(&id, &bytes).map_err(|e| e.to_string()));
+        match outcome {
+            Ok(_) => summary.shards_imported += 1,
+            Err(e) => summary
+                .import_errors
+                .push(format!("{}: {e}", path.display())),
+        }
+    }
+}
+
+fn export_shards(state: &ServerState) -> io::Result<usize> {
+    let Some(dir) = &state.opts.shard_dir else {
+        return Ok(0);
+    };
+    let drained = state.shards.export_all();
+    let count = drained.len();
+    for (id, bytes) in drained {
+        atomic_write(&dir.join(format!("{id}.dimrc")), &bytes)?;
+    }
+    Ok(count)
+}
+
+/// Runs the daemon to completion: binds the socket, serves until a
+/// `shutdown` request, drains, snapshots shards, and cleans up.
+///
+/// # Errors
+///
+/// [`ServeError`] when the socket cannot be bound or the drain cannot
+/// persist its artifacts.
+pub fn serve(opts: &ServeOptions) -> Result<ServeSummary, ServeError> {
+    if opts.jobs == 0 {
+        return Err(ServeError::Msg("--jobs must be at least 1".into()));
+    }
+    if opts.queue_capacity == 0 {
+        return Err(ServeError::Msg("--queue must be at least 1".into()));
+    }
+    if opts.socket.exists() {
+        std::fs::remove_file(&opts.socket)?;
+    }
+    let listener = UnixListener::bind(&opts.socket)?;
+    listener.set_nonblocking(true)?;
+
+    let status_path = opts.out_dir.as_ref().map(|dir| dir.join(STATUS_FILE_NAME));
+    let label = opts.socket.display().to_string();
+    let state = Arc::new(ServerState {
+        opts: opts.clone(),
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        draining: AtomicBool::new(false),
+        seq: AtomicU64::new(0),
+        batches_in_flight: AtomicI64::new(0),
+        tenants: Mutex::new(BTreeMap::new()),
+        shards: ShardManager::new(),
+        board: StatusBoard::new(status_path, &label, opts.jobs),
+        submitted: AtomicU64::new(0),
+        completed: AtomicU64::new(0),
+        failed: AtomicU64::new(0),
+        busy_rejected: AtomicU64::new(0),
+    });
+    let mut summary = ServeSummary::default();
+    import_shards(&state, &mut summary);
+    state.board.update(|_| {}); // Publish the initial board.
+
+    let dispatcher_handle = {
+        let state = Arc::clone(&state);
+        thread::spawn(move || dispatcher(&state))
+    };
+    // Accept loop: nonblocking so the drain flag is honored promptly.
+    // Connection threads are detached; they refuse new work once
+    // draining and exit on client EOF.
+    while !state.draining.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let state = Arc::clone(&state);
+                thread::spawn(move || connection(&state, stream));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    }
+    dispatcher_handle
+        .join()
+        .map_err(|_| ServeError::Msg("dispatcher panicked".into()))?;
+
+    // Let connection threads flush the final replies before exiting.
+    let flush_deadline = std::time::Instant::now() + REPLY_FLUSH_TIMEOUT;
+    while state.batches_in_flight.load(Ordering::SeqCst) > 0
+        && std::time::Instant::now() < flush_deadline
+    {
+        thread::sleep(Duration::from_millis(10));
+    }
+
+    summary.shards = export_shards(&state)?;
+    summary.submitted = state.submitted.load(Ordering::SeqCst);
+    summary.completed = state.completed.load(Ordering::SeqCst);
+    summary.failed = state.failed.load(Ordering::SeqCst);
+    summary.busy_rejected = state.busy_rejected.load(Ordering::SeqCst);
+    state.board.update(|entries| {
+        entries[0].state = "done".into();
+        for entry in entries.iter_mut().skip(1) {
+            entry.state = "done".into();
+        }
+    });
+    let _ = std::fs::remove_file(&opts.socket);
+    Ok(summary)
+}

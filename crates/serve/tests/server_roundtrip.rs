@@ -1,0 +1,344 @@
+//! End-to-end tests against a live daemon on a temp socket: protocol
+//! round-trips, backpressure, warm-shard reuse, graceful drain to
+//! `.dimrc`, and the acceptance criterion that a served accel request
+//! is byte-identical to the equivalent one-shot run.
+
+use dim_cgra::ArrayShape;
+use dim_core::{SnapshotContents, System, SystemConfig};
+use dim_mips_sim::{HaltReason, Machine};
+use dim_obs::parse_json;
+use dim_serve::{serve, submit, Command, Reply, Request, ServeOptions, ServeSummary};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+use std::time::Duration;
+
+static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!(
+            "dim-serve-test-{tag}-{}-{}",
+            std::process::id(),
+            NEXT_DIR.fetch_add(1, Ordering::SeqCst)
+        ));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Starts a daemon, waits for the socket, runs `f`, sends `shutdown`,
+/// and returns (f's result, the server's summary).
+fn with_server<T>(opts: ServeOptions, f: impl FnOnce(&Path) -> T) -> (T, ServeSummary) {
+    let socket = opts.socket.clone();
+    let server = thread::spawn(move || serve(&opts));
+    for _ in 0..200 {
+        if socket.exists() {
+            break;
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+    assert!(socket.exists(), "server socket never appeared");
+    let out = f(&socket);
+    let shutdown = Request {
+        command: Command::Shutdown,
+        workload: String::new(),
+        ..Request::default()
+    };
+    let replies = submit(&socket, &[shutdown]).expect("shutdown submit");
+    assert!(matches!(replies[0], Reply::Ok { .. }), "{:?}", replies[0]);
+    let summary = server
+        .join()
+        .expect("server thread")
+        .expect("server result");
+    (out, summary)
+}
+
+fn accel_request(workload: &str, shared: bool) -> Request {
+    Request {
+        command: Command::Accel,
+        workload: workload.to_string(),
+        shared_shard: shared,
+        ..Request::default()
+    }
+}
+
+fn ok_json(reply: &Reply) -> dim_obs::JsonValue {
+    match reply {
+        Reply::Ok { json } => parse_json(json).expect("reply json parses"),
+        other => panic!("expected Ok, got {other:?}"),
+    }
+}
+
+#[test]
+fn served_accel_is_byte_identical_to_one_shot() {
+    let dir = TempDir::new("identity");
+    let opts = ServeOptions::new(dir.path().join("dim.sock"));
+    let ((), _summary) = with_server(opts, |socket| {
+        let replies = submit(socket, &[accel_request("bitcount", false)]).expect("submit");
+        let json = ok_json(&replies[0]);
+        let served_report = json
+            .get("report")
+            .and_then(|v| v.as_str())
+            .unwrap()
+            .to_string();
+
+        // The equivalent one-shot run: same workload, scale, shape,
+        // slots, speculation — exactly what `dim accel bitcount` does.
+        let spec = dim_workloads::by_name("bitcount").unwrap();
+        let built = (spec.build)(dim_workloads::Scale::Tiny);
+        let config = SystemConfig::new(ArrayShape::config2(), 64, true);
+        let mut system = System::new(Machine::load(&built.program), config);
+        let halt = system.run(built.max_steps).expect("one-shot run");
+        assert!(matches!(halt, HaltReason::Exit(_)));
+        let direct_report = system.report().to_string();
+
+        assert_eq!(
+            served_report, direct_report,
+            "server-mode report must be byte-identical to a one-shot run"
+        );
+        assert_eq!(
+            json.get("accel_cycles")
+                .and_then(dim_obs::JsonValue::as_u64)
+                .unwrap(),
+            system.total_cycles()
+        );
+    });
+}
+
+#[test]
+fn warm_shard_is_reused_across_requests_and_drains_to_dimrc() {
+    let dir = TempDir::new("warm");
+    let shard_dir = dir.path().join("shards");
+    let mut opts = ServeOptions::new(dir.path().join("dim.sock"));
+    opts.shard_dir = Some(shard_dir.clone());
+    let ((cold, warm), summary) = with_server(opts, |socket| {
+        let first = submit(socket, &[accel_request("crc32", true)]).expect("submit");
+        let second = submit(socket, &[accel_request("crc32", true)]).expect("submit");
+        let cold = ok_json(&first[0]);
+        let warm = ok_json(&second[0]);
+        (cold, warm)
+    });
+    assert_eq!(
+        cold.get("warm_loaded")
+            .and_then(dim_obs::JsonValue::as_bool),
+        Some(false)
+    );
+    assert_eq!(
+        warm.get("warm_loaded")
+            .and_then(dim_obs::JsonValue::as_bool),
+        Some(true)
+    );
+    let cold_cycles = cold
+        .get("accel_cycles")
+        .and_then(dim_obs::JsonValue::as_u64)
+        .unwrap();
+    let warm_cycles = warm
+        .get("accel_cycles")
+        .and_then(dim_obs::JsonValue::as_u64)
+        .unwrap();
+    assert!(
+        warm_cycles < cold_cycles,
+        "warm start must save cycles: cold {cold_cycles}, warm {warm_cycles}"
+    );
+
+    // The drained shard is an ordinary verifiable snapshot.
+    assert_eq!(summary.shards, 1);
+    let path = shard_dir.join("crc32__c2_s64_spec.dimrc");
+    let bytes = std::fs::read(&path).expect("drained shard exists");
+    let contents = SnapshotContents::parse(&bytes).expect("drained shard parses");
+    contents
+        .verify()
+        .expect("drained shard passes the verifier");
+    assert!(!contents.configs.is_empty());
+}
+
+#[test]
+fn warm_start_from_imported_shard_dir() {
+    let dir = TempDir::new("import");
+    let shard_dir = dir.path().join("shards");
+
+    // First server run populates the shard dir on drain.
+    let mut opts = ServeOptions::new(dir.path().join("a.sock"));
+    opts.shard_dir = Some(shard_dir.clone());
+    let ((), _summary) = with_server(opts, |socket| {
+        let replies = submit(socket, &[accel_request("crc32", true)]).expect("submit");
+        ok_json(&replies[0]);
+    });
+
+    // Second server run imports it; the very first request is warm.
+    let mut opts = ServeOptions::new(dir.path().join("b.sock"));
+    opts.shard_dir = Some(shard_dir);
+    let (json, summary) = with_server(opts, |socket| {
+        let replies = submit(socket, &[accel_request("crc32", true)]).expect("submit");
+        ok_json(&replies[0])
+    });
+    assert_eq!(summary.shards_imported, 1);
+    assert!(
+        summary.import_errors.is_empty(),
+        "{:?}",
+        summary.import_errors
+    );
+    assert_eq!(
+        json.get("warm_loaded")
+            .and_then(dim_obs::JsonValue::as_bool),
+        Some(true)
+    );
+}
+
+#[test]
+fn poisoned_shard_file_is_rejected_at_import() {
+    let dir = TempDir::new("poison");
+    let shard_dir = dir.path().join("shards");
+
+    let mut opts = ServeOptions::new(dir.path().join("a.sock"));
+    opts.shard_dir = Some(shard_dir.clone());
+    let ((), _summary) = with_server(opts, |socket| {
+        let replies = submit(socket, &[accel_request("crc32", true)]).expect("submit");
+        ok_json(&replies[0]);
+    });
+
+    // Corrupt the drained image: flip a payload byte mid-file.
+    let path = shard_dir.join("crc32__c2_s64_spec.dimrc");
+    let mut bytes = std::fs::read(&path).expect("shard exists");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).expect("write poisoned shard");
+
+    let mut opts = ServeOptions::new(dir.path().join("b.sock"));
+    opts.shard_dir = Some(shard_dir);
+    let (json, summary) = with_server(opts, |socket| {
+        let replies = submit(socket, &[accel_request("crc32", true)]).expect("submit");
+        ok_json(&replies[0])
+    });
+    // The poisoned file is rejected at the trust boundary, the server
+    // keeps going, and the request simply runs cold.
+    assert_eq!(summary.shards_imported, 0);
+    assert_eq!(summary.import_errors.len(), 1);
+    assert_eq!(
+        json.get("warm_loaded")
+            .and_then(dim_obs::JsonValue::as_bool),
+        Some(false)
+    );
+}
+
+#[test]
+fn invalid_requests_and_backpressure_reply_without_work() {
+    let dir = TempDir::new("reject");
+    let mut opts = ServeOptions::new(dir.path().join("dim.sock"));
+    opts.tenant_quota = 1;
+    let ((), summary) = with_server(opts, |socket| {
+        // Unknown workload → Error.
+        let replies = submit(socket, &[accel_request("no-such-workload", false)]).expect("submit");
+        let Reply::Error { message } = &replies[0] else {
+            panic!("expected Error, got {:?}", replies[0]);
+        };
+        assert!(message.contains("unknown workload"), "{message}");
+
+        // Invalid combination (hand-rolled wire request) → Error.
+        let mut bad = accel_request("crc32", true);
+        bad.shape = 0;
+        let replies = submit(socket, &[bad]).expect("submit");
+        let Reply::Error { message } = &replies[0] else {
+            panic!("expected Error, got {:?}", replies[0]);
+        };
+        assert!(message.contains("ideal"), "{message}");
+
+        // Quota of 1: a batch of three same-tenant requests must see
+        // Busy for the overflow, with a retry hint.
+        let batch = vec![
+            accel_request("crc32", false),
+            accel_request("crc32", false),
+            accel_request("crc32", false),
+        ];
+        let replies = submit(socket, &batch).expect("submit");
+        let busy = replies
+            .iter()
+            .filter(|r| matches!(r, Reply::Busy { .. }))
+            .count();
+        assert!(busy >= 1, "expected at least one Busy, got {replies:?}");
+        for reply in &replies {
+            if let Reply::Busy {
+                retry_after_ms,
+                reason,
+            } = reply
+            {
+                assert!(*retry_after_ms > 0);
+                assert!(reason.contains("quota"), "{reason}");
+            }
+        }
+
+        // Status reflects the rejections.
+        let status = Request {
+            command: Command::Status,
+            workload: String::new(),
+            ..Request::default()
+        };
+        let replies = submit(socket, &[status]).expect("submit");
+        let json = ok_json(&replies[0]);
+        assert!(
+            json.get("busy_rejected")
+                .and_then(dim_obs::JsonValue::as_u64)
+                .unwrap()
+                >= 1
+        );
+    });
+    // Invalid requests were refused at enqueue, so they never count as
+    // submitted or failed; only the quota overflow shows up as Busy.
+    assert!(summary.busy_rejected >= 1);
+    assert_eq!(summary.failed, 0);
+    assert_eq!(summary.submitted, summary.completed);
+}
+
+#[test]
+fn run_and_explain_commands_work_end_to_end() {
+    let dir = TempDir::new("commands");
+    let opts = ServeOptions::new(dir.path().join("dim.sock"));
+    let ((), _summary) = with_server(opts, |socket| {
+        let run = Request {
+            command: Command::Run,
+            workload: "bitcount".into(),
+            ..Request::default()
+        };
+        let explain = Request {
+            command: Command::Explain,
+            workload: "bitcount".into(),
+            ..Request::default()
+        };
+        let replies = submit(socket, &[run, explain]).expect("submit");
+        let run_json = ok_json(&replies[0]);
+        assert_eq!(
+            run_json.get("command").and_then(|v| v.as_str()),
+            Some("run")
+        );
+        assert!(
+            run_json
+                .get("cycles")
+                .and_then(dim_obs::JsonValue::as_u64)
+                .unwrap()
+                > 0
+        );
+        let explain_json = ok_json(&replies[1]);
+        assert_eq!(
+            explain_json.get("command").and_then(|v| v.as_str()),
+            Some("explain")
+        );
+        let nested = explain_json.get("explain").expect("nested explain object");
+        assert_eq!(
+            nested.get("workload").and_then(|v| v.as_str()),
+            Some("req-1__bitcount")
+        );
+    });
+}
