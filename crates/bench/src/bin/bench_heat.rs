@@ -1,0 +1,184 @@
+//! Steady-state cost gate for fabric-heat observability.
+//!
+//! The per-unit busy/idle accounting runs inside the system on every
+//! configuration execution, and each execution additionally emits one
+//! `Fabric` event through the probe seam. This gate runs two workloads
+//! three ways — uninstrumented, `run_probed` with [`NullProbe`] and
+//! `run_probed` with a probe that aggregates fabric samples host-side
+//! the way `dim heat` consumers do — taking the minimum wall time over
+//! several repetitions, and fails (exit 1) if observing the fabric
+//! stream costs more than 5% over the `NullProbe` baseline in
+//! aggregate. The numbers land in `BENCH_heat.json` so CI archives the
+//! trend.
+//!
+//! Usage: `bench_heat [--out <dir>] [--reps N]`
+
+use dim_bench::run_baseline;
+use dim_cgra::ArrayShape;
+use dim_core::{System, SystemConfig};
+use dim_mips_sim::Machine;
+use dim_obs::{NullProbe, ObjectWriter, Probe, ProbeEvent};
+use dim_workloads::{by_name, BuiltBenchmark, Scale};
+use std::time::Instant;
+
+const WORKLOADS: [&str; 2] = ["crc32", "sha"];
+const THRESHOLD_PCT: f64 = 5.0;
+
+/// Host-side fabric aggregation, shaped like the `dim heat` trace
+/// consumer: every `Fabric` sample folds into running busy/capacity
+/// totals.
+#[derive(Default)]
+struct HeatProbe {
+    fabric_events: u64,
+    busy_thirds: u64,
+    capacity_thirds: u64,
+    issued_ops: u64,
+}
+
+impl Probe for HeatProbe {
+    fn emit(&mut self, event: ProbeEvent) {
+        if let ProbeEvent::Fabric(f) = event {
+            self.fabric_events += 1;
+            self.busy_thirds += u64::from(f.alu_busy_thirds)
+                + u64::from(f.mult_busy_thirds)
+                + u64::from(f.ldst_busy_thirds);
+            self.capacity_thirds += u64::from(f.capacity_thirds);
+            self.issued_ops += u64::from(f.issued_ops);
+        }
+    }
+}
+
+fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn min_nanos(reps: u32, mut run: impl FnMut()) -> u64 {
+    (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            run();
+            start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+        })
+        .min()
+        .expect("at least one rep")
+}
+
+struct Row {
+    name: &'static str,
+    uninstrumented: u64,
+    null_probe: u64,
+    heat: u64,
+    fabric_events: u64,
+}
+
+fn measure(name: &'static str, built: &BuiltBenchmark, reps: u32) -> Row {
+    let config = SystemConfig::new(ArrayShape::config2(), 64, true);
+    let uninstrumented = min_nanos(reps, || {
+        let mut sys = System::new(Machine::load(&built.program), config);
+        sys.run(built.max_steps).expect("runs");
+        std::hint::black_box(sys.fabric_heat().total_busy_thirds());
+    });
+    let null_probe = min_nanos(reps, || {
+        let mut sys = System::new(Machine::load(&built.program), config);
+        sys.run_probed(built.max_steps, &mut NullProbe)
+            .expect("runs");
+        std::hint::black_box(sys.fabric_heat().total_busy_thirds());
+    });
+    let mut fabric_events = 0;
+    let heat = min_nanos(reps, || {
+        let mut sys = System::new(Machine::load(&built.program), config);
+        let mut probe = HeatProbe::default();
+        sys.run_probed(built.max_steps, &mut probe).expect("runs");
+        // The probe's aggregate must agree with the in-system
+        // accumulator — observing through the seam loses nothing.
+        assert_eq!(probe.busy_thirds, sys.fabric_heat().total_busy_thirds());
+        assert_eq!(
+            probe.capacity_thirds,
+            sys.fabric_heat().total_capacity_thirds()
+        );
+        assert_eq!(probe.fabric_events, sys.fabric_heat().invocations);
+        fabric_events = probe.fabric_events;
+        std::hint::black_box(probe.issued_ops);
+    });
+    Row {
+        name,
+        uninstrumented,
+        null_probe,
+        heat,
+        fabric_events,
+    }
+}
+
+fn overhead_pct(baseline: u64, candidate: u64) -> f64 {
+    if baseline == 0 {
+        return 0.0;
+    }
+    100.0 * (candidate as f64 - baseline as f64) / baseline as f64
+}
+
+fn main() {
+    let out_dir = arg_value("--out").unwrap_or_else(|| "bench-out".to_string());
+    let reps: u32 = arg_value("--reps").map_or(7, |v| v.parse().expect("--reps: not a number"));
+
+    let mut rows = Vec::new();
+    for name in WORKLOADS {
+        let built = (by_name(name).expect("workload exists").build)(Scale::Tiny);
+        run_baseline(&built).expect("baseline validates");
+        let row = measure(name, &built, reps);
+        eprintln!(
+            "  {name}: uninstrumented {:.3} ms, null {:.3} ms, heat {:.3} ms \
+             ({} fabric events, {:+.2}% vs null)",
+            row.uninstrumented as f64 / 1e6,
+            row.null_probe as f64 / 1e6,
+            row.heat as f64 / 1e6,
+            row.fabric_events,
+            overhead_pct(row.null_probe, row.heat),
+        );
+        rows.push(row);
+    }
+
+    let null_total: u64 = rows.iter().map(|r| r.null_probe).sum();
+    let heat_total: u64 = rows.iter().map(|r| r.heat).sum();
+    let overall = overhead_pct(null_total, heat_total);
+    let ok = overall <= THRESHOLD_PCT;
+
+    let mut workloads_json = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            workloads_json.push(',');
+        }
+        let mut o = ObjectWriter::new();
+        o.field_str("name", r.name)
+            .field_u64("uninstrumented_nanos_min", r.uninstrumented)
+            .field_u64("null_probe_nanos_min", r.null_probe)
+            .field_u64("heat_nanos_min", r.heat)
+            .field_u64("fabric_events", r.fabric_events)
+            .field_f64("overhead_pct", overhead_pct(r.null_probe, r.heat));
+        workloads_json.push_str(&o.finish());
+    }
+    workloads_json.push(']');
+
+    let mut doc = ObjectWriter::new();
+    doc.field_str("bench", "heat_overhead")
+        .field_u64("reps", u64::from(reps))
+        .field_raw("workloads", &workloads_json)
+        .field_f64("overall_overhead_pct", overall)
+        .field_f64("threshold_pct", THRESHOLD_PCT)
+        .field_bool("ok", ok);
+
+    std::fs::create_dir_all(&out_dir).expect("create --out dir");
+    let path = std::path::Path::new(&out_dir).join("BENCH_heat.json");
+    std::fs::write(&path, format!("{}\n", doc.finish())).expect("write BENCH_heat.json");
+    println!(
+        "fabric-heat observer overhead {overall:+.2}% vs NullProbe (threshold {THRESHOLD_PCT}%) \
+         -> {}",
+        path.display()
+    );
+    if !ok {
+        eprintln!("bench_heat: overhead beyond threshold");
+        std::process::exit(1);
+    }
+}

@@ -75,6 +75,32 @@ pub struct Segment {
     pub exit_pc: u32,
 }
 
+/// One row's unit occupancy, as seen by the heat/observability layer.
+///
+/// Mirrors the private allocation bookkeeping the placer maintains, so
+/// utilization accounting ([`crate::FabricHeat`]) and the cycle model
+/// ([`Configuration::exec_cycles`]) read the same row state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowOccupancy {
+    /// Row (level) index.
+    pub row: u32,
+    /// ALU/shifter/comparator units occupied.
+    pub alus: u32,
+    /// Multiplier units occupied.
+    pub mults: u32,
+    /// Load/store units occupied.
+    pub ldsts: u32,
+    /// Delay-dominating kind of the row (`None` for an empty row).
+    pub kind: Option<RowKind>,
+}
+
+impl RowOccupancy {
+    /// Total units occupied in the row.
+    pub fn units(&self) -> u32 {
+        self.alus + self.mults + self.ldsts
+    }
+}
+
 /// The three cycle spans charged for one array invocation: the
 /// reconfiguration stall visible to the processor, row execution, and
 /// the non-overlapped write-back tail.
@@ -375,23 +401,59 @@ impl Configuration {
         self.segments.last().map_or(0, |s| s.depth)
     }
 
+    /// Deepest row holding an operation of depth ≤ `upto_depth`, i.e. the
+    /// last row a run confirmed to that depth actually traverses. `None`
+    /// when no operation qualifies.
+    pub fn last_row_at_depth(&self, upto_depth: u8) -> Option<usize> {
+        self.ops
+            .iter()
+            .filter(|op| op.depth <= upto_depth)
+            .map(|op| op.row as usize)
+            .max()
+    }
+
+    /// Per-row unit occupancy, in row order, covering every row the
+    /// placer touched. The fabric heat accumulator and `dim heat` read
+    /// the same row state the cycle model charges for.
+    pub fn row_occupancy(&self) -> impl ExactSizeIterator<Item = RowOccupancy> + '_ {
+        self.rows
+            .iter()
+            .enumerate()
+            .map(|(row, usage)| RowOccupancy {
+                row: row as u32,
+                alus: usage.alus,
+                mults: usage.mults,
+                ldsts: usage.ldsts,
+                kind: usage.kind(),
+            })
+    }
+
+    /// Delay-dominating kind of `row`, `None` for empty or out-of-range
+    /// rows.
+    pub fn row_kind(&self, row: usize) -> Option<RowKind> {
+        self.rows.get(row).and_then(RowUsage::kind)
+    }
+
     /// Execution cycles on the array for all rows containing operations
     /// of depth ≤ `upto_depth` (a misspeculated run pays only for the
     /// rows it actually traversed).
     pub fn exec_cycles(&self, timing: &ArrayTiming, upto_depth: u8) -> u64 {
-        let last_row = self
-            .ops
-            .iter()
-            .filter(|op| op.depth <= upto_depth)
-            .map(|op| op.row as usize)
-            .max();
-        let Some(last_row) = last_row else { return 0 };
-        let thirds: u64 = self.rows[..=last_row]
+        timing.thirds_to_cycles(self.exec_thirds(timing, upto_depth))
+    }
+
+    /// The pre-rounding row-delay sum behind [`exec_cycles`]
+    /// (Configuration::exec_cycles): thirds of a cycle over every
+    /// traversed row. Exposed so the heat accumulator can reconcile
+    /// per-row activity against the charged cycles exactly.
+    pub fn exec_thirds(&self, timing: &ArrayTiming, upto_depth: u8) -> u64 {
+        let Some(last_row) = self.last_row_at_depth(upto_depth) else {
+            return 0;
+        };
+        self.rows[..=last_row]
             .iter()
             .filter_map(RowUsage::kind)
             .map(|k| timing.row_thirds(k))
-            .sum();
-        timing.thirds_to_cycles(thirds)
+            .sum()
     }
 
     /// Cycles to reconfigure: configuration read plus operand fetch

@@ -32,15 +32,22 @@
 mod config;
 mod encoding;
 mod exec;
+mod heat;
 mod render;
 mod shape;
 pub mod snapshot;
 mod timing;
 pub mod verify;
 
-pub use config::{Configuration, InvocationCycles, PlaceError, PlacedOp, Segment, SegmentBranch};
+pub use config::{
+    Configuration, InvocationCycles, PlaceError, PlacedOp, RowOccupancy, Segment, SegmentBranch,
+};
 pub use encoding::{cache_bytes, encoding_breakdown, EncodingBreakdown, EncodingParams};
 pub use exec::{execute_dataflow, DataflowOutcome, EntryContext, ExecError, ExecMemory};
+pub use heat::{
+    unit_class_index, FabricHeat, FabricSample, RowHeat, FABRIC_TRACKED_ROWS, UNIT_CLASSES,
+    UNIT_CLASS_NAMES,
+};
 pub use render::render_occupancy;
 pub use shape::{ArrayShape, UnitCounts};
 pub use timing::{ArrayTiming, RowKind};

@@ -37,6 +37,7 @@ mod tables;
 mod trace;
 mod translator;
 
+pub use dim_cgra::{FabricHeat, FabricSample, RowHeat, UNIT_CLASSES, UNIT_CLASS_NAMES};
 /// The workspace's shared FNV-1a 64-bit hash — the one checksum used by
 /// `.dimrc` snapshots, the sweep resume journal, and the live status
 /// file. Canonically defined (and golden-vector tested) in `dim-obs`.
@@ -49,7 +50,7 @@ pub use dim_obs::frame;
 pub use gshare::{measure_hit_rate, GsharePredictor, SpeculationPredictor};
 pub use predictor::{BimodalPredictor, Counter};
 pub use rcache::{EvictedEntry, ReconfCache, ReplacementPolicy};
-pub use report::RunReport;
+pub use report::{fabric_heat_json, RunReport};
 pub use snapshot::{
     SnapshotContents, SnapshotError, SNAPSHOT_FRAME, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };

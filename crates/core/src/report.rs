@@ -1,8 +1,81 @@
 //! Human-readable run reports: a compact summary of what the accelerator
-//! did, shared by the CLI and the examples.
+//! did, shared by the CLI and the examples — plus the canonical JSON
+//! serialization of a [`FabricHeat`] accumulator, shared by
+//! `dim heat --json` and the per-cell `heat/<cell>.json` summaries a
+//! sweep writes.
 
 use crate::System;
+use dim_cgra::{FabricHeat, RowHeat, UNIT_CLASSES, UNIT_CLASS_NAMES};
+use dim_obs::ObjectWriter;
 use std::fmt;
+
+fn class_counts(values: &[u64; UNIT_CLASSES]) -> String {
+    let mut o = ObjectWriter::new();
+    for (name, v) in UNIT_CLASS_NAMES.iter().zip(values) {
+        o.field_u64(name, *v);
+    }
+    o.finish()
+}
+
+fn field_opt_ratio(o: &mut ObjectWriter, key: &str, value: Option<f64>) {
+    match value {
+        Some(v) => {
+            o.field_f64(key, v);
+        }
+        None => {
+            o.field_raw(key, "null");
+        }
+    }
+}
+
+fn row_heat_json(label: &str, row: &RowHeat) -> String {
+    let mut o = ObjectWriter::new();
+    o.field_str("row", label);
+    o.field_u64("traversals", row.traversals);
+    o.field_u64("active_thirds", row.active_thirds);
+    o.field_raw("busy_thirds", &class_counts(&row.busy_thirds));
+    o.field_raw("issued", &class_counts(&row.issued));
+    o.field_u64("squashed", row.squashed);
+    o.finish()
+}
+
+/// Serializes a [`FabricHeat`] accumulator as one JSON object — the
+/// payload of `dim heat --json` in run mode and of the per-cell
+/// `heat/<cell>.json` files a sweep writes. Deterministic: field order
+/// is fixed and every value derives from the saturating counters alone,
+/// so serial and parallel sweeps over the same cell produce
+/// byte-identical summaries.
+pub fn fabric_heat_json(heat: &FabricHeat) -> String {
+    let mut o = ObjectWriter::new();
+    o.field_u64("invocations", heat.invocations);
+    o.field_u64("max_row", heat.max_row);
+    o.field_u64("exec_thirds", heat.exec_thirds);
+    o.field_u64("exec_cycles", heat.exec_cycles);
+    o.field_u64("residual_cycles", heat.residual_cycles);
+    o.field_raw("busy_thirds", &class_counts(&heat.busy_thirds));
+    o.field_raw("capacity_thirds", &class_counts(&heat.capacity_thirds));
+    o.field_raw("issued_ops", &class_counts(&heat.issued_ops));
+    o.field_u64("squashed_ops", heat.squashed_ops);
+    field_opt_ratio(&mut o, "fabric_util", heat.fabric_util());
+    for (c, name) in UNIT_CLASS_NAMES.iter().enumerate() {
+        field_opt_ratio(&mut o, &format!("{name}_util"), heat.class_util(c));
+    }
+    o.field_u64("writeback_writes", heat.writeback_writes);
+    o.field_u64("writeback_slots", heat.writeback_slots);
+    field_opt_ratio(&mut o, "writeback_saturation", heat.writeback_saturation());
+    let mut rows: Vec<String> = heat
+        .rows()
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.traversals > 0)
+        .map(|(i, r)| row_heat_json(&i.to_string(), r))
+        .collect();
+    if heat.overflow_row().traversals > 0 {
+        rows.push(row_heat_json("overflow", heat.overflow_row()));
+    }
+    o.field_raw("per_row", &format!("[{}]", rows.join(",")));
+    o.finish()
+}
 
 /// A formatted summary of one accelerated run. Obtained from
 /// [`System::report`]; render with `Display`.

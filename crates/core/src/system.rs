@@ -12,10 +12,10 @@ use crate::{
     BimodalPredictor, CycleBreakdown, DimStats, ReconfCache, ReplacementPolicy, Trace, Translator,
     TranslatorOptions,
 };
-use dim_cgra::{ArrayShape, ArrayTiming, Configuration, EncodingParams};
+use dim_cgra::{ArrayShape, ArrayTiming, Configuration, EncodingParams, FabricHeat};
 use dim_mips::Instruction;
 use dim_mips_sim::{HaltReason, Machine, SimError};
-use dim_obs::{ArrayInvoke, NullProbe, Probe, ProbeEvent};
+use dim_obs::{ArrayInvoke, FabricUtil, NullProbe, Probe, ProbeEvent};
 use std::collections::HashMap;
 
 /// All accelerator parameters for one experiment point.
@@ -112,6 +112,7 @@ pub struct System {
     pub(crate) translator: Translator,
     pub(crate) predictor: BimodalPredictor,
     stats: DimStats,
+    fabric: FabricHeat,
     stored_bits_per_config: u64,
     pub(crate) misspec_counts: HashMap<u32, u32>,
     trace: Option<Trace>,
@@ -139,6 +140,7 @@ impl System {
             translator: Translator::new(opts),
             predictor: BimodalPredictor::new(),
             stats: DimStats::new(),
+            fabric: FabricHeat::new(),
             stored_bits_per_config: stored_bits,
             misspec_counts: HashMap::new(),
             trace: None,
@@ -186,6 +188,14 @@ impl System {
     /// Accelerator-side statistics.
     pub fn stats(&self) -> &DimStats {
         &self.stats
+    }
+
+    /// Always-on fabric utilization accounting (`dim heat`). Its
+    /// `exec_cycles + residual_cycles` reconciles exactly with
+    /// [`cycle_breakdown`](System::cycle_breakdown)'s array-execution
+    /// span.
+    pub fn fabric_heat(&self) -> &FabricHeat {
+        &self.fabric
     }
 
     /// The reconfiguration cache.
@@ -522,6 +532,22 @@ impl System {
         self.stats.array_exec_cycles += exec_span;
         self.stats.writeback_tail_cycles += spans.tail;
 
+        // Always-on fabric heat, fed from the same placement and timing
+        // state the spans were charged from. The stall + penalty cycles
+        // outside the row model travel as the sample's residual, so
+        // heat's cycles reconcile exactly with `array_exec_cycles`.
+        let fabric_sample = self.fabric.record(
+            config,
+            timing,
+            executed_depth,
+            mem_stall_cycles + misspec_penalty,
+        );
+        debug_assert_eq!(
+            fabric_sample.exec_cycles, spans.exec,
+            "fabric sample diverged from the charged exec span for config @ {:#x}",
+            config.entry_pc
+        );
+
         if P::ENABLED || self.trace.is_some() {
             let event = ProbeEvent::ArrayInvoke(ArrayInvoke {
                 entry_pc: config.entry_pc,
@@ -553,6 +579,20 @@ impl System {
                         len: config.instruction_count() as u32,
                     });
                 }
+                probe.emit(ProbeEvent::Fabric(FabricUtil {
+                    entry_pc: config.entry_pc,
+                    rows: fabric_sample.rows,
+                    exec_thirds: fabric_sample.exec_thirds as u32,
+                    capacity_thirds: fabric_sample.capacity_thirds as u32,
+                    alu_busy_thirds: fabric_sample.busy_thirds[0] as u32,
+                    mult_busy_thirds: fabric_sample.busy_thirds[1] as u32,
+                    ldst_busy_thirds: fabric_sample.busy_thirds[2] as u32,
+                    issued_ops: fabric_sample.issued_ops,
+                    squashed_ops: fabric_sample.squashed_ops,
+                    residual_cycles: fabric_sample.residual_cycles as u32,
+                    writeback_writes: fabric_sample.writeback_writes,
+                    writeback_slots: fabric_sample.writeback_slots as u32,
+                }));
                 probe.emit(event);
             }
             if let Some(trace) = &mut self.trace {

@@ -22,4 +22,7 @@ mod area;
 mod power;
 
 pub use area::{area_report, AreaReport, GateCosts};
-pub use power::{energy_breakdown, energy_breakdown_gated, EnergyBreakdown, PowerModel};
+pub use power::{
+    array_energy_split, energy_breakdown, energy_breakdown_gated, ArrayEnergySplit,
+    EnergyBreakdown, PowerModel,
+};

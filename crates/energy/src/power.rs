@@ -9,6 +9,8 @@
 //! but finishes in fewer cycles, netting the ~1.7× energy saving the
 //! paper reports for configuration #2 with 64 slots.
 
+use crate::area::GateCosts;
+use dim_cgra::{FabricHeat, UNIT_CLASSES};
 use dim_core::DimStats;
 use dim_mips_sim::RunStats;
 
@@ -127,6 +129,88 @@ pub fn energy_breakdown_gated(
     breakdown_with_gating(proc, dim, model, occupancy)
 }
 
+/// The array component of [`EnergyBreakdown`], refined per unit class
+/// into energy spent computing vs clocking idle silicon.
+///
+/// Indexing follows [`dim_cgra::UNIT_CLASS_NAMES`]: ALUs, multipliers,
+/// load/store units.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ArrayEnergySplit {
+    /// Energy attributed to useful work: operation energy plus the
+    /// static power of the windows in which a unit held an operation.
+    pub active: [f64; UNIT_CLASSES],
+    /// Static/clock energy of provisioned units that held no operation.
+    pub idle: [f64; UNIT_CLASSES],
+}
+
+impl ArrayEnergySplit {
+    /// Total active energy across unit classes.
+    pub fn active_total(&self) -> f64 {
+        self.active.iter().sum()
+    }
+
+    /// Total idle energy across unit classes.
+    pub fn idle_total(&self) -> f64 {
+        self.idle.iter().sum()
+    }
+
+    /// Active + idle; equals the `array` component of
+    /// [`energy_breakdown`] for the same run.
+    pub fn total(&self) -> f64 {
+        self.active_total() + self.idle_total()
+    }
+}
+
+/// Splits the array's energy into active vs idle per unit class, using
+/// the fabric's busy counters and the Table 3a per-unit gate costs.
+///
+/// The operation energy is attributed per class by confirmed issues
+/// (`heat.issued_ops`). The static energy — identical in total to the
+/// static term of [`energy_breakdown`] — is apportioned across classes
+/// by *provisioned silicon*: capacity thirds weighted by gates per unit
+/// (an ALU third and a multiplier third do not cost the same leakage),
+/// then divided within each class by that class's busy fraction. When
+/// no capacity was recorded (infinite shape, or the array never ran)
+/// the gate costs alone weight the classes and everything static is
+/// idle.
+///
+/// `dim` and `heat` must come from the same run; the fabric's
+/// conservation law (confirmed issues equal array-retired
+/// instructions) is what makes the split sum exactly back to the
+/// unsplit component.
+pub fn array_energy_split(
+    dim: &DimStats,
+    heat: &FabricHeat,
+    model: &PowerModel,
+    costs: &GateCosts,
+) -> ArrayEnergySplit {
+    let class_gates: [f64; UNIT_CLASSES] =
+        [costs.alu as f64, costs.multiplier as f64, costs.ldst as f64];
+    let mut weight = [0f64; UNIT_CLASSES];
+    for (c, w) in weight.iter_mut().enumerate() {
+        *w = heat.capacity_thirds[c] as f64 * class_gates[c];
+    }
+    if weight.iter().sum::<f64>() == 0.0 {
+        weight = class_gates;
+    }
+    let weight_total: f64 = weight.iter().sum();
+    let static_total = model.array_idle_power * dim.total_array_cycles() as f64;
+
+    let mut split = ArrayEnergySplit::default();
+    for (c, &weight_c) in weight.iter().enumerate() {
+        let static_c = static_total * weight_c / weight_total;
+        let busy_fraction = if heat.capacity_thirds[c] == 0 {
+            0.0
+        } else {
+            (heat.busy_thirds[c] as f64 / heat.capacity_thirds[c] as f64).clamp(0.0, 1.0)
+        };
+        split.active[c] =
+            model.array_op_energy * heat.issued_ops[c] as f64 + static_c * busy_fraction;
+        split.idle[c] = static_c * (1.0 - busy_fraction);
+    }
+    split
+}
+
 fn breakdown_with_gating(
     proc: &RunStats,
     dim: &DimStats,
@@ -220,6 +304,92 @@ mod tests {
         assert_eq!(gated.core, plain.core);
         assert_eq!(gated.imem, plain.imem);
         assert_eq!(gated.dmem, plain.dmem);
+    }
+
+    /// Touches all three unit classes: ALU work, a multiply, and
+    /// memory traffic through the array.
+    const MIXED: &str = "
+        .data
+        buf: .space 256
+        .text
+        main: li $t0, 1500
+              la $s1, buf
+              li $v0, 0
+        loop: andi $t3, $t0, 63
+              sll  $t4, $t3, 2
+              addu $t5, $s1, $t4
+              sw   $v0, 0($t5)
+              lw   $t6, 0($t5)
+              mul  $t7, $t6, $t0
+              addu $v0, $v0, $t7
+              addiu $t0, $t0, -1
+              bnez $t0, loop
+              break 0";
+
+    #[test]
+    fn split_sums_to_unsplit_array_energy() {
+        let program = assemble(MIXED).unwrap();
+        let mut sys = System::new(
+            Machine::load(&program),
+            SystemConfig::new(ArrayShape::config2(), 64, true),
+        );
+        sys.run(1_000_000).unwrap();
+        assert!(sys.stats().array_invocations > 0, "array never engaged");
+
+        let model = PowerModel::default();
+        let costs = GateCosts::default();
+        let e = energy_breakdown(&sys.machine().stats, sys.stats(), &model);
+        let split = array_energy_split(sys.stats(), sys.fabric_heat(), &model, &costs);
+
+        // The refinement is exact: active + idle recompose the unsplit
+        // array component, which is itself Table 3-calibrated.
+        let err = (split.total() - e.array).abs();
+        assert!(
+            err <= 1e-6 * e.array.max(1.0),
+            "split {} vs array {} (err {err})",
+            split.total(),
+            e.array
+        );
+        for c in 0..UNIT_CLASSES {
+            assert!(split.active[c] >= 0.0 && split.idle[c] >= 0.0);
+        }
+        // Every class did real work on this kernel.
+        assert!(split.active.iter().all(|&a| a > 0.0), "{split:?}");
+        // A sparse fabric clocks more silicon than it uses.
+        assert!(split.idle_total() > 0.0);
+    }
+
+    #[test]
+    fn static_split_follows_table3_gate_costs() {
+        // The per-unit weights are exactly the Table 3a arithmetic in
+        // results/table3_area.txt: units x gates-per-unit.
+        let costs = GateCosts::default();
+        assert_eq!(costs.alu * 192, 300_288);
+        assert_eq!(costs.multiplier * 6, 40_134);
+        assert_eq!(costs.ldst * 36, 1_980);
+
+        // With equal capacity and zero busy everywhere, the idle energy
+        // divides in gate-cost proportion.
+        let mut heat = FabricHeat::new();
+        for c in 0..UNIT_CLASSES {
+            heat.capacity_thirds[c] = 900;
+        }
+        let mut dim = DimStats::new();
+        dim.array_exec_cycles = 40;
+        let model = PowerModel::default();
+        let split = array_energy_split(&dim, &heat, &model, &costs);
+        assert_eq!(split.active_total(), 0.0);
+        let ratio = split.idle[1] / split.idle[0];
+        let expected = costs.multiplier as f64 / costs.alu as f64;
+        assert!((ratio - expected).abs() < 1e-9, "{ratio} vs {expected}");
+        let total = model.array_idle_power * dim.total_array_cycles() as f64;
+        assert!((split.idle_total() - total).abs() < 1e-9 * total);
+
+        // No recorded capacity: everything static lands in idle and the
+        // sum identity still holds.
+        let empty = array_energy_split(&dim, &FabricHeat::new(), &model, &costs);
+        assert_eq!(empty.active_total(), 0.0);
+        assert!((empty.idle_total() - total).abs() < 1e-9 * total);
     }
 
     #[test]

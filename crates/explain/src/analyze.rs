@@ -356,6 +356,9 @@ impl Walker {
                     kind: MarkerKind::Mispredict,
                 });
             }
+            // Cycle-neutral occupancy detail; `dim heat` owns its
+            // aggregation, region forensics has no use for it.
+            ProbeEvent::Fabric(_) => {}
             ProbeEvent::ArrayInvoke(inv) => {
                 let cycles = inv.total_cycles();
                 let r = self.region(inv.entry_pc);

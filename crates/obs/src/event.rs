@@ -21,11 +21,19 @@
 ///   reuse count) and `mispredict` (per-misspeculated invocation, with
 ///   the offending branch PC and penalty). Readers must reject the new
 ///   record types in a trace whose header declares an older version.
-pub const SCHEMA_VERSION: u32 = 3;
+/// - **4** — fabric utilization: a new cycle-neutral `fabric` record
+///   precedes every `array_invoke` with the invocation's per-unit-class
+///   occupancy (busy/capacity thirds, issued/squashed ops, residual
+///   cycles, write-back port pressure). `fabric.exec_thirds` rounded up
+///   to cycles plus `fabric.residual` equals the paired invocation's
+///   `exec_cycles` exactly (the conservation law `dim heat` enforces).
+///   Readers must reject `fabric` records in a trace whose header
+///   declares an older version.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Number of distinct [`ProbeEvent`] variants; sizes the per-kind
 /// accounting arrays (e.g. the flight recorder's drop counters).
-pub const EVENT_KINDS: usize = 10;
+pub const EVENT_KINDS: usize = 11;
 
 /// Stable wire names indexed by [`ProbeEvent::type_index`].
 pub const EVENT_KIND_NAMES: [&str; EVENT_KINDS] = [
@@ -39,6 +47,7 @@ pub const EVENT_KIND_NAMES: [&str; EVENT_KINDS] = [
     "rcache_evict",
     "mispredict",
     "array_invoke",
+    "fabric",
 ];
 
 /// Coarse classification of a retired pipeline instruction.
@@ -129,6 +138,58 @@ impl ArrayInvoke {
     /// All cycles charged for this invocation.
     pub fn total_cycles(&self) -> u64 {
         self.stall_cycles as u64 + self.exec_cycles as u64 + self.tail_cycles as u64
+    }
+}
+
+/// Per-unit-class fabric occupancy of one array invocation (schema v4).
+///
+/// Cycle-neutral: the cycles are already charged by the paired
+/// [`ArrayInvoke`] this record precedes. Thirds are the pre-rounding
+/// row-delay unit of the timing model (an ALU row is 1 third of a
+/// cycle); the conservation law ties them back to charged cycles:
+/// `ceil(exec_thirds / 3) + residual_cycles == invoke.exec_cycles`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricUtil {
+    /// Entry PC of the executed configuration (pairs with the following
+    /// `array_invoke`).
+    pub entry_pc: u32,
+    /// Rows traversed (`last executed row + 1`).
+    pub rows: u32,
+    /// Σ row-window thirds over the traversed rows.
+    pub exec_thirds: u32,
+    /// Σ physical-unit × window thirds over the traversed rows, all
+    /// classes; 0 on infinite shapes (utilization undefined).
+    pub capacity_thirds: u32,
+    /// Busy unit-thirds on ALU/shifter/comparator units.
+    pub alu_busy_thirds: u32,
+    /// Busy unit-thirds on multiplier units.
+    pub mult_busy_thirds: u32,
+    /// Busy unit-thirds on load/store units.
+    pub ldst_busy_thirds: u32,
+    /// Operations confirmed (speculation depth ≤ executed depth).
+    pub issued_ops: u32,
+    /// Operations configured but squashed by misspeculation.
+    pub squashed_ops: u32,
+    /// Execution cycles outside the row model: memory stalls plus
+    /// misspeculation penalty.
+    pub residual_cycles: u32,
+    /// Write-backs performed.
+    pub writeback_writes: u32,
+    /// Write-back port-slots available (`rf_write_ports × (exec + tail)`
+    /// cycles); `writes ≤ slots` always.
+    pub writeback_slots: u32,
+}
+
+impl FabricUtil {
+    /// Total busy unit-thirds across classes.
+    pub fn busy_thirds(&self) -> u64 {
+        self.alu_busy_thirds as u64 + self.mult_busy_thirds as u64 + self.ldst_busy_thirds as u64
+    }
+
+    /// Row-model execution cycles (`exec_thirds` rounded up), i.e. the
+    /// paired invocation's `exec_cycles` minus `residual_cycles`.
+    pub fn exec_cycles(&self) -> u64 {
+        (self.exec_thirds as u64).div_ceil(3)
     }
 }
 
@@ -240,6 +301,9 @@ pub enum ProbeEvent {
     },
     /// A cached configuration executed on the array.
     ArrayInvoke(ArrayInvoke),
+    /// Fabric occupancy of an array invocation (schema v4); emitted
+    /// immediately before its paired `ArrayInvoke`. Cycle-neutral.
+    Fabric(FabricUtil),
 }
 
 impl ProbeEvent {
@@ -256,6 +320,7 @@ impl ProbeEvent {
             ProbeEvent::RcacheEvict { .. } => "rcache_evict",
             ProbeEvent::SpecMispredict { .. } => "mispredict",
             ProbeEvent::ArrayInvoke(_) => "array_invoke",
+            ProbeEvent::Fabric(_) => "fabric",
         }
     }
 
@@ -273,6 +338,7 @@ impl ProbeEvent {
             ProbeEvent::RcacheEvict { .. } => 7,
             ProbeEvent::SpecMispredict { .. } => 8,
             ProbeEvent::ArrayInvoke(_) => 9,
+            ProbeEvent::Fabric(_) => 10,
         }
     }
 
@@ -348,6 +414,20 @@ mod tests {
                 stall_cycles: 0,
                 exec_cycles: 1,
                 tail_cycles: 0,
+            }),
+            ProbeEvent::Fabric(FabricUtil {
+                entry_pc: 0,
+                rows: 1,
+                exec_thirds: 1,
+                capacity_thirds: 11,
+                alu_busy_thirds: 1,
+                mult_busy_thirds: 0,
+                ldst_busy_thirds: 0,
+                issued_ops: 1,
+                squashed_ops: 0,
+                residual_cycles: 0,
+                writeback_writes: 0,
+                writeback_slots: 4,
             }),
         ];
         assert_eq!(samples.len(), EVENT_KINDS);

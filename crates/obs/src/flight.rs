@@ -112,8 +112,17 @@ impl FlightRecorder {
                 ProbeEvent::RcacheEvict { .. } => true,
                 // Its mispredict record fell off the ring.
                 ProbeEvent::RcacheFlush { .. } => true,
-                // Its mispredict (and possibly flush) fell off the ring.
-                ProbeEvent::ArrayInvoke(inv) => inv.misspeculated || inv.flushed,
+                // Its fabric record (and for misspeculated runs the
+                // mispredict and possibly flush too) fell off the ring.
+                ProbeEvent::ArrayInvoke(_) => true,
+                // A fabric record with its invoke still in the window is
+                // whole — unless that invoke misspeculated or flushed, in
+                // which case the mispredict/flush records that preceded
+                // the fabric fell off and the whole pair must go.
+                ProbeEvent::Fabric(_) => matches!(
+                    events.get(1),
+                    Some(ProbeEvent::ArrayInvoke(inv)) if inv.misspeculated || inv.flushed
+                ),
                 _ => false,
             };
             if !orphan {
@@ -327,8 +336,10 @@ mod tests {
 
     #[test]
     fn dump_trims_front_orphans() {
-        // A full mispredict → flush → invoke group, then enough retires
-        // to push the mispredict (and then the flush) off a small ring.
+        // A full mispredict → flush → fabric → invoke group, then a
+        // retire to push the mispredict and flush off a small ring. The
+        // surviving fabric/invoke pair is orphaned (its flush is gone)
+        // and must be trimmed too.
         let group = [
             ProbeEvent::SpecMispredict {
                 region_pc: 0x100,
@@ -337,6 +348,20 @@ mod tests {
                 penalty_cycles: 2,
             },
             ProbeEvent::RcacheFlush { pc: 0x100, len: 4 },
+            ProbeEvent::Fabric(crate::event::FabricUtil {
+                entry_pc: 0x100,
+                rows: 1,
+                exec_thirds: 3,
+                capacity_thirds: 33,
+                alu_busy_thirds: 2,
+                mult_busy_thirds: 0,
+                ldst_busy_thirds: 0,
+                issued_ops: 2,
+                squashed_ops: 2,
+                residual_cycles: 3,
+                writeback_writes: 1,
+                writeback_slots: 16,
+            }),
             ProbeEvent::ArrayInvoke(crate::event::ArrayInvoke {
                 entry_pc: 0x100,
                 exit_pc: 0x120,
@@ -357,7 +382,8 @@ mod tests {
         for e in group {
             rec.emit(e);
         }
-        // Push the mispredict off: window = [flush, invoke, retire].
+        // Push the mispredict and flush off: window = [fabric, invoke,
+        // retire].
         rec.emit(retire(0x200));
         let dump = rec.dump("unit", 256);
         let trace = read_trace(&dump).expect("trimmed dump validates");

@@ -269,6 +269,20 @@ impl<W: Write> JsonlSink<W> {
                 o.field_u64("exec_cycles", inv.exec_cycles as u64);
                 o.field_u64("tail_cycles", inv.tail_cycles as u64);
             }
+            ProbeEvent::Fabric(fab) => {
+                o.field_u64("entry_pc", fab.entry_pc as u64);
+                o.field_u64("rows", fab.rows as u64);
+                o.field_u64("exec_thirds", fab.exec_thirds as u64);
+                o.field_u64("capacity_thirds", fab.capacity_thirds as u64);
+                o.field_u64("alu_busy_thirds", fab.alu_busy_thirds as u64);
+                o.field_u64("mult_busy_thirds", fab.mult_busy_thirds as u64);
+                o.field_u64("ldst_busy_thirds", fab.ldst_busy_thirds as u64);
+                o.field_u64("issued_ops", fab.issued_ops as u64);
+                o.field_u64("squashed_ops", fab.squashed_ops as u64);
+                o.field_u64("residual_cycles", fab.residual_cycles as u64);
+                o.field_u64("writeback_writes", fab.writeback_writes as u64);
+                o.field_u64("writeback_slots", fab.writeback_slots as u64);
+            }
         }
         self.write_line(&o.finish());
     }

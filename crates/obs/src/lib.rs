@@ -52,7 +52,7 @@ pub mod status;
 mod watchdog;
 
 pub use event::{
-    ArrayInvoke, ProbeEvent, RetireKind, EVENT_KINDS, EVENT_KIND_NAMES, SCHEMA_VERSION,
+    ArrayInvoke, FabricUtil, ProbeEvent, RetireKind, EVENT_KINDS, EVENT_KIND_NAMES, SCHEMA_VERSION,
 };
 pub use flight::{FlightGuard, FlightRecorder};
 pub use hash::fnv1a64;

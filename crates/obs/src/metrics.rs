@@ -512,6 +512,7 @@ impl Probe for MetricsRegistry {
                 self.last_lookup.remove(&pc);
             }
             ProbeEvent::SpecMispredict { .. } => {}
+            ProbeEvent::Fabric(_) => {}
             ProbeEvent::ArrayInvoke(inv) => {
                 self.invocations += 1;
                 self.array_cycles += inv.total_cycles();

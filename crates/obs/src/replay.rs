@@ -17,7 +17,7 @@
 //! counter from the events alone — the round-trip test in `dim-core`
 //! asserts it equals the live `DimStats` field for field.
 
-use crate::event::{ArrayInvoke, ProbeEvent, RetireKind, SCHEMA_VERSION};
+use crate::event::{ArrayInvoke, FabricUtil, ProbeEvent, RetireKind, SCHEMA_VERSION};
 use crate::json::{self, JsonValue};
 use std::fmt;
 
@@ -157,6 +157,34 @@ pub struct TraceSummary {
     /// Evictions whose victim was never reused after insertion
     /// (schema v3; 0 in older traces).
     pub rcache_evictions_dead: u64,
+
+    /// `fabric` records seen (schema v4; 0 in older traces — one per
+    /// array invocation when present). The `fabric_*` aggregates below
+    /// are likewise all-zero for pre-v4 traces.
+    pub fabric_records: u64,
+    /// Σ rows traversed.
+    pub fabric_rows: u64,
+    /// Σ row-window thirds (pre-rounding execution time).
+    pub fabric_exec_thirds: u64,
+    /// Σ available unit-thirds across classes (0 on infinite shapes).
+    pub fabric_capacity_thirds: u64,
+    /// Σ busy unit-thirds on ALU units.
+    pub fabric_alu_busy_thirds: u64,
+    /// Σ busy unit-thirds on multiplier units.
+    pub fabric_mult_busy_thirds: u64,
+    /// Σ busy unit-thirds on load/store units.
+    pub fabric_ldst_busy_thirds: u64,
+    /// Σ operations confirmed.
+    pub fabric_issued_ops: u64,
+    /// Σ operations squashed by misspeculation.
+    pub fabric_squashed_ops: u64,
+    /// Σ execution cycles outside the row model (memory stalls +
+    /// misspeculation penalties).
+    pub fabric_residual_cycles: u64,
+    /// Σ write-backs performed.
+    pub fabric_writeback_writes: u64,
+    /// Σ write-back port-slots available.
+    pub fabric_writeback_slots: u64,
 }
 
 impl TraceSummary {
@@ -348,6 +376,20 @@ pub fn parse_record(text: &str, line: usize) -> Result<TraceRecord, ReplayError>
                 tail_cycles: get_u32(&v, "tail_cycles", line)?,
             }))
         }
+        "fabric" => TraceRecord::Event(ProbeEvent::Fabric(FabricUtil {
+            entry_pc: get_u32(&v, "entry_pc", line)?,
+            rows: get_u32(&v, "rows", line)?,
+            exec_thirds: get_u32(&v, "exec_thirds", line)?,
+            capacity_thirds: get_u32(&v, "capacity_thirds", line)?,
+            alu_busy_thirds: get_u32(&v, "alu_busy_thirds", line)?,
+            mult_busy_thirds: get_u32(&v, "mult_busy_thirds", line)?,
+            ldst_busy_thirds: get_u32(&v, "ldst_busy_thirds", line)?,
+            issued_ops: get_u32(&v, "issued_ops", line)?,
+            squashed_ops: get_u32(&v, "squashed_ops", line)?,
+            residual_cycles: get_u32(&v, "residual_cycles", line)?,
+            writeback_writes: get_u32(&v, "writeback_writes", line)?,
+            writeback_slots: get_u32(&v, "writeback_slots", line)?,
+        })),
         "telemetry" => TraceRecord::Telemetry {
             seq: get_u64(&v, "seq", line)?,
             sim_cycles: get_u64(&v, "sim_cycles", line)?,
@@ -393,6 +435,7 @@ pub fn read_trace(text: &str) -> Result<ReplayedTrace, ReplayError> {
     let mut flushed_invocations: u64 = 0;
     let mut mispredict_records: u64 = 0;
     let mut last_telemetry_cycles: Option<u64> = None;
+    let mut pending_fabric: Option<(usize, FabricUtil)> = None;
 
     for (idx, line) in lines {
         let lineno = idx + 1;
@@ -487,7 +530,76 @@ pub fn read_trace(text: &str) -> Result<ReplayedTrace, ReplayError> {
                         }
                         mispredict_records += 1;
                     }
+                    ProbeEvent::Fabric(fab) => {
+                        // Arrived with schema version 4: an older header
+                        // promises a vocabulary that does not contain it.
+                        if header.schema_version < 4 {
+                            return Err(err(
+                                lineno,
+                                format!(
+                                    "fabric record in a schema version {} trace \
+                                     (requires version 4)",
+                                    header.schema_version
+                                ),
+                            ));
+                        }
+                        if let Some((prev_line, _)) = pending_fabric {
+                            return Err(err(
+                                lineno,
+                                format!(
+                                    "fabric record while the one at line {prev_line} \
+                                     is still unpaired with an array_invoke"
+                                ),
+                            ));
+                        }
+                        pending_fabric = Some((lineno, *fab));
+                        summary.fabric_records += 1;
+                        summary.fabric_rows += fab.rows as u64;
+                        summary.fabric_exec_thirds += fab.exec_thirds as u64;
+                        summary.fabric_capacity_thirds += fab.capacity_thirds as u64;
+                        summary.fabric_alu_busy_thirds += fab.alu_busy_thirds as u64;
+                        summary.fabric_mult_busy_thirds += fab.mult_busy_thirds as u64;
+                        summary.fabric_ldst_busy_thirds += fab.ldst_busy_thirds as u64;
+                        summary.fabric_issued_ops += fab.issued_ops as u64;
+                        summary.fabric_squashed_ops += fab.squashed_ops as u64;
+                        summary.fabric_residual_cycles += fab.residual_cycles as u64;
+                        summary.fabric_writeback_writes += fab.writeback_writes as u64;
+                        summary.fabric_writeback_slots += fab.writeback_slots as u64;
+                    }
                     ProbeEvent::ArrayInvoke(inv) => {
+                        if header.schema_version >= 4 {
+                            let Some((_, fab)) = pending_fabric.take() else {
+                                return Err(err(
+                                    lineno,
+                                    "array_invoke without a preceding fabric record \
+                                     (required by schema version 4)",
+                                ));
+                            };
+                            if fab.entry_pc != inv.entry_pc {
+                                return Err(err(
+                                    lineno,
+                                    format!(
+                                        "fabric record entry_pc {:#x} does not match \
+                                         array_invoke entry_pc {:#x}",
+                                        fab.entry_pc, inv.entry_pc
+                                    ),
+                                ));
+                            }
+                            let derived = fab.exec_cycles() + fab.residual_cycles as u64;
+                            if derived != inv.exec_cycles as u64 {
+                                return Err(err(
+                                    lineno,
+                                    format!(
+                                        "fabric cycles (ceil({}/3) + {} residual = {}) \
+                                         do not reconcile with array_invoke exec_cycles {}",
+                                        fab.exec_thirds,
+                                        fab.residual_cycles,
+                                        derived,
+                                        inv.exec_cycles
+                                    ),
+                                ));
+                            }
+                        }
                         summary.array_invocations += 1;
                         summary.array_instructions += inv.executed as u64;
                         summary.array_exec_cycles += inv.exec_cycles as u64;
@@ -521,6 +633,12 @@ pub fn read_trace(text: &str) -> Result<ReplayedTrace, ReplayError> {
             ));
         }
         Some(_) => {}
+    }
+    if let Some((prev_line, _)) = pending_fabric {
+        return Err(err(
+            0,
+            format!("fabric record at line {prev_line} never paired with an array_invoke"),
+        ));
     }
     if flushed_invocations != summary.config_flushes {
         return Err(err(
@@ -627,6 +745,20 @@ mod tests {
             pc: 0x400000,
             len: 7,
         });
+        sink.emit(ProbeEvent::Fabric(FabricUtil {
+            entry_pc: 0x400000,
+            rows: 3,
+            exec_thirds: 9,
+            capacity_thirds: 99,
+            alu_busy_thirds: 4,
+            mult_busy_thirds: 0,
+            ldst_busy_thirds: 9,
+            issued_ops: 7,
+            squashed_ops: 0,
+            residual_cycles: 1,
+            writeback_writes: 2,
+            writeback_slots: 24,
+        }));
         sink.emit(ProbeEvent::ArrayInvoke(ArrayInvoke {
             entry_pc: 0x400000,
             exit_pc: 0x40001c,
@@ -756,6 +888,97 @@ mod tests {
 {"type":"footer","events":1}"#;
         let e = read_trace(mispredict).unwrap_err();
         assert!(e.message.contains("requires version 3"), "{e}");
+    }
+
+    #[test]
+    fn golden_v3_trace_replays_with_zero_fabric_records() {
+        // A byte-for-byte schema-v3 trace as PR 4's sink wrote it: no
+        // fabric records, no pairing requirement, every counter intact.
+        let v3 = r#"{"type":"header","schema_version":3,"workload":"legacy","bits_per_config":96}
+{"type":"retire_batch","count":2,"base_cycles":2,"i_stall":1,"d_stall":0,"rcache_misses":1,"kinds":{"alu":2}}
+{"type":"rcache_insert","pc":64,"len":4,"evicted":null}
+{"type":"rcache_hit","pc":64,"len":4}
+{"type":"mispredict","region_pc":64,"region_len":4,"branch_pc":72,"penalty_cycles":2}
+{"type":"array_invoke","entry_pc":64,"exit_pc":80,"covered":4,"executed":2,"loads":1,"stores":0,"rows":2,"spec_depth":1,"misspeculated":true,"flushed":false,"stall_cycles":1,"exec_cycles":4,"tail_cycles":0}
+{"type":"footer","events":7}"#;
+        let trace = read_trace(v3).unwrap();
+        assert_eq!(trace.header.schema_version, 3);
+        assert_eq!(trace.summary.fabric_records, 0);
+        assert_eq!(trace.summary.fabric_exec_thirds, 0);
+        assert_eq!(trace.summary.array_invocations, 1);
+        assert_eq!(trace.summary.misspeculations, 1);
+        assert_eq!(trace.summary.rcache_hits, 1);
+        let stats = trace.record_stats();
+        assert!(
+            !stats.iter().any(|(name, _)| *name == "fabric"),
+            "{stats:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_fabric_in_older_traces() {
+        let bad = r#"{"type":"header","schema_version":3,"workload":"old","bits_per_config":64}
+{"type":"fabric","entry_pc":4,"rows":1,"exec_thirds":3,"capacity_thirds":33,"alu_busy_thirds":1,"mult_busy_thirds":0,"ldst_busy_thirds":0,"issued_ops":1,"squashed_ops":0,"residual_cycles":0,"writeback_writes":0,"writeback_slots":4}
+{"type":"footer","events":1}"#;
+        let e = read_trace(bad).unwrap_err();
+        assert!(e.message.contains("requires version 4"), "{e}");
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn v4_requires_fabric_invoke_pairing() {
+        // An invoke with no preceding fabric record...
+        let missing_fabric = r#"{"type":"header","schema_version":4,"workload":"x","bits_per_config":0}
+{"type":"array_invoke","entry_pc":4,"exit_pc":8,"covered":1,"executed":1,"loads":0,"stores":0,"rows":1,"spec_depth":0,"misspeculated":false,"flushed":false,"stall_cycles":0,"exec_cycles":1,"tail_cycles":0}
+{"type":"footer","events":1}"#;
+        let e = read_trace(missing_fabric).unwrap_err();
+        assert!(e.message.contains("without a preceding fabric"), "{e}");
+
+        // ...a fabric record whose invoke never arrives...
+        let dangling = r#"{"type":"header","schema_version":4,"workload":"x","bits_per_config":0}
+{"type":"fabric","entry_pc":4,"rows":1,"exec_thirds":3,"capacity_thirds":33,"alu_busy_thirds":1,"mult_busy_thirds":0,"ldst_busy_thirds":0,"issued_ops":1,"squashed_ops":0,"residual_cycles":0,"writeback_writes":0,"writeback_slots":4}
+{"type":"footer","events":1}"#;
+        let e = read_trace(dangling).unwrap_err();
+        assert!(e.message.contains("never paired"), "{e}");
+
+        // ...a pair whose entry PCs disagree...
+        let mismatch = r#"{"type":"header","schema_version":4,"workload":"x","bits_per_config":0}
+{"type":"fabric","entry_pc":8,"rows":1,"exec_thirds":3,"capacity_thirds":33,"alu_busy_thirds":1,"mult_busy_thirds":0,"ldst_busy_thirds":0,"issued_ops":1,"squashed_ops":0,"residual_cycles":0,"writeback_writes":0,"writeback_slots":4}
+{"type":"array_invoke","entry_pc":4,"exit_pc":8,"covered":1,"executed":1,"loads":0,"stores":0,"rows":1,"spec_depth":0,"misspeculated":false,"flushed":false,"stall_cycles":0,"exec_cycles":1,"tail_cycles":0}
+{"type":"footer","events":2}"#;
+        let e = read_trace(mismatch).unwrap_err();
+        assert!(e.message.contains("does not match"), "{e}");
+
+        // ...and a pair violating the cycle conservation law are all
+        // structural errors.
+        let bad_cycles = r#"{"type":"header","schema_version":4,"workload":"x","bits_per_config":0}
+{"type":"fabric","entry_pc":4,"rows":1,"exec_thirds":3,"capacity_thirds":33,"alu_busy_thirds":1,"mult_busy_thirds":0,"ldst_busy_thirds":0,"issued_ops":1,"squashed_ops":0,"residual_cycles":0,"writeback_writes":0,"writeback_slots":4}
+{"type":"array_invoke","entry_pc":4,"exit_pc":8,"covered":1,"executed":1,"loads":0,"stores":0,"rows":1,"spec_depth":0,"misspeculated":false,"flushed":false,"stall_cycles":0,"exec_cycles":7,"tail_cycles":0}
+{"type":"footer","events":2}"#;
+        let e = read_trace(bad_cycles).unwrap_err();
+        assert!(e.message.contains("reconcile"), "{e}");
+    }
+
+    #[test]
+    fn v4_fabric_aggregates_land_in_summary() {
+        let trace = read_trace(&sample_trace()).unwrap();
+        let s = trace.summary;
+        assert_eq!(s.fabric_records, 1);
+        assert_eq!(s.fabric_rows, 3);
+        assert_eq!(s.fabric_exec_thirds, 9);
+        assert_eq!(s.fabric_capacity_thirds, 99);
+        assert_eq!(s.fabric_alu_busy_thirds, 4);
+        assert_eq!(s.fabric_ldst_busy_thirds, 9);
+        assert_eq!(s.fabric_issued_ops, 7);
+        assert_eq!(s.fabric_residual_cycles, 1);
+        assert_eq!(s.fabric_writeback_writes, 2);
+        assert_eq!(s.fabric_writeback_slots, 24);
+        let count = trace
+            .record_stats()
+            .iter()
+            .find(|(n, _)| *n == "fabric")
+            .map_or(0, |(_, c)| *c);
+        assert_eq!(count, 1);
     }
 
     #[test]

@@ -28,7 +28,12 @@ use std::time::Instant;
 /// Magic string identifying a status file header.
 pub const STATUS_MAGIC: &str = "DIMSTAT";
 /// Current status-file format version.
-pub const STATUS_VERSION: u64 = 1;
+///
+/// History: **1** — initial entry vocabulary; **2** — adds the
+/// `fabric_busy_thirds`/`fabric_capacity_thirds` pair feeding the
+/// `dim top` fabric-utilization column. Readers accept older versions
+/// (the new fields default to 0) and reject newer ones.
+pub const STATUS_VERSION: u64 = 2;
 /// Conventional file name, appended when a directory is given.
 pub const STATUS_FILE_NAME: &str = "status.dimstat";
 
@@ -109,6 +114,12 @@ pub struct StatusEntry {
     pub misspeculations: u64,
     /// Host nanoseconds spent so far (basis for live sim-MIPS).
     pub host_nanos: u64,
+    /// Busy fabric unit-thirds so far (version 2; 0 when read from a
+    /// version-1 file).
+    pub fabric_busy_thirds: u64,
+    /// Available fabric unit-thirds so far (version 2; 0 when read from
+    /// a version-1 file or on infinite shapes — utilization unknown).
+    pub fabric_capacity_thirds: u64,
 }
 
 impl StatusEntry {
@@ -126,6 +137,8 @@ impl StatusEntry {
         o.field_u64("rcache_misses", self.rcache_misses);
         o.field_u64("misspeculations", self.misspeculations);
         o.field_u64("host_nanos", self.host_nanos);
+        o.field_u64("fabric_busy_thirds", self.fabric_busy_thirds);
+        o.field_u64("fabric_capacity_thirds", self.fabric_capacity_thirds);
         o.finish()
     }
 
@@ -144,6 +157,12 @@ impl StatusEntry {
                 StatusError::Malformed(format!("line {line}: missing number `{key}`"))
             })
         };
+        let get_u64_or = |key: &str, default: u64| -> u64 {
+            value
+                .get(key)
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(default)
+        };
         Ok(StatusEntry {
             source: get_str("source")?,
             label: get_str("label")?,
@@ -157,6 +176,9 @@ impl StatusEntry {
             rcache_misses: get_u64("rcache_misses")?,
             misspeculations: get_u64("misspeculations")?,
             host_nanos: get_u64("host_nanos")?,
+            // Version-2 fields: default when reading a version-1 file.
+            fabric_busy_thirds: get_u64_or("fabric_busy_thirds", 0),
+            fabric_capacity_thirds: get_u64_or("fabric_capacity_thirds", 0),
         })
     }
 }
@@ -299,6 +321,10 @@ impl<F: FnMut(&StatusEntry)> Probe for StatusPulse<F> {
                     self.entry.misspeculations += 1;
                 }
             }
+            ProbeEvent::Fabric(fab) => {
+                self.entry.fabric_busy_thirds += fab.busy_thirds();
+                self.entry.fabric_capacity_thirds += fab.capacity_thirds as u64;
+            }
             _ => {}
         }
         if self.interval > 0 && self.entry.sim_cycles - self.last_publish >= self.interval {
@@ -337,6 +363,8 @@ mod tests {
                     rcache_misses: 2,
                     misspeculations: 1,
                     host_nanos: 5_000_000,
+                    fabric_busy_thirds: 900,
+                    fabric_capacity_thirds: 3_000,
                 },
                 StatusEntry {
                     source: "worker-0".into(),

@@ -4,14 +4,33 @@
 //! it forgot, and the dump replays cleanly through the trace validator.
 
 use dim_obs::replay::read_trace;
-use dim_obs::{ArrayInvoke, FlightRecorder, Probe, ProbeEvent, RetireKind};
+use dim_obs::{ArrayInvoke, FabricUtil, FlightRecorder, Probe, ProbeEvent, RetireKind};
 use proptest::prelude::*;
 
 /// Expands a group selector into one of the emission groups the
 /// instrumented `System` actually produces, so pairing laws (insert →
-/// evict, mispredict → flush → invoke adjacency) hold in the stream.
+/// evict, mispredict → flush → fabric → invoke adjacency) hold in the
+/// stream.
 fn group(kind: u8, seq: u32) -> Vec<ProbeEvent> {
     let pc = 0x1000 + seq * 16;
+    // Fabric + invoke pair with reconciling cycles:
+    // ceil(exec_thirds / 3) + residual == exec_cycles.
+    let fabric = || {
+        ProbeEvent::Fabric(FabricUtil {
+            entry_pc: pc,
+            rows: 2,
+            exec_thirds: 6,
+            capacity_thirds: 66,
+            alu_busy_thirds: 3,
+            mult_busy_thirds: 0,
+            ldst_busy_thirds: 6,
+            issued_ops: 4,
+            squashed_ops: 0,
+            residual_cycles: 2,
+            writeback_writes: 1,
+            writeback_slots: 20,
+        })
+    };
     let invoke = |misspeculated: bool, flushed: bool| {
         ProbeEvent::ArrayInvoke(ArrayInvoke {
             entry_pc: pc,
@@ -74,6 +93,7 @@ fn group(kind: u8, seq: u32) -> Vec<ProbeEvent> {
                 branch_pc: pc + 8,
                 penalty_cycles: 2,
             },
+            fabric(),
             invoke(true, false),
         ],
         _ => vec![
@@ -84,6 +104,7 @@ fn group(kind: u8, seq: u32) -> Vec<ProbeEvent> {
                 penalty_cycles: 2,
             },
             ProbeEvent::RcacheFlush { pc, len: 4 },
+            fabric(),
             invoke(true, true),
         ],
     }

@@ -51,6 +51,43 @@ pub struct RegionSummary {
     pub mispredicts: u64,
 }
 
+/// Fabric-utilization counters from the accelerated run — the raw
+/// integers behind the gate's direction-aware utilization metrics.
+/// Baselines recorded before fabric observability existed lack the
+/// field entirely; it is omitted from the JSON then (the `regions`
+/// pattern), so older files parse and older readers are not confused.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricSummary {
+    /// Unit-window thirds in which an ALU held a confirmed operation.
+    pub alu_busy_thirds: u64,
+    /// ALU thirds provisioned across occupied rows.
+    pub alu_capacity_thirds: u64,
+    /// Busy thirds for the multipliers.
+    pub mult_busy_thirds: u64,
+    /// Provisioned thirds for the multipliers.
+    pub mult_capacity_thirds: u64,
+    /// Busy thirds for the load/store units.
+    pub ldst_busy_thirds: u64,
+    /// Provisioned thirds for the load/store units.
+    pub ldst_capacity_thirds: u64,
+    /// Registers written back after configurations.
+    pub writeback_writes: u64,
+    /// Writeback slots available over those configurations.
+    pub writeback_slots: u64,
+}
+
+impl FabricSummary {
+    /// Busy thirds summed across unit classes.
+    pub fn busy_total(&self) -> u64 {
+        self.alu_busy_thirds + self.mult_busy_thirds + self.ldst_busy_thirds
+    }
+
+    /// Capacity thirds summed across unit classes.
+    pub fn capacity_total(&self) -> u64 {
+        self.alu_capacity_thirds + self.mult_capacity_thirds + self.ldst_capacity_thirds
+    }
+}
+
 /// Host-side (non-deterministic) measurements for one workload.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct HostTelemetry {
@@ -95,6 +132,9 @@ pub struct WorkloadRecord {
     /// before region forensics existed; omitted from the JSON then, so
     /// older files parse and older readers are not confused).
     pub regions: Vec<RegionSummary>,
+    /// Fabric-utilization counters (`None` in baselines recorded before
+    /// fabric observability existed; omitted from the JSON then).
+    pub fabric: Option<FabricSummary>,
 }
 
 /// The workload matrix a baseline was recorded under.
@@ -283,6 +323,18 @@ impl WorkloadRecord {
             regions.push(']');
             o.field_raw("regions", &regions);
         }
+        if let Some(f) = &self.fabric {
+            let mut fo = ObjectWriter::new();
+            fo.field_u64("alu_busy_thirds", f.alu_busy_thirds);
+            fo.field_u64("alu_capacity_thirds", f.alu_capacity_thirds);
+            fo.field_u64("mult_busy_thirds", f.mult_busy_thirds);
+            fo.field_u64("mult_capacity_thirds", f.mult_capacity_thirds);
+            fo.field_u64("ldst_busy_thirds", f.ldst_busy_thirds);
+            fo.field_u64("ldst_capacity_thirds", f.ldst_capacity_thirds);
+            fo.field_u64("writeback_writes", f.writeback_writes);
+            fo.field_u64("writeback_slots", f.writeback_slots);
+            o.field_raw("fabric", &fo.finish());
+        }
         o.finish()
     }
 
@@ -317,6 +369,35 @@ impl WorkloadRecord {
                 });
             }
         }
+        let fabric = match v.get("fabric") {
+            Some(fv) => {
+                let f = FabricSummary {
+                    alu_busy_thirds: get_u64(fv, "alu_busy_thirds")?,
+                    alu_capacity_thirds: get_u64(fv, "alu_capacity_thirds")?,
+                    mult_busy_thirds: get_u64(fv, "mult_busy_thirds")?,
+                    mult_capacity_thirds: get_u64(fv, "mult_capacity_thirds")?,
+                    ldst_busy_thirds: get_u64(fv, "ldst_busy_thirds")?,
+                    ldst_capacity_thirds: get_u64(fv, "ldst_capacity_thirds")?,
+                    writeback_writes: get_u64(fv, "writeback_writes")?,
+                    writeback_slots: get_u64(fv, "writeback_slots")?,
+                };
+                // Baselines only record finite Table 1 shapes, where
+                // busy can never exceed capacity.
+                for (class, busy, cap) in [
+                    ("alu", f.alu_busy_thirds, f.alu_capacity_thirds),
+                    ("mult", f.mult_busy_thirds, f.mult_capacity_thirds),
+                    ("ldst", f.ldst_busy_thirds, f.ldst_capacity_thirds),
+                ] {
+                    if busy > cap {
+                        return Err(PerfError::Parse(format!(
+                            "workload `{name}`: fabric {class} busy {busy} exceeds capacity {cap}"
+                        )));
+                    }
+                }
+                Some(f)
+            }
+            None => None,
+        };
         let record = WorkloadRecord {
             scalar_cycles: get_u64(v, "scalar_cycles")?,
             accel_cycles: get_u64(v, "accel_cycles")?,
@@ -339,6 +420,7 @@ impl WorkloadRecord {
                 peak_rss_bytes: get_u64(host_v, "peak_rss_bytes")?,
             },
             regions,
+            fabric,
             name,
         };
         if record.attribution.total() != record.accel_cycles {
@@ -418,6 +500,7 @@ mod tests {
                     peak_rss_bytes: 1 << 20,
                 },
                 regions: vec![],
+                fabric: None,
             }],
         }
     }
@@ -455,6 +538,40 @@ mod tests {
         // A region-free record keeps the field out entirely, so files
         // from before region forensics stay byte-stable.
         assert!(!sample().to_json().contains("\"regions\""));
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_fabric() {
+        let mut b = sample();
+        b.workloads[0].fabric = Some(FabricSummary {
+            alu_busy_thirds: 120,
+            alu_capacity_thirds: 480,
+            mult_busy_thirds: 18,
+            mult_capacity_thirds: 72,
+            ldst_busy_thirds: 9,
+            ldst_capacity_thirds: 36,
+            writeback_writes: 30,
+            writeback_slots: 90,
+        });
+        let json = b.to_json();
+        assert!(json.contains("\"fabric\""), "{json}");
+        let parsed = Baseline::parse(&json).unwrap();
+        assert_eq!(parsed, b);
+        // A fabric-free record keeps the field out entirely, so files
+        // from before fabric observability stay byte-stable.
+        assert!(!sample().to_json().contains("\"fabric\""));
+    }
+
+    #[test]
+    fn rejects_fabric_busy_beyond_capacity() {
+        let mut b = sample();
+        b.workloads[0].fabric = Some(FabricSummary {
+            alu_busy_thirds: 500,
+            alu_capacity_thirds: 480,
+            ..FabricSummary::default()
+        });
+        let e = Baseline::parse(&b.to_json()).unwrap_err();
+        assert!(e.to_string().contains("exceeds capacity"), "{e}");
     }
 
     #[test]

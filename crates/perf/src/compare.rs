@@ -22,17 +22,36 @@ pub(crate) struct Metric {
     pub host: bool,
     /// Which direction is a regression.
     pub direction: Direction,
+    /// Whether the record carries the metric at all. Fabric metrics are
+    /// absent from baselines recorded before fabric observability; the
+    /// gate skips a check when either side lacks it rather than
+    /// reporting a phantom regression against zero.
+    pub present: fn(&WorkloadRecord) -> bool,
 }
 
 macro_rules! metric {
     ($name:literal, $host:expr, $dir:ident, |$w:ident| $body:expr) => {
+        metric!($name, $host, $dir, |$w| $body, present | _w | true)
+    };
+    ($name:literal, $host:expr, $dir:ident, |$w:ident| $body:expr,
+     present |$p:ident| $pbody:expr) => {
         Metric {
             name: $name,
             extract: |$w: &WorkloadRecord| $body,
             host: $host,
             direction: Direction::$dir,
+            present: |$p: &WorkloadRecord| $pbody,
         }
     };
+}
+
+/// `100 * num / den`, 0 when the denominator is 0.
+fn fabric_pct(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        100.0 * num as f64 / den as f64
+    }
 }
 
 /// Every metric of the baseline schema, simulated first.
@@ -98,6 +117,54 @@ pub(crate) const METRICS: &[Metric] = &[
     ),
     metric!("rcache_flushes", false, HigherIsWorse, |w| w.rcache.flushes
         as f64),
+    metric!(
+        "fabric_util_pct",
+        false,
+        LowerIsWorse,
+        |w| w
+            .fabric
+            .map_or(0.0, |f| fabric_pct(f.busy_total(), f.capacity_total())),
+        present | w | w.fabric.is_some()
+    ),
+    metric!(
+        "fabric_alu_busy_pct",
+        false,
+        LowerIsWorse,
+        |w| w.fabric.map_or(0.0, |f| fabric_pct(
+            f.alu_busy_thirds,
+            f.alu_capacity_thirds
+        )),
+        present | w | w.fabric.is_some()
+    ),
+    metric!(
+        "fabric_mult_busy_pct",
+        false,
+        LowerIsWorse,
+        |w| w.fabric.map_or(0.0, |f| fabric_pct(
+            f.mult_busy_thirds,
+            f.mult_capacity_thirds
+        )),
+        present | w | w.fabric.is_some()
+    ),
+    metric!(
+        "fabric_ldst_busy_pct",
+        false,
+        LowerIsWorse,
+        |w| w.fabric.map_or(0.0, |f| fabric_pct(
+            f.ldst_busy_thirds,
+            f.ldst_capacity_thirds
+        )),
+        present | w | w.fabric.is_some()
+    ),
+    metric!(
+        "writeback_saturation_pct",
+        false,
+        HigherIsWorse,
+        |w| w
+            .fabric
+            .map_or(0.0, |f| fabric_pct(f.writeback_writes, f.writeback_slots)),
+        present | w | w.fabric.is_some()
+    ),
     metric!(
         "wall_nanos_min",
         true,
@@ -479,6 +546,7 @@ mod tests {
                     peak_rss_bytes: 0,
                 },
                 regions: vec![],
+                fabric: None,
             }],
         }
     }

@@ -263,6 +263,13 @@ pub fn gate(base: &Baseline, cur: &Baseline, spec: &ToleranceSpec) -> GateOutcom
         };
         for (name, tol) in &spec.entries {
             let metric = metric_by_name(name).expect("spec validated at parse time");
+            if !(metric.present)(b) || !(metric.present)(c) {
+                out.notes.push(format!(
+                    "{} {}: absent from one side (pre-fabric baseline?) — check skipped",
+                    b.name, name
+                ));
+                continue;
+            }
             let bv = (metric.extract)(b);
             let cv = (metric.extract)(c);
             let rel = rel_delta(bv, cv);
@@ -351,6 +358,7 @@ mod tests {
                     peak_rss_bytes: 1 << 20,
                 },
                 regions: vec![],
+                fabric: None,
             }],
         }
     }
@@ -444,6 +452,51 @@ mod tests {
         assert!(!out.ok());
         let loose = ToleranceSpec::parse("[host]\nwall_nanos_min = 0.5\n").unwrap();
         assert!(gate(&base, &cur, &loose).ok());
+    }
+
+    #[test]
+    fn fabric_utilization_drop_fails_and_absence_skips() {
+        use crate::baseline::FabricSummary;
+        let mut base = sample();
+        base.workloads[0].fabric = Some(FabricSummary {
+            alu_busy_thirds: 240,
+            alu_capacity_thirds: 480,
+            mult_busy_thirds: 36,
+            mult_capacity_thirds: 72,
+            ldst_busy_thirds: 18,
+            ldst_capacity_thirds: 36,
+            writeback_writes: 30,
+            writeback_slots: 90,
+        });
+        let mut cur = base.clone();
+        let f = cur.workloads[0].fabric.as_mut().unwrap();
+        f.alu_busy_thirds = 120; // utilization halves
+        let spec =
+            ToleranceSpec::parse("[simulated]\nfabric_util_pct = 0.0\nfabric_alu_busy_pct = 0.0\n")
+                .unwrap();
+        let out = gate(&base, &cur, &spec);
+        assert!(!out.ok());
+        assert!(out.violations.iter().any(|v| v.metric == "fabric_util_pct"));
+        assert!(out
+            .violations
+            .iter()
+            .any(|v| v.metric == "fabric_alu_busy_pct"));
+
+        // Writeback saturation regresses in the other direction.
+        let mut hot = base.clone();
+        hot.workloads[0].fabric.as_mut().unwrap().writeback_writes = 89;
+        let spec = ToleranceSpec::parse("[simulated]\nwriteback_saturation_pct = 0.0\n").unwrap();
+        assert!(!gate(&base, &hot, &spec).ok());
+
+        // Against a pre-fabric baseline the checks are skipped with a
+        // note, never reported as phantom regressions against zero.
+        let old = sample();
+        assert!(old.workloads[0].fabric.is_none());
+        let spec = ToleranceSpec::parse("[simulated]\nwriteback_saturation_pct = 0.0\n").unwrap();
+        let out = gate(&old, &cur, &spec);
+        assert!(out.ok(), "{}", out.render());
+        assert_eq!(out.checks, 0);
+        assert!(out.notes.iter().any(|n| n.contains("skipped")));
     }
 
     #[test]

@@ -25,7 +25,8 @@ mod host;
 mod record;
 
 pub use baseline::{
-    Baseline, HostTelemetry, RcacheCounters, RecordMatrix, WorkloadRecord, BASELINE_SCHEMA_VERSION,
+    Baseline, FabricSummary, HostTelemetry, RcacheCounters, RecordMatrix, WorkloadRecord,
+    BASELINE_SCHEMA_VERSION,
 };
 pub use compare::{compare, Comparison, MetricDelta, WorkloadDiff};
 pub use gate::{gate, GateFinding, GateOutcome, ToleranceSpec};

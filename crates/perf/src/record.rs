@@ -1,7 +1,8 @@
 //! Capturing a baseline: run the matrix, collect every metric.
 
 use crate::baseline::{
-    Baseline, HostTelemetry, RcacheCounters, RecordMatrix, RegionSummary, WorkloadRecord,
+    Baseline, FabricSummary, HostTelemetry, RcacheCounters, RecordMatrix, RegionSummary,
+    WorkloadRecord,
 };
 use crate::host::{peak_rss_bytes, sim_mips};
 use crate::PerfError;
@@ -154,6 +155,17 @@ pub fn record(opts: &RecordOptions) -> Result<Baseline, PerfError> {
                 mispredicts: r.mispredicts,
             })
             .collect();
+        let heat = run.system.fabric_heat();
+        let fabric = Some(FabricSummary {
+            alu_busy_thirds: heat.busy_thirds[0],
+            alu_capacity_thirds: heat.capacity_thirds[0],
+            mult_busy_thirds: heat.busy_thirds[1],
+            mult_capacity_thirds: heat.capacity_thirds[1],
+            ldst_busy_thirds: heat.busy_thirds[2],
+            ldst_capacity_thirds: heat.capacity_thirds[2],
+            writeback_writes: heat.writeback_writes,
+            writeback_slots: heat.writeback_slots,
+        });
         workloads.push(WorkloadRecord {
             name: name.clone(),
             scalar_cycles,
@@ -177,6 +189,7 @@ pub fn record(opts: &RecordOptions) -> Result<Baseline, PerfError> {
                 peak_rss_bytes: peak_rss_bytes().unwrap_or(0),
             },
             regions,
+            fabric,
         });
     }
     Ok(Baseline {

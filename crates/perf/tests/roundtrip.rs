@@ -30,6 +30,15 @@ fn record_roundtrips_and_gates_green() {
         assert!(w.host.reps == 2);
     }
 
+    for w in &baseline.workloads {
+        // Fabric utilization is always captured on fresh recordings,
+        // with busy never exceeding the provisioned capacity.
+        let f = w.fabric.expect("fabric counters recorded");
+        assert!(f.capacity_total() > 0, "{} never used the array", w.name);
+        assert!(f.busy_total() <= f.capacity_total());
+        assert!(f.writeback_writes <= f.writeback_slots);
+    }
+
     // File-format round trip preserves everything.
     let parsed = Baseline::parse(&baseline.to_json()).expect("parses");
     assert_eq!(parsed, baseline);

@@ -141,6 +141,8 @@ struct CellRun {
     rcache_hits: u64,
     rcache_misses: u64,
     misspeculations: u64,
+    fabric_busy_thirds: u64,
+    fabric_capacity_thirds: u64,
 }
 
 fn cell_result_path(out_dir: &Path, id: &str) -> PathBuf {
@@ -157,6 +159,10 @@ fn cell_explain_path(out_dir: &Path, id: &str) -> PathBuf {
 
 fn cell_flight_path(out_dir: &Path, id: &str) -> PathBuf {
     out_dir.join("flight").join(format!("{id}.jsonl"))
+}
+
+fn cell_heat_path(out_dir: &Path, id: &str) -> PathBuf {
+    out_dir.join("heat").join(format!("{id}.json"))
 }
 
 /// The shared live-status board for one sweep invocation: entry 0
@@ -367,6 +373,15 @@ fn run_cell(cell: &CellSpec, baseline_cycles: u64, ctx: &CellCtx<'_>) -> Result<
             .map_err(|e| format!("snapshot write failed: {e}"))?;
     }
 
+    // Per-cell fabric heat summary for `heat/<id>.json`. Derived from
+    // the deterministic heat counters alone, so serial and parallel
+    // sweeps write byte-identical files; still host-convenience output
+    // like `explain/` — `cells/` and `report.txt` are unaffected.
+    let mut heat_json = dim_core::fabric_heat_json(system.fabric_heat());
+    heat_json.push('\n');
+    atomic_write(&cell_heat_path(out_dir, &cell.id), heat_json.as_bytes())
+        .map_err(|e| format!("heat write failed: {e}"))?;
+
     let accel_cycles = system.total_cycles();
     let stats = system.stats();
     let (hits, misses) = system.cache().hit_miss();
@@ -429,6 +444,8 @@ fn run_cell(cell: &CellSpec, baseline_cycles: u64, ctx: &CellCtx<'_>) -> Result<
         rcache_hits: hits,
         rcache_misses: misses,
         misspeculations: stats.misspeculations,
+        fabric_busy_thirds: system.fabric_heat().total_busy_thirds(),
+        fabric_capacity_thirds: system.fabric_heat().total_capacity_thirds(),
     })
 }
 
@@ -530,6 +547,8 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
                     worker.rcache_hits = run.rcache_hits;
                     worker.rcache_misses = run.rcache_misses;
                     worker.misspeculations = run.misspeculations;
+                    worker.fabric_busy_thirds = run.fabric_busy_thirds;
+                    worker.fabric_capacity_thirds = run.fabric_capacity_thirds;
                     worker.host_nanos = cell_nanos;
                     let agg = &mut entries[0];
                     agg.done += 1;
@@ -539,6 +558,8 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
                     agg.rcache_hits += run.rcache_hits;
                     agg.rcache_misses += run.rcache_misses;
                     agg.misspeculations += run.misspeculations;
+                    agg.fabric_busy_thirds += run.fabric_busy_thirds;
+                    agg.fabric_capacity_thirds += run.fabric_capacity_thirds;
                     agg.host_nanos = start.elapsed().as_nanos() as u64;
                 });
                 cell_wall
@@ -753,6 +774,13 @@ pub fn bench_compare(
     for cell in spec.expand() {
         let a = std::fs::read(cell_result_path(&serial_dir, &cell.id))?;
         let b = std::fs::read(cell_result_path(&parallel_dir, &cell.id))?;
+        if a != b {
+            identical = false;
+        }
+        // Heat summaries derive from deterministic counters, so they
+        // share the byte-identity guarantee with `cells/`.
+        let a = std::fs::read(cell_heat_path(&serial_dir, &cell.id))?;
+        let b = std::fs::read(cell_heat_path(&parallel_dir, &cell.id))?;
         if a != b {
             identical = false;
         }

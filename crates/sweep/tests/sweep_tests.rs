@@ -58,6 +58,31 @@ fn parallel_results_byte_identical_to_serial() {
         fs::read(parallel_dir.join("report.txt")).unwrap()
     );
 
+    // The per-cell fabric heat summaries share the byte-identity
+    // guarantee, and each one is valid JSON obeying the conservation
+    // law busy ≤ capacity per class.
+    for cell in spec.expand() {
+        let name = format!("{}.json", cell.id);
+        let a = fs::read(serial_dir.join("heat").join(&name)).unwrap();
+        let b = fs::read(parallel_dir.join("heat").join(&name)).unwrap();
+        assert_eq!(a, b, "heat summary for `{}` diverged", cell.id);
+        let v = dim_obs::parse_json(std::str::from_utf8(&a).unwrap()).unwrap();
+        let class = |obj: &str, key: &str| {
+            v.get(obj)
+                .and_then(|o| o.get(key))
+                .and_then(dim_obs::JsonValue::as_u64)
+                .unwrap()
+        };
+        for k in ["alu", "mult", "ldst"] {
+            assert!(
+                class("busy_thirds", k) <= class("capacity_thirds", k),
+                "{}: {k} busy exceeds capacity",
+                cell.id
+            );
+        }
+        assert!(v.get("invocations").and_then(dim_obs::JsonValue::as_u64) > Some(0));
+    }
+
     fs::remove_dir_all(&serial_dir).ok();
     fs::remove_dir_all(&parallel_dir).ok();
 }
