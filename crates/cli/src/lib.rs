@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 mod debugger;
+mod spans;
 
 pub use debugger::debug_session;
 
@@ -106,7 +107,9 @@ commands:
   top    <dir-or-status-file> [--follow]
                                      render the live telemetry published by a
                                      running sweep or accel: per-worker state,
-                                     progress, rcache hit rate and sim-MIPS
+                                     progress, rcache hit rate, sim-MIPS, and —
+                                     for serving daemons — p99 request latency
+                                     and queue depth
                                      (--follow polls until the run finishes)
   perf   record --out <f.json> [--name N] [--workloads a,b,c] [--scale S]
                 [--shape 1|2|3] [--slots N] [--no-spec] [--reps N]
@@ -138,14 +141,26 @@ commands:
                                      shared verifier-gated warm rcache shards
                                      that warm-start from and drain to
                                      <shard-dir>/*.dimrc; live telemetry in
-                                     <status-dir>/status.dimstat (dim top)
+                                     <status-dir>/status.dimstat (dim top) and
+                                     a wall-clock span dump in
+                                     <status-dir>/spans.dimspan at drain
+                                     (dim spans)
   serve  --selftest [--jobs N] [--clients N] [--requests N] [--bench-out <dir>]
                                      in-process load generator against a real
-                                     daemon: cold-vs-warm ramp and latency
-                                     percentiles -> BENCH_serve.json
+                                     daemon: cold-vs-warm ramp, latency
+                                     percentiles, and span-derived stage
+                                     breakdowns -> BENCH_serve.json (the span
+                                     dump lands beside it)
   submit <socket> <request.file> [--json]
                                      send one request file to a running daemon
                                      and print the reply (see docs/serving.md)
+  spans  <spans.dimspan> [--json] [--chrome-out <f.json>]
+                                     analyze a wall-clock span dump from serve
+                                     or sweep: per-stage latency percentiles,
+                                     per-tenant aggregation, the slowest
+                                     request's waterfall + critical path, and
+                                     engine host-time attribution; exits
+                                     non-zero on span-law violations
   debug  <file> [--script <cmds>]    scriptable debugger (stdin by default)
   help                               show this text
 
@@ -1277,8 +1292,18 @@ fn heat_from_trace(
 fn render_status(entries: &[StatusEntry], out: &mut impl Write) -> Result<(), CliError> {
     writeln!(
         out,
-        "{:<10} {:<8} {:>9}  {:<24} {:>12} {:>14} {:>6} {:>6} {:>9}",
-        "source", "state", "done", "label", "retired", "sim cycles", "hit%", "fab%", "sim-MIPS"
+        "{:<10} {:<8} {:>9}  {:<24} {:>12} {:>14} {:>6} {:>6} {:>9} {:>8} {:>5}",
+        "source",
+        "state",
+        "done",
+        "label",
+        "retired",
+        "sim cycles",
+        "hit%",
+        "fab%",
+        "sim-MIPS",
+        "p99-us",
+        "queue"
     )?;
     for e in entries {
         let lookups = e.rcache_hits + e.rcache_misses;
@@ -1304,9 +1329,21 @@ fn render_status(entries: &[StatusEntry], out: &mut impl Write) -> Result<(), Cl
             // retired / (host_nanos / 1e9) / 1e6.
             format!("{:.1}", e.retired as f64 * 1000.0 / e.host_nanos as f64)
         };
+        // Request-latency columns only apply to serving aggregates
+        // (and to status v2 files they default to 0) — render `-`.
+        let p99 = if e.latency_p99_micros == 0 {
+            "-".to_string()
+        } else {
+            e.latency_p99_micros.to_string()
+        };
+        let queue = if e.queue_depth == 0 && e.latency_p99_micros == 0 {
+            "-".to_string()
+        } else {
+            e.queue_depth.to_string()
+        };
         writeln!(
             out,
-            "{:<10} {:<8} {:>9}  {:<24} {:>12} {:>14} {:>6} {:>6} {:>9}",
+            "{:<10} {:<8} {:>9}  {:<24} {:>12} {:>14} {:>6} {:>6} {:>9} {:>8} {:>5}",
             e.source,
             e.state,
             format!("{}/{}", e.done, e.total),
@@ -1315,7 +1352,9 @@ fn render_status(entries: &[StatusEntry], out: &mut impl Write) -> Result<(), Cl
             e.sim_cycles,
             hit_pct,
             fab_pct,
-            sim_mips
+            sim_mips,
+            p99,
+            queue
         )?;
     }
     Ok(())
@@ -2004,10 +2043,21 @@ fn cmd_serve(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
             "selftest: ramp cold {} cycles -> warm {} cycles",
             report.cold_cycles, report.warm_cycles
         )?;
+        writeln!(
+            out,
+            "selftest: simulate stage cold {}ns -> warm {}ns, span laws {}",
+            report.cold_sim_nanos,
+            report.warm_sim_nanos,
+            if report.span_laws_ok {
+                "ok"
+            } else {
+                "VIOLATED"
+            }
+        )?;
         writeln!(out, "selftest: bench -> {}", report.bench_path.display())?;
         if !report.ok {
             return Err(CliError::new(
-                "serve: selftest failed (incomplete requests or warm shard did not beat cold start)",
+                "serve: selftest failed (incomplete requests, warm shard did not beat cold start, or span gate tripped)",
             ));
         }
         return Ok(());
@@ -2155,6 +2205,7 @@ pub fn dispatch(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         Some("lint") => cmd_lint(&args[1..], out),
         Some("verify") => cmd_verify(&args[1..], out),
         Some("serve") => cmd_serve(&args[1..], out),
+        Some("spans") => spans::cmd_spans(&args[1..], out),
         Some("submit") => cmd_submit(&args[1..], out),
         Some("debug") => cmd_debug(&args[1..], out),
         Some("compare") => cmd_compare(&args[1..], out),
@@ -2548,6 +2599,10 @@ mod tests {
             assert!(table.contains("done"), "{table}");
             assert!(table.contains("2/2"), "{table}");
             assert!(table.contains("worker-1"), "{table}");
+            // Request-latency columns exist but render `-` for sweep
+            // entries, which never serve requests.
+            assert!(table.contains("p99-us"), "{table}");
+            assert!(table.contains("queue"), "{table}");
         }
 
         let err = run_cli(&["top", "/nonexistent/status.dimstat"]).unwrap_err();
@@ -3172,5 +3227,101 @@ quit
             "{summary}"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Writes a two-request span dump driven by a fake clock, so every
+    /// expected duration below is exact.
+    fn fake_span_dump(name: &str) -> std::path::PathBuf {
+        use dim_obs::{FakeClock, SharedClock, SpanSheet};
+        let clock = FakeClock::shared(1_000);
+        let sheet = SpanSheet::new(std::sync::Arc::clone(&clock) as SharedClock, 16);
+        for (seq, tenant) in [(1u64, "alpha"), (2u64, "beta")] {
+            let root = sheet.begin_root("request", tenant, seq);
+            let queue = sheet.begin("queue_wait", root);
+            clock.advance(2_000);
+            sheet.end(queue);
+            let exec = sheet.begin("exec", root);
+            clock.advance(seq * 10_000);
+            sheet.end(exec);
+            sheet.end(root);
+        }
+        tmp_file(name, &sheet.render())
+    }
+
+    #[test]
+    fn spans_analyzes_a_dump_and_exports_chrome_trace() {
+        let dump = fake_span_dump("t60.dimspan");
+        let text = run_cli(&["spans", dump.to_str().unwrap()]).unwrap();
+        assert!(text.contains("2 request tree(s)"), "{text}");
+        assert!(text.contains("laws: ok"), "{text}");
+        assert!(text.contains("per-stage latency"), "{text}");
+        assert!(text.contains("queue_wait"), "{text}");
+        // The slowest request is beta's (20 ms exec vs alpha's 10 ms).
+        assert!(text.contains("tenant `beta` seq 2"), "{text}");
+        assert!(text.contains("critical path: request -> exec"), "{text}");
+
+        let json = run_cli(&["spans", dump.to_str().unwrap(), "--json"]).unwrap();
+        let v = dim_obs::parse_json(&json).unwrap();
+        assert_eq!(
+            v.get("laws_ok").and_then(dim_obs::JsonValue::as_bool),
+            Some(true)
+        );
+        let exec = v.get("stages").and_then(|s| s.get("exec")).unwrap();
+        assert_eq!(
+            exec.get("count").and_then(dim_obs::JsonValue::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            exec.get("max_nanos").and_then(dim_obs::JsonValue::as_u64),
+            Some(20_000)
+        );
+        let beta = v.get("tenants").and_then(|t| t.get("beta")).unwrap();
+        assert_eq!(
+            beta.get("requests").and_then(dim_obs::JsonValue::as_u64),
+            Some(1)
+        );
+
+        let chrome = tmp_file("t60-chrome.json", "");
+        run_cli(&[
+            "spans",
+            dump.to_str().unwrap(),
+            "--chrome-out",
+            chrome.to_str().unwrap(),
+        ])
+        .unwrap();
+        let trace = std::fs::read_to_string(&chrome).unwrap();
+        let v = dim_obs::parse_json(&trace).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        // 2 thread_name metadata events + 6 span events.
+        assert_eq!(events.len(), 8, "{trace}");
+        assert!(trace.contains("\"ph\":\"X\""), "{trace}");
+        assert!(trace.contains("beta #2"), "{trace}");
+    }
+
+    #[test]
+    fn spans_flags_law_violations_and_bad_files() {
+        use dim_obs::{FakeClock, SharedClock, SpanSheet};
+        // A dump with an un-ended child trips the text-mode exit and is
+        // reported (not hidden) in --json.
+        let clock = FakeClock::shared(0);
+        let sheet = SpanSheet::new(std::sync::Arc::clone(&clock) as SharedClock, 4);
+        let root = sheet.begin_root("request", "t", 1);
+        let _leak = sheet.begin("exec", root);
+        clock.advance(500);
+        sheet.end(root);
+        let dump = tmp_file("t61.dimspan", &sheet.render());
+        let err = run_cli(&["spans", dump.to_str().unwrap()]).unwrap_err();
+        assert!(err.to_string().contains("law violation"), "{err}");
+        let json = run_cli(&["spans", dump.to_str().unwrap(), "--json"]).unwrap();
+        assert!(json.contains("\"laws_ok\":false"), "{json}");
+        assert!(json.contains("never ended"), "{json}");
+
+        let err = run_cli(&["spans", "/nonexistent/spans.dimspan"]).unwrap_err();
+        assert!(!err.to_string().is_empty());
+        let garbage = tmp_file("t61-garbage.dimspan", "not a span frame\n");
+        let err = run_cli(&["spans", garbage.to_str().unwrap()]).unwrap_err();
+        assert!(!err.to_string().is_empty());
+        let err = run_cli(&["spans"]).unwrap_err();
+        assert!(err.to_string().contains("missing"), "{err}");
     }
 }

@@ -15,7 +15,9 @@ use crate::{
 use dim_cgra::{ArrayShape, ArrayTiming, Configuration, EncodingParams, FabricHeat};
 use dim_mips::Instruction;
 use dim_mips_sim::{HaltReason, Machine, SimError};
-use dim_obs::{ArrayInvoke, FabricUtil, NullProbe, Probe, ProbeEvent};
+use dim_obs::{
+    ArrayInvoke, FabricUtil, HostBucket, HostSplit, NullProbe, Probe, ProbeEvent, SharedClock,
+};
 use std::collections::HashMap;
 
 /// All accelerator parameters for one experiment point.
@@ -113,6 +115,7 @@ pub struct System {
     pub(crate) predictor: BimodalPredictor,
     stats: DimStats,
     fabric: FabricHeat,
+    host_split: Option<Box<HostSplit>>,
     stored_bits_per_config: u64,
     pub(crate) misspec_counts: HashMap<u32, u32>,
     trace: Option<Trace>,
@@ -141,6 +144,7 @@ impl System {
             predictor: BimodalPredictor::new(),
             stats: DimStats::new(),
             fabric: FabricHeat::new(),
+            host_split: None,
             stored_bits_per_config: stored_bits,
             misspec_counts: HashMap::new(),
             trace: None,
@@ -196,6 +200,22 @@ impl System {
     /// span.
     pub fn fabric_heat(&self) -> &FabricHeat {
         &self.fabric
+    }
+
+    /// Enables host-time attribution: subsequent
+    /// [`run_probed`](System::run_probed) iterations split wall time
+    /// (read from `clock`, strided-sampled) across the
+    /// {fetch/decode, translate, rcache, array-replay}
+    /// [`HostBucket`]s. Off by default — the uninstrumented hot loop
+    /// pays nothing.
+    pub fn enable_host_split(&mut self, clock: SharedClock) {
+        self.host_split = Some(Box::new(HostSplit::new(clock)));
+    }
+
+    /// The host-time attribution accumulated so far, if
+    /// [`enable_host_split`](System::enable_host_split) was called.
+    pub fn host_split(&self) -> Option<&HostSplit> {
+        self.host_split.as_deref()
     }
 
     /// The reconfiguration cache.
@@ -275,7 +295,17 @@ impl System {
                 break reason;
             }
             let pc = self.machine.cpu.pc;
+            // Host-time attribution brackets the four engine sections.
+            // When disabled the `Option` check is the entire cost; when
+            // enabled, most occurrences pay one counter increment (the
+            // clock is only read on strided samples — see `HostSplit`).
+            if let Some(split) = self.host_split.as_deref_mut() {
+                split.enter(HostBucket::Rcache);
+            }
             let hit = self.cache.lookup(pc).cloned();
+            if let Some(split) = self.host_split.as_deref_mut() {
+                split.exit(HostBucket::Rcache);
+            }
             if let Some(config) = hit {
                 if P::ENABLED {
                     probe.emit(ProbeEvent::RcacheHit {
@@ -286,25 +316,51 @@ impl System {
                 // A cache hit interrupts any in-flight detection region.
                 // (The inserted partial may even evict the entry we are
                 // about to execute, which is why it was cloned first.)
+                if let Some(split) = self.host_split.as_deref_mut() {
+                    split.enter(HostBucket::Translate);
+                }
                 if let Some(partial) = self.translator.take_partial_probed(pc, probe) {
                     self.insert_config(partial, probe);
                 }
+                if let Some(split) = self.host_split.as_deref_mut() {
+                    split.exit(HostBucket::Translate);
+                }
                 retired += config.instruction_count() as u64;
-                self.execute_config(&config, probe)?;
+                if let Some(split) = self.host_split.as_deref_mut() {
+                    split.enter(HostBucket::ArrayReplay);
+                }
+                let exec = self.execute_config(&config, probe);
+                if let Some(split) = self.host_split.as_deref_mut() {
+                    split.exit(HostBucket::ArrayReplay);
+                }
+                exec?;
             } else {
                 if P::ENABLED {
                     probe.emit(ProbeEvent::RcacheMiss { pc });
                 }
-                let info = self.machine.step_probed(probe)?;
+                if let Some(split) = self.host_split.as_deref_mut() {
+                    split.enter(HostBucket::FetchDecode);
+                }
+                let step = self.machine.step_probed(probe);
+                if let Some(split) = self.host_split.as_deref_mut() {
+                    split.exit(HostBucket::FetchDecode);
+                }
+                let info = step?;
                 retired += 1;
                 if let Some(taken) = info.taken {
                     self.predictor.update(info.pc, taken);
+                }
+                if let Some(split) = self.host_split.as_deref_mut() {
+                    split.enter(HostBucket::Translate);
                 }
                 if let Some(done) = self
                     .translator
                     .observe_probed(&info, &self.predictor, probe)
                 {
                     self.insert_config(done, probe);
+                }
+                if let Some(split) = self.host_split.as_deref_mut() {
+                    split.exit(HostBucket::Translate);
                 }
             }
         };
@@ -666,6 +722,30 @@ mod tests {
         assert!(spec < base);
         // Speculation folds the loop branch into the configuration.
         assert!(spec <= nospec, "spec {spec} > nospec {nospec}");
+    }
+
+    #[test]
+    fn host_split_populates_all_four_engine_buckets() {
+        let (mut sys, _base) = build(SUM_LOOP, ArrayShape::config1(), 64, false);
+        sys.enable_host_split(dim_obs::MonotonicClock::shared());
+        sys.run(10_000_000).unwrap();
+        let split = sys.host_split().expect("enabled");
+        // Every loop iteration looks up the rcache; misses fetch/decode
+        // and feed the translator; hits replay on the array.
+        assert!(split.count(HostBucket::Rcache) > 0);
+        assert!(split.count(HostBucket::FetchDecode) > 0);
+        assert!(split.count(HostBucket::Translate) > 0);
+        assert!(split.count(HostBucket::ArrayReplay) > 0);
+        assert!(sys.stats().array_invocations > 0, "workload never warmed");
+        // Priming samples guarantee a nonzero estimate per used bucket.
+        assert!(split.sampled(HostBucket::Rcache) > 0);
+    }
+
+    #[test]
+    fn host_split_is_off_by_default() {
+        let (mut sys, _base) = build(SUM_LOOP, ArrayShape::config1(), 64, false);
+        sys.run(10_000_000).unwrap();
+        assert!(sys.host_split().is_none());
     }
 
     #[test]

@@ -38,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+pub mod clock;
 mod event;
 mod flight;
 pub mod frame;
@@ -48,9 +49,11 @@ mod metrics;
 mod probe;
 mod profile;
 pub mod replay;
+pub mod span;
 pub mod status;
 mod watchdog;
 
+pub use clock::{Clock, FakeClock, MonotonicClock, SharedClock};
 pub use event::{
     ArrayInvoke, FabricUtil, ProbeEvent, RetireKind, EVENT_KINDS, EVENT_KIND_NAMES, SCHEMA_VERSION,
 };
@@ -61,4 +64,8 @@ pub use jsonl::JsonlSink;
 pub use metrics::{IntervalSnapshot, LogHistogram, MetricsRegistry};
 pub use probe::{NullProbe, Probe, RecordingProbe};
 pub use profile::{AttributionKind, BlockCycles, CycleProfile, CycleProfiler};
+pub use span::{
+    HostBucket, HostSplit, SpanFile, SpanForest, SpanGuard, SpanId, SpanSheet, SPAN_FILE_NAME,
+    SPAN_MAGIC, SPAN_VERSION,
+};
 pub use watchdog::{Violation, Watchdog};

@@ -14,6 +14,7 @@
 //! determinism contract (wall-clock fields make them inherently
 //! nondeterministic).
 
+use crate::clock::{MonotonicClock, SharedClock};
 use crate::event::ProbeEvent;
 use crate::frame::{parse_text_frame, render_text_frame, TextFrameError};
 use crate::json::{parse, JsonValue, ObjectWriter};
@@ -23,7 +24,6 @@ use std::fs;
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
 
 /// Magic string identifying a status file header.
 pub const STATUS_MAGIC: &str = "DIMSTAT";
@@ -31,9 +31,11 @@ pub const STATUS_MAGIC: &str = "DIMSTAT";
 ///
 /// History: **1** — initial entry vocabulary; **2** — adds the
 /// `fabric_busy_thirds`/`fabric_capacity_thirds` pair feeding the
-/// `dim top` fabric-utilization column. Readers accept older versions
-/// (the new fields default to 0) and reject newer ones.
-pub const STATUS_VERSION: u64 = 2;
+/// `dim top` fabric-utilization column; **3** — adds the span-derived
+/// `latency_p99_micros`/`queue_depth` pair feeding the `dim top` p99
+/// and queue columns. Readers accept older versions (the new fields
+/// default to 0) and reject newer ones.
+pub const STATUS_VERSION: u64 = 3;
 /// Conventional file name, appended when a directory is given.
 pub const STATUS_FILE_NAME: &str = "status.dimstat";
 
@@ -120,6 +122,13 @@ pub struct StatusEntry {
     /// Available fabric unit-thirds so far (version 2; 0 when read from
     /// a version-1 file or on infinite shapes — utilization unknown).
     pub fabric_capacity_thirds: u64,
+    /// p99 request latency in microseconds over recent completions
+    /// (version 3; serve aggregate only — 0 elsewhere or when read
+    /// from an older file).
+    pub latency_p99_micros: u64,
+    /// Requests currently queued awaiting dispatch (version 3; serve
+    /// aggregate only — 0 elsewhere or when read from an older file).
+    pub queue_depth: u64,
 }
 
 impl StatusEntry {
@@ -139,6 +148,8 @@ impl StatusEntry {
         o.field_u64("host_nanos", self.host_nanos);
         o.field_u64("fabric_busy_thirds", self.fabric_busy_thirds);
         o.field_u64("fabric_capacity_thirds", self.fabric_capacity_thirds);
+        o.field_u64("latency_p99_micros", self.latency_p99_micros);
+        o.field_u64("queue_depth", self.queue_depth);
         o.finish()
     }
 
@@ -179,6 +190,9 @@ impl StatusEntry {
             // Version-2 fields: default when reading a version-1 file.
             fabric_busy_thirds: get_u64_or("fabric_busy_thirds", 0),
             fabric_capacity_thirds: get_u64_or("fabric_capacity_thirds", 0),
+            // Version-3 fields: default when reading an older file.
+            latency_p99_micros: get_u64_or("latency_p99_micros", 0),
+            queue_depth: get_u64_or("queue_depth", 0),
         })
     }
 }
@@ -278,20 +292,38 @@ pub struct StatusPulse<F: FnMut(&StatusEntry)> {
     entry: StatusEntry,
     interval: u64,
     last_publish: u64,
-    started: Instant,
+    clock: SharedClock,
+    started_nanos: u64,
     publish: F,
 }
 
 impl<F: FnMut(&StatusEntry)> StatusPulse<F> {
     /// A pulse starting from `entry` (its identity fields — source,
     /// label, state, done/total — are preserved verbatim), publishing
-    /// every `interval_cycles` (0 = only at finish).
+    /// every `interval_cycles` (0 = only at finish). Host time comes
+    /// from a fresh real clock; use
+    /// [`with_clock`](StatusPulse::with_clock) to inject one.
     pub fn new(entry: StatusEntry, interval_cycles: u64, publish: F) -> StatusPulse<F> {
+        StatusPulse::with_clock(entry, interval_cycles, MonotonicClock::shared(), publish)
+    }
+
+    /// Like [`new`](StatusPulse::new) with an injected clock, so hosts
+    /// that already carry a [`SharedClock`] (serve, sweep) report
+    /// `host_nanos` on the same timebase as their spans — and tests
+    /// can drive a deterministic fake.
+    pub fn with_clock(
+        entry: StatusEntry,
+        interval_cycles: u64,
+        clock: SharedClock,
+        publish: F,
+    ) -> StatusPulse<F> {
+        let started_nanos = clock.now_nanos();
         StatusPulse {
             entry,
             interval: interval_cycles,
             last_publish: 0,
-            started: Instant::now(),
+            clock,
+            started_nanos,
             publish,
         }
     }
@@ -302,7 +334,7 @@ impl<F: FnMut(&StatusEntry)> StatusPulse<F> {
     }
 
     fn publish_now(&mut self) {
-        self.entry.host_nanos = self.started.elapsed().as_nanos() as u64;
+        self.entry.host_nanos = self.clock.now_nanos().saturating_sub(self.started_nanos);
         (self.publish)(&self.entry);
         self.last_publish = self.entry.sim_cycles;
     }
@@ -365,6 +397,8 @@ mod tests {
                     host_nanos: 5_000_000,
                     fabric_busy_thirds: 900,
                     fabric_capacity_thirds: 3_000,
+                    latency_p99_micros: 850,
+                    queue_depth: 3,
                 },
                 StatusEntry {
                     source: "worker-0".into(),
@@ -405,6 +439,42 @@ mod tests {
             StatusFile::parse(&text),
             Err(StatusError::UnsupportedVersion(v)) if v == STATUS_VERSION + 1
         ));
+    }
+
+    /// Version-2 files (no `latency_p99_micros`/`queue_depth`) still
+    /// read, with the new fields defaulting to 0.
+    #[test]
+    fn reads_version_2_files_with_defaults() {
+        let body = "{\"source\":\"serve\",\"label\":\"\",\"state\":\"running\",\"done\":1,\
+                    \"total\":2,\"retired\":10,\"sim_cycles\":20,\"invocations\":0,\
+                    \"rcache_hits\":0,\"rcache_misses\":0,\"misspeculations\":0,\
+                    \"host_nanos\":99,\"fabric_busy_thirds\":1,\"fabric_capacity_thirds\":3}\n";
+        let text = format!(
+            "{{\"type\":\"status_header\",\"magic\":\"DIMSTAT\",\"version\":2,\
+             \"entries\":1,\"body_fnv64\":\"{:016x}\"}}\n{body}",
+            fnv1a64(body.as_bytes())
+        );
+        let parsed = StatusFile::parse(&text).expect("v2 parses");
+        assert_eq!(parsed.entries[0].latency_p99_micros, 0);
+        assert_eq!(parsed.entries[0].queue_depth, 0);
+        assert_eq!(parsed.entries[0].fabric_capacity_thirds, 3);
+    }
+
+    #[test]
+    fn pulse_host_nanos_follows_injected_clock() {
+        use crate::clock::FakeClock;
+        use std::sync::Arc;
+        let clock = FakeClock::shared(500);
+        let published = std::cell::RefCell::new(Vec::new());
+        let mut pulse = StatusPulse::with_clock(
+            StatusEntry::default(),
+            0,
+            Arc::clone(&clock) as SharedClock,
+            |e: &StatusEntry| published.borrow_mut().push(e.clone()),
+        );
+        clock.advance(1_234);
+        pulse.finish();
+        assert_eq!(published.borrow()[0].host_nanos, 1_234);
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! Span-tree well-formedness properties: any LIFO-disciplined sequence
+//! of begins/ends driven through a [`SpanSheet`] must round-trip
+//! through the dump format into a forest where every span ended, every
+//! child nests inside its parent, nothing is trimmed as an orphan, and
+//! every tree's critical path is bounded by its root's wall time —
+//! and corrupting parent ids must trim, never panic or mis-nest.
+
+use dim_obs::span::SpanFile;
+use dim_obs::{FakeClock, SharedClock, SpanForest, SpanId, SpanSheet};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Replays `ops` against a fresh sheet: op 0 begins a span (root when
+/// the stack is empty, child of the top otherwise), op 1 ends the top,
+/// and any op advances the fake clock by `step` first. Ends are LIFO,
+/// so intervals nest by construction. Returns the dump and the number
+/// of spans begun.
+fn drive(ops: &[(u8, u16)], capacity: usize) -> (String, usize) {
+    let clock = FakeClock::shared(1_000);
+    let sheet = SpanSheet::new(Arc::clone(&clock) as SharedClock, capacity);
+    let mut stack: Vec<SpanId> = Vec::new();
+    let mut begun = 0usize;
+    for &(op, step) in ops {
+        clock.advance(u64::from(step) + 1);
+        match op % 3 {
+            0 => {
+                let id = match stack.last() {
+                    Some(&parent) => sheet.begin("stage", parent),
+                    None => sheet.begin_root("request", "tenant", begun as u64),
+                };
+                if id.is_some() {
+                    stack.push(id);
+                }
+                begun += 1;
+            }
+            1 => {
+                if let Some(id) = stack.pop() {
+                    sheet.end(id);
+                }
+            }
+            _ => {} // pure clock advance
+        }
+    }
+    while let Some(id) = stack.pop() {
+        clock.advance(1);
+        sheet.end(id);
+    }
+    (sheet.render(), begun)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every LIFO-driven dump parses back into a forest obeying all
+    /// the span laws, with nothing trimmed and every begin accounted
+    /// for (recorded or counted as dropped at capacity).
+    #[test]
+    fn lifo_trees_round_trip_and_obey_all_laws(
+        ops in proptest::collection::vec((0u8..3, 0u16..500), 0..120),
+        capacity in prop_oneof![Just(4usize), Just(16), Just(64), Just(512)],
+    ) {
+        let (dump, begun) = drive(&ops, capacity);
+        let file = SpanFile::parse(&dump).expect("dump must parse");
+        prop_assert_eq!(file.spans.len() + file.dropped as usize, begun);
+        let forest = SpanForest::build(&file);
+        prop_assert_eq!(forest.orphans_trimmed, 0);
+        let violations = forest.check_laws();
+        prop_assert!(violations.is_empty(), "violations: {:?}\n{}", violations, dump);
+        // Stage-duration accounting covers every retained span.
+        let counted: usize = forest.stage_durations().values().map(Vec::len).sum();
+        prop_assert_eq!(counted, forest.spans.len());
+    }
+
+    /// The dump is a pure function of the op sequence under a fake
+    /// clock — byte-identical across runs.
+    #[test]
+    fn dump_is_deterministic_for_same_ops(
+        ops in proptest::collection::vec((0u8..3, 0u16..500), 0..60),
+    ) {
+        let (a, _) = drive(&ops, 64);
+        let (b, _) = drive(&ops, 64);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Corrupting parent ids (dangling parents, self-cycles) makes the
+    /// forest trim the affected subtrees as orphans — never panic, and
+    /// never retain a span whose parent chain misses every root.
+    #[test]
+    fn corrupted_parents_trim_orphans(
+        ops in proptest::collection::vec((0u8..3, 0u16..500), 1..80),
+        corrupt in proptest::collection::vec((0u16..200, 0u8..2), 0..8),
+    ) {
+        let (dump, _) = drive(&ops, 256);
+        let mut file = SpanFile::parse(&dump).expect("dump must parse");
+        let n = file.spans.len();
+        if n == 0 {
+            return Ok(());
+        }
+        for &(pick, kind) in &corrupt {
+            let index = pick as usize % n;
+            let span = &mut file.spans[index];
+            span.parent = match kind {
+                0 => span.id,          // self-cycle
+                _ => 1_000_000 + span.id, // dangling parent
+            };
+        }
+        let forest = SpanForest::build(&file);
+        prop_assert_eq!(forest.spans.len() + forest.orphans_trimmed, n);
+        // Retained spans still satisfy every law: corruption rewires
+        // ancestry (trimming whole subtrees), it never edits
+        // timestamps, so the surviving parent-child pairs are the
+        // original, properly nested ones.
+        let violations = forest.check_laws();
+        prop_assert!(violations.is_empty(), "violations: {:?}", violations);
+        // Every retained root really is a root.
+        for &root in &forest.roots {
+            prop_assert_eq!(forest.spans[root].parent, 0);
+        }
+    }
+}

@@ -21,6 +21,14 @@
 //! boot, so `dim verify` and `dim accel --load-rcache` interoperate
 //! with the daemon's state.
 //!
+//! Every request records a wall-clock span tree (accept → queue →
+//! schedule → execute, with sampled engine host-time attribution)
+//! through [`dim_obs::SpanSheet`]; the daemon dumps them to
+//! `<status-dir>/spans.dimspan` at drain for `dim spans` to turn into
+//! latency waterfalls. All host timing flows through an injectable
+//! [`dim_obs::Clock`], so latency behavior is testable with a fake
+//! clock and none of it touches the deterministic simulated results.
+//!
 //! Module map: [`proto`] (wire frames over the shared
 //! [`dim_obs::frame`] layout), [`request`] (request-file parsing and
 //! validation), [`shard`] (admission, eviction, trust boundary),

@@ -26,8 +26,12 @@ use dim_cgra::ArrayShape;
 use dim_core::{System, SystemConfig};
 use dim_mips_sim::{HaltReason, Machine};
 use dim_obs::frame::{read_frame, write_frame};
+use dim_obs::span::percentile_nanos;
 use dim_obs::status::{write_status, StatusEntry, StatusFile, StatusPulse, STATUS_FILE_NAME};
-use dim_obs::{FlightGuard, ObjectWriter, Probe as _};
+use dim_obs::{
+    FlightGuard, MonotonicClock, ObjectWriter, Probe as _, SharedClock, SpanId, SpanSheet,
+    SPAN_FILE_NAME,
+};
 use dim_sweep::{atomic_write, capture_panics, execute_jobs, DEFAULT_FLIGHT_CAPACITY};
 use dim_workloads::validate;
 use std::collections::{BTreeMap, VecDeque};
@@ -48,6 +52,11 @@ const DEFAULT_PULSE_CYCLES: u64 = 250_000;
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
 /// How long the drain waits for final replies to reach their sockets.
 const REPLY_FLUSH_TIMEOUT: Duration = Duration::from_secs(3);
+/// Default span-sheet capacity (spans, not requests; a request tree is
+/// typically 6–7 spans).
+pub const DEFAULT_SPAN_CAPACITY: usize = 16_384;
+/// Recent request latencies kept for the live p99 column.
+const LATENCY_WINDOW: usize = 1_024;
 
 /// Everything `dim serve` needs to run.
 #[derive(Debug, Clone)]
@@ -68,6 +77,9 @@ pub struct ServeOptions {
     pub flight_capacity: usize,
     /// Status/telemetry publish cadence in simulated cycles.
     pub telemetry_interval: u64,
+    /// Wall-clock span capacity (0 disables span tracing). Spans dump
+    /// to `out_dir/spans.dimspan` at drain.
+    pub span_capacity: usize,
 }
 
 impl ServeOptions {
@@ -82,6 +94,7 @@ impl ServeOptions {
             out_dir: None,
             flight_capacity: DEFAULT_FLIGHT_CAPACITY,
             telemetry_interval: DEFAULT_PULSE_CYCLES,
+            span_capacity: DEFAULT_SPAN_CAPACITY,
         }
     }
 }
@@ -144,6 +157,13 @@ struct Pending {
     seq: u64,
     request: Request,
     reply_tx: mpsc::Sender<Reply>,
+    /// Root of this request's span tree (opened at enqueue, closed in
+    /// `finish_request`); `SpanId::NONE` when tracing is off.
+    root_span: SpanId,
+    /// The currently open stage child (`queue_wait`, then `schedule`).
+    stage_span: SpanId,
+    /// Clock reading at enqueue, for end-to-end latency.
+    enqueue_nanos: u64,
 }
 
 /// Entry 0 aggregates the server; entries `1..=jobs` track workers.
@@ -186,8 +206,41 @@ impl StatusBoard {
     }
 }
 
+/// Fixed window of recent request latencies (microseconds) feeding the
+/// live p99 column; overwrites oldest-first once full.
+#[derive(Debug, Default)]
+struct LatencyRing {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+impl LatencyRing {
+    fn record(&mut self, micros: u64) {
+        if self.samples.len() < LATENCY_WINDOW {
+            self.samples.push(micros);
+        } else {
+            self.samples[self.next] = micros;
+            self.next = (self.next + 1) % LATENCY_WINDOW;
+        }
+    }
+
+    fn p99(&self) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        percentile_nanos(&sorted, 99)
+    }
+}
+
 struct ServerState {
     opts: ServeOptions,
+    clock: SharedClock,
+    /// Wall-clock span sheet shared by listener, dispatcher and
+    /// workers; `None` when `span_capacity` is 0.
+    spans: Option<SpanSheet>,
+    latencies: Mutex<LatencyRing>,
     queue: Mutex<VecDeque<Pending>>,
     queue_cv: Condvar,
     draining: AtomicBool,
@@ -206,6 +259,31 @@ struct ServerState {
 }
 
 impl ServerState {
+    fn span_begin_root(&self, stage: &'static str, tenant: &str, seq: u64) -> SpanId {
+        self.spans
+            .as_ref()
+            .map_or(SpanId::NONE, |s| s.begin_root(stage, tenant, seq))
+    }
+
+    fn span_begin(&self, stage: &'static str, parent: SpanId) -> SpanId {
+        self.spans
+            .as_ref()
+            .map_or(SpanId::NONE, |s| s.begin(stage, parent))
+    }
+
+    fn span_end(&self, id: SpanId) {
+        if let Some(sheet) = &self.spans {
+            sheet.end(id);
+        }
+    }
+
+    /// A drop guard for a fallible section; ends the span on every
+    /// exit path. `None` when tracing is off (dropping `None` is
+    /// free).
+    fn span_guard(&self, stage: &'static str, parent: SpanId) -> Option<dim_obs::SpanGuard<'_>> {
+        self.spans.as_ref().map(|s| s.guard(stage, parent))
+    }
+
     fn status_json(&self) -> String {
         let queue_depth = self.queue.lock().expect("queue lock").len() as u64;
         let mut tenants_json = String::from("[");
@@ -326,13 +404,25 @@ impl ServerState {
         }
         let seq = self.seq.fetch_add(1, Ordering::SeqCst);
         self.submitted.fetch_add(1, Ordering::SeqCst);
+        // The span tree starts the moment the request is accepted:
+        // root "request" plus its first stage child "queue_wait".
+        let root_span = self.span_begin_root("request", &request.tenant, seq);
+        let stage_span = self.span_begin("queue_wait", root_span);
+        let enqueue_nanos = self.clock.now_nanos();
         queue.push_back(Pending {
             seq,
             request,
             reply_tx: reply_tx.clone(),
+            root_span,
+            stage_span,
+            enqueue_nanos,
         });
+        let depth = queue.len() as u64;
         drop(queue);
-        self.board.update(|entries| entries[0].total += 1);
+        self.board.update(|entries| {
+            entries[0].total += 1;
+            entries[0].queue_depth = depth;
+        });
         self.queue_cv.notify_all();
         None
     }
@@ -350,6 +440,16 @@ impl ServerState {
     }
 
     fn finish_request(&self, pending: &Pending, reply: Reply) {
+        // Close the tree first so bookkeeping below (board I/O) does
+        // not inflate the recorded wall time.
+        self.span_end(pending.root_span);
+        let latency_micros = self.clock.now_nanos().saturating_sub(pending.enqueue_nanos) / 1_000;
+        let p99 = {
+            let mut ring = self.latencies.lock().expect("latency lock");
+            ring.record(latency_micros);
+            ring.p99()
+        };
+        let depth = self.queue.lock().expect("queue lock").len() as u64;
         let ok = matches!(reply, Reply::Ok { .. });
         if ok {
             self.completed.fetch_add(1, Ordering::SeqCst);
@@ -364,7 +464,11 @@ impl ServerState {
                 t.failed += 1;
             }
         });
-        self.board.update(|entries| entries[0].done += 1);
+        self.board.update(|entries| {
+            entries[0].done += 1;
+            entries[0].latency_p99_micros = p99;
+            entries[0].queue_depth = depth;
+        });
         // A dropped receiver (client gone) just discards the reply.
         let _ = pending.reply_tx.send(reply);
     }
@@ -395,7 +499,9 @@ fn flight_dump_suffix(state: &ServerState, guard: Option<&FlightGuard>, seq: u64
 }
 
 /// Executes one queued request on worker `worker`; returns the reply.
-fn run_one(state: &ServerState, pending: &Pending, worker: usize) -> Reply {
+/// `exec_span` (open for the duration of this call) parents the
+/// per-phase child spans recorded here.
+fn run_one(state: &ServerState, pending: &Pending, worker: usize, exec_span: SpanId) -> Reply {
     let request = &pending.request;
     let fail = |message: String| Reply::Error { message };
     let Some(spec) = dim_workloads::by_name(&request.workload) else {
@@ -411,6 +517,7 @@ fn run_one(state: &ServerState, pending: &Pending, worker: usize) -> Reply {
 
     if request.command == Command::Run {
         let mut machine = Machine::load(&built.program);
+        let sim_guard = state.span_guard("simulate", exec_span);
         let halt = match capture_panics(|| machine.run(max_steps)) {
             Ok(halt) => halt,
             Err(panic_msg) => return fail(format!("worker panic: {panic_msg}")),
@@ -422,9 +529,12 @@ fn run_one(state: &ServerState, pending: &Pending, worker: usize) -> Reply {
             }
             Err(e) => return fail(format!("simulation failed: {e}")),
         }
+        drop(sim_guard);
+        let validate_guard = state.span_guard("validate", exec_span);
         if let Err(e) = validate(&machine, &built) {
             return fail(format!("validation failed: {e}"));
         }
+        drop(validate_guard);
         let mut o = ObjectWriter::new();
         o.field_str("command", "run")
             .field_str("workload", &request.workload)
@@ -436,6 +546,10 @@ fn run_one(state: &ServerState, pending: &Pending, worker: usize) -> Reply {
 
     let config = system_config(request);
     let mut system = System::new(Machine::load(&built.program), config);
+    if state.spans.is_some() {
+        // Attribute engine host time on the same timebase as the spans.
+        system.enable_host_split(Arc::clone(&state.clock));
+    }
 
     // Warm-start from the shared shard. The shard image already passed
     // the trust boundary at admission, and `load_rcache` re-verifies —
@@ -446,6 +560,7 @@ fn run_one(state: &ServerState, pending: &Pending, worker: usize) -> Reply {
         request.slots,
         request.speculation,
     );
+    let warm_guard = state.span_guard("warm_start", exec_span);
     let mut warm_loaded = false;
     if request.shared_shard {
         if let Some(bytes) = state.shards.warm_bytes(&id) {
@@ -455,6 +570,7 @@ fn run_one(state: &ServerState, pending: &Pending, worker: usize) -> Reply {
             }
         }
     }
+    drop(warm_guard);
 
     let mut guard = (state.opts.flight_capacity > 0).then(|| {
         let mut g = FlightGuard::new(
@@ -480,11 +596,17 @@ fn run_one(state: &ServerState, pending: &Pending, worker: usize) -> Reply {
         };
         let interval = state.opts.telemetry_interval.max(1);
         let board = &state.board;
-        StatusPulse::new(entry, interval, move |e: &StatusEntry| {
-            board.update(|entries| entries[worker + 1] = e.clone());
-        })
+        StatusPulse::with_clock(
+            entry,
+            interval,
+            Arc::clone(&state.clock),
+            move |e: &StatusEntry| {
+                board.update(|entries| entries[worker + 1] = e.clone());
+            },
+        )
     };
 
+    let sim_guard = state.span_guard("simulate", exec_span);
     let run_result = {
         let mut probe = (sink.as_mut(), (guard.as_mut(), &mut pulse));
         capture_panics(|| {
@@ -493,6 +615,13 @@ fn run_one(state: &ServerState, pending: &Pending, worker: usize) -> Reply {
             halt
         })
     };
+    drop(sim_guard);
+    // The host-split estimate covers the simulate phase; attach it to
+    // the exec span whether or not the checks below pass, so failed
+    // requests still explain where their time went.
+    if let (Some(sheet), Some(split)) = (&state.spans, system.host_split()) {
+        sheet.attr(exec_span, split);
+    }
     let fail_dump = |reason: String, guard: Option<&FlightGuard>| Reply::Error {
         message: format!("{reason}{}", flight_dump_suffix(state, guard, pending.seq)),
     };
@@ -513,9 +642,11 @@ fn run_one(state: &ServerState, pending: &Pending, worker: usize) -> Reply {
     if let Some(violation) = guard.as_ref().and_then(FlightGuard::violation) {
         return fail_dump(format!("watchdog tripped: {violation}"), guard.as_ref());
     }
+    let validate_guard = state.span_guard("validate", exec_span);
     if let Err(e) = validate(system.machine(), &built) {
         return fail_dump(format!("validation failed: {e}"), guard.as_ref());
     }
+    drop(validate_guard);
 
     let mut explain_json = None;
     if let Some(sink) = sink.take() {
@@ -536,6 +667,7 @@ fn run_one(state: &ServerState, pending: &Pending, worker: usize) -> Reply {
     // Offer the warmed cache back to the shard. Self-produced snapshots
     // re-cross the trust boundary like everyone else's.
     let mut shard_json = None;
+    let admit_guard = state.span_guard("shard_admit", exec_span);
     if request.shared_shard {
         let bytes = system.save_rcache();
         match state.shards.admit(&id, &config, &bytes) {
@@ -550,6 +682,7 @@ fn run_one(state: &ServerState, pending: &Pending, worker: usize) -> Reply {
             Err(e) => return fail(format!("shard admission failed: {e}")),
         }
     }
+    drop(admit_guard);
 
     let (hits, misses) = system.cache().hit_miss();
     let stats = system.stats();
@@ -586,7 +719,7 @@ fn run_one(state: &ServerState, pending: &Pending, worker: usize) -> Reply {
 /// dim-sweep pool. Returns once draining is set and the queue is empty.
 fn dispatcher(state: &Arc<ServerState>) {
     loop {
-        let wave: Vec<Pending> = {
+        let (wave, depth): (Vec<Pending>, u64) = {
             let mut queue = state.queue.lock().expect("queue lock");
             loop {
                 if !queue.is_empty() {
@@ -602,14 +735,23 @@ fn dispatcher(state: &Arc<ServerState>) {
                 queue = guard;
             }
             let take = queue.len().min(state.opts.jobs.max(1) * 4);
-            queue.drain(..take).collect()
+            let wave = queue.drain(..take).collect();
+            (wave, queue.len() as u64)
         };
+        state.board.update(|entries| entries[0].queue_depth = depth);
         let jobs: Vec<_> = wave
             .into_iter()
-            .map(|pending| {
+            .map(|mut pending| {
+                // Queue wait ends when the wave drains; the request is
+                // now scheduled, waiting for a free worker.
+                state.span_end(pending.stage_span);
+                pending.stage_span = state.span_begin("schedule", pending.root_span);
                 let state = Arc::clone(state);
                 move |worker: usize| {
-                    let reply = run_one(&state, &pending, worker);
+                    state.span_end(pending.stage_span);
+                    let exec_span = state.span_begin("exec", pending.root_span);
+                    let reply = run_one(&state, &pending, worker, exec_span);
+                    state.span_end(exec_span);
                     state.finish_request(&pending, reply);
                     state.board.update(|entries| {
                         entries[worker + 1].state = "idle".into();
@@ -734,8 +876,13 @@ pub fn serve(opts: &ServeOptions) -> Result<ServeSummary, ServeError> {
 
     let status_path = opts.out_dir.as_ref().map(|dir| dir.join(STATUS_FILE_NAME));
     let label = opts.socket.display().to_string();
+    let clock: SharedClock = MonotonicClock::shared();
     let state = Arc::new(ServerState {
         opts: opts.clone(),
+        spans: (opts.span_capacity > 0)
+            .then(|| SpanSheet::new(Arc::clone(&clock), opts.span_capacity)),
+        clock,
+        latencies: Mutex::new(LatencyRing::default()),
         queue: Mutex::new(VecDeque::new()),
         queue_cv: Condvar::new(),
         draining: AtomicBool::new(false),
@@ -775,11 +922,17 @@ pub fn serve(opts: &ServeOptions) -> Result<ServeSummary, ServeError> {
         .map_err(|_| ServeError::Msg("dispatcher panicked".into()))?;
 
     // Let connection threads flush the final replies before exiting.
-    let flush_deadline = std::time::Instant::now() + REPLY_FLUSH_TIMEOUT;
+    let flush_deadline = state.clock.now_nanos() + REPLY_FLUSH_TIMEOUT.as_nanos() as u64;
     while state.batches_in_flight.load(Ordering::SeqCst) > 0
-        && std::time::Instant::now() < flush_deadline
+        && state.clock.now_nanos() < flush_deadline
     {
         thread::sleep(Duration::from_millis(10));
+    }
+
+    // Span dump: host-side output outside the determinism contract,
+    // written once at drain like the final status.
+    if let (Some(dir), Some(sheet)) = (&opts.out_dir, &state.spans) {
+        atomic_write(&dir.join(SPAN_FILE_NAME), sheet.render().as_bytes())?;
     }
 
     summary.shards = export_shards(&state)?;

@@ -303,6 +303,86 @@ fn invalid_requests_and_backpressure_reply_without_work() {
 }
 
 #[test]
+fn every_request_yields_one_complete_span_tree() {
+    let dir = TempDir::new("spans");
+    let mut opts = ServeOptions::new(dir.path().join("dim.sock"));
+    opts.out_dir = Some(dir.path().to_path_buf());
+    let ((), summary) = with_server(opts, |socket| {
+        let mut alpha = accel_request("crc32", true);
+        alpha.tenant = "alpha".into();
+        let mut beta = accel_request("bitcount", false);
+        beta.tenant = "beta".into();
+        let run = Request {
+            command: Command::Run,
+            workload: "bitcount".into(),
+            tenant: "beta".into(),
+            ..Request::default()
+        };
+        for req in [alpha, beta, run] {
+            let replies = submit(socket, &[req]).expect("submit");
+            ok_json(&replies[0]);
+        }
+    });
+    assert_eq!(summary.completed, 3);
+
+    let file = dim_obs::span::read_span_file(&dir.path().join(dim_obs::SPAN_FILE_NAME))
+        .expect("span dump parses");
+    let forest = dim_obs::SpanForest::build(&file);
+    assert_eq!(file.dropped, 0);
+    assert_eq!(forest.orphans_trimmed, 0);
+    assert_eq!(
+        forest.roots.len(),
+        3,
+        "exactly one span tree per completed request"
+    );
+    assert_eq!(forest.check_laws(), Vec::<String>::new());
+
+    for &root in &forest.roots {
+        let span = &forest.spans[root];
+        assert_eq!(span.stage, "request");
+        assert!(span.tenant == "alpha" || span.tenant == "beta", "{span:?}");
+        let stage_of = |name: &str| {
+            forest.children[root]
+                .iter()
+                .copied()
+                .find(|&c| forest.spans[c].stage == name)
+        };
+        // The request's lifecycle stages are all present and, being
+        // begun back to back, reconcile with the request's wall time.
+        let stages = ["queue_wait", "schedule", "exec"];
+        let mut stage_sum = 0u64;
+        for name in stages {
+            let index = stage_of(name).unwrap_or_else(|| panic!("missing `{name}` stage"));
+            stage_sum += forest.spans[index].duration_nanos();
+        }
+        let wall = span.duration_nanos();
+        assert!(stage_sum <= wall, "stages {stage_sum} exceed wall {wall}");
+        assert!(
+            wall - stage_sum < 10_000_000,
+            "stages {stage_sum} ns leave an implausible gap inside {wall} ns"
+        );
+
+        // Accel requests carry engine host-time attribution on the
+        // exec span, split across all four buckets.
+        let exec = stage_of("exec").unwrap();
+        if forest.children[exec]
+            .iter()
+            .any(|&c| forest.spans[c].stage == "simulate")
+        {
+            if let Some(attr) = file.attr_for(forest.spans[exec].id) {
+                assert_eq!(attr.buckets.len(), 4, "{attr:?}");
+                assert!(attr.buckets.iter().all(|b| b.sampled > 0), "{attr:?}");
+            }
+        }
+    }
+    // At least one request (the accel ones) must carry attribution.
+    assert!(
+        !file.attrs.is_empty(),
+        "no host-split attribution recorded at all"
+    );
+}
+
+#[test]
 fn run_and_explain_commands_work_end_to_end() {
     let dir = TempDir::new("commands");
     let opts = ServeOptions::new(dir.path().join("dim.sock"));

@@ -19,15 +19,18 @@ use dim_core::fnv1a64;
 use dim_core::System;
 use dim_mips_sim::{HaltReason, Machine};
 use dim_obs::status::{write_status, StatusEntry, StatusFile, StatusPulse, STATUS_FILE_NAME};
-use dim_obs::{FlightGuard, ObjectWriter, Probe as _};
+use dim_obs::{
+    FlightGuard, MonotonicClock, ObjectWriter, Probe as _, SharedClock, SpanId, SpanSheet,
+    SPAN_FILE_NAME,
+};
 use dim_workloads::{run_baseline, validate};
 use std::collections::HashMap;
 use std::fmt;
 use std::io;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
-use std::time::{Instant, SystemTime};
+use std::sync::{Arc, Mutex};
+use std::time::SystemTime;
 
 /// Sweep failure.
 #[derive(Debug)]
@@ -218,6 +221,10 @@ struct CellCtx<'a> {
     out_dir: &'a Path,
     /// Live-status board and the index of the worker running this cell.
     status: Option<(&'a StatusBoard, usize)>,
+    /// Span sheet and this cell's root span, when span tracing is on.
+    /// Spans are host-side wall-clock material — like the status board
+    /// they never influence the deterministic cell result.
+    spans: Option<(&'a SpanSheet, SpanId)>,
 }
 
 /// On failure, preserves the black box: writes the flight window (the
@@ -249,9 +256,14 @@ fn run_cell(cell: &CellSpec, baseline_cycles: u64, ctx: &CellCtx<'_>) -> Result<
     let built = (spec.build)(cell.scale);
     let mut system = System::new(Machine::load(&built.program), cell.system_config());
     let out_dir = ctx.out_dir;
+    let span = |stage: &'static str| ctx.spans.map(|(sheet, root)| sheet.guard(stage, root));
+    if let Some((sheet, _)) = ctx.spans {
+        system.enable_host_split(Arc::clone(sheet.clock()));
+    }
 
     let mut warm_loaded = false;
     if ctx.warm {
+        let warm_span = span("warm_load");
         let snapshot_path = cell_snapshot_path(out_dir, &cell.id);
         if let Ok(bytes) = std::fs::read(&snapshot_path) {
             match system.load_rcache(&bytes) {
@@ -259,6 +271,7 @@ fn run_cell(cell: &CellSpec, baseline_cycles: u64, ctx: &CellCtx<'_>) -> Result<
                 Err(e) => return Err(format!("stale rcache snapshot rejected: {e}")),
             }
         }
+        drop(warm_span);
     }
 
     // The always-on black box: flight recorder + invariant watchdog.
@@ -309,6 +322,9 @@ fn run_cell(cell: &CellSpec, baseline_cycles: u64, ctx: &CellCtx<'_>) -> Result<
     });
 
     let use_probes = guard.is_some() || sink.is_some() || pulse.is_some();
+    let exec_span = ctx
+        .spans
+        .map_or(SpanId::NONE, |(sheet, root)| sheet.begin("execute", root));
     let run_result = if use_probes {
         let mut probe = (sink.as_mut(), (guard.as_mut(), pulse.as_mut()));
         capture_panics(|| {
@@ -319,6 +335,14 @@ fn run_cell(cell: &CellSpec, baseline_cycles: u64, ctx: &CellCtx<'_>) -> Result<
     } else {
         capture_panics(|| system.run(built.max_steps))
     };
+    if let Some((sheet, _)) = ctx.spans {
+        // Host-time attribution goes on the execute span even when a
+        // later check fails, so failed cells still carry a breakdown.
+        if let Some(split) = system.host_split() {
+            sheet.attr(exec_span, split);
+        }
+        sheet.end(exec_span);
+    }
 
     let fail = |reason: String, guard: Option<&FlightGuard>| {
         with_flight_dump(reason, guard, out_dir, &cell.id)
@@ -346,8 +370,12 @@ fn run_cell(cell: &CellSpec, baseline_cycles: u64, ctx: &CellCtx<'_>) -> Result<
             guard.as_ref(),
         ));
     }
-    if let Err(e) = validate(system.machine(), &built) {
-        return Err(fail(format!("validation failed: {e}"), guard.as_ref()));
+    {
+        let validate_span = span("validate");
+        if let Err(e) = validate(system.machine(), &built) {
+            return Err(fail(format!("validation failed: {e}"), guard.as_ref()));
+        }
+        drop(validate_span);
     }
 
     let mut trace_text = None;
@@ -359,6 +387,7 @@ fn run_cell(cell: &CellSpec, baseline_cycles: u64, ctx: &CellCtx<'_>) -> Result<
         trace_text = Some(String::from_utf8(buf).map_err(|e| e.to_string())?);
     }
 
+    let persist_span = span("persist");
     if let Some(text) = trace_text {
         let ex = dim_explain::explain_text(&text).map_err(|e| format!("explain failed: {e}"))?;
         let mut json = ex.to_json();
@@ -381,6 +410,7 @@ fn run_cell(cell: &CellSpec, baseline_cycles: u64, ctx: &CellCtx<'_>) -> Result<
     heat_json.push('\n');
     atomic_write(&cell_heat_path(out_dir, &cell.id), heat_json.as_bytes())
         .map_err(|e| format!("heat write failed: {e}"))?;
+    drop(persist_span);
 
     let accel_cycles = system.total_cycles();
     let stats = system.stats();
@@ -501,7 +531,12 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
         skipped as u64,
     );
     board.update(|_| {});
-    let start = Instant::now();
+    // Wall-clock span tracing: one root per cell (tenant = workload,
+    // seq = grid index) with warm_load / execute / validate / persist
+    // children. Sized so a full run never drops: 5 spans per cell.
+    let clock: SharedClock = MonotonicClock::shared();
+    let spans = SpanSheet::new(Arc::clone(&clock), pending.len() * 5 + 8);
+    let start_nanos = clock.now_nanos();
     let jobs: Vec<_> = pending
         .iter()
         .map(|cell| {
@@ -510,8 +545,11 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
             let journal = &journal;
             let cell_wall = &cell_wall;
             let board = &board;
+            let clock = &clock;
+            let spans = &spans;
             move |w: usize| -> Result<(), SweepError> {
-                let cell_started = Instant::now();
+                let cell_started = clock.now_nanos();
+                let root = spans.begin_root("cell", &cell.workload, cell.index as u64);
                 let ctx = CellCtx {
                     warm,
                     explain,
@@ -519,8 +557,11 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
                     telemetry_interval: opts.telemetry_interval,
                     out_dir,
                     status: Some((board, w)),
+                    spans: Some((spans, root)),
                 };
-                let run = run_cell(&cell, baseline, &ctx).map_err(|reason| {
+                let result = run_cell(&cell, baseline, &ctx);
+                spans.end(root);
+                let run = result.map_err(|reason| {
                     board.update(|entries| {
                         entries[w + 1].state = "failed".into();
                         entries[w + 1].label = cell.id.clone();
@@ -534,7 +575,7 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
                 atomic_write(&path, run.json.as_bytes())?;
                 journal.record(&cell.id, fnv1a64(run.json.as_bytes()))?;
                 let _ = run.warm_loaded;
-                let cell_nanos = cell_started.elapsed().as_nanos() as u64;
+                let cell_nanos = clock.now_nanos().saturating_sub(cell_started);
                 board.update(|entries| {
                     let worker = &mut entries[w + 1];
                     worker.state = "idle".into();
@@ -560,7 +601,7 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
                     agg.misspeculations += run.misspeculations;
                     agg.fabric_busy_thirds += run.fabric_busy_thirds;
                     agg.fabric_capacity_thirds += run.fabric_capacity_thirds;
-                    agg.host_nanos = start.elapsed().as_nanos() as u64;
+                    agg.host_nanos = clock.now_nanos().saturating_sub(start_nanos);
                 });
                 cell_wall
                     .lock()
@@ -572,7 +613,7 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
         .collect();
     let executed = jobs.len();
     let (results, pool) = execute_jobs(jobs, opts.jobs);
-    let wall_seconds = start.elapsed().as_secs_f64();
+    let wall_seconds = clock.now_nanos().saturating_sub(start_nanos) as f64 / 1e9;
     let mut failure = None;
     for result in results {
         if let Err(e) = result {
@@ -583,8 +624,13 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> Result<SweepOutcome, 
     let final_state = if failure.is_some() { "failed" } else { "done" };
     board.update(|entries| {
         entries[0].state = final_state.into();
-        entries[0].host_nanos = start.elapsed().as_nanos() as u64;
+        entries[0].host_nanos = clock.now_nanos().saturating_sub(start_nanos);
     });
+    // Dump whatever spans were recorded even when a cell failed — the
+    // waterfall up to the failure is exactly what a postmortem wants.
+    if executed > 0 {
+        atomic_write(&out_dir.join(SPAN_FILE_NAME), spans.render().as_bytes())?;
+    }
     if let Some(e) = failure {
         return Err(e);
     }

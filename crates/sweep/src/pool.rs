@@ -13,11 +13,10 @@
 //! worker ran what — the property the sweep engine's byte-identical
 //! serial/parallel guarantee rests on.
 
-use dim_obs::{LogHistogram, ObjectWriter};
+use dim_obs::{Clock as _, LogHistogram, MonotonicClock, ObjectWriter};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
 
 /// Execution statistics for one pool run. Wall-clock figures here are
 /// host-dependent and must only ever feed timing reports
@@ -94,6 +93,7 @@ where
     let steals: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
     let queue_depth = Mutex::new(LogHistogram::new());
     let job_micros = Mutex::new(LogHistogram::new());
+    let clock = MonotonicClock::new();
 
     std::thread::scope(|scope| {
         for w in 0..threads {
@@ -103,6 +103,7 @@ where
             let steals = &steals;
             let queue_depth = &queue_depth;
             let job_micros = &job_micros;
+            let clock = &clock;
             scope.spawn(move || loop {
                 let local = {
                     let mut q = queues[w].lock().unwrap();
@@ -135,9 +136,9 @@ where
                         }
                     }
                 };
-                let start = Instant::now();
+                let start = clock.now_nanos();
                 let out = job(w);
-                let micros = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                let micros = clock.now_nanos().saturating_sub(start) / 1_000;
                 job_micros.lock().unwrap().record(micros);
                 executed[w].fetch_add(1, Ordering::Relaxed);
                 *results[index].lock().unwrap() = Some(out);

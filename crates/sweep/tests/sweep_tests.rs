@@ -83,6 +83,30 @@ fn parallel_results_byte_identical_to_serial() {
         assert!(v.get("invocations").and_then(dim_obs::JsonValue::as_u64) > Some(0));
     }
 
+    // Both runs dump a wall-clock span file: one well-formed root per
+    // cell with an execute child carrying host-time attribution. The
+    // timings differ run to run — spans sit outside the determinism
+    // contract — but the tree shape is fixed.
+    for dir in [&serial_dir, &parallel_dir] {
+        let file = dim_obs::span::read_span_file(&dir.join(dim_obs::SPAN_FILE_NAME)).unwrap();
+        let forest = dim_obs::SpanForest::build(&file);
+        assert_eq!(forest.roots.len(), 4, "one span root per executed cell");
+        assert_eq!(forest.orphans_trimmed, 0);
+        assert_eq!(forest.check_laws(), Vec::<String>::new());
+        for &root in &forest.roots {
+            assert_eq!(forest.spans[root].stage, "cell");
+            let exec = forest.children[root]
+                .iter()
+                .copied()
+                .find(|&c| forest.spans[c].stage == "execute")
+                .expect("every cell has an execute span");
+            let attr = file
+                .attr_for(forest.spans[exec].id)
+                .expect("execute span carries host-time attribution");
+            assert!(attr.buckets.iter().any(|b| b.count > 0));
+        }
+    }
+
     fs::remove_dir_all(&serial_dir).ok();
     fs::remove_dir_all(&parallel_dir).ok();
 }
