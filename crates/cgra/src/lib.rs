@@ -36,6 +36,7 @@ mod heat;
 mod render;
 mod shape;
 pub mod snapshot;
+pub mod stream;
 mod timing;
 pub mod verify;
 
@@ -50,4 +51,8 @@ pub use heat::{
 };
 pub use render::render_occupancy;
 pub use shape::{ArrayShape, UnitCounts};
+pub use stream::{
+    verify_cert, StreamAccess, StreamAccessKind, StreamCertError, StreamCertViolation, StreamClass,
+    StreamingCert, STREAM_BURST_CAP, STREAM_CERT_VERSION,
+};
 pub use timing::{ArrayTiming, RowKind};

@@ -1,0 +1,608 @@
+//! Streaming-eligibility certificates.
+//!
+//! A [`StreamingCert`] is the output of the static stride/alias prover
+//! in `dim-lint` (`dim prove`): a machine-checkable claim that one
+//! self-loop region can be replayed `burst` iterations back-to-back
+//! without changing architectural state relative to `burst` sequential
+//! re-entries. The certificate carries the complete per-access stride
+//! table the claim rests on, so a consumer (the translator at commit
+//! time, the ROADMAP-3 streaming executor later) can re-validate the
+//! claim structurally without re-running the prover.
+//!
+//! Like every other persisted format in the workspace (`.dimrc`
+//! snapshots, trace headers, perf baselines), certificates are
+//! versioned and checksummed: the JSON form embeds an fnv64 checksum
+//! over the canonical payload, and [`StreamingCert::parse_json`]
+//! rejects version skew and any byte-level corruption.
+
+use dim_obs::{fnv1a64, parse_json, JsonValue, ObjectWriter};
+use std::fmt;
+
+/// Version of the streaming-certificate format.
+///
+/// Consumers must reject certificates carrying a *different* version;
+/// the stride table is the load-bearing payload and silently ignoring
+/// unknown semantics would void the soundness law.
+pub const STREAM_CERT_VERSION: u32 = 1;
+
+/// Ceiling on the burst size a certificate may promise, independent of
+/// any proven trip bound. Matches the depth of the double-buffered
+/// live-in plan sketched in ROADMAP item 3.
+pub const STREAM_BURST_CAP: u32 = 16;
+
+/// Direction of a classified memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamAccessKind {
+    /// A load (lb/lbu/lh/lhu/lw).
+    Load,
+    /// A store (sb/sh/sw).
+    Store,
+}
+
+impl StreamAccessKind {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StreamAccessKind::Load => "load",
+            StreamAccessKind::Store => "store",
+        }
+    }
+}
+
+/// Static classification of one memory access inside a certified loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamClass {
+    /// Address is `base + k·stride` across iterations, with a non-zero
+    /// per-iteration stride in bytes.
+    Affine {
+        /// Per-iteration address delta in bytes (two's-complement).
+        stride: i32,
+    },
+    /// Address is the same every iteration.
+    Invariant,
+    /// Address could not be expressed as a linear function of the
+    /// loop-entry register values. Only permitted for loads in
+    /// store-free loops.
+    Unknown,
+}
+
+impl StreamClass {
+    /// Stable wire name of the class.
+    pub fn name(self) -> &'static str {
+        match self {
+            StreamClass::Affine { .. } => "affine",
+            StreamClass::Invariant => "invariant",
+            StreamClass::Unknown => "unknown",
+        }
+    }
+}
+
+/// One row of a certificate's stride table: a classified load or store
+/// inside the loop body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamAccess {
+    /// Address of the memory instruction.
+    pub pc: u32,
+    /// Load or store.
+    pub kind: StreamAccessKind,
+    /// Access width in bytes (1, 2 or 4).
+    pub width: u32,
+    /// Static address classification.
+    pub class: StreamClass,
+}
+
+/// A streaming-eligibility certificate for one self-loop region.
+///
+/// The claim: replaying the region's body `burst` times back-to-back
+/// (no per-iteration re-entry) is byte-identical to `burst` sequential
+/// invocations, because every store provably never aliases any other
+/// access across the burst window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamingCert {
+    /// Format version ([`STREAM_CERT_VERSION`]).
+    pub version: u32,
+    /// Workload (or file stem) the region was proven in.
+    pub workload: String,
+    /// First PC of the loop body.
+    pub entry_pc: u32,
+    /// Instructions in the region, *including* the closing branch.
+    pub len: u32,
+    /// Stride table: every load/store in the body, in PC order.
+    pub accesses: Vec<StreamAccess>,
+    /// Maximum safe burst K (≥ 1, ≤ [`STREAM_BURST_CAP`], ≤ trip bound
+    /// when one is proven).
+    pub burst: u32,
+    /// Statically resolved iteration count per loop entry, when the
+    /// induction comparison was decidable from constants.
+    pub trip_bound: Option<u64>,
+}
+
+/// A structural defect found by [`verify_cert`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamCertViolation {
+    /// Certificate version is not [`STREAM_CERT_VERSION`].
+    BadVersion {
+        /// The version the certificate carried.
+        found: u32,
+    },
+    /// Workload name is empty.
+    EmptyWorkload,
+    /// Entry PC or an access PC is not word-aligned.
+    Misaligned {
+        /// The offending PC.
+        pc: u32,
+    },
+    /// Region length is outside `2..=4096` instructions.
+    BadLen {
+        /// The length the certificate carried.
+        len: u32,
+    },
+    /// An access PC lies outside `[entry_pc, entry_pc + 4·len)`.
+    AccessOutsideRegion {
+        /// The offending access PC.
+        pc: u32,
+    },
+    /// Accesses are not strictly ordered by PC.
+    UnsortedAccesses {
+        /// PC at which order breaks.
+        pc: u32,
+    },
+    /// An access width is not 1, 2 or 4 bytes.
+    BadWidth {
+        /// The offending access PC.
+        pc: u32,
+        /// The width the certificate carried.
+        width: u32,
+    },
+    /// An affine access claims stride 0 (that is `Invariant`).
+    ZeroStride {
+        /// The offending access PC.
+        pc: u32,
+    },
+    /// A store is classified `Unknown` — never certifiable.
+    UnknownStore {
+        /// The offending store PC.
+        pc: u32,
+    },
+    /// The loop has a store and some access is `Unknown`, so the alias
+    /// test cannot have passed.
+    UnknownWithStore {
+        /// The unknown access's PC.
+        pc: u32,
+    },
+    /// Burst is 0 or exceeds [`STREAM_BURST_CAP`] or the trip bound.
+    BadBurst {
+        /// The burst the certificate carried.
+        burst: u32,
+    },
+}
+
+impl fmt::Display for StreamCertViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamCertViolation::BadVersion { found } => {
+                write!(f, "version {found} (expected {STREAM_CERT_VERSION})")
+            }
+            StreamCertViolation::EmptyWorkload => write!(f, "empty workload name"),
+            StreamCertViolation::Misaligned { pc } => write!(f, "pc {pc:#x} not word-aligned"),
+            StreamCertViolation::BadLen { len } => write!(f, "region length {len} out of range"),
+            StreamCertViolation::AccessOutsideRegion { pc } => {
+                write!(f, "access {pc:#x} outside region")
+            }
+            StreamCertViolation::UnsortedAccesses { pc } => {
+                write!(f, "accesses not in pc order at {pc:#x}")
+            }
+            StreamCertViolation::BadWidth { pc, width } => {
+                write!(f, "access {pc:#x} width {width} not in {{1,2,4}}")
+            }
+            StreamCertViolation::ZeroStride { pc } => {
+                write!(f, "affine access {pc:#x} with stride 0")
+            }
+            StreamCertViolation::UnknownStore { pc } => {
+                write!(f, "store {pc:#x} classified unknown")
+            }
+            StreamCertViolation::UnknownWithStore { pc } => {
+                write!(f, "unknown access {pc:#x} in a loop with stores")
+            }
+            StreamCertViolation::BadBurst { burst } => write!(f, "burst {burst} out of range"),
+        }
+    }
+}
+
+/// Structurally validates a certificate, `verify_config`-style: every
+/// field is checked against its domain and against the cross-field
+/// invariants the prover guarantees. An empty result means the
+/// certificate is well-formed (not that the *claim* is true — that is
+/// the prover's soundness law, tested dynamically).
+pub fn verify_cert(cert: &StreamingCert) -> Vec<StreamCertViolation> {
+    let mut out = Vec::new();
+    if cert.version != STREAM_CERT_VERSION {
+        out.push(StreamCertViolation::BadVersion {
+            found: cert.version,
+        });
+    }
+    if cert.workload.is_empty() {
+        out.push(StreamCertViolation::EmptyWorkload);
+    }
+    if !cert.entry_pc.is_multiple_of(4) {
+        out.push(StreamCertViolation::Misaligned { pc: cert.entry_pc });
+    }
+    if !(2..=4096).contains(&cert.len) {
+        out.push(StreamCertViolation::BadLen { len: cert.len });
+    }
+    let end = cert.entry_pc.wrapping_add(cert.len.saturating_mul(4));
+    let has_store = cert
+        .accesses
+        .iter()
+        .any(|a| a.kind == StreamAccessKind::Store);
+    let mut prev_pc: Option<u32> = None;
+    for access in &cert.accesses {
+        if access.pc % 4 != 0 {
+            out.push(StreamCertViolation::Misaligned { pc: access.pc });
+        }
+        if access.pc < cert.entry_pc || access.pc >= end {
+            out.push(StreamCertViolation::AccessOutsideRegion { pc: access.pc });
+        }
+        if let Some(prev) = prev_pc {
+            if access.pc <= prev {
+                out.push(StreamCertViolation::UnsortedAccesses { pc: access.pc });
+            }
+        }
+        prev_pc = Some(access.pc);
+        if !matches!(access.width, 1 | 2 | 4) {
+            out.push(StreamCertViolation::BadWidth {
+                pc: access.pc,
+                width: access.width,
+            });
+        }
+        match access.class {
+            StreamClass::Affine { stride: 0 } => {
+                out.push(StreamCertViolation::ZeroStride { pc: access.pc });
+            }
+            StreamClass::Unknown => {
+                if access.kind == StreamAccessKind::Store {
+                    out.push(StreamCertViolation::UnknownStore { pc: access.pc });
+                } else if has_store {
+                    out.push(StreamCertViolation::UnknownWithStore { pc: access.pc });
+                }
+            }
+            _ => {}
+        }
+    }
+    let over_trip = cert
+        .trip_bound
+        .is_some_and(|trip| cert.burst as u64 > trip.max(1));
+    if cert.burst == 0 || cert.burst > STREAM_BURST_CAP || over_trip {
+        out.push(StreamCertViolation::BadBurst { burst: cert.burst });
+    }
+    out
+}
+
+/// Why a certificate line could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamCertError {
+    /// Not valid JSON, or a required field is missing/mistyped.
+    Malformed(String),
+    /// Version field differs from [`STREAM_CERT_VERSION`].
+    VersionSkew {
+        /// The version the line carried.
+        found: u32,
+    },
+    /// Embedded checksum does not match the canonical payload.
+    ChecksumMismatch {
+        /// Checksum the line carried.
+        found: u64,
+        /// Checksum recomputed from the payload.
+        computed: u64,
+    },
+    /// Parsed fine but failed [`verify_cert`].
+    Invalid(StreamCertViolation),
+}
+
+impl fmt::Display for StreamCertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamCertError::Malformed(what) => write!(f, "malformed certificate: {what}"),
+            StreamCertError::VersionSkew { found } => write!(
+                f,
+                "certificate version {found} (this build understands {STREAM_CERT_VERSION})"
+            ),
+            StreamCertError::ChecksumMismatch { found, computed } => write!(
+                f,
+                "certificate checksum mismatch: header {found:#018x}, payload {computed:#018x}"
+            ),
+            StreamCertError::Invalid(v) => write!(f, "invalid certificate: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamCertError {}
+
+impl StreamingCert {
+    /// Whether `pc` lies inside the certified region.
+    pub fn contains(&self, pc: u32) -> bool {
+        pc >= self.entry_pc && pc < self.entry_pc.wrapping_add(self.len.saturating_mul(4))
+    }
+
+    /// Canonical JSON payload — everything except the checksum field.
+    /// The checksum is defined over exactly these bytes.
+    pub fn payload_json(&self) -> String {
+        let mut w = ObjectWriter::new();
+        w.field_str("type", "stream_cert")
+            .field_u64("version", self.version as u64)
+            .field_str("workload", &self.workload)
+            .field_u64("entry_pc", self.entry_pc as u64)
+            .field_u64("len", self.len as u64)
+            .field_u64("burst", self.burst as u64)
+            .field_opt_u64("trip_bound", self.trip_bound);
+        let mut rows = String::from("[");
+        for (i, a) in self.accesses.iter().enumerate() {
+            if i > 0 {
+                rows.push(',');
+            }
+            let mut row = ObjectWriter::new();
+            row.field_u64("pc", a.pc as u64)
+                .field_str("kind", a.kind.name())
+                .field_u64("width", a.width as u64)
+                .field_str("class", a.class.name());
+            if let StreamClass::Affine { stride } = a.class {
+                row.field_raw("stride", &stride.to_string());
+            }
+            rows.push_str(&row.finish());
+        }
+        rows.push(']');
+        w.field_raw("accesses", &rows);
+        w.finish()
+    }
+
+    /// fnv64 checksum over the canonical payload bytes.
+    pub fn checksum(&self) -> u64 {
+        fnv1a64(self.payload_json().as_bytes())
+    }
+
+    /// Full JSON line: the canonical payload plus its checksum.
+    pub fn to_json(&self) -> String {
+        let payload = self.payload_json();
+        let checksum = fnv1a64(payload.as_bytes());
+        let body = payload.strip_suffix('}').expect("payload is a JSON object");
+        format!("{body},\"checksum\":\"{checksum:016x}\"}}")
+    }
+
+    /// Parses a certificate line, rejecting version skew, checksum
+    /// mismatches, and structurally invalid certificates.
+    pub fn parse_json(line: &str) -> Result<StreamingCert, StreamCertError> {
+        let value = parse_json(line).map_err(|e| StreamCertError::Malformed(format!("{e:?}")))?;
+        let kind = value.get("type").and_then(JsonValue::as_str);
+        if kind != Some("stream_cert") {
+            return Err(StreamCertError::Malformed(
+                "not a stream_cert record".into(),
+            ));
+        }
+        let version = field_u32(&value, "version")?;
+        if version != STREAM_CERT_VERSION {
+            return Err(StreamCertError::VersionSkew { found: version });
+        }
+        let workload = value
+            .get("workload")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| StreamCertError::Malformed("missing workload".into()))?
+            .to_string();
+        let entry_pc = field_u32(&value, "entry_pc")?;
+        let len = field_u32(&value, "len")?;
+        let burst = field_u32(&value, "burst")?;
+        let trip_bound = match value.get("trip_bound") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => Some(v.as_u64().ok_or_else(|| {
+                StreamCertError::Malformed("trip_bound not a non-negative integer".into())
+            })?),
+        };
+        let rows = value
+            .get("accesses")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| StreamCertError::Malformed("missing accesses".into()))?;
+        let mut accesses = Vec::with_capacity(rows.len());
+        for row in rows {
+            accesses.push(parse_access(row)?);
+        }
+        let found = value
+            .get("checksum")
+            .and_then(JsonValue::as_str)
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+            .ok_or_else(|| StreamCertError::Malformed("missing checksum".into()))?;
+        let cert = StreamingCert {
+            version,
+            workload,
+            entry_pc,
+            len,
+            accesses,
+            burst,
+            trip_bound,
+        };
+        let computed = cert.checksum();
+        if found != computed {
+            return Err(StreamCertError::ChecksumMismatch { found, computed });
+        }
+        if let Some(violation) = verify_cert(&cert).into_iter().next() {
+            return Err(StreamCertError::Invalid(violation));
+        }
+        Ok(cert)
+    }
+}
+
+fn field_u32(value: &JsonValue, key: &str) -> Result<u32, StreamCertError> {
+    value
+        .get(key)
+        .and_then(JsonValue::as_u64)
+        .and_then(|v| u32::try_from(v).ok())
+        .ok_or_else(|| StreamCertError::Malformed(format!("missing or non-u32 field `{key}`")))
+}
+
+fn parse_access(row: &JsonValue) -> Result<StreamAccess, StreamCertError> {
+    let pc = field_u32(row, "pc")?;
+    let width = field_u32(row, "width")?;
+    let kind = match row.get("kind").and_then(JsonValue::as_str) {
+        Some("load") => StreamAccessKind::Load,
+        Some("store") => StreamAccessKind::Store,
+        other => {
+            return Err(StreamCertError::Malformed(format!(
+                "access kind {other:?} at {pc:#x}"
+            )))
+        }
+    };
+    let class = match row.get("class").and_then(JsonValue::as_str) {
+        Some("affine") => {
+            let stride = match row.get("stride") {
+                Some(JsonValue::Int(i)) if *i >= i32::MIN as i128 && *i <= i32::MAX as i128 => {
+                    *i as i32
+                }
+                _ => {
+                    return Err(StreamCertError::Malformed(format!(
+                        "affine access at {pc:#x} missing i32 stride"
+                    )))
+                }
+            };
+            StreamClass::Affine { stride }
+        }
+        Some("invariant") => StreamClass::Invariant,
+        Some("unknown") => StreamClass::Unknown,
+        other => {
+            return Err(StreamCertError::Malformed(format!(
+                "access class {other:?} at {pc:#x}"
+            )))
+        }
+    };
+    Ok(StreamAccess {
+        pc,
+        kind,
+        width,
+        class,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StreamingCert {
+        StreamingCert {
+            version: STREAM_CERT_VERSION,
+            workload: "crc32".into(),
+            entry_pc: 0x40_0010,
+            len: 11,
+            accesses: vec![
+                StreamAccess {
+                    pc: 0x40_0010,
+                    kind: StreamAccessKind::Load,
+                    width: 1,
+                    class: StreamClass::Affine { stride: 1 },
+                },
+                StreamAccess {
+                    pc: 0x40_0024,
+                    kind: StreamAccessKind::Load,
+                    width: 4,
+                    class: StreamClass::Unknown,
+                },
+            ],
+            burst: 16,
+            trip_bound: Some(256),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let cert = sample();
+        let line = cert.to_json();
+        let back = StreamingCert::parse_json(&line).expect("parses");
+        assert_eq!(back, cert);
+    }
+
+    #[test]
+    fn negative_stride_round_trips() {
+        let mut cert = sample();
+        cert.accesses[0].class = StreamClass::Affine { stride: -4 };
+        cert.accesses[0].width = 4;
+        let back = StreamingCert::parse_json(&cert.to_json()).expect("parses");
+        assert_eq!(back.accesses[0].class, StreamClass::Affine { stride: -4 });
+    }
+
+    #[test]
+    fn byte_flip_is_rejected() {
+        let line = sample().to_json();
+        // Flip one digit inside the entry_pc field; the payload changes
+        // but the embedded checksum does not.
+        let flipped = line.replacen("\"entry_pc\":4194320", "\"entry_pc\":4194324", 1);
+        assert_ne!(flipped, line);
+        match StreamingCert::parse_json(&flipped) {
+            Err(StreamCertError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_skew_is_rejected() {
+        let mut cert = sample();
+        cert.version = STREAM_CERT_VERSION + 1;
+        // Re-checksummed under the new version: still rejected, by skew.
+        match StreamingCert::parse_json(&cert.to_json()) {
+            Err(StreamCertError::VersionSkew { found }) => {
+                assert_eq!(found, STREAM_CERT_VERSION + 1);
+            }
+            other => panic!("expected version skew, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verify_accepts_wellformed() {
+        assert!(verify_cert(&sample()).is_empty());
+    }
+
+    #[test]
+    fn verify_rejects_unknown_store() {
+        let mut cert = sample();
+        cert.accesses[1].kind = StreamAccessKind::Store;
+        let violations = verify_cert(&cert);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, StreamCertViolation::UnknownStore { pc: 0x40_0024 })));
+    }
+
+    #[test]
+    fn verify_rejects_unknown_load_alongside_store() {
+        let mut cert = sample();
+        cert.accesses[0].kind = StreamAccessKind::Store;
+        cert.accesses[0].class = StreamClass::Affine { stride: 4 };
+        let violations = verify_cert(&cert);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, StreamCertViolation::UnknownWithStore { pc: 0x40_0024 })));
+    }
+
+    #[test]
+    fn verify_rejects_burst_over_trip_bound() {
+        let mut cert = sample();
+        cert.trip_bound = Some(4);
+        let violations = verify_cert(&cert);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, StreamCertViolation::BadBurst { burst: 16 })));
+    }
+
+    #[test]
+    fn verify_rejects_out_of_region_access() {
+        let mut cert = sample();
+        cert.accesses[1].pc = cert.entry_pc + cert.len * 4;
+        let violations = verify_cert(&cert);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, StreamCertViolation::AccessOutsideRegion { .. })));
+    }
+
+    #[test]
+    fn contains_covers_region_exactly() {
+        let cert = sample();
+        assert!(cert.contains(cert.entry_pc));
+        assert!(cert.contains(cert.entry_pc + 4 * (cert.len - 1)));
+        assert!(!cert.contains(cert.entry_pc + 4 * cert.len));
+        assert!(!cert.contains(cert.entry_pc - 4));
+    }
+}

@@ -17,7 +17,7 @@ mod spans;
 
 pub use debugger::debug_session;
 
-use dim_cgra::ArrayShape;
+use dim_cgra::{ArrayShape, StreamingCert};
 use dim_core::{System, SystemConfig};
 use dim_mips::asm::{assemble, Program};
 use dim_mips::{disassemble_labeled, image};
@@ -65,13 +65,16 @@ commands:
                 [--dump-configs] [--trace] [--trace-out <t.jsonl>] [--metrics]
                 [--rcache-save <f.dimrc>] [--rcache-load <f.dimrc>]
                 [--telemetry-interval N] [--flight N] [--watchdog]
-                [--flight-out <f.jsonl>]
+                [--flight-out <f.jsonl>] [--certs <f.jsonl>]
                                      run with the DIM accelerator attached;
                                      rcache snapshots warm-start later runs;
                                      --flight keeps a last-N-events ring,
                                      --watchdog checks stream invariants live
                                      and fails (with a flight dump) on a trip,
-                                     --flight-out always dumps the window
+                                     --flight-out always dumps the window,
+                                     --certs installs `dim prove` streaming
+                                     certificates so matching commits tag
+                                     their rcache entries stream_ok(K)
   profile <file> [--config 1|2|3|ideal] [--slots N] [--no-spec] [--caches]
                  [--top N] [--json]  per-block cycle attribution of an
                                      accelerated run
@@ -132,6 +135,16 @@ commands:
                                      per-workload allowlists applied
   verify <f.dimrc> [--json]          structurally verify every configuration
                                      in an rcache snapshot
+  prove  <file> [--json] [--cert-out <f.jsonl>]
+                                     static stride/alias prover: classify every
+                                     memory access of every self-loop, run the
+                                     cross-iteration alias test, and emit
+                                     streaming-eligibility certificates for
+                                     regions that pass
+  prove  --suite [--scale tiny|small|full] [--json] [--cert-out <f.jsonl>]
+                                     prove all bundled workloads
+  prove  --check <f.jsonl>           re-validate a certificate file (version,
+                                     checksum, structural invariants)
   serve  --socket <path> [--jobs N] [--queue N] [--tenant-quota N]
          [--shard-dir <dir>] [--status-dir <dir>] [--flight N]
          [--telemetry-interval N]
@@ -434,6 +447,7 @@ fn cmd_accel(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
             "--telemetry-interval",
             "--flight",
             "--flight-out",
+            "--certs",
         ],
         &[
             "--no-spec",
@@ -499,6 +513,28 @@ fn cmd_accel(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
             out,
             "rcache: loaded {} configuration(s) from {path}",
             system.cache().len()
+        )?;
+    }
+    let certs_path = parse_flag_value(args, "--certs")?;
+    if let Some(path) = certs_path {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::new(format!("--certs {path}: {e}")))?;
+        let mut certs = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            certs.push(
+                StreamingCert::parse_json(line)
+                    .map_err(|e| CliError::new(format!("--certs {path}:{}: {e}", i + 1)))?,
+            );
+        }
+        let installed = system
+            .install_stream_certs(certs)
+            .map_err(|e| CliError::new(format!("--certs {path}: {e}")))?;
+        writeln!(
+            out,
+            "stream: installed {installed} certificate(s) from {path}"
         )?;
     }
     if args.iter().any(|a| a == "--trace") {
@@ -605,6 +641,14 @@ fn cmd_accel(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         writeln!(out, "\n----------------------")?;
     }
     writeln!(out, "{}", system.report())?;
+    if certs_path.is_some() {
+        writeln!(
+            out,
+            "stream: {} commit(s) tagged stream_ok, {} rcache entry(ies) tagged now",
+            system.stream_tags_applied(),
+            system.cache().stream_tag_count()
+        )?;
+    }
     if let Some(metrics) = &metrics {
         writeln!(out, "--- metrics ---")?;
         write!(out, "{}", metrics.render())?;
@@ -1951,6 +1995,99 @@ fn cmd_verify(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     Ok(())
 }
 
+fn cmd_prove(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    use dim_lint::prove::prove_program;
+    use dim_lint::report::render_prove_human;
+    check_flags(
+        "prove",
+        args,
+        &["--scale", "--cert-out", "--check"],
+        &["--suite", "--json"],
+        1,
+    )?;
+    let json = args.iter().any(|a| a == "--json");
+
+    if let Some(path) = parse_flag_value(args, "--check")? {
+        for flag in ["--suite", "--json", "--scale", "--cert-out"] {
+            if args.iter().any(|a| a == flag) {
+                return Err(CliError::new(format!(
+                    "prove: `{flag}` does not combine with --check"
+                )));
+            }
+        }
+        let text =
+            std::fs::read_to_string(path).map_err(|e| CliError::new(format!("{path}: {e}")))?;
+        let mut count = 0usize;
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            StreamingCert::parse_json(line)
+                .map_err(|e| CliError::new(format!("{path}:{}: {e}", i + 1)))?;
+            count += 1;
+        }
+        writeln!(out, "prove: {count} certificate(s) valid in {path}")?;
+        return Ok(());
+    }
+
+    let mut reports = Vec::new();
+    if args.iter().any(|a| a == "--suite") {
+        if args.iter().any(|a| !a.starts_with('-')) {
+            return Err(CliError::new("prove: --suite takes no input file"));
+        }
+        let scale = match parse_flag_value(args, "--scale")?.unwrap_or("tiny") {
+            "tiny" => dim_workloads::Scale::Tiny,
+            "small" => dim_workloads::Scale::Small,
+            "full" => dim_workloads::Scale::Full,
+            other => return Err(CliError::new(format!("--scale: unknown `{other}`"))),
+        };
+        for spec in dim_workloads::suite() {
+            let built = (spec.build)(scale);
+            reports.push(prove_program(&built.program, spec.name));
+        }
+    } else {
+        if args.iter().any(|a| a == "--scale") {
+            return Err(CliError::new("prove: --scale applies to --suite only"));
+        }
+        let input = args
+            .iter()
+            .find(|a| !a.starts_with('-'))
+            .ok_or_else(|| CliError::new("prove: missing input file"))?;
+        let program = load_program(input)?;
+        reports.push(prove_program(&program, input));
+    }
+
+    for report in &reports {
+        if json {
+            writeln!(out, "{}", report.to_json())?;
+        } else {
+            write!(out, "{}", render_prove_human(report))?;
+        }
+    }
+    let total_certs: usize = reports
+        .iter()
+        .map(dim_lint::prove::ProveReport::cert_count)
+        .sum();
+    if let Some(path) = parse_flag_value(args, "--cert-out")? {
+        let mut doc = String::new();
+        for report in &reports {
+            for cert in report.certs() {
+                doc.push_str(&cert.to_json());
+                doc.push('\n');
+            }
+        }
+        std::fs::write(path, doc).map_err(|e| CliError::new(format!("--cert-out {path}: {e}")))?;
+        writeln!(out, "prove: {total_certs} certificate(s) -> {path}")?;
+    } else if !json {
+        writeln!(
+            out,
+            "prove: {total_certs} certificate(s) across {} program(s)",
+            reports.len()
+        )?;
+    }
+    Ok(())
+}
+
 /// Parses a `--flag N` positive integer, rejecting 0 with a message
 /// naming the flag — serve's counts (jobs, queue, quota, clients,
 /// requests) all share the "at least 1" rule.
@@ -2204,6 +2341,7 @@ pub fn dispatch(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         Some("perf") => cmd_perf(&args[1..], out),
         Some("lint") => cmd_lint(&args[1..], out),
         Some("verify") => cmd_verify(&args[1..], out),
+        Some("prove") => cmd_prove(&args[1..], out),
         Some("serve") => cmd_serve(&args[1..], out),
         Some("spans") => spans::cmd_spans(&args[1..], out),
         Some("submit") => cmd_submit(&args[1..], out),
@@ -2834,6 +2972,111 @@ mod tests {
         // Flag combinations that cannot mean anything must fail loudly.
         assert!(run_cli(&["lint", "--suite", "--candidates"]).is_err());
         assert!(run_cli(&["lint"]).is_err());
+    }
+
+    /// A counted byte-scan loop: one affine load, no stores — prime
+    /// streaming-certificate material.
+    const STREAM_PROGRAM: &str = "
+        main: li $s0, 64
+              li $s1, 0x2000
+        loop: lbu $t0, 0($s1)
+              addu $v0, $v0, $t0
+              addiu $s1, $s1, 1
+              addiu $s0, $s0, -1
+              bnez $s0, loop
+              break 0";
+
+    #[test]
+    fn prove_certifies_stream_loop_and_json_is_schema_stamped() {
+        let src = tmp_file("t40.s", STREAM_PROGRAM);
+        let path = src.to_str().unwrap();
+        let human = run_cli(&["prove", path]).unwrap();
+        assert!(human.contains("CERTIFIED"), "{human}");
+        assert!(human.contains("affine stride +1"), "{human}");
+        assert!(human.contains("1 certificate"), "{human}");
+
+        let js = run_cli(&["prove", path, "--json"]).unwrap();
+        assert!(js.contains("\"type\":\"prove_report\""), "{js}");
+        assert!(js.contains("\"schema\":1"), "{js}");
+        assert!(js.contains("\"status\":\"certified\""), "{js}");
+        assert!(js.contains("\"checksum\":"), "{js}");
+    }
+
+    #[test]
+    fn prove_rejects_syscall_loop() {
+        // PROGRAM's loop is store- and load-free; a syscall variant
+        // must be rejected with the reason named.
+        let src = tmp_file(
+            "t41.s",
+            "main: li $s0, 4
+             loop: lbu $t0, 0($s1)
+                   syscall
+                   addiu $s1, $s1, 1
+                   addiu $s0, $s0, -1
+                   bnez $s0, loop
+                   break 0",
+        );
+        let out = run_cli(&["prove", src.to_str().unwrap()]).unwrap();
+        assert!(out.contains("syscall in body"), "{out}");
+        assert!(out.contains("0 certificate(s)"), "{out}");
+    }
+
+    #[test]
+    fn prove_cert_out_round_trips_through_check_and_rejects_flips() {
+        let src = tmp_file("t42.s", STREAM_PROGRAM);
+        let path = src.to_str().unwrap();
+        let certs = std::env::temp_dir().join("dim-cli-tests/t42.certs.jsonl");
+        let certs = certs.to_str().unwrap();
+        let out = run_cli(&["prove", path, "--cert-out", certs]).unwrap();
+        assert!(out.contains("1 certificate(s) ->"), "{out}");
+
+        let ok = run_cli(&["prove", "--check", certs]).unwrap();
+        assert!(ok.contains("1 certificate(s) valid"), "{ok}");
+
+        // Flip one payload byte: the checksum must catch it, with the
+        // line number in the error.
+        let text = std::fs::read_to_string(certs).unwrap();
+        let flipped_text = text.replacen("\"burst\":16", "\"burst\":15", 1);
+        assert_ne!(flipped_text, text, "{text}");
+        let flipped = std::env::temp_dir().join("dim-cli-tests/t42-flipped.jsonl");
+        std::fs::write(&flipped, flipped_text).unwrap();
+        let err = run_cli(&["prove", "--check", flipped.to_str().unwrap()]).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        assert!(err.to_string().contains(":1:"), "{err}");
+    }
+
+    #[test]
+    fn prove_suite_emits_certs_on_streaming_workloads() {
+        let out = run_cli(&["prove", "--suite"]).unwrap();
+        assert!(out.contains("crc32"), "{out}");
+        assert!(out.contains("CERTIFIED"), "{out}");
+        // Flag hygiene mirrors lint.
+        assert!(run_cli(&["prove"]).is_err());
+        assert!(run_cli(&["prove", "--suite", "extra.s"]).is_err());
+    }
+
+    #[test]
+    fn accel_with_certs_tags_matching_commits() {
+        let src = tmp_file("t43.s", STREAM_PROGRAM);
+        let path = src.to_str().unwrap();
+        let certs = std::env::temp_dir().join("dim-cli-tests/t43.certs.jsonl");
+        let certs = certs.to_str().unwrap();
+        run_cli(&["prove", path, "--cert-out", certs]).unwrap();
+
+        // Without speculation the committed region stays inside the
+        // loop body, so the certificate covers every placed op.
+        let out = run_cli(&["accel", path, "--no-spec", "--certs", certs]).unwrap();
+        assert!(out.contains("stream: installed 1 certificate(s)"), "{out}");
+        assert!(out.contains("1 commit(s) tagged stream_ok"), "{out}");
+        assert!(out.contains("1 rcache entry(ies) tagged now"), "{out}");
+
+        // A corrupted certificate file must refuse to install.
+        let text = std::fs::read_to_string(certs).unwrap();
+        let bad = std::env::temp_dir().join("dim-cli-tests/t43-bad.jsonl");
+        std::fs::write(&bad, text.replacen("\"len\":", "\"len \":", 1)).unwrap();
+        let err =
+            run_cli(&["accel", path, "--no-spec", "--certs", bad.to_str().unwrap()]).unwrap_err();
+        assert!(err.to_string().contains("--certs"), "{err}");
     }
 
     #[test]

@@ -37,6 +37,10 @@ mod tables;
 mod trace;
 mod translator;
 
+pub use dim_cgra::{
+    verify_cert, StreamAccess, StreamAccessKind, StreamCertError, StreamCertViolation, StreamClass,
+    StreamingCert, STREAM_BURST_CAP, STREAM_CERT_VERSION,
+};
 pub use dim_cgra::{FabricHeat, FabricSample, RowHeat, UNIT_CLASSES, UNIT_CLASS_NAMES};
 /// The workspace's shared FNV-1a 64-bit hash — the one checksum used by
 /// `.dimrc` snapshots, the sweep resume journal, and the live status

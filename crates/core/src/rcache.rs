@@ -44,6 +44,12 @@ pub struct ReconfCache {
     /// Lookup hits per resident entry since its (re-)insertion, for
     /// live-vs-dead eviction accounting.
     uses: HashMap<u32, u64>,
+    /// `stream_ok(K)` tags: resident entries whose region matched a
+    /// streaming certificate at commit time, with the certified burst.
+    /// Purely a contract surface for the streaming executor — replay
+    /// behavior does not consult it. A tag lives and dies with its
+    /// entry (cleared on flush, eviction and replacement).
+    stream_tags: HashMap<u32, u32>,
     hits: u64,
     misses: u64,
     insertions: u64,
@@ -68,6 +74,7 @@ impl ReconfCache {
             entries: HashMap::new(),
             order: VecDeque::new(),
             uses: HashMap::new(),
+            stream_tags: HashMap::new(),
             hits: 0,
             misses: 0,
             insertions: 0,
@@ -131,6 +138,8 @@ impl ReconfCache {
         let pc = config.entry_pc;
         self.insertions += 1;
         self.uses.insert(pc, 0);
+        // A replacement translation must re-earn its tag too.
+        self.stream_tags.remove(&pc);
         if self.entries.insert(pc, config).is_some() {
             return None;
         }
@@ -141,6 +150,7 @@ impl ReconfCache {
             if let Some(old) = self.order.pop_front() {
                 if let Some(victim) = self.entries.remove(&old) {
                     let uses = self.uses.remove(&old).unwrap_or(0);
+                    self.stream_tags.remove(&old);
                     self.evictions += 1;
                     if uses > 0 {
                         self.evictions_live += 1;
@@ -163,8 +173,32 @@ impl ReconfCache {
         if self.entries.remove(&pc).is_some() {
             self.flushes += 1;
             self.uses.remove(&pc);
+            self.stream_tags.remove(&pc);
             self.order.retain(|&p| p != pc);
         }
+    }
+
+    /// Tags the resident entry at `pc` as `stream_ok(burst)` — its
+    /// region matched a streaming certificate at commit time. Returns
+    /// `false` (and tags nothing) if no entry is resident at `pc` or
+    /// `burst` is 0.
+    pub fn tag_stream(&mut self, pc: u32, burst: u32) -> bool {
+        if burst == 0 || !self.entries.contains_key(&pc) {
+            return false;
+        }
+        self.stream_tags.insert(pc, burst);
+        true
+    }
+
+    /// The certified burst K of the entry at `pc`, if it is resident
+    /// and stream-tagged.
+    pub fn stream_tag(&self, pc: u32) -> Option<u32> {
+        self.stream_tags.get(&pc).copied()
+    }
+
+    /// Number of resident stream-tagged entries.
+    pub fn stream_tag_count(&self) -> usize {
+        self.stream_tags.len()
     }
 
     /// `(hits, misses)` lookup counters.
@@ -429,6 +463,35 @@ mod tests {
         let evicted = cache.insert(config_at(0x300)).unwrap();
         assert_eq!((evicted.pc, evicted.uses), (0x100, 0));
         assert_eq!(cache.evictions_dead(), 1);
+    }
+
+    #[test]
+    fn stream_tags_live_and_die_with_their_entry() {
+        let mut cache = ReconfCache::new(2);
+        assert!(!cache.tag_stream(0x100, 4), "nothing resident yet");
+        cache.insert(config_at(0x100));
+        assert!(!cache.tag_stream(0x100, 0), "burst 0 rejected");
+        assert!(cache.tag_stream(0x100, 4));
+        assert_eq!(cache.stream_tag(0x100), Some(4));
+        assert_eq!(cache.stream_tag_count(), 1);
+
+        // A replacement translation drops the tag.
+        cache.insert(config_at(0x100));
+        assert_eq!(cache.stream_tag(0x100), None);
+
+        // A flush drops the tag.
+        assert!(cache.tag_stream(0x100, 8));
+        cache.flush(0x100);
+        assert_eq!(cache.stream_tag(0x100), None);
+        assert_eq!(cache.stream_tag_count(), 0);
+
+        // A capacity eviction drops the tag.
+        cache.insert(config_at(0x200));
+        assert!(cache.tag_stream(0x200, 16));
+        cache.insert(config_at(0x300));
+        cache.insert(config_at(0x400)); // evicts 0x200
+        assert!(cache.peek(0x200).is_none());
+        assert_eq!(cache.stream_tag(0x200), None);
     }
 
     #[test]

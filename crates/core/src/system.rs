@@ -12,7 +12,9 @@ use crate::{
     BimodalPredictor, CycleBreakdown, DimStats, ReconfCache, ReplacementPolicy, Trace, Translator,
     TranslatorOptions,
 };
-use dim_cgra::{ArrayShape, ArrayTiming, Configuration, EncodingParams, FabricHeat};
+use dim_cgra::{
+    verify_cert, ArrayShape, ArrayTiming, Configuration, EncodingParams, FabricHeat, StreamingCert,
+};
 use dim_mips::Instruction;
 use dim_mips_sim::{HaltReason, Machine, SimError};
 use dim_obs::{
@@ -120,6 +122,10 @@ pub struct System {
     pub(crate) misspec_counts: HashMap<u32, u32>,
     trace: Option<Trace>,
     commit_log: Option<Vec<Configuration>>,
+    /// Installed streaming certificates, keyed by region entry PC.
+    stream_certs: HashMap<u32, StreamingCert>,
+    /// Commits whose region matched a certificate and were tagged.
+    stream_tags_applied: u64,
 }
 
 impl System {
@@ -149,7 +155,49 @@ impl System {
             misspec_counts: HashMap::new(),
             trace: None,
             commit_log: None,
+            stream_certs: HashMap::new(),
+            stream_tags_applied: 0,
         }
+    }
+
+    /// Installs streaming-eligibility certificates (`dim prove`) to be
+    /// consulted at every translator commit: a committed configuration
+    /// whose entry PC matches a certificate and whose ops all lie in
+    /// the certified region is tagged `stream_ok(K)` in the rcache.
+    /// Replay behavior is unchanged — the tag is the contract surface
+    /// for the streaming executor. Returns the number installed.
+    ///
+    /// # Errors
+    ///
+    /// Rejects the whole batch on the first structurally invalid
+    /// certificate (`dim_cgra::verify_cert`), naming its defect.
+    pub fn install_stream_certs(
+        &mut self,
+        certs: impl IntoIterator<Item = StreamingCert>,
+    ) -> Result<usize, String> {
+        let mut installed = 0;
+        for cert in certs {
+            if let Some(violation) = verify_cert(&cert).into_iter().next() {
+                return Err(format!(
+                    "certificate @ {:#x} ({}): {violation}",
+                    cert.entry_pc, cert.workload
+                ));
+            }
+            self.stream_certs.insert(cert.entry_pc, cert);
+            installed += 1;
+        }
+        Ok(installed)
+    }
+
+    /// Installed certificates, keyed by entry PC.
+    pub fn stream_certs(&self) -> &HashMap<u32, StreamingCert> {
+        &self.stream_certs
+    }
+
+    /// Commits that matched an installed certificate and tagged their
+    /// rcache entry `stream_ok(K)` so far.
+    pub fn stream_tags_applied(&self) -> u64 {
+        self.stream_tags_applied
     }
 
     /// Starts recording every configuration the translator commits to
@@ -392,6 +440,16 @@ impl System {
         self.stats.cache_bits_written += self.stored_bits_per_config;
         let pc = config.entry_pc;
         let len = config.instruction_count() as u32;
+        // Consult the installed streaming certificates: a commit whose
+        // ops all lie inside a certified region is provably safe to
+        // burst-replay K iterations, so its rcache entry gets tagged.
+        let burst = self.stream_certs.get(&pc).and_then(|cert| {
+            config
+                .ops()
+                .iter()
+                .all(|op| cert.contains(op.pc))
+                .then_some(cert.burst)
+        });
         let evicted = self.cache.insert(config);
         if let Some(victim) = &evicted {
             if victim.uses > 0 {
@@ -399,6 +457,10 @@ impl System {
             } else {
                 self.stats.rcache_evictions_dead += 1;
             }
+        }
+        let tagged = burst.is_some_and(|k| self.cache.tag_stream(pc, k));
+        if tagged {
+            self.stream_tags_applied += 1;
         }
         if P::ENABLED {
             probe.emit(ProbeEvent::RcacheInsert {
@@ -411,6 +473,13 @@ impl System {
                     pc: victim.pc,
                     len: victim.len,
                     uses: victim.uses,
+                });
+            }
+            if tagged {
+                probe.emit(ProbeEvent::StreamTag {
+                    pc,
+                    len,
+                    burst: burst.unwrap_or(0),
                 });
             }
         }
@@ -755,6 +824,77 @@ mod tests {
         base.run(10_000_000).unwrap();
         assert_eq!(sys.stats().array_invocations, 0);
         assert_eq!(sys.total_cycles(), base.stats.cycles);
+    }
+
+    #[test]
+    fn commit_tags_rcache_entry_when_cert_matches() {
+        let p = assemble(SUM_LOOP).expect("assembles");
+        // The loop head sits after the two one-instruction `li`s.
+        let loop_pc = p.entry + 8;
+        let cert = StreamingCert {
+            version: dim_cgra::STREAM_CERT_VERSION,
+            workload: "sum".into(),
+            entry_pc: loop_pc,
+            len: 7,
+            accesses: vec![],
+            burst: 4,
+            trip_bound: Some(500),
+        };
+        let mut sys = System::new(
+            Machine::load(&p),
+            SystemConfig::new(ArrayShape::config1(), 64, false),
+        );
+        assert_eq!(sys.install_stream_certs([cert]), Ok(1));
+        sys.run(10_000_000).unwrap();
+        assert!(sys.stream_tags_applied() > 0, "loop commit never tagged");
+        assert_eq!(sys.cache().stream_tag(loop_pc), Some(4));
+
+        let mut base = Machine::load(&p);
+        base.run(10_000_000).unwrap();
+        for r in Reg::all() {
+            assert_eq!(sys.machine().cpu.reg(r), base.cpu.reg(r), "{r} differs");
+        }
+    }
+
+    #[test]
+    fn commit_is_not_tagged_when_region_does_not_cover_ops() {
+        let p = assemble(SUM_LOOP).expect("assembles");
+        let loop_pc = p.entry + 8;
+        // Certificate too short: the committed config's later ops fall
+        // outside the certified region, so the tag must not apply.
+        let cert = StreamingCert {
+            version: dim_cgra::STREAM_CERT_VERSION,
+            workload: "sum".into(),
+            entry_pc: loop_pc,
+            len: 3,
+            accesses: vec![],
+            burst: 4,
+            trip_bound: None,
+        };
+        let mut sys = System::new(
+            Machine::load(&p),
+            SystemConfig::new(ArrayShape::config1(), 64, false),
+        );
+        sys.install_stream_certs([cert]).unwrap();
+        sys.run(10_000_000).unwrap();
+        assert_eq!(sys.stream_tags_applied(), 0);
+        assert_eq!(sys.cache().stream_tag(loop_pc), None);
+    }
+
+    #[test]
+    fn install_rejects_invalid_cert() {
+        let (mut sys, _) = build(SUM_LOOP, ArrayShape::config1(), 64, false);
+        let bad = StreamingCert {
+            version: dim_cgra::STREAM_CERT_VERSION,
+            workload: "sum".into(),
+            entry_pc: 0x40_0000,
+            len: 8,
+            accesses: vec![],
+            burst: 0, // burst must be ≥ 1
+            trip_bound: None,
+        };
+        let err = sys.install_stream_certs([bad]).unwrap_err();
+        assert!(err.contains("burst"), "{err}");
     }
 
     #[test]

@@ -357,8 +357,9 @@ impl Walker {
                 });
             }
             // Cycle-neutral occupancy detail; `dim heat` owns its
-            // aggregation, region forensics has no use for it.
-            ProbeEvent::Fabric(_) => {}
+            // aggregation, region forensics has no use for it. Stream
+            // tags likewise: commit-time metadata, not time.
+            ProbeEvent::Fabric(_) | ProbeEvent::StreamTag { .. } => {}
             ProbeEvent::ArrayInvoke(inv) => {
                 let cycles = inv.total_cycles();
                 let r = self.region(inv.entry_pc);

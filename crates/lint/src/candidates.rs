@@ -11,10 +11,11 @@
 //! path; [`contains_region`] checks exactly that, and the property tests
 //! in this crate assert it for every workload.
 
+use crate::walk::{decode_text, TextWalker};
 use dim_cgra::{Configuration, SegmentBranch};
 use dim_core::{live_in_sources, DependenceTable, TranslatorOptions};
 use dim_mips::asm::Program;
-use dim_mips::{decode, FuClass, Instruction};
+use dim_mips::{FuClass, Instruction};
 use std::collections::BTreeMap;
 
 /// Safety bound on instructions per enumerated path. Real paths close
@@ -34,14 +35,8 @@ struct WalkState {
 /// operations placed into the configuration, in placement order
 /// (speculated branches included).
 pub fn candidate_paths(program: &Program, opts: &TranslatorOptions, entry: u32) -> Vec<Vec<u32>> {
-    let base = program.text_base;
-    let end = base + (program.text.len() as u32) * 4;
-    let inst_at = |pc: u32| -> Option<Instruction> {
-        if pc < base || pc >= end || !pc.is_multiple_of(4) {
-            return None;
-        }
-        decode(program.text[((pc - base) / 4) as usize]).ok()
-    };
+    let insts = decode_text(program);
+    let walker = TextWalker::new(program.text_base, &insts);
 
     let mut paths: Vec<Vec<u32>> = Vec::new();
     let mut stack = vec![WalkState {
@@ -58,7 +53,7 @@ pub fn candidate_paths(program: &Program, opts: &TranslatorOptions, entry: u32) 
                 paths.push(state.ops);
                 break;
             }
-            let Some(inst) = inst_at(state.pc) else {
+            let Some(inst) = walker.inst_at(state.pc) else {
                 paths.push(state.ops);
                 break;
             };

@@ -7,8 +7,9 @@
 //! ownership (`pc + 4` of every control transfer) so the delay-slot
 //! portability lints can reason about it.
 
+use crate::walk::{decode_text, TextWalker};
 use dim_mips::asm::Program;
-use dim_mips::{decode, Instruction};
+use dim_mips::Instruction;
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
 /// How a basic block ends.
@@ -115,10 +116,8 @@ impl Cfg {
     /// Reconstructs the graph from an assembled program.
     pub fn build(program: &Program) -> Cfg {
         let base = program.text_base;
-        let insts: Vec<Option<Instruction>> =
-            program.text.iter().map(|&w| decode(w).ok()).collect();
-        let end = base + (insts.len() as u32) * 4;
-        let in_text = |pc: u32| pc >= base && pc < end && pc.is_multiple_of(4);
+        let insts = decode_text(program);
+        let in_text = |pc: u32| TextWalker::new(base, &insts).in_text(pc);
 
         // Leaders: entry, text base, control targets, post-terminator pcs.
         let mut leaders: BTreeSet<u32> = BTreeSet::new();
@@ -234,15 +233,18 @@ impl Cfg {
 
     /// Whether `pc` addresses an instruction slot of the text segment.
     pub fn in_text(&self, pc: u32) -> bool {
-        pc >= self.text_base && pc < self.text_end() && pc.is_multiple_of(4)
+        self.walker().in_text(pc)
     }
 
     /// The decoded instruction at `pc`, if inside text and decodable.
     pub fn inst_at(&self, pc: u32) -> Option<Instruction> {
-        if !self.in_text(pc) {
-            return None;
-        }
-        self.insts[((pc - self.text_base) / 4) as usize]
+        self.walker().inst_at(pc)
+    }
+
+    /// A [`TextWalker`] view over this graph's decoded text — the
+    /// shared fetch helper the prover's loop-body walk runs on.
+    pub fn walker(&self) -> TextWalker<'_> {
+        TextWalker::new(self.text_base, &self.insts)
     }
 
     /// Index of the block starting at `pc`.

@@ -16,8 +16,15 @@
 //!    `.dimrc` snapshot contents satisfy the array's structural
 //!    invariants (bounds, dependence order, write-port exclusivity,
 //!    writeback consistency).
+//! 3. **Stride/alias prover** ([`prove`]) — an abstract-interpretation
+//!    pass over the CFG that classifies every memory access in a
+//!    self-loop as affine, invariant, or unknown, runs a stride-based
+//!    dependence test, bounds trip counts, and emits versioned,
+//!    checksummed *streaming certificates*
+//!    ([`dim_cgra::StreamingCert`]) that the translator consults at
+//!    commit time to tag rcache entries `stream_ok(K)`.
 //!
-//! The CLI front-ends are `dim lint` and `dim verify`.
+//! The CLI front-ends are `dim lint`, `dim verify` and `dim prove`.
 
 #![warn(missing_docs)]
 
@@ -25,7 +32,9 @@ pub mod candidates;
 pub mod cfg;
 pub mod dataflow;
 pub mod lints;
+pub mod prove;
 pub mod report;
+pub mod walk;
 
 pub use dim_cgra::verify::{verify_config, Violation, ViolationKind};
 

@@ -1,0 +1,245 @@
+//! Loop-body abstract interpretation and access classification.
+//!
+//! One pass of [`StrideEnv`] over a self-loop body yields, per memory
+//! instruction, its address as a linear expression over loop-entry
+//! register values, and, per register, its per-iteration recurrence.
+//! Combining the two classifies each access into the certificate
+//! vocabulary ([`StreamClass`]): *affine* when every register in the
+//! address expression is affine-inductive (stride = Σ coeffᵢ·deltaᵢ,
+//! mod 2³²), *invariant* when that stride is zero, *unknown* otherwise.
+
+use super::lattice::{wrap32, AbsVal, LinExpr, StrideEnv};
+use dim_cgra::StreamClass;
+use dim_mips::{DataLoc, Instruction};
+
+/// One memory access of a loop body, classified.
+#[derive(Debug, Clone)]
+pub struct ClassifiedAccess {
+    /// PC of the memory instruction.
+    pub pc: u32,
+    /// Whether it writes memory.
+    pub is_store: bool,
+    /// Access width in bytes.
+    pub width: u32,
+    /// Address as a linear expression at the access point, when known.
+    pub addr: Option<LinExpr>,
+    /// Certificate classification.
+    pub class: StreamClass,
+}
+
+/// Everything the dependence test needs from one body pass.
+#[derive(Debug, Clone)]
+pub struct BodyAnalysis {
+    /// Classified accesses in PC order.
+    pub accesses: Vec<ClassifiedAccess>,
+    /// Per-iteration delta per dense [`DataLoc`] index; `None` where the
+    /// location does not recur affinely.
+    pub deltas: Vec<Option<i64>>,
+}
+
+/// Why a body cannot be analyzed at all (distinct from "analyzed, but
+/// the dependence test failed").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BodyReject {
+    /// A `syscall` sits in the body; its memory behavior is unmodeled.
+    Syscall {
+        /// PC of the syscall.
+        pc: u32,
+    },
+    /// A call in the body would leave the region every iteration.
+    Call {
+        /// PC of the call.
+        pc: u32,
+    },
+}
+
+impl std::fmt::Display for BodyReject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BodyReject::Syscall { pc } => write!(f, "syscall in body at {pc:#x}"),
+            BodyReject::Call { pc } => write!(f, "call in body at {pc:#x}"),
+        }
+    }
+}
+
+/// Runs the abstract interpreter over one self-loop body (the closing
+/// branch included) and classifies every memory access.
+///
+/// `syscall` anywhere in the body is a hard reject: it reads and writes
+/// memory through a channel the stride domain cannot see, so no
+/// certificate may cover it. (The CFG does not end blocks at syscalls —
+/// they are register-local from its perspective — hence the explicit
+/// scan here.)
+pub fn analyze_body(body: &[(u32, Instruction)]) -> Result<BodyAnalysis, BodyReject> {
+    let mut env = StrideEnv::entry();
+    let mut raw = Vec::new();
+    for &(pc, inst) in body {
+        match inst {
+            Instruction::Syscall => return Err(BodyReject::Syscall { pc }),
+            Instruction::Jal { .. } | Instruction::Jalr { .. } => {
+                return Err(BodyReject::Call { pc })
+            }
+            _ => {}
+        }
+        if let Some(access) = env.step(&inst) {
+            raw.push((pc, access));
+        }
+    }
+    let deltas = env.recurrences();
+    let accesses = raw
+        .into_iter()
+        .map(|(pc, a)| {
+            let (addr, class) = match &a.addr {
+                AbsVal::Lin(e) => (Some(e.clone()), classify(e, &deltas)),
+                AbsVal::Unknown => (None, StreamClass::Unknown),
+            };
+            ClassifiedAccess {
+                pc,
+                is_store: a.is_store,
+                width: a.width,
+                addr,
+                class,
+            }
+        })
+        .collect();
+    Ok(BodyAnalysis { accesses, deltas })
+}
+
+/// The per-iteration address delta of a linear address expression, when
+/// every register it mentions is affine-inductive.
+pub fn expr_stride(addr: &LinExpr, deltas: &[Option<i64>]) -> Option<i64> {
+    let mut stride = 0i64;
+    for (&loc, &coeff) in &addr.terms {
+        let delta = deltas[loc.dense_index()]?;
+        stride = stride.wrapping_add(coeff.wrapping_mul(delta));
+    }
+    Some(wrap32(stride))
+}
+
+fn classify(addr: &LinExpr, deltas: &[Option<i64>]) -> StreamClass {
+    match expr_stride(addr, deltas) {
+        Some(0) => StreamClass::Invariant,
+        Some(d) => StreamClass::Affine { stride: d as i32 },
+        None => StreamClass::Unknown,
+    }
+}
+
+/// Convenience: the dense index of a [`DataLoc`] (re-exported for the
+/// property tests, which cross-check deltas against dynamic runs).
+pub fn delta_of(analysis: &BodyAnalysis, loc: DataLoc) -> Option<i64> {
+    analysis.deltas[loc.dense_index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dim_mips::asm::assemble;
+    use dim_mips::{decode, Reg};
+
+    fn body_of(src: &str) -> Vec<(u32, Instruction)> {
+        let p = assemble(src).expect("assembles");
+        p.text
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (p.text_base + (i as u32) * 4, decode(w).expect("decodes")))
+            .collect()
+    }
+
+    #[test]
+    fn byte_scan_loop_classifies_affine() {
+        let body = body_of(
+            "loop: lbu $t0, 0($s1)
+                   addu $s3, $s3, $t0
+                   addiu $s1, $s1, 1
+                   addiu $s0, $s0, -1
+                   bnez $s0, loop",
+        );
+        let analysis = analyze_body(&body).expect("analyzes");
+        assert_eq!(analysis.accesses.len(), 1);
+        let a = &analysis.accesses[0];
+        assert!(!a.is_store);
+        assert_eq!(a.class, StreamClass::Affine { stride: 1 });
+        assert_eq!(delta_of(&analysis, DataLoc::Gpr(Reg::S1)), Some(1));
+        assert_eq!(delta_of(&analysis, DataLoc::Gpr(Reg::S0)), Some(-1));
+        assert_eq!(
+            delta_of(&analysis, DataLoc::Gpr(Reg::S3)),
+            None,
+            "accumulator absorbs a loaded value"
+        );
+    }
+
+    #[test]
+    fn table_lookup_is_unknown() {
+        // crc32's shape: an affine byte load plus a data-dependent
+        // table load.
+        let body = body_of(
+            "loop: lbu $t0, 0($s1)
+                   sll $t1, $t0, 2
+                   addu $t1, $t1, $s2
+                   lw $t2, 0($t1)
+                   addiu $s1, $s1, 1
+                   addiu $s0, $s0, -1
+                   bnez $s0, loop",
+        );
+        let analysis = analyze_body(&body).expect("analyzes");
+        assert_eq!(analysis.accesses.len(), 2);
+        assert_eq!(
+            analysis.accesses[0].class,
+            StreamClass::Affine { stride: 1 }
+        );
+        assert_eq!(analysis.accesses[1].class, StreamClass::Unknown);
+    }
+
+    #[test]
+    fn invariant_pointer_is_invariant() {
+        let body = body_of(
+            "loop: lw $t0, 0($s2)
+                   addiu $s0, $s0, -1
+                   bnez $s0, loop",
+        );
+        let analysis = analyze_body(&body).expect("analyzes");
+        assert_eq!(analysis.accesses[0].class, StreamClass::Invariant);
+    }
+
+    #[test]
+    fn negative_stride_store() {
+        let body = body_of(
+            "loop: sw $t0, 0($s1)
+                   addiu $s1, $s1, -4
+                   addiu $s0, $s0, -1
+                   bnez $s0, loop",
+        );
+        let analysis = analyze_body(&body).expect("analyzes");
+        let a = &analysis.accesses[0];
+        assert!(a.is_store);
+        assert_eq!(a.class, StreamClass::Affine { stride: -4 });
+    }
+
+    #[test]
+    fn syscall_rejects_body() {
+        let body = body_of(
+            "loop: syscall
+                   addiu $s0, $s0, -1
+                   bnez $s0, loop",
+        );
+        match analyze_body(&body) {
+            Err(BodyReject::Syscall { .. }) => {}
+            other => panic!("expected syscall reject, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_affine_induction_is_unknown() {
+        // The pointer doubles each iteration: linear in-body but not an
+        // affine recurrence, so the access must classify unknown.
+        let body = body_of(
+            "loop: lw $t0, 0($s1)
+                   addu $s1, $s1, $s1
+                   addiu $s0, $s0, -1
+                   bnez $s0, loop",
+        );
+        let analysis = analyze_body(&body).expect("analyzes");
+        assert_eq!(analysis.accesses[0].class, StreamClass::Unknown);
+        assert_eq!(delta_of(&analysis, DataLoc::Gpr(Reg::S1)), None);
+    }
+}

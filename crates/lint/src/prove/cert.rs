@@ -1,0 +1,92 @@
+//! Certificate assembly: turning a proven region into a
+//! [`StreamingCert`] that passes [`dim_cgra::verify_cert`] by
+//! construction.
+
+use super::accesses::ClassifiedAccess;
+use super::depend::burst_for;
+use super::loops::SelfLoop;
+use dim_cgra::{verify_cert, StreamAccess, StreamAccessKind, StreamingCert, STREAM_CERT_VERSION};
+
+/// Builds the certificate for a region whose body analysis and
+/// dependence test both succeeded.
+///
+/// The caller guarantees the claim; this function only shapes it. A
+/// debug assertion cross-checks the result against the structural
+/// verifier so prover and verifier can never drift apart silently.
+pub fn build_cert(
+    workload: &str,
+    region: &SelfLoop,
+    accesses: &[ClassifiedAccess],
+    trip_bound: Option<u64>,
+) -> StreamingCert {
+    let cert = StreamingCert {
+        version: STREAM_CERT_VERSION,
+        workload: workload.to_string(),
+        entry_pc: region.entry,
+        len: region.len as u32,
+        accesses: accesses
+            .iter()
+            .map(|a| StreamAccess {
+                pc: a.pc,
+                kind: if a.is_store {
+                    StreamAccessKind::Store
+                } else {
+                    StreamAccessKind::Load
+                },
+                width: a.width,
+                class: a.class,
+            })
+            .collect(),
+        burst: burst_for(trip_bound),
+        trip_bound,
+    };
+    debug_assert!(
+        verify_cert(&cert).is_empty(),
+        "prover emitted a cert the verifier rejects: {:?}",
+        verify_cert(&cert)
+    );
+    cert
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prove::accesses::analyze_body;
+    use dim_mips::asm::assemble;
+    use dim_mips::Instruction;
+
+    #[test]
+    fn built_cert_verifies_and_round_trips() {
+        let p = assemble(
+            "loop: lbu $t0, 0($s1)
+                   addu $s3, $s3, $t0
+                   addiu $s1, $s1, 1
+                   addiu $s0, $s0, -1
+                   bnez $s0, loop",
+        )
+        .expect("assembles");
+        let body: Vec<(u32, Instruction)> = p
+            .text
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                (
+                    p.text_base + (i as u32) * 4,
+                    dim_mips::decode(w).expect("decodes"),
+                )
+            })
+            .collect();
+        let analysis = analyze_body(&body).expect("analyzes");
+        let region = SelfLoop {
+            block: 0,
+            entry: p.text_base,
+            len: body.len(),
+            branch_pc: p.text_base + 16,
+        };
+        let cert = build_cert("unit", &region, &analysis.accesses, Some(64));
+        assert!(verify_cert(&cert).is_empty());
+        let back = StreamingCert::parse_json(&cert.to_json()).expect("round-trips");
+        assert_eq!(back, cert);
+        assert_eq!(back.burst, 16, "trip 64 caps at STREAM_BURST_CAP");
+    }
+}

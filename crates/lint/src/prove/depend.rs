@@ -1,0 +1,270 @@
+//! Stride-based cross-iteration dependence test and burst sizing.
+//!
+//! The claim a certificate makes is that `burst` body iterations can
+//! run back-to-back with no per-iteration checks. The hazard is a store
+//! of iteration *i* aliasing a load or store of iteration *j ≠ i*
+//! inside the burst window — exactly what [`check_dependences`] rules
+//! out with interval arithmetic over the proven strides:
+//!
+//! For a store `S` and any access `A` with addresses
+//! `aS + k·d` and `aA + k·d` (same symbolic base, so same stride `d`),
+//! the cross-iteration distance is `Δc + m·d` with `Δc = aS − aA` and
+//! `|m| ≥ 1`. The two never overlap when
+//! `|d| ≥ |Δc| + max(wS, wA)` and `d ≠ 0` — the per-iteration advance
+//! outruns the static skew plus the widest footprint.
+//!
+//! Accesses with *different* symbolic bases get no such bound (the
+//! bases may be arbitrarily aliased at run time), so any store forces
+//! every other access onto its own base — conservative, and exactly
+//! the paper's "streaming kernels only" scope.
+
+use super::accesses::ClassifiedAccess;
+use dim_cgra::{StreamClass, STREAM_BURST_CAP};
+
+/// Why the dependence test rejected a region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DependReject {
+    /// A store's address is not a provable linear expression.
+    UnknownStore {
+        /// PC of the store.
+        pc: u32,
+    },
+    /// The loop has a store, and some access's address is unknown.
+    UnknownBesideStore {
+        /// PC of the unknown access.
+        pc: u32,
+    },
+    /// A store's address does not advance (stride 0): it would overlap
+    /// itself on every iteration of a burst.
+    StationaryStore {
+        /// PC of the store.
+        pc: u32,
+    },
+    /// A store and another access sit on different symbolic bases; the
+    /// stride domain cannot bound their distance.
+    BaseMismatch {
+        /// PC of the store.
+        store_pc: u32,
+        /// PC of the other access.
+        other_pc: u32,
+    },
+    /// Same base, but the stride does not clear the static skew plus
+    /// access footprints.
+    StrideTooSmall {
+        /// PC of the store.
+        store_pc: u32,
+        /// PC of the other access.
+        other_pc: u32,
+        /// The per-iteration stride.
+        stride: i64,
+        /// Required minimum `|stride|`.
+        needed: i64,
+    },
+}
+
+impl std::fmt::Display for DependReject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DependReject::UnknownStore { pc } => {
+                write!(f, "store at {pc:#x} has an unprovable address")
+            }
+            DependReject::UnknownBesideStore { pc } => {
+                write!(f, "unknown-address access at {pc:#x} in a loop with stores")
+            }
+            DependReject::StationaryStore { pc } => {
+                write!(f, "store at {pc:#x} does not advance between iterations")
+            }
+            DependReject::BaseMismatch { store_pc, other_pc } => write!(
+                f,
+                "store at {store_pc:#x} and access at {other_pc:#x} use different symbolic bases"
+            ),
+            DependReject::StrideTooSmall {
+                store_pc,
+                other_pc,
+                stride,
+                needed,
+            } => write!(
+                f,
+                "store at {store_pc:#x} vs access at {other_pc:#x}: stride {stride} < required {needed}"
+            ),
+        }
+    }
+}
+
+/// Runs the cross-iteration alias test over a classified body.
+///
+/// Store-free loops pass unconditionally — even with unknown loads
+/// (crc32's table lookup), re-reading memory that nothing in the loop
+/// writes is burst-invariant. Any store raises the bar to the full
+/// interval test above.
+pub fn check_dependences(accesses: &[ClassifiedAccess]) -> Result<(), DependReject> {
+    let stores: Vec<&ClassifiedAccess> = accesses.iter().filter(|a| a.is_store).collect();
+    if stores.is_empty() {
+        return Ok(());
+    }
+    for store in &stores {
+        match store.class {
+            StreamClass::Unknown => return Err(DependReject::UnknownStore { pc: store.pc }),
+            StreamClass::Invariant => return Err(DependReject::StationaryStore { pc: store.pc }),
+            StreamClass::Affine { .. } => {}
+        }
+    }
+    if let Some(unknown) = accesses.iter().find(|a| a.class == StreamClass::Unknown) {
+        return Err(DependReject::UnknownBesideStore { pc: unknown.pc });
+    }
+    for store in &stores {
+        let store_addr = store.addr.as_ref().expect("affine store has an address");
+        let StreamClass::Affine { stride } = store.class else {
+            unreachable!("non-affine stores rejected above")
+        };
+        let stride = stride as i64;
+        for other in accesses {
+            let other_addr = other.addr.as_ref().expect("unknowns rejected above");
+            let skew = store_addr.sub(other_addr);
+            if !skew.terms.is_empty() {
+                return Err(DependReject::BaseMismatch {
+                    store_pc: store.pc,
+                    other_pc: other.pc,
+                });
+            }
+            // Same linear part ⇒ same stride; only the offset differs.
+            let needed = skew.off.abs() + store.width.max(other.width) as i64;
+            if stride.abs() < needed {
+                return Err(DependReject::StrideTooSmall {
+                    store_pc: store.pc,
+                    other_pc: other.pc,
+                    stride,
+                    needed,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The burst K a certificate may promise: capped by
+/// [`STREAM_BURST_CAP`] and by the proven trip bound, never below 1.
+pub fn burst_for(trip_bound: Option<u64>) -> u32 {
+    match trip_bound {
+        Some(t) => (t.min(STREAM_BURST_CAP as u64) as u32).max(1),
+        None => STREAM_BURST_CAP,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prove::accesses::analyze_body;
+    use dim_mips::asm::assemble;
+    use dim_mips::{decode, Instruction};
+
+    fn classify(src: &str) -> Vec<ClassifiedAccess> {
+        let p = assemble(src).expect("assembles");
+        let body: Vec<(u32, Instruction)> = p
+            .text
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (p.text_base + (i as u32) * 4, decode(w).expect("decodes")))
+            .collect();
+        analyze_body(&body).expect("analyzes").accesses
+    }
+
+    #[test]
+    fn store_free_loop_with_unknown_load_passes() {
+        let accesses = classify(
+            "loop: lbu $t0, 0($s1)
+                   sll $t1, $t0, 2
+                   addu $t1, $t1, $s2
+                   lw $t2, 0($t1)
+                   addiu $s1, $s1, 1
+                   addiu $s0, $s0, -1
+                   bnez $s0, loop",
+        );
+        assert!(check_dependences(&accesses).is_ok());
+    }
+
+    #[test]
+    fn in_place_word_transform_passes() {
+        // lw/sw through the same advancing base: skew 0, stride 4,
+        // widths 4 — exactly at the bound.
+        let accesses = classify(
+            "loop: lw $t0, 0($s0)
+                   sll $t1, $t0, 1
+                   sw $t1, 0($s0)
+                   addiu $s0, $s0, 4
+                   addiu $s1, $s1, -1
+                   bnez $s1, loop",
+        );
+        assert!(check_dependences(&accesses).is_ok());
+    }
+
+    #[test]
+    fn loop_carried_overlap_is_rejected() {
+        // sha's message-schedule shape: reads 12 bytes behind the
+        // write pointer with a 4-byte stride — iteration i+3's load
+        // rereads iteration i's store.
+        let accesses = classify(
+            "loop: lw $t0, 0($s0)
+                   sw $t0, 12($s0)
+                   addiu $s0, $s0, 4
+                   addiu $s1, $s1, -1
+                   bnez $s1, loop",
+        );
+        match check_dependences(&accesses) {
+            Err(DependReject::StrideTooSmall { needed, .. }) => assert_eq!(needed, 16),
+            other => panic!("expected stride reject, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn distinct_bases_are_rejected() {
+        let accesses = classify(
+            "loop: lw $t0, 0($s0)
+                   sw $t0, 0($s1)
+                   addiu $s0, $s0, 4
+                   addiu $s1, $s1, 4
+                   addiu $s2, $s2, -1
+                   bnez $s2, loop",
+        );
+        match check_dependences(&accesses) {
+            Err(DependReject::BaseMismatch { .. }) => {}
+            other => panic!("expected base mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn indirect_store_is_rejected() {
+        let accesses = classify(
+            "loop: lw $t0, 0($s0)
+                   sw $t1, 0($t0)
+                   addiu $s0, $s0, 4
+                   addiu $s2, $s2, -1
+                   bnez $s2, loop",
+        );
+        match check_dependences(&accesses) {
+            Err(DependReject::UnknownStore { .. }) => {}
+            other => panic!("expected unknown-store reject, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stationary_store_is_rejected() {
+        let accesses = classify(
+            "loop: sw $t0, 0($s2)
+                   addiu $s0, $s0, -1
+                   bnez $s0, loop",
+        );
+        match check_dependences(&accesses) {
+            Err(DependReject::StationaryStore { .. }) => {}
+            other => panic!("expected stationary-store reject, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn burst_respects_trip_and_cap() {
+        assert_eq!(burst_for(None), STREAM_BURST_CAP);
+        assert_eq!(burst_for(Some(100)), STREAM_BURST_CAP);
+        assert_eq!(burst_for(Some(5)), 5);
+        assert_eq!(burst_for(Some(0)), 1);
+    }
+}

@@ -1,0 +1,632 @@
+//! The abstract domain of the stride prover: values as linear
+//! combinations of the registers' *loop-entry* values.
+//!
+//! Every register starts a loop body as the symbolic variable standing
+//! for "whatever this register held when the iteration began". The
+//! transfer function pushes these symbols through the body: additions
+//! combine term-wise, constant shifts scale, constant-only expressions
+//! fold to concrete values, and anything non-linear (masks, compares,
+//! data-dependent shifts, loaded values) collapses to ⊤ (`Unknown`).
+//! All arithmetic is interpreted modulo 2³², exactly as the simulator
+//! computes it, so a derived stride is an exact statement about the
+//! executed address sequence — not an approximation.
+
+use dim_mips::{AluOp, DataLoc, Instruction, MulDivOp, Reg, ShiftOp};
+use std::collections::BTreeMap;
+
+/// Wraps an `i64` to the canonical signed representative of its value
+/// modulo 2³² (the two's-complement `i32` range).
+pub fn wrap32(v: i64) -> i64 {
+    (v as u32) as i32 as i64
+}
+
+/// A linear combination `off + Σ coeffᵢ·locᵢ` over loop-entry register
+/// values, modulo 2³². Coefficients and offset are kept as canonical
+/// signed 32-bit representatives; zero coefficients are dropped, so an
+/// empty term map is a constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinExpr {
+    /// Non-zero coefficients per symbolic location.
+    pub terms: BTreeMap<DataLoc, i64>,
+    /// Constant offset.
+    pub off: i64,
+}
+
+impl LinExpr {
+    /// The constant `v`.
+    pub fn konst(v: u32) -> LinExpr {
+        LinExpr {
+            terms: BTreeMap::new(),
+            off: wrap32(v as i64),
+        }
+    }
+
+    /// The loop-entry value of `loc` itself.
+    pub fn var(loc: DataLoc) -> LinExpr {
+        LinExpr {
+            terms: BTreeMap::from([(loc, 1)]),
+            off: 0,
+        }
+    }
+
+    /// The concrete value, if this expression is constant.
+    pub fn as_const(&self) -> Option<u32> {
+        self.terms.is_empty().then_some(self.off as u32)
+    }
+
+    /// Term-wise sum.
+    pub fn add(&self, other: &LinExpr) -> LinExpr {
+        self.combine(other, 1)
+    }
+
+    /// Term-wise difference.
+    pub fn sub(&self, other: &LinExpr) -> LinExpr {
+        self.combine(other, -1)
+    }
+
+    fn combine(&self, other: &LinExpr, sign: i64) -> LinExpr {
+        let mut terms = self.terms.clone();
+        for (&loc, &c) in &other.terms {
+            let entry = terms.entry(loc).or_insert(0);
+            *entry = wrap32(*entry + sign * c);
+            if *entry == 0 {
+                terms.remove(&loc);
+            }
+        }
+        LinExpr {
+            terms,
+            off: wrap32(self.off + sign * other.off),
+        }
+    }
+
+    /// Adds a constant.
+    pub fn add_const(&self, c: i64) -> LinExpr {
+        LinExpr {
+            terms: self.terms.clone(),
+            off: wrap32(self.off + c),
+        }
+    }
+
+    /// Multiplies every coefficient and the offset by `k` (mod 2³²),
+    /// dropping terms whose coefficient wraps to zero.
+    pub fn scale(&self, k: i64) -> LinExpr {
+        let mut terms = BTreeMap::new();
+        for (&loc, &c) in &self.terms {
+            let scaled = wrap32(c.wrapping_mul(k));
+            if scaled != 0 {
+                terms.insert(loc, scaled);
+            }
+        }
+        LinExpr {
+            terms,
+            off: wrap32(self.off.wrapping_mul(k)),
+        }
+    }
+}
+
+/// An abstract value: a linear expression, or ⊤.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbsVal {
+    /// Provably `off + Σ coeffᵢ·locᵢ (mod 2³²)` over loop-entry values.
+    Lin(LinExpr),
+    /// Not expressible in the domain.
+    Unknown,
+}
+
+impl AbsVal {
+    /// The constant value, if known.
+    pub fn as_const(&self) -> Option<u32> {
+        match self {
+            AbsVal::Lin(e) => e.as_const(),
+            AbsVal::Unknown => None,
+        }
+    }
+
+    /// The linear expression, if known.
+    pub fn as_lin(&self) -> Option<&LinExpr> {
+        match self {
+            AbsVal::Lin(e) => Some(e),
+            AbsVal::Unknown => None,
+        }
+    }
+
+    fn konst(v: u32) -> AbsVal {
+        AbsVal::Lin(LinExpr::konst(v))
+    }
+}
+
+/// A classified memory access surfaced by [`StrideEnv::step`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbsAccess {
+    /// Whether the access writes memory.
+    pub is_store: bool,
+    /// Access width in bytes.
+    pub width: u32,
+    /// Abstract address expression at the access point.
+    pub addr: AbsVal,
+}
+
+/// The abstract register state of one loop body, mapping every
+/// [`DataLoc`] to its value as a function of the loop-entry state.
+#[derive(Debug, Clone)]
+pub struct StrideEnv {
+    vals: Vec<AbsVal>,
+}
+
+impl StrideEnv {
+    /// The state at loop entry: every location is its own symbol,
+    /// except `$zero`, which is the constant 0.
+    pub fn entry() -> StrideEnv {
+        let vals = (0..DataLoc::COUNT)
+            .map(|i| {
+                let loc = DataLoc::from_dense_index(i).expect("dense index in range");
+                if loc == DataLoc::Gpr(Reg::ZERO) {
+                    AbsVal::konst(0)
+                } else {
+                    AbsVal::Lin(LinExpr::var(loc))
+                }
+            })
+            .collect();
+        StrideEnv { vals }
+    }
+
+    /// The abstract value of `loc`.
+    pub fn get(&self, loc: DataLoc) -> &AbsVal {
+        &self.vals[loc.dense_index()]
+    }
+
+    fn reg(&self, r: Reg) -> &AbsVal {
+        self.get(DataLoc::Gpr(r))
+    }
+
+    fn set(&mut self, loc: DataLoc, v: AbsVal) {
+        if loc == DataLoc::Gpr(Reg::ZERO) {
+            return; // hard-wired zero ignores writes
+        }
+        self.vals[loc.dense_index()] = v;
+    }
+
+    /// Pushes one instruction through the abstract state, returning the
+    /// classified memory access if the instruction touches memory.
+    /// Control instructions are register-transparent here (the branch
+    /// comparison writes nothing); syscall clobbers `$v0`.
+    pub fn step(&mut self, inst: &Instruction) -> Option<AbsAccess> {
+        match *inst {
+            Instruction::Alu { op, rd, rs, rt } => {
+                let v = alu_transfer(op, self.reg(rs), self.reg(rt));
+                self.set(DataLoc::Gpr(rd), v);
+            }
+            Instruction::AluImm { op, rt, rs, imm } => {
+                let v = match op {
+                    dim_mips::AluImmOp::Addi | dim_mips::AluImmOp::Addiu => {
+                        match self.reg(rs).as_lin() {
+                            Some(e) => AbsVal::Lin(e.add_const(imm as i16 as i64)),
+                            None => AbsVal::Unknown,
+                        }
+                    }
+                    _ => match self.reg(rs).as_const() {
+                        Some(a) => AbsVal::konst(op.eval(a, imm)),
+                        None => AbsVal::Unknown,
+                    },
+                };
+                self.set(DataLoc::Gpr(rt), v);
+            }
+            Instruction::Shift { op, rd, rt, shamt } => {
+                let v = match op {
+                    ShiftOp::Sll => match self.reg(rt).as_lin() {
+                        Some(e) => AbsVal::Lin(e.scale(1i64 << (shamt & 0x1f))),
+                        None => AbsVal::Unknown,
+                    },
+                    _ => match self.reg(rt).as_const() {
+                        Some(a) => AbsVal::konst(op.eval(a, shamt as u32)),
+                        None => AbsVal::Unknown,
+                    },
+                };
+                self.set(DataLoc::Gpr(rd), v);
+            }
+            Instruction::ShiftVar { op, rd, rt, rs } => {
+                let v = match (self.reg(rt).as_const(), self.reg(rs).as_const()) {
+                    (Some(a), Some(amount)) => AbsVal::konst(op.eval(a, amount)),
+                    _ => AbsVal::Unknown,
+                };
+                self.set(DataLoc::Gpr(rd), v);
+            }
+            Instruction::Lui { rt, imm } => {
+                self.set(DataLoc::Gpr(rt), AbsVal::konst((imm as u32) << 16));
+            }
+            Instruction::MulDiv { op, rs, rt } => {
+                let (hi, lo) = muldiv_transfer(op, self.reg(rs), self.reg(rt));
+                self.set(DataLoc::Hi, hi);
+                self.set(DataLoc::Lo, lo);
+            }
+            Instruction::Mfhi { rd } => {
+                let v = self.get(DataLoc::Hi).clone();
+                self.set(DataLoc::Gpr(rd), v);
+            }
+            Instruction::Mflo { rd } => {
+                let v = self.get(DataLoc::Lo).clone();
+                self.set(DataLoc::Gpr(rd), v);
+            }
+            Instruction::Mthi { rs } => {
+                let v = self.reg(rs).clone();
+                self.set(DataLoc::Hi, v);
+            }
+            Instruction::Mtlo { rs } => {
+                let v = self.reg(rs).clone();
+                self.set(DataLoc::Lo, v);
+            }
+            Instruction::Load {
+                width,
+                rt,
+                base,
+                offset,
+                ..
+            } => {
+                let addr = self.address(base, offset);
+                self.set(DataLoc::Gpr(rt), AbsVal::Unknown);
+                return Some(AbsAccess {
+                    is_store: false,
+                    width: width.bytes(),
+                    addr,
+                });
+            }
+            Instruction::Store {
+                width,
+                base,
+                offset,
+                ..
+            } => {
+                let addr = self.address(base, offset);
+                return Some(AbsAccess {
+                    is_store: true,
+                    width: width.bytes(),
+                    addr,
+                });
+            }
+            // The unaligned helpers touch a hardware-defined sub-word
+            // window around the effective address; model them as
+            // word-wide accesses of unknown shape so the dependence
+            // test stays conservative.
+            Instruction::LoadUnaligned { rt, .. } => {
+                self.set(DataLoc::Gpr(rt), AbsVal::Unknown);
+                return Some(AbsAccess {
+                    is_store: false,
+                    width: 4,
+                    addr: AbsVal::Unknown,
+                });
+            }
+            Instruction::StoreUnaligned { .. } => {
+                return Some(AbsAccess {
+                    is_store: true,
+                    width: 4,
+                    addr: AbsVal::Unknown,
+                });
+            }
+            Instruction::Branch { .. }
+            | Instruction::J { .. }
+            | Instruction::Jr { .. }
+            | Instruction::Break { .. } => {}
+            Instruction::Jal { .. } | Instruction::Jalr { .. } => {
+                self.set(DataLoc::Gpr(Reg::RA), AbsVal::Unknown);
+            }
+            Instruction::Syscall => {
+                // The loop is rejected anyway; clobber the result
+                // register so the state stays sound regardless.
+                self.set(DataLoc::Gpr(Reg::V0), AbsVal::Unknown);
+            }
+        }
+        None
+    }
+
+    fn address(&self, base: Reg, offset: i16) -> AbsVal {
+        match self.reg(base).as_lin() {
+            Some(e) => AbsVal::Lin(e.add_const(offset as i64)),
+            None => AbsVal::Unknown,
+        }
+    }
+
+    /// The per-iteration recurrence of every location after one body
+    /// pass: `Some(delta)` when the end-of-body value is exactly
+    /// `entry + delta` (delta 0 = invariant), `None` when the location
+    /// evolves non-affinely.
+    pub fn recurrences(&self) -> Vec<Option<i64>> {
+        (0..DataLoc::COUNT)
+            .map(|i| {
+                let loc = DataLoc::from_dense_index(i).expect("dense index in range");
+                if loc == DataLoc::Gpr(Reg::ZERO) {
+                    return Some(0);
+                }
+                match &self.vals[i] {
+                    AbsVal::Lin(e) => {
+                        if e.terms.len() == 1 && e.terms.get(&loc) == Some(&1) {
+                            Some(e.off)
+                        } else if e.terms.is_empty() {
+                            // Constant every iteration after the first —
+                            // not an affine recurrence from the entry
+                            // value, so not usable for strides.
+                            None
+                        } else {
+                            None
+                        }
+                    }
+                    AbsVal::Unknown => None,
+                }
+            })
+            .collect()
+    }
+}
+
+fn alu_transfer(op: AluOp, a: &AbsVal, b: &AbsVal) -> AbsVal {
+    if let (Some(x), Some(y)) = (a.as_const(), b.as_const()) {
+        return AbsVal::konst(op.eval(x, y));
+    }
+    match (op, a.as_lin(), b.as_lin()) {
+        (AluOp::Add | AluOp::Addu, Some(x), Some(y)) => AbsVal::Lin(x.add(y)),
+        (AluOp::Sub | AluOp::Subu, Some(x), Some(y)) => AbsVal::Lin(x.sub(y)),
+        // `or` with a known zero is the assembler's `move`.
+        (AluOp::Or, Some(x), _) if b.as_const() == Some(0) => AbsVal::Lin(x.clone()),
+        (AluOp::Or, _, Some(y)) if a.as_const() == Some(0) => AbsVal::Lin(y.clone()),
+        _ => AbsVal::Unknown,
+    }
+}
+
+fn muldiv_transfer(op: MulDivOp, a: &AbsVal, b: &AbsVal) -> (AbsVal, AbsVal) {
+    match (a.as_const(), b.as_const()) {
+        (Some(x), Some(y)) => {
+            let (hi, lo) = op.eval(x, y);
+            (AbsVal::konst(hi), AbsVal::konst(lo))
+        }
+        _ => (AbsVal::Unknown, AbsVal::Unknown),
+    }
+}
+
+/// A concrete (partial) register state for the trip-count interpreter:
+/// `None` is "statically unknown" poison. Loads always poison their
+/// destination — memory is outside this domain.
+#[derive(Debug, Clone)]
+pub struct ConcreteEnv {
+    vals: Vec<Option<u32>>,
+}
+
+impl ConcreteEnv {
+    /// All-unknown state (except the hard-wired `$zero`).
+    pub fn new() -> ConcreteEnv {
+        let mut vals = vec![None; DataLoc::COUNT];
+        vals[DataLoc::Gpr(Reg::ZERO).dense_index()] = Some(0);
+        ConcreteEnv { vals }
+    }
+
+    /// The concrete value of `loc`, if statically known.
+    pub fn get(&self, loc: DataLoc) -> Option<u32> {
+        self.vals[loc.dense_index()]
+    }
+
+    fn reg(&self, r: Reg) -> Option<u32> {
+        self.get(DataLoc::Gpr(r))
+    }
+
+    fn set(&mut self, loc: DataLoc, v: Option<u32>) {
+        if loc == DataLoc::Gpr(Reg::ZERO) {
+            return;
+        }
+        self.vals[loc.dense_index()] = v;
+    }
+
+    /// Evaluates the branch condition, if its operands are known.
+    pub fn branch_taken(&self, inst: &Instruction) -> Option<bool> {
+        let Instruction::Branch { cond, rs, rt, .. } = *inst else {
+            return None;
+        };
+        let a = self.reg(rs)?;
+        let b = if cond.uses_rt() { self.reg(rt)? } else { 0 };
+        Some(cond.eval(a, b))
+    }
+
+    /// Executes one register-file effect concretely; unknown operands
+    /// poison the destination, loads always do.
+    pub fn step(&mut self, inst: &Instruction) {
+        match *inst {
+            Instruction::Alu { op, rd, rs, rt } => {
+                let v = match (self.reg(rs), self.reg(rt)) {
+                    (Some(a), Some(b)) => Some(op.eval(a, b)),
+                    _ => None,
+                };
+                self.set(DataLoc::Gpr(rd), v);
+            }
+            Instruction::AluImm { op, rt, rs, imm } => {
+                let v = self.reg(rs).map(|a| op.eval(a, imm));
+                self.set(DataLoc::Gpr(rt), v);
+            }
+            Instruction::Shift { op, rd, rt, shamt } => {
+                let v = self.reg(rt).map(|a| op.eval(a, shamt as u32));
+                self.set(DataLoc::Gpr(rd), v);
+            }
+            Instruction::ShiftVar { op, rd, rt, rs } => {
+                let v = match (self.reg(rt), self.reg(rs)) {
+                    (Some(a), Some(amount)) => Some(op.eval(a, amount)),
+                    _ => None,
+                };
+                self.set(DataLoc::Gpr(rd), v);
+            }
+            Instruction::Lui { rt, imm } => {
+                self.set(DataLoc::Gpr(rt), Some((imm as u32) << 16));
+            }
+            Instruction::MulDiv { op, rs, rt } => {
+                let (hi, lo) = match (self.reg(rs), self.reg(rt)) {
+                    (Some(a), Some(b)) => {
+                        let (hi, lo) = op.eval(a, b);
+                        (Some(hi), Some(lo))
+                    }
+                    _ => (None, None),
+                };
+                self.set(DataLoc::Hi, hi);
+                self.set(DataLoc::Lo, lo);
+            }
+            Instruction::Mfhi { rd } => {
+                let v = self.get(DataLoc::Hi);
+                self.set(DataLoc::Gpr(rd), v);
+            }
+            Instruction::Mflo { rd } => {
+                let v = self.get(DataLoc::Lo);
+                self.set(DataLoc::Gpr(rd), v);
+            }
+            Instruction::Mthi { rs } => {
+                let v = self.reg(rs);
+                self.set(DataLoc::Hi, v);
+            }
+            Instruction::Mtlo { rs } => {
+                let v = self.reg(rs);
+                self.set(DataLoc::Lo, v);
+            }
+            Instruction::Load { rt, .. } | Instruction::LoadUnaligned { rt, .. } => {
+                self.set(DataLoc::Gpr(rt), None);
+            }
+            Instruction::Store { .. } | Instruction::StoreUnaligned { .. } => {}
+            Instruction::Branch { .. }
+            | Instruction::J { .. }
+            | Instruction::Jr { .. }
+            | Instruction::Break { .. } => {}
+            Instruction::Jal { .. } | Instruction::Jalr { .. } => {
+                self.set(DataLoc::Gpr(Reg::RA), None);
+            }
+            Instruction::Syscall => {
+                self.set(DataLoc::Gpr(Reg::V0), None);
+            }
+        }
+    }
+}
+
+impl Default for ConcreteEnv {
+    fn default() -> Self {
+        ConcreteEnv::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dim_mips::asm::assemble;
+
+    fn body_of(src: &str) -> Vec<Instruction> {
+        let p = assemble(src).expect("assembles");
+        p.text
+            .iter()
+            .map(|&w| dim_mips::decode(w).expect("decodes"))
+            .collect()
+    }
+
+    #[test]
+    fn pointer_increment_is_affine() {
+        // s1 += 1 each iteration; the lbu address is s1 + 0.
+        let body = body_of(
+            "main: lbu $t0, 0($s1)
+                   addiu $s1, $s1, 1",
+        );
+        let mut env = StrideEnv::entry();
+        let access = env.step(&body[0]).expect("load surfaces");
+        assert!(!access.is_store);
+        assert_eq!(access.width, 1);
+        let addr = access.addr.as_lin().unwrap();
+        assert_eq!(addr.terms.get(&DataLoc::Gpr(Reg::S1)), Some(&1));
+        assert_eq!(addr.off, 0);
+        env.step(&body[1]);
+        let rec = env.recurrences();
+        assert_eq!(rec[Reg::S1.index()], Some(1), "s1 is inductive by +1");
+    }
+
+    #[test]
+    fn scaled_index_scales_coefficients() {
+        // t1 = (t0 << 2); addr = s0 + t1 + 4 → coeffs {s0:1, t0:4}.
+        let body = body_of(
+            "main: sll $t1, $t0, 2
+                   addu $t2, $s0, $t1
+                   lw $t3, 4($t2)",
+        );
+        let mut env = StrideEnv::entry();
+        env.step(&body[0]);
+        env.step(&body[1]);
+        let access = env.step(&body[2]).expect("load surfaces");
+        let addr = access.addr.as_lin().unwrap();
+        assert_eq!(addr.terms.get(&DataLoc::Gpr(Reg::S0)), Some(&1));
+        assert_eq!(addr.terms.get(&DataLoc::Gpr(Reg::T0)), Some(&4));
+        assert_eq!(addr.off, 4);
+    }
+
+    #[test]
+    fn loaded_value_poisons_addresses() {
+        // t0 is loaded, so the second load's address is unknown.
+        let body = body_of(
+            "main: lw $t0, 0($a0)
+                   lw $t1, 0($t0)",
+        );
+        let mut env = StrideEnv::entry();
+        env.step(&body[0]);
+        let access = env.step(&body[1]).expect("load surfaces");
+        assert_eq!(access.addr, AbsVal::Unknown);
+    }
+
+    #[test]
+    fn masking_is_not_linear() {
+        let body = body_of("main: andi $t1, $t0, 0xff");
+        let mut env = StrideEnv::entry();
+        env.step(&body[0]);
+        assert_eq!(*env.get(DataLoc::Gpr(Reg::T1)), AbsVal::Unknown);
+    }
+
+    #[test]
+    fn constants_fold_exactly() {
+        let body = body_of(
+            "main: lui $t0, 0x1234
+                   ori $t0, $t0, 0x5678
+                   sll $t1, $t0, 4",
+        );
+        let mut env = StrideEnv::entry();
+        for inst in &body {
+            env.step(inst);
+        }
+        assert_eq!(env.get(DataLoc::Gpr(Reg::T0)).as_const(), Some(0x1234_5678));
+        assert_eq!(
+            env.get(DataLoc::Gpr(Reg::T1)).as_const(),
+            Some(0x1234_5678u32 << 4)
+        );
+    }
+
+    #[test]
+    fn symbolic_difference_cancels() {
+        // t2 = (s0 + 8) - s0 = 8 even though s0 is symbolic.
+        let body = body_of(
+            "main: addiu $t0, $s0, 8
+                   subu $t2, $t0, $s0",
+        );
+        let mut env = StrideEnv::entry();
+        env.step(&body[0]);
+        env.step(&body[1]);
+        assert_eq!(env.get(DataLoc::Gpr(Reg::T2)).as_const(), Some(8));
+    }
+
+    #[test]
+    fn wraparound_stride_is_exact() {
+        // Decrement by 1 wraps: delta is -1, not 0xffff_ffff.
+        let body = body_of("main: addiu $s2, $s2, -1");
+        let mut env = StrideEnv::entry();
+        env.step(&body[0]);
+        assert_eq!(env.recurrences()[Reg::S2.index()], Some(-1));
+    }
+
+    #[test]
+    fn concrete_env_steps_and_poisons() {
+        let body = body_of(
+            "main: li $t0, 7
+                   addiu $t0, $t0, 3
+                   lw $t1, 0($t0)
+                   addu $t2, $t0, $t1",
+        );
+        let mut env = ConcreteEnv::new();
+        for inst in &body {
+            env.step(inst);
+        }
+        assert_eq!(env.get(DataLoc::Gpr(Reg::T0)), Some(10));
+        assert_eq!(env.get(DataLoc::Gpr(Reg::T1)), None, "loads poison");
+        assert_eq!(env.get(DataLoc::Gpr(Reg::T2)), None, "poison propagates");
+    }
+}

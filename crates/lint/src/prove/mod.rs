@@ -1,0 +1,300 @@
+//! `dim-prove`: the static stride/alias prover.
+//!
+//! Pipeline, per program:
+//!
+//! 1. [`loops::find_self_loops`] — every reachable single-block loop.
+//! 2. [`accesses::analyze_body`] — abstract interpretation over the
+//!    body, classifying each load/store as affine / invariant /
+//!    unknown ([`lattice`]).
+//! 3. [`depend::check_dependences`] — stride-interval alias test: no
+//!    store may overlap any access of a *different* iteration.
+//! 4. [`loops::trip_bound`] — concrete simulation from the recovered
+//!    entry constants, bounding the iteration count when decidable.
+//! 5. [`cert::build_cert`] — a versioned, checksummed
+//!    [`StreamingCert`] per surviving region.
+//!
+//! Regions that fail any step are reported with the exact reason —
+//! the rejection trail is as much a product as the certificates.
+
+pub mod accesses;
+pub mod cert;
+pub mod depend;
+pub mod lattice;
+pub mod loops;
+
+use crate::cfg::Cfg;
+use dim_cgra::StreamingCert;
+use dim_mips::asm::Program;
+use dim_mips::Instruction;
+use dim_obs::ObjectWriter;
+
+/// Schema version of the `dim prove --json` report format.
+pub const PROVE_SCHEMA_VERSION: u32 = 1;
+
+/// Iteration cap for the concrete trip-count simulation.
+const TRIP_SIM_CAP: u64 = 1 << 20;
+
+/// Outcome for one self-loop region.
+#[derive(Debug, Clone)]
+pub enum RegionOutcome {
+    /// The region is streaming-eligible; here is the proof artifact.
+    Certified(Box<StreamingCert>),
+    /// The region failed a step; `reason` names it.
+    Rejected {
+        /// Human-readable rejection reason.
+        reason: String,
+    },
+}
+
+/// One analyzed region.
+#[derive(Debug, Clone)]
+pub struct RegionReport {
+    /// First PC of the loop body.
+    pub entry_pc: u32,
+    /// Instructions in the body (closing branch included).
+    pub len: u32,
+    /// Loads/stores in the body.
+    pub access_count: usize,
+    /// What happened.
+    pub outcome: RegionOutcome,
+}
+
+impl RegionReport {
+    /// The certificate, when the region was certified.
+    pub fn cert(&self) -> Option<&StreamingCert> {
+        match &self.outcome {
+            RegionOutcome::Certified(cert) => Some(cert),
+            RegionOutcome::Rejected { .. } => None,
+        }
+    }
+}
+
+/// The prover's verdict over one program.
+#[derive(Debug, Clone)]
+pub struct ProveReport {
+    /// Workload (or file stem) the program came from.
+    pub workload: String,
+    /// Every self-loop found, in address order.
+    pub regions: Vec<RegionReport>,
+}
+
+impl ProveReport {
+    /// All certificates, in region order.
+    pub fn certs(&self) -> impl Iterator<Item = &StreamingCert> {
+        self.regions.iter().filter_map(RegionReport::cert)
+    }
+
+    /// Number of certified regions.
+    pub fn cert_count(&self) -> usize {
+        self.certs().count()
+    }
+
+    /// Renders the report as one JSON object (the `--json` format),
+    /// schema-stamped like every other machine-readable surface.
+    pub fn to_json(&self) -> String {
+        let mut w = ObjectWriter::new();
+        w.field_str("type", "prove_report")
+            .field_u64("schema", PROVE_SCHEMA_VERSION as u64)
+            .field_str("workload", &self.workload)
+            .field_u64("regions", self.regions.len() as u64)
+            .field_u64("certified", self.cert_count() as u64);
+        let mut rows = String::from("[");
+        for (i, region) in self.regions.iter().enumerate() {
+            if i > 0 {
+                rows.push(',');
+            }
+            let mut row = ObjectWriter::new();
+            row.field_u64("entry_pc", region.entry_pc as u64)
+                .field_u64("len", region.len as u64)
+                .field_u64("accesses", region.access_count as u64);
+            match &region.outcome {
+                RegionOutcome::Certified(cert) => {
+                    row.field_str("status", "certified");
+                    row.field_raw("cert", &cert.to_json());
+                }
+                RegionOutcome::Rejected { reason } => {
+                    row.field_str("status", "rejected");
+                    row.field_str("reason", reason);
+                }
+            }
+            rows.push_str(&row.finish());
+        }
+        rows.push(']');
+        w.field_raw("report", &rows);
+        w.finish()
+    }
+}
+
+/// Runs the full prover over an assembled program.
+pub fn prove_program(program: &Program, workload: &str) -> ProveReport {
+    let cfg = Cfg::build(program);
+    let regions = loops::find_self_loops(&cfg)
+        .into_iter()
+        .map(|region| prove_region(&cfg, &region, workload))
+        .collect();
+    ProveReport {
+        workload: workload.to_string(),
+        regions,
+    }
+}
+
+fn prove_region(cfg: &Cfg, region: &loops::SelfLoop, workload: &str) -> RegionReport {
+    let reject = |access_count: usize, reason: String| RegionReport {
+        entry_pc: region.entry,
+        len: region.len as u32,
+        access_count,
+        outcome: RegionOutcome::Rejected { reason },
+    };
+
+    // Decode the body; an undecodable slot means the CFG cut the block
+    // at a data word — nothing to prove.
+    let body: Option<Vec<(u32, Instruction)>> = cfg
+        .block_insts(&cfg.blocks[region.block])
+        .map(|(pc, inst)| inst.map(|inst| (pc, inst)))
+        .collect();
+    let Some(body) = body else {
+        return reject(0, "undecodable word in body".to_string());
+    };
+    if !(2..=4096).contains(&region.len) {
+        return reject(0, format!("body length {} out of range", region.len));
+    }
+
+    let analysis = match accesses::analyze_body(&body) {
+        Ok(a) => a,
+        Err(why) => return reject(0, why.to_string()),
+    };
+    let n = analysis.accesses.len();
+    if n == 0 {
+        return reject(0, "no memory accesses to certify".to_string());
+    }
+    if let Err(why) = depend::check_dependences(&analysis.accesses) {
+        return reject(n, why.to_string());
+    }
+
+    let entry = loops::entry_env(cfg, region.block);
+    let trip = loops::trip_bound(&body, &entry, TRIP_SIM_CAP);
+    let cert = cert::build_cert(workload, region, &analysis.accesses, trip);
+    RegionReport {
+        entry_pc: region.entry,
+        len: region.len as u32,
+        access_count: n,
+        outcome: RegionOutcome::Certified(Box::new(cert)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dim_cgra::StreamClass;
+    use dim_mips::asm::assemble;
+
+    fn prove(src: &str) -> ProveReport {
+        prove_program(&assemble(src).expect("assembles"), "unit")
+    }
+
+    #[test]
+    fn counted_byte_sum_is_certified_with_trip() {
+        let report = prove(
+            "main: li $s0, 64
+                   li $s1, 0x2000
+             loop: lbu $t0, 0($s1)
+                   addu $s3, $s3, $t0
+                   addiu $s1, $s1, 1
+                   addiu $s0, $s0, -1
+                   bnez $s0, loop
+                   break 0",
+        );
+        assert_eq!(report.regions.len(), 1);
+        let cert = report.regions[0].cert().expect("certified");
+        assert_eq!(cert.trip_bound, Some(64));
+        assert_eq!(cert.burst, 16);
+        assert_eq!(cert.accesses.len(), 1);
+        assert_eq!(cert.accesses[0].class, StreamClass::Affine { stride: 1 });
+    }
+
+    #[test]
+    fn syscall_in_body_rejects() {
+        let report = prove(
+            "main: li $s0, 4
+             loop: syscall
+                   addiu $s0, $s0, -1
+                   bnez $s0, loop
+                   break 0",
+        );
+        assert_eq!(report.cert_count(), 0);
+        match &report.regions[0].outcome {
+            RegionOutcome::Rejected { reason } => {
+                assert!(reason.contains("syscall"), "{reason}");
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn indirect_store_rejects() {
+        let report = prove(
+            "main: li $s0, 4
+             loop: lw $t0, 0($s2)
+                   sw $t1, 0($t0)
+                   addiu $s2, $s2, 4
+                   addiu $s0, $s0, -1
+                   bnez $s0, loop
+                   break 0",
+        );
+        assert_eq!(report.cert_count(), 0);
+    }
+
+    #[test]
+    fn pure_compute_loop_yields_no_cert() {
+        let report = prove(
+            "main: li $s0, 9
+             loop: addu $t0, $t0, $s0
+                   addiu $s0, $s0, -1
+                   bnez $s0, loop
+                   break 0",
+        );
+        assert_eq!(report.cert_count(), 0);
+        assert_eq!(report.regions.len(), 1, "region still reported");
+    }
+
+    #[test]
+    fn report_json_is_schema_stamped_and_certs_parse() {
+        let report = prove(
+            "main: li $s0, 8
+                   li $s1, 0x2000
+             loop: lw $t0, 0($s1)
+                   sll $t1, $t0, 1
+                   sw $t1, 0($s1)
+                   addiu $s1, $s1, 4
+                   addiu $s0, $s0, -1
+                   bnez $s0, loop
+                   break 0",
+        );
+        assert_eq!(report.cert_count(), 1);
+        let json = report.to_json();
+        let value = dim_obs::parse_json(&json).expect("valid json");
+        assert_eq!(
+            value.get("schema").and_then(dim_obs::JsonValue::as_u64),
+            Some(PROVE_SCHEMA_VERSION as u64)
+        );
+        assert_eq!(
+            value.get("certified").and_then(dim_obs::JsonValue::as_u64),
+            Some(1)
+        );
+        let regions = value
+            .get("report")
+            .and_then(|v| v.as_array())
+            .expect("report array");
+        let cert_obj = regions[0].get("cert").expect("embedded cert");
+        assert_eq!(
+            cert_obj.get("burst").and_then(dim_obs::JsonValue::as_u64),
+            Some(8),
+            "trip bound 8 caps burst"
+        );
+        // The embedded certificate is the canonical checksummed line.
+        let cert = report.certs().next().expect("one cert");
+        assert!(json.contains(&cert.to_json()), "cert embedded verbatim");
+        let back = StreamingCert::parse_json(&cert.to_json()).expect("parses");
+        assert_eq!(&back, cert);
+    }
+}

@@ -1,0 +1,120 @@
+//! Shared text-segment walking for every analysis in this crate.
+//!
+//! The candidate enumerator's branch-fork walk, the CFG builder, and
+//! the stride prover's loop-body walk all need the same primitive —
+//! "the decoded instruction at this PC, if it is inside text" — and
+//! each used to carry its own copy. [`TextWalker`] is the one shared
+//! implementation: a bounds-checked view over a decoded text segment
+//! with a straight-line iterator for walking fall-through runs.
+
+use dim_mips::asm::Program;
+use dim_mips::{decode, Instruction};
+
+/// Decodes a program's whole text segment; `None` marks words that do
+/// not decode. The result is indexed by `(pc - text_base) / 4`.
+pub fn decode_text(program: &Program) -> Vec<Option<Instruction>> {
+    program.text.iter().map(|&w| decode(w).ok()).collect()
+}
+
+/// A bounds-checked view over a decoded text segment.
+#[derive(Debug, Clone, Copy)]
+pub struct TextWalker<'a> {
+    text_base: u32,
+    insts: &'a [Option<Instruction>],
+}
+
+impl<'a> TextWalker<'a> {
+    /// Wraps a decoded text segment (see [`decode_text`]).
+    pub fn new(text_base: u32, insts: &'a [Option<Instruction>]) -> TextWalker<'a> {
+        TextWalker { text_base, insts }
+    }
+
+    /// Base address of the text segment.
+    pub fn text_base(&self) -> u32 {
+        self.text_base
+    }
+
+    /// End address of the text segment (exclusive).
+    pub fn text_end(&self) -> u32 {
+        self.text_base + (self.insts.len() as u32) * 4
+    }
+
+    /// Whether `pc` addresses an instruction slot of the text segment.
+    pub fn in_text(&self, pc: u32) -> bool {
+        pc >= self.text_base && pc < self.text_end() && pc.is_multiple_of(4)
+    }
+
+    /// The decoded instruction at `pc`, if inside text and decodable.
+    pub fn inst_at(&self, pc: u32) -> Option<Instruction> {
+        if !self.in_text(pc) {
+            return None;
+        }
+        self.insts[((pc - self.text_base) / 4) as usize]
+    }
+
+    /// Iterates `(pc, instruction)` from `entry` for at most `limit`
+    /// instructions, stopping *after* yielding any control transfer or
+    /// system instruction and stopping *before* an undecodable word or
+    /// the end of text. This is the loop-body walk: a self-loop body is
+    /// exactly one straight-line run ending at its back-edge branch.
+    pub fn straight_line(
+        &self,
+        entry: u32,
+        limit: usize,
+    ) -> impl Iterator<Item = (u32, Instruction)> + 'a {
+        let walker = *self;
+        let mut pc = entry;
+        let mut remaining = limit;
+        let mut done = false;
+        std::iter::from_fn(move || {
+            if done || remaining == 0 {
+                return None;
+            }
+            let inst = walker.inst_at(pc)?;
+            let here = pc;
+            remaining -= 1;
+            pc = pc.wrapping_add(4);
+            if inst.is_control() || matches!(inst, Instruction::Break { .. }) {
+                done = true;
+            }
+            Some((here, inst))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dim_mips::asm::assemble;
+
+    #[test]
+    fn inst_at_bounds_and_alignment() {
+        let p = assemble("main: addu $t0, $a0, $a1\n break 0").unwrap();
+        let insts = decode_text(&p);
+        let w = TextWalker::new(p.text_base, &insts);
+        assert!(w.inst_at(p.text_base).is_some());
+        assert!(w.inst_at(p.text_base + 1).is_none(), "unaligned");
+        assert!(w.inst_at(p.text_base.wrapping_sub(4)).is_none());
+        assert!(w.inst_at(w.text_end()).is_none());
+    }
+
+    #[test]
+    fn straight_line_stops_after_control() {
+        let p = assemble(
+            "main: addu $t0, $a0, $a1
+                   addiu $t0, $t0, -1
+                   bnez $t0, main
+                   xor $v0, $t0, $t0
+                   break 0",
+        )
+        .unwrap();
+        let insts = decode_text(&p);
+        let w = TextWalker::new(p.text_base, &insts);
+        let run: Vec<u32> = w.straight_line(p.entry, 64).map(|(pc, _)| pc).collect();
+        // Two ALU ops plus the branch, which ends the run.
+        assert_eq!(run, vec![p.entry, p.entry + 4, p.entry + 8]);
+
+        let capped: Vec<u32> = w.straight_line(p.entry, 2).map(|(pc, _)| pc).collect();
+        assert_eq!(capped.len(), 2, "limit respected");
+    }
+}

@@ -1,0 +1,459 @@
+//! Soundness laws for the dim-prove stride/alias prover, checked
+//! against the dynamic simulator:
+//!
+//! 1. Across the full benchmark suite, every stride table in every
+//!    emitted certificate must match the per-iteration address deltas
+//!    the machine actually produces.
+//! 2. Loops containing a syscall, an indirect store, or a non-affine
+//!    store index must never be certified.
+//! 3. Randomized counted loops (proptest) obey the same law: whenever
+//!    the prover certifies, the dynamic trace agrees.
+//! 4. Blind K-burst replay of a certified body is byte-identical to K
+//!    normally-stepped iterations — the property the translator relies
+//!    on when it tags rcache entries `stream_ok`.
+
+use dim_cgra::{StreamClass, StreamingCert};
+use dim_lint::prove::prove_program;
+use dim_mips::asm::assemble;
+use dim_mips_sim::Machine;
+use dim_workloads::{suite, Scale};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Records one dynamic execution as (pc, data address) pairs.
+fn trace(machine: &mut Machine, max_steps: u64) -> Vec<(u32, Option<u32>)> {
+    let mut steps = Vec::new();
+    machine
+        .run_with(max_steps, |info| steps.push((info.pc, info.mem_addr)))
+        .expect("workload runs without simulator faults");
+    steps
+}
+
+/// Checks one certificate's stride table against a dynamic trace.
+/// Returns the number of consecutive-iteration address pairs compared
+/// under an Affine or Invariant claim.
+fn check_cert_against_trace(
+    workload: &str,
+    cert: &StreamingCert,
+    steps: &[(u32, Option<u32>)],
+) -> usize {
+    let mut compared = 0usize;
+    // Addresses observed at each access PC in the previous / current
+    // iteration. An iteration begins when pc hits the loop entry; the
+    // comparison window resets whenever control leaves the region,
+    // because the stride claim only relates *consecutive* iterations.
+    let mut prev: Option<HashMap<u32, u32>> = None;
+    let mut cur: HashMap<u32, u32> = HashMap::new();
+    let mut in_iter = false;
+
+    let mut finish_iteration = |prev: &mut Option<HashMap<u32, u32>>,
+                                cur: &mut HashMap<u32, u32>| {
+        let done = std::mem::take(cur);
+        if let Some(before) = prev.take() {
+            for access in &cert.accesses {
+                let (Some(&a0), Some(&a1)) = (before.get(&access.pc), done.get(&access.pc)) else {
+                    continue;
+                };
+                let delta = a1.wrapping_sub(a0) as i32 as i64;
+                match access.class {
+                    StreamClass::Affine { stride } => {
+                        assert_eq!(
+                            delta,
+                            i64::from(stride),
+                            "{workload}: access {:#x} in region {:#x} certified \
+                                 stride {stride} but stepped {a0:#x} -> {a1:#x}",
+                            access.pc,
+                            cert.entry_pc
+                        );
+                        compared += 1;
+                    }
+                    StreamClass::Invariant => {
+                        assert_eq!(
+                            delta, 0,
+                            "{workload}: access {:#x} certified invariant but moved \
+                                 {a0:#x} -> {a1:#x}",
+                            access.pc
+                        );
+                        compared += 1;
+                    }
+                    StreamClass::Unknown => {}
+                }
+            }
+        }
+        *prev = Some(done);
+    };
+
+    for &(pc, addr) in steps {
+        if pc == cert.entry_pc {
+            if in_iter {
+                finish_iteration(&mut prev, &mut cur);
+            }
+            in_iter = true;
+        } else if !cert.contains(pc) {
+            if in_iter {
+                finish_iteration(&mut prev, &mut cur);
+            }
+            in_iter = false;
+            prev = None;
+            cur.clear();
+        }
+        if in_iter && cert.contains(pc) {
+            if let Some(a) = addr {
+                cur.insert(pc, a);
+            }
+        }
+    }
+    compared
+}
+
+/// Law 1: every certificate emitted over the benchmark suite is
+/// dynamically sound — certified strides are the strides the machine
+/// actually walks, iteration over iteration.
+#[test]
+fn certified_strides_match_dynamic_addresses_across_suite() {
+    let mut certified_workloads = 0usize;
+    let mut total_compared = 0usize;
+    for spec in suite() {
+        let built = (spec.build)(Scale::Tiny);
+        let report = prove_program(&built.program, built.name);
+        if report.cert_count() == 0 {
+            continue;
+        }
+        certified_workloads += 1;
+        let mut machine = Machine::load(&built.program);
+        let steps = trace(&mut machine, built.max_steps);
+        for cert in report.certs() {
+            // The certificate must survive the dim-cgra wire validator
+            // round-trip before we even look at the dynamics.
+            let back = StreamingCert::parse_json(&cert.to_json()).expect("wire round-trip");
+            assert_eq!(&back, cert);
+            total_compared += check_cert_against_trace(built.name, cert, &steps);
+        }
+    }
+    assert!(
+        certified_workloads >= 3,
+        "only {certified_workloads} workloads produced certificates"
+    );
+    assert!(
+        total_compared >= 50,
+        "only {total_compared} stride claims were dynamically exercised"
+    );
+}
+
+/// Law 2: the classic must-reject shapes stay rejected at suite level.
+#[test]
+fn poisoned_loops_are_never_certified() {
+    let syscall = assemble(
+        "main: li $s0, 6
+         loop: li $v0, 11
+               li $a0, 42
+               syscall
+               addiu $s0, $s0, -1
+               bnez $s0, loop
+               break 0",
+    )
+    .expect("assembles");
+    assert_eq!(
+        prove_program(&syscall, "syscall").cert_count(),
+        0,
+        "syscall body must reject"
+    );
+
+    let indirect = assemble(
+        "main: li $s0, 6
+               li $s1, 0x2000
+         loop: lw $t0, 0($s1)
+               sw $t2, 0($t0)
+               addiu $s1, $s1, 4
+               addiu $s0, $s0, -1
+               bnez $s0, loop
+               break 0",
+    )
+    .expect("assembles");
+    assert_eq!(
+        prove_program(&indirect, "indirect").cert_count(),
+        0,
+        "indirect store must reject"
+    );
+
+    // Doubling pointer: the store address is not affine in the
+    // iteration index, so no stride fact exists to certify.
+    let nonaffine = assemble(
+        "main: li $s0, 6
+               li $s1, 0x2000
+         loop: sw $t2, 0($s1)
+               addu $s1, $s1, $s1
+               addiu $s0, $s0, -1
+               bnez $s0, loop
+               break 0",
+    )
+    .expect("assembles");
+    assert_eq!(
+        prove_program(&nonaffine, "nonaffine").cert_count(),
+        0,
+        "non-affine store index must reject"
+    );
+
+    // A non-affine *load* is tolerated (crc32's table lookup), but it
+    // must be classified Unknown — never laundered into a stride.
+    let nonaffine_load = assemble(
+        "main: li $s0, 6
+               li $s1, 0x2000
+         loop: lw $t0, 0($s1)
+               addu $s1, $s1, $s1
+               addiu $s0, $s0, -1
+               bnez $s0, loop
+               break 0",
+    )
+    .expect("assembles");
+    let report = prove_program(&nonaffine_load, "nonaffine_load");
+    for cert in report.certs() {
+        for access in &cert.accesses {
+            assert_eq!(
+                access.class,
+                StreamClass::Unknown,
+                "doubling-pointer load must stay Unknown"
+            );
+        }
+    }
+}
+
+/// One randomly-shaped access inside the generated loop.
+#[derive(Debug, Clone, Copy)]
+struct GenAccess {
+    /// True: store `$t1` through `$s2`; false: load into `$t0` via `$s1`.
+    store: bool,
+    /// log2 of the access width (0, 1, 2 → byte, half, word).
+    wlog: u32,
+    /// Constant displacement in units of the width.
+    disp: i32,
+    /// Pointer bump per iteration, in words so every width stays
+    /// aligned (the two pointers start on word boundaries).
+    bump: i32,
+}
+
+impl GenAccess {
+    fn width(&self) -> i32 {
+        1 << self.wlog
+    }
+
+    fn asm(&self, idx: usize) -> String {
+        let off = self.disp * self.width();
+        if self.store {
+            let op = ["sb", "sh", "sw"][self.wlog as usize];
+            format!("{op} $t1, {off}($s2)")
+        } else {
+            let op = ["lbu", "lhu", "lw"][self.wlog as usize];
+            format!("{op} $t{idx}, {off}($s1)")
+        }
+    }
+}
+
+fn any_access(store: bool) -> impl Strategy<Value = GenAccess> {
+    (0u32..3, -4i32..=4, -4i32..=4).prop_map(move |(wlog, disp, bump)| GenAccess {
+        store,
+        wlog,
+        disp,
+        bump,
+    })
+}
+
+/// Builds a counted loop over `accesses` with per-pointer bumps,
+/// returning the source plus the byte stride each access actually
+/// walks (loads share `$s1`, so the last load's bump governs all of
+/// them). The two pointers start in disjoint pages.
+fn gen_program(count: u32, accesses: &[GenAccess]) -> (String, Vec<i64>) {
+    let mut body = String::new();
+    let mut load_bump = 0;
+    let mut store_bump = 0;
+    for (i, a) in accesses.iter().enumerate() {
+        body.push_str(&format!("       {}\n", a.asm(i)));
+        if a.store {
+            store_bump = a.bump * 4;
+        } else {
+            load_bump = a.bump * 4;
+        }
+    }
+    let truths = accesses
+        .iter()
+        .map(|a| i64::from(if a.store { store_bump } else { load_bump }))
+        .collect();
+    let src = format!(
+        "main: li $s0, {count}
+               li $s1, 0x2100
+               li $s2, 0x3100
+               li $t1, 0x5a
+         loop: {body}
+               addiu $s1, $s1, {load_bump}
+               addiu $s2, $s2, {store_bump}
+               addiu $s0, $s0, -1
+               bnez $s0, loop
+               break 0",
+        body = body.trim_start()
+    );
+    (src, truths)
+}
+
+proptest! {
+    /// Law 3: on randomized counted loops, the prover is free to
+    /// reject, but every certificate it does emit must match the
+    /// dynamic address sequence, and every Affine claim must equal the
+    /// ground-truth pointer bump we generated.
+    #[test]
+    fn random_counted_loops_are_soundly_classified(
+        count in 1u32..=12,
+        mode in 0usize..3,
+        load in any_access(false),
+        extra_load in any_access(false),
+        store in any_access(true),
+    ) {
+        let accesses: Vec<GenAccess> = match mode {
+            0 => vec![load],
+            1 => vec![load, extra_load],
+            _ => vec![store],
+        };
+        let (src, truths) = gen_program(count, &accesses);
+        let program = assemble(&src).expect("generated program assembles");
+        let report = prove_program(&program, "gen");
+
+        for cert in report.certs() {
+            // Wire round-trip, then ground truth: each certified access
+            // PC maps back to a generated access whose bump we know.
+            let back = StreamingCert::parse_json(&cert.to_json()).expect("round-trip");
+            prop_assert_eq!(&back, cert);
+            for access in &cert.accesses {
+                if let StreamClass::Affine { stride } = access.class {
+                    prop_assert!(
+                        truths.contains(&i64::from(stride)),
+                        "certified stride {} not among generated bumps {:?} in\n{}",
+                        stride, truths, src
+                    );
+                }
+            }
+            prop_assert_eq!(cert.trip_bound, Some(count as u64), "exact trip for {}", src.clone());
+        }
+
+        let mut machine = Machine::load(&program);
+        let steps = trace(&mut machine, 4096);
+        for cert in report.certs() {
+            check_cert_against_trace("gen", cert, &steps);
+        }
+    }
+}
+
+/// Law 4: for a certified region, blindly replaying the decoded body
+/// K = burst times (the way a tagged rcache entry is driven) leaves
+/// the architectural state byte-identical to K normally-stepped
+/// iterations: every register, hi/lo, the PC, and every touched
+/// memory word.
+#[test]
+fn burst_replay_is_byte_identical_to_stepped_iterations() {
+    let mut replays = 0usize;
+    for spec in suite() {
+        let built = (spec.build)(Scale::Tiny);
+        let report = prove_program(&built.program, built.name);
+        for cert in report.certs() {
+            // Only first entries with a proven trip are guaranteed to
+            // stay in the loop for `burst` iterations.
+            let Some(trip) = cert.trip_bound else {
+                continue;
+            };
+            let k = cert.burst.min(trip as u32) as u64;
+            if k == 0 {
+                continue;
+            }
+
+            // Walk a probe machine to the first arrival at the loop
+            // entry, counting steps so two fresh machines can be
+            // deterministically advanced to the same point.
+            let mut lead_in = 0u64;
+            let mut probe = Machine::load(&built.program);
+            while probe.cpu.pc != cert.entry_pc {
+                probe.step().expect("lead-in steps");
+                lead_in += 1;
+                assert!(
+                    lead_in < built.max_steps,
+                    "{}: loop never entered",
+                    built.name
+                );
+            }
+
+            let mut stepped = Machine::load(&built.program);
+            let mut replayed = Machine::load(&built.program);
+            for _ in 0..lead_in {
+                stepped.step().expect("stepped lead-in");
+                replayed.step().expect("replayed lead-in");
+            }
+
+            // Reference: K full iterations through the normal fetch /
+            // decode / execute path, recording touched addresses.
+            let mut touched = Vec::new();
+            for _ in 0..k * cert.len as u64 {
+                let info = stepped.step().expect("stepped iteration");
+                assert!(
+                    cert.contains(info.pc),
+                    "{}: control left region {:#x} before burst drained",
+                    built.name,
+                    cert.entry_pc
+                );
+                if let Some(addr) = info.mem_addr {
+                    touched.push(addr);
+                }
+            }
+
+            // Replay: drive the decoded body directly, K times, the
+            // way burst replay skips per-iteration re-fetch.
+            let body: Vec<_> = (0..cert.len)
+                .map(|i| {
+                    let pc = cert.entry_pc + 4 * i;
+                    (pc, replayed.fetch(pc).expect("body decodes"))
+                })
+                .collect();
+            for _ in 0..k {
+                for &(pc, inst) in &body {
+                    replayed.cpu.pc = pc;
+                    replayed
+                        .cpu
+                        .execute(inst, &mut replayed.mem)
+                        .expect("replayed body");
+                }
+            }
+
+            for r in 0..32u8 {
+                let reg = dim_mips::Reg::new(r).unwrap();
+                assert_eq!(
+                    stepped.cpu.reg(reg),
+                    replayed.cpu.reg(reg),
+                    "{}: $r{r} diverged after {k}-burst replay",
+                    built.name
+                );
+            }
+            assert_eq!(
+                stepped.cpu.hi, replayed.cpu.hi,
+                "{}: hi diverged",
+                built.name
+            );
+            assert_eq!(
+                stepped.cpu.lo, replayed.cpu.lo,
+                "{}: lo diverged",
+                built.name
+            );
+            assert_eq!(
+                stepped.cpu.pc, replayed.cpu.pc,
+                "{}: pc diverged",
+                built.name
+            );
+            for addr in touched {
+                let base = addr & !3;
+                assert_eq!(
+                    stepped.mem.read_bytes(base, 8),
+                    replayed.mem.read_bytes(base, 8),
+                    "{}: memory at {base:#x} diverged",
+                    built.name
+                );
+            }
+            replays += 1;
+        }
+    }
+    assert!(replays >= 3, "only {replays} burst replays were exercised");
+}

@@ -29,11 +29,17 @@
 ///   `exec_cycles` exactly (the conservation law `dim heat` enforces).
 ///   Readers must reject `fabric` records in a trace whose header
 ///   declares an older version.
-pub const SCHEMA_VERSION: u32 = 4;
+/// - **5** — streaming certificates: a new cycle-neutral `stream_tag`
+///   record marks a committed rcache entry whose region matched an
+///   installed streaming-eligibility certificate (`dim prove`), with
+///   the region id and the certified burst K. Readers must reject
+///   `stream_tag` records in a trace whose header declares an older
+///   version.
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// Number of distinct [`ProbeEvent`] variants; sizes the per-kind
 /// accounting arrays (e.g. the flight recorder's drop counters).
-pub const EVENT_KINDS: usize = 11;
+pub const EVENT_KINDS: usize = 12;
 
 /// Stable wire names indexed by [`ProbeEvent::type_index`].
 pub const EVENT_KIND_NAMES: [&str; EVENT_KINDS] = [
@@ -48,6 +54,7 @@ pub const EVENT_KIND_NAMES: [&str; EVENT_KINDS] = [
     "mispredict",
     "array_invoke",
     "fabric",
+    "stream_tag",
 ];
 
 /// Coarse classification of a retired pipeline instruction.
@@ -304,6 +311,18 @@ pub enum ProbeEvent {
     /// Fabric occupancy of an array invocation (schema v4); emitted
     /// immediately before its paired `ArrayInvoke`. Cycle-neutral.
     Fabric(FabricUtil),
+    /// A committed rcache entry matched an installed streaming
+    /// certificate and was tagged `stream_ok(K)` (schema v5).
+    /// Cycle-neutral: the tag is a contract surface for the streaming
+    /// executor, not an executed event.
+    StreamTag {
+        /// Entry PC of the tagged configuration.
+        pc: u32,
+        /// Instructions the configuration covers (region id).
+        len: u32,
+        /// Certified maximum safe burst K.
+        burst: u32,
+    },
 }
 
 impl ProbeEvent {
@@ -321,6 +340,7 @@ impl ProbeEvent {
             ProbeEvent::SpecMispredict { .. } => "mispredict",
             ProbeEvent::ArrayInvoke(_) => "array_invoke",
             ProbeEvent::Fabric(_) => "fabric",
+            ProbeEvent::StreamTag { .. } => "stream_tag",
         }
     }
 
@@ -339,6 +359,7 @@ impl ProbeEvent {
             ProbeEvent::SpecMispredict { .. } => 8,
             ProbeEvent::ArrayInvoke(_) => 9,
             ProbeEvent::Fabric(_) => 10,
+            ProbeEvent::StreamTag { .. } => 11,
         }
     }
 
@@ -429,6 +450,11 @@ mod tests {
                 writeback_writes: 0,
                 writeback_slots: 4,
             }),
+            ProbeEvent::StreamTag {
+                pc: 0,
+                len: 1,
+                burst: 1,
+            },
         ];
         assert_eq!(samples.len(), EVENT_KINDS);
         for (i, event) in samples.iter().enumerate() {

@@ -283,6 +283,11 @@ impl<W: Write> JsonlSink<W> {
                 o.field_u64("writeback_writes", fab.writeback_writes as u64);
                 o.field_u64("writeback_slots", fab.writeback_slots as u64);
             }
+            ProbeEvent::StreamTag { pc, len, burst } => {
+                o.field_u64("pc", pc as u64);
+                o.field_u64("len", len as u64);
+                o.field_u64("burst", burst as u64);
+            }
         }
         self.write_line(&o.finish());
     }

@@ -513,6 +513,7 @@ impl Probe for MetricsRegistry {
             }
             ProbeEvent::SpecMispredict { .. } => {}
             ProbeEvent::Fabric(_) => {}
+            ProbeEvent::StreamTag { .. } => {}
             ProbeEvent::ArrayInvoke(inv) => {
                 self.invocations += 1;
                 self.array_cycles += inv.total_cycles();

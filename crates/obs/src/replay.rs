@@ -185,6 +185,12 @@ pub struct TraceSummary {
     pub fabric_writeback_writes: u64,
     /// Σ write-back port-slots available.
     pub fabric_writeback_slots: u64,
+
+    /// `stream_tag` records seen (schema v5; 0 in older traces) — one
+    /// per committed configuration that matched a streaming certificate.
+    pub stream_tags: u64,
+    /// Σ certified burst K over stream tags.
+    pub stream_tag_burst: u64,
 }
 
 impl TraceSummary {
@@ -390,6 +396,11 @@ pub fn parse_record(text: &str, line: usize) -> Result<TraceRecord, ReplayError>
             writeback_writes: get_u32(&v, "writeback_writes", line)?,
             writeback_slots: get_u32(&v, "writeback_slots", line)?,
         })),
+        "stream_tag" => TraceRecord::Event(ProbeEvent::StreamTag {
+            pc: get_u32(&v, "pc", line)?,
+            len: get_u32(&v, "len", line)?,
+            burst: get_u32(&v, "burst", line)?,
+        }),
         "telemetry" => TraceRecord::Telemetry {
             seq: get_u64(&v, "seq", line)?,
             sim_cycles: get_u64(&v, "sim_cycles", line)?,
@@ -565,6 +576,25 @@ pub fn read_trace(text: &str) -> Result<ReplayedTrace, ReplayError> {
                         summary.fabric_residual_cycles += fab.residual_cycles as u64;
                         summary.fabric_writeback_writes += fab.writeback_writes as u64;
                         summary.fabric_writeback_slots += fab.writeback_slots as u64;
+                    }
+                    ProbeEvent::StreamTag { burst, .. } => {
+                        // Arrived with schema version 5: an older header
+                        // promises a vocabulary that does not contain it.
+                        if header.schema_version < 5 {
+                            return Err(err(
+                                lineno,
+                                format!(
+                                    "stream_tag record in a schema version {} trace \
+                                     (requires version 5)",
+                                    header.schema_version
+                                ),
+                            ));
+                        }
+                        if *burst == 0 {
+                            return Err(err(lineno, "stream_tag with burst 0"));
+                        }
+                        summary.stream_tags += 1;
+                        summary.stream_tag_burst += *burst as u64;
                     }
                     ProbeEvent::ArrayInvoke(inv) => {
                         if header.schema_version >= 4 {
@@ -923,6 +953,34 @@ mod tests {
         let e = read_trace(bad).unwrap_err();
         assert!(e.message.contains("requires version 4"), "{e}");
         assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn rejects_stream_tag_in_older_traces() {
+        let bad = r#"{"type":"header","schema_version":4,"workload":"old","bits_per_config":64}
+{"type":"stream_tag","pc":64,"len":8,"burst":16}
+{"type":"footer","events":1}"#;
+        let e = read_trace(bad).unwrap_err();
+        assert!(e.message.contains("requires version 5"), "{e}");
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn stream_tag_counts_in_v5_traces() {
+        let trace = r#"{"type":"header","schema_version":5,"workload":"crc32","bits_per_config":64}
+{"type":"rcache_insert","pc":64,"len":8,"evicted":null}
+{"type":"stream_tag","pc":64,"len":8,"burst":16}
+{"type":"stream_tag","pc":128,"len":4,"burst":2}
+{"type":"footer","events":3}"#;
+        let replayed = read_trace(trace).unwrap();
+        assert_eq!(replayed.summary.stream_tags, 2);
+        assert_eq!(replayed.summary.stream_tag_burst, 18);
+
+        let zero_burst = r#"{"type":"header","schema_version":5,"workload":"crc32","bits_per_config":64}
+{"type":"stream_tag","pc":64,"len":8,"burst":0}
+{"type":"footer","events":1}"#;
+        let e = read_trace(zero_burst).unwrap_err();
+        assert!(e.message.contains("burst 0"), "{e}");
     }
 
     #[test]
